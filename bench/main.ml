@@ -1,0 +1,160 @@
+(* Benchmark harness.
+
+   Two parts, both run by default:
+   1. The experiment tables (E1..E12, A2..A4) — the rows DESIGN.md maps
+      to the paper's claims; `--quick` shrinks trial counts.
+   2. Bechamel micro-benchmarks of the performance-critical kernels,
+      including ablation A1 (alias-table vs Gumbel-max vs linear-scan
+      sampling for the exponential mechanism).
+
+   Usage: main.exe [--quick] [--tables-only | --bench-only] *)
+
+open Bechamel
+open Toolkit
+
+let sampler_tests () =
+  (* A1: exponential-mechanism sampling strategies across range sizes. *)
+  let make_case k =
+    let g = Dp_rng.Prng.create 1 in
+    let qualities = Array.init k (fun i -> Float.abs (sin (float_of_int i))) in
+    let m =
+      Dp_mechanism.Exponential.create ~candidates:(Array.init k Fun.id)
+        ~quality:(fun i -> qualities.(i))
+        ~sensitivity:1. ~epsilon:2. ()
+    in
+    let alias_draw = Dp_mechanism.Exponential.sampler m g in
+    let probs = Dp_mechanism.Exponential.probabilities m in
+    let lw = Dp_mechanism.Exponential.log_probabilities m in
+    [
+      Test.make
+        ~name:(Printf.sprintf "A1 alias k=%d" k)
+        (Staged.stage (fun () -> ignore (alias_draw ())));
+      Test.make
+        ~name:(Printf.sprintf "A1 gumbel k=%d" k)
+        (Staged.stage (fun () ->
+             ignore (Dp_rng.Sampler.categorical_log ~log_weights:lw g)));
+      Test.make
+        ~name:(Printf.sprintf "A1 linear-scan k=%d" k)
+        (Staged.stage (fun () -> ignore (Dp_rng.Sampler.categorical ~probs g)));
+    ]
+  in
+  List.concat_map make_case [ 16; 256; 4096 ]
+
+let kernel_tests () =
+  let g = Dp_rng.Prng.create 2 in
+  let lap = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon:1. in
+  let risks = Array.init 256 (fun i -> Float.abs (cos (float_of_int i))) in
+  let sample =
+    Array.init 200 (fun _ ->
+        let y = if Dp_rng.Prng.bool g then 1. else -1. in
+        (Dp_rng.Sampler.gaussian ~mean:(y *. 0.8) ~std:1. g, y))
+  in
+  let zero_one theta (x, y) =
+    if (if x >= theta then 1. else -1.) = y then 0. else 1.
+  in
+  let grid = Array.init 64 (fun i -> -3.2 +. (0.1 *. float_of_int i)) in
+  let gc =
+    Dp_pac_bayes.Gibbs_channel.build ~universe_probs:[| 0.5; 0.5 |] ~n:6
+      ~predictors:[| 0; 1 |] ~beta:4.
+      ~loss:(fun j z -> if j = z then 0. else 1.)
+      ()
+  in
+  let logistic_data =
+    Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+      (Dp_dataset.Synthetic.logistic_model
+         ~theta:[| 1.; -1.; 1.; -1.; 1. |]
+         ~n:100 g)
+  in
+  let clipped_risk theta =
+    Dp_math.Numeric.float_sum_range 100 (fun i ->
+        let x, y = Dp_dataset.Dataset.row logistic_data i in
+        Dp_learn.Loss_fn.clip Dp_learn.Loss_fn.logistic ~theta ~x ~y)
+    /. 100.
+  in
+  [
+    Test.make ~name:"laplace release"
+      (Staged.stage (fun () ->
+           ignore (Dp_mechanism.Laplace.release lap ~value:3. g)));
+    Test.make ~name:"gibbs fit (k=256)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dp_pac_bayes.Gibbs.of_risks
+                ~predictors:(Array.init 256 Fun.id)
+                ~beta:10. ~risks ())));
+    Test.make ~name:"empirical risks (n=200, k=64)"
+      (Staged.stage (fun () ->
+           ignore (Dp_pac_bayes.Risk.empirical_all ~loss:zero_one sample grid)));
+    Test.make ~name:"catoni bound"
+      (Staged.stage (fun () ->
+           ignore
+             (Dp_pac_bayes.Bounds.catoni ~beta:20. ~n:200 ~delta:0.05
+                ~emp_risk:0.2 ~kl:1.5)));
+    Test.make ~name:"seeger bound (kl inverse)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dp_pac_bayes.Bounds.seeger ~n:200 ~delta:0.05 ~emp_risk:0.2
+                ~kl:1.5)));
+    Test.make ~name:"channel mutual information (64x2)"
+      (Staged.stage (fun () ->
+           ignore (Dp_pac_bayes.Gibbs_channel.mutual_information gc)));
+    Test.make ~name:"clipped logistic risk (n=100, d=5)"
+      (Staged.stage (fun () ->
+           ignore (clipped_risk [| 0.1; 0.2; -0.1; 0.3; 0. |])));
+  ]
+
+(* E16 companion: the cost of one private regression draw, exact
+   conjugate sampling vs a fresh MCMC chain. *)
+let regression_draw_tests () =
+  let g = Dp_rng.Prng.create 3 in
+  let data =
+    Dp_dataset.Dataset.map_labels
+      (Dp_math.Numeric.clamp ~lo:(-1.) ~hi:1.)
+      (Dp_dataset.Synthetic.linear_regression ~theta:[| 0.5; -0.3 |]
+         ~noise_std:0.1 ~n:200 g)
+  in
+  let conj = Dp_pac_bayes.Gaussian_gibbs.fit ~beta:50. ~radius:2. data in
+  [
+    Test.make ~name:"conjugate gibbs draw (n=200, d=2)"
+      (Staged.stage (fun () ->
+           ignore (Dp_pac_bayes.Gaussian_gibbs.sample conj g)));
+    Test.make ~name:"mcmc gibbs draw (n=200, d=2, 500 burn-in)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dp_learn.Ridge.fit_gibbs
+                ~mcmc_config:
+                  { Dp_pac_bayes.Mcmc.step_std = 0.2; burn_in = 500; thin = 1 }
+                ~epsilon:1. ~radius:2. data g)));
+  ]
+
+let run_benchmarks () =
+  let tests =
+    Test.make_grouped ~name:"dp" (sampler_tests () @ kernel_tests () @ regression_draw_tests ())
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some [ t ] -> (name, t) :: acc
+        | _ -> acc)
+      results []
+  in
+  let rows = List.sort compare rows in
+  Format.printf "@.== micro-benchmarks (ns/run, OLS on monotonic clock) ==@.";
+  List.iter (fun (name, t) -> Format.printf "%-45s %12.1f@." name t) rows
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let tables_only = List.mem "--tables-only" argv in
+  let bench_only = List.mem "--bench-only" argv in
+  if not bench_only then
+    Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;
+  if not tables_only then run_benchmarks ();
+  Format.printf "@.done.@."

@@ -1,0 +1,189 @@
+(* dpkit — command-line driver for the experiment suite.
+
+   dpkit list                         enumerate experiments
+   dpkit experiment E5 [--quick]      run one experiment
+   dpkit experiment all [--seed 7]    run everything *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed (experiments are deterministic given the seed)." in
+  Arg.(value & opt int 20120330 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Reduced trial counts for a fast smoke run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let list_cmd =
+  let run () =
+    Format.printf "%-4s %-55s %s@." "id" "title" "claim";
+    Format.printf "%s@." (String.make 110 '-');
+    List.iter
+      (fun e ->
+        Format.printf "%-4s %-55s %s@." e.Dp_experiments.Registry.id
+          e.Dp_experiments.Registry.title e.Dp_experiments.Registry.claim)
+      Dp_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all experiments and ablations.")
+    Term.(const run $ const ())
+
+let csv_arg =
+  let doc = "Also write each table as a CSV file into $(docv) (must exist)." in
+  Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (E1..E33, A2..A4) or 'all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id quick seed csv =
+    Dp_experiments.Table.set_export_dir csv;
+    let fmt = Format.std_formatter in
+    match String.lowercase_ascii id with
+    | "all" ->
+        Dp_experiments.Registry.run_all ~quick ~seed fmt;
+        `Ok ()
+    | _ -> (
+        match Dp_experiments.Registry.find id with
+        | Some e ->
+            Format.fprintf fmt "### [%s] %s — %s@."
+              e.Dp_experiments.Registry.id e.Dp_experiments.Registry.title
+              e.Dp_experiments.Registry.claim;
+            e.Dp_experiments.Registry.run ~quick ~seed fmt;
+            `Ok ()
+        | None ->
+            `Error (false, Printf.sprintf "unknown experiment %S (try 'dpkit list')" id))
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run an experiment and print its table(s).")
+    Term.(ret (const run $ id_arg $ quick_arg $ seed_arg $ csv_arg))
+
+let epsilon_arg =
+  let doc = "Privacy parameter epsilon." in
+  Arg.(value & opt float 1.0 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc)
+
+let audit_cmd =
+  let mech_arg =
+    let doc = "Mechanism to audit: laplace | geometric | rr | gibbs." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MECHANISM" ~doc)
+  in
+  let trials_arg =
+    let doc = "Number of mechanism runs per input." in
+    Arg.(value & opt int 100_000 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let run mech epsilon trials seed =
+    let g = Dp_rng.Prng.create seed in
+    let report_fmt (r : Dp_audit.Auditor.report) =
+      Format.printf
+        "theory eps = %g@.empirical eps_hat = %.4f@.conservative eps_lower = %.4f@.verdict: %s@."
+        r.Dp_audit.Auditor.epsilon_theory r.Dp_audit.Auditor.epsilon_hat
+        r.Dp_audit.Auditor.epsilon_lower
+        (if Dp_audit.Auditor.passes r ~slack:(0.1 *. epsilon +. 0.02) then
+           "consistent with the claimed epsilon"
+         else "POSSIBLE VIOLATION — investigate")
+    in
+    match String.lowercase_ascii mech with
+    | "laplace" ->
+        let m = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon in
+        report_fmt
+          (Dp_audit.Auditor.audit_continuous ~trials ~bins:16
+             ~lo:(-4. /. epsilon)
+             ~hi:(1. +. (4. /. epsilon))
+             ~epsilon_theory:epsilon
+             ~run:(fun g' -> Dp_mechanism.Laplace.release m ~value:0. g')
+             ~run':(fun g' -> Dp_mechanism.Laplace.release m ~value:1. g')
+             g);
+        `Ok ()
+    | "geometric" ->
+        let m = Dp_mechanism.Geometric_mech.create ~sensitivity:1 ~epsilon in
+        let p = Dp_mechanism.Geometric_mech.truncated_distribution m ~value:10 ~lo:0 ~hi:20 in
+        let q = Dp_mechanism.Geometric_mech.truncated_distribution m ~value:11 ~lo:0 ~hi:20 in
+        Format.printf "exact audit (closed-form pmf): eps_exact = %.6f (claimed %g)@."
+          (Dp_audit.Auditor.audit_exact ~p ~q) epsilon;
+        `Ok ()
+    | "rr" ->
+        let rr = Dp_mechanism.Randomized_response.create ~epsilon in
+        report_fmt
+          (Dp_audit.Auditor.audit_discrete ~trials ~outcomes:2
+             ~epsilon_theory:epsilon
+             ~run:(fun g' ->
+               if Dp_mechanism.Randomized_response.respond rr true g' then 1 else 0)
+             ~run':(fun g' ->
+               if Dp_mechanism.Randomized_response.respond rr false g' then 1
+               else 0)
+             g);
+        `Ok ()
+    | "gibbs" ->
+        (* exact audit of a finite Gibbs posterior at the target epsilon *)
+        let n = 40 in
+        let grid = Array.init 17 (fun i -> -2. +. (0.25 *. float_of_int i)) in
+        let loss theta (x, y) =
+          if (if x >= theta then 1. else -1.) = y then 0. else 1.
+        in
+        let beta = epsilon *. float_of_int n /. 2. in
+        let sample =
+          Array.init n (fun _ ->
+              let y = if Dp_rng.Prng.bool g then 1. else -1. in
+              (Dp_rng.Sampler.gaussian ~mean:(y *. 0.8) ~std:1. g, y))
+        in
+        let fit s =
+          Dp_pac_bayes.Gibbs.fit ~predictors:grid ~beta
+            ~empirical_risk:(Dp_pac_bayes.Risk.empirical ~loss s)
+            ()
+        in
+        let p = Dp_pac_bayes.Gibbs.probabilities (fit sample) in
+        let worst = ref 0. in
+        for _ = 1 to 200 do
+          let s' = Array.copy sample in
+          s'.(Dp_rng.Prng.int g n) <-
+            (Dp_rng.Sampler.gaussian ~mean:0. ~std:2. g,
+             if Dp_rng.Prng.bool g then 1. else -1.);
+          let q = Dp_pac_bayes.Gibbs.probabilities (fit s') in
+          worst := Float.max !worst (Dp_audit.Auditor.audit_exact ~p ~q)
+        done;
+        Format.printf
+          "exact audit over 200 neighbours: worst eps = %.4f (bound 2*beta/n = %g)@."
+          !worst epsilon;
+        `Ok ()
+    | other -> `Error (false, Printf.sprintf "unknown mechanism %S" other)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Audit a mechanism's differential privacy empirically or exactly.")
+    Term.(ret (const run $ mech_arg $ epsilon_arg $ trials_arg $ seed_arg))
+
+let channel_cmd =
+  let beta_arg =
+    let doc = "Gibbs inverse temperature." in
+    Arg.(value & opt float 3. & info [ "beta" ] ~docv:"BETA" ~doc)
+  in
+  let n_arg =
+    let doc = "Sample size (records per dataset)." in
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run beta n =
+    if n <= 0 || n > 16 then
+      `Error (false, "n must be in 1..16 (exact enumeration)")
+    else begin
+      let loss j z = if j = z then 0. else 1. in
+      let gc =
+        Dp_pac_bayes.Gibbs_channel.build ~universe_probs:[| 0.5; 0.5 |] ~n
+          ~predictors:[| 0; 1 |] ~beta ~loss ()
+      in
+      Format.printf "%a@." Dp_info.Channel.pp gc.Dp_pac_bayes.Gibbs_channel.channel;
+      Format.printf "I(Z;theta) = %.4f nats, exact eps = %.4f (bound %.4f)@."
+        (Dp_pac_bayes.Gibbs_channel.mutual_information gc)
+        (Dp_pac_bayes.Gibbs_channel.dp_epsilon gc)
+        (Dp_pac_bayes.Gibbs_channel.theoretical_epsilon gc ~loss_lo:0. ~loss_hi:1.);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "channel"
+       ~doc:"Print the paper's Figure 1 channel for given beta and n.")
+    Term.(ret (const run $ beta_arg $ n_arg))
+
+let () =
+  let doc = "reproduction toolkit for 'Differentially-private Learning and Information Theory' (PAIS/EDBT 2012)" in
+  let info = Cmd.info "dpkit" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; audit_cmd; channel_cmd ]))

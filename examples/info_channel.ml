@@ -1,0 +1,45 @@
+(* The paper's Figure 1, concretely: differentially-private learning as
+   an information channel from samples to predictors.
+
+   Builds the exact channel for a tiny learning problem, prints the
+   transition matrix, the mutual information, the exact privacy level,
+   and the risk-information tradeoff as the inverse temperature (and
+   with it the privacy level) varies.
+
+   Run with: dune exec examples/info_channel.exe *)
+
+let () =
+  let loss predict z = if predict = z then 0. else 1. in
+  let beta = 4. in
+  let gc =
+    Dp_pac_bayes.Gibbs_channel.build ~universe_probs:[| 0.7; 0.3 |] ~n:4
+      ~predictors:[| 0; 1 |] ~beta ~loss ()
+  in
+  Format.printf "the channel P(theta | Z) for n=4 records over {0,1}:@.@.";
+  Format.printf "%a@." Dp_info.Channel.pp gc.Dp_pac_bayes.Gibbs_channel.channel;
+
+  Format.printf "I(Z; theta)      = %.4f nats@."
+    (Dp_pac_bayes.Gibbs_channel.mutual_information gc);
+  Format.printf "E[empirical risk] = %.4f@."
+    (Dp_pac_bayes.Gibbs_channel.expected_empirical_risk gc);
+  Format.printf "exact epsilon     = %.4f (bound 2*beta*dR = %.4f)@.@."
+    (Dp_pac_bayes.Gibbs_channel.dp_epsilon gc)
+    (Dp_pac_bayes.Gibbs_channel.theoretical_epsilon gc ~loss_lo:0. ~loss_hi:1.);
+
+  Format.printf "privacy <-> information tradeoff (Thm 4.2):@.";
+  Format.printf "%-8s %-12s %-12s %-10s@." "beta" "eps(exact)" "I(Z;theta)"
+    "E[risk]";
+  List.iter
+    (fun beta ->
+      let gc =
+        Dp_pac_bayes.Gibbs_channel.build ~universe_probs:[| 0.7; 0.3 |] ~n:4
+          ~predictors:[| 0; 1 |] ~beta ~loss ()
+      in
+      Format.printf "%-8g %-12.4f %-12.4f %-10.4f@." beta
+        (Dp_pac_bayes.Gibbs_channel.dp_epsilon gc)
+        (Dp_pac_bayes.Gibbs_channel.mutual_information gc)
+        (Dp_pac_bayes.Gibbs_channel.expected_empirical_risk gc))
+    [ 0.25; 0.5; 1.; 2.; 4.; 8.; 16. ];
+  Format.printf
+    "@.(as beta falls, the channel carries less information about the@.\
+    \ sample — more privacy — at the price of higher expected risk.)@."

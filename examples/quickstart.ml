@@ -1,0 +1,48 @@
+(* Quickstart: the two basic mechanisms in a few lines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let g = Dp_rng.Prng.create 42 in
+
+  (* --- Laplace mechanism (paper Thm 2.2): private count ------------ *)
+  let database = Dp_dataset.Synthetic.bernoulli_database ~p:0.3 ~n:1000 g in
+  let true_count = float_of_int (Array.fold_left ( + ) 0 database) in
+  let mech = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon:0.5 in
+  let noisy_count = Dp_mechanism.Laplace.release mech ~value:true_count g in
+  Format.printf "true count   = %g@.private count = %g   (%a)@.@." true_count
+    noisy_count Dp_mechanism.Privacy.pp_budget
+    (Dp_mechanism.Laplace.budget mech);
+
+  (* --- Exponential mechanism (paper Thm 2.3): private argmax ------- *)
+  let candidates = [| "red"; "green"; "blue"; "cyan" |] in
+  let votes = [| 12.; 55.; 30.; 3. |] in
+  let mech =
+    Dp_mechanism.Exponential.create ~candidates
+      ~quality:(fun c ->
+        votes.(Option.get (Array.find_index (String.equal c) candidates)))
+      ~sensitivity:1. ~epsilon:0.05 ()
+  in
+  Format.printf "private winner = %s   (%a)@."
+    (Dp_mechanism.Exponential.sample mech g)
+    Dp_mechanism.Privacy.pp_budget
+    (Dp_mechanism.Exponential.budget mech);
+  Format.printf "output distribution:@.";
+  Array.iteri
+    (fun i c ->
+      Format.printf "  %-6s %.3f@." c
+        (Dp_mechanism.Exponential.probabilities mech).(i))
+    candidates;
+
+  (* --- Budget accounting ------------------------------------------- *)
+  let acc =
+    Dp_mechanism.Privacy.Accountant.create ~total:(Dp_mechanism.Privacy.pure 1.)
+  in
+  Dp_mechanism.Privacy.Accountant.spend acc (Dp_mechanism.Privacy.pure 0.5);
+  Dp_mechanism.Privacy.Accountant.spend acc
+    (Dp_mechanism.Exponential.budget mech);
+  Format.printf "@.budget spent: %a, remaining: %a@."
+    Dp_mechanism.Privacy.pp_budget
+    (Dp_mechanism.Privacy.Accountant.spent acc)
+    Dp_mechanism.Privacy.pp_budget
+    (Dp_mechanism.Privacy.Accountant.remaining acc)

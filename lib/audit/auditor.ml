@@ -1,0 +1,96 @@
+type report = {
+  epsilon_hat : float;
+  epsilon_lower : float;
+  epsilon_theory : float;
+  worst_event : int;
+  trials : int;
+  counts : float array * float array;
+}
+
+(* z for the conservative per-event confidence adjustment: shrink the
+   numerator count and inflate the denominator count by three Poisson
+   standard deviations before taking the ratio. Low-count tail bins
+   then contribute nothing spurious. *)
+let audit_z = 3.
+
+let estimate ~smoothing ~epsilon_theory ~trials counts counts' =
+  let k = Array.length counts in
+  let total = float_of_int trials +. (smoothing *. float_of_int k) in
+  let p i = (counts.(i) +. smoothing) /. total in
+  let q i = (counts'.(i) +. smoothing) /. total in
+  let worst = ref 0 and worst_val = ref 0. in
+  for i = 0 to k - 1 do
+    let r = Float.abs (log (p i /. q i)) in
+    if r > !worst_val then begin
+      worst_val := r;
+      worst := i
+    end
+  done;
+  (* Conservative estimate: per-event lower confidence bound on the
+     ratio, in both directions. *)
+  let lower_dir c1 c2 =
+    let best = ref 0. in
+    for i = 0 to k - 1 do
+      let hi_count = c1.(i) +. smoothing in
+      let lo_num = hi_count -. (audit_z *. sqrt hi_count) in
+      let lo_den = c2.(i) +. smoothing in
+      let hi_den = lo_den +. (audit_z *. sqrt lo_den) +. (audit_z *. audit_z) in
+      if lo_num > 0. then best := Float.max !best (log (lo_num /. hi_den))
+    done;
+    !best
+  in
+  {
+    epsilon_hat = !worst_val;
+    epsilon_lower = Float.max (lower_dir counts counts') (lower_dir counts' counts);
+    epsilon_theory;
+    worst_event = !worst;
+    trials;
+    counts =
+      ( Array.init k (fun i -> counts.(i) +. smoothing),
+        Array.init k (fun i -> counts'.(i) +. smoothing) );
+  }
+
+let audit_discrete ?(smoothing = 1.) ~trials ~outcomes ~epsilon_theory ~run
+    ~run' g =
+  if trials <= 0 then invalid_arg "Auditor.audit_discrete: trials must be positive";
+  if outcomes <= 0 then
+    invalid_arg "Auditor.audit_discrete: outcomes must be positive";
+  ignore (Dp_math.Numeric.check_nonneg "Auditor smoothing" smoothing);
+  let counts = Array.make outcomes 0. and counts' = Array.make outcomes 0. in
+  let record arr o =
+    if o < 0 || o >= outcomes then
+      invalid_arg "Auditor.audit_discrete: outcome out of range";
+    arr.(o) <- arr.(o) +. 1.
+  in
+  for _ = 1 to trials do
+    record counts (run g);
+    record counts' (run' g)
+  done;
+  estimate ~smoothing ~epsilon_theory ~trials counts counts'
+
+let audit_continuous ?(smoothing = 1.) ~trials ~bins ~lo ~hi ~epsilon_theory
+    ~run ~run' g =
+  if trials <= 0 then
+    invalid_arg "Auditor.audit_continuous: trials must be positive";
+  if bins <= 0 then invalid_arg "Auditor.audit_continuous: bins must be positive";
+  if lo >= hi then invalid_arg "Auditor.audit_continuous: lo >= hi";
+  let width = (hi -. lo) /. float_of_int bins in
+  let bin x =
+    let i = int_of_float ((x -. lo) /. width) in
+    Stdlib.max 0 (Stdlib.min (bins - 1) i)
+  in
+  let counts = Array.make bins 0. and counts' = Array.make bins 0. in
+  for _ = 1 to trials do
+    let o = bin (run g) in
+    counts.(o) <- counts.(o) +. 1.;
+    let o' = bin (run' g) in
+    counts'.(o') <- counts'.(o') +. 1.
+  done;
+  estimate ~smoothing ~epsilon_theory ~trials counts counts'
+
+let audit_exact ~p ~q =
+  Float.max
+    (Dp_info.Entropy.max_divergence p q)
+    (Dp_info.Entropy.max_divergence q p)
+
+let passes r ~slack = r.epsilon_lower <= r.epsilon_theory +. slack

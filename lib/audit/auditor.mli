@@ -1,0 +1,64 @@
+(** Empirical differential-privacy auditing (experiments E1/E2/E5).
+
+    Runs a mechanism many times on a fixed pair of neighbouring inputs
+    and estimates the privacy loss
+    [ε̂ = max_S |log (P[M(D) ∈ S] / P[M(D') ∈ S])|] over a finite
+    event family S (single outcomes for discrete mechanisms, bins for
+    continuous ones). Laplace (add-α) smoothing keeps empty cells from
+    producing spurious infinities; with [trials] large and the true
+    mechanism ε-DP, [ε̂ ≤ ε + sampling error].
+
+    The estimator is a *lower*-bound style audit: it can expose a
+    violation (ε̂ ≫ ε) but cannot certify privacy; the exact checks on
+    finite mechanisms ([Dp_info.Entropy.max_divergence] on closed-form
+    distributions) complement it. *)
+
+type report = {
+  epsilon_hat : float;  (** smoothed max |log ratio| over events *)
+  epsilon_lower : float;
+      (** conservative (confidence-adjusted) estimate: each event's
+          numerator count is shrunk and denominator inflated by three
+          Poisson standard deviations before the ratio; low-count tail
+          bins then cannot raise it spuriously. [passes] uses this. *)
+  epsilon_theory : float;  (** the claimed ε, echoed for tables *)
+  worst_event : int;  (** index of the event achieving ε̂ *)
+  trials : int;
+  counts : float array * float array;  (** smoothed counts on (D, D') *)
+}
+
+val audit_discrete :
+  ?smoothing:float ->
+  trials:int ->
+  outcomes:int ->
+  epsilon_theory:float ->
+  run:(Dp_rng.Prng.t -> int) ->
+  run':(Dp_rng.Prng.t -> int) ->
+  Dp_rng.Prng.t ->
+  report
+(** [audit_discrete ~trials ~outcomes ~run ~run' g]: [run]/[run'] are
+    the mechanism fixed to the two neighbouring inputs, producing an
+    outcome in [\[0, outcomes)]. [smoothing] defaults to 1 (add-one).
+    @raise Invalid_argument on non-positive trials/outcomes or an
+    outcome out of range. *)
+
+val audit_continuous :
+  ?smoothing:float ->
+  trials:int ->
+  bins:int ->
+  lo:float ->
+  hi:float ->
+  epsilon_theory:float ->
+  run:(Dp_rng.Prng.t -> float) ->
+  run':(Dp_rng.Prng.t -> float) ->
+  Dp_rng.Prng.t ->
+  report
+(** Same for real-valued outputs, binned on [\[lo, hi\]] (out-of-range
+    samples are clamped into the edge bins). *)
+
+val audit_exact : p:float array -> q:float array -> float
+(** Exact two-sided max divergence between closed-form output
+    distributions — zero sampling error; use whenever the mechanism's
+    distribution is computable. *)
+
+val passes : report -> slack:float -> bool
+(** [epsilon_lower ≤ ε_theory + slack]. *)

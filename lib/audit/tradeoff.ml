@@ -1,0 +1,69 @@
+type point = { fpr : float; fnr : float }
+
+type report = {
+  roc : point list;
+  min_total_error : float;
+  region_violations : int;
+  epsilon_theory : float;
+}
+
+let region_floor ~epsilon ~fpr =
+  let fpr = Dp_math.Numeric.check_prob "Tradeoff.region_floor fpr" fpr in
+  let epsilon = Dp_math.Numeric.check_nonneg "Tradeoff.region_floor epsilon" epsilon in
+  Float.max 0.
+    (Float.max
+       (1. -. (exp epsilon *. fpr))
+       (exp (-.epsilon) *. (1. -. fpr)))
+
+(* ROC of the likelihood-ratio family between discrete distributions:
+   sort outcomes by decreasing ratio q/p and sweep the rejection set.
+   Rejecting H0 on the swept set S gives fpr = p(S), fnr = 1 - q(S). *)
+let roc_of_distributions ~p ~q =
+  let k = Array.length p in
+  if Array.length q <> k then
+    invalid_arg "Tradeoff.roc_of_distributions: length mismatch";
+  let order = Array.init k Fun.id in
+  Array.sort
+    (fun i j ->
+      (* decreasing likelihood ratio q/p, with q/0 = +inf first *)
+      let r i = if p.(i) = 0. then infinity else q.(i) /. p.(i) in
+      compare (r j) (r i))
+    order;
+  let clamp = Dp_math.Numeric.clamp ~lo:0. ~hi:1. in
+  let points = ref [ { fpr = 0.; fnr = 1. } ] in
+  let fp = ref 0. and tp = ref 0. in
+  Array.iter
+    (fun i ->
+      fp := !fp +. p.(i);
+      tp := !tp +. q.(i);
+      points := { fpr = clamp !fp; fnr = clamp (1. -. !tp) } :: !points)
+    order;
+  List.sort (fun a b -> compare a.fpr b.fpr) !points
+
+let audit ?(slack = 0.02) ~trials ~outcomes ~epsilon_theory ~run ~run' g =
+  if trials <= 0 then invalid_arg "Tradeoff.audit: trials must be positive";
+  if outcomes <= 0 then invalid_arg "Tradeoff.audit: outcomes must be positive";
+  let counts = Array.make outcomes 1. and counts' = Array.make outcomes 1. in
+  for _ = 1 to trials do
+    let o = run g in
+    if o < 0 || o >= outcomes then invalid_arg "Tradeoff.audit: outcome out of range";
+    counts.(o) <- counts.(o) +. 1.;
+    let o' = run' g in
+    if o' < 0 || o' >= outcomes then invalid_arg "Tradeoff.audit: outcome out of range";
+    counts'.(o') <- counts'.(o') +. 1.
+  done;
+  let total = float_of_int trials +. float_of_int outcomes in
+  let p = Array.map (fun c -> c /. total) counts in
+  let q = Array.map (fun c -> c /. total) counts' in
+  let roc = roc_of_distributions ~p ~q in
+  let min_total_error =
+    List.fold_left (fun acc pt -> Float.min acc (pt.fpr +. pt.fnr)) infinity roc
+  in
+  let region_violations =
+    List.length
+      (List.filter
+         (fun pt ->
+           pt.fnr < region_floor ~epsilon:epsilon_theory ~fpr:pt.fpr -. slack)
+         roc)
+  in
+  { roc; min_total_error; region_violations; epsilon_theory }

@@ -1,0 +1,47 @@
+(** The hypothesis-testing characterization of differential privacy
+    (Wasserman–Zhou / Kairouz et al.; the two-party view is the
+    paper's ref 10, McGregor et al.).
+
+    An adversary observing one output of an ε-DP mechanism and testing
+    H₀: input was D vs H₁: input was D′ faces, for ANY test, false
+    positive/negative rates inside the region
+
+    [α·e^ε + β ≥ 1  and  α + β·e^ε ≥ 1].
+
+    This module computes the empirical ROC of the (optimal)
+    likelihood-ratio family built from smoothed output frequencies and
+    checks it against the region — a sharper audit than the max-ratio
+    estimator because it uses every threshold at once. *)
+
+type point = { fpr : float; fnr : float }
+
+type report = {
+  roc : point list;  (** one point per threshold, sorted by fpr *)
+  min_total_error : float;  (** min over the ROC of fpr + fnr *)
+  region_violations : int;
+      (** points strictly below the ε-DP tradeoff boundary (must be 0
+          up to sampling error) *)
+  epsilon_theory : float;
+}
+
+val region_floor : epsilon:float -> fpr:float -> float
+(** The ε-DP floor on the false-negative rate at a given FPR:
+    [max(0, 1 − e^ε·α, e^{−ε}·(1 − α))]. *)
+
+val audit :
+  ?slack:float ->
+  trials:int ->
+  outcomes:int ->
+  epsilon_theory:float ->
+  run:(Dp_rng.Prng.t -> int) ->
+  run':(Dp_rng.Prng.t -> int) ->
+  Dp_rng.Prng.t ->
+  report
+(** Builds smoothed output frequencies under both inputs, forms the
+    likelihood-ratio ROC over all thresholds, and counts region
+    violations beyond [slack] (default 0.02).
+    @raise Invalid_argument on non-positive trials/outcomes. *)
+
+val roc_of_distributions : p:float array -> q:float array -> point list
+(** The exact ROC of the likelihood-ratio test between two known
+    output distributions (no sampling). *)

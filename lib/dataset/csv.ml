@@ -1,0 +1,123 @@
+let write ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          let cells =
+            Array.to_list (Array.map (Printf.sprintf "%.17g") row)
+          in
+          output_string oc (String.concat "," cells);
+          output_char oc '\n')
+        rows)
+
+let parse_libsvm_line line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> failwith "Csv.read_libsvm: empty line"
+  | label :: feats ->
+      let y =
+        match float_of_string_opt label with
+        | Some y -> y
+        | None -> failwith (Printf.sprintf "Csv.read_libsvm: bad label %S" label)
+      in
+      let pairs =
+        List.map
+          (fun f ->
+            match String.index_opt f ':' with
+            | None -> failwith (Printf.sprintf "Csv.read_libsvm: bad feature %S" f)
+            | Some i -> (
+                let idx = String.sub f 0 i in
+                let v = String.sub f (i + 1) (String.length f - i - 1) in
+                match (int_of_string_opt idx, float_of_string_opt v) with
+                | Some idx, Some v when idx >= 1 -> (idx, v)
+                | _ ->
+                    failwith (Printf.sprintf "Csv.read_libsvm: bad feature %S" f)))
+          feats
+      in
+      (y, pairs)
+
+let read_libsvm ?dim ~path () =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rows = ref [] in
+      let max_idx = ref (Option.value dim ~default:0) in
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some line ->
+            let y, pairs = parse_libsvm_line line in
+            List.iter (fun (i, _) -> max_idx := Stdlib.max !max_idx i) pairs;
+            rows := (y, pairs) :: !rows;
+            loop ()
+      in
+      loop ();
+      let rows = List.rev !rows in
+      if rows = [] then failwith "Csv.read_libsvm: empty file";
+      let d = !max_idx in
+      if d = 0 then failwith "Csv.read_libsvm: no features";
+      let features =
+        Array.of_list
+          (List.map
+             (fun (_, pairs) ->
+               let row = Array.make d 0. in
+               List.iter (fun (i, v) -> row.(i - 1) <- v) pairs;
+               row)
+             rows)
+      in
+      let labels = Array.of_list (List.map fst rows) in
+      Dataset.create features labels)
+
+let write_libsvm ~path d =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      for i = 0 to Dataset.size d - 1 do
+        let x, y = Dataset.row d i in
+        output_string oc (Printf.sprintf "%g" y);
+        Array.iteri
+          (fun j v -> output_string oc (Printf.sprintf " %d:%.17g" (j + 1) v))
+          x;
+        output_char oc '\n'
+      done)
+
+let read ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match In_channel.input_line ic with
+        | None -> []
+        | Some line -> String.split_on_char ',' line |> List.map String.trim
+      in
+      let rows = ref [] in
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some line ->
+            let cells = String.split_on_char ',' line in
+            let row =
+              Array.of_list
+                (List.map
+                   (fun s ->
+                     match float_of_string_opt (String.trim s) with
+                     | Some f -> f
+                     | None -> failwith (Printf.sprintf "Csv.read: bad float %S" s))
+                   cells)
+            in
+            rows := row :: !rows;
+            loop ()
+      in
+      loop ();
+      (header, List.rev !rows))

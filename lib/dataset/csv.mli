@@ -1,0 +1,25 @@
+(** Minimal CSV reader/writer for exporting experiment series and
+    loading numeric tables. Values are unquoted floats; the first line
+    may be a header. *)
+
+val write :
+  path:string -> header:string list -> float array list -> unit
+(** [write ~path ~header rows] writes a header line and one line per
+    row, comma-separated with [%.17g] floats (lossless round-trip). *)
+
+val read : path:string -> string list * float array list
+(** Returns the header fields and data rows.
+    @raise Sys_error when the file cannot be read.
+    @raise Failure on a malformed numeric field. *)
+
+val read_libsvm : ?dim:int -> path:string -> unit -> Dataset.t
+(** Read a libsvm/svmlight-format file: lines of
+    [label idx:val idx:val ...] with 1-based feature indices; ±1
+    labels expected. When [dim] is omitted the dimension is the
+    largest index seen; absent features are 0.
+    @raise Sys_error when the file cannot be read.
+    @raise Failure on malformed lines or an empty file. *)
+
+val write_libsvm : path:string -> Dataset.t -> unit
+(** Write a dataset in libsvm format (all features written, 1-based
+    indices). *)

@@ -1,0 +1,85 @@
+type t = { features : float array array; labels : float array }
+
+let create features labels =
+  let n = Array.length features in
+  if n = 0 then invalid_arg "Dataset.create: empty dataset";
+  if Array.length labels <> n then
+    invalid_arg "Dataset.create: features/labels length mismatch";
+  let d = Array.length features.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Dataset.create: ragged features")
+    features;
+  { features; labels }
+
+let size t = Array.length t.labels
+let dim t = Array.length t.features.(0)
+let row t i = (t.features.(i), t.labels.(i))
+
+let replace_row t i (x, y) =
+  if i < 0 || i >= size t then invalid_arg "Dataset.replace_row: index out of range";
+  if Array.length x <> dim t then
+    invalid_arg "Dataset.replace_row: feature dimension mismatch";
+  let features = Array.copy t.features in
+  let labels = Array.copy t.labels in
+  features.(i) <- Array.copy x;
+  labels.(i) <- y;
+  { features; labels }
+
+let split ~ratio t g =
+  let n = size t in
+  let n_train = int_of_float (Float.round (ratio *. float_of_int n)) in
+  let n_train = Dp_math.Numeric.clamp ~lo:1. ~hi:(float_of_int (n - 1)) (float_of_int n_train)
+                |> int_of_float in
+  if n < 2 then invalid_arg "Dataset.split: needs at least two rows";
+  let idx = Array.init n Fun.id in
+  Dp_rng.Sampler.shuffle idx g;
+  let take lo len =
+    let features = Array.init len (fun k -> Array.copy t.features.(idx.(lo + k))) in
+    let labels = Array.init len (fun k -> t.labels.(idx.(lo + k))) in
+    { features; labels }
+  in
+  (take 0 n_train, take n_train (n - n_train))
+
+let standardize_features t =
+  let n = size t and d = dim t in
+  let means = Array.make d 0. and stds = Array.make d 0. in
+  for j = 0 to d - 1 do
+    let col = Array.init n (fun i -> t.features.(i).(j)) in
+    means.(j) <- Dp_stats.Describe.mean col;
+    stds.(j) <- (if n >= 2 then Dp_stats.Describe.std col else 0.)
+  done;
+  let features =
+    Array.map
+      (fun row ->
+        Array.mapi
+          (fun j x ->
+            let c = x -. means.(j) in
+            if stds.(j) > 0. then c /. stds.(j) else c)
+          row)
+      t.features
+  in
+  ({ t with features }, (means, stds))
+
+let clip_rows_l2 ~radius t =
+  let features =
+    Array.map (fun row -> Dp_linalg.Vec.project_l2_ball ~radius row) t.features
+  in
+  { t with features }
+
+let map_labels f t = { t with labels = Array.map f t.labels }
+
+let subsample ~n t g =
+  let total = size t in
+  if n <= 0 || n > total then invalid_arg "Dataset.subsample: bad size";
+  let idx = Dp_rng.Sampler.sample_without_replacement ~k:n total g in
+  let features = Array.map (fun i -> Array.copy t.features.(i)) idx in
+  let labels = Array.map (fun i -> t.labels.(i)) idx in
+  { features; labels }
+
+let append a b =
+  if dim a <> dim b then invalid_arg "Dataset.append: dimension mismatch";
+  {
+    features = Array.append a.features b.features;
+    labels = Array.append a.labels b.labels;
+  }

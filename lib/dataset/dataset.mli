@@ -1,0 +1,43 @@
+(** Supervised datasets: rows of feature vectors with a scalar label.
+
+    For classification the label is ±1 (the convention of the loss
+    functions in [Dp_learn]); for regression it is unrestricted. A
+    "neighbouring" dataset in the sense of the paper (§2.2) differs in
+    exactly one row. *)
+
+type t = { features : float array array; labels : float array }
+
+val create : float array array -> float array -> t
+(** @raise Invalid_argument on length mismatch, ragged features, or an
+    empty dataset. *)
+
+val size : t -> int
+val dim : t -> int
+val row : t -> int -> float array * float
+
+val replace_row : t -> int -> float array * float -> t
+(** [replace_row d i (x, y)] is the neighbouring dataset with row [i]
+    swapped — the paper's neighbour relation on sample sets.
+    @raise Invalid_argument on a bad index or wrong feature dimension. *)
+
+val split : ratio:float -> t -> Dp_rng.Prng.t -> t * t
+(** Random train/test split; [ratio] is the training fraction. Both
+    sides are guaranteed nonempty.
+    @raise Invalid_argument when a nonempty split is impossible. *)
+
+val standardize_features : t -> t * (float array * float array)
+(** Per-column standardization; returns the transformed dataset and the
+    (means, stds) used. Columns with zero spread are left centred. *)
+
+val clip_rows_l2 : radius:float -> t -> t
+(** Project every feature vector onto the L2 ball — the standard
+    preprocessing that bounds per-record sensitivity for private ERM. *)
+
+val map_labels : (float -> float) -> t -> t
+
+val subsample : n:int -> t -> Dp_rng.Prng.t -> t
+(** [n] rows drawn without replacement.
+    @raise Invalid_argument when [n] exceeds the dataset size. *)
+
+val append : t -> t -> t
+(** @raise Invalid_argument on dimension mismatch. *)

@@ -1,0 +1,57 @@
+let perturb_scalar_database db ~index ~value =
+  if index < 0 || index >= Array.length db then
+    invalid_arg "Neighbors.perturb_scalar_database: index out of range";
+  let out = Array.copy db in
+  out.(index) <- value;
+  out
+
+let worst_case_pair_for_count db =
+  if Array.length db = 0 then
+    invalid_arg "Neighbors.worst_case_pair_for_count: empty database";
+  let flipped = perturb_scalar_database db ~index:0 ~value:(1 - db.(0)) in
+  (db, flipped)
+
+let perturb_dataset d ~index ~row = Dataset.replace_row d index row
+
+let all_samples ~universe ~n =
+  if universe <= 0 || n <= 0 then
+    invalid_arg "Neighbors.all_samples: universe and n must be positive";
+  let count =
+    let rec pow acc k = if k = 0 then acc else pow (acc * universe) (k - 1) in
+    pow 1 n
+  in
+  if count > 1 lsl 20 then
+    invalid_arg
+      (Printf.sprintf
+         "Neighbors.all_samples: %d^%d samples exceed the exact regime"
+         universe n);
+  Array.init count (fun code ->
+      let sample = Array.make n 0 in
+      let c = ref code in
+      for pos = n - 1 downto 0 do
+        sample.(pos) <- !c mod universe;
+        c := !c / universe
+      done;
+      sample)
+
+let neighbors_of_sample ~universe sample =
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Neighbors.neighbors_of_sample: empty sample";
+  let out = ref [] in
+  for pos = n - 1 downto 0 do
+    for v = universe - 1 downto 0 do
+      if v <> sample.(pos) then begin
+        let s = Array.copy sample in
+        s.(pos) <- v;
+        out := s :: !out
+      end
+    done
+  done;
+  Array.of_list !out
+
+let hamming_distance a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Neighbors.hamming_distance: length mismatch";
+  let d = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
+  !d

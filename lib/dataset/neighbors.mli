@@ -1,0 +1,33 @@
+(** The paper's neighbour relation on sample sets (§2.2): two datasets
+    are neighbours when they differ in exactly one record. This module
+    produces neighbour pairs for the privacy auditor and enumerates
+    small discrete sample spaces for exact channel computations. *)
+
+val perturb_scalar_database :
+  int array -> index:int -> value:int -> int array
+(** Replace one entry of a 0/1 (or small-integer) database.
+    @raise Invalid_argument on a bad index. *)
+
+val worst_case_pair_for_count : int array -> int array * int array
+(** For a 0/1 counting query: the canonical neighbour pair [(D, D')]
+    where [D'] flips the first record — the pair achieving the
+    sensitivity of the count. *)
+
+val perturb_dataset :
+  Dataset.t -> index:int -> row:float array * float -> Dataset.t
+(** Alias of {!Dataset.replace_row} with audit-friendly naming. *)
+
+val all_samples : universe:int -> n:int -> int array array
+(** Every sample (ordered tuple) of size [n] over the universe
+    [{0..universe-1}]: [universe^n] rows. Used by E6/E12 where the
+    channel input distribution ranges over all samples.
+    @raise Invalid_argument when [universe^n] exceeds [2^20] (the
+    exact-computation regime only). *)
+
+val neighbors_of_sample : universe:int -> int array -> int array array
+(** All samples differing from the given one in exactly one position
+    ([n × (universe-1)] rows). *)
+
+val hamming_distance : int array -> int array -> int
+(** Number of positions at which the two samples differ.
+    @raise Invalid_argument on length mismatch. *)

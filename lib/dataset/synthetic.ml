@@ -1,0 +1,96 @@
+open Dp_rng
+
+let unit_ball_point ~dim g =
+  (* Uniform direction with radius U^{1/d}. *)
+  let dir = Sampler.gamma_vector_direction ~dim g in
+  let r = Prng.float g ** (1. /. float_of_int dim) in
+  Array.map (fun x -> x *. r) dir
+
+let two_gaussians ?(separation = 2.) ?(std = 1.) ~dim ~n g =
+  if n <= 0 then invalid_arg "Synthetic.two_gaussians: n must be positive";
+  if dim <= 0 then invalid_arg "Synthetic.two_gaussians: dim must be positive";
+  let half = separation /. 2. /. sqrt (float_of_int dim) in
+  let features = Array.make n [||] and labels = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let y = if i mod 2 = 0 then 1. else -1. in
+    let x =
+      Array.init dim (fun _ -> Sampler.gaussian ~mean:(y *. half) ~std g)
+    in
+    features.(i) <- x;
+    labels.(i) <- y
+  done;
+  Dataset.create features labels
+
+let sigmoid z = 1. /. (1. +. exp (-.z))
+
+let logistic_model ~theta ~n g =
+  if n <= 0 then invalid_arg "Synthetic.logistic_model: n must be positive";
+  let dim = Array.length theta in
+  if dim = 0 then invalid_arg "Synthetic.logistic_model: empty theta";
+  let features = Array.make n [||] and labels = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let x = unit_ball_point ~dim g in
+    let p = sigmoid (Dp_linalg.Vec.dot theta x) in
+    features.(i) <- x;
+    labels.(i) <- (if Sampler.bernoulli ~p g then 1. else -1.)
+  done;
+  Dataset.create features labels
+
+let linear_regression ~theta ~noise_std ~n g =
+  if n <= 0 then invalid_arg "Synthetic.linear_regression: n must be positive";
+  let dim = Array.length theta in
+  if dim = 0 then invalid_arg "Synthetic.linear_regression: empty theta";
+  let noise_std = Dp_math.Numeric.check_nonneg "noise_std" noise_std in
+  let features = Array.make n [||] and labels = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let x = unit_ball_point ~dim g in
+    features.(i) <- x;
+    labels.(i) <-
+      Dp_linalg.Vec.dot theta x +. Sampler.gaussian ~mean:0. ~std:noise_std g
+  done;
+  Dataset.create features labels
+
+let check_mixture weights means stds =
+  let k = Array.length weights in
+  if k = 0 then invalid_arg "Synthetic.mixture: empty mixture";
+  if Array.length means <> k || Array.length stds <> k then
+    invalid_arg "Synthetic.mixture: component arrays must have equal length";
+  Array.iter
+    (fun s -> ignore (Dp_math.Numeric.check_pos "mixture std" s))
+    stds;
+  let total = Dp_math.Summation.sum weights in
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:1e-6 total 1.) then
+    invalid_arg "Synthetic.mixture: weights must sum to 1"
+
+let gaussian_mixture_1d ~weights ~means ~stds ~n g =
+  check_mixture weights means stds;
+  if n <= 0 then invalid_arg "Synthetic.gaussian_mixture_1d: n must be positive";
+  Array.init n (fun _ ->
+      let k = Sampler.categorical ~probs:weights g in
+      Sampler.gaussian ~mean:means.(k) ~std:stds.(k) g)
+
+let mixture_density ~weights ~means ~stds x =
+  check_mixture weights means stds;
+  let c = 1. /. sqrt (2. *. Float.pi) in
+  Dp_math.Numeric.float_sum_range (Array.length weights) (fun k ->
+      let z = (x -. means.(k)) /. stds.(k) in
+      weights.(k) *. c /. stds.(k) *. exp (-0.5 *. z *. z))
+
+let zipf_counts ~s ~support ~n g =
+  if support <= 0 then invalid_arg "Synthetic.zipf_counts: support must be positive";
+  if n < 0 then invalid_arg "Synthetic.zipf_counts: negative n";
+  let s = Dp_math.Numeric.check_pos "Synthetic.zipf_counts s" s in
+  let weights =
+    Array.init support (fun i -> (float_of_int (i + 1)) ** (-.s))
+  in
+  let table = Alias.create weights in
+  let counts = Array.make support 0 in
+  for _ = 1 to n do
+    let k = Alias.sample table g in
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts
+
+let bernoulli_database ~p ~n g =
+  if n <= 0 then invalid_arg "Synthetic.bernoulli_database: n must be positive";
+  Array.init n (fun _ -> if Sampler.bernoulli ~p g then 1 else 0)

@@ -1,0 +1,58 @@
+(** Seeded synthetic data generators.
+
+    The paper's theorems quantify over arbitrary sampling distributions
+    Q; these generators provide Q's with known ground truth so both the
+    empirical risk R̂ and the true risk R are measurable (DESIGN.md §2
+    records this substitution for the missing real corpora). *)
+
+val two_gaussians :
+  ?separation:float ->
+  ?std:float ->
+  dim:int ->
+  n:int ->
+  Dp_rng.Prng.t ->
+  Dataset.t
+(** Balanced binary classification: class ±1 drawn from isotropic
+    Gaussians centred at [±separation/2 · e] where [e] is the all-ones
+    direction. Labels are ±1. *)
+
+val logistic_model :
+  theta:float array -> n:int -> Dp_rng.Prng.t -> Dataset.t
+(** Features uniform on the unit ball, labels ±1 drawn from the
+    logistic model [P(y=1|x) = sigmoid(θ·x)] — the ground truth for
+    private logistic regression (E8). *)
+
+val linear_regression :
+  theta:float array ->
+  noise_std:float ->
+  n:int ->
+  Dp_rng.Prng.t ->
+  Dataset.t
+(** [y = θ·x + ε], features uniform on the unit ball,
+    Gaussian noise. *)
+
+val gaussian_mixture_1d :
+  weights:float array ->
+  means:float array ->
+  stds:float array ->
+  n:int ->
+  Dp_rng.Prng.t ->
+  float array
+(** Univariate mixture draws (the density-estimation workload, E9).
+    @raise Invalid_argument on inconsistent component arrays. *)
+
+val mixture_density :
+  weights:float array ->
+  means:float array ->
+  stds:float array ->
+  float ->
+  float
+(** The corresponding true density, for error measurement. *)
+
+val zipf_counts : s:float -> support:int -> n:int -> Dp_rng.Prng.t -> int array
+(** [n] draws from a Zipf(s) law on [{0..support-1}], returned as a
+    count vector (histogram release workload). *)
+
+val bernoulli_database : p:float -> n:int -> Dp_rng.Prng.t -> int array
+(** A 0/1 database of [n] individuals — the counting-query workload of
+    experiment E1. *)

@@ -1,0 +1,89 @@
+(* E2 — Theorem 2.3 (exponential mechanism): exact privacy and utility.
+
+   Private selection: choose the candidate closest to the database
+   mean over the universe {0..8}. The quality q(D,u) = -|u - mean(D)|
+   has sensitivity Δq = range/n. Because the output distribution is in
+   closed form, the privacy loss is measured exactly over all
+   neighbours of a sampled database (no Monte-Carlo slack), and
+   compared to 2·ε·Δq. Utility: expected quality and the
+   McSherry-Talwar tail bound, with report-noisy-max as the practical
+   comparator. *)
+
+let candidates = Array.init 9 Fun.id
+
+let quality db u =
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 db) /. float_of_int (Array.length db)
+  in
+  -.Float.abs (float_of_int u -. mean)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let n = 20 in
+  let sens = 8. /. float_of_int n in
+  let db = Array.init n (fun _ -> Dp_rng.Prng.int g 9) in
+  let build eps d =
+    Dp_mechanism.Exponential.create ~candidates ~quality:(quality d)
+      ~sensitivity:sens ~epsilon:eps ()
+  in
+  let table =
+    Table.create
+      ~title:
+        "E2: Exponential mechanism (private selection, |U|=9, n=20, dq=0.4)"
+      ~columns:
+        [
+          "exponent";
+          "eps=2eDq";
+          "eps_exact";
+          "E[quality]";
+          "max quality";
+          "util bound(5%)";
+          "noisy-max E[q]";
+        ]
+  in
+  let nm_trials = if quick then 500 else 5000 in
+  List.iter
+    (fun eps ->
+      let m = build eps db in
+      (* exact privacy loss over all replace-one neighbours *)
+      let worst = ref 0. in
+      Array.iteri
+        (fun i _ ->
+          for v = 0 to 8 do
+            if v <> db.(i) then begin
+              let d' = Array.copy db in
+              d'.(i) <- v;
+              worst :=
+                Float.max !worst
+                  (Dp_mechanism.Exponential.log_ratio_bound m (build eps d'))
+            end
+          done)
+        db;
+      let privacy = Dp_mechanism.Exponential.privacy_epsilon m in
+      (* noisy-max with the same total privacy budget *)
+      let nm_expected =
+        Dp_math.Summation.mean
+          (Array.init nm_trials (fun _ ->
+               let u =
+                 Dp_mechanism.Noisy_max.select ~epsilon:privacy
+                   ~sensitivity:sens
+                   ~scores:(Array.map (quality db) candidates)
+                   g
+               in
+               quality db u))
+      in
+      Table.add_rowf table
+        [
+          eps;
+          privacy;
+          !worst;
+          Dp_mechanism.Exponential.expected_quality m;
+          Dp_mechanism.Exponential.max_quality m;
+          Dp_mechanism.Exponential.utility_bound m ~failure_prob:0.05;
+          nm_expected;
+        ])
+    [ 0.25; 0.5; 1.0; 2.0; 5.0 ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(eps_exact <= eps=2eDq on every row verifies Thm 2.3; E[quality] rises@.\
+    \ toward max quality as the exponent grows.)@."

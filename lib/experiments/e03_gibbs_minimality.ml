@@ -1,0 +1,75 @@
+(* E3 — Lemma 3.2: the Gibbs posterior minimizes the empirical
+   PAC-Bayes objective E_rho R̂ + KL(rho||pi)/beta.
+
+   Predictors: 64 threshold classifiers on 1-D two-Gaussian data, 0-1
+   loss. For each (n, beta) the Gibbs objective is compared against an
+   independent numerical minimizer over the simplex (exponentiated
+   gradient) and against natural alternative posteriors (uniform = the
+   prior, the ERM point mass, and the best random posterior over many
+   Dirichlet draws). The "gap" column is minimizer-minus-Gibbs and
+   should be ~0 up to solver tolerance; every alternative must be
+   worse. *)
+
+let grid = Array.init 64 (fun i -> -3.2 +. (0.1 *. float_of_int i))
+
+let zero_one theta (x, y) =
+  if (if x >= theta then 1. else -1.) = y then 0. else 1.
+
+let make_sample ~n g =
+  Array.init n (fun _ ->
+      let y = if Dp_rng.Prng.bool g then 1. else -1. in
+      (Dp_rng.Sampler.gaussian ~mean:(y *. 0.8) ~std:1. g, y))
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let table =
+    Table.create
+      ~title:"E3: Gibbs posterior minimizes the PAC-Bayes objective (Lemma 3.2)"
+      ~columns:
+        [
+          "n"; "beta"; "F(gibbs)"; "F(numopt)"; "gap"; "F(uniform)"; "F(erm)";
+          "best F(random)";
+        ]
+  in
+  let k = Array.length grid in
+  let configs =
+    if quick then [ (50, 5.) ]
+    else [ (20, 1.); (20, 10.); (100, 5.); (100, 25.); (500, 10.); (500, 100.) ]
+  in
+  List.iter
+    (fun (n, beta) ->
+      let sample = make_sample ~n g in
+      let risks =
+        Dp_pac_bayes.Risk.empirical_all ~loss:zero_one sample grid
+      in
+      let t = Dp_pac_bayes.Gibbs.of_risks ~predictors:grid ~beta ~risks () in
+      let f_gibbs = Dp_pac_bayes.Gibbs.pac_bayes_objective t in
+      let prior = Array.make k (1. /. float_of_int k) in
+      let opt = Dp_pac_bayes.Bound_opt.minimize ~risks ~prior ~beta () in
+      let f_uniform = Dp_pac_bayes.Gibbs.objective_of_posterior t prior in
+      let erm = Dp_linalg.Vec.argmin risks in
+      let point = Array.make k 0. in
+      point.(erm) <- 1.;
+      let f_erm = Dp_pac_bayes.Gibbs.objective_of_posterior t point in
+      let best_random = ref infinity in
+      for _ = 1 to if quick then 20 else 200 do
+        let rho = Dp_rng.Sampler.dirichlet ~alpha:(Array.make k 0.3) g in
+        best_random :=
+          Float.min !best_random (Dp_pac_bayes.Gibbs.objective_of_posterior t rho)
+      done;
+      Table.add_rowf table
+        [
+          float_of_int n;
+          beta;
+          f_gibbs;
+          opt.Dp_pac_bayes.Bound_opt.objective;
+          opt.Dp_pac_bayes.Bound_opt.objective -. f_gibbs;
+          f_uniform;
+          f_erm;
+          !best_random;
+        ])
+    configs;
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(gap ~ 0 => the independent minimizer lands on the Gibbs posterior;@.\
+    \ every alternative posterior has a strictly larger objective.)@."

@@ -1,0 +1,79 @@
+(* E4 — Theorem 3.1: validity and tightness of the PAC-Bayes bounds.
+
+   Over many resampled training sets, the Catoni bound evaluated on the
+   Gibbs posterior must cover the true risk with frequency >= 1 - delta;
+   tightness (bound minus true Gibbs risk) is compared across Catoni,
+   its linearization, McAllester and Maurer-Seeger, as a function of n.
+   The true risk of each grid predictor is computed from a large pool
+   (known distribution => effectively exact). *)
+
+let grid = Array.init 41 (fun i -> -2. +. (0.1 *. float_of_int i))
+
+let zero_one theta (x, y) =
+  if (if x >= theta then 1. else -1.) = y then 0. else 1.
+
+let make_sample ~n g =
+  Array.init n (fun _ ->
+      let y = if Dp_rng.Prng.bool g then 1. else -1. in
+      (Dp_rng.Sampler.gaussian ~mean:(y *. 0.8) ~std:1. g, y))
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let pool = make_sample ~n:(if quick then 20_000 else 100_000) g in
+  let true_risks =
+    Array.map (fun th -> Dp_pac_bayes.Risk.empirical ~loss:zero_one pool th) grid
+  in
+  let trials = if quick then 60 else 400 in
+  let delta = 0.05 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E4: PAC-Bayes bound validity & tightness (delta=%.2f, %d resamples)"
+           delta trials)
+      ~columns:
+        [
+          "n"; "beta"; "cover(catoni)"; "cover(seeger)"; "gap(catoni)";
+          "gap(linear)"; "gap(mcall)"; "gap(seeger)";
+        ]
+  in
+  let configs = if quick then [ (100, 20.) ] else [ (30, 6.); (100, 20.); (300, 60.); (1000, 200.) ] in
+  List.iter
+    (fun (n, beta) ->
+      let cov_c = ref 0 and cov_s = ref 0 in
+      let gap_c = ref 0. and gap_l = ref 0. and gap_m = ref 0. and gap_s = ref 0. in
+      for _ = 1 to trials do
+        let sample = make_sample ~n g in
+        let risks = Dp_pac_bayes.Risk.empirical_all ~loss:zero_one sample grid in
+        let t = Dp_pac_bayes.Gibbs.of_risks ~predictors:grid ~beta ~risks () in
+        let emp = Dp_pac_bayes.Gibbs.expected_empirical_risk t in
+        let kl = Dp_pac_bayes.Gibbs.kl_from_prior t in
+        let p = Dp_pac_bayes.Gibbs.probabilities t in
+        let truth =
+          Dp_math.Numeric.float_sum_range (Array.length p) (fun i ->
+              p.(i) *. true_risks.(i))
+        in
+        let c = Dp_pac_bayes.Bounds.catoni ~beta ~n ~delta ~emp_risk:emp ~kl in
+        let l = Dp_pac_bayes.Bounds.linearized ~beta ~n ~delta ~emp_risk:emp ~kl in
+        let m = Dp_pac_bayes.Bounds.mcallester ~n ~delta ~emp_risk:emp ~kl in
+        let s = Dp_pac_bayes.Bounds.seeger ~n ~delta ~emp_risk:emp ~kl in
+        if truth <= c then incr cov_c;
+        if truth <= s then incr cov_s;
+        gap_c := !gap_c +. (c -. truth);
+        gap_l := !gap_l +. (l -. truth);
+        gap_m := !gap_m +. (m -. truth);
+        gap_s := !gap_s +. (s -. truth)
+      done;
+      let ft = float_of_int trials in
+      Table.add_rowf table
+        [
+          float_of_int n; beta;
+          float_of_int !cov_c /. ft;
+          float_of_int !cov_s /. ft;
+          !gap_c /. ft; !gap_l /. ft; !gap_m /. ft; !gap_s /. ft;
+        ])
+    configs;
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(coverage must be >= 0.95; gaps shrink with n; Seeger is the@.\
+    \ tightest, the linearized Catoni the loosest — ablation A4.)@."

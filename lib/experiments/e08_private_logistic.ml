@@ -1,0 +1,84 @@
+(* E8 — the paper's §1 motivating application: private learning of a
+   (logistic regression) predictor.
+
+   Synthetic logistic ground truth (d = 5, unit-ball features), test
+   accuracy of: non-private ERM, output perturbation, objective
+   perturbation (Chaudhuri et al., refs 5-6), and the paper's Gibbs
+   posterior sampler, across eps and n. Each private cell is averaged
+   over several mechanism runs. The expected shape: all private
+   learners approach the non-private accuracy as eps or n grows;
+   objective perturbation dominates output perturbation; Gibbs is
+   competitive at small eps (its noise adapts to the loss landscape
+   rather than the worst case). *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let dim = 5 in
+  let theta_star = Array.init dim (fun i -> if i mod 2 = 0 then 2.5 else -2.5) in
+  let reps = if quick then 2 else 8 in
+  let table =
+    Table.create
+      ~title:"E8: private logistic regression, test accuracy (d=5)"
+      ~columns:
+        [ "n"; "eps"; "non-private"; "output-pert"; "objective-pert"; "gibbs" ]
+  in
+  let test =
+    Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+      (Dp_dataset.Synthetic.logistic_model ~theta:theta_star ~n:4000 g)
+  in
+  let ns = if quick then [ 500 ] else [ 200; 1000; 5000 ] in
+  let epss = if quick then [ 0.5; 5. ] else [ 0.1; 0.5; 1.; 2.; 10. ] in
+  List.iter
+    (fun n ->
+      let train =
+        Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+          (Dp_dataset.Synthetic.logistic_model ~theta:theta_star ~n g)
+      in
+      let lambda = 1. /. sqrt (float_of_int n) *. 0.1 in
+      let np = Dp_learn.Erm.train ~lambda ~loss:Dp_learn.Loss_fn.logistic train in
+      let acc_np = Dp_learn.Erm.accuracy np.Dp_learn.Erm.theta test in
+      List.iter
+        (fun eps ->
+          let avg f =
+            Dp_math.Summation.mean (Array.init reps (fun _ -> f ()))
+          in
+          let acc_out =
+            avg (fun () ->
+                let m =
+                  Dp_learn.Private_erm.output_perturbation ~epsilon:eps ~lambda
+                    ~loss:Dp_learn.Loss_fn.logistic train g
+                in
+                Dp_learn.Erm.accuracy m.Dp_learn.Private_erm.theta test)
+          in
+          let acc_obj =
+            avg (fun () ->
+                let m =
+                  Dp_learn.Private_erm.objective_perturbation ~epsilon:eps
+                    ~lambda ~loss:Dp_learn.Loss_fn.logistic train g
+                in
+                Dp_learn.Erm.accuracy m.Dp_learn.Private_erm.theta test)
+          in
+          let acc_gibbs =
+            avg (fun () ->
+                let m =
+                  Dp_learn.Private_erm.gibbs
+                    ~mcmc_config:
+                      {
+                        Dp_pac_bayes.Mcmc.step_std = 0.3;
+                        burn_in = (if quick then 1000 else 3000);
+                        thin = 2;
+                      }
+                    ~epsilon:eps ~radius:3. ~loss:Dp_learn.Loss_fn.logistic
+                    train g
+                in
+                Dp_learn.Erm.accuracy m.Dp_learn.Private_erm.theta test)
+          in
+          Table.add_rowf table
+            [ float_of_int n; eps; acc_np; acc_out; acc_obj; acc_gibbs ])
+        epss)
+    ns;
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(accuracy rises toward the non-private baseline with eps and n;@.\
+    \ objective perturbation > output perturbation; Gibbs is strongest@.\
+    \ in the small-eps / small-n corner.)@."

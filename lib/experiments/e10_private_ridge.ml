@@ -1,0 +1,62 @@
+(* E10 — private regression (the paper's §5: "currently investigating
+   differentially-private regression ... using PAC-Bayesian bounds").
+
+   Linear ground truth inside the unit ball, labels clipped to [-1,1].
+   Compare test MSE of: exact ridge, output-perturbed ridge, and the
+   Gibbs posterior on the clipped squared loss, across eps. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let theta_star = [| 0.6; -0.4; 0.3 |] in
+  let make n =
+    Dp_dataset.Dataset.map_labels
+      (Dp_math.Numeric.clamp ~lo:(-1.) ~hi:1.)
+      (Dp_dataset.Synthetic.linear_regression ~theta:theta_star ~noise_std:0.1
+         ~n g)
+  in
+  let train = make (if quick then 500 else 2000) in
+  let test = make 2000 in
+  let lambda = 0.05 in
+  let exact = Dp_learn.Ridge.fit ~lambda train in
+  let mse_exact = Dp_learn.Erm.mean_squared_error exact test in
+  let reps = if quick then 3 else 10 in
+  let table =
+    Table.create ~title:"E10: private ridge regression, test MSE"
+      ~columns:[ "eps"; "exact ridge"; "output-pert"; "gibbs"; "winner" ]
+  in
+  List.iter
+    (fun eps ->
+      let avg f = Dp_math.Summation.mean (Array.init reps (fun _ -> f ())) in
+      let mse_out =
+        avg (fun () ->
+            Dp_learn.Erm.mean_squared_error
+              (Dp_learn.Ridge.fit_output_perturbed ~epsilon:eps ~lambda train g)
+              test)
+      in
+      let mse_gibbs =
+        avg (fun () ->
+            Dp_learn.Erm.mean_squared_error
+              (Dp_learn.Ridge.fit_gibbs
+                 ~mcmc_config:
+                   {
+                     Dp_pac_bayes.Mcmc.step_std = 0.2;
+                     burn_in = (if quick then 1000 else 3000);
+                     thin = 2;
+                   }
+                 ~epsilon:eps ~radius:1.5 train g)
+              test)
+      in
+      Table.add_row table
+        [
+          Table.fcell eps;
+          Table.fcell mse_exact;
+          Table.fcell mse_out;
+          Table.fcell mse_gibbs;
+          (if mse_out < mse_gibbs then "output" else "gibbs");
+        ])
+    [ 0.1; 0.5; 1.; 2.; 10. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(both private MSEs decay to the exact-ridge MSE as eps grows; the@.\
+    \ Gibbs sampler, confined to a bounded ball, wins at small eps where@.\
+    \ worst-case output noise is enormous.)@."

@@ -1,0 +1,53 @@
+(* E11 — §4 / claim C6: the alternating (Blahut-Arimoto-style)
+   minimization of E R̂ + I/beta converges to the Gibbs channel under
+   the optimal prior pi = E_Z posterior.
+
+   The risk matrix comes from the exact learning channel of E6. The
+   table reports iterations to convergence, the converged objective vs
+   the uniform-prior Gibbs channel objective (must be <=), and the
+   fixed-point residual ||prior - marginal||_1 (must be ~0). *)
+
+let run ?(quick = false) ~seed fmt =
+  ignore quick;
+  ignore seed;
+  let loss j z = if j = z then 0. else 1. in
+  let table =
+    Table.create
+      ~title:"E11: alternating minimization of E[risk] + I/beta (Thm 4.2)"
+      ~columns:
+        [
+          "beta"; "iters"; "objective*"; "obj uniform-prior"; "improvement";
+          "fixed-point resid";
+        ]
+  in
+  List.iter
+    (fun beta ->
+      let gc =
+        Dp_pac_bayes.Gibbs_channel.build ~universe_probs:[| 0.7; 0.3 |] ~n:5
+          ~predictors:[| 0; 1 |] ~beta ~loss ()
+      in
+      let r =
+        Dp_info.Rate_risk.solve ~input:gc.Dp_pac_bayes.Gibbs_channel.input
+          ~risk:gc.Dp_pac_bayes.Gibbs_channel.risk ~beta ()
+      in
+      let marginal = Dp_info.Channel.output_marginal r.Dp_info.Rate_risk.channel in
+      let resid =
+        Dp_math.Numeric.float_sum_range (Array.length marginal) (fun j ->
+            Float.abs (marginal.(j) -. r.Dp_info.Rate_risk.prior.(j)))
+      in
+      let uniform_obj = Dp_pac_bayes.Gibbs_channel.objective gc in
+      Table.add_rowf table
+        [
+          beta;
+          float_of_int r.Dp_info.Rate_risk.iterations;
+          r.Dp_info.Rate_risk.objective;
+          uniform_obj;
+          uniform_obj -. r.Dp_info.Rate_risk.objective;
+          resid;
+        ])
+    [ 0.5; 2.; 8.; 32. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(objective* <= uniform-prior objective: optimizing the prior to@.\
+    \ E_Z posterior can only help — Catoni's pi_OPT observation; the@.\
+    \ fixed-point residual ~ 0 confirms convergence.)@."

@@ -1,0 +1,41 @@
+(* E12 — Figure 1 made concrete: print the information channel
+   P(theta | Z) for a toy learning problem, with per-row posteriors,
+   the output marginal (the optimal prior), mutual information and the
+   exact privacy level. *)
+
+let run ?(quick = false) ~seed fmt =
+  ignore quick;
+  ignore seed;
+  let loss j z = if j = z then 0. else 1. in
+  let beta = 3. in
+  let gc =
+    Dp_pac_bayes.Gibbs_channel.build ~universe_probs:[| 0.5; 0.5 |] ~n:3
+      ~predictors:[| 0; 1 |] ~beta ~loss ()
+  in
+  Format.fprintf fmt
+    "@.== E12: the Figure 1 information channel, Z -> P(theta|Z) -> theta ==@.";
+  Format.fprintf fmt
+    "universe {0,1}, n=3 records, predictors {0,1}, 0-1 loss, beta=%g@.@." beta;
+  Format.fprintf fmt "%-10s %-8s  %-10s %-10s  %s@." "sample Z" "P(Z)"
+    "P(th=0|Z)" "P(th=1|Z)" "emp.risk(th=0,th=1)";
+  Array.iteri
+    (fun i s ->
+      let row = Dp_info.Channel.row gc.Dp_pac_bayes.Gibbs_channel.channel i in
+      Format.fprintf fmt "%-10s %-8.4f  %-10.4f %-10.4f  (%.3f, %.3f)@."
+        (String.concat ""
+           (Array.to_list (Array.map string_of_int s)))
+        gc.Dp_pac_bayes.Gibbs_channel.input.(i)
+        row.(0) row.(1)
+        gc.Dp_pac_bayes.Gibbs_channel.risk.(i).(0)
+        gc.Dp_pac_bayes.Gibbs_channel.risk.(i).(1))
+    gc.Dp_pac_bayes.Gibbs_channel.samples;
+  let marginal =
+    Dp_info.Channel.output_marginal gc.Dp_pac_bayes.Gibbs_channel.channel
+  in
+  Format.fprintf fmt "@.output marginal (optimal prior pi_OPT): (%.4f, %.4f)@."
+    marginal.(0) marginal.(1);
+  Format.fprintf fmt "I(Z; theta) = %.4f nats@."
+    (Dp_pac_bayes.Gibbs_channel.mutual_information gc);
+  Format.fprintf fmt "exact channel epsilon = %.4f  (bound 2*beta*dR = %.4f)@."
+    (Dp_pac_bayes.Gibbs_channel.dp_epsilon gc)
+    (Dp_pac_bayes.Gibbs_channel.theoretical_epsilon gc ~loss_lo:0. ~loss_hi:1.)

@@ -1,0 +1,76 @@
+(* E13 — privacy amplification by subsampling.
+
+   (a) The amplification curve: eps' = log(1 + q(e^eps - 1)) across q.
+   (b) End-to-end audit: a Laplace count released on a q-subsample of
+       a 0/1 database is audited on a worst-case neighbour pair; the
+       measured privacy loss must respect the amplified bound (and is
+       far below the base eps for small q). *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let curve =
+    Table.create ~title:"E13a: amplification curve eps' = log(1 + q(e^eps - 1))"
+      ~columns:[ "base eps"; "q=0.01"; "q=0.1"; "q=0.5"; "q=1.0" ]
+  in
+  List.iter
+    (fun eps ->
+      Table.add_rowf curve
+        [
+          eps;
+          Dp_mechanism.Subsample.amplified_epsilon ~epsilon:eps ~q:0.01;
+          Dp_mechanism.Subsample.amplified_epsilon ~epsilon:eps ~q:0.1;
+          Dp_mechanism.Subsample.amplified_epsilon ~epsilon:eps ~q:0.5;
+          Dp_mechanism.Subsample.amplified_epsilon ~epsilon:eps ~q:1.0;
+        ])
+    [ 0.1; 0.5; 1.; 2.; 4. ];
+  Table.print fmt curve;
+  let audit =
+    Table.create
+      ~title:"E13b: end-to-end audit of the subsampled Laplace count (n=50)"
+      ~columns:[ "base eps"; "q"; "amplified"; "eps_hat"; "eps_lower"; "pass" ]
+  in
+  let n = 50 in
+  let db = Dp_dataset.Synthetic.bernoulli_database ~p:0.5 ~n g in
+  let d, d' = Dp_dataset.Neighbors.worst_case_pair_for_count db in
+  let trials = if quick then 20_000 else 150_000 in
+  List.iter
+    (fun (base_eps, q) ->
+      let release db g' =
+        let m = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon:base_eps in
+        let value, _ =
+          Dp_mechanism.Subsample.run_subsampled ~q ~base_epsilon:base_eps
+            ~mechanism:(fun sub g'' ->
+              Dp_mechanism.Laplace.release m
+                ~value:(float_of_int (Array.fold_left ( + ) 0 sub))
+                g'')
+            db g'
+        in
+        value
+      in
+      let amplified =
+        Dp_mechanism.Subsample.amplified_epsilon ~epsilon:base_eps ~q
+      in
+      let span = 4. /. base_eps in
+      let report =
+        Dp_audit.Auditor.audit_continuous ~trials ~bins:16
+          ~lo:(-.span)
+          ~hi:(float_of_int n +. span)
+          ~epsilon_theory:amplified
+          ~run:(release d) ~run':(release d') g
+      in
+      Table.add_row audit
+        [
+          Table.fcell base_eps;
+          Table.fcell q;
+          Table.fcell amplified;
+          Table.fcell report.Dp_audit.Auditor.epsilon_hat;
+          Table.fcell report.Dp_audit.Auditor.epsilon_lower;
+          (if Dp_audit.Auditor.passes report ~slack:(0.15 *. amplified +. 0.02)
+           then "yes"
+           else "NO");
+        ])
+    [ (1., 1.0); (1., 0.5); (1., 0.1); (2., 0.1) ];
+  Table.print fmt audit;
+  Format.fprintf fmt
+    "(the measured loss tracks the amplified epsilon, not the base one:@.\
+    \ subsampling buys privacy for free when q is small.)@."

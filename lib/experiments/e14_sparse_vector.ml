@@ -1,0 +1,82 @@
+(* E14 — the sparse vector technique vs per-query Laplace.
+
+   m sensitivity-1 queries, a handful far above the threshold and the
+   rest far below. SVT pays a fixed budget regardless of m; naive
+   Laplace splits the same budget across all m queries and drowns once
+   m is large. The table reports the fraction of correctly classified
+   queries for both strategies as m grows — the crossover the
+   technique exists for. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let epsilon = 1. in
+  let threshold = 50. in
+  let gap = 25. in
+  let trials = if quick then 50 else 300 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E14: SVT vs per-query Laplace (total eps=%g, threshold=%g, gap=%g)"
+           epsilon threshold gap)
+      ~columns:[ "queries m"; "SVT correct"; "naive correct" ]
+  in
+  List.iter
+    (fun m ->
+      (* 3 above-threshold queries hidden among m *)
+      let queries =
+        Array.init m (fun i ->
+            if i mod (m / 3 |> Stdlib.max 1) = 0 && i < m - 1 then
+              threshold +. gap
+            else threshold -. gap)
+      in
+      let n_above =
+        Array.fold_left
+          (fun acc v -> if v > threshold then acc + 1 else acc)
+          0 queries
+      in
+      let svt_correct = ref 0 and naive_correct = ref 0 in
+      let total_answers = ref 0 in
+      for _ = 1 to trials do
+        (* SVT with budget for all the positives present *)
+        let t =
+          Dp_mechanism.Sparse_vector.create ~epsilon ~threshold
+            ~max_positives:n_above g
+        in
+        Array.iter
+          (fun v ->
+            incr total_answers;
+            match Dp_mechanism.Sparse_vector.query t v with
+            | Some Dp_mechanism.Sparse_vector.Above ->
+                if v > threshold then incr svt_correct
+            | Some Dp_mechanism.Sparse_vector.Below ->
+                if v <= threshold then incr svt_correct
+            | None ->
+                (* exhausted: classify as Below (all positives found) *)
+                if v <= threshold then incr svt_correct)
+          queries;
+        (* naive: split epsilon across the m queries *)
+        let per_query =
+          Dp_mechanism.Laplace.create ~sensitivity:1.
+            ~epsilon:(epsilon /. float_of_int m)
+        in
+        Array.iter
+          (fun v ->
+            let noisy = Dp_mechanism.Laplace.release per_query ~value:v g in
+            if (noisy > threshold && v > threshold)
+               || (noisy <= threshold && v <= threshold)
+            then incr naive_correct)
+          queries
+      done;
+      let ft = float_of_int !total_answers in
+      Table.add_rowf table
+        [
+          float_of_int m;
+          float_of_int !svt_correct /. ft;
+          float_of_int !naive_correct /. ft;
+        ])
+    (if quick then [ 10; 100 ] else [ 10; 50; 200; 1000 ]);
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(SVT's accuracy is flat in m — its noise scale never grows — while@.\
+    \ the naive split degrades toward coin flipping.)@."

@@ -1,0 +1,65 @@
+(* E16 — exact conjugate Gibbs sampling for private regression
+   (the paper's §5 program, implemented): compare the truncated-
+   Gaussian Gibbs sampler (exact, no chain) against the MCMC Gibbs
+   learner on the clipped loss and against output perturbation.
+
+   The conjugate sampler is both faster and exactly eps-DP (the MCMC
+   realization is only asymptotically the Gibbs distribution; see
+   ablation A3). Test MSE across eps. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let theta_star = [| 0.6; -0.4; 0.3 |] in
+  let make n =
+    Dp_dataset.Dataset.map_labels
+      (Dp_math.Numeric.clamp ~lo:(-1.) ~hi:1.)
+      (Dp_dataset.Synthetic.linear_regression ~theta:theta_star ~noise_std:0.1
+         ~n g)
+  in
+  let train = make (if quick then 500 else 2000) in
+  let test = make 2000 in
+  let exact = Dp_learn.Ridge.fit ~lambda:0.05 train in
+  let mse theta = Dp_learn.Erm.mean_squared_error theta test in
+  let reps = if quick then 3 else 10 in
+  let radius = 1.5 in
+  let table =
+    Table.create
+      ~title:"E16: conjugate Gaussian Gibbs vs MCMC Gibbs vs output-pert (MSE)"
+      ~columns:
+        [ "eps"; "exact ridge"; "conjugate gibbs"; "mcmc gibbs"; "output-pert" ]
+  in
+  List.iter
+    (fun eps ->
+      let avg f = Dp_math.Summation.mean (Array.init reps (fun _ -> f ())) in
+      let conj =
+        avg (fun () ->
+            let theta, _ =
+              Dp_pac_bayes.Gaussian_gibbs.fit_private ~epsilon:eps ~radius
+                train g
+            in
+            mse theta)
+      in
+      let mcmc =
+        avg (fun () ->
+            mse
+              (Dp_learn.Ridge.fit_gibbs
+                 ~mcmc_config:
+                   {
+                     Dp_pac_bayes.Mcmc.step_std = 0.2;
+                     burn_in = (if quick then 1000 else 3000);
+                     thin = 2;
+                   }
+                 ~epsilon:eps ~radius train g))
+      in
+      let out =
+        avg (fun () ->
+            mse (Dp_learn.Ridge.fit_output_perturbed ~epsilon:eps ~lambda:0.05 train g))
+      in
+      Table.add_rowf table [ eps; mse exact; conj; mcmc; out ])
+    [ 0.1; 0.5; 1.; 2.; 10. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(conjugate and MCMC Gibbs agree — they target the same posterior —@.\
+    \ but the conjugate draw is exact and orders of magnitude cheaper;@.\
+    \ see the micro-benchmarks. Both beat output perturbation at small@.\
+    \ eps.)@."

@@ -1,0 +1,75 @@
+(* E17 — DP-SGD vs the paper-era mechanisms.
+
+   The modern private learner (per-example clipping + Gaussian noise +
+   RDP accounting) on the E8 logistic task. DP-SGD is (eps, delta)-DP
+   rather than pure eps-DP, so the comparison fixes delta = 1e-5 and
+   sweeps the noise multiplier; each row reports the accounted eps and
+   the accuracies of DP-SGD and the two pure-eps learners run at that
+   same eps. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let dim = 5 in
+  let theta_star = Array.init dim (fun i -> if i mod 2 = 0 then 2.5 else -2.5) in
+  let n = if quick then 500 else 2000 in
+  let make n =
+    Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+      (Dp_dataset.Synthetic.logistic_model ~theta:theta_star ~n g)
+  in
+  let train = make n and test = make 4000 in
+  let delta = 1e-5 in
+  let reps = if quick then 2 else 6 in
+  let epochs = if quick then 5 else 15 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E17: DP-SGD (delta=%g, %d epochs) vs pure-eps learners (n=%d)"
+           delta epochs n)
+      ~columns:
+        [ "sigma"; "eps(RDP)"; "dp-sgd"; "objective-pert"; "gibbs"; "non-private" ]
+  in
+  let lambda = 0.01 in
+  let np = Dp_learn.Erm.train ~lambda ~loss:Dp_learn.Loss_fn.logistic train in
+  let acc_np = Dp_learn.Erm.accuracy np.Dp_learn.Erm.theta test in
+  List.iter
+    (fun sigma ->
+      let eps = Dp_learn.Dp_sgd.epsilon_for ~noise_multiplier:sigma ~epochs ~delta in
+      let avg f = Dp_math.Summation.mean (Array.init reps (fun _ -> f ())) in
+      let acc_sgd =
+        avg (fun () ->
+            let r =
+              Dp_learn.Dp_sgd.train ~epochs ~noise_multiplier:sigma ~delta
+                ~loss:Dp_learn.Loss_fn.logistic train g
+            in
+            Dp_learn.Erm.accuracy r.Dp_learn.Dp_sgd.theta test)
+      in
+      let acc_obj =
+        avg (fun () ->
+            let m =
+              Dp_learn.Private_erm.objective_perturbation ~epsilon:eps ~lambda
+                ~loss:Dp_learn.Loss_fn.logistic train g
+            in
+            Dp_learn.Erm.accuracy m.Dp_learn.Private_erm.theta test)
+      in
+      let acc_gibbs =
+        avg (fun () ->
+            let m =
+              Dp_learn.Private_erm.gibbs
+                ~mcmc_config:
+                  {
+                    Dp_pac_bayes.Mcmc.step_std = 0.3;
+                    burn_in = (if quick then 1000 else 3000);
+                    thin = 2;
+                  }
+                ~epsilon:eps ~radius:3. ~loss:Dp_learn.Loss_fn.logistic train g
+            in
+            Dp_learn.Erm.accuracy m.Dp_learn.Private_erm.theta test)
+      in
+      Table.add_rowf table [ sigma; eps; acc_sgd; acc_obj; acc_gibbs; acc_np ])
+    [ 32.; 16.; 8.; 4.; 2. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(smaller noise multiplier => larger accounted eps => higher@.\
+    \ accuracy for all learners; DP-SGD is competitive at moderate eps@.\
+    \ despite paying delta > 0.)@."

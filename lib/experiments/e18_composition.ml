@@ -1,0 +1,60 @@
+(* E18 — composition accounting: basic vs advanced vs RDP.
+
+   k repetitions of a Gaussian mechanism (sigma = 4, sensitivity 1,
+   per-release (eps0, delta0) via the classical calibration) accounted
+   three ways at total delta = 1e-5. The expected ordering: basic is
+   linear in k, advanced ~ sqrt(k log(1/delta)), RDP tighter still.
+   A Laplace column shows RDP also helps pure-eps mechanisms once
+   composed into the (eps, delta) regime. *)
+
+let run ?(quick = false) ~seed fmt =
+  ignore quick;
+  ignore seed;
+  let delta_total = 1e-5 in
+  (* calibrate each Gaussian release to a SMALL per-step eps0 (advanced
+     composition only helps below eps0 ~ 1) *)
+  let delta0 = 1e-7 in
+  let eps0 = 0.1 in
+  let sigma = sqrt (2. *. log (1.25 /. delta0)) /. eps0 in
+  let gauss_curve = Dp_mechanism.Rdp.gaussian ~l2_sensitivity:1. ~std:sigma in
+  let lap_eps0 = 0.1 in
+  let lap_curve = Dp_mechanism.Rdp.laplace ~sensitivity:1. ~epsilon:lap_eps0 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E18: eps after k-fold composition (total delta=%g; gaussian \
+            sigma=%g, laplace eps0=%g)"
+           delta_total sigma lap_eps0)
+      ~columns:
+        [
+          "k"; "basic (gauss)"; "advanced (gauss)"; "RDP (gauss)";
+          "basic (lap)"; "RDP (lap)";
+        ]
+  in
+  List.iter
+    (fun k ->
+      let kf = float_of_int k in
+      let basic = kf *. eps0 in
+      let advanced =
+        (Dp_mechanism.Privacy.advanced_compose ~k ~delta_slack:(delta_total /. 2.)
+           (Dp_mechanism.Privacy.approx ~epsilon:eps0 ~delta:delta0))
+          .Dp_mechanism.Privacy.epsilon
+      in
+      let rdp =
+        (Dp_mechanism.Rdp.to_dp ~delta:delta_total
+           (Dp_mechanism.Rdp.scale k gauss_curve))
+          .Dp_mechanism.Privacy.epsilon
+      in
+      let basic_lap = kf *. lap_eps0 in
+      let rdp_lap =
+        (Dp_mechanism.Rdp.to_dp ~delta:delta_total
+           (Dp_mechanism.Rdp.scale k lap_curve))
+          .Dp_mechanism.Privacy.epsilon
+      in
+      Table.add_rowf table [ kf; basic; advanced; rdp; basic_lap; rdp_lap ])
+    [ 1; 10; 100; 1000; 10000 ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(basic grows linearly, advanced as sqrt(k), RDP tighter than both@.\
+    \ at every k — the reason modern accountants track Renyi curves.)@."

@@ -1,0 +1,106 @@
+(* E19 — the hypothesis-testing region of eps-DP (the two-party /
+   adversarial view; the paper's ref 10, McGregor et al.).
+
+   For randomized response and the finite Gibbs posterior, the
+   adversary's full likelihood-ratio ROC is computed (exactly from the
+   known output distributions, and empirically from samples) and
+   checked against the eps-DP tradeoff region
+   beta >= max(1 - e^eps alpha, e^{-eps}(1 - alpha)).
+   The minimum total error alpha + beta is compared with its
+   closed-form floor 2/(1+e^eps). *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let table =
+    Table.create ~title:"E19: eps-DP hypothesis-testing region"
+      ~columns:
+        [
+          "mechanism"; "eps"; "min err (exact)"; "floor 2/(1+e^eps)";
+          "min err (empirical)"; "violations";
+        ]
+  in
+  let trials = if quick then 20_000 else 100_000 in
+  (* randomized response *)
+  List.iter
+    (fun eps ->
+      let rr = Dp_mechanism.Randomized_response.create ~epsilon:eps in
+      let ch = Dp_mechanism.Randomized_response.channel_matrix rr in
+      let exact_roc = Dp_audit.Tradeoff.roc_of_distributions ~p:ch.(0) ~q:ch.(1) in
+      let exact_min =
+        List.fold_left
+          (fun acc pt -> Float.min acc (pt.Dp_audit.Tradeoff.fpr +. pt.Dp_audit.Tradeoff.fnr))
+          infinity exact_roc
+      in
+      (* the region boundary 1 - e^eps*alpha has slope e^eps, so the
+         per-rate sampling noise is amplified by (1 + e^eps) *)
+      let slack = (1. +. exp eps) *. 3. /. sqrt (float_of_int trials) in
+      let report =
+        Dp_audit.Tradeoff.audit ~slack ~trials ~outcomes:2 ~epsilon_theory:eps
+          ~run:(fun g' ->
+            if Dp_mechanism.Randomized_response.respond rr true g' then 1 else 0)
+          ~run':(fun g' ->
+            if Dp_mechanism.Randomized_response.respond rr false g' then 1
+            else 0)
+          g
+      in
+      Table.add_row table
+        [
+          "rand-response";
+          Table.fcell eps;
+          Table.fcell exact_min;
+          Table.fcell (2. /. (1. +. exp eps));
+          Table.fcell report.Dp_audit.Tradeoff.min_total_error;
+          string_of_int report.Dp_audit.Tradeoff.region_violations;
+        ])
+    [ 0.5; 1.; 2. ];
+  (* finite Gibbs posterior: exact distributions on neighbouring samples *)
+  let grid = Array.init 11 (fun i -> -1. +. (0.2 *. float_of_int i)) in
+  let loss theta (x, y) = if (if x >= theta then 1. else -1.) = y then 0. else 1. in
+  let n = 20 in
+  let sample =
+    Array.init n (fun i -> (float_of_int i /. 10. -. 1., if i mod 2 = 0 then 1. else -1.))
+  in
+  List.iter
+    (fun beta ->
+      let fit s =
+        Dp_pac_bayes.Gibbs.fit ~predictors:grid ~beta
+          ~empirical_risk:(Dp_pac_bayes.Risk.empirical ~loss s)
+          ()
+      in
+      let p = Dp_pac_bayes.Gibbs.probabilities (fit sample) in
+      let s' = Array.copy sample in
+      s'.(0) <- (0.99, -1.);
+      let q = Dp_pac_bayes.Gibbs.probabilities (fit s') in
+      let eps = 2. *. beta /. float_of_int n in
+      let roc = Dp_audit.Tradeoff.roc_of_distributions ~p ~q in
+      let exact_min =
+        List.fold_left
+          (fun acc pt -> Float.min acc (pt.Dp_audit.Tradeoff.fpr +. pt.Dp_audit.Tradeoff.fnr))
+          infinity roc
+      in
+      let violations =
+        List.length
+          (List.filter
+             (fun pt ->
+               pt.Dp_audit.Tradeoff.fnr
+               < Dp_audit.Tradeoff.region_floor ~epsilon:eps
+                   ~fpr:pt.Dp_audit.Tradeoff.fpr
+                 -. 1e-12)
+             roc)
+      in
+      Table.add_row table
+        [
+          "gibbs-posterior";
+          Table.fcell eps;
+          Table.fcell exact_min;
+          Table.fcell (2. /. (1. +. exp eps));
+          "-";
+          string_of_int violations;
+        ])
+    [ 2.; 10. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(zero region violations anywhere; for randomized response the@.\
+    \ min total error ACHIEVES the 2/(1+e^eps) floor — RR is the@.\
+    \ extremal eps-DP mechanism; the Gibbs posterior sits strictly@.\
+    \ inside its region, reflecting the worst-case 2-factor.)@."

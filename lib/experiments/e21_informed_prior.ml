@@ -1,0 +1,125 @@
+(* E21 — data-dependent (informed) priors and aggregation.
+
+   Two PAC-Bayes refinements on top of the paper's framework, both
+   exactly computable on the threshold-grid task:
+
+   (a) Informed prior: split the sample in half, build the prior as
+       the Gibbs posterior of the first half, learn on the second.
+       The KL term collapses, tightening the Catoni bound at the same
+       beta. Privacy: releasing a draw from the final posterior is the
+       composition of two Gibbs mechanisms (prior construction also
+       reads data), so the budget doubles — the table shows the
+       bound/privacy tradeoff explicitly.
+
+   (b) Aggregation: the majority vote over the posterior vs the
+       randomized Gibbs predictor and the factor-two bound
+       R(vote) <= 2 E R(gibbs). *)
+
+let grid = Array.init 41 (fun i -> -2. +. (0.1 *. float_of_int i))
+
+let zero_one theta (x, y) =
+  if (if x >= theta then 1. else -1.) = y then 0. else 1.
+
+let make_sample ~n g =
+  Array.init n (fun _ ->
+      let y = if Dp_rng.Prng.bool g then 1. else -1. in
+      (Dp_rng.Sampler.gaussian ~mean:(y *. 0.8) ~std:1. g, y))
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let trials = if quick then 20 else 150 in
+  let delta = 0.05 in
+  let table =
+    Table.create
+      ~title:"E21a: informed prior vs uniform prior (Catoni bound, delta=0.05)"
+      ~columns:
+        [
+          "n"; "beta"; "bound uniform"; "bound informed"; "KL uniform";
+          "KL informed"; "eps uniform"; "eps informed";
+        ]
+  in
+  List.iter
+    (fun (n, beta) ->
+      let acc = Array.make 4 0. in
+      for _ = 1 to trials do
+        let sample = make_sample ~n g in
+        let half = n / 2 in
+        let first = Array.sub sample 0 half in
+        let second = Array.sub sample half (n - half) in
+        (* uniform-prior Gibbs on the full sample *)
+        let t_uniform =
+          Dp_pac_bayes.Gibbs.fit ~predictors:grid ~beta
+            ~empirical_risk:(Dp_pac_bayes.Risk.empirical ~loss:zero_one sample)
+            ()
+        in
+        (* informed: prior = Gibbs posterior of the first half (at the
+           same beta), posterior learned on the second half only *)
+        let prior_t =
+          Dp_pac_bayes.Gibbs.fit ~predictors:grid ~beta
+            ~empirical_risk:(Dp_pac_bayes.Risk.empirical ~loss:zero_one first)
+            ()
+        in
+        let t_informed =
+          Dp_pac_bayes.Gibbs.fit ~predictors:grid
+            ~log_prior:(Dp_pac_bayes.Gibbs.log_probabilities prior_t)
+            ~beta
+            ~empirical_risk:(Dp_pac_bayes.Risk.empirical ~loss:zero_one second)
+            ()
+        in
+        let bound t n =
+          Dp_pac_bayes.Bounds.catoni ~beta ~n ~delta
+            ~emp_risk:(Dp_pac_bayes.Gibbs.expected_empirical_risk t)
+            ~kl:(Dp_pac_bayes.Gibbs.kl_from_prior t)
+        in
+        acc.(0) <- acc.(0) +. bound t_uniform n;
+        acc.(1) <- acc.(1) +. bound t_informed (n - half);
+        acc.(2) <- acc.(2) +. Dp_pac_bayes.Gibbs.kl_from_prior t_uniform;
+        acc.(3) <- acc.(3) +. Dp_pac_bayes.Gibbs.kl_from_prior t_informed
+      done;
+      let ft = float_of_int trials in
+      (* privacy of one released draw: uniform-prior Gibbs on n points
+         is 2 beta / n; the informed pipeline composes the (internal)
+         prior release with the final draw: 2 beta/(n/2) + 2 beta/(n/2) *)
+      let eps_uniform = 2. *. beta /. float_of_int n in
+      let eps_informed = 2. *. (2. *. beta /. float_of_int (n / 2)) in
+      Table.add_rowf table
+        [
+          float_of_int n; beta;
+          acc.(0) /. ft; acc.(1) /. ft; acc.(2) /. ft; acc.(3) /. ft;
+          eps_uniform; eps_informed;
+        ])
+    (if quick then [ (200, 20.) ] else [ (100, 10.); (200, 20.); (800, 80.) ]);
+  Table.print fmt table;
+  (* (b) aggregation *)
+  let agg =
+    Table.create
+      ~title:"E21b: majority vote vs randomized Gibbs predictor (test risk)"
+      ~columns:
+        [ "beta"; "gibbs risk"; "vote risk"; "2x bound"; "vote <= bound" ]
+  in
+  let train = make_sample ~n:150 g in
+  let test = make_sample ~n:(if quick then 2000 else 20000) g in
+  let predict i (x : float) = if x >= grid.(i) then 1. else -1. in
+  List.iter
+    (fun beta ->
+      let t =
+        Dp_pac_bayes.Gibbs.fit ~predictors:grid ~beta
+          ~empirical_risk:(Dp_pac_bayes.Risk.empirical ~loss:zero_one train)
+          ()
+      in
+      let rho = Dp_pac_bayes.Gibbs.probabilities t in
+      let gr = Dp_pac_bayes.Aggregate.gibbs_risk ~posterior:rho ~predict test in
+      let vr = Dp_pac_bayes.Aggregate.vote_risk ~posterior:rho ~predict test in
+      let bound = Dp_pac_bayes.Aggregate.factor_two_bound ~gibbs_risk:gr in
+      Table.add_row agg
+        [
+          Table.fcell beta; Table.fcell gr; Table.fcell vr; Table.fcell bound;
+          (if vr <= bound +. 1e-12 then "yes" else "NO");
+        ])
+    [ 1.; 5.; 25.; 125. ];
+  Table.print fmt agg;
+  Format.fprintf fmt
+    "(informed priors shrink the KL term and the bound, but releasing@.\
+    \ a draw then costs ~4x the privacy at the same beta — the paper's@.\
+    \ tradeoff again, now on the prior side. The vote is never worse@.\
+    \ than the factor-two bound and usually beats the Gibbs risk.)@."

@@ -1,0 +1,60 @@
+(* E22 — continual counting: the binary (tree) mechanism vs naive
+   re-release.
+
+   A 0/1 stream of length T, the running count released at every step
+   under total budget eps. Naive: re-release with Laplace(T/eps) each
+   step (budget split across T releases). Binary mechanism: O(log T)
+   noise per release. Mean absolute error over the stream. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let epsilon = 1. in
+  let reps = if quick then 3 else 20 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "E22: continual counting MAE over the stream (eps=%g)"
+           epsilon)
+      ~columns:
+        [
+          "T"; "binary MAE"; "naive MAE"; "ratio"; "predicted binary std";
+        ]
+  in
+  List.iter
+    (fun horizon ->
+      let mae_binary = ref 0. and mae_naive = ref 0. in
+      for _ = 1 to reps do
+        let bm = Dp_mechanism.Binary_mechanism.create ~epsilon ~horizon g in
+        let naive_scale = float_of_int horizon /. epsilon in
+        let true_count = ref 0 in
+        for _ = 1 to horizon do
+          let bit = if Dp_rng.Sampler.bernoulli ~p:0.3 g then 1 else 0 in
+          Dp_mechanism.Binary_mechanism.observe bm bit;
+          true_count := !true_count + bit;
+          mae_binary :=
+            !mae_binary
+            +. Float.abs
+                 (Dp_mechanism.Binary_mechanism.current_count bm
+                 -. float_of_int !true_count);
+          let naive =
+            float_of_int !true_count
+            +. Dp_rng.Sampler.laplace ~mean:0. ~scale:naive_scale g
+          in
+          mae_naive := !mae_naive +. Float.abs (naive -. float_of_int !true_count)
+        done
+      done;
+      let denom = float_of_int (reps * horizon) in
+      let mb = !mae_binary /. denom and mn = !mae_naive /. denom in
+      Table.add_rowf table
+        [
+          float_of_int horizon;
+          mb;
+          mn;
+          mn /. mb;
+          Dp_mechanism.Binary_mechanism.expected_noise_std ~epsilon ~horizon;
+        ])
+    (if quick then [ 64; 512 ] else [ 64; 512; 4096; 32768 ]);
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(binary-mechanism error grows polylogarithmically in T; the naive@.\
+    \ split grows linearly — the gap widens without bound.)@."

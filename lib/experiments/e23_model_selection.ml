@@ -1,0 +1,70 @@
+(* E23 — private hyperparameter selection (exponential mechanism on
+   validation accuracy).
+
+   Selecting the ridge-regularization strength lambda for logistic
+   regression by validation accuracy. Non-private argmax vs the
+   exponential mechanism at several eps: the private choice
+   concentrates on near-optimal lambdas as eps grows, and the utility
+   loss (accuracy of the selected model vs the best) shrinks. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let dim = 5 in
+  let theta_star = Array.init dim (fun i -> if i mod 2 = 0 then 2.5 else -2.5) in
+  let make n =
+    Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+      (Dp_dataset.Synthetic.logistic_model ~theta:theta_star ~n g)
+  in
+  let train = make 800 and validation = make 400 and test = make 4000 in
+  let lambdas = [| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |] in
+  (* precompute: model and accuracies per lambda *)
+  let models =
+    Array.map
+      (fun lambda ->
+        (Dp_learn.Erm.train ~lambda ~loss:Dp_learn.Loss_fn.logistic train)
+          .Dp_learn.Erm.theta)
+      lambdas
+  in
+  let val_scores = Array.map (fun th -> Dp_learn.Erm.accuracy th validation) models in
+  let test_scores = Array.map (fun th -> Dp_learn.Erm.accuracy th test) models in
+  let best = Dp_linalg.Vec.argmax val_scores in
+  let reps = if quick then 100 else 1000 in
+  let table =
+    Table.create
+      ~title:"E23: private lambda selection (exp mechanism on validation acc)"
+      ~columns:
+        [ "eps"; "P[pick best]"; "E[test acc]"; "best test acc"; "regret" ]
+  in
+  List.iter
+    (fun eps ->
+      let picks = Array.make (Array.length lambdas) 0 in
+      for _ = 1 to reps do
+        let s =
+          Dp_learn.Model_select.select ~epsilon:eps ~candidates:lambdas
+            ~score:(fun l ->
+              val_scores.(Option.get (Array.find_index (( = ) l) lambdas)))
+            ~score_sensitivity:(1. /. 400.)
+            g
+        in
+        picks.(s.Dp_learn.Model_select.index) <- picks.(s.Dp_learn.Model_select.index) + 1
+      done;
+      let fr = float_of_int reps in
+      let e_test =
+        Dp_math.Numeric.float_sum_range (Array.length lambdas) (fun i ->
+            float_of_int picks.(i) /. fr *. test_scores.(i))
+      in
+      Table.add_rowf table
+        [
+          eps;
+          float_of_int picks.(best) /. fr;
+          e_test;
+          test_scores.(best);
+          test_scores.(best) -. e_test;
+        ])
+    [ 0.01; 0.05; 0.2; 1.; 5. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(at eps = 0.01 the pick is ~uniform over 7 candidates; by eps = 1@.\
+    \ the mechanism almost always picks a near-optimal lambda and the@.\
+    \ regret vanishes — selection costs almost no utility once@.\
+    \ eps * m_validation is moderate.)@."

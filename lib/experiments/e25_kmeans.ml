@@ -1,0 +1,50 @@
+(* E25 — differentially-private k-means (DPLloyd).
+
+   Three well-separated Gaussian blobs in the unit ball; clustering
+   cost (inertia) of non-private Lloyd vs DPLloyd across eps, plus the
+   trivial single-center baseline as the "failure" reference. *)
+
+let make_blobs ~n g =
+  let centers = [| [| 0.6; 0. |]; [| -0.3; 0.5 |]; [| -0.3; -0.5 |] |] in
+  Array.init n (fun i ->
+      let c = centers.(i mod 3) in
+      Dp_linalg.Vec.project_l2_ball ~radius:1.
+        [|
+          c.(0) +. Dp_rng.Sampler.gaussian ~mean:0. ~std:0.08 g;
+          c.(1) +. Dp_rng.Sampler.gaussian ~mean:0. ~std:0.08 g;
+        |])
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let n = if quick then 2000 else 20_000 in
+  let points = make_blobs ~n g in
+  let np = Dp_learn.Kmeans.fit ~k:3 points g in
+  let single =
+    Dp_learn.Kmeans.inertia
+      ~centers:
+        [|
+          Array.init 2 (fun j ->
+              Dp_math.Summation.mean (Array.map (fun p -> p.(j)) points));
+        |]
+      points
+  in
+  let reps = if quick then 3 else 10 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "E25: DPLloyd clustering cost (3 blobs, n=%d)" n)
+      ~columns:[ "eps"; "dp inertia"; "lloyd inertia"; "1-center inertia" ]
+  in
+  List.iter
+    (fun eps ->
+      let dp =
+        Dp_math.Summation.mean
+          (Array.init reps (fun _ ->
+               let m, _ = Dp_learn.Kmeans.fit_private ~epsilon:eps ~k:3 points g in
+               m.Dp_learn.Kmeans.inertia))
+      in
+      Table.add_rowf table [ eps; dp; np.Dp_learn.Kmeans.inertia; single ])
+    [ 0.1; 0.5; 2.; 10. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(DPLloyd approaches the Lloyd cost as eps (or n) grows and stays@.\
+    \ well below the single-center collapse except at tiny eps*n.)@."

@@ -1,0 +1,60 @@
+(* E27 — private hypothesis testing: chi-square independence on a
+   noisy contingency table.
+
+   Two binary attributes with controllable dependence delta
+   (P(b = a) = 1/2 + delta). Releasing the 2x2 table with Laplace(2/eps)
+   noise is eps-DP; the test is then post-processing. Power (fraction
+   of rejections at alpha = 0.05) vs eps and delta; under the null
+   (delta = 0) the false positive rate must stay near alpha. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let n = 2000 in
+  let trials = if quick then 100 else 500 in
+  let alpha = 0.05 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E27: private chi-square independence test, rejection rate (n=%d, alpha=%g)"
+           n alpha)
+      ~columns:[ "delta"; "eps"; "private power"; "non-private power" ]
+  in
+  let gen delta =
+    Array.init n (fun _ ->
+        let a = if Dp_rng.Prng.bool g then 1 else 0 in
+        let b =
+          if Dp_rng.Sampler.bernoulli ~p:(0.5 +. delta) g then a else 1 - a
+        in
+        (a, b))
+  in
+  List.iter
+    (fun delta ->
+      List.iter
+        (fun eps ->
+          let reject_p = ref 0 and reject_np = ref 0 in
+          for _ = 1 to trials do
+            let t = Dp_stats.Contingency.of_pairs ~rows:2 ~cols:2 (gen delta) in
+            let r_np = Dp_stats.Contingency.chi_square_independence t in
+            if r_np.Dp_stats.Gof.p_value < alpha then incr reject_np;
+            let mech = Dp_mechanism.Laplace.create ~sensitivity:2. ~epsilon:eps in
+            let noisy =
+              Dp_stats.Contingency.map_counts
+                (fun c -> Dp_mechanism.Laplace.release mech ~value:c g)
+                t
+            in
+            match Dp_stats.Contingency.chi_square_independence noisy with
+            | r -> if r.Dp_stats.Gof.p_value < alpha then incr reject_p
+            | exception Invalid_argument _ -> ()
+          done;
+          let ft = float_of_int trials in
+          Table.add_rowf table
+            [ delta; eps; float_of_int !reject_p /. ft; float_of_int !reject_np /. ft ])
+        [ 0.2; 1.; 5. ])
+    [ 0.0; 0.05; 0.1 ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(CAVEAT at delta=0: naive chi-square on a noisy table inflates the@.\
+    \ false-positive rate at small eps because the noise itself looks@.\
+    \ like signal — the classic pitfall motivating noise-aware private@.\
+    \ tests. Power at delta>0 recovers as eps grows.)@."

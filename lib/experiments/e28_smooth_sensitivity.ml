@@ -1,0 +1,66 @@
+(* E28 — smooth sensitivity vs global sensitivity vs the exponential
+   mechanism for the private median.
+
+   Concentrated data in a wide domain [0, 1000]: the median's global
+   sensitivity is the whole domain, so global-sensitivity Laplace is
+   useless; the smooth-sensitivity Cauchy mechanism adapts to the
+   actual data; the exponential mechanism is rank-based. MAE of the
+   released median across eps. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let reps = if quick then 100 else 1000 in
+  let lo = 0. and hi = 1000. in
+  let table =
+    Table.create
+      ~title:"E28: private median on [0,1000], concentrated data, MAE"
+      ~columns:
+        [ "n"; "eps"; "smooth-sens"; "global-sens"; "exp-mech"; "S_beta" ]
+  in
+  List.iter
+    (fun n ->
+      (* data concentrated near 400-600 *)
+      let xs =
+        Array.init n (fun _ ->
+            Dp_math.Numeric.clamp ~lo ~hi
+              (500. +. Dp_rng.Sampler.gaussian ~mean:0. ~std:30. g))
+      in
+      let truth = Dp_stats.Describe.median xs in
+      List.iter
+        (fun eps ->
+          let mae f =
+            (* median absolute error is more informative than mean for
+               the heavy-tailed Cauchy noise *)
+            let errs = Array.init reps (fun _ -> Float.abs (f () -. truth)) in
+            Dp_stats.Describe.median errs
+          in
+          let smooth =
+            mae (fun () ->
+                Dp_mechanism.Smooth_sensitivity.private_median ~epsilon:eps ~lo
+                  ~hi xs g)
+          in
+          let global =
+            let m =
+              Dp_mechanism.Laplace.create ~sensitivity:(hi -. lo) ~epsilon:eps
+            in
+            mae (fun () ->
+                Dp_math.Numeric.clamp ~lo ~hi
+                  (Dp_mechanism.Laplace.release m ~value:truth g))
+          in
+          let em =
+            mae (fun () ->
+                Dp_learn.Quantile.estimate ~epsilon:eps ~q:0.5 ~lo ~hi xs g)
+          in
+          let s =
+            Dp_mechanism.Smooth_sensitivity.median_smooth_sensitivity
+              ~beta:(eps /. 6.) ~lo ~hi xs
+          in
+          Table.add_rowf table [ float_of_int n; eps; smooth; global; em; s ])
+        [ 0.2; 1.; 5. ])
+    (if quick then [ 101 ] else [ 101; 1001 ]);
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(global-sensitivity noise is ~domain/eps — useless; the smooth@.\
+    \ sensitivity S_beta is tiny because the data are concentrated, so@.\
+    \ its median error is orders of magnitude smaller; the exponential@.\
+    \ mechanism is comparably good and tail-free.)@."

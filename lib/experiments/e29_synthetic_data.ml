@@ -1,0 +1,54 @@
+(* E29 — synthetic data release: train on synthetic, test on real.
+
+   A classification dataset is released once as a noisy class-
+   conditional histogram model (eps-DP); a synthetic dataset sampled
+   from it trains a logistic model evaluated on real held-out data.
+   Expected: synthetic-trained accuracy approaches real-trained
+   accuracy as eps grows, with a gap from the product-form model bias
+   that persists even at eps = inf (the histogram model ignores
+   feature correlations). *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let n = if quick then 2000 else 10_000 in
+  let make n =
+    Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+      (Dp_dataset.Synthetic.two_gaussians ~separation:2.5 ~std:1. ~dim:3 ~n g)
+  in
+  let train = make n and test = make 4000 in
+  let real_model =
+    Dp_learn.Erm.train ~lambda:1e-3 ~loss:Dp_learn.Loss_fn.logistic train
+  in
+  let acc_real = Dp_learn.Erm.accuracy real_model.Dp_learn.Erm.theta test in
+  let reps = if quick then 2 else 5 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E29: train-on-synthetic test-on-real accuracy (n=%d real records)" n)
+      ~columns:
+        [ "eps"; "synthetic acc"; "real acc"; "class balance (noisy)" ]
+  in
+  List.iter
+    (fun eps ->
+      let accs = ref 0. and bal = ref 0. in
+      for _ = 1 to reps do
+        let model, _ =
+          Dp_learn.Synthetic_release.fit ~epsilon:eps ~bins:12 ~lo:(-1.) ~hi:1.
+            train g
+        in
+        let synth = Dp_learn.Synthetic_release.sample_dataset model ~n g in
+        let m =
+          Dp_learn.Erm.train ~lambda:1e-3 ~loss:Dp_learn.Loss_fn.logistic synth
+        in
+        accs := !accs +. Dp_learn.Erm.accuracy m.Dp_learn.Erm.theta test;
+        bal := !bal +. Dp_learn.Synthetic_release.class_balance model
+      done;
+      let fr = float_of_int reps in
+      Table.add_rowf table [ eps; !accs /. fr; acc_real; !bal /. fr ])
+    [ 0.05; 0.2; 1.; 5.; 50. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(synthetic-trained accuracy climbs toward the real-trained one as@.\
+    \ eps grows; the residual gap at large eps is the product-model@.\
+    \ bias, not privacy noise.)@."

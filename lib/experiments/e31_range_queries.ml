@@ -1,0 +1,69 @@
+(* E31 — private range queries: flat vs hierarchical (Hay et al.).
+
+   Zipf counts over a domain of m buckets; random ranges of several
+   lengths answered under one eps budget. RMSE vs range length: flat
+   error grows as sqrt(len); hierarchical stays polylog(m), winning for
+   long ranges, losing slightly for singletons (it pays the log-factor
+   budget split). *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let m = 1024 in
+  let epsilon = 1. in
+  let counts = Dp_dataset.Synthetic.zipf_counts ~s:1.1 ~support:m ~n:100_000 g in
+  let reps = if quick then 5 else 30 in
+  let queries_per_len = if quick then 20 else 100 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E31: range queries over m=%d buckets (eps=%g), RMSE by range length"
+           m epsilon)
+      ~columns:
+        [ "range len"; "flat RMSE"; "hier RMSE"; "flat analytic"; "winner" ]
+  in
+  let lens = [ 1; 16; 128; 1024 ] in
+  let errs_flat = Array.make (List.length lens) 0. in
+  let errs_hier = Array.make (List.length lens) 0. in
+  for _ = 1 to reps do
+    let flat = Dp_mechanism.Range_queries.flat_release ~epsilon counts g in
+    let hier = Dp_mechanism.Range_queries.hierarchical_release ~epsilon counts g in
+    List.iteri
+      (fun li len ->
+        for _ = 1 to queries_per_len do
+          let lo = Dp_rng.Prng.int g (m - len + 1) in
+          let hi = lo + len - 1 in
+          let truth = float_of_int (Dp_mechanism.Range_queries.true_range counts ~lo ~hi) in
+          errs_flat.(li) <-
+            errs_flat.(li)
+            +. Dp_math.Numeric.sq
+                 (Dp_mechanism.Range_queries.range_query flat ~lo ~hi -. truth);
+          errs_hier.(li) <-
+            errs_hier.(li)
+            +. Dp_math.Numeric.sq
+                 (Dp_mechanism.Range_queries.range_query hier ~lo ~hi -. truth)
+        done)
+      lens
+  done;
+  List.iteri
+    (fun li len ->
+      let denom = float_of_int (reps * queries_per_len) in
+      let f = sqrt (errs_flat.(li) /. denom) in
+      let h = sqrt (errs_hier.(li) /. denom) in
+      Table.add_row table
+        [
+          string_of_int len;
+          Table.fcell f;
+          Table.fcell h;
+          Table.fcell
+            (Dp_mechanism.Range_queries.expected_flat_std ~epsilon
+               ~range_len:len);
+          (if f < h then "flat" else "hier");
+        ])
+    lens;
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(flat error grows as sqrt(len) — exactly its analytic curve; the@.\
+    \ hierarchy pays a log(m) budget split but answers any range from@.\
+    \ O(log m) nodes, so it wins for long ranges; the crossover moves@.\
+    \ earlier as the domain grows.)@."

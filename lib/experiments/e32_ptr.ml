@@ -1,0 +1,77 @@
+(* E32 — propose-test-release vs smooth sensitivity for the private
+   median.
+
+   Same concentrated-data setting as E28. PTR pays a delta and
+   sometimes refuses, but its noise is Laplace at the LOCAL
+   sensitivity — light tails; smooth sensitivity never refuses but
+   pays Cauchy tails. Median absolute error (released runs only) and
+   refusal rate across eps. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let reps = if quick then 200 else 1000 in
+  let lo = 0. and hi = 1000. in
+  let delta = 1e-6 in
+  let n = 201 in
+  let xs =
+    Array.init n (fun _ ->
+        Dp_math.Numeric.clamp ~lo ~hi
+          (500. +. Dp_rng.Sampler.gaussian ~mean:0. ~std:30. g))
+  in
+  let truth = Dp_stats.Describe.median xs in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E32: PTR vs smooth sensitivity, private median (n=%d, delta=%g)" n
+           delta)
+      ~columns:
+        [ "eps"; "PTR med err"; "PTR refusals"; "smooth med err"; "exp-mech" ]
+  in
+  List.iter
+    (fun eps ->
+      let ptr_errs = ref [] and refusals = ref 0 in
+      for _ = 1 to reps do
+        match
+          Dp_mechanism.Propose_test_release.private_median ~epsilon:eps ~delta
+            ~lo ~hi xs g
+        with
+        | Dp_mechanism.Propose_test_release.Released v ->
+            ptr_errs := Float.abs (v -. truth) :: !ptr_errs
+        | Dp_mechanism.Propose_test_release.Refused -> incr refusals
+      done;
+      let med l =
+        match l with
+        | [] -> nan
+        | l -> Dp_stats.Describe.median (Array.of_list l)
+      in
+      let smooth_err =
+        Dp_stats.Describe.median
+          (Array.init reps (fun _ ->
+               Float.abs
+                 (Dp_mechanism.Smooth_sensitivity.private_median ~epsilon:eps
+                    ~lo ~hi xs g
+                 -. truth)))
+      in
+      let em_err =
+        Dp_stats.Describe.median
+          (Array.init reps (fun _ ->
+               Float.abs
+                 (Dp_learn.Quantile.estimate ~epsilon:eps ~q:0.5 ~lo ~hi xs g
+                 -. truth)))
+      in
+      Table.add_rowf table
+        [
+          eps;
+          med !ptr_errs;
+          float_of_int !refusals /. float_of_int reps;
+          smooth_err;
+          em_err;
+        ])
+    [ 0.2; 1.; 5. ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(PTR's Laplace-at-local-sensitivity noise beats the smooth-@.\
+    \ sensitivity Cauchy noise on concentrated data once the stability@.\
+    \ test passes reliably; its price is the delta and the refusals at@.\
+    \ small eps.)@."

@@ -1,0 +1,62 @@
+(* E33 — noise-aware confidence intervals for private means.
+
+   Coverage study: data uniform on [0,1], the private mean released at
+   several (eps, n), and two 95% intervals built around it — the naive
+   one (pretends the release is the sample mean) and the noise-aware
+   one (adds the exact Laplace quantile and a privately estimated
+   variance). Coverage of the TRUE population mean over many runs:
+   naive collapses at small eps*n; noise-aware stays >= 0.95 at the
+   price of width. *)
+
+let run ?(quick = false) ~seed fmt =
+  let g = Dp_rng.Prng.create seed in
+  let trials = if quick then 200 else 1000 in
+  let confidence = 0.95 in
+  let true_mean = 0.5 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "E33: 95%% CI coverage for the private mean (%d runs)"
+           trials)
+      ~columns:
+        [
+          "n"; "eps"; "aware cover"; "aware width"; "naive cover";
+          "naive width";
+        ]
+  in
+  List.iter
+    (fun (n, eps) ->
+      let aware_cover = ref 0 and naive_cover = ref 0 in
+      let aware_width = ref 0. and naive_width = ref 0. in
+      for _ = 1 to trials do
+        let xs = Array.init n (fun _ -> Dp_rng.Prng.float g) in
+        let iv =
+          Dp_learn.Confidence.private_mean_ci ~epsilon:eps ~confidence ~lo:0.
+            ~hi:1. xs g
+        in
+        if iv.Dp_learn.Confidence.lo <= true_mean && true_mean <= iv.Dp_learn.Confidence.hi
+        then incr aware_cover;
+        aware_width := !aware_width +. (iv.Dp_learn.Confidence.hi -. iv.Dp_learn.Confidence.lo);
+        let nv =
+          Dp_learn.Confidence.naive_ci ~confidence ~lo:0. ~hi:1.
+            ~release:iv.Dp_learn.Confidence.estimate ~n xs
+        in
+        if nv.Dp_learn.Confidence.lo <= true_mean && true_mean <= nv.Dp_learn.Confidence.hi
+        then incr naive_cover;
+        naive_width := !naive_width +. (nv.Dp_learn.Confidence.hi -. nv.Dp_learn.Confidence.lo)
+      done;
+      let ft = float_of_int trials in
+      Table.add_rowf table
+        [
+          float_of_int n; eps;
+          float_of_int !aware_cover /. ft;
+          !aware_width /. ft;
+          float_of_int !naive_cover /. ft;
+          !naive_width /. ft;
+        ])
+    [ (100, 0.2); (100, 1.); (1000, 0.2); (1000, 1.); (10000, 1.) ];
+  Table.print fmt table;
+  Format.fprintf fmt
+    "(the naive interval, blind to the mechanism, under-covers badly@.\
+    \ when the noise dominates (small eps*n); the noise-aware interval@.\
+    \ keeps >= 95%% coverage everywhere by paying width.)@."

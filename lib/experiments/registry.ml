@@ -1,0 +1,243 @@
+type entry = {
+  id : string;
+  title : string;
+  claim : string;
+  run : ?quick:bool -> seed:int -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    {
+      id = "E1";
+      title = "Laplace mechanism privacy audit";
+      claim = "Thm 2.2 (Dwork et al.): Lap(df/eps) noise gives eps-DP";
+      run = E01_laplace_audit.run;
+    };
+    {
+      id = "E2";
+      title = "Exponential mechanism: exact privacy & utility";
+      claim = "Thm 2.3 (McSherry-Talwar): 2*eps*dq differential privacy";
+      run = E02_exponential_audit.run;
+    };
+    {
+      id = "E3";
+      title = "Gibbs posterior minimizes the PAC-Bayes objective";
+      claim = "Lemma 3.2 (Catoni/Zhang)";
+      run = E03_gibbs_minimality.run;
+    };
+    {
+      id = "E4";
+      title = "PAC-Bayes bound validity & tightness";
+      claim = "Thm 3.1 (Catoni): coverage >= 1 - delta";
+      run = E04_bound_validity.run;
+    };
+    {
+      id = "E5";
+      title = "Gibbs posterior differential privacy";
+      claim = "Thm 4.1: the Gibbs estimator is 2*beta*dR-DP";
+      run = E05_gibbs_privacy.run;
+    };
+    {
+      id = "E6";
+      title = "Risk-information tradeoff on the exact channel";
+      claim = "Thm 4.2 / Sec 4: Gibbs minimizes E[risk] + I/beta";
+      run = E06_channel_tradeoff.run;
+    };
+    {
+      id = "E7";
+      title = "Information bounds on eps-DP channels";
+      claim = "C8 (Alvim et al. comparison)";
+      run = E07_leakage_bounds.run;
+    };
+    {
+      id = "E8";
+      title = "Private logistic regression";
+      claim = "Sec 1 motivation; Chaudhuri et al. baselines";
+      run = E08_private_logistic.run;
+    };
+    {
+      id = "E9";
+      title = "Private mean & histogram density utility";
+      claim = "Thm 2.2 application; Sec 5 density estimation";
+      run = E09_mean_density.run;
+    };
+    {
+      id = "E10";
+      title = "Private ridge regression";
+      claim = "Sec 5: private regression via PAC-Bayes";
+      run = E10_private_ridge.run;
+    };
+    {
+      id = "E11";
+      title = "Alternating minimization of E[risk] + I/beta";
+      claim = "Sec 4 (Catoni's pi_OPT identity)";
+      run = E11_rate_risk.run;
+    };
+    {
+      id = "E12";
+      title = "Figure 1: the information channel, printed";
+      claim = "Fig. 1";
+      run = E12_figure1.run;
+    };
+    {
+      id = "E13";
+      title = "Privacy amplification by subsampling";
+      claim = "extension: subsampled mechanisms audit below the base eps";
+      run = E13_subsampling.run;
+    };
+    {
+      id = "E14";
+      title = "Sparse vector technique vs per-query Laplace";
+      claim = "extension: budget independent of the query count";
+      run = E14_sparse_vector.run;
+    };
+    {
+      id = "E15";
+      title = "Fano floor vs Gibbs identification error";
+      claim = "Sec 5: MI bounds imply utility limits for DP learning";
+      run = E15_fano_floor.run;
+    };
+    {
+      id = "E16";
+      title = "Conjugate Gaussian Gibbs regression";
+      claim = "Sec 5: private regression via PAC-Bayes, exact sampler";
+      run = E16_conjugate_regression.run;
+    };
+    {
+      id = "E17";
+      title = "DP-SGD vs paper-era private learners";
+      claim = "extension: modern comparator with RDP accounting";
+      run = E17_dp_sgd.run;
+    };
+    {
+      id = "E18";
+      title = "Composition accounting: basic vs advanced vs RDP";
+      claim = "extension: tighter accounting for composed mechanisms";
+      run = E18_composition.run;
+    };
+    {
+      id = "E19";
+      title = "Hypothesis-testing region of eps-DP";
+      claim = "ref 10 (McGregor et al.): the adversarial view";
+      run = E19_tradeoff_region.run;
+    };
+    {
+      id = "E20";
+      title = "Private quantiles via the exponential mechanism";
+      claim = "Thm 2.3 application on a continuous range";
+      run = E20_quantile.run;
+    };
+    {
+      id = "E21";
+      title = "Informed priors & aggregation";
+      claim = "PAC-Bayes refinements: prior learning and majority vote";
+      run = E21_informed_prior.run;
+    };
+    {
+      id = "E22";
+      title = "Continual counting: binary mechanism";
+      claim = "extension: polylog-error streaming counts";
+      run = E22_continual_counting.run;
+    };
+    {
+      id = "E23";
+      title = "Private model selection";
+      claim = "Thm 2.3 application: hyperparameter choice";
+      run = E23_model_selection.run;
+    };
+    {
+      id = "E24";
+      title = "Local DP frequency estimation";
+      claim = "extension: the no-curator model (GRR vs unary encoding)";
+      run = E24_local_dp.run;
+    };
+    {
+      id = "E25";
+      title = "Private k-means (DPLloyd)";
+      claim = "extension: unsupervised private learning";
+      run = E25_kmeans.run;
+    };
+    {
+      id = "E26";
+      title = "Private PCA (covariance perturbation)";
+      claim = "extension: private spectral learning";
+      run = E26_pca.run;
+    };
+    {
+      id = "E27";
+      title = "Private chi-square independence testing";
+      claim = "extension: hypothesis testing on noisy tables";
+      run = E27_private_testing.run;
+    };
+    {
+      id = "E28";
+      title = "Smooth sensitivity: private median";
+      claim = "extension: beyond global sensitivity (NRS 2007)";
+      run = E28_smooth_sensitivity.run;
+    };
+    {
+      id = "E29";
+      title = "Synthetic data release";
+      claim = "extension: train-on-synthetic, test-on-real";
+      run = E29_synthetic_data.run;
+    };
+    {
+      id = "E30";
+      title = "Post-processing invariance on the channel";
+      claim = "DPI and DP post-processing, in Fig. 1 language";
+      run = E30_postprocessing.run;
+    };
+    {
+      id = "E31";
+      title = "Private range queries: flat vs hierarchical";
+      claim = "extension: workload-aware noise (Hay et al.)";
+      run = E31_range_queries.run;
+    };
+    {
+      id = "E32";
+      title = "Propose-test-release vs smooth sensitivity";
+      claim = "extension: local-sensitivity release (Dwork-Lei)";
+      run = E32_ptr.run;
+    };
+    {
+      id = "E33";
+      title = "Noise-aware confidence intervals";
+      claim = "extension: valid inference on private releases";
+      run = E33_confidence.run;
+    };
+    {
+      id = "E34";
+      title = "Selection: EM vs permute-and-flip vs noisy-max";
+      claim = "Thm 2.3 and its modern successor (McKenna-Sheldon)";
+      run = E34_selection.run;
+    };
+    {
+      id = "A2";
+      title = "Log-space vs direct-space Gibbs weights";
+      claim = "ablation (numerical stability)";
+      run = Ablations.run_a2;
+    };
+    {
+      id = "A3";
+      title = "MCMC chain length vs exact-posterior TV";
+      claim = "ablation (mechanism approximation)";
+      run = Ablations.run_a3;
+    };
+    {
+      id = "A4";
+      title = "Catoni deformation vs linearized bound";
+      claim = "ablation (bound form)";
+      run = Ablations.run_a4;
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = id) all
+
+let run_all ?quick ~seed fmt =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "@.### [%s] %s — %s@." e.id e.title e.claim;
+      e.run ?quick ~seed fmt)
+    all

@@ -1,0 +1,17 @@
+(** Registry of all experiments and ablations, keyed by the ids used in
+    DESIGN.md and EXPERIMENTS.md. *)
+
+type entry = {
+  id : string;
+  title : string;
+  claim : string;  (** the paper claim the experiment instantiates *)
+  run : ?quick:bool -> seed:int -> Format.formatter -> unit;
+}
+
+val all : entry list
+(** In id order: E1..E34, A2..A4. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val run_all : ?quick:bool -> seed:int -> Format.formatter -> unit

@@ -1,0 +1,70 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable body : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; body = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): expected %d cells, got %d" t.title
+         (List.length t.columns) (List.length row));
+  t.body <- row :: t.body
+
+let fcell x =
+  if Float.is_integer x && Float.abs x < 1e9 then
+    Printf.sprintf "%g" x
+  else Printf.sprintf "%.4g" x
+
+let add_rowf t row = add_row t (List.map fcell row)
+
+let rows t = List.rev t.body
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' -> c
+      | _ -> '_')
+    (String.lowercase_ascii title)
+
+let save_csv t ~dir =
+  let path = Filename.concat dir (slug t.title ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let cell s =
+        if String.contains s ',' then "\"" ^ s ^ "\"" else s
+      in
+      let line row = String.concat "," (List.map cell row) ^ "\n" in
+      output_string oc (line t.columns);
+      List.iter (fun r -> output_string oc (line r)) (rows t))
+
+let export_dir = ref None
+
+let set_export_dir d = export_dir := d
+
+let print fmt t =
+  (match !export_dir with Some dir -> save_csv t ~dir | None -> ());
+  let all = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let line ch =
+    String.concat "-+-"
+      (Array.to_list (Array.map (fun w -> String.make w ch) widths))
+  in
+  Format.fprintf fmt "@.== %s ==@." t.title;
+  Format.fprintf fmt "%s@."
+    (String.concat " | " (List.mapi pad t.columns));
+  Format.fprintf fmt "%s@." (line '-');
+  List.iter
+    (fun r -> Format.fprintf fmt "%s@." (String.concat " | " (List.mapi pad r)))
+    (rows t)

@@ -1,0 +1,29 @@
+(** Fixed-width table rendering for experiment output, in the style of
+    a paper's results tables. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on a column-count mismatch. *)
+
+val add_rowf : t -> float list -> unit
+(** Convenience: formats each float with [%.4g]. *)
+
+val print : Format.formatter -> t -> unit
+
+val fcell : float -> string
+(** [%.4g] formatting used by [add_rowf]. *)
+
+val rows : t -> string list list
+
+val save_csv : t -> dir:string -> unit
+(** Write the table as [<dir>/<slugified-title>.csv] (header +
+    rows, comma-separated; cells containing commas are quoted). The
+    directory must exist. *)
+
+val set_export_dir : string option -> unit
+(** When set, every {!print} also {!save_csv}s into the directory —
+    the hook behind dpkit's [--csv] flag. *)
+

@@ -1,0 +1,52 @@
+open Dp_math
+
+type capacity_result = {
+  capacity : float;
+  input : float array;
+  iterations : int;
+}
+
+let capacity ?(tol = 1e-10) ?(max_iter = 10_000) ~channel () =
+  let n = Array.length channel in
+  if n = 0 then invalid_arg "Blahut_arimoto.capacity: empty channel";
+  let m = Array.length channel.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then
+        invalid_arg "Blahut_arimoto.capacity: ragged channel";
+      ignore (Entropy.validate "Blahut_arimoto.capacity row" row))
+    channel;
+  let p = Array.make n (1. /. float_of_int n) in
+  let iterations = ref 0 in
+  let cap = ref 0. in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    (* Output marginal under the current input. *)
+    let q =
+      Array.init m (fun j ->
+          Numeric.float_sum_range n (fun i -> p.(i) *. channel.(i).(j)))
+    in
+    (* D_i = KL(channel_i ‖ q) *)
+    let d =
+      Array.init n (fun i ->
+          Numeric.float_sum_range m (fun j ->
+              let c = channel.(i).(j) in
+              if c > 0. then c *. log (c /. q.(j)) else 0.))
+    in
+    (* Capacity bounds: max_i D_i is an upper bound, log Σ p e^D a lower
+       bound; the gap drives convergence. *)
+    let lw = Array.mapi (fun i di -> log (Float.max p.(i) 1e-300) +. di) d in
+    let log_z = Logspace.log_sum_exp lw in
+    let upper = Array.fold_left Float.max neg_infinity d in
+    if upper -. log_z < tol then begin
+      converged := true;
+      cap := log_z
+    end
+    else begin
+      let p' = Logspace.normalize_log_weights lw in
+      Array.blit p' 0 p 0 n;
+      cap := log_z
+    end
+  done;
+  { capacity = Float.max 0. !cap; input = p; iterations = !iterations }

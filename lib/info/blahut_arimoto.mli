@@ -1,0 +1,19 @@
+(** Blahut–Arimoto algorithms.
+
+    Two uses here: channel capacity (the largest information the
+    Fig. 1 channel could carry over any input distribution), and the
+    risk–information problem of Theorem 4.2, solved in
+    {!Rate_risk}. *)
+
+type capacity_result = {
+  capacity : float;  (** nats *)
+  input : float array;  (** capacity-achieving input distribution *)
+  iterations : int;
+}
+
+val capacity :
+  ?tol:float -> ?max_iter:int -> channel:float array array -> unit -> capacity_result
+(** Standard Blahut–Arimoto iteration; converges for any channel with
+    no all-zero column reachability issues. [tol] (default 1e-10) is
+    the capacity-increment stopping threshold.
+    @raise Invalid_argument on an empty or ragged channel. *)

@@ -1,0 +1,100 @@
+open Dp_math
+
+type t = { input : float array; matrix : float array array }
+
+let create ~input ~matrix =
+  let input = Entropy.validate "Channel.create input" input in
+  let n = Array.length input in
+  if Array.length matrix <> n then
+    invalid_arg "Channel.create: matrix height does not match input size";
+  if n = 0 then invalid_arg "Channel.create: empty channel";
+  let cols = Array.length matrix.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then invalid_arg "Channel.create: ragged matrix";
+      ignore (Entropy.validate "Channel.create row" row))
+    matrix;
+  { input; matrix }
+
+let of_rows ~input ~rows = create ~input ~matrix:rows
+
+let n_inputs t = Array.length t.input
+let n_outputs t = Array.length t.matrix.(0)
+
+let row t i = Array.copy t.matrix.(i)
+
+let output_marginal t =
+  let cols = n_outputs t in
+  Array.init cols (fun j ->
+      Numeric.float_sum_range (n_inputs t) (fun i ->
+          t.input.(i) *. t.matrix.(i).(j)))
+
+let mutual_information t =
+  Entropy.mutual_information_channel ~input:t.input ~channel:t.matrix
+
+let joint t =
+  Array.mapi (fun i r -> Array.map (fun c -> t.input.(i) *. c) r) t.matrix
+
+let expected_kl_to t ~prior =
+  Numeric.float_sum_range (n_inputs t) (fun i ->
+      if t.input.(i) = 0. then 0.
+      else t.input.(i) *. Entropy.kl_divergence t.matrix.(i) prior)
+
+let kl_decomposition t ~prior =
+  let marginal = output_marginal t in
+  (mutual_information t, Entropy.kl_divergence marginal prior)
+
+let dp_epsilon t ~neighbors =
+  let worst = ref 0. in
+  for i = 0 to n_inputs t - 1 do
+    Array.iter
+      (fun j ->
+        let d1 = Entropy.max_divergence t.matrix.(i) t.matrix.(j) in
+        let d2 = Entropy.max_divergence t.matrix.(j) t.matrix.(i) in
+        worst := Float.max !worst (Float.max d1 d2))
+      (neighbors i)
+  done;
+  !worst
+
+let expected_risk t ~risk =
+  Numeric.float_sum_range (n_inputs t) (fun i ->
+      t.input.(i)
+      *. Numeric.float_sum_range (n_outputs t) (fun j ->
+             t.matrix.(i).(j) *. risk i j))
+
+let objective t ~risk ~beta =
+  let beta = Numeric.check_pos "Channel.objective beta" beta in
+  expected_risk t ~risk +. (mutual_information t /. beta)
+
+let objective_kl t ~risk ~beta ~prior =
+  let beta = Numeric.check_pos "Channel.objective_kl beta" beta in
+  expected_risk t ~risk +. (expected_kl_to t ~prior /. beta)
+
+let perturb t ~magnitude g =
+  let magnitude = Numeric.check_nonneg "Channel.perturb magnitude" magnitude in
+  let matrix =
+    Array.map
+      (fun r ->
+        let noisy =
+          Array.map
+            (fun p ->
+              Float.max 1e-12
+                (p *. exp (Dp_rng.Sampler.gaussian ~mean:0. ~std:magnitude g)))
+            r
+        in
+        let z = Summation.sum noisy in
+        Array.map (fun p -> p /. z) noisy)
+      t.matrix
+  in
+  create ~input:t.input ~matrix
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>channel: %d inputs -> %d outputs@," (n_inputs t)
+    (n_outputs t);
+  Array.iteri
+    (fun i r ->
+      Format.fprintf fmt "p=%0.4f | " t.input.(i);
+      Array.iter (fun c -> Format.fprintf fmt "%8.5f " c) r;
+      Format.fprintf fmt "@,")
+    t.matrix;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,70 @@
+(** The information channel of the paper's Figure 1.
+
+    A channel has a finite input alphabet (samples Ẑ), a finite output
+    alphabet (predictors θ), an input distribution, and a stochastic
+    matrix [P(θ | Ẑ)]. Differentially-private learning, in the paper's
+    view (§4.1), is the design of this channel: each row is the
+    posterior [π̂_Ẑ], and the ε-DP property is a bound on the max
+    divergence between rows at neighbouring inputs. *)
+
+type t = private { input : float array; matrix : float array array }
+
+val create : input:float array -> matrix:float array array -> t
+(** @raise Invalid_argument when the input is not a distribution, the
+    matrix is ragged / wrong height, or some row is not a
+    distribution. *)
+
+val of_rows : input:float array -> rows:float array array -> t
+(** Synonym of {!create} emphasising rows-as-posteriors. *)
+
+val n_inputs : t -> int
+val n_outputs : t -> int
+
+val row : t -> int -> float array
+(** The posterior [π̂_Ẑ] for input [Ẑ]. *)
+
+val output_marginal : t -> float array
+(** [E_Ẑ π̂_Ẑ] — the paper's optimal prior [π_OPT] (§4). *)
+
+val mutual_information : t -> float
+(** [I(Ẑ; θ)] in nats. *)
+
+val joint : t -> float array array
+
+val expected_kl_to : t -> prior:float array -> float
+(** [E_Ẑ KL(π̂_Ẑ ‖ π)] for an arbitrary prior π. *)
+
+val kl_decomposition : t -> prior:float array -> float * float
+(** Catoni's identity (paper §4):
+    [E_Ẑ KL(π̂‖π) = I(Ẑ;θ) + KL(E_Ẑ π̂ ‖ π)]. Returns the pair
+    [(I, KL(marginal‖π))]; their sum equals {!expected_kl_to}
+    (verified by tests and experiment E6). *)
+
+val dp_epsilon : t -> neighbors:(int -> int array) -> float
+(** Exact privacy level of the channel: the max over all declared
+    neighbour pairs of the two-sided max divergence between rows.
+    [neighbors i] lists the inputs adjacent to [i]. *)
+
+val expected_risk : t -> risk:(int -> int -> float) -> float
+(** [E_Ẑ E_{θ∼π̂_Ẑ} risk(Ẑ, θ)] — the channel's expected empirical
+    risk when [risk z th] is [R̂_Ẑ(θ)]. *)
+
+val objective : t -> risk:(int -> int -> float) -> beta:float -> float
+(** The paper's regularized objective (Theorem 4.2):
+    [E R̂ + I(Ẑ;θ)/β]. Minimized by the Gibbs channel under the
+    OPTIMAL prior [π = E_Ẑ π̂] (the paper's §4 assumption; computed by
+    [Rate_risk.solve]). *)
+
+val objective_kl : t -> risk:(int -> int -> float) -> beta:float -> prior:float array -> float
+(** The prior-explicit PAC-Bayes objective
+    [E R̂ + E_Ẑ KL(π̂_Ẑ‖π)/β]. For ANY fixed prior this decomposes
+    per row, so the Gibbs channel built from that prior minimizes it
+    (Lemma 3.2 row by row); it upper-bounds {!objective} by Catoni's
+    identity, with equality at the optimal prior. *)
+
+val perturb : t -> magnitude:float -> Dp_rng.Prng.t -> t
+(** A nearby channel: each row receives a random perturbation of the
+    given magnitude and is renormalized. Used to verify minimality of
+    the Gibbs channel. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Dp_math
+
+let cascade ch ~post =
+  let m = Channel.n_outputs ch in
+  if Array.length post <> m then
+    invalid_arg "Channel_ops.cascade: post-processing height mismatch";
+  let m' = Array.length post.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> m' then invalid_arg "Channel_ops.cascade: ragged post";
+      ignore (Entropy.validate "Channel_ops.cascade post row" row))
+    post;
+  let matrix =
+    Array.init (Channel.n_inputs ch) (fun i ->
+        let row = Channel.row ch i in
+        Array.init m' (fun y' ->
+            Numeric.float_sum_range m (fun y -> row.(y) *. post.(y).(y'))))
+  in
+  Channel.create ~input:ch.Channel.input ~matrix
+
+let product a b =
+  let n = Channel.n_inputs a in
+  if Channel.n_inputs b <> n then
+    invalid_arg "Channel_ops.product: input sizes differ";
+  Array.iteri
+    (fun i p ->
+      if not (Numeric.approx_equal ~rel_tol:1e-9 ~abs_tol:1e-12 p b.Channel.input.(i))
+      then invalid_arg "Channel_ops.product: input distributions differ")
+    a.Channel.input;
+  let ma = Channel.n_outputs a and mb = Channel.n_outputs b in
+  let matrix =
+    Array.init n (fun i ->
+        let ra = Channel.row a i and rb = Channel.row b i in
+        Array.init (ma * mb) (fun k -> ra.(k / mb) *. rb.(k mod mb)))
+  in
+  Channel.create ~input:a.Channel.input ~matrix
+
+let deterministic_post ~outputs f =
+  if outputs <= 0 then invalid_arg "Channel_ops.deterministic_post: outputs <= 0";
+  Array.init outputs (fun y ->
+      let y' = f y in
+      if y' < 0 || y' >= outputs then
+        invalid_arg "Channel_ops.deterministic_post: function leaves the alphabet";
+      Array.init outputs (fun k -> if k = y' then 1. else 0.))
+
+let binary_symmetric_post ~outputs ~flip =
+  if outputs < 2 then invalid_arg "Channel_ops.binary_symmetric_post: outputs < 2";
+  let flip = Numeric.check_prob "Channel_ops.binary_symmetric_post flip" flip in
+  Array.init outputs (fun y ->
+      Array.init outputs (fun k ->
+          if k = y then 1. -. flip else flip /. float_of_int (outputs - 1)))

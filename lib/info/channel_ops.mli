@@ -1,0 +1,37 @@
+(** Operations on channels, and the two inequalities that make the
+    paper's Figure 1 view productive:
+
+    - the data-processing inequality: post-processing the output of
+      the channel [Ẑ → θ] through any stochastic map [θ → θ'] cannot
+      increase [I(Ẑ; ·)];
+    - post-processing invariance of differential privacy: the same
+      cascade cannot increase the channel's exact ε.
+
+    Both are verified by tests and experiment E30; together they say
+    that anything computed FROM a private predictor stays private and
+    uninformative — the operational content of the channel picture. *)
+
+val cascade : Channel.t -> post:float array array -> Channel.t
+(** [cascade ch ~post] composes the channel with a stochastic
+    post-processing matrix [post.(y).(y') = P(θ'=y' | θ=y)].
+    @raise Invalid_argument when [post]'s height differs from the
+    channel's output alphabet or a row is not a distribution. *)
+
+val product : Channel.t -> Channel.t -> Channel.t
+(** Independent parallel composition on a shared input:
+    [P((y1,y2)|x) = P₁(y1|x)·P₂(y2|x)], output alphabet the cartesian
+    product (indexed row-major). Mutual information is subadditive:
+    [I ≤ I₁ + I₂]; the exact ε adds. Requires equal input
+    distributions.
+    @raise Invalid_argument when the inputs differ. *)
+
+val deterministic_post : outputs:int -> (int -> int) -> float array array
+(** The 0/1 post-processing matrix of a function on the output
+    alphabet (e.g. a decision rule collapsing predictors to labels).
+    @raise Invalid_argument when the function leaves [\[0, outputs)]. *)
+
+val binary_symmetric_post : outputs:int -> flip:float -> float array array
+(** Each output symbol kept with probability [1 − flip], otherwise
+    re-drawn uniformly from the others — a generic noisy
+    post-processor for DPI experiments.
+    @raise Invalid_argument for flip outside [0, 1] or outputs < 2. *)

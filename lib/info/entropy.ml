@@ -1,0 +1,162 @@
+open Dp_math
+
+let validate name p =
+  Array.iter
+    (fun x ->
+      if x < 0. || not (Numeric.is_finite x) then
+        invalid_arg (name ^ ": negative or non-finite probability"))
+    p;
+  let total = Summation.sum p in
+  if not (Numeric.approx_equal ~rel_tol:1e-6 ~abs_tol:1e-9 total 1.) then
+    invalid_arg (Printf.sprintf "%s: probabilities sum to %g" name total);
+  p
+
+let entropy p =
+  let p = validate "Entropy.entropy" p in
+  -.Summation.sum_map Numeric.xlogx p
+
+let entropy_base2 p = entropy p /. log 2.
+
+let cross_entropy p q =
+  let p = validate "Entropy.cross_entropy p" p in
+  let q = validate "Entropy.cross_entropy q" q in
+  if Array.length p <> Array.length q then
+    invalid_arg "Entropy.cross_entropy: length mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i pi ->
+      if pi > 0. then
+        if q.(i) = 0. then acc := infinity
+        else acc := !acc -. (pi *. log q.(i)))
+    p;
+  !acc
+
+let kl_divergence p q =
+  let p = validate "Entropy.kl p" p in
+  let q = validate "Entropy.kl q" q in
+  if Array.length p <> Array.length q then
+    invalid_arg "Entropy.kl: length mismatch";
+  let acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i pi ->
+         if pi > 0. then
+           if q.(i) = 0. then begin
+             acc := infinity;
+             raise Exit
+           end
+           else acc := !acc +. (pi *. log (pi /. q.(i))))
+       p
+   with Exit -> ());
+  Float.max 0. !acc
+
+let kl_divergence_log lp lq =
+  if Array.length lp <> Array.length lq then
+    invalid_arg "Entropy.kl_divergence_log: length mismatch";
+  let acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i lpi ->
+         if lpi > neg_infinity then begin
+           if lq.(i) = neg_infinity then begin
+             acc := infinity;
+             raise Exit
+           end;
+           acc := !acc +. (exp lpi *. (lpi -. lq.(i)))
+         end)
+       lp
+   with Exit -> ());
+  Float.max 0. !acc
+
+let total_variation p q =
+  let p = validate "Entropy.tv p" p in
+  let q = validate "Entropy.tv q" q in
+  if Array.length p <> Array.length q then
+    invalid_arg "Entropy.tv: length mismatch";
+  0.5 *. Numeric.float_sum_range (Array.length p) (fun i -> Float.abs (p.(i) -. q.(i)))
+
+let jensen_shannon p q =
+  let m = Array.mapi (fun i pi -> 0.5 *. (pi +. q.(i))) p in
+  (0.5 *. kl_divergence p m) +. (0.5 *. kl_divergence q m)
+
+let max_divergence p q =
+  let p = validate "Entropy.max_divergence p" p in
+  let q = validate "Entropy.max_divergence q" q in
+  if Array.length p <> Array.length q then
+    invalid_arg "Entropy.max_divergence: length mismatch";
+  let worst = ref neg_infinity in
+  Array.iteri
+    (fun i pi ->
+      if pi > 0. then
+        if q.(i) = 0. then worst := infinity
+        else worst := Float.max !worst (log (pi /. q.(i))))
+    p;
+  if !worst = neg_infinity then 0. else !worst
+
+let renyi_divergence ~alpha p q =
+  if alpha <= 0. || alpha = 1. then
+    invalid_arg "Entropy.renyi_divergence: alpha must be positive and != 1";
+  let p = validate "Entropy.renyi p" p in
+  let q = validate "Entropy.renyi q" q in
+  if Array.length p <> Array.length q then
+    invalid_arg "Entropy.renyi: length mismatch";
+  let acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i pi ->
+         if pi > 0. then begin
+           if q.(i) = 0. && alpha > 1. then begin
+             acc := infinity;
+             raise Exit
+           end;
+           if q.(i) > 0. then
+             acc := !acc +. ((pi ** alpha) *. (q.(i) ** (1. -. alpha)))
+         end)
+       p
+   with Exit -> ());
+  if !acc = infinity then infinity
+  else log !acc /. (alpha -. 1.)
+
+let mutual_information ~joint =
+  let rows = Array.length joint in
+  if rows = 0 then invalid_arg "Entropy.mutual_information: empty joint";
+  let cols = Array.length joint.(0) in
+  let total = ref 0. in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Entropy.mutual_information: ragged joint";
+      Array.iter
+        (fun x ->
+          if x < 0. || not (Numeric.is_finite x) then
+            invalid_arg "Entropy.mutual_information: negative entry";
+          total := !total +. x)
+        row)
+    joint;
+  if not (Numeric.approx_equal ~rel_tol:1e-6 !total 1.) then
+    invalid_arg
+      (Printf.sprintf "Entropy.mutual_information: joint sums to %g" !total);
+  let px = Array.map Summation.sum joint in
+  let py =
+    Array.init cols (fun j ->
+        Numeric.float_sum_range rows (fun i -> joint.(i).(j)))
+  in
+  let acc = ref 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let pxy = joint.(i).(j) in
+      if pxy > 0. then
+        acc := !acc +. (pxy *. log (pxy /. (px.(i) *. py.(j))))
+    done
+  done;
+  Float.max 0. !acc
+
+let mutual_information_channel ~input ~channel =
+  let input = validate "Entropy.mutual_information_channel input" input in
+  let rows = Array.length channel in
+  if rows <> Array.length input then
+    invalid_arg "Entropy.mutual_information_channel: input/channel mismatch";
+  let joint =
+    Array.mapi (fun i row -> Array.map (fun c -> input.(i) *. c) row) channel
+  in
+  mutual_information ~joint

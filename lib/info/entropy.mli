@@ -1,0 +1,53 @@
+(** Shannon entropy, divergences and mutual information for discrete
+    distributions (natural-log units, "nats", matching the paper's
+    KL-based bounds).
+
+    Distributions are probability vectors; inputs are validated to be
+    nonnegative and sum to 1 within tolerance. *)
+
+val validate : string -> float array -> float array
+(** Check a probability vector (nonnegative, sums to 1 within 1e-6) and
+    return it. @raise Invalid_argument otherwise. *)
+
+val entropy : float array -> float
+(** [H(p) = −Σ pᵢ log pᵢ], with [0 log 0 = 0]. *)
+
+val entropy_base2 : float array -> float
+
+val cross_entropy : float array -> float array -> float
+(** [−Σ pᵢ log qᵢ]; [infinity] when absolute continuity fails. *)
+
+val kl_divergence : float array -> float array -> float
+(** [KL(p‖q) = Σ pᵢ log (pᵢ/qᵢ)] — the D_KL of Theorem 3.1. Returns
+    [infinity] when [p] puts mass where [q] does not. *)
+
+val kl_divergence_log : float array -> float array -> float
+(** KL from log-probability vectors (no exponentiation of [q]
+    needed where [p] is 0; stable for extreme posteriors). Arguments
+    are normalized log probabilities. *)
+
+val total_variation : float array -> float array -> float
+(** [½ Σ |pᵢ − qᵢ|]. *)
+
+val jensen_shannon : float array -> float array -> float
+(** JS divergence (symmetrized, bounded KL). *)
+
+val max_divergence : float array -> float array -> float
+(** [max_i log (pᵢ/qᵢ)] over the support of [p] — the privacy-loss
+    quantity: a mechanism is ε-DP iff the max divergence between
+    neighbouring output distributions is ≤ ε in both directions. *)
+
+val renyi_divergence : alpha:float -> float array -> float array -> float
+(** Rényi divergence of order α (α > 0, α ≠ 1); α → ∞ recovers
+    {!max_divergence}, α → 1 recovers KL. *)
+
+val mutual_information : joint:float array array -> float
+(** [I(X;Y)] from an explicit joint distribution (rows X, columns Y):
+    [Σ p(x,y) log (p(x,y) / (p(x)p(y)))].
+    @raise Invalid_argument when the matrix does not sum to 1 or has a
+    negative entry. *)
+
+val mutual_information_channel :
+  input:float array -> channel:float array array -> float
+(** [I(X;Y)] from an input distribution and the conditional
+    [channel.(x).(y) = P(Y=y|X=x)] — the paper's Figure 1 object. *)

@@ -1,0 +1,26 @@
+open Dp_math
+
+let fano_error_lower_bound ~mi ~k =
+  let mi = Numeric.check_nonneg "Fano.fano_error_lower_bound mi" mi in
+  if k < 2 then invalid_arg "Fano.fano_error_lower_bound: k must be >= 2";
+  let bound = 1. -. ((mi +. log 2.) /. log (float_of_int k)) in
+  Numeric.clamp ~lo:0. ~hi:(1. -. (1. /. float_of_int k)) bound
+
+let fano_error_lower_bound_dp ~epsilon ~diameter ~k =
+  let mi = Leakage.mi_upper_bound_pure_dp ~epsilon ~diameter in
+  fano_error_lower_bound ~mi ~k
+
+let le_cam_risk_lower_bound ~separation ~kl =
+  let separation =
+    Numeric.check_nonneg "Fano.le_cam_risk_lower_bound separation" separation
+  in
+  let kl = Numeric.check_nonneg "Fano.le_cam_risk_lower_bound kl" kl in
+  (* Bretagnolle-Huber: 1 - TV >= exp(-KL)/2, minimax risk >=
+     separation/2 * (1 - TV)/2 >= separation/4 * exp(-KL) / ... use the
+     standard sep/4 * e^{-kl} form. *)
+  separation /. 4. *. exp (-.kl)
+
+let dp_testing_lower_bound ~epsilon ~n =
+  let epsilon = Numeric.check_nonneg "Fano.dp_testing_lower_bound epsilon" epsilon in
+  if n <= 0 then invalid_arg "Fano.dp_testing_lower_bound: n must be positive";
+  exp (-.(float_of_int n *. epsilon))

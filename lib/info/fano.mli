@@ -1,0 +1,32 @@
+(** Information-theoretic lower bounds on learning — the "implication
+    on the utility of differentially-private learning algorithms" the
+    paper's §5 raises. Because an ε-DP channel carries at most
+    [min(I(Ẑ;θ), d·ε)] nats about the sample, Fano's inequality turns
+    the privacy constraint into a floor on identification error, and
+    Le Cam's two-point method into a floor on estimation error. *)
+
+val fano_error_lower_bound : mi:float -> k:int -> float
+(** Fano: when a parameter uniform over [k ≥ 2] hypotheses must be
+    identified from an observation with mutual information [mi] (nats),
+    any decoder errs with probability at least
+    [1 − (mi + log 2)/log k]. Clamped to [0, 1 − 1/k].
+    @raise Invalid_argument for [k < 2] or negative [mi]. *)
+
+val fano_error_lower_bound_dp :
+  epsilon:float -> diameter:int -> k:int -> float
+(** The same bound with [mi] replaced by the DP ceiling [d·ε]: a floor
+    on the error of ANY ε-DP k-ary selection procedure. *)
+
+val le_cam_risk_lower_bound :
+  separation:float -> kl:float -> float
+(** Le Cam two-point bound: for two hypotheses at distance
+    [separation] in the loss metric with KL divergence [kl] between
+    their observation distributions, minimax risk is at least
+    [separation/4 · exp(−kl)] (via Bretagnolle–Huber).
+    @raise Invalid_argument on negative inputs. *)
+
+val dp_testing_lower_bound : epsilon:float -> n:int -> float
+(** The hypothesis-testing floor for ε-DP mechanisms on n records:
+    distinguishing two databases at Hamming distance n costs
+    advantage at most [1 − e^{−nε}] — returns the minimum total error
+    [P(err|H0) + P(err|H1) ≥ e^{−n·ε}] implied by group privacy. *)

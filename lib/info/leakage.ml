@@ -1,0 +1,32 @@
+open Dp_math
+
+let mi_upper_bound_pure_dp ~epsilon ~diameter =
+  let epsilon = Numeric.check_nonneg "Leakage.mi_upper_bound epsilon" epsilon in
+  if diameter < 0 then invalid_arg "Leakage.mi_upper_bound: negative diameter";
+  float_of_int diameter *. epsilon
+
+let min_entropy_leakage ~input ~channel =
+  let input = Entropy.validate "Leakage.min_entropy_leakage input" input in
+  let n = Array.length channel in
+  if n <> Array.length input then
+    invalid_arg "Leakage.min_entropy_leakage: input/channel mismatch";
+  let m = Array.length channel.(0) in
+  let prior_vuln = Array.fold_left Float.max 0. input in
+  let post_vuln =
+    Numeric.float_sum_range m (fun j ->
+        let best = ref 0. in
+        for i = 0 to n - 1 do
+          best := Float.max !best (input.(i) *. channel.(i).(j))
+        done;
+        !best)
+  in
+  Float.max 0. (log (post_vuln /. prior_vuln))
+
+let min_entropy_leakage_bound_alvim ~epsilon ~n ~universe =
+  let epsilon = Numeric.check_nonneg "Leakage.alvim epsilon" epsilon in
+  if n <= 0 then invalid_arg "Leakage.alvim: n must be positive";
+  if universe < 2 then invalid_arg "Leakage.alvim: universe must be >= 2";
+  let v = float_of_int universe in
+  float_of_int n *. log (v *. exp epsilon /. (v -. 1. +. exp epsilon))
+
+let channel_capacity_bound_pure_dp = mi_upper_bound_pure_dp

@@ -1,0 +1,31 @@
+(** Quantitative information flow of DP mechanisms — the Alvim et al.
+    comparison the paper cites (§1, §5, claim C8 in DESIGN.md).
+
+    All quantities in nats unless stated otherwise. *)
+
+val mi_upper_bound_pure_dp : epsilon:float -> diameter:int -> float
+(** For an ε-DP channel whose input alphabet has Hamming diameter [d]
+    (every two inputs differ in at most [d] records), group privacy
+    gives [D_∞(row_x ‖ row_x') ≤ d·ε]; since
+    [I(X;Y) = E_x KL(row_x ‖ marginal) ≤ max_{x,x'} KL(row_x‖row_x')
+    ≤ max D_∞], mutual information is bounded by [d·ε] for any input
+    distribution.
+    @raise Invalid_argument on negative inputs. *)
+
+val min_entropy_leakage : input:float array -> channel:float array array -> float
+(** Min-entropy leakage [H_∞(X) − H_∞(X|Y)] where
+    [H_∞(X|Y) = −log Σ_y max_x p(x) P(y|x)] (Smith's measure of the
+    multiplicative advantage of a one-try adversary). *)
+
+val min_entropy_leakage_bound_alvim :
+  epsilon:float -> n:int -> universe:int -> float
+(** Alvim et al.'s bound for an ε-DP mechanism over databases of [n]
+    records with [universe] values per record:
+    [L ≤ n · log (v·e^ε / (v − 1 + e^ε))].
+    @raise Invalid_argument on non-positive parameters or
+    [universe < 2]. *)
+
+val channel_capacity_bound_pure_dp : epsilon:float -> diameter:int -> float
+(** Capacity of an ε-DP channel is bounded by the same group-privacy
+    argument: [C ≤ d·ε]. (Alias of {!mi_upper_bound_pure_dp}, exposed
+    under the capacity name for the E7 tables.) *)

@@ -1,0 +1,47 @@
+open Dp_math
+
+let joint_counts ~xs ~ys ~kx ~ky =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Mi_estimate: empty sample";
+  if Array.length ys <> n then invalid_arg "Mi_estimate: length mismatch";
+  let counts = Array.make_matrix kx ky 0. in
+  Array.iteri
+    (fun i x ->
+      let y = ys.(i) in
+      if x < 0 || x >= kx || y < 0 || y >= ky then
+        invalid_arg "Mi_estimate: symbol out of range";
+      counts.(x).(y) <- counts.(x).(y) +. 1.)
+    xs;
+  (counts, float_of_int n)
+
+let plugin ~xs ~ys ~kx ~ky =
+  let counts, n = joint_counts ~xs ~ys ~kx ~ky in
+  let joint = Array.map (Array.map (fun c -> c /. n)) counts in
+  Entropy.mutual_information ~joint
+
+let miller_madow ~xs ~ys ~kx ~ky =
+  let counts, n = joint_counts ~xs ~ys ~kx ~ky in
+  let observed_x =
+    Numeric.float_sum_range kx (fun i ->
+        if Summation.sum counts.(i) > 0. then 1. else 0.)
+  in
+  let observed_y =
+    Numeric.float_sum_range ky (fun j ->
+        let col = Numeric.float_sum_range kx (fun i -> counts.(i).(j)) in
+        if col > 0. then 1. else 0.)
+  in
+  let bias = (observed_x -. 1.) *. (observed_y -. 1.) /. (2. *. n) in
+  Float.max 0. (plugin ~xs ~ys ~kx ~ky -. bias)
+
+let permutation_test ?(permutations = 200) ~xs ~ys ~kx ~ky g =
+  if permutations <= 0 then
+    invalid_arg "Mi_estimate.permutation_test: permutations must be positive";
+  let observed = plugin ~xs ~ys ~kx ~ky in
+  let ys' = Array.copy ys in
+  let hits = ref 0 in
+  for _ = 1 to permutations do
+    Dp_rng.Sampler.shuffle ys' g;
+    if plugin ~xs ~ys:ys' ~kx ~ky >= observed -. 1e-12 then incr hits
+  done;
+  (* add-one smoothing keeps the p-value away from an impossible 0 *)
+  float_of_int (!hits + 1) /. float_of_int (permutations + 1)

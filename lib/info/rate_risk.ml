@@ -1,0 +1,63 @@
+open Dp_math
+
+type result = {
+  channel : Channel.t;
+  prior : float array;
+  objective : float;
+  trace : float list;
+  iterations : int;
+}
+
+let gibbs_rows ~prior ~risk ~beta =
+  let log_prior = Array.map (fun p -> log (Float.max p 1e-300)) prior in
+  Array.map
+    (fun risks ->
+      let lw = Array.mapi (fun j r -> log_prior.(j) -. (beta *. r)) risks in
+      Logspace.normalize_log_weights lw)
+    risk
+
+let solve ?(tol = 1e-12) ?(max_iter = 5_000) ~input ~risk ~beta () =
+  let beta = Numeric.check_pos "Rate_risk.solve beta" beta in
+  let input = Entropy.validate "Rate_risk.solve input" input in
+  let n = Array.length risk in
+  if n <> Array.length input then
+    invalid_arg "Rate_risk.solve: risk height does not match input";
+  if n = 0 then invalid_arg "Rate_risk.solve: empty problem";
+  let m = Array.length risk.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> m then invalid_arg "Rate_risk.solve: ragged risk";
+      Array.iter
+        (fun x -> ignore (Numeric.check_finite "Rate_risk.solve risk" x))
+        r)
+    risk;
+  let objective_of rows =
+    let ch = Channel.create ~input ~matrix:rows in
+    Channel.objective ch ~risk:(fun z th -> risk.(z).(th)) ~beta
+  in
+  let prior = ref (Array.make m (1. /. float_of_int m)) in
+  let rows = ref (gibbs_rows ~prior:!prior ~risk ~beta) in
+  let obj = ref (objective_of !rows) in
+  let trace = ref [ !obj ] in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    (* Prior step: optimal prior is the output marginal. *)
+    let ch = Channel.create ~input ~matrix:!rows in
+    prior := Channel.output_marginal ch;
+    (* Posterior step: Gibbs rows under the new prior. *)
+    rows := gibbs_rows ~prior:!prior ~risk ~beta;
+    let obj' = objective_of !rows in
+    if Float.abs (!obj -. obj') <= tol *. (1. +. Float.abs !obj) then
+      converged := true;
+    obj := obj';
+    trace := obj' :: !trace
+  done;
+  {
+    channel = Channel.create ~input ~matrix:!rows;
+    prior = !prior;
+    objective = !obj;
+    trace = List.rev !trace;
+    iterations = !iterations;
+  }

@@ -1,0 +1,38 @@
+(** The risk–information problem of the paper's Theorem 4.2:
+
+    [inf over channels π̂ of  E_Ẑ E_{θ∼π̂_Ẑ} R̂_Ẑ(θ) + (1/β) I(Ẑ;θ)].
+
+    This is a rate–distortion problem with the empirical risk as the
+    distortion measure. Blahut–Arimoto-style alternating minimization:
+    holding the prior π fixed, the optimal rows are Gibbs posteriors
+    [π̂_Ẑ ∝ π e^{−β R̂_Ẑ}]; holding the rows fixed, the optimal prior
+    is the output marginal [π = E_Ẑ π̂] (Catoni's observation in §4).
+    Iterating converges to the global optimum, and experiment E11
+    verifies the fixed point is exactly the Gibbs channel under the
+    optimal prior. *)
+
+type result = {
+  channel : Channel.t;
+  prior : float array;  (** the converged optimal prior [E_Ẑ π̂] *)
+  objective : float;  (** [E R̂ + I/β] at the optimum *)
+  trace : float list;  (** objective value per iteration, oldest first *)
+  iterations : int;
+}
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  input:float array ->
+  risk:float array array ->
+  beta:float ->
+  unit ->
+  result
+(** [solve ~input ~risk ~beta ()] with [risk.(z).(th) = R̂_z(θ)].
+    [input] is the distribution over sample sets (rows).
+    @raise Invalid_argument on inconsistent shapes, non-positive β, or
+    non-finite risks. *)
+
+val gibbs_rows :
+  prior:float array -> risk:float array array -> beta:float -> float array array
+(** The inner minimizer: row [z] is [∝ prior · e^{−β·risk.(z)}]
+    computed in log space. *)

@@ -1,0 +1,54 @@
+open Dp_math
+
+type interval = { estimate : float; lo : float; hi : float }
+
+let laplace_noise_quantile ~scale ~p =
+  let scale = Numeric.check_nonneg "Confidence.laplace_noise_quantile scale" scale in
+  if p < 0. || p >= 1. then
+    invalid_arg "Confidence.laplace_noise_quantile: p must be in [0,1)";
+  -.scale *. Float.log1p (-.p)
+
+let private_mean_ci ~epsilon ~confidence ~lo ~hi xs g =
+  let epsilon = Numeric.check_pos "Confidence.private_mean_ci epsilon" epsilon in
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Confidence.private_mean_ci: confidence must be in (0,1)";
+  if lo >= hi then invalid_arg "Confidence.private_mean_ci: lo >= hi";
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Confidence.private_mean_ci: empty data";
+  let nf = float_of_int n in
+  let clamped = Array.map (Numeric.clamp ~lo ~hi) xs in
+  (* budget split: mean 0.8 eps, second moment 0.2 eps *)
+  let eps_mean = 0.8 *. epsilon and eps_var = 0.2 *. epsilon in
+  let mean_scale = (hi -. lo) /. (nf *. eps_mean) in
+  let release =
+    Summation.mean clamped +. Dp_rng.Sampler.laplace ~mean:0. ~scale:mean_scale g
+  in
+  (* private second moment of the standardized-range values *)
+  let sq_mean = Summation.mean (Array.map (fun x -> x *. x) clamped) in
+  let sq_scale = Numeric.sq (Float.max (Float.abs lo) (Float.abs hi)) /. (nf *. eps_var) in
+  let noisy_sq = sq_mean +. Dp_rng.Sampler.laplace ~mean:0. ~scale:sq_scale g in
+  let var_hat =
+    Numeric.clamp ~lo:0.
+      ~hi:(Numeric.sq (hi -. lo) /. 4.)
+      (noisy_sq -. Numeric.sq release)
+  in
+  (* split the failure budget between the two error sources *)
+  let alpha = 1. -. confidence in
+  let z = Special.std_normal_quantile (1. -. (alpha /. 4.)) in
+  let sampling = z *. sqrt (var_hat /. nf) in
+  let noise =
+    laplace_noise_quantile ~scale:mean_scale ~p:(1. -. (alpha /. 2.))
+  in
+  let half = sampling +. noise in
+  { estimate = release; lo = release -. half; hi = release +. half }
+
+let naive_ci ~confidence ~lo ~hi ~release ~n xs =
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Confidence.naive_ci: confidence must be in (0,1)";
+  if n <= 0 then invalid_arg "Confidence.naive_ci: n must be positive";
+  if lo >= hi then invalid_arg "Confidence.naive_ci: lo >= hi";
+  let clamped = Array.map (Numeric.clamp ~lo ~hi) xs in
+  let sd = if Array.length clamped >= 2 then Dp_stats.Describe.std clamped else (hi -. lo) /. 2. in
+  let z = Special.std_normal_quantile (1. -. ((1. -. confidence) /. 2.)) in
+  let half = z *. sd /. sqrt (float_of_int n) in
+  { estimate = release; lo = release -. half; hi = release +. half }

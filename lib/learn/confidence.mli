@@ -1,0 +1,37 @@
+(** Noise-aware confidence intervals for private releases.
+
+    A private mean carries two error sources: sampling error and the
+    mechanism's noise. A naive interval built as if the release were
+    the sample mean under-covers badly at small ε·n; a noise-aware
+    interval convolves in the (exactly known) Laplace noise quantiles
+    and restores coverage (experiment E33 measures both). *)
+
+type interval = { estimate : float; lo : float; hi : float }
+
+val private_mean_ci :
+  epsilon:float ->
+  confidence:float ->
+  lo:float ->
+  hi:float ->
+  float array ->
+  Dp_rng.Prng.t ->
+  interval
+(** ε-DP release of the clamped mean together with a noise-aware
+    interval: half-width = normal sampling quantile (variance
+    estimated privately with a small budget split: 0.8ε for the mean,
+    0.2ε for the variance proxy) plus the exact Laplace noise quantile.
+    @raise Invalid_argument on bad parameters or empty data. *)
+
+val naive_ci :
+  confidence:float -> lo:float -> hi:float -> release:float -> n:int ->
+  float array ->
+  interval
+(** What an analyst unaware of the mechanism would compute: a normal
+    interval around the released value using the PUBLIC sample size
+    and the clamped-range variance bound — ignores the noise
+    entirely. For E33 only (it is not a valid CI). *)
+
+val laplace_noise_quantile : scale:float -> p:float -> float
+(** The two-sided quantile: smallest [t] with
+    [P(|Lap(scale)| <= t) >= p], i.e. [−scale·log(1−p)].
+    @raise Invalid_argument for p outside [0,1) or scale < 0. *)

@@ -1,0 +1,48 @@
+open Dp_stats
+
+type estimate = {
+  histogram : Histogram.t;
+  budget : Dp_mechanism.Privacy.budget;
+}
+
+let fit_private ~epsilon ~lo ~hi ~bins xs g =
+  let epsilon = Dp_math.Numeric.check_pos "Density.fit_private epsilon" epsilon in
+  let h = Histogram.of_samples ~lo ~hi ~bins xs in
+  let m =
+    Dp_mechanism.Laplace.create
+      ~sensitivity:(Dp_mechanism.Sensitivity.histogram ())
+      ~epsilon
+  in
+  let noisy =
+    Histogram.map_counts (fun c -> Dp_mechanism.Laplace.release m ~value:c g) h
+  in
+  { histogram = noisy; budget = Dp_mechanism.Privacy.pure epsilon }
+
+let fit_non_private ~lo ~hi ~bins xs =
+  {
+    histogram = Histogram.of_samples ~lo ~hi ~bins xs;
+    budget = { Dp_mechanism.Privacy.epsilon = infinity; delta = 0. };
+  }
+
+let density_at e x = Histogram.density_at e.histogram x
+
+let l1_error e ~true_density =
+  let h = e.histogram in
+  let w = Histogram.bin_width h in
+  (* within-support discrepancy, sampling the true density at 16 points
+     per bin *)
+  let per_bin i =
+    let est = Histogram.density h i in
+    let x0 = Histogram.bin_center h i -. (w /. 2.) in
+    Dp_math.Numeric.float_sum_range 16 (fun k ->
+        let x = x0 +. ((float_of_int k +. 0.5) /. 16. *. w) in
+        Float.abs (est -. true_density x) *. w /. 16.)
+  in
+  Dp_math.Numeric.float_sum_range h.Histogram.bins per_bin
+
+let log_likelihood e xs =
+  if Array.length xs = 0 then invalid_arg "Density.log_likelihood: empty input";
+  Dp_math.Summation.sum_map
+    (fun x -> log (Float.max 1e-12 (density_at e x)))
+    xs
+  /. float_of_int (Array.length xs)

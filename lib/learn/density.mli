@@ -1,0 +1,33 @@
+(** Differentially-private histogram density estimation — the paper's
+    §5 names private density estimation as the direction this
+    framework targets; this is the concrete instance used in E9 and
+    the density example. *)
+
+type estimate = {
+  histogram : Dp_stats.Histogram.t;  (** noisy, clamped, renormalizable *)
+  budget : Dp_mechanism.Privacy.budget;
+}
+
+val fit_private :
+  epsilon:float ->
+  lo:float ->
+  hi:float ->
+  bins:int ->
+  float array ->
+  Dp_rng.Prng.t ->
+  estimate
+(** Histogram counts + Laplace(2/ε) noise per bin (L1 sensitivity of a
+    histogram is 2 under record replacement), clamped at 0. ε-DP. *)
+
+val fit_non_private : lo:float -> hi:float -> bins:int -> float array -> estimate
+(** The non-private baseline, budget (∞ represented as ε = infinity). *)
+
+val density_at : estimate -> float -> float
+
+val l1_error :
+  estimate -> true_density:(float -> float) -> float
+(** ∫ |f̂ − f| over the histogram support, computed bin-by-bin with the
+    midpoint rule on the true density. *)
+
+val log_likelihood : estimate -> float array -> float
+(** Mean held-out log density, floored at log 1e-12 per point. *)

@@ -1,0 +1,61 @@
+open Dp_dataset
+open Dp_math
+
+type result = {
+  theta : float array;
+  budget : Dp_mechanism.Privacy.budget;
+  steps : int;
+}
+
+let epsilon_for ~noise_multiplier ~epochs ~delta =
+  Dp_mechanism.Rdp.gaussian_sgm_epsilon ~noise_multiplier ~steps:epochs ~delta
+
+let train ?(epochs = 10) ?(batch_size = 50) ?(learning_rate = 0.5)
+    ?(clip_norm = 1.) ~noise_multiplier ~delta ~loss d g =
+  if epochs <= 0 then invalid_arg "Dp_sgd.train: epochs must be positive";
+  if batch_size <= 0 then invalid_arg "Dp_sgd.train: batch_size must be positive";
+  let learning_rate = Numeric.check_pos "Dp_sgd.train learning_rate" learning_rate in
+  let clip_norm = Numeric.check_pos "Dp_sgd.train clip_norm" clip_norm in
+  let noise_multiplier =
+    Numeric.check_pos "Dp_sgd.train noise_multiplier" noise_multiplier
+  in
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Dp_sgd.train: delta must be in (0, 1)";
+  let n = Dataset.size d in
+  let batch_size = Stdlib.min batch_size n in
+  let dim = Dataset.dim d in
+  let theta = ref (Array.make dim 0.) in
+  let order = Array.init n Fun.id in
+  let steps = ref 0 in
+  (* per-step noise on the SUM of clipped gradients: sensitivity 2C *)
+  let noise_std = noise_multiplier *. 2. *. clip_norm in
+  for epoch = 1 to epochs do
+    Dp_rng.Sampler.shuffle order g;
+    let pos = ref 0 in
+    while !pos < n do
+      let b = Stdlib.min batch_size (n - !pos) in
+      let acc = Array.make dim 0. in
+      for k = 0 to b - 1 do
+        let x, y = Dataset.row d order.(!pos + k) in
+        let gr = loss.Loss_fn.grad ~theta:!theta ~x ~y in
+        let clipped = Dp_linalg.Vec.project_l2_ball ~radius:clip_norm gr in
+        Dp_linalg.Vec.axpy_inplace ~alpha:1. clipped acc
+      done;
+      let noisy =
+        Array.map
+          (fun v -> v +. Dp_rng.Sampler.gaussian ~mean:0. ~std:noise_std g)
+          acc
+      in
+      incr steps;
+      let eta = learning_rate /. sqrt (float_of_int epoch) in
+      theta :=
+        Dp_linalg.Vec.axpy ~alpha:(-.eta /. float_of_int b) noisy !theta;
+      pos := !pos + b
+    done
+  done;
+  let epsilon = epsilon_for ~noise_multiplier ~epochs ~delta in
+  {
+    theta = !theta;
+    budget = Dp_mechanism.Privacy.approx ~epsilon ~delta;
+    steps = !steps;
+  }

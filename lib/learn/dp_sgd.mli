@@ -1,0 +1,37 @@
+(** Differentially-private SGD with per-example gradient clipping and
+    Gaussian noise — the modern private-ERM workhorse, included as the
+    contemporary comparator to the paper-era mechanisms (E17).
+
+    Accounting: each epoch partitions the data into disjoint batches,
+    so within an epoch every record is touched by exactly one noisy
+    step (parallel composition); epochs compose sequentially. With
+    per-example clipping at C and batch size B, a replace-one
+    neighbour changes one step's summed gradient by at most 2C, so the
+    noisy mean-gradient step is a Gaussian mechanism with relative
+    noise σ = noise_multiplier. Total privacy is the [epochs]-fold RDP
+    composition converted to (ε, δ). *)
+
+type result = {
+  theta : float array;
+  budget : Dp_mechanism.Privacy.budget;
+  steps : int;
+}
+
+val train :
+  ?epochs:int ->
+  ?batch_size:int ->
+  ?learning_rate:float ->
+  ?clip_norm:float ->
+  noise_multiplier:float ->
+  delta:float ->
+  loss:Loss_fn.t ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  result
+(** Defaults: epochs 10, batch_size 50 (capped at n), learning rate
+    0.5, clip_norm 1.
+    @raise Invalid_argument on non-positive parameters or δ ∉ (0,1). *)
+
+val epsilon_for :
+  noise_multiplier:float -> epochs:int -> delta:float -> float
+(** The ε this configuration will report, without training. *)

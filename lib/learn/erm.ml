@@ -1,0 +1,67 @@
+open Dp_dataset
+
+type model = {
+  theta : float array;
+  objective : float;
+  converged : bool;
+  iterations : int;
+}
+
+let objective_value ~lambda ~loss d theta =
+  let n = Dataset.size d in
+  let risk =
+    Dp_math.Numeric.float_sum_range n (fun i ->
+        let x, y = Dataset.row d i in
+        loss.Loss_fn.value ~theta ~x ~y)
+    /. float_of_int n
+  in
+  risk +. (0.5 *. lambda *. Dp_math.Numeric.sq (Dp_linalg.Vec.norm2 theta))
+
+let objective_grad ~lambda ~loss d theta =
+  let n = Dataset.size d in
+  let dim = Dataset.dim d in
+  let acc = Array.make dim 0. in
+  for i = 0 to n - 1 do
+    let x, y = Dataset.row d i in
+    Dp_linalg.Vec.axpy_inplace ~alpha:1. (loss.Loss_fn.grad ~theta ~x ~y) acc
+  done;
+  Array.mapi (fun j g -> (g /. float_of_int n) +. (lambda *. theta.(j))) acc
+
+let train ?(lambda = 1e-3) ?(max_iter = 5000) ?radius ~loss d =
+  let lambda = Dp_math.Numeric.check_pos "Erm.train lambda" lambda in
+  let dim = Dataset.dim d in
+  let project =
+    Option.map (fun r -> Dp_linalg.Vec.project_l2_ball ~radius:r) radius
+  in
+  let r =
+    Dp_optim.Gd.minimize ~max_iter ~tol:1e-6 ?project
+      ~f:(objective_value ~lambda ~loss d)
+      ~grad:(objective_grad ~lambda ~loss d)
+      (Array.make dim 0.)
+  in
+  {
+    theta = r.Dp_optim.Gd.solution;
+    objective = r.Dp_optim.Gd.objective;
+    converged = r.Dp_optim.Gd.converged;
+    iterations = r.Dp_optim.Gd.iterations;
+  }
+
+let decision_value theta x = Dp_linalg.Vec.dot theta x
+
+let predict_label theta x = if decision_value theta x >= 0. then 1. else -1.
+
+let accuracy theta d =
+  let n = Dataset.size d in
+  let correct = ref 0 in
+  for i = 0 to n - 1 do
+    let x, y = Dataset.row d i in
+    if predict_label theta x = y then incr correct
+  done;
+  float_of_int !correct /. float_of_int n
+
+let mean_squared_error theta d =
+  let n = Dataset.size d in
+  Dp_math.Numeric.float_sum_range n (fun i ->
+      let x, y = Dataset.row d i in
+      Dp_math.Numeric.sq (decision_value theta x -. y))
+  /. float_of_int n

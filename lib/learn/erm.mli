@@ -1,0 +1,39 @@
+(** Regularized empirical risk minimization (non-private baseline).
+
+    Minimizes [J(θ) = (1/n) Σ ℓ(θ; xᵢ, yᵢ) + (λ/2)‖θ‖²] by batch
+    gradient descent with line search — the deterministic predictor
+    the paper's randomized (Gibbs) predictor relaxes. *)
+
+type model = {
+  theta : float array;
+  objective : float;
+  converged : bool;
+  iterations : int;
+}
+
+val train :
+  ?lambda:float ->
+  ?max_iter:int ->
+  ?radius:float ->
+  loss:Loss_fn.t ->
+  Dp_dataset.Dataset.t ->
+  model
+(** [train ~loss d] fits the linear model. [lambda] defaults to 1e-3;
+    when [radius] is given the iterates are projected onto that L2
+    ball (matching the bounded predictor space assumed by the Gibbs
+    learner). @raise Invalid_argument for non-positive lambda. *)
+
+val objective_value :
+  lambda:float -> loss:Loss_fn.t -> Dp_dataset.Dataset.t -> float array -> float
+(** J(θ) — exposed for the private-ERM utility analyses. *)
+
+val decision_value : float array -> float array -> float
+(** [θᵀx]. *)
+
+val predict_label : float array -> float array -> float
+(** Sign of the decision value (±1; 0 maps to +1). *)
+
+val accuracy : float array -> Dp_dataset.Dataset.t -> float
+(** Fraction of correct ±1 predictions. *)
+
+val mean_squared_error : float array -> Dp_dataset.Dataset.t -> float

@@ -1,0 +1,125 @@
+open Dp_math
+
+type model = { centers : float array array; inertia : float; iterations : int }
+
+let assign ~centers x =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = Dp_linalg.Vec.dist2 x c in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    centers;
+  !best
+
+let inertia ~centers points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.inertia: empty data";
+  Numeric.float_sum_range n (fun i ->
+      let c = centers.(assign ~centers points.(i)) in
+      Numeric.sq (Dp_linalg.Vec.dist2 points.(i) c))
+  /. float_of_int n
+
+let validate_points points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans: empty data";
+  let d = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> d then invalid_arg "Kmeans: ragged points")
+    points;
+  d
+
+(* k-means++ seeding *)
+let seed_centers ~k points g =
+  let n = Array.length points in
+  let centers = Array.make k points.(Dp_rng.Prng.int g n) in
+  for j = 1 to k - 1 do
+    let d2 =
+      Array.map
+        (fun p ->
+          let sub = Array.sub centers 0 j in
+          Numeric.sq (Dp_linalg.Vec.dist2 p sub.(assign ~centers:sub p)))
+        points
+    in
+    let total = Summation.sum d2 in
+    if total <= 0. then centers.(j) <- points.(Dp_rng.Prng.int g n)
+    else begin
+      let probs = Array.map (fun x -> x /. total) d2 in
+      centers.(j) <- points.(Dp_rng.Sampler.categorical ~probs g)
+    end
+  done;
+  Array.map Array.copy centers
+
+let lloyd_step ~noise ~centers points =
+  let k = Array.length centers in
+  let d = Array.length points.(0) in
+  let sums = Array.init k (fun _ -> Array.make d 0.) in
+  let counts = Array.make k 0. in
+  Array.iter
+    (fun p ->
+      let c = assign ~centers p in
+      counts.(c) <- counts.(c) +. 1.;
+      Dp_linalg.Vec.axpy_inplace ~alpha:1. p sums.(c))
+    points;
+  let sums, counts = noise sums counts in
+  Array.init k (fun c ->
+      if counts.(c) < 1. then Array.copy centers.(c)
+      else
+        Dp_linalg.Vec.project_l2_ball ~radius:1.
+          (Array.map (fun s -> s /. counts.(c)) sums.(c)))
+
+let fit ?(iterations = 20) ~k points g =
+  if k < 1 then invalid_arg "Kmeans.fit: k must be >= 1";
+  if iterations < 1 then invalid_arg "Kmeans.fit: iterations must be >= 1";
+  ignore (validate_points points);
+  let centers = ref (seed_centers ~k points g) in
+  for _ = 1 to iterations do
+    centers := lloyd_step ~noise:(fun s c -> (s, c)) ~centers:!centers points
+  done;
+  { centers = !centers; inertia = inertia ~centers:!centers points; iterations }
+
+let fit_private ?(iterations = 5) ~epsilon ~k points g =
+  if k < 1 then invalid_arg "Kmeans.fit_private: k must be >= 1";
+  if iterations < 1 then invalid_arg "Kmeans.fit_private: iterations >= 1";
+  let epsilon = Numeric.check_pos "Kmeans.fit_private epsilon" epsilon in
+  let d = validate_points points in
+  let points = Array.map (Dp_linalg.Vec.project_l2_ball ~radius:1.) points in
+  let per_iter = epsilon /. float_of_int iterations in
+  (* within an iteration, split between sums and counts; sum release
+     has L1 sensitivity 2d (coordinates in [-1,1], replacement moves
+     one point between clusters), counts sensitivity 2 *)
+  let sum_mech =
+    Dp_mechanism.Laplace.create
+      ~sensitivity:(2. *. float_of_int d)
+      ~epsilon:(per_iter /. 2.)
+  in
+  let count_mech =
+    Dp_mechanism.Laplace.create ~sensitivity:2. ~epsilon:(per_iter /. 2.)
+  in
+  let noise sums counts =
+    let sums =
+      Array.map
+        (Array.map (fun v -> Dp_mechanism.Laplace.release sum_mech ~value:v g))
+        sums
+    in
+    let counts =
+      Array.map
+        (fun c ->
+          Float.max 0. (Dp_mechanism.Laplace.release count_mech ~value:c g))
+        counts
+    in
+    (sums, counts)
+  in
+  let centers = ref (seed_centers ~k points g) in
+  (* seeding reads the data; in a fully rigorous pipeline the seeds
+     would come from the domain — use random unit-ball seeds instead *)
+  centers :=
+    Array.init k (fun _ ->
+        Dp_linalg.Vec.scale 0.5 (Dp_rng.Sampler.gamma_vector_direction ~dim:d g));
+  for _ = 1 to iterations do
+    centers := lloyd_step ~noise ~centers:!centers points
+  done;
+  ( { centers = !centers; inertia = inertia ~centers:!centers points; iterations },
+    Dp_mechanism.Privacy.pure epsilon )

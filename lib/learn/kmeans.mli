@@ -1,0 +1,37 @@
+(** k-means clustering, non-private (Lloyd) and differentially private
+    (noisy sums and counts per iteration — the DPLloyd algorithm of
+    Blum et al. / Su et al.). Points must lie in the unit L2 ball so
+    the per-iteration sensitivity is bounded: replacing one record
+    moves one cluster's sum by ≤ 2 in L1-per-coordinate terms (bounded
+    by 2·√d ≥ L1) and two clusters' counts by 1 each. *)
+
+type model = { centers : float array array; inertia : float; iterations : int }
+
+val fit :
+  ?iterations:int ->
+  k:int ->
+  float array array ->
+  Dp_rng.Prng.t ->
+  model
+(** Plain Lloyd with k-means++-style seeding (default 20 iterations).
+    @raise Invalid_argument on k < 1, empty data, or ragged points. *)
+
+val fit_private :
+  ?iterations:int ->
+  epsilon:float ->
+  k:int ->
+  float array array ->
+  Dp_rng.Prng.t ->
+  model * Dp_mechanism.Privacy.budget
+(** DPLloyd: the ε budget is split evenly across iterations; each
+    iteration adds Laplace noise to every cluster's coordinate sums
+    (L1 sensitivity 2·d per iteration for points clipped to
+    ‖x‖∞ ≤ 1 ⊇ unit L2 ball) and counts (sensitivity 2). Data are
+    clipped into the unit ball first. Default 5 iterations (noise
+    grows with iterations — more is not better). *)
+
+val inertia : centers:float array array -> float array array -> float
+(** Mean squared distance of each point to its nearest center. *)
+
+val assign : centers:float array array -> float array -> int
+(** Index of the nearest center. *)

@@ -1,0 +1,87 @@
+open Dp_linalg
+
+type t = {
+  name : string;
+  value : theta:float array -> x:float array -> y:float -> float;
+  grad : theta:float array -> x:float array -> y:float -> float array;
+  lipschitz : float;
+  smoothness : float option;
+  range : float * float;
+}
+
+let margin ~theta ~x ~y = y *. Vec.dot theta x
+
+let logistic =
+  {
+    name = "logistic";
+    value =
+      (fun ~theta ~x ~y -> Dp_math.Logspace.log1pexp (-.margin ~theta ~x ~y));
+    grad =
+      (fun ~theta ~x ~y ->
+        (* d/dθ log(1+e^{-m}) = -y·σ(-m)·x *)
+        let m = margin ~theta ~x ~y in
+        let s = 1. /. (1. +. exp m) in
+        Vec.scale (-.y *. s) x);
+    lipschitz = 1.;
+    smoothness = Some 0.25;
+    range = (0., 4.);
+  }
+
+let hinge =
+  {
+    name = "hinge";
+    value = (fun ~theta ~x ~y -> Float.max 0. (1. -. margin ~theta ~x ~y));
+    grad =
+      (fun ~theta ~x ~y ->
+        if margin ~theta ~x ~y < 1. then Vec.scale (-.y) x
+        else Array.make (Array.length theta) 0.);
+    lipschitz = 1.;
+    smoothness = None;
+    range = (0., 4.);
+  }
+
+let squared =
+  {
+    name = "squared";
+    value =
+      (fun ~theta ~x ~y ->
+        let r = Vec.dot theta x -. y in
+        0.5 *. r *. r);
+    grad =
+      (fun ~theta ~x ~y ->
+        let r = Vec.dot theta x -. y in
+        Vec.scale r x);
+    lipschitz = 4.;
+    smoothness = Some 1.;
+    range = (0., 8.);
+  }
+
+let huber ~delta =
+  let delta = Dp_math.Numeric.check_pos "Loss_fn.huber delta" delta in
+  {
+    name = Printf.sprintf "huber(%g)" delta;
+    value =
+      (fun ~theta ~x ~y ->
+        let r = Vec.dot theta x -. y in
+        let a = Float.abs r in
+        if a <= delta then 0.5 *. r *. r else delta *. (a -. (0.5 *. delta)));
+    grad =
+      (fun ~theta ~x ~y ->
+        let r = Vec.dot theta x -. y in
+        let g = Dp_math.Numeric.clamp ~lo:(-.delta) ~hi:delta r in
+        Vec.scale g x);
+    lipschitz = delta;
+    smoothness = Some 1.;
+    range = (0., 4. *. delta);
+  }
+
+let zero_one ~theta ~x ~y =
+  if margin ~theta ~x ~y > 0. then 0. else 1.
+
+let clip t ~theta ~x ~y =
+  let lo, hi = t.range in
+  Dp_math.Numeric.clamp ~lo ~hi (t.value ~theta ~x ~y)
+
+let range_width t =
+  let lo, hi = t.range in
+  hi -. lo

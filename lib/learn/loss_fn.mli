@@ -1,0 +1,46 @@
+(** Loss functions over linear predictors.
+
+    A predictor is a weight vector θ; an example is a feature vector
+    [x] with label [y] (±1 for classification). Each loss carries the
+    analytic metadata private learning needs: a Lipschitz constant in θ
+    (valid for ‖x‖₂ ≤ 1, the clipped-data convention) used by output /
+    objective perturbation, and a range used by the Gibbs mechanism's
+    sensitivity (losses are clipped into that range where needed). *)
+
+type t = {
+  name : string;
+  value : theta:float array -> x:float array -> y:float -> float;
+  grad : theta:float array -> x:float array -> y:float -> float array;
+  lipschitz : float;
+  smoothness : float option;
+      (** Upper bound on the second derivative of the scalar loss
+          (needed by objective perturbation); [None] for non-smooth
+          losses such as hinge. *)
+  range : float * float;
+}
+
+val logistic : t
+(** [log (1 + e^{−y·θᵀx})]; Lipschitz 1, smoothness 1/4, clipped to
+    [\[0, 4\]] for Gibbs sensitivity (the clip is immaterial for
+    ‖θ‖ ≤ 3, ‖x‖ ≤ 1 since the loss is then ≤ log(1+e³) < 4). *)
+
+val hinge : t
+(** [max 0 (1 − y·θᵀx)]; subgradient, Lipschitz 1, non-smooth,
+    range [\[0, 4\]] under the same clipping convention. *)
+
+val squared : t
+(** [(θᵀx − y)² / 2] clipped to [\[0, 8\]]; for regression with
+    bounded labels. Lipschitz constant reported for ‖θ‖ ≤ 3,
+    ‖x‖ ≤ 1, |y| ≤ 1. *)
+
+val huber : delta:float -> t
+(** Huber loss on the residual; Lipschitz [delta]. *)
+
+val zero_one : theta:float array -> x:float array -> y:float -> float
+(** 0-1 classification error (not a [t]: no useful gradient). *)
+
+val clip : t -> theta:float array -> x:float array -> y:float -> float
+(** The loss value clipped into its declared range — what the Gibbs
+    learner actually averages, making the sensitivity claim exact. *)
+
+val range_width : t -> float

@@ -1,0 +1,21 @@
+open Dp_math
+
+let non_private ~lo ~hi xs =
+  if Array.length xs = 0 then invalid_arg "Mean_estimator: empty data";
+  if lo >= hi then invalid_arg "Mean_estimator: requires lo < hi";
+  Summation.mean (Array.map (Numeric.clamp ~lo ~hi) xs)
+
+let laplace ~epsilon ~lo ~hi xs g =
+  let epsilon = Numeric.check_pos "Mean_estimator.laplace epsilon" epsilon in
+  let value = non_private ~lo ~hi xs in
+  let sens =
+    Dp_mechanism.Sensitivity.bounded_mean ~lo ~hi ~n:(Array.length xs)
+  in
+  let m = Dp_mechanism.Laplace.create ~sensitivity:sens ~epsilon in
+  Dp_mechanism.Laplace.release m ~value g
+
+let expected_absolute_error ~epsilon ~lo ~hi ~n =
+  let epsilon = Numeric.check_pos "Mean_estimator.expected_absolute_error" epsilon in
+  if n <= 0 then invalid_arg "Mean_estimator.expected_absolute_error: n <= 0";
+  if lo >= hi then invalid_arg "Mean_estimator.expected_absolute_error: lo >= hi";
+  (hi -. lo) /. (float_of_int n *. epsilon)

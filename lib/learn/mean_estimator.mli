@@ -1,0 +1,17 @@
+(** Private mean estimation of bounded scalars — the simplest
+    learning task (experiment E9), and the workload for the E1 privacy
+    audit. *)
+
+val non_private : lo:float -> hi:float -> float array -> float
+(** Clamps each record into [\[lo, hi\]] and averages.
+    @raise Invalid_argument on the empty array or [lo >= hi]. *)
+
+val laplace :
+  epsilon:float -> lo:float -> hi:float -> float array -> Dp_rng.Prng.t -> float
+(** The Laplace mechanism on the clamped mean: sensitivity
+    [(hi−lo)/n], hence noise [Lap((hi−lo)/(n·ε))] (paper Thm 2.2). *)
+
+val expected_absolute_error : epsilon:float -> lo:float -> hi:float -> n:int -> float
+(** The analytic mean absolute error of the noise term:
+    [E|Lap(b)| = b = (hi−lo)/(n·ε)] — the 1/(εn) utility law E9
+    plots. *)

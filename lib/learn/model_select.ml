@@ -1,0 +1,40 @@
+type 'a selection = {
+  chosen : 'a;
+  index : int;
+  scores : float array;
+  budget : Dp_mechanism.Privacy.budget;
+}
+
+let select ~epsilon ~candidates ~score ~score_sensitivity g =
+  let epsilon = Dp_math.Numeric.check_pos "Model_select.select epsilon" epsilon in
+  let score_sensitivity =
+    Dp_math.Numeric.check_pos "Model_select.select score_sensitivity"
+      score_sensitivity
+  in
+  let scores = Array.map score candidates in
+  let exponent =
+    Dp_mechanism.Exponential.calibrate_exponent ~target_epsilon:epsilon
+      ~sensitivity:score_sensitivity
+  in
+  let idx_mech =
+    Dp_mechanism.Exponential.of_qualities
+      ~candidates:(Array.init (Array.length candidates) Fun.id)
+      ~qualities:scores ~sensitivity:score_sensitivity ~epsilon:exponent ()
+  in
+  let index = Dp_mechanism.Exponential.sample idx_mech g in
+  {
+    chosen = candidates.(index);
+    index;
+    scores;
+    budget = Dp_mechanism.Privacy.pure epsilon;
+  }
+
+let select_best_lambda ~epsilon ~lambdas ~loss ~train ~validation g =
+  let m = Dp_dataset.Dataset.size validation in
+  let score lambda =
+    let model = Erm.train ~lambda ~loss train in
+    Erm.accuracy model.Erm.theta validation
+  in
+  select ~epsilon ~candidates:lambdas ~score
+    ~score_sensitivity:(1. /. float_of_int m)
+    g

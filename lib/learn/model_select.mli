@@ -1,0 +1,41 @@
+(** Private model selection via the exponential mechanism.
+
+    Choosing a hyperparameter (λ, bin count, radius, ...) by looking
+    at validation scores leaks information; selecting with the
+    exponential mechanism on the validation score bounds the leak.
+    With validation accuracy as the quality (sensitivity 1/m for m
+    validation records under replacement), the selection is
+    [2·exponent·(1/m)]-DP with respect to the validation set. *)
+
+type 'a selection = {
+  chosen : 'a;
+  index : int;
+  scores : float array;  (** non-private scores, for diagnostics *)
+  budget : Dp_mechanism.Privacy.budget;
+}
+
+val select :
+  epsilon:float ->
+  candidates:'a array ->
+  score:('a -> float) ->
+  score_sensitivity:float ->
+  Dp_rng.Prng.t ->
+  'a selection
+(** [select ~epsilon ~candidates ~score ~score_sensitivity g]: one
+    exponential-mechanism draw with exponent calibrated so the release
+    is ε-DP given the score sensitivity.
+    @raise Invalid_argument on empty candidates or non-positive
+    parameters. *)
+
+val select_best_lambda :
+  epsilon:float ->
+  lambdas:float array ->
+  loss:Loss_fn.t ->
+  train:Dp_dataset.Dataset.t ->
+  validation:Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  float selection
+(** Convenience: train a (non-private) ERM per λ and privately select
+    on validation accuracy (sensitivity 1/|validation|). Note the
+    budget covers the validation set only; combine with a private
+    trainer for end-to-end privacy. *)

@@ -1,0 +1,54 @@
+type model = { thetas : float array array; classes : int }
+
+let check ~classes ~features ~labels =
+  if classes < 2 then invalid_arg "Multiclass: classes must be >= 2";
+  let n = Array.length features in
+  if n = 0 || Array.length labels <> n then
+    invalid_arg "Multiclass: features/labels mismatch";
+  Array.iter
+    (fun l ->
+      if l < 0 || l >= classes then invalid_arg "Multiclass: label out of range")
+    labels
+
+let binary_dataset ~features ~labels c =
+  Dp_dataset.Dataset.create
+    (Array.map Array.copy features)
+    (Array.map (fun l -> if l = c then 1. else -1.) labels)
+
+let train ?(lambda = 1e-3) ~classes ~loss ~features ~labels () =
+  check ~classes ~features ~labels;
+  let thetas =
+    Array.init classes (fun c ->
+        (Erm.train ~lambda ~loss (binary_dataset ~features ~labels c)).Erm.theta)
+  in
+  { thetas; classes }
+
+let train_private_output ~epsilon ?(lambda = 1e-3) ~classes ~loss ~features
+    ~labels g =
+  check ~classes ~features ~labels;
+  let epsilon =
+    Dp_math.Numeric.check_pos "Multiclass.train_private_output epsilon" epsilon
+  in
+  let per_class = epsilon /. float_of_int classes in
+  let thetas =
+    Array.init classes (fun c ->
+        (Private_erm.output_perturbation ~epsilon:per_class ~lambda ~loss
+           (binary_dataset ~features ~labels c)
+           g)
+          .Private_erm.theta)
+  in
+  ({ thetas; classes }, Dp_mechanism.Privacy.pure epsilon)
+
+let predict m x =
+  Dp_linalg.Vec.argmax
+    (Array.map (fun theta -> Dp_linalg.Vec.dot theta x) m.thetas)
+
+let accuracy m ~features ~labels =
+  let n = Array.length features in
+  if n = 0 || Array.length labels <> n then
+    invalid_arg "Multiclass.accuracy: shape mismatch";
+  let correct = ref 0 in
+  for i = 0 to n - 1 do
+    if predict m features.(i) = labels.(i) then incr correct
+  done;
+  float_of_int !correct /. float_of_int n

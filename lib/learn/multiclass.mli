@@ -1,0 +1,37 @@
+(** Multiclass classification by one-vs-rest reduction over the binary
+    linear learners, with private training that splits the ε budget
+    across the per-class binary problems.
+
+    Because every record appears in each binary subproblem, the
+    subproblems compose SEQUENTIALLY: the per-class budget is ε/c. *)
+
+type model = { thetas : float array array; classes : int }
+
+val train :
+  ?lambda:float ->
+  classes:int ->
+  loss:Loss_fn.t ->
+  features:float array array ->
+  labels:int array ->
+  unit ->
+  model
+(** Labels in [\[0, classes)]; one regularized ERM per class on the
+    ±1 relabelling.
+    @raise Invalid_argument on bad labels or shapes. *)
+
+val train_private_output :
+  epsilon:float ->
+  ?lambda:float ->
+  classes:int ->
+  loss:Loss_fn.t ->
+  features:float array array ->
+  labels:int array ->
+  Dp_rng.Prng.t ->
+  model * Dp_mechanism.Privacy.budget
+(** Output perturbation per binary problem at ε/classes each; total
+    ε-DP by sequential composition. *)
+
+val predict : model -> float array -> int
+(** Argmax of the per-class decision values. *)
+
+val accuracy : model -> features:float array array -> labels:int array -> float

@@ -1,0 +1,88 @@
+open Dp_dataset
+open Dp_math
+
+type t = {
+  bins : int;
+  lo : float;
+  hi : float;
+  smoothing : float;
+  (* counts.(c).(j).(b): class c (0 = -1, 1 = +1), feature j, bin b *)
+  counts : float array array array;
+  class_counts : float array;
+}
+
+let bin_of t x =
+  let x = Numeric.clamp ~lo:t.lo ~hi:t.hi x in
+  let i = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int t.bins) in
+  Stdlib.min i (t.bins - 1)
+
+let class_index y =
+  if y = 1. then 1
+  else if y = -1. then 0
+  else invalid_arg "Naive_bayes: labels must be +-1"
+
+let raw_fit ~bins ~smoothing ~lo ~hi d =
+  if bins <= 0 then invalid_arg "Naive_bayes.fit: bins must be positive";
+  ignore (Numeric.check_nonneg "Naive_bayes.fit smoothing" smoothing);
+  if lo >= hi then invalid_arg "Naive_bayes.fit: lo >= hi";
+  let dim = Dataset.dim d in
+  let t =
+    {
+      bins;
+      lo;
+      hi;
+      smoothing;
+      counts = Array.init 2 (fun _ -> Array.init dim (fun _ -> Array.make bins 0.));
+      class_counts = Array.make 2 0.;
+    }
+  in
+  for i = 0 to Dataset.size d - 1 do
+    let x, y = Dataset.row d i in
+    let c = class_index y in
+    t.class_counts.(c) <- t.class_counts.(c) +. 1.;
+    Array.iteri
+      (fun j v ->
+        let b = bin_of t v in
+        t.counts.(c).(j).(b) <- t.counts.(c).(j).(b) +. 1.)
+      x
+  done;
+  t
+
+let fit ?(bins = 8) ?(smoothing = 1.) ~lo ~hi d =
+  raw_fit ~bins ~smoothing ~lo ~hi d
+
+let fit_private ~epsilon ?(bins = 8) ?(smoothing = 1.) ~lo ~hi d g =
+  let epsilon = Numeric.check_pos "Naive_bayes.fit_private epsilon" epsilon in
+  let t = raw_fit ~bins ~smoothing ~lo ~hi d in
+  let dim = Dataset.dim d in
+  (* one record contributes one unit to (d+1) histograms; replacement
+     moves 2 units in each: L1 sensitivity 2(d+1) over the whole table *)
+  let sensitivity = 2. *. float_of_int (dim + 1) in
+  let m = Dp_mechanism.Laplace.create ~sensitivity ~epsilon in
+  let noise c = Float.max 0. (Dp_mechanism.Laplace.release m ~value:c g) in
+  let counts = Array.map (Array.map (Array.map noise)) t.counts in
+  let class_counts = Array.map noise t.class_counts in
+  ({ t with counts; class_counts }, Dp_mechanism.Privacy.pure epsilon)
+
+let log_posterior_class t c x =
+  let sm = t.smoothing in
+  let total = t.class_counts.(0) +. t.class_counts.(1) +. (2. *. sm) in
+  let log_prior = log ((t.class_counts.(c) +. sm) /. total) in
+  let class_total = t.class_counts.(c) +. (sm *. float_of_int t.bins) in
+  log_prior
+  +. Numeric.float_sum_range (Array.length x) (fun j ->
+         let b = bin_of t x.(j) in
+         log ((t.counts.(c).(j).(b) +. sm) /. class_total))
+
+let predict_log_odds t x = log_posterior_class t 1 x -. log_posterior_class t 0 x
+
+let predict t x = if predict_log_odds t x >= 0. then 1. else -1.
+
+let accuracy t d =
+  let n = Dataset.size d in
+  let correct = ref 0 in
+  for i = 0 to n - 1 do
+    let x, y = Dataset.row d i in
+    if predict t x = y then incr correct
+  done;
+  float_of_int !correct /. float_of_int n

@@ -1,0 +1,42 @@
+(** Differentially-private naive Bayes over discretized features.
+
+    Features are binned per dimension; class-conditional bin counts
+    and class counts are the sufficient statistics. The private
+    variant releases every count through one Laplace mechanism — the
+    whole contingency table has L1 sensitivity 2·(d+1) under record
+    replacement (each record touches one cell per feature histogram
+    plus the class histogram, twice for replacement) — and then
+    post-processes (clamping, smoothing, normalization) freely. *)
+
+type t
+
+val fit :
+  ?bins:int ->
+  ?smoothing:float ->
+  lo:float ->
+  hi:float ->
+  Dp_dataset.Dataset.t ->
+  t
+(** Non-private fit. Labels must be ±1; features are clamped into
+    [\[lo, hi\]] and discretized into [bins] (default 8) per
+    dimension; [smoothing] (default 1) is the add-α on counts.
+    @raise Invalid_argument on bad parameters or labels outside ±1. *)
+
+val fit_private :
+  epsilon:float ->
+  ?bins:int ->
+  ?smoothing:float ->
+  lo:float ->
+  hi:float ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  t * Dp_mechanism.Privacy.budget
+(** ε-DP fit: Laplace(2(d+1)/ε) noise on every count. *)
+
+val predict : t -> float array -> float
+(** MAP class in {−1, +1}. *)
+
+val predict_log_odds : t -> float array -> float
+(** [log P(+1|x) − log P(−1|x)]. *)
+
+val accuracy : t -> Dp_dataset.Dataset.t -> float

@@ -1,0 +1,78 @@
+open Dp_math
+
+type model = {
+  components : float array array;
+  eigenvalues : float array;
+  explained_ratio : float;
+}
+
+let second_moment points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Pca: empty data";
+  let d = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> d then invalid_arg "Pca: ragged points")
+    points;
+  let m = Dp_linalg.Mat.zeros d d in
+  Array.iter
+    (fun p ->
+      for i = 0 to d - 1 do
+        for j = 0 to d - 1 do
+          Dp_linalg.Mat.set m i j (Dp_linalg.Mat.get m i j +. (p.(i) *. p.(j)))
+        done
+      done)
+    points;
+  Dp_linalg.Mat.scale (1. /. float_of_int n) m
+
+let model_of_matrix ~j m =
+  let d, _ = Dp_linalg.Mat.dims m in
+  if j < 1 || j > d then invalid_arg "Pca: j out of range";
+  let values, vectors = Dp_linalg.Decomp.jacobi_eigen m in
+  let components =
+    Array.init j (fun c -> Dp_linalg.Mat.col vectors c)
+  in
+  let total = Summation.sum_map Float.abs values in
+  let top = Numeric.float_sum_range j (fun i -> Float.abs values.(i)) in
+  {
+    components;
+    eigenvalues = Array.sub values 0 j;
+    explained_ratio = (if total > 0. then top /. total else 0.);
+  }
+
+let fit ~j points = model_of_matrix ~j (second_moment points)
+
+let fit_private ~epsilon ~j points g =
+  let epsilon = Numeric.check_pos "Pca.fit_private epsilon" epsilon in
+  let points = Array.map (Dp_linalg.Vec.project_l2_ball ~radius:1.) points in
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Pca.fit_private: empty data";
+  let d = Array.length points.(0) in
+  let m = second_moment points in
+  (* L1 sensitivity of the upper triangle: each of the d(d+1)/2 entries
+     moves by at most 2/n under replacement *)
+  let entries = float_of_int (d * (d + 1) / 2) in
+  let mech =
+    Dp_mechanism.Laplace.create
+      ~sensitivity:(2. *. entries /. float_of_int n)
+      ~epsilon
+  in
+  let noisy = Dp_linalg.Mat.copy m in
+  for i = 0 to d - 1 do
+    for k = i to d - 1 do
+      let v =
+        Dp_mechanism.Laplace.release mech ~value:(Dp_linalg.Mat.get m i k) g
+      in
+      Dp_linalg.Mat.set noisy i k v;
+      Dp_linalg.Mat.set noisy k i v
+    done
+  done;
+  (model_of_matrix ~j noisy, Dp_mechanism.Privacy.pure epsilon)
+
+let subspace_affinity a b =
+  let j = Array.length a.components in
+  if Array.length b.components <> j then
+    invalid_arg "Pca.subspace_affinity: component counts differ";
+  Numeric.float_sum_range j (fun i ->
+      Numeric.float_sum_range j (fun k ->
+          Numeric.sq (Dp_linalg.Vec.dot a.components.(i) b.components.(k))))
+  /. float_of_int j

@@ -1,0 +1,35 @@
+(** Principal component analysis, non-private and differentially
+    private (Laplace/Gaussian perturbation of the covariance matrix —
+    the "input perturbation" baseline of Dwork et al. 2014 / the
+    symmetric-perturbation line). For rows clipped to the unit L2
+    ball, replacing one record changes the empirical second-moment
+    matrix by at most [2/n] in Frobenius (and entrywise) norm, so
+    noising the (d² symmetric) entries gives DP; eigenvectors of the
+    noisy matrix are post-processing. *)
+
+type model = {
+  components : float array array;  (** rows: top eigenvectors *)
+  eigenvalues : float array;
+  explained_ratio : float;  (** top-j eigenvalue mass / total *)
+}
+
+val fit : j:int -> float array array -> model
+(** Top-[j] PCA of the (uncentred) second-moment matrix via Jacobi.
+    @raise Invalid_argument for j < 1, j > d, or ragged/empty data. *)
+
+val fit_private :
+  epsilon:float ->
+  j:int ->
+  float array array ->
+  Dp_rng.Prng.t ->
+  model * Dp_mechanism.Privacy.budget
+(** Laplace noise with scale [d(d+1)/2 · (2/n) / ε ÷ ...] — precisely:
+    the upper-triangle entries (d(d+1)/2 of them) form one vector
+    query with L1 sensitivity [2·d(d+1)/(2n)] bounded via per-entry
+    change [2/n]; symmetric noise is added and the eigendecomposition
+    taken. Rows are clipped to the unit ball first. *)
+
+val subspace_affinity : model -> model -> float
+(** [‖U₁ᵀU₂‖_F² / j ∈ [0, 1]]: 1 when the two j-dimensional principal
+    subspaces coincide — the recovery metric of experiment E26.
+    @raise Invalid_argument when component counts differ. *)

@@ -1,0 +1,115 @@
+open Dp_dataset
+open Dp_math
+
+type private_model = {
+  theta : float array;
+  budget : Dp_mechanism.Privacy.budget;
+  mechanism : string;
+}
+
+let output_perturbation ~epsilon ~lambda ~loss d g =
+  let epsilon = Numeric.check_pos "Private_erm.output_perturbation epsilon" epsilon in
+  let lambda = Numeric.check_pos "Private_erm.output_perturbation lambda" lambda in
+  let model = Erm.train ~lambda ~loss d in
+  let n = float_of_int (Dataset.size d) in
+  let scale = 2. *. loss.Loss_fn.lipschitz /. (n *. lambda *. epsilon) in
+  let noise =
+    Dp_rng.Sampler.laplace_vector_l2 ~dim:(Dataset.dim d) ~scale g
+  in
+  {
+    theta = Dp_linalg.Vec.add model.Erm.theta noise;
+    budget = Dp_mechanism.Privacy.pure epsilon;
+    mechanism = "output-perturbation";
+  }
+
+let objective_perturbation ~epsilon ~lambda ~loss d g =
+  let epsilon = Numeric.check_pos "Private_erm.objective_perturbation epsilon" epsilon in
+  let lambda = Numeric.check_pos "Private_erm.objective_perturbation lambda" lambda in
+  let c =
+    match loss.Loss_fn.smoothness with
+    | Some c -> c
+    | None ->
+        invalid_arg
+          "Private_erm.objective_perturbation: loss has no smoothness constant"
+  in
+  let n = float_of_int (Dataset.size d) in
+  (* Chaudhuri-Monteleoni-Sarwate Algorithm 2 calibration. *)
+  let eps' = epsilon -. (2. *. Float.log1p (c /. (n *. lambda))) in
+  let eps', extra_ridge =
+    if eps' > 0. then (eps', 0.)
+    else
+      let delta = (c /. (n *. (exp (epsilon /. 4.) -. 1.))) -. lambda in
+      (epsilon /. 2., Float.max 0. delta)
+  in
+  let b = Dp_rng.Sampler.laplace_vector_l2 ~dim:(Dataset.dim d) ~scale:(2. /. eps') g in
+  let lambda_total = lambda +. extra_ridge in
+  let f theta =
+    Erm.objective_value ~lambda:lambda_total ~loss d theta
+    +. (Dp_linalg.Vec.dot b theta /. n)
+  in
+  let grad theta =
+    let base = Array.make (Dataset.dim d) 0. in
+    for i = 0 to Dataset.size d - 1 do
+      let x, y = Dataset.row d i in
+      Dp_linalg.Vec.axpy_inplace ~alpha:1. (loss.Loss_fn.grad ~theta ~x ~y) base
+    done;
+    Array.mapi
+      (fun j gj -> (gj +. b.(j)) /. n +. (lambda_total *. theta.(j)))
+      base
+  in
+  let r = Dp_optim.Gd.minimize ~max_iter:2000 ~tol:1e-9 ~f ~grad
+      (Array.make (Dataset.dim d) 0.)
+  in
+  {
+    theta = r.Dp_optim.Gd.solution;
+    budget = Dp_mechanism.Privacy.pure epsilon;
+    mechanism = "objective-perturbation";
+  }
+
+let gibbs_beta ~epsilon ~n ~loss_range =
+  let epsilon = Numeric.check_pos "Private_erm.gibbs_beta epsilon" epsilon in
+  let loss_range = Numeric.check_pos "Private_erm.gibbs_beta loss_range" loss_range in
+  if n <= 0 then invalid_arg "Private_erm.gibbs_beta: n must be positive";
+  (* 2 beta ΔR̂ = eps with ΔR̂ = range/n. *)
+  epsilon *. float_of_int n /. (2. *. loss_range)
+
+let clipped_empirical_risk ~loss d theta =
+  let n = Dataset.size d in
+  Numeric.float_sum_range n (fun i ->
+      let x, y = Dataset.row d i in
+      Loss_fn.clip loss ~theta ~x ~y)
+  /. float_of_int n
+
+let gibbs_run ?mcmc_config ~epsilon ~radius ~loss ~n_samples d g =
+  let epsilon = Numeric.check_pos "Private_erm.gibbs epsilon" epsilon in
+  let radius = Numeric.check_pos "Private_erm.gibbs radius" radius in
+  let n = Dataset.size d in
+  let beta = gibbs_beta ~epsilon ~n ~loss_range:(Loss_fn.range_width loss) in
+  let log_density theta =
+    if Dp_linalg.Vec.norm2 theta > radius then neg_infinity
+    else -.beta *. clipped_empirical_risk ~loss d theta
+  in
+  let config =
+    Option.value mcmc_config
+      ~default:
+        {
+          Dp_pac_bayes.Mcmc.step_std = Float.max 0.05 (radius /. 10.);
+          burn_in = 3000;
+          thin = 5;
+        }
+  in
+  Dp_pac_bayes.Mcmc.run ~config ~log_density
+    ~init:(Array.make (Dataset.dim d) 0.)
+    ~n_samples g
+
+let gibbs ?mcmc_config ~epsilon ~radius ~loss d g =
+  let r = gibbs_run ?mcmc_config ~epsilon ~radius ~loss ~n_samples:1 d g in
+  {
+    theta = r.Dp_pac_bayes.Mcmc.samples.(0);
+    budget = Dp_mechanism.Privacy.pure epsilon;
+    mechanism = "gibbs-posterior";
+  }
+
+let gibbs_posterior_samples ?mcmc_config ~epsilon ~radius ~loss ~n_samples d g =
+  (gibbs_run ?mcmc_config ~epsilon ~radius ~loss ~n_samples d g)
+    .Dp_pac_bayes.Mcmc.samples

@@ -1,0 +1,77 @@
+(** Differentially-private empirical risk minimization.
+
+    Three mechanisms, matching the paper's landscape:
+
+    - {!output_perturbation} and {!objective_perturbation} are the
+      Chaudhuri–Monteleoni–Sarwate baselines the paper cites (refs 5,
+      6): perturb the deterministic ERM solution or the objective.
+    - {!gibbs} is the paper's own object (Theorem 4.1): sample from the
+      Gibbs posterior [∝ exp(−β·R̂(θ))] over a bounded predictor
+      space, i.e. the exponential mechanism with quality −R̂, realized
+      by MCMC on continuous Θ.
+
+    All assume feature vectors clipped to the unit L2 ball
+    ([Dp_dataset.Dataset.clip_rows_l2]). *)
+
+type private_model = {
+  theta : float array;
+  budget : Dp_mechanism.Privacy.budget;
+  mechanism : string;
+}
+
+val output_perturbation :
+  epsilon:float ->
+  lambda:float ->
+  loss:Loss_fn.t ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  private_model
+(** Chaudhuri et al. Algorithm 1: train regularized ERM, then add
+    noise with density [∝ exp(−‖b‖₂ / s)], [s = 2L/(nλε)] — the L2
+    sensitivity of the λ-strongly-convex minimizer is [2L/(nλ)].
+    ε-DP for any L-Lipschitz convex loss.
+    @raise Invalid_argument on non-positive ε or λ. *)
+
+val objective_perturbation :
+  epsilon:float ->
+  lambda:float ->
+  loss:Loss_fn.t ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  private_model
+(** Chaudhuri et al. Algorithm 2 (requires a smooth loss): perturb the
+    objective with a random linear term [bᵀθ/n] and, when needed, an
+    extra ridge term. Generally strictly better utility than output
+    perturbation at equal ε.
+    @raise Invalid_argument when the loss declares no smoothness
+    constant. *)
+
+val gibbs :
+  ?mcmc_config:Dp_pac_bayes.Mcmc.config ->
+  epsilon:float ->
+  radius:float ->
+  loss:Loss_fn.t ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  private_model
+(** The paper's mechanism: one draw from the Gibbs posterior
+    [∝ exp(−β R̂_clip(θ))] on [{‖θ‖₂ ≤ radius}] with uniform base
+    measure, [β = ε·n / (2·range)] so that [2βΔR̂ = ε] (Theorem 4.1).
+    The clipped loss makes ΔR̂ = range/n exact. The MCMC realization is
+    asymptotically exact (see ablation A3 for finite-chain error). *)
+
+val gibbs_beta : epsilon:float -> n:int -> loss_range:float -> float
+(** The inverse temperature used by {!gibbs}. *)
+
+val gibbs_posterior_samples :
+  ?mcmc_config:Dp_pac_bayes.Mcmc.config ->
+  epsilon:float ->
+  radius:float ->
+  loss:Loss_fn.t ->
+  n_samples:int ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  float array array
+(** Multiple posterior draws for diagnostics (note: releasing [k]
+    draws costs [k·ε] by composition — only the first draw is the
+    private release). *)

@@ -1,0 +1,40 @@
+open Dp_math
+
+let exact ~q xs = Dp_stats.Describe.quantile xs q
+
+let rank_error ~q ~estimate xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Quantile.rank_error: empty data";
+  let rank = Array.fold_left (fun acc x -> if x <= estimate then acc + 1 else acc) 0 xs in
+  abs (rank - int_of_float (Float.round (q *. float_of_int n)))
+
+let estimate ~epsilon ~q ~lo ~hi xs g =
+  let epsilon = Numeric.check_pos "Quantile.estimate epsilon" epsilon in
+  let q = Numeric.check_prob "Quantile.estimate q" q in
+  if lo >= hi then invalid_arg "Quantile.estimate: lo >= hi";
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Quantile.estimate: empty data";
+  (* clamp and sort; the quality is constant on each gap between
+     consecutive order statistics (including the [lo, x_(1)] and
+     [x_(n), hi] end gaps). *)
+  let sorted = Array.map (Numeric.clamp ~lo ~hi) xs in
+  Array.sort compare sorted;
+  let target = q *. float_of_int n in
+  (* paper normalization: weight exp(exponent * quality), privacy
+     2*exponent*dq with dq = 1 -> exponent = eps/2. *)
+  let exponent = epsilon /. 2. in
+  (* gap k in [0, n]: outputs x with exactly k data points <= x;
+     quality -(|k - target|); measure = gap length. *)
+  let boundaries =
+    Array.init (n + 2) (fun i ->
+        if i = 0 then lo else if i = n + 1 then hi else sorted.(i - 1))
+  in
+  let log_weights =
+    Array.init (n + 1) (fun k ->
+        let len = boundaries.(k + 1) -. boundaries.(k) in
+        if len <= 0. then neg_infinity
+        else
+          (-.exponent *. Float.abs (float_of_int k -. target)) +. log len)
+  in
+  let k = Dp_rng.Sampler.categorical_log ~log_weights g in
+  Dp_rng.Sampler.uniform ~lo:boundaries.(k) ~hi:boundaries.(k + 1) g

@@ -1,0 +1,31 @@
+(** Private quantile estimation through the exponential mechanism —
+    the canonical continuous-range instance of the paper's Theorem 2.3
+    (McSherry–Talwar 2007's own motivating example was selection; the
+    quantile version is Smith 2011's).
+
+    The quality of a candidate output x for the q-quantile of data
+    [D ⊂ [lo, hi]] is [−|#{i : dᵢ ≤ x} − q·n|]; its sensitivity under
+    record replacement is 1, and the quality is piecewise constant
+    between sorted data points, so the output density is a mixture of
+    uniforms over the gaps — exactly samplable in O(n log n). *)
+
+val estimate :
+  epsilon:float ->
+  q:float ->
+  lo:float ->
+  hi:float ->
+  float array ->
+  Dp_rng.Prng.t ->
+  float
+(** [estimate ~epsilon ~q ~lo ~hi xs g]: one ε-DP release of the
+    q-quantile. Data are clamped into [\[lo, hi\]]. The exponent is
+    calibrated so that [2·exponent·Δq = ε] (paper normalization).
+    @raise Invalid_argument on empty data, q outside [0,1], or
+    [lo >= hi]. *)
+
+val exact : q:float -> float array -> float
+(** Non-private comparison point (type-7 quantile). *)
+
+val rank_error : q:float -> estimate:float -> float array -> int
+(** |rank(estimate) − q·n|: the natural utility measure (how many
+    ranks off the release is). *)

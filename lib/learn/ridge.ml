@@ -1,0 +1,24 @@
+open Dp_dataset
+
+let fit ~lambda d =
+  let lambda = Dp_math.Numeric.check_pos "Ridge.fit lambda" lambda in
+  let n = Dataset.size d in
+  let x = Dp_linalg.Mat.of_arrays d.Dataset.features in
+  let gram = Dp_linalg.Mat.gram x in
+  let a = Dp_linalg.Mat.add_diagonal (float_of_int n *. lambda) gram in
+  let b = Dp_linalg.Mat.tmul_vec x d.Dataset.labels in
+  Dp_linalg.Decomp.solve_spd a b
+
+let fit_output_perturbed ~epsilon ~lambda d g =
+  let epsilon = Dp_math.Numeric.check_pos "Ridge.fit_output_perturbed epsilon" epsilon in
+  let theta = fit ~lambda d in
+  let n = float_of_int (Dataset.size d) in
+  (* Lipschitz constant 2 for the squared loss on clipped data over the
+     solution ball (see mli); sensitivity 2*2/(n lambda). *)
+  let scale = 4. /. (n *. lambda *. epsilon) in
+  let noise = Dp_rng.Sampler.laplace_vector_l2 ~dim:(Dataset.dim d) ~scale g in
+  Dp_linalg.Vec.add theta noise
+
+let fit_gibbs ?mcmc_config ~epsilon ~radius d g =
+  (Private_erm.gibbs ?mcmc_config ~epsilon ~radius ~loss:Loss_fn.squared d g)
+    .Private_erm.theta

@@ -1,0 +1,29 @@
+(** Ridge regression: the closed-form regression baseline plus private
+    releases (experiment E10). *)
+
+val fit : lambda:float -> Dp_dataset.Dataset.t -> float array
+(** [θ = (XᵀX + nλI)⁻¹ Xᵀy] via Cholesky.
+    @raise Invalid_argument for non-positive λ. *)
+
+val fit_output_perturbed :
+  epsilon:float ->
+  lambda:float ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  float array
+(** Output perturbation on the ridge solution. Valid for ‖x‖ ≤ 1 and
+    |y| ≤ 1 (clip the data first); the squared loss restricted to the
+    resulting solution ball has Lipschitz constant ≤ 2, giving
+    solution sensitivity [4/(nλ)] and noise density
+    [∝ exp(−ε‖b‖/(4/(nλ)))⁻¹-scaled]. *)
+
+val fit_gibbs :
+  ?mcmc_config:Dp_pac_bayes.Mcmc.config ->
+  epsilon:float ->
+  radius:float ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  float array
+(** One draw from the Gibbs posterior on the clipped squared loss over
+    the radius ball (the paper's mechanism specialized to
+    regression). *)

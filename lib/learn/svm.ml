@@ -1,0 +1,40 @@
+open Dp_dataset
+
+type model = { theta : float array; margin_violations : int }
+
+let train ?(lambda = 1e-3) ?(epochs = 40) d g =
+  let lambda = Dp_math.Numeric.check_pos "Svm.train lambda" lambda in
+  if epochs <= 0 then invalid_arg "Svm.train: epochs must be positive";
+  let n = Dataset.size d in
+  let grad_at i theta =
+    let x, y = Dataset.row d i in
+    let hinge_grad = Loss_fn.hinge.Loss_fn.grad ~theta ~x ~y in
+    Dp_linalg.Vec.axpy ~alpha:lambda theta hinge_grad
+  in
+  (* Pegasos ball: the optimum satisfies ||theta|| <= 1/sqrt(lambda). *)
+  let project = Dp_linalg.Vec.project_l2_ball ~radius:(1. /. sqrt lambda) in
+  let theta =
+    Dp_optim.Sgd.minimize ~epochs
+      ~schedule:(Dp_optim.Sgd.Inv_t (1. /. lambda))
+      ~project ~n ~grad_at
+      (Array.make (Dataset.dim d) 0.)
+      g
+  in
+  let violations = ref 0 in
+  for i = 0 to n - 1 do
+    let x, y = Dataset.row d i in
+    if y *. Dp_linalg.Vec.dot theta x < 1. then incr violations
+  done;
+  { theta; margin_violations = !violations }
+
+let train_private_output ~epsilon ?(lambda = 1e-3) d g =
+  let m =
+    Private_erm.output_perturbation ~epsilon ~lambda ~loss:Loss_fn.hinge d g
+  in
+  (m.Private_erm.theta, m.Private_erm.budget)
+
+let train_private_gibbs ?mcmc_config ~epsilon ~radius d g =
+  let m = Private_erm.gibbs ?mcmc_config ~epsilon ~radius ~loss:Loss_fn.hinge d g in
+  (m.Private_erm.theta, m.Private_erm.budget)
+
+let accuracy = Erm.accuracy

@@ -1,0 +1,33 @@
+(** Linear support vector machine — the second concrete task the paper
+    cites from Chaudhuri et al. (refs 5, 6). L2-regularized hinge-loss
+    ERM by projected subgradient descent, with the same three private
+    release routes as logistic regression. The hinge loss is not
+    smooth, so objective perturbation does not apply (the library
+    refuses it); output perturbation and the Gibbs sampler do. *)
+
+type model = { theta : float array; margin_violations : int }
+
+val train : ?lambda:float -> ?epochs:int -> Dp_dataset.Dataset.t -> Dp_rng.Prng.t -> model
+(** Pegasos-style SGD on the regularized hinge objective. [lambda]
+    defaults to 1e-3, [epochs] to 40.
+    @raise Invalid_argument for non-positive lambda/epochs. *)
+
+val train_private_output :
+  epsilon:float ->
+  ?lambda:float ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  float array * Dp_mechanism.Privacy.budget
+(** Output perturbation on the (batch) hinge ERM solution (hinge is
+    1-Lipschitz, so the Chaudhuri sensitivity [2/(nλ)] applies). *)
+
+val train_private_gibbs :
+  ?mcmc_config:Dp_pac_bayes.Mcmc.config ->
+  epsilon:float ->
+  radius:float ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  float array * Dp_mechanism.Privacy.budget
+(** One draw from the Gibbs posterior on the clipped hinge loss. *)
+
+val accuracy : float array -> Dp_dataset.Dataset.t -> float

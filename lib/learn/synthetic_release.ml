@@ -1,0 +1,82 @@
+open Dp_dataset
+open Dp_math
+
+type t = {
+  bins : int;
+  lo : float;
+  hi : float;
+  class_probs : float array; (* index 0 = label -1, 1 = label +1 *)
+  (* feature_tables.(c).(j) : alias table over bins *)
+  feature_tables : Dp_rng.Alias.t array array;
+}
+
+let fit ~epsilon ?(bins = 10) ~lo ~hi d g =
+  let epsilon = Numeric.check_pos "Synthetic_release.fit epsilon" epsilon in
+  if bins <= 0 then invalid_arg "Synthetic_release.fit: bins must be positive";
+  if lo >= hi then invalid_arg "Synthetic_release.fit: lo >= hi";
+  let dim = Dataset.dim d in
+  let n = Dataset.size d in
+  let counts = Array.init 2 (fun _ -> Array.init dim (fun _ -> Array.make bins 0.)) in
+  let class_counts = Array.make 2 0. in
+  let bin_of x =
+    let x = Numeric.clamp ~lo ~hi x in
+    Stdlib.min (bins - 1)
+      (int_of_float ((x -. lo) /. (hi -. lo) *. float_of_int bins))
+  in
+  for i = 0 to n - 1 do
+    let x, y = Dataset.row d i in
+    let c =
+      if y = 1. then 1
+      else if y = -1. then 0
+      else invalid_arg "Synthetic_release.fit: labels must be +-1"
+    in
+    class_counts.(c) <- class_counts.(c) +. 1.;
+    Array.iteri
+      (fun j v ->
+        let b = bin_of v in
+        counts.(c).(j).(b) <- counts.(c).(j).(b) +. 1.)
+      x
+  done;
+  let mech =
+    Dp_mechanism.Laplace.create
+      ~sensitivity:(2. *. float_of_int (dim + 1))
+      ~epsilon
+  in
+  let noise c = Float.max 0. (Dp_mechanism.Laplace.release mech ~value:c g) in
+  let noisy_counts = Array.map (Array.map (Array.map noise)) counts in
+  let noisy_class = Array.map noise class_counts in
+  (* smooth so every alias table is well defined *)
+  let smooth arr = Array.map (fun c -> c +. 0.5) arr in
+  let class_total = Summation.sum (smooth noisy_class) in
+  let class_probs =
+    Array.map (fun c -> (c +. 0.5) /. class_total) noisy_class
+  in
+  let feature_tables =
+    Array.map (Array.map (fun hist -> Dp_rng.Alias.create (smooth hist))) noisy_counts
+  in
+  ( { bins; lo; hi; class_probs; feature_tables },
+    Dp_mechanism.Privacy.pure epsilon )
+
+let class_balance t = t.class_probs.(1)
+
+let sample_record t g =
+  let c = if Dp_rng.Sampler.bernoulli ~p:t.class_probs.(1) g then 1 else 0 in
+  let width = (t.hi -. t.lo) /. float_of_int t.bins in
+  let x =
+    Array.map
+      (fun table ->
+        let b = Dp_rng.Alias.sample table g in
+        t.lo +. (width *. (float_of_int b +. Dp_rng.Prng.float g)))
+      t.feature_tables.(c)
+  in
+  (x, if c = 1 then 1. else -1.)
+
+let sample_dataset t ~n g =
+  if n <= 0 then invalid_arg "Synthetic_release.sample_dataset: n must be positive";
+  let features = Array.make n [||] and labels = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let x, y = sample_record t g in
+    features.(i) <- x;
+    labels.(i) <- y
+  done;
+  Dataset.create features labels

@@ -1,0 +1,35 @@
+(** Differentially-private synthetic data release.
+
+    A simple generative release: per-class feature histograms (noised
+    once under a single ε budget, like the naive-Bayes tables) define
+    a class-conditional product distribution; arbitrarily many
+    synthetic records can then be sampled as post-processing. The
+    standard "train on synthetic, test on real" protocol (experiment
+    E29) measures how much task utility the release preserves. *)
+
+type t
+
+val fit :
+  epsilon:float ->
+  ?bins:int ->
+  lo:float ->
+  hi:float ->
+  Dp_dataset.Dataset.t ->
+  Dp_rng.Prng.t ->
+  t * Dp_mechanism.Privacy.budget
+(** Labels must be ±1; features are clamped into [\[lo, hi\]] and
+    binned ([bins] defaults to 10 per dimension). Laplace noise with
+    the table sensitivity 2(d+1) is added to every count. ε-DP.
+    @raise Invalid_argument on bad parameters. *)
+
+val sample_record : t -> Dp_rng.Prng.t -> float array * float
+(** One synthetic (features, label) draw: label from the noisy class
+    distribution, each feature uniform within a bin drawn from its
+    class histogram. *)
+
+val sample_dataset : t -> n:int -> Dp_rng.Prng.t -> Dp_dataset.Dataset.t
+(** [n] i.i.d. synthetic records (free: post-processing).
+    @raise Invalid_argument for n <= 0. *)
+
+val class_balance : t -> float
+(** The noisy P(y = +1). *)

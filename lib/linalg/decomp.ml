@@ -1,0 +1,256 @@
+exception Singular of string
+
+let cholesky a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Decomp.cholesky: requires square matrix";
+  let l = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s =
+        Dp_math.Numeric.float_sum_range j (fun k -> Mat.get l i k *. Mat.get l j k)
+      in
+      if i = j then begin
+        let d = Mat.get a i i -. s in
+        if d <= 0. || not (Float.is_finite d) then
+          raise (Singular (Printf.sprintf "cholesky: pivot %d is %g" i d));
+        Mat.set l i i (sqrt d)
+      end
+      else Mat.set l i j ((Mat.get a i j -. s) /. Mat.get l j j)
+    done
+  done;
+  l
+
+let cholesky_solve l b =
+  let n, _ = Mat.dims l in
+  if Array.length b <> n then invalid_arg "Decomp.cholesky_solve: size mismatch";
+  (* Forward substitution: L y = b. *)
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let s =
+      Dp_math.Numeric.float_sum_range i (fun k -> Mat.get l i k *. y.(k))
+    in
+    y.(i) <- (b.(i) -. s) /. Mat.get l i i
+  done;
+  (* Back substitution: Lᵀ x = y. *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let s =
+      Dp_math.Numeric.float_sum_range (n - i - 1) (fun k ->
+          Mat.get l (i + 1 + k) i *. x.(i + 1 + k))
+    in
+    x.(i) <- (y.(i) -. s) /. Mat.get l i i
+  done;
+  x
+
+let solve_spd a b = cholesky_solve (cholesky a) b
+
+let lu a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Decomp.lu: requires square matrix";
+  let lu = Mat.copy a in
+  let piv = Array.init n Fun.id in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let t = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !p j);
+        Mat.set lu !p j t
+      done;
+      let t = piv.(k) in
+      piv.(k) <- piv.(!p);
+      piv.(!p) <- t;
+      sign := - !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if pivot = 0. then raise (Singular (Printf.sprintf "lu: zero pivot at %d" k));
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+      done
+    done
+  done;
+  (lu, piv, !sign)
+
+let lu_solve (lu, piv, _sign) b =
+  let n, _ = Mat.dims lu in
+  if Array.length b <> n then invalid_arg "Decomp.lu_solve: size mismatch";
+  let x = Array.init n (fun i -> b.(piv.(i))) in
+  (* Forward: L y = Pb (unit diagonal). *)
+  for i = 1 to n - 1 do
+    let s = Dp_math.Numeric.float_sum_range i (fun k -> Mat.get lu i k *. x.(k)) in
+    x.(i) <- x.(i) -. s
+  done;
+  (* Backward: U x = y. *)
+  for i = n - 1 downto 0 do
+    let s =
+      Dp_math.Numeric.float_sum_range (n - i - 1) (fun k ->
+          Mat.get lu i (i + 1 + k) *. x.(i + 1 + k))
+    in
+    x.(i) <- (x.(i) -. s) /. Mat.get lu i i
+  done;
+  x
+
+let solve a b = lu_solve (lu a) b
+
+let inverse a =
+  let n, _ = Mat.dims a in
+  let fact = lu a in
+  let out = Mat.zeros n n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    let x = lu_solve fact e in
+    for i = 0 to n - 1 do
+      Mat.set out i j x.(i)
+    done
+  done;
+  out
+
+let determinant a =
+  match lu a with
+  | lu, _, sign ->
+      let n, _ = Mat.dims lu in
+      let d =
+        Array.init n (fun i -> Mat.get lu i i) |> Array.fold_left ( *. ) 1.
+      in
+      float_of_int sign *. d
+  | exception Singular _ -> 0.
+
+let log_det_spd a =
+  let l = cholesky a in
+  let n, _ = Mat.dims l in
+  2. *. Dp_math.Numeric.float_sum_range n (fun i -> log (Mat.get l i i))
+
+let qr a =
+  let m, n = Mat.dims a in
+  if m < n then invalid_arg "Decomp.qr: requires rows >= cols";
+  let r = Mat.copy a in
+  (* Accumulate Householder reflectors applied to the full identity,
+     keep only the first n columns at the end. *)
+  let q = Mat.identity m in
+  for k = 0 to n - 1 do
+    (* Householder vector for column k below the diagonal. *)
+    let normx =
+      sqrt
+        (Dp_math.Numeric.float_sum_range (m - k) (fun i ->
+             let v = Mat.get r (k + i) k in
+             v *. v))
+    in
+    if normx > 0. then begin
+      let alpha = if Mat.get r k k >= 0. then -.normx else normx in
+      let v = Array.make m 0. in
+      for i = k to m - 1 do
+        v.(i) <- Mat.get r i k
+      done;
+      v.(k) <- v.(k) -. alpha;
+      let vnorm2 = Dp_math.Numeric.float_sum_range m (fun i -> v.(i) *. v.(i)) in
+      if vnorm2 > 0. then begin
+        let beta = 2. /. vnorm2 in
+        (* R <- (I - beta v vᵀ) R on columns k.. *)
+        for j = k to n - 1 do
+          let s =
+            Dp_math.Numeric.float_sum_range (m - k) (fun i ->
+                v.(k + i) *. Mat.get r (k + i) j)
+          in
+          for i = k to m - 1 do
+            Mat.set r i j (Mat.get r i j -. (beta *. v.(i) *. s))
+          done
+        done;
+        (* Q <- Q (I - beta v vᵀ). *)
+        for i = 0 to m - 1 do
+          let s =
+            Dp_math.Numeric.float_sum_range (m - k) (fun jj ->
+                Mat.get q i (k + jj) *. v.(k + jj))
+          in
+          for j = k to m - 1 do
+            Mat.set q i j (Mat.get q i j -. (beta *. s *. v.(j)))
+          done
+        done
+      end
+    end
+  done;
+  let q_thin = Mat.init m n (fun i j -> Mat.get q i j) in
+  let r_thin = Mat.init n n (fun i j -> if j >= i then Mat.get r i j else 0.) in
+  (q_thin, r_thin)
+
+let lstsq a b =
+  let m, n = Mat.dims a in
+  if Array.length b <> m then invalid_arg "Decomp.lstsq: size mismatch";
+  let q, r = qr a in
+  let qtb = Mat.tmul_vec q b in
+  (* Back substitution on R. *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let rii = Mat.get r i i in
+    if Float.abs rii < 1e-12 *. (1. +. Mat.max_abs r) then
+      raise (Singular "lstsq: rank-deficient matrix");
+    let s =
+      Dp_math.Numeric.float_sum_range (n - i - 1) (fun k ->
+          Mat.get r i (i + 1 + k) *. x.(i + 1 + k))
+    in
+    x.(i) <- (qtb.(i) -. s) /. rii
+  done;
+  x
+
+let jacobi_eigen ?(tol = 1e-12) ?(max_sweeps = 100) a =
+  if not (Mat.is_symmetric ~tol:1e-9 a) then
+    invalid_arg "Decomp.jacobi_eigen: requires symmetric matrix";
+  let n, _ = Mat.dims a in
+  let d = Mat.copy a in
+  let v = Mat.identity n in
+  let off m =
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then s := !s +. Dp_math.Numeric.sq (Mat.get m i j)
+      done
+    done;
+    sqrt !s
+  in
+  let sweep = ref 0 in
+  while off d > tol *. (1. +. Mat.frobenius_norm d) && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get d p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = Mat.get d p p and aqq = Mat.get d q q in
+          let theta = (aqq -. app) /. (2. *. apq) in
+          let t =
+            let s = if theta >= 0. then 1. else -1. in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          (* Apply rotation G(p,q,θ) on both sides of D and accumulate V. *)
+          for k = 0 to n - 1 do
+            let dkp = Mat.get d k p and dkq = Mat.get d k q in
+            Mat.set d k p ((c *. dkp) -. (s *. dkq));
+            Mat.set d k q ((s *. dkp) +. (c *. dkq))
+          done;
+          for k = 0 to n - 1 do
+            let dpk = Mat.get d p k and dqk = Mat.get d q k in
+            Mat.set d p k ((c *. dpk) -. (s *. dqk));
+            Mat.set d q k ((s *. dpk) +. (c *. dqk))
+          done;
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  let eigs = Array.init n (fun i -> (Mat.get d i i, i)) in
+  Array.sort (fun (a, _) (b, _) -> compare b a) eigs;
+  let values = Array.map fst eigs in
+  let vectors = Mat.init n n (fun i j -> Mat.get v i (snd eigs.(j))) in
+  (values, vectors)

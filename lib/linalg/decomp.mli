@@ -1,0 +1,56 @@
+(** Matrix factorizations and linear solvers.
+
+    Sizes here are small (predictor dimension d ≲ 100), so classical
+    O(n³) algorithms without blocking are the right tool. *)
+
+exception Singular of string
+(** Raised when a factorization meets a (numerically) singular or
+    non-positive-definite matrix. *)
+
+val cholesky : Mat.t -> Mat.t
+(** [cholesky a] returns the lower-triangular [L] with [L Lᵀ = A] for a
+    symmetric positive-definite [A].
+    @raise Singular when a pivot is not strictly positive.
+    @raise Invalid_argument when [A] is not square. *)
+
+val cholesky_solve : Mat.t -> Vec.t -> Vec.t
+(** [cholesky_solve l b] solves [L Lᵀ x = b] given the Cholesky factor. *)
+
+val solve_spd : Mat.t -> Vec.t -> Vec.t
+(** [solve_spd a b] solves [A x = b] for symmetric positive-definite
+    [A] via Cholesky. *)
+
+val lu : Mat.t -> Mat.t * int array * int
+(** [lu a] computes a PA = LU factorization with partial pivoting,
+    returning the packed LU matrix, the pivot permutation, and the
+    permutation sign.
+    @raise Singular on zero pivots. *)
+
+val lu_solve : Mat.t * int array * int -> Vec.t -> Vec.t
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** General square solve via LU. *)
+
+val inverse : Mat.t -> Mat.t
+(** Matrix inverse via LU (use {!solve} when possible). *)
+
+val determinant : Mat.t -> float
+
+val log_det_spd : Mat.t -> float
+(** Log-determinant of a symmetric positive-definite matrix via
+    Cholesky (never over/underflows for moderate dimensions). *)
+
+val qr : Mat.t -> Mat.t * Mat.t
+(** Householder QR of an [m×n] matrix with [m >= n]: returns the thin
+    factors [(Q, R)] with [Q : m×n] orthonormal columns and [R : n×n]
+    upper triangular. *)
+
+val lstsq : Mat.t -> Vec.t -> Vec.t
+(** Least-squares solution of [A x ≈ b] via QR.
+    @raise Singular when [A] is rank deficient. *)
+
+val jacobi_eigen : ?tol:float -> ?max_sweeps:int -> Mat.t -> Vec.t * Mat.t
+(** [jacobi_eigen a] returns [(eigenvalues, eigenvectors)] of a
+    symmetric matrix by cyclic Jacobi rotations; eigenvectors are the
+    columns of the returned matrix, eigenvalues sorted descending.
+    @raise Invalid_argument when [A] is not symmetric. *)

@@ -1,0 +1,137 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_size name rows cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg (Printf.sprintf "Mat.%s: non-positive dimensions %dx%d" name rows cols)
+
+let create rows cols x =
+  check_size "create" rows cols;
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let init rows cols f =
+  check_size "init" rows cols;
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let zeros rows cols = create rows cols 0.
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays arr =
+  let rows = Array.length arr in
+  if rows = 0 then invalid_arg "Mat.of_arrays: zero rows";
+  let cols = Array.length arr.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged rows")
+    arr;
+  init rows cols (fun i j -> arr.(i).(j))
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let copy m = { m with data = Array.copy m.data }
+let dims m = (m.rows, m.cols)
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: shape mismatch" name)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale alpha a = { a with data = Array.map (fun x -> alpha *. x) a.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  let out = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then begin
+        let arow = i * b.cols and brow = k * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  out
+
+let mul_vec a x =
+  if a.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      Dp_math.Numeric.float_sum_range a.cols (fun j -> get a i j *. x.(j)))
+
+let tmul_vec a x =
+  if a.rows <> Array.length x then invalid_arg "Mat.tmul_vec: dimension mismatch";
+  Array.init a.cols (fun j ->
+      Dp_math.Numeric.float_sum_range a.rows (fun i -> get a i j *. x.(i)))
+
+let gram a =
+  let out = zeros a.cols a.cols in
+  for i = 0 to a.cols - 1 do
+    for j = i to a.cols - 1 do
+      let v =
+        Dp_math.Numeric.float_sum_range a.rows (fun k -> get a k i *. get a k j)
+      in
+      set out i j v;
+      set out j i v
+    done
+  done;
+  out
+
+let outer x y =
+  init (Array.length x) (Array.length y) (fun i j -> x.(i) *. y.(j))
+
+let add_diagonal lambda a =
+  if a.rows <> a.cols then invalid_arg "Mat.add_diagonal: requires square matrix";
+  let out = copy a in
+  for i = 0 to a.rows - 1 do
+    set out i i (get out i i +. lambda)
+  done;
+  out
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Mat.trace: requires square matrix";
+  Dp_math.Numeric.float_sum_range m.rows (fun i -> get m i i)
+
+let frobenius_norm m =
+  sqrt (Dp_math.Summation.sum_map (fun x -> x *. x) m.data)
+
+let max_abs m = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. m.data
+
+let is_symmetric ?(tol = 1e-12) m =
+  m.rows = m.cols
+  &&
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if Float.abs (get m i j -. get m j i) > tol *. (1. +. max_abs m) then
+        ok := false
+    done
+  done;
+  !ok
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%10.5g" (get m i j)
+    done;
+    Format.fprintf fmt "]@,"
+  done;
+  Format.fprintf fmt "@]"

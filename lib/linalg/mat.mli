@@ -1,0 +1,47 @@
+(** Dense row-major matrices. *)
+
+type t = { rows : int; cols : int; data : float array }
+(** Row-major storage: element [(i,j)] lives at [data.(i * cols + j)]. *)
+
+val create : int -> int -> float -> t
+val init : int -> int -> (int -> int -> float) -> t
+val zeros : int -> int -> t
+val identity : int -> t
+val of_arrays : float array array -> t
+(** @raise Invalid_argument on ragged input or zero rows. *)
+
+val to_arrays : t -> float array array
+val copy : t -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val dims : t -> int * int
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on inner-dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [A x]. *)
+
+val tmul_vec : t -> Vec.t -> Vec.t
+(** [tmul_vec a x] is [Aᵀ x] without materializing the transpose. *)
+
+val gram : t -> t
+(** [gram a] is [Aᵀ A] (symmetric, PSD). *)
+
+val outer : Vec.t -> Vec.t -> t
+(** Outer product [x yᵀ]. *)
+
+val add_diagonal : float -> t -> t
+(** [add_diagonal lambda a] is [A + λI]. @raise Invalid_argument unless
+    square. *)
+
+val trace : t -> float
+val frobenius_norm : t -> float
+val max_abs : t -> float
+val is_symmetric : ?tol:float -> t -> bool
+val pp : Format.formatter -> t -> unit

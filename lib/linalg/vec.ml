@@ -1,0 +1,84 @@
+type t = float array
+
+let create n x = Array.make n x
+let init = Array.init
+let zeros n = Array.make n 0.
+let copy = Array.copy
+let dim = Array.length
+let of_list = Array.of_list
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length a) (Array.length b))
+
+let add a b =
+  check_dims "add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale alpha a = Array.map (fun x -> alpha *. x) a
+
+let axpy ~alpha x y =
+  check_dims "axpy" x y;
+  Array.mapi (fun i yi -> (alpha *. x.(i)) +. yi) y
+
+let axpy_inplace ~alpha x y =
+  check_dims "axpy_inplace" x y;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let dot = Dp_math.Summation.dot
+
+let norm2 a = sqrt (dot a a)
+
+let norm1 a = Dp_math.Summation.sum_map Float.abs a
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+let dist2 a b = norm2 (sub a b)
+
+let normalize a =
+  let n = norm2 a in
+  if n = 0. then invalid_arg "Vec.normalize: zero vector";
+  scale (1. /. n) a
+
+let project_l2_ball ~radius a =
+  let radius = Dp_math.Numeric.check_nonneg "Vec.project_l2_ball radius" radius in
+  let n = norm2 a in
+  if n <= radius then copy a else scale (radius /. n) a
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let mean = Dp_math.Summation.mean
+
+let argmax a =
+  if Array.length a = 0 then invalid_arg "Vec.argmax: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let argmin a =
+  if Array.length a = 0 then invalid_arg "Vec.argmin: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(!best) then best := i
+  done;
+  !best
+
+let pp fmt a =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" x)
+    a;
+  Format.fprintf fmt "|]"

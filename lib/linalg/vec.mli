@@ -1,0 +1,62 @@
+(** Dense float vectors.
+
+    Vectors are plain [float array]s; this module provides the
+    non-mutating operations the learners need, with compensated
+    reductions. Mutating variants are suffixed [_inplace]. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is a vector of [n] copies of [x]. *)
+
+val init : int -> (int -> float) -> t
+
+val zeros : int -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val add : t -> t -> t
+(** Elementwise sum. @raise Invalid_argument on dimension mismatch. *)
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : alpha:float -> t -> t -> t
+(** [axpy ~alpha x y] is [alpha * x + y]. *)
+
+val axpy_inplace : alpha:float -> t -> t -> unit
+(** [axpy_inplace ~alpha x y] updates [y <- alpha * x + y]. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm1 : t -> float
+
+val norm_inf : t -> float
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val normalize : t -> t
+(** Unit-norm rescaling. @raise Invalid_argument on the zero vector. *)
+
+val project_l2_ball : radius:float -> t -> t
+(** Euclidean projection onto the ball of the given radius. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val mean : t -> float
+
+val argmax : t -> int
+(** Index of the first maximal element. @raise Invalid_argument on empty. *)
+
+val argmin : t -> int
+
+val pp : Format.formatter -> t -> unit

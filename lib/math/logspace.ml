@@ -1,0 +1,51 @@
+let log_sum_exp a =
+  let n = Array.length a in
+  if n = 0 then neg_infinity
+  else begin
+    let m = Array.fold_left Float.max neg_infinity a in
+    if m = neg_infinity then neg_infinity
+    else if m = infinity then infinity
+    else
+      let s = Numeric.float_sum_range n (fun i -> exp (a.(i) -. m)) in
+      m +. log s
+  end
+
+let log_sum_exp2 x y =
+  if x = neg_infinity then y
+  else if y = neg_infinity then x
+  else
+    let m = Float.max x y in
+    m +. log (exp (x -. m) +. exp (y -. m))
+
+let log_mean_exp a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Logspace.log_mean_exp: empty array";
+  log_sum_exp a -. log (float_of_int n)
+
+let normalize_log_weights lw =
+  if Array.length lw = 0 then
+    invalid_arg "Logspace.normalize_log_weights: empty array";
+  let z = log_sum_exp lw in
+  if z = neg_infinity then
+    invalid_arg "Logspace.normalize_log_weights: all weights are zero";
+  Array.map (fun w -> exp (w -. z)) lw
+
+let log1mexp x =
+  if x >= 0. then invalid_arg "Logspace.log1mexp: argument must be < 0";
+  (* Mächler's cutoff at -log 2 balances the accuracy of the two
+     formulations. *)
+  if x > -.(log 2.) then log (-.Float.expm1 x)
+  else Float.log1p (-.exp x)
+
+let log1pexp x =
+  if x <= -37. then exp x
+  else if x <= 18. then Float.log1p (exp x)
+  else if x <= 33.3 then x +. exp (-.x)
+  else x
+
+let logaddexp_weighted la a lb b =
+  if a < 0. || b < 0. then
+    invalid_arg "Logspace.logaddexp_weighted: negative coefficient";
+  let ta = if a = 0. then neg_infinity else la +. log a in
+  let tb = if b = 0. then neg_infinity else lb +. log b in
+  log_sum_exp2 ta tb

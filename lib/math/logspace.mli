@@ -1,0 +1,39 @@
+(** Log-domain arithmetic.
+
+    Gibbs posteriors involve weights [exp (-beta * risk)] whose direct
+    evaluation under- or overflows as soon as [beta * n] is large; every
+    posterior computation in this library therefore works with log
+    weights and normalizes through {!log_sum_exp}. *)
+
+val log_sum_exp : float array -> float
+(** [log_sum_exp a] is [log (Σ exp aᵢ)] computed stably by factoring out
+    the maximum. Returns [neg_infinity] for the empty array and for
+    arrays of [neg_infinity]. *)
+
+val log_sum_exp2 : float -> float -> float
+(** Binary log-sum-exp. *)
+
+val log_mean_exp : float array -> float
+(** [log_mean_exp a] is [log ((1/n) Σ exp aᵢ)].
+    @raise Invalid_argument on the empty array. *)
+
+val normalize_log_weights : float array -> float array
+(** [normalize_log_weights lw] turns log weights into a probability
+    vector [exp (lwᵢ - log_sum_exp lw)]. The result sums to 1 up to
+    roundoff.
+    @raise Invalid_argument if all weights are [neg_infinity] or the
+    array is empty. *)
+
+val log1mexp : float -> float
+(** [log1mexp x] is [log (1 - exp x)] for [x < 0], computed stably
+    (uses [log1p] or [expm1] depending on magnitude, following
+    Mächler 2012).
+    @raise Invalid_argument if [x >= 0]. *)
+
+val log1pexp : float -> float
+(** [log1pexp x] is [log (1 + exp x)] (the softplus), stable over the
+    whole real line. *)
+
+val logaddexp_weighted : float -> float -> float -> float -> float
+(** [logaddexp_weighted la a lb b] is [log (a·exp la + b·exp lb)] for
+    nonnegative coefficients [a], [b] (log-domain convex mixing). *)

@@ -1,0 +1,63 @@
+let default_rel_tol = 1e-9
+
+let is_finite x = Float.is_finite x
+
+let approx_equal ?(rel_tol = default_rel_tol) ?(abs_tol = 0.) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else if a = b then true
+  else
+    let diff = Float.abs (a -. b) in
+    let scale = Float.max (Float.abs a) (Float.abs b) in
+    diff <= abs_tol || diff <= rel_tol *. scale
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Numeric.clamp: lo > hi"
+  else if x < lo then lo
+  else if x > hi then hi
+  else x
+
+let check_finite name x =
+  if is_finite x then x
+  else invalid_arg (Printf.sprintf "%s: expected finite float, got %g" name x)
+
+let check_prob name p =
+  let p = check_finite name p in
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "%s: expected probability in [0,1], got %g" name p)
+  else p
+
+let check_pos name x =
+  let x = check_finite name x in
+  if x <= 0. then invalid_arg (Printf.sprintf "%s: expected > 0, got %g" name x)
+  else x
+
+let check_nonneg name x =
+  let x = check_finite name x in
+  if x < 0. then invalid_arg (Printf.sprintf "%s: expected >= 0, got %g" name x)
+  else x
+
+let log2 x = log x /. log 2.
+
+let xlogx x =
+  if x < 0. then invalid_arg "Numeric.xlogx: negative input"
+  else if x = 0. then 0.
+  else x *. log x
+
+let xlogy x y =
+  if x = 0. then 0. else x *. log y
+
+let sq x = x *. x
+
+(* Neumaier's improved Kahan summation: tracks a running compensation
+   that also handles the case where the next term is larger than the
+   accumulated sum. *)
+let float_sum_range n f =
+  let sum = ref 0. and comp = ref 0. in
+  for i = 0 to n - 1 do
+    let x = f i in
+    let t = !sum +. x in
+    if Float.abs !sum >= Float.abs x then comp := !comp +. ((!sum -. t) +. x)
+    else comp := !comp +. ((x -. t) +. !sum);
+    sum := t
+  done;
+  !sum +. !comp

@@ -1,0 +1,56 @@
+(** Floating-point helpers shared across the library.
+
+    All numerical code in this project funnels comparisons and domain
+    checks through this module so that tolerance conventions stay
+    consistent. *)
+
+val default_rel_tol : float
+(** Relative tolerance used by {!approx_equal} when none is given
+    ([1e-9]). *)
+
+val approx_equal : ?rel_tol:float -> ?abs_tol:float -> float -> float -> bool
+(** [approx_equal a b] is true when [a] and [b] agree up to the given
+    relative tolerance (scaled by the larger magnitude) or absolute
+    tolerance. NaN is never approximately equal to anything. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] limits [x] to the interval [\[lo, hi\]].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val is_finite : float -> bool
+(** True when the argument is neither NaN nor infinite. *)
+
+val check_finite : string -> float -> float
+(** [check_finite name x] returns [x] or raises [Invalid_argument]
+    mentioning [name] when [x] is not finite. *)
+
+val check_prob : string -> float -> float
+(** [check_prob name p] returns [p] or raises [Invalid_argument] when
+    [p] is outside [\[0, 1\]] (or not finite). *)
+
+val check_pos : string -> float -> float
+(** [check_pos name x] returns [x] or raises [Invalid_argument] when
+    [x <= 0] or [x] is not finite. *)
+
+val check_nonneg : string -> float -> float
+(** [check_nonneg name x] returns [x] or raises [Invalid_argument] when
+    [x < 0] or [x] is not finite. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val xlogx : float -> float
+(** [xlogx x] is [x *. log x] with the continuous extension [0. at 0.];
+    the workhorse of entropy computations.
+    @raise Invalid_argument on negative input. *)
+
+val xlogy : float -> float -> float
+(** [xlogy x y] is [x *. log y] with the convention [xlogy 0. y = 0.]
+    for any [y >= 0.] (including 0), as used in KL divergences. *)
+
+val sq : float -> float
+(** [sq x] is [x *. x]. *)
+
+val float_sum_range : int -> (int -> float) -> float
+(** [float_sum_range n f] is the compensated sum [f 0 +. ... +. f (n-1)]
+    using Neumaier summation. *)

@@ -1,0 +1,55 @@
+let simpson ?(n = 256) ~f a b =
+  if n <= 0 then invalid_arg "Quadrature.simpson: n must be positive";
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let h = (b -. a) /. float_of_int n in
+  let term i =
+    let x = a +. (float_of_int i *. h) in
+    let w = if i = 0 || i = n then 1. else if i mod 2 = 1 then 4. else 2. in
+    w *. f x
+  in
+  h /. 3. *. Numeric.float_sum_range (n + 1) term
+
+let rec adaptive_step ~f a b fa fb fm whole tol depth =
+  let m = 0.5 *. (a +. b) in
+  let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+  let flm = f lm and frm = f rm in
+  let h = b -. a in
+  let left = h /. 12. *. (fa +. (4. *. flm) +. fm) in
+  let right = h /. 12. *. (fm +. (4. *. frm) +. fb) in
+  let delta = left +. right -. whole in
+  if depth <= 0 || Float.abs delta <= 15. *. tol then
+    left +. right +. (delta /. 15.)
+  else
+    adaptive_step ~f a m fa fm flm left (tol /. 2.) (depth - 1)
+    +. adaptive_step ~f m b fm fb frm right (tol /. 2.) (depth - 1)
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 40) ~f a b =
+  if a = b then 0.
+  else begin
+    let fa = f a and fb = f b in
+    let m = 0.5 *. (a +. b) in
+    let fm = f m in
+    let whole = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+    adaptive_step ~f a b fa fb fm whole tol max_depth
+  end
+
+let trapezoid ?(n = 256) ~f a b =
+  if n <= 0 then invalid_arg "Quadrature.trapezoid: n must be positive";
+  let h = (b -. a) /. float_of_int n in
+  let term i =
+    let x = a +. (float_of_int i *. h) in
+    let w = if i = 0 || i = n then 0.5 else 1. in
+    w *. f x
+  in
+  h *. Numeric.float_sum_range (n + 1) term
+
+let integrate_to_infinity ?(tol = 1e-10) ~f a =
+  (* x = a + t/(1-t), dx = dt/(1-t)^2; integrate t over [0, 1). We stop
+     just short of 1 to keep the transformed integrand finite; the tail
+     beyond is negligible for decaying integrands. *)
+  let g t =
+    let omt = 1. -. t in
+    let x = a +. (t /. omt) in
+    f x /. (omt *. omt)
+  in
+  adaptive_simpson ~tol ~f:g 0. (1. -. 1e-9)

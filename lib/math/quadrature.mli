@@ -1,0 +1,18 @@
+(** Numerical integration on finite and semi-infinite intervals. *)
+
+val simpson : ?n:int -> f:(float -> float) -> float -> float -> float
+(** [simpson ~f a b] composite Simpson rule with [n] panels (default
+    256; rounded up to even). *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> f:(float -> float) -> float -> float -> float
+(** Adaptive Simpson integration with per-interval error control. *)
+
+val trapezoid : ?n:int -> f:(float -> float) -> float -> float -> float
+(** Composite trapezoid rule. *)
+
+val integrate_to_infinity :
+  ?tol:float -> f:(float -> float) -> float -> float
+(** [integrate_to_infinity ~f a] integrates [f] on [\[a, ∞)] through the
+    substitution [x = a + t/(1-t)] and adaptive Simpson on [\[0,1)]. The
+    integrand must decay at infinity. *)

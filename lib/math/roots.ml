@@ -1,0 +1,154 @@
+let check_bracket name f lo hi =
+  if lo >= hi then invalid_arg (name ^ ": requires lo < hi");
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then `Root lo
+  else if fhi = 0. then `Root hi
+  else if flo *. fhi > 0. then
+    invalid_arg (name ^ ": f(lo) and f(hi) must have opposite signs")
+  else `Bracket (flo, fhi)
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  match check_bracket "Roots.bisect" f lo hi with
+  | `Root r -> r
+  | `Bracket (flo, _) ->
+      let lo = ref lo and hi = ref hi and flo = ref flo in
+      let i = ref 0 in
+      while !hi -. !lo > tol *. (1. +. Float.abs !lo) && !i < max_iter do
+        incr i;
+        let mid = 0.5 *. (!lo +. !hi) in
+        let fmid = f mid in
+        if fmid = 0. then begin
+          lo := mid;
+          hi := mid
+        end
+        else if !flo *. fmid < 0. then hi := mid
+        else begin
+          lo := mid;
+          flo := fmid
+        end
+      done;
+      0.5 *. (!lo +. !hi)
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  match check_bracket "Roots.brent" f lo hi with
+  | `Root r -> r
+  | `Bracket (flo, fhi) ->
+      let a = ref lo and b = ref hi and fa = ref flo and fb = ref fhi in
+      let c = ref !a and fc = ref !fa in
+      let d = ref (!b -. !a) and e = ref (!b -. !a) in
+      let result = ref nan in
+      (try
+         for _ = 1 to max_iter do
+           if Float.abs !fc < Float.abs !fb then begin
+             a := !b;
+             b := !c;
+             c := !a;
+             fa := !fb;
+             fb := !fc;
+             fc := !fa
+           end;
+           let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+           let xm = 0.5 *. (!c -. !b) in
+           if Float.abs xm <= tol1 || !fb = 0. then begin
+             result := !b;
+             raise Exit
+           end;
+           if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+             let s = !fb /. !fa in
+             let p, q =
+               if !a = !c then
+                 let p = 2. *. xm *. s in
+                 (p, 1. -. s)
+               else begin
+                 let q = !fa /. !fc and r = !fb /. !fc in
+                 let p =
+                   s
+                   *. ((2. *. xm *. q *. (q -. r))
+                      -. ((!b -. !a) *. (r -. 1.)))
+                 in
+                 (p, (q -. 1.) *. (r -. 1.) *. (s -. 1.))
+               end
+             in
+             let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+             let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+             let min2 = Float.abs (!e *. q) in
+             if 2. *. p < Float.min min1 min2 then begin
+               e := !d;
+               d := p /. q
+             end
+             else begin
+               d := xm;
+               e := xm
+             end
+           end
+           else begin
+             d := xm;
+             e := xm
+           end;
+           a := !b;
+           fa := !fb;
+           if Float.abs !d > tol1 then b := !b +. !d
+           else b := !b +. Float.copy_sign tol1 xm;
+           fb := f !b;
+           if (!fb > 0. && !fc > 0.) || (!fb < 0. && !fc < 0.) then begin
+             c := !a;
+             fc := !fa;
+             d := !b -. !a;
+             e := !d
+           end
+         done;
+         result := !b
+       with Exit -> ());
+      !result
+
+let golden_phi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section_min ?(tol = 1e-10) ~f lo hi =
+  if lo >= hi then invalid_arg "Roots.golden_section_min: requires lo < hi";
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (golden_phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden_phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  while !b -. !a > tol *. (1. +. Float.abs !a) do
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden_phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden_phi *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let x = ref x0 in
+  let converged = ref false in
+  let i = ref 0 in
+  while (not !converged) && !i < max_iter do
+    incr i;
+    let fx = f !x in
+    if Float.abs fx <= tol then converged := true
+    else begin
+      let dfx = df !x in
+      if dfx = 0. || not (Numeric.is_finite dfx) then
+        failwith "Roots.newton: zero or non-finite derivative";
+      let step = ref (fx /. dfx) in
+      (* Guard: halve until the next iterate is finite. *)
+      while not (Numeric.is_finite (!x -. !step)) do
+        step := !step /. 2.
+      done;
+      let next = !x -. !step in
+      if Float.abs (next -. !x) <= tol *. (1. +. Float.abs !x) then
+        converged := true;
+      x := next
+    end
+  done;
+  if not !converged then failwith "Roots.newton: did not converge";
+  !x

@@ -1,0 +1,30 @@
+(** One-dimensional root finding and scalar minimization. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds a root of [f] in [\[lo, hi\]] by bisection.
+    @raise Invalid_argument when [f lo] and [f hi] have the same strict
+    sign or [lo >= hi]. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [brent ~f lo hi] finds a root with Brent's method (inverse quadratic
+    interpolation guarded by bisection); typically converges in far
+    fewer evaluations than {!bisect}.
+    @raise Invalid_argument when the bracket is invalid. *)
+
+val golden_section_min :
+  ?tol:float -> f:(float -> float) -> float -> float -> float
+(** [golden_section_min ~f lo hi] returns an approximate minimizer of a
+    unimodal [f] on [\[lo, hi\]]. *)
+
+val newton :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float
+(** Newton iteration from the given starting point; falls back on
+    halving the step whenever the iterate would leave the finite range.
+    @raise Failure when it does not converge. *)

@@ -1,0 +1,44 @@
+let sum xs = Numeric.float_sum_range (Array.length xs) (fun i -> xs.(i))
+
+let sum_list l =
+  let arr = Array.of_list l in
+  sum arr
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summation.mean: empty array"
+  else sum xs /. float_of_int n
+
+let dot a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Summation.dot: length mismatch";
+  Numeric.float_sum_range n (fun i -> a.(i) *. b.(i))
+
+let weighted_mean ~weights xs =
+  let n = Array.length xs in
+  if Array.length weights <> n then
+    invalid_arg "Summation.weighted_mean: length mismatch";
+  Array.iter
+    (fun w ->
+      if w < 0. || not (Numeric.is_finite w) then
+        invalid_arg "Summation.weighted_mean: negative or non-finite weight")
+    weights;
+  let total = sum weights in
+  if total <= 0. then invalid_arg "Summation.weighted_mean: zero total weight";
+  Numeric.float_sum_range n (fun i -> weights.(i) *. xs.(i)) /. total
+
+let cumulative xs =
+  let n = Array.length xs in
+  let out = Array.make n 0. in
+  let acc = ref 0. and comp = ref 0. in
+  for i = 0 to n - 1 do
+    let x = xs.(i) in
+    let t = !acc +. x in
+    if Float.abs !acc >= Float.abs x then comp := !comp +. ((!acc -. t) +. x)
+    else comp := !comp +. ((x -. t) +. !acc);
+    acc := t;
+    out.(i) <- !acc +. !comp
+  done;
+  out
+
+let sum_map f xs = Numeric.float_sum_range (Array.length xs) (fun i -> f xs.(i))

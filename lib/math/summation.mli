@@ -1,0 +1,25 @@
+(** Compensated summation and related reductions over float arrays. *)
+
+val sum : float array -> float
+(** Neumaier-compensated sum of the array. [sum [||] = 0.]. *)
+
+val sum_list : float list -> float
+(** Neumaier-compensated sum of a list. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty array. *)
+
+val dot : float array -> float array -> float
+(** Compensated dot product.
+    @raise Invalid_argument on length mismatch. *)
+
+val weighted_mean : weights:float array -> float array -> float
+(** [weighted_mean ~weights xs] is [Σ wᵢxᵢ / Σ wᵢ].
+    @raise Invalid_argument on length mismatch or when the weights sum
+    to zero or any weight is negative. *)
+
+val cumulative : float array -> float array
+(** Prefix sums: [cumulative [|a;b;c|] = [|a; a+b; a+b+c|]]. *)
+
+val sum_map : ('a -> float) -> 'a array -> float
+(** [sum_map f xs] is the compensated sum of [f xᵢ]. *)

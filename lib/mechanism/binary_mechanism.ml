@@ -1,0 +1,80 @@
+open Dp_math
+
+(* Classic Chan-Shi-Song binary mechanism. At time t (1-based), let i
+   be the index of the lowest set bit of t: the level-i dyadic node
+   ending at t closes, absorbing all lower-level open nodes plus the
+   new item; it receives fresh Laplace noise. The private prefix sum
+   at time t is the sum of the noisy nodes at the set bits of t. *)
+
+type t = {
+  epsilon : float;
+  horizon : int;
+  n_levels : int;
+  g : Dp_rng.Prng.t;
+  alpha : float array; (* true sum of the open/closed node per level *)
+  alpha_noisy : float array; (* noisy sum of the closed node per level *)
+  mutable t_now : int;
+  mutable true_total : int;
+}
+
+let levels ~horizon =
+  if horizon <= 0 then invalid_arg "Binary_mechanism.levels: horizon must be positive";
+  (* bit-length of the horizon: the highest dyadic level any time
+     t <= horizon can close *)
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 horizon
+
+let create ~epsilon ~horizon g =
+  let epsilon = Numeric.check_pos "Binary_mechanism.create epsilon" epsilon in
+  if horizon <= 0 then
+    invalid_arg "Binary_mechanism.create: horizon must be positive";
+  let n_levels = levels ~horizon + 1 in
+  {
+    epsilon;
+    horizon;
+    n_levels;
+    g;
+    alpha = Array.make n_levels 0.;
+    alpha_noisy = Array.make n_levels 0.;
+    t_now = 0;
+    true_total = 0;
+  }
+
+let noise_scale t = float_of_int t.n_levels /. t.epsilon
+
+let lowest_set_bit v =
+  let rec go i = if v land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+let observe t bit =
+  if bit <> 0 && bit <> 1 then
+    invalid_arg "Binary_mechanism.observe: stream items must be 0 or 1";
+  if t.t_now >= t.horizon then
+    invalid_arg "Binary_mechanism.observe: past the declared horizon";
+  t.t_now <- t.t_now + 1;
+  t.true_total <- t.true_total + bit;
+  let i = lowest_set_bit t.t_now in
+  (* merge open lower levels and the new item into the closing node *)
+  let sum = ref (float_of_int bit) in
+  for j = 0 to i - 1 do
+    sum := !sum +. t.alpha.(j);
+    t.alpha.(j) <- 0.;
+    t.alpha_noisy.(j) <- 0.
+  done;
+  t.alpha.(i) <- !sum;
+  t.alpha_noisy.(i) <-
+    !sum +. Dp_rng.Sampler.laplace ~mean:0. ~scale:(noise_scale t) t.g
+
+let current_count t =
+  if t.t_now = 0 then 0.
+  else
+    Numeric.float_sum_range t.n_levels (fun j ->
+        if t.t_now land (1 lsl j) <> 0 then t.alpha_noisy.(j) else 0.)
+
+let true_count t = t.true_total
+let steps_observed t = t.t_now
+let budget t = Privacy.pure t.epsilon
+
+let expected_noise_std ~epsilon ~horizon =
+  let l = float_of_int (levels ~horizon + 1) in
+  sqrt l *. sqrt 2. *. l /. epsilon

@@ -1,0 +1,37 @@
+(** The binary (tree) mechanism for continual counting
+    (Chan–Shi–Song / Dwork–Naor–Pitassi–Rothblum 2010).
+
+    Release the running count of a 0/1 stream at every step under a
+    SINGLE ε budget for the whole stream. Each stream position belongs
+    to O(log T) dyadic intervals; each interval's partial sum gets
+    Laplace(log₂T/ε)-ish noise, and every prefix sum is assembled from
+    ≤ log₂T noisy intervals, giving per-release error O(log^{1.5}T/ε)
+    instead of the O(T/ε) of re-releasing the count each step. *)
+
+type t
+
+val create : epsilon:float -> horizon:int -> Dp_rng.Prng.t -> t
+(** [create ~epsilon ~horizon g] prepares for a stream of at most
+    [horizon] items. @raise Invalid_argument on non-positive inputs. *)
+
+val observe : t -> int -> unit
+(** Feed the next bit (0 or 1).
+    @raise Invalid_argument on other values or past the horizon. *)
+
+val current_count : t -> float
+(** The private running count after the items observed so far. *)
+
+val true_count : t -> int
+(** The non-private count (for error measurement in experiments). *)
+
+val steps_observed : t -> int
+val budget : t -> Privacy.budget
+
+val levels : horizon:int -> int
+(** Number of dyadic levels used: the bit length of [horizon], i.e.
+    ⌊log₂ horizon⌋ + 1. *)
+
+val expected_noise_std : epsilon:float -> horizon:int -> float
+(** Predicted per-release noise std: each of up to L levels
+    contributes Laplace(L/ε) noise, so
+    [std ≈ sqrt(L) · sqrt(2) · L/ε] with [L = levels ~horizon]. *)

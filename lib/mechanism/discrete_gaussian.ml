@@ -1,0 +1,45 @@
+open Dp_math
+
+type t = { sensitivity : int; sigma : float }
+
+let create ~sensitivity ~sigma =
+  if sensitivity < 0 then
+    invalid_arg "Discrete_gaussian.create: negative sensitivity";
+  { sensitivity; sigma = Numeric.check_pos "Discrete_gaussian.create sigma" sigma }
+
+(* CKS 2020, Algorithm 1: propose from a two-sided geometric
+   (discrete Laplace) with scale t ~ sigma, accept with probability
+   exp(-(|y| - sigma^2/t)^2 / (2 sigma^2)). *)
+let sample_noise ~sigma g =
+  let sigma = Numeric.check_pos "Discrete_gaussian.sample_noise sigma" sigma in
+  let t = Float.floor sigma +. 1. in
+  let rec draw () =
+    let y = Dp_rng.Sampler.discrete_laplace ~scale:t g in
+    let fy = float_of_int (abs y) in
+    let accept_log =
+      -.Numeric.sq (fy -. (sigma *. sigma /. t)) /. (2. *. sigma *. sigma)
+    in
+    if log (Dp_rng.Prng.float_pos g) < accept_log then y else draw ()
+  in
+  draw ()
+
+let release t ~value g =
+  if t.sensitivity = 0 then value else value + sample_noise ~sigma:t.sigma g
+
+let pmf t k =
+  let s2 = 2. *. t.sigma *. t.sigma in
+  (* normalizer: 1 + 2 sum_{j>=1} exp(-j^2 / s2); terms decay fast *)
+  let z = ref 1. and j = ref 1 in
+  let continue_ = ref true in
+  while !continue_ do
+    let term = exp (-.float_of_int (!j * !j) /. s2) in
+    z := !z +. (2. *. term);
+    if term < 1e-16 || !j > 10_000 then continue_ := false;
+    incr j
+  done;
+  exp (-.float_of_int (k * k) /. s2) /. !z
+
+let rdp t =
+  Rdp.gaussian ~l2_sensitivity:(float_of_int t.sensitivity) ~std:t.sigma
+
+let budget t ~delta = Rdp.to_dp ~delta (rdp t)

@@ -1,0 +1,31 @@
+(** The discrete Gaussian mechanism (Canonne–Kamath–Steinke 2020):
+    noise supported on ℤ with [P(k) ∝ exp(−k²/(2σ²))].
+
+    The integer-valued counterpart of the Gaussian mechanism, as the
+    geometric mechanism is of Laplace: exactly samplable (no floating
+    point privacy leaks), exactly computable pmf, and Rényi-DP at most
+    that of the continuous Gaussian with the same σ —
+    [ρ(α) ≤ α·Δ²/(2σ²)] — so it plugs into the {!Rdp} accountant
+    unchanged. *)
+
+type t = { sensitivity : int; sigma : float }
+
+val create : sensitivity:int -> sigma:float -> t
+(** @raise Invalid_argument for negative sensitivity or σ ≤ 0. *)
+
+val sample_noise : sigma:float -> Dp_rng.Prng.t -> int
+(** One exact draw of discrete Gaussian noise via the CKS rejection
+    sampler (discrete-Laplace proposals).
+    @raise Invalid_argument for σ ≤ 0. *)
+
+val release : t -> value:int -> Dp_rng.Prng.t -> int
+
+val pmf : t -> int -> float
+(** Exact noise pmf at an offset (series-normalized to ~1e-12). *)
+
+val rdp : t -> Rdp.curve
+(** The mechanism's RDP curve [α ↦ α·Δ²/(2σ²)] (a valid upper bound
+    per CKS). *)
+
+val budget : t -> delta:float -> Privacy.budget
+(** (ε, δ) via the RDP conversion. *)

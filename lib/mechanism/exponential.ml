@@ -1,0 +1,95 @@
+open Dp_math
+
+type 'a t = {
+  candidates : 'a array;
+  qualities : float array;
+  log_weights : float array; (* unnormalized: ε·q(u) + log π(u) *)
+  log_probs : float array; (* normalized *)
+  epsilon : float;
+  sensitivity : float;
+}
+
+let of_qualities ~candidates ?log_prior ~qualities ~sensitivity ~epsilon () =
+  let k = Array.length candidates in
+  if k = 0 then invalid_arg "Exponential.create: empty candidate set";
+  if Array.length qualities <> k then
+    invalid_arg "Exponential.of_qualities: qualities length mismatch";
+  let epsilon = Numeric.check_pos "Exponential.create epsilon" epsilon in
+  let sensitivity =
+    Numeric.check_nonneg "Exponential.create sensitivity" sensitivity
+  in
+  let log_prior =
+    match log_prior with
+    | None -> Array.make k 0.
+    | Some lp ->
+        if Array.length lp <> k then
+          invalid_arg "Exponential.create: prior length mismatch";
+        lp
+  in
+  Array.iter
+    (fun q ->
+      if Float.is_nan q then invalid_arg "Exponential.create: NaN quality")
+    qualities;
+  let log_weights =
+    Array.mapi (fun i q -> (epsilon *. q) +. log_prior.(i)) qualities
+  in
+  let z = Logspace.log_sum_exp log_weights in
+  if not (Float.is_finite z) then
+    invalid_arg "Exponential.create: degenerate weights (log Z not finite)";
+  let log_probs = Array.map (fun w -> w -. z) log_weights in
+  { candidates; qualities = Array.copy qualities; log_weights; log_probs;
+    epsilon; sensitivity }
+
+let create ~candidates ?log_prior ~quality ~sensitivity ~epsilon () =
+  let qualities = Array.map quality candidates in
+  of_qualities ~candidates ?log_prior ~qualities ~sensitivity ~epsilon ()
+
+let candidates t = t.candidates
+let log_probabilities t = Array.copy t.log_probs
+let probabilities t = Array.map exp t.log_probs
+
+let sample t g =
+  t.candidates.(Dp_rng.Sampler.categorical_log ~log_weights:t.log_weights g)
+
+let sampler t g =
+  let table = Dp_rng.Alias.of_log_weights t.log_weights in
+  fun () -> t.candidates.(Dp_rng.Alias.sample table g)
+
+let privacy_epsilon t = 2. *. t.epsilon *. t.sensitivity
+
+let budget t = Privacy.pure (privacy_epsilon t)
+
+let calibrate_exponent ~target_epsilon ~sensitivity =
+  let target_epsilon =
+    Numeric.check_pos "Exponential.calibrate_exponent target" target_epsilon
+  in
+  let sensitivity =
+    Numeric.check_pos "Exponential.calibrate_exponent sensitivity" sensitivity
+  in
+  target_epsilon /. (2. *. sensitivity)
+
+let expected_quality t =
+  Numeric.float_sum_range (Array.length t.candidates) (fun i ->
+      exp t.log_probs.(i) *. t.qualities.(i))
+
+let max_quality t = Array.fold_left Float.max neg_infinity t.qualities
+
+let utility_bound t ~failure_prob =
+  let failure_prob =
+    Numeric.check_prob "Exponential.utility_bound failure_prob" failure_prob
+  in
+  if failure_prob = 0. then neg_infinity
+  else begin
+    let k = float_of_int (Array.length t.candidates) in
+    max_quality t -. ((log k +. log (1. /. failure_prob)) /. t.epsilon)
+  end
+
+let log_ratio_bound t1 t2 =
+  let k = Array.length t1.candidates in
+  if Array.length t2.candidates <> k then
+    invalid_arg "Exponential.log_ratio_bound: candidate counts differ";
+  let worst = ref 0. in
+  for i = 0 to k - 1 do
+    worst := Float.max !worst (Float.abs (t1.log_probs.(i) -. t2.log_probs.(i)))
+  done;
+  !worst

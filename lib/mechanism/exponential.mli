@@ -1,0 +1,87 @@
+(** The exponential mechanism of McSherry–Talwar (paper §2.1,
+    Theorem 2.3).
+
+    Parametrized by a quality function [q(x, u)]; for a fixed input the
+    mechanism samples [u] with probability [∝ exp(ε·q(x,u)) · π(u)]
+    over a base measure π. In the paper's normalization this gives
+    [2εΔq]-differential privacy where [Δq] is the global sensitivity
+    of [q].
+
+    The weight exponent [ε] here is the paper's ε (an inverse
+    temperature); use {!privacy_epsilon} for the resulting privacy
+    level, or {!calibrate_exponent} to hit a target privacy level. The
+    Gibbs posterior of Lemma 3.2 is exactly this mechanism with
+    [q = −R̂] and [ε = β] (see [Dp_pac_bayes.Gibbs]). *)
+
+type 'a t
+
+val create :
+  candidates:'a array ->
+  ?log_prior:float array ->
+  quality:('a -> float) ->
+  sensitivity:float ->
+  epsilon:float ->
+  unit ->
+  'a t
+(** [create ~candidates ~quality ~sensitivity ~epsilon ()] builds the
+    mechanism for one fixed input dataset ([quality u] is [q(x, u)]
+    with [x] already applied). [log_prior] defaults to uniform; it need
+    not be normalized.
+    @raise Invalid_argument on empty candidates, non-positive ε,
+    negative sensitivity, mismatched prior length, or a non-finite
+    quality value. *)
+
+val of_qualities :
+  candidates:'a array ->
+  ?log_prior:float array ->
+  qualities:float array ->
+  sensitivity:float ->
+  epsilon:float ->
+  unit ->
+  'a t
+(** As {!create} but from a precomputed quality vector aligned with
+    [candidates] (used when the qualities were already evaluated, e.g.
+    by a Gibbs posterior).
+    @raise Invalid_argument additionally on a length mismatch. *)
+
+val candidates : 'a t -> 'a array
+
+val log_probabilities : 'a t -> float array
+(** Normalized log output distribution. *)
+
+val probabilities : 'a t -> float array
+
+val sample : 'a t -> Dp_rng.Prng.t -> 'a
+(** One Gumbel-max draw (no table construction). *)
+
+val sampler : 'a t -> Dp_rng.Prng.t -> unit -> 'a
+(** Builds the alias table once; each call of the thunk is O(1). Use
+    when drawing many outputs from the same input (ablation A1). *)
+
+val privacy_epsilon : 'a t -> float
+(** [2 · ε · Δq], Theorem 2.3's privacy level. *)
+
+val budget : 'a t -> Privacy.budget
+
+val calibrate_exponent : target_epsilon:float -> sensitivity:float -> float
+(** The exponent ε achieving a desired privacy level:
+    [target / (2Δq)].
+    @raise Invalid_argument on non-positive inputs. *)
+
+val expected_quality : 'a t -> float
+(** [E_{u∼M} q(x,u)] — the utility the mechanism achieves. *)
+
+val max_quality : 'a t -> float
+
+val utility_bound : 'a t -> failure_prob:float -> float
+(** McSherry–Talwar utility: with probability [1 − failure_prob] the
+    sampled quality is at least
+    [max q − (ln |U| + ln (1/failure_prob)) / ε]. Returns that
+    threshold. *)
+
+val log_ratio_bound : 'a t -> 'a t -> float
+(** [max_u |log P₁(u) − log P₂(u)|] between two mechanisms over the
+    same candidate set — the exact privacy loss between two inputs.
+    For mechanisms built from neighbouring datasets this is ≤
+    {!privacy_epsilon} (verified in experiment E2/E5).
+    @raise Invalid_argument when candidate counts differ. *)

@@ -1,0 +1,25 @@
+open Dp_math
+
+type t = { l2_sensitivity : float; epsilon : float; delta : float }
+
+let create ~l2_sensitivity ~epsilon ~delta =
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Gaussian_mech.create: delta must be in (0,1)";
+  {
+    l2_sensitivity =
+      Numeric.check_nonneg "Gaussian_mech.create sensitivity" l2_sensitivity;
+    epsilon = Numeric.check_pos "Gaussian_mech.create epsilon" epsilon;
+    delta;
+  }
+
+let std t =
+  if t.l2_sensitivity = 0. then 0.
+  else t.l2_sensitivity *. sqrt (2. *. log (1.25 /. t.delta)) /. t.epsilon
+
+let budget t = Privacy.approx ~epsilon:t.epsilon ~delta:t.delta
+
+let release t ~value g =
+  let s = std t in
+  if s = 0. then value else value +. Dp_rng.Sampler.gaussian ~mean:0. ~std:s g
+
+let release_vector t ~value g = Array.map (fun v -> release t ~value:v g) value

@@ -1,0 +1,17 @@
+(** The analytic-calibration Gaussian mechanism for (ε, δ)-DP.
+
+    Included as the standard relaxation the paper's pure-ε mechanisms
+    are compared against; noise std is the classical
+    [σ = Δ₂ √(2 ln(1.25/δ)) / ε] (valid for ε ≤ 1, conservative
+    above). *)
+
+type t = { l2_sensitivity : float; epsilon : float; delta : float }
+
+val create : l2_sensitivity:float -> epsilon:float -> delta:float -> t
+(** @raise Invalid_argument for non-positive ε, δ outside (0,1), or
+    negative sensitivity. *)
+
+val std : t -> float
+val budget : t -> Privacy.budget
+val release : t -> value:float -> Dp_rng.Prng.t -> float
+val release_vector : t -> value:float array -> Dp_rng.Prng.t -> float array

@@ -1,0 +1,54 @@
+open Dp_math
+
+type t = { sensitivity : int; epsilon : float }
+
+let create ~sensitivity ~epsilon =
+  if sensitivity < 0 then
+    invalid_arg "Geometric_mech.create: negative sensitivity";
+  {
+    sensitivity;
+    epsilon = Numeric.check_pos "Geometric_mech.create epsilon" epsilon;
+  }
+
+let alpha t =
+  if t.sensitivity = 0 then 0.
+  else exp (-.t.epsilon /. float_of_int t.sensitivity)
+
+let budget t = Privacy.pure t.epsilon
+
+let release t ~value g =
+  if t.sensitivity = 0 then value
+  else begin
+    (* two-sided geometric with decay alpha: difference of two
+       geometric(1 - alpha) draws *)
+    let scale = float_of_int t.sensitivity /. t.epsilon in
+    value + Dp_rng.Sampler.discrete_laplace ~scale g
+  end
+
+let pmf t ~value k =
+  let a = alpha t in
+  if a = 0. then (if k = value then 1. else 0.)
+  else (1. -. a) /. (1. +. a) *. (a ** float_of_int (abs (k - value)))
+
+let log_likelihood_ratio t ~value1 ~value2 k =
+  log (pmf t ~value:value1 k) -. log (pmf t ~value:value2 k)
+
+let truncated_distribution t ~value ~lo ~hi =
+  if lo > hi then invalid_arg "Geometric_mech.truncated_distribution: lo > hi";
+  let a = alpha t in
+  let width = hi - lo + 1 in
+  let out = Array.init width (fun i -> pmf t ~value (lo + i)) in
+  (* fold the tails onto the endpoints: tail mass below lo is
+     a^{value-lo+1}... computed exactly via the geometric series *)
+  let tail_mass d =
+    (* P(output <= value - d) for d >= 1 = a^d / (1 + a) *)
+    if a = 0. then 0. else (a ** float_of_int d) /. (1. +. a)
+  in
+  (* bin lo collects P(output <= lo), bin hi collects P(output >= hi);
+     by symmetry P(output >= value + d) = tail_mass d for d >= 1. *)
+  (if value >= lo then out.(0) <- out.(0) +. tail_mass (value - lo + 1)
+   else out.(0) <- 1. -. tail_mass (lo + 1 - value));
+  (if value <= hi then
+     out.(width - 1) <- out.(width - 1) +. tail_mass (hi - value + 1)
+   else out.(width - 1) <- 1. -. tail_mass (value - hi + 1));
+  out

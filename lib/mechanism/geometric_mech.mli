@@ -1,0 +1,34 @@
+(** The geometric mechanism: the integer-valued analogue of Laplace
+    noise for counting queries, [M(D) = f(D) + Δ] with two-sided
+    geometric noise [P(Δ = k) ∝ α^{|k|}], [α = e^{−ε/Δf}].
+
+    For integer-valued queries it is universally optimal (Ghosh,
+    Roughgarden, Sundararajan 2009) and — unlike discretized Laplace —
+    exactly ε-DP with an exactly computable pmf, which makes it the
+    cleanest mechanism for closed-form audits. *)
+
+type t = { sensitivity : int; epsilon : float }
+
+val create : sensitivity:int -> epsilon:float -> t
+(** @raise Invalid_argument for non-positive ε or negative Δf. *)
+
+val alpha : t -> float
+(** The decay [e^{−ε/Δf}]. *)
+
+val budget : t -> Privacy.budget
+
+val release : t -> value:int -> Dp_rng.Prng.t -> int
+
+val pmf : t -> value:int -> int -> float
+(** [pmf m ~value k]: exact output probability at [k] when the true
+    value is [value]: [(1−α)/(1+α) · α^{|k−value|}]. *)
+
+val log_likelihood_ratio : t -> value1:int -> value2:int -> int -> float
+(** Exact privacy-loss at one output; bounded by
+    [ε/Δf · |value1 − value2|]. *)
+
+val truncated_distribution : t -> value:int -> lo:int -> hi:int -> float array
+(** The pmf restricted to [\[lo, hi\]] with the outside tails folded
+    onto the endpoints (post-processing, hence still ε-DP); sums
+    to 1. Used to build exact finite channels from the mechanism.
+    @raise Invalid_argument when [lo > hi]. *)

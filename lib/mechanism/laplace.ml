@@ -1,0 +1,40 @@
+open Dp_math
+
+type t = { sensitivity : float; epsilon : float }
+
+let create ~sensitivity ~epsilon =
+  {
+    sensitivity = Numeric.check_nonneg "Laplace.create sensitivity" sensitivity;
+    epsilon = Numeric.check_pos "Laplace.create epsilon" epsilon;
+  }
+
+let scale t =
+  if t.sensitivity = 0. then 0. else t.sensitivity /. t.epsilon
+
+let budget t = Privacy.pure t.epsilon
+
+let release t ~value g =
+  let b = scale t in
+  if b = 0. then value else value +. Dp_rng.Sampler.laplace ~mean:0. ~scale:b g
+
+let release_vector t ~value g = Array.map (fun v -> release t ~value:v g) value
+
+let density t ~value y =
+  let b = scale t in
+  if b = 0. then invalid_arg "Laplace.density: zero-sensitivity mechanism is deterministic";
+  exp (-.Float.abs (y -. value) /. b) /. (2. *. b)
+
+let cdf t ~value y =
+  let b = scale t in
+  if b = 0. then (if y >= value then 1. else 0.)
+  else begin
+    let z = y -. value in
+    if z < 0. then 0.5 *. exp (z /. b) else 1. -. (0.5 *. exp (-.z /. b))
+  end
+
+let log_likelihood_ratio t ~value1 ~value2 y =
+  log (density t ~value:value1 y) -. log (density t ~value:value2 y)
+
+let interval_probability t ~value ~lo ~hi =
+  if lo > hi then invalid_arg "Laplace.interval_probability: lo > hi";
+  cdf t ~value hi -. cdf t ~value lo

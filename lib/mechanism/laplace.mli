@@ -1,0 +1,37 @@
+(** The Laplace mechanism (paper Theorem 2.2, Dwork et al. 2006).
+
+    [M(D) = f(D) + Lap(Δf/ε)] is ε-differentially private. Alongside
+    the sampler this module exposes the output density and CDF so the
+    DP inequality can be checked in closed form (experiment E1 compares
+    the closed form against empirical frequencies). *)
+
+type t = { sensitivity : float; epsilon : float }
+
+val create : sensitivity:float -> epsilon:float -> t
+(** @raise Invalid_argument for non-positive ε or negative Δf. *)
+
+val scale : t -> float
+(** The noise scale [Δf/ε]. *)
+
+val budget : t -> Privacy.budget
+
+val release : t -> value:float -> Dp_rng.Prng.t -> float
+(** Noisy release of a query value. *)
+
+val release_vector : t -> value:float array -> Dp_rng.Prng.t -> float array
+(** Adds independent Laplace noise per coordinate; [sensitivity] must
+    then be the L1 sensitivity of the vector query. *)
+
+val density : t -> value:float -> float -> float
+(** [density m ~value y]: output density at [y] when the true query
+    value is [value]. *)
+
+val cdf : t -> value:float -> float -> float
+
+val log_likelihood_ratio : t -> value1:float -> value2:float -> float -> float
+(** Log of the output-density ratio at one point for two adjacent true
+    values — bounded by [ε/Δf · |value1 − value2|], with equality
+    structure used by the privacy auditor. *)
+
+val interval_probability : t -> value:float -> lo:float -> hi:float -> float
+(** Exact probability the release lands in [\[lo, hi\]]. *)

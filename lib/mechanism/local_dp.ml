@@ -1,0 +1,85 @@
+open Dp_math
+
+module Grr = struct
+  type t = { epsilon : float; k : int; p : float }
+
+  let create ~epsilon ~k =
+    let epsilon = Numeric.check_pos "Local_dp.Grr.create epsilon" epsilon in
+    if k < 2 then invalid_arg "Local_dp.Grr.create: k must be >= 2";
+    let p = exp epsilon /. (exp epsilon +. float_of_int (k - 1)) in
+    { epsilon; k; p }
+
+  let truth_probability t = t.p
+
+  let respond t v g =
+    if v < 0 || v >= t.k then invalid_arg "Local_dp.Grr.respond: value out of range";
+    if Dp_rng.Sampler.bernoulli ~p:t.p g then v
+    else begin
+      (* uniform over the k-1 other values *)
+      let r = Dp_rng.Prng.int g (t.k - 1) in
+      if r >= v then r + 1 else r
+    end
+
+  let estimate_frequencies t reports =
+    let n = Array.length reports in
+    if n = 0 then invalid_arg "Local_dp.Grr.estimate_frequencies: empty reports";
+    let counts = Array.make t.k 0. in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= t.k then
+          invalid_arg "Local_dp.Grr.estimate_frequencies: value out of range";
+        counts.(v) <- counts.(v) +. 1.)
+      reports;
+    let q = (1. -. t.p) /. float_of_int (t.k - 1) in
+    Array.map
+      (fun c ->
+        let observed = c /. float_of_int n in
+        (observed -. q) /. (t.p -. q))
+      counts
+
+  let budget t = Privacy.pure t.epsilon
+end
+
+module Unary = struct
+  type t = { epsilon : float; k : int; keep : float }
+
+  let create ~epsilon ~k =
+    let epsilon = Numeric.check_pos "Local_dp.Unary.create epsilon" epsilon in
+    if k < 2 then invalid_arg "Local_dp.Unary.create: k must be >= 2";
+    let e2 = exp (epsilon /. 2.) in
+    { epsilon; k; keep = e2 /. (e2 +. 1.) }
+
+  let keep_probability t = t.keep
+
+  let respond t v g =
+    if v < 0 || v >= t.k then invalid_arg "Local_dp.Unary.respond: value out of range";
+    Array.init t.k (fun i ->
+        let bit = i = v in
+        if Dp_rng.Sampler.bernoulli ~p:t.keep g then bit else not bit)
+
+  let estimate_frequencies t reports =
+    let n = Array.length reports in
+    if n = 0 then invalid_arg "Local_dp.Unary.estimate_frequencies: empty reports";
+    let counts = Array.make t.k 0. in
+    Array.iter
+      (fun r ->
+        if Array.length r <> t.k then
+          invalid_arg "Local_dp.Unary.estimate_frequencies: mis-sized report";
+        Array.iteri (fun i b -> if b then counts.(i) <- counts.(i) +. 1.) r)
+      reports;
+    let p = t.keep and q = 1. -. t.keep in
+    Array.map
+      (fun c ->
+        let observed = c /. float_of_int n in
+        (observed -. q) /. (p -. q))
+      counts
+
+  let budget t = Privacy.pure t.epsilon
+end
+
+let expected_l2_error_grr ~epsilon ~k ~n =
+  let epsilon = Numeric.check_pos "Local_dp.expected_l2_error_grr epsilon" epsilon in
+  if k < 2 then invalid_arg "Local_dp.expected_l2_error_grr: k must be >= 2";
+  if n <= 0 then invalid_arg "Local_dp.expected_l2_error_grr: n must be positive";
+  sqrt (float_of_int (k - 2) +. exp epsilon)
+  /. (Float.expm1 epsilon *. sqrt (float_of_int n))

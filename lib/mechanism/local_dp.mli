@@ -1,0 +1,58 @@
+(** Local differential privacy: each individual randomizes their own
+    record before it leaves their hands (no trusted curator). The
+    binary case is Warner's randomized response
+    ({!Randomized_response}); this module adds the k-ary protocols and
+    their frequency oracles, the standard local-model workload
+    (experiment E24).
+
+    Both protocols are ε-LDP per record; the curator debiases the
+    aggregated reports into frequency estimates. *)
+
+(** Generalized randomized response (direct encoding): report the true
+    value with probability [e^ε/(e^ε + k − 1)], otherwise a uniform
+    other value. Best at small k. *)
+module Grr : sig
+  type t
+
+  val create : epsilon:float -> k:int -> t
+  (** @raise Invalid_argument for non-positive ε or k < 2. *)
+
+  val truth_probability : t -> float
+
+  val respond : t -> int -> Dp_rng.Prng.t -> int
+  (** @raise Invalid_argument for a value outside [0, k). *)
+
+  val estimate_frequencies : t -> int array -> float array
+  (** Debiased frequency estimates from the reports (may be slightly
+      negative / above 1; clamp if needed downstream).
+      @raise Invalid_argument on empty reports or out-of-range
+      values. *)
+
+  val budget : t -> Privacy.budget
+end
+
+(** Symmetric unary encoding (basic RAPPOR): encode the value as a
+    one-hot bit vector and flip each bit independently with
+    probability [1/(e^{ε/2} + 1)]. Error independent of k — wins for
+    large alphabets. *)
+module Unary : sig
+  type t
+
+  val create : epsilon:float -> k:int -> t
+  (** @raise Invalid_argument for non-positive ε or k < 2. *)
+
+  val keep_probability : t -> float
+  (** Probability a bit is transmitted unflipped: [e^{ε/2}/(e^{ε/2}+1)]. *)
+
+  val respond : t -> int -> Dp_rng.Prng.t -> bool array
+
+  val estimate_frequencies : t -> bool array array -> float array
+  (** @raise Invalid_argument on empty or mis-sized reports. *)
+
+  val budget : t -> Privacy.budget
+end
+
+val expected_l2_error_grr : epsilon:float -> k:int -> n:int -> float
+(** Analytic per-cell standard error of the GRR estimator at uniform
+    truth ≈ [sqrt(k − 2 + e^ε) / ((e^ε − 1) · sqrt n)] — the scaling
+    law E24 verifies. *)

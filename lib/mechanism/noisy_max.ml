@@ -1,0 +1,28 @@
+open Dp_math
+
+let check name epsilon sensitivity scores =
+  ignore (Numeric.check_pos (name ^ " epsilon") epsilon);
+  ignore (Numeric.check_nonneg (name ^ " sensitivity") sensitivity);
+  if Array.length scores = 0 then invalid_arg (name ^ ": empty scores")
+
+let select ~epsilon ~sensitivity ~scores g =
+  check "Noisy_max.select" epsilon sensitivity scores;
+  let b = if sensitivity = 0. then 0. else sensitivity /. epsilon in
+  let noisy =
+    Array.map
+      (fun s ->
+        if b = 0. then s else s +. Dp_rng.Sampler.laplace ~mean:0. ~scale:b g)
+      scores
+  in
+  Dp_linalg.Vec.argmax noisy
+
+let select_exponential_noise ~epsilon ~sensitivity ~scores g =
+  check "Noisy_max.select_exponential_noise" epsilon sensitivity scores;
+  let rate = if sensitivity = 0. then infinity else epsilon /. (2. *. sensitivity) in
+  let noisy =
+    Array.map
+      (fun s ->
+        if rate = infinity then s else s +. Dp_rng.Sampler.exponential ~rate g)
+      scores
+  in
+  Dp_linalg.Vec.argmax noisy

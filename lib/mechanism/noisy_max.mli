@@ -1,0 +1,23 @@
+(** Report-noisy-max: add Laplace([Δ/ε]) noise to each score and
+    release the argmax. ε-DP for counting-style scores with
+    sensitivity Δ; a practical alternative to the exponential
+    mechanism for private selection (compared in E2). *)
+
+val select :
+  epsilon:float ->
+  sensitivity:float ->
+  scores:float array ->
+  Dp_rng.Prng.t ->
+  int
+(** @raise Invalid_argument on an empty score vector or bad
+    parameters. *)
+
+val select_exponential_noise :
+  epsilon:float ->
+  sensitivity:float ->
+  scores:float array ->
+  Dp_rng.Prng.t ->
+  int
+(** The one-sided exponential-noise variant, distributionally identical
+    to the exponential mechanism with exponent [ε/2] on the same
+    scores. *)

@@ -1,0 +1,91 @@
+open Dp_math
+
+type 'a t = {
+  candidates : 'a array;
+  qualities : float array;
+  flip : float array; (* acceptance probability per candidate *)
+  epsilon : float;
+}
+
+let create ~candidates ~quality ~sensitivity ~epsilon () =
+  let k = Array.length candidates in
+  if k = 0 then invalid_arg "Permute_and_flip.create: empty candidate set";
+  let epsilon = Numeric.check_pos "Permute_and_flip.create epsilon" epsilon in
+  let sensitivity =
+    Numeric.check_pos "Permute_and_flip.create sensitivity" sensitivity
+  in
+  let qualities =
+    Array.map
+      (fun u ->
+        let q = quality u in
+        if Float.is_nan q then invalid_arg "Permute_and_flip.create: NaN quality";
+        q)
+      candidates
+  in
+  let qmax = Array.fold_left Float.max neg_infinity qualities in
+  let flip =
+    Array.map
+      (fun q -> exp (epsilon *. (q -. qmax) /. (2. *. sensitivity)))
+      qualities
+  in
+  { candidates; qualities; flip; epsilon }
+
+let sample t g =
+  let k = Array.length t.candidates in
+  let order = Array.init k Fun.id in
+  Dp_rng.Sampler.shuffle order g;
+  let rec walk i =
+    if i >= k then
+      (* cannot happen: the argmax accepts with probability 1, but keep
+         a safe fallback for float edge cases *)
+      t.candidates.(order.(k - 1))
+    else begin
+      let u = order.(i) in
+      if Dp_rng.Sampler.bernoulli ~p:(Float.min 1. t.flip.(u)) g then
+        t.candidates.(u)
+      else walk (i + 1)
+    end
+  in
+  walk 0
+
+let probabilities t =
+  let k = Array.length t.candidates in
+  if k > 20 then
+    invalid_arg "Permute_and_flip.probabilities: more than 20 candidates";
+  (* memo.(mask).(u) = P(output = u | remaining set = mask), u in mask *)
+  let memo = Hashtbl.create 1024 in
+  let rec dist mask =
+    match Hashtbl.find_opt memo mask with
+    | Some d -> d
+    | None ->
+        let members = ref [] in
+        for u = k - 1 downto 0 do
+          if mask land (1 lsl u) <> 0 then members := u :: !members
+        done;
+        let size = float_of_int (List.length !members) in
+        let d = Array.make k 0. in
+        List.iter
+          (fun v ->
+            (* v drawn first with prob 1/size *)
+            let pv = Float.min 1. t.flip.(v) in
+            d.(v) <- d.(v) +. (pv /. size);
+            if pv < 1. then begin
+              let rest = dist (mask lxor (1 lsl v)) in
+              Array.iteri
+                (fun u p -> d.(u) <- d.(u) +. ((1. -. pv) /. size *. p))
+                rest
+            end)
+          !members;
+        Hashtbl.add memo mask d;
+        d
+  in
+  let full = (1 lsl k) - 1 in
+  dist full
+
+let expected_quality t =
+  let p = probabilities t in
+  Numeric.float_sum_range (Array.length p) (fun i -> p.(i) *. t.qualities.(i))
+
+let privacy_epsilon t = t.epsilon
+
+let budget t = Privacy.pure t.epsilon

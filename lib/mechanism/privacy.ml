@@ -1,0 +1,82 @@
+open Dp_math
+
+type budget = { epsilon : float; delta : float }
+
+let pure epsilon =
+  { epsilon = Numeric.check_nonneg "Privacy.pure epsilon" epsilon; delta = 0. }
+
+let approx ~epsilon ~delta =
+  {
+    epsilon = Numeric.check_nonneg "Privacy.approx epsilon" epsilon;
+    delta = Numeric.check_prob "Privacy.approx delta" delta;
+  }
+
+let compose a b = { epsilon = a.epsilon +. b.epsilon; delta = a.delta +. b.delta }
+
+let compose_list = List.fold_left compose { epsilon = 0.; delta = 0. }
+
+let parallel = function
+  | [] -> invalid_arg "Privacy.parallel: empty list"
+  | b :: rest ->
+      List.fold_left
+        (fun acc x ->
+          {
+            epsilon = Float.max acc.epsilon x.epsilon;
+            delta = Float.max acc.delta x.delta;
+          })
+        b rest
+
+let group ~k b =
+  if k <= 0 then invalid_arg "Privacy.group: k must be positive";
+  let kf = float_of_int k in
+  {
+    epsilon = kf *. b.epsilon;
+    delta = Float.min 1. (kf *. exp ((kf -. 1.) *. b.epsilon) *. b.delta);
+  }
+
+let advanced_compose ~k ~delta_slack b =
+  if k <= 0 then invalid_arg "Privacy.advanced_compose: k must be positive";
+  if delta_slack <= 0. || delta_slack >= 1. then
+    invalid_arg "Privacy.advanced_compose: slack must be in (0,1)";
+  let eps = b.epsilon and kf = float_of_int k in
+  let eps' =
+    (eps *. sqrt (2. *. kf *. log (1. /. delta_slack)))
+    +. (kf *. eps *. (exp eps -. 1.))
+  in
+  { epsilon = eps'; delta = (kf *. b.delta) +. delta_slack }
+
+let scale_noise_for ~epsilon ~sensitivity =
+  let epsilon = Numeric.check_pos "Privacy.scale_noise_for epsilon" epsilon in
+  let sensitivity =
+    Numeric.check_nonneg "Privacy.scale_noise_for sensitivity" sensitivity
+  in
+  sensitivity /. epsilon
+
+let pp_budget fmt b =
+  if b.delta = 0. then Format.fprintf fmt "%g-DP" b.epsilon
+  else Format.fprintf fmt "(%g, %g)-DP" b.epsilon b.delta
+
+module Accountant = struct
+  type t = { total : budget; mutable used : budget }
+
+  let create ~total = { total; used = { epsilon = 0.; delta = 0. } }
+
+  let can_afford t b =
+    t.used.epsilon +. b.epsilon <= t.total.epsilon +. 1e-12
+    && t.used.delta +. b.delta <= t.total.delta +. 1e-15
+
+  let spend t b =
+    if not (can_afford t b) then
+      failwith
+        (Format.asprintf "Privacy.Accountant: spend %a exceeds remaining budget"
+           pp_budget b);
+    t.used <- compose t.used b
+
+  let spent t = t.used
+
+  let remaining t =
+    {
+      epsilon = Float.max 0. (t.total.epsilon -. t.used.epsilon);
+      delta = Float.max 0. (t.total.delta -. t.used.delta);
+    }
+end

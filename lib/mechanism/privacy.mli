@@ -1,0 +1,53 @@
+(** Privacy budgets and composition accounting.
+
+    Definition 2.1 of the paper: a randomized [f] is ε-differentially
+    private when [P(f D ∈ S) <= exp ε · P(f D' ∈ S)] for all
+    neighbouring [D, D'] and measurable [S]. This module tracks budgets
+    under the basic composition theorems. *)
+
+type budget = { epsilon : float; delta : float }
+(** Pure ε-DP is [{epsilon; delta = 0.}]. *)
+
+val pure : float -> budget
+(** [pure eps] is ε-DP. @raise Invalid_argument for negative ε. *)
+
+val approx : epsilon:float -> delta:float -> budget
+(** (ε,δ)-DP. @raise Invalid_argument for negative components or δ>1. *)
+
+val compose : budget -> budget -> budget
+(** Sequential composition: budgets add in both components. *)
+
+val compose_list : budget list -> budget
+
+val parallel : budget list -> budget
+(** Parallel composition over disjoint data partitions: the max of the
+    budgets. @raise Invalid_argument on the empty list. *)
+
+val group : k:int -> budget -> budget
+(** Group privacy: protecting groups of [k] individuals at once scales
+    pure ε-DP to [k·ε] (and δ to [k·e^{(k−1)ε}·δ]).
+    @raise Invalid_argument when [k <= 0]. *)
+
+val advanced_compose : k:int -> delta_slack:float -> budget -> budget
+(** Dwork–Rothblum–Vadhan advanced composition of [k] copies of a pure
+    ε-mechanism: [(ε√(2k ln(1/δ')) + kε(eᵉ−1), kδ + δ')].
+    @raise Invalid_argument when [k <= 0] or slack outside (0,1). *)
+
+val scale_noise_for : epsilon:float -> sensitivity:float -> float
+(** The Laplace scale [Δf/ε] from Theorem 2.2.
+    @raise Invalid_argument on non-positive ε or negative sensitivity. *)
+
+val pp_budget : Format.formatter -> budget -> unit
+
+(** Mutable budget ledger for a sequence of releases. *)
+module Accountant : sig
+  type t
+
+  val create : total:budget -> t
+  val spend : t -> budget -> unit
+  (** @raise Failure when the spend would exceed the total budget. *)
+
+  val spent : t -> budget
+  val remaining : t -> budget
+  val can_afford : t -> budget -> bool
+end

@@ -1,0 +1,53 @@
+open Dp_math
+
+type 'a outcome = Released of 'a | Refused
+
+let distance_to_instability ~is_stable =
+  let rec go k = if k > 10_000 then k else if is_stable k then go (k + 1) else k in
+  go 0
+
+let release_scalar ~epsilon ~delta ~distance ~local_bound ~value g =
+  let epsilon = Numeric.check_pos "Propose_test_release epsilon" epsilon in
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Propose_test_release: delta must be in (0,1)";
+  if distance < 0 then invalid_arg "Propose_test_release: negative distance";
+  let local_bound =
+    Numeric.check_nonneg "Propose_test_release local_bound" local_bound
+  in
+  let threshold = log (1. /. delta) /. epsilon in
+  let noisy_distance =
+    float_of_int distance +. Dp_rng.Sampler.laplace ~mean:0. ~scale:(1. /. epsilon) g
+  in
+  if noisy_distance <= threshold then Refused
+  else if local_bound = 0. then Released value
+  else
+    Released
+      (value +. Dp_rng.Sampler.laplace ~mean:0. ~scale:(local_bound /. epsilon) g)
+
+let private_median ~epsilon ~delta ~lo ~hi xs g =
+  let epsilon = Numeric.check_pos "Propose_test_release.private_median epsilon" epsilon in
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Propose_test_release.private_median: delta must be in (0,1)";
+  if lo >= hi then invalid_arg "Propose_test_release.private_median: lo >= hi";
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Propose_test_release.private_median: empty data";
+  let sorted = Array.map (Numeric.clamp ~lo ~hi) xs in
+  Array.sort compare sorted;
+  (* propose: the local sensitivity at radius r, with r chosen so the
+     stability test can pass *)
+  let r = int_of_float (Float.ceil (log (1. /. delta) /. epsilon)) + 1 in
+  let bound =
+    Smooth_sensitivity.median_local_sensitivity_at_distance ~lo ~hi ~sorted r
+  in
+  (* distance to instability: the largest k such that every database
+     within distance k has local sensitivity <= bound; LS at distance d
+     is monotone in d, so test A(k+ ... ) directly *)
+  let is_stable k =
+    Smooth_sensitivity.median_local_sensitivity_at_distance ~lo ~hi ~sorted
+      (k + 1)
+    <= bound +. 1e-12
+  in
+  let distance = distance_to_instability ~is_stable in
+  release_scalar ~epsilon ~delta ~distance ~local_bound:bound
+    ~value:(Dp_stats.Describe.median sorted)
+    g

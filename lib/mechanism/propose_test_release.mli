@@ -1,0 +1,50 @@
+(** Propose–test–release (Dwork–Lei 2009): the other classical route
+    past global sensitivity.
+
+    To release f(D) with only local-sensitivity noise: privately test
+    whether the database is FAR (in Hamming distance) from any
+    database whose local sensitivity exceeds a proposed bound b; if
+    the noisy distance clears a threshold, release f(D) + Lap(b/ε),
+    otherwise refuse (⊥). The refusal branch makes the mechanism
+    (ε, δ)-DP rather than pure ε-DP: δ bounds the probability the
+    test passes on an unstable database. *)
+
+type 'a outcome = Released of 'a | Refused
+
+val distance_to_instability :
+  is_stable:(int -> bool) -> int
+(** [distance_to_instability ~is_stable] is the smallest k ≥ 0 with
+    [is_stable k = false], probed incrementally ([is_stable k] should
+    say whether every database within Hamming distance k keeps the
+    property); capped at 10_000. *)
+
+val release_scalar :
+  epsilon:float ->
+  delta:float ->
+  distance:int ->
+  local_bound:float ->
+  value:float ->
+  Dp_rng.Prng.t ->
+  float outcome
+(** Generic PTR step: [distance] is the (exactly computed) Hamming
+    distance from D to the nearest database whose local sensitivity
+    exceeds [local_bound]. The test releases iff
+    [distance + Lap(1/ε) > log(1/δ)/ε]; on release, adds
+    [Lap(local_bound/ε)] to [value]. Total: (2ε, δ)-DP.
+    @raise Invalid_argument on non-positive ε, δ outside (0,1),
+    negative distance or bound. *)
+
+val private_median :
+  epsilon:float ->
+  delta:float ->
+  lo:float ->
+  hi:float ->
+  float array ->
+  Dp_rng.Prng.t ->
+  float outcome
+(** PTR for the median on [\[lo, hi\]]: proposes the bound
+    b = the median's local sensitivity at distance ⌈log(1/δ)/ε⌉ + 1
+    (so stability at the tested radius is guaranteed by construction),
+    computes the exact distance to instability, tests, and releases
+    with Lap(b/ε) noise. Compare {!Smooth_sensitivity.private_median}:
+    PTR gives lighter (Laplace, not Cauchy) tails but pays a δ. *)

@@ -1,0 +1,28 @@
+type t = { epsilon : float; p_truth : float }
+
+let create ~epsilon =
+  let epsilon = Dp_math.Numeric.check_pos "Randomized_response.create" epsilon in
+  { epsilon; p_truth = exp epsilon /. (1. +. exp epsilon) }
+
+let truth_probability t = t.p_truth
+
+let budget t = Privacy.pure t.epsilon
+
+let respond t bit g =
+  if Dp_rng.Sampler.bernoulli ~p:t.p_truth g then bit else not bit
+
+let respond_database t db g =
+  Array.map (fun b -> if respond t (b = 1) g then 1 else 0) db
+
+let estimate_mean t responses =
+  let n = Array.length responses in
+  if n = 0 then invalid_arg "Randomized_response.estimate_mean: empty database";
+  let p_hat =
+    float_of_int (Array.fold_left ( + ) 0 responses) /. float_of_int n
+  in
+  let p = t.p_truth in
+  (p_hat -. (1. -. p)) /. ((2. *. p) -. 1.)
+
+let channel_matrix t =
+  let p = t.p_truth in
+  [| [| p; 1. -. p |]; [| 1. -. p; p |] |]

@@ -1,0 +1,27 @@
+(** Warner's randomized response — the oldest ε-DP mechanism and the
+    simplest channel for the information-flow experiments (E7): each
+    respondent reports their true bit with probability
+    [e^ε / (1 + e^ε)] and lies otherwise. *)
+
+type t
+
+val create : epsilon:float -> t
+(** @raise Invalid_argument for non-positive ε. *)
+
+val truth_probability : t -> float
+val budget : t -> Privacy.budget
+
+val respond : t -> bool -> Dp_rng.Prng.t -> bool
+
+val respond_database : t -> int array -> Dp_rng.Prng.t -> int array
+(** Per-record response over a 0/1 database. *)
+
+val estimate_mean : t -> int array -> float
+(** Debiased estimate of the true proportion of 1s from the noisy
+    responses: [(p̂ − (1−p)) / (2p − 1)] with [p] the truth
+    probability.
+    @raise Invalid_argument on the empty database. *)
+
+val channel_matrix : t -> float array array
+(** The 2×2 transition matrix [P(response | truth)] — the explicit
+    information channel used by [Dp_info.Leakage]. *)

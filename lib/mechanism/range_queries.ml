@@ -1,0 +1,92 @@
+open Dp_math
+
+type strategy =
+  | Flat of float array
+  | Hierarchical of { levels : float array array; m : int }
+      (* levels.(l).(i): noisy sum of the block [i*2^l, (i+1)*2^l) *)
+
+type t = { strategy : strategy; m : int; epsilon : float }
+
+let check_counts counts =
+  let m = Array.length counts in
+  if m = 0 then invalid_arg "Range_queries: empty counts";
+  m
+
+let flat_release ~epsilon counts g =
+  let epsilon = Numeric.check_pos "Range_queries.flat_release epsilon" epsilon in
+  let m = check_counts counts in
+  let scale = 2. /. epsilon in
+  let noisy =
+    Array.map
+      (fun c -> float_of_int c +. Dp_rng.Sampler.laplace ~mean:0. ~scale g)
+      counts
+  in
+  { strategy = Flat noisy; m; epsilon }
+
+let n_levels m =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 (m - 1) + 1
+
+let hierarchical_release ~epsilon counts g =
+  let epsilon =
+    Numeric.check_pos "Range_queries.hierarchical_release epsilon" epsilon
+  in
+  let m = check_counts counts in
+  let h = n_levels m in
+  let scale = 2. *. float_of_int h /. epsilon in
+  let levels =
+    Array.init h (fun l ->
+        let block = 1 lsl l in
+        let blocks = (m + block - 1) / block in
+        Array.init blocks (fun i ->
+            let lo = i * block and hi = Stdlib.min m ((i + 1) * block) in
+            let s = ref 0 in
+            for k = lo to hi - 1 do
+              s := !s + counts.(k)
+            done;
+            float_of_int !s +. Dp_rng.Sampler.laplace ~mean:0. ~scale g))
+  in
+  { strategy = Hierarchical { levels; m }; m; epsilon }
+
+let domain_size t = t.m
+let budget t = Privacy.pure t.epsilon
+
+let true_range counts ~lo ~hi =
+  if lo < 0 || hi >= Array.length counts || lo > hi then
+    invalid_arg "Range_queries.true_range: invalid range";
+  let s = ref 0 in
+  for i = lo to hi do
+    s := !s + counts.(i)
+  done;
+  !s
+
+(* greedy dyadic decomposition of [lo, hi] (inclusive) *)
+let rec decompose acc levels lo hi =
+  if lo > hi then acc
+  else begin
+    (* largest aligned block starting at lo and fitting in [lo, hi] *)
+    let max_l = Array.length levels - 1 in
+    let rec best l =
+      let block = 1 lsl l in
+      if l = 0 then 0
+      else if lo mod block = 0 && lo + block - 1 <= hi then l
+      else best (l - 1)
+    in
+    let l = best max_l in
+    let block = 1 lsl l in
+    decompose (levels.(l).(lo / block) :: acc) levels (lo + block) hi
+  end
+
+let range_query t ~lo ~hi =
+  if lo < 0 || hi >= t.m || lo > hi then
+    invalid_arg "Range_queries.range_query: invalid range";
+  match t.strategy with
+  | Flat noisy ->
+      Numeric.float_sum_range (hi - lo + 1) (fun k -> noisy.(lo + k))
+  | Hierarchical { levels; _ } ->
+      Summation.sum_list (decompose [] levels lo hi)
+
+let expected_flat_std ~epsilon ~range_len =
+  let epsilon = Numeric.check_pos "Range_queries.expected_flat_std epsilon" epsilon in
+  if range_len <= 0 then invalid_arg "Range_queries.expected_flat_std: range_len <= 0";
+  sqrt (float_of_int range_len *. 2. *. Numeric.sq (2. /. epsilon))

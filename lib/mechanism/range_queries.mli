@@ -1,0 +1,35 @@
+(** Private range queries over a histogram domain: flat noise vs the
+    hierarchical strategy (Hay et al. 2010).
+
+    A domain of [m] buckets with integer counts; the workload is all
+    range sums. Flat: noise every bucket once, answer ranges by
+    summation — error grows linearly with range length. Hierarchical:
+    noise every node of a binary interval tree (splitting the budget
+    across levels — each level is a partition of the domain, so levels
+    compose sequentially and nodes within a level in parallel); any
+    range decomposes into O(log m) nodes — error polylog in the range
+    length. Experiment E31. *)
+
+type t
+
+val flat_release : epsilon:float -> int array -> Dp_rng.Prng.t -> t
+(** ε-DP: Laplace(2/ε) per bucket (replacement moves one unit between
+    two buckets: per-partition sensitivity 2).
+    @raise Invalid_argument on empty counts or non-positive ε. *)
+
+val hierarchical_release : epsilon:float -> int array -> Dp_rng.Prng.t -> t
+(** ε-DP: the budget splits evenly across the [⌈log₂ m⌉ + 1] tree
+    levels; each node gets Laplace(2·levels/ε). *)
+
+val range_query : t -> lo:int -> hi:int -> float
+(** Private answer to [Σ counts.(lo..hi)] (inclusive).
+    @raise Invalid_argument on an invalid range. *)
+
+val domain_size : t -> int
+val budget : t -> Privacy.budget
+
+val true_range : int array -> lo:int -> hi:int -> int
+(** Non-private comparison point. *)
+
+val expected_flat_std : epsilon:float -> range_len:int -> float
+(** Analytic std of the flat answer: [sqrt(range_len · 2·(2/ε)²)]. *)

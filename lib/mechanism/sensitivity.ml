@@ -1,0 +1,39 @@
+let count () = 1.
+
+let bounded_sum ~lo ~hi =
+  if lo > hi then invalid_arg "Sensitivity.bounded_sum: lo > hi";
+  hi -. lo
+
+let bounded_mean ~lo ~hi ~n =
+  if n <= 0 then invalid_arg "Sensitivity.bounded_mean: n must be positive";
+  bounded_sum ~lo ~hi /. float_of_int n
+
+let histogram () = 2.
+
+let empirical_risk ~loss_range ~n =
+  if n <= 0 then invalid_arg "Sensitivity.empirical_risk: n must be positive";
+  let loss_range =
+    Dp_math.Numeric.check_nonneg "Sensitivity.empirical_risk loss_range"
+      loss_range
+  in
+  loss_range /. float_of_int n
+
+let estimate_scalar ~f ~databases ~universe =
+  if universe <= 0 then
+    invalid_arg "Sensitivity.estimate_scalar: universe must be positive";
+  let worst = ref 0. in
+  Array.iter
+    (fun db ->
+      let fd = f db in
+      Array.iteri
+        (fun i _ ->
+          for v = 0 to universe - 1 do
+            if v <> db.(i) then begin
+              let d' = Array.copy db in
+              d'.(i) <- v;
+              worst := Float.max !worst (Float.abs (fd -. f d'))
+            end
+          done)
+        db)
+    databases;
+  !worst

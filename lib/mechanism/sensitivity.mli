@@ -1,0 +1,35 @@
+(** Global sensitivity (Definition 2.2 of the paper):
+    [Δf = max over neighbours D,D' of ‖f(D) − f(D')‖₁]. *)
+
+val count : unit -> float
+(** A 0/1 counting query changes by at most 1. *)
+
+val bounded_sum : lo:float -> hi:float -> float
+(** Sum of records confined to [\[lo, hi\]]: sensitivity [hi − lo]
+    under the replace-one-record neighbour relation.
+    @raise Invalid_argument when [lo > hi]. *)
+
+val bounded_mean : lo:float -> hi:float -> n:int -> float
+(** Mean over exactly [n] records in [\[lo, hi\]]: [(hi − lo)/n]. *)
+
+val histogram : unit -> float
+(** Replacing one record moves one unit of count between two bins:
+    L1 sensitivity 2. *)
+
+val empirical_risk : loss_range:float -> n:int -> float
+(** Sensitivity of the empirical risk [R̂(θ) = (1/n) Σ ℓ_θ(zᵢ)] for a
+    loss bounded in an interval of width [loss_range]: replacing one
+    sample moves R̂ by at most [loss_range / n]. This is the ΔR̂ of the
+    paper's Theorem 4.1.
+    @raise Invalid_argument on non-positive inputs. *)
+
+val estimate_scalar :
+  f:(int array -> float) ->
+  databases:int array array ->
+  universe:int ->
+  float
+(** Brute-force lower bound on the sensitivity of a scalar query:
+    maximizes [|f D − f D'|] over every provided database and all its
+    replace-one neighbours over the given universe. Exact when
+    [databases] covers the worst case; used in tests to confirm the
+    closed forms above. *)

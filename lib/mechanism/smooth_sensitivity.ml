@@ -1,0 +1,45 @@
+open Dp_math
+
+let cauchy ~scale g =
+  let scale = Numeric.check_pos "Smooth_sensitivity.cauchy scale" scale in
+  scale *. tan (Float.pi *. (Dp_rng.Prng.float g -. 0.5))
+
+(* For the median (lower median, index m = (n-1)/2 of the sorted array)
+   of a database over [lo, hi]: changing up to k records can shift the
+   median anywhere between order statistics; the local sensitivity at
+   distance k is max over t in [0, k+1] of x_{m+t} - x_{m+t-k-1},
+   where indices below 0 clamp to lo and above n-1 clamp to hi. *)
+let median_local_sensitivity_at_distance ~lo ~hi ~sorted k =
+  if k < 0 then
+    invalid_arg "Smooth_sensitivity.median_local_sensitivity: negative k";
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Smooth_sensitivity.median_local_sensitivity: empty";
+  let get i = if i < 0 then lo else if i >= n then hi else sorted.(i) in
+  let m = (n - 1) / 2 in
+  let worst = ref 0. in
+  for t = 0 to k + 1 do
+    worst := Float.max !worst (get (m + t) -. get (m + t - k - 1))
+  done;
+  !worst
+
+let median_smooth_sensitivity ~beta ~lo ~hi xs =
+  let beta = Numeric.check_pos "Smooth_sensitivity.median_smooth beta" beta in
+  if lo >= hi then invalid_arg "Smooth_sensitivity.median_smooth: lo >= hi";
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Smooth_sensitivity.median_smooth: empty data";
+  let sorted = Array.map (Numeric.clamp ~lo ~hi) xs in
+  Array.sort compare sorted;
+  let s = ref 0. in
+  for k = 0 to n do
+    let a = median_local_sensitivity_at_distance ~lo ~hi ~sorted k in
+    s := Float.max !s (exp (-.beta *. float_of_int k) *. a)
+  done;
+  !s
+
+let private_median ~epsilon ~lo ~hi xs g =
+  let epsilon = Numeric.check_pos "Smooth_sensitivity.private_median epsilon" epsilon in
+  let beta = epsilon /. 6. in
+  let s = median_smooth_sensitivity ~beta ~lo ~hi xs in
+  let median = Dp_stats.Describe.median (Array.map (Numeric.clamp ~lo ~hi) xs) in
+  let noise = cauchy ~scale:(6. *. s /. epsilon) g in
+  Numeric.clamp ~lo ~hi (median +. noise)

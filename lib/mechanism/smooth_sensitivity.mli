@@ -1,0 +1,32 @@
+(** Smooth sensitivity (Nissim–Raskhodnikova–Smith 2007).
+
+    Global sensitivity is a worst-case over all databases; for
+    functions like the median it is enormous (the full range) even
+    when the actual database is insensitive. The β-smooth sensitivity
+    [S_β(D) = max_{D'} LS(D')·e^{−β·d(D,D')}] upper-bounds the local
+    sensitivity smoothly, and adding Cauchy noise scaled by
+    [S_β(D)/ε] (with β = ε/6) gives pure ε-DP. For the median of a
+    sorted bounded database the smooth sensitivity is computable
+    exactly in O(n²) (O(n·k_max) here with early cutoff). *)
+
+val median_local_sensitivity_at_distance :
+  lo:float -> hi:float -> sorted:float array -> int -> float
+(** [A(k)]: the largest local sensitivity of the median over databases
+    at Hamming distance ≤ k — for the median at index m,
+    [max_{t ≤ k+1} (x_{m+t} − x_{m+t−k−1})] with out-of-range indices
+    clamped to the domain edges.
+    @raise Invalid_argument on unsorted-looking input or k < 0. *)
+
+val median_smooth_sensitivity :
+  beta:float -> lo:float -> hi:float -> float array -> float
+(** [S_β = max_k e^{−βk}·A(k)] over [k = 0..n]. Data are clamped into
+    the domain and sorted internally.
+    @raise Invalid_argument on empty data, [lo >= hi], or β ≤ 0. *)
+
+val private_median :
+  epsilon:float -> lo:float -> hi:float -> float array -> Dp_rng.Prng.t -> float
+(** The NRS mechanism: [median + Cauchy(6·S_{ε/6}/ε)] noise, clamped
+    into the domain. Pure ε-DP. *)
+
+val cauchy : scale:float -> Dp_rng.Prng.t -> float
+(** Standard Cauchy sampler times [scale] (tan of a uniform angle). *)

@@ -1,0 +1,45 @@
+type answer = Above | Below
+
+type t = {
+  epsilon : float;
+  max_positives : int;
+  noisy_threshold : float;
+  positive_scale : float;
+  g : Dp_rng.Prng.t;
+  mutable used : int;
+}
+
+let create ~epsilon ~threshold ?(max_positives = 1) g =
+  let epsilon = Dp_math.Numeric.check_pos "Sparse_vector.create epsilon" epsilon in
+  if max_positives <= 0 then
+    invalid_arg "Sparse_vector.create: max_positives must be positive";
+  let threshold_scale = 2. /. epsilon in
+  (* epsilon/2 across up to c positives, each a sensitivity-2 event in
+     the standard analysis: scale 4c/epsilon. *)
+  let positive_scale = 4. *. float_of_int max_positives /. epsilon in
+  {
+    epsilon;
+    max_positives;
+    noisy_threshold =
+      threshold +. Dp_rng.Sampler.laplace ~mean:0. ~scale:threshold_scale g;
+    positive_scale;
+    g;
+    used = 0;
+  }
+
+let is_exhausted t = t.used >= t.max_positives
+
+let query t v =
+  if is_exhausted t then None
+  else begin
+    let noisy = v +. Dp_rng.Sampler.laplace ~mean:0. ~scale:t.positive_scale t.g in
+    if noisy >= t.noisy_threshold then begin
+      t.used <- t.used + 1;
+      Some Above
+    end
+    else Some Below
+  end
+
+let positives_used t = t.used
+
+let budget t = Privacy.pure t.epsilon

@@ -1,0 +1,31 @@
+(** The sparse vector technique (AboveThreshold): answer a stream of
+    sensitivity-1 queries, reporting only whether each noisy answer
+    exceeds a noisy threshold, halting after [max_positives] positive
+    reports. The privacy cost is paid only for positives — the
+    canonical example of a mechanism whose budget does not grow with
+    the number of queries asked. *)
+
+type t
+
+type answer = Above | Below
+
+val create :
+  epsilon:float ->
+  threshold:float ->
+  ?max_positives:int ->
+  Dp_rng.Prng.t ->
+  t
+(** [create ~epsilon ~threshold g] initializes AboveThreshold with
+    total budget ε (split ε/2 on the threshold, ε/2 across positive
+    answers; [max_positives] defaults to 1).
+    @raise Invalid_argument for non-positive ε or max_positives. *)
+
+val query : t -> float -> answer option
+(** [query t v] processes the (exact) query answer [v]; returns [None]
+    once the mechanism has exhausted its positive reports (the caller
+    must stop asking). Queries must have sensitivity ≤ 1. *)
+
+val positives_used : t -> int
+val is_exhausted : t -> bool
+val budget : t -> Privacy.budget
+(** The total ε paid regardless of how many queries were asked. *)

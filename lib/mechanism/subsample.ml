@@ -1,0 +1,23 @@
+open Dp_math
+
+let amplified_epsilon ~epsilon ~q =
+  let epsilon = Numeric.check_nonneg "Subsample.amplified_epsilon epsilon" epsilon in
+  let q = Numeric.check_prob "Subsample.amplified_epsilon q" q in
+  Float.log1p (q *. Float.expm1 epsilon)
+
+let required_epsilon ~target ~q =
+  let target = Numeric.check_pos "Subsample.required_epsilon target" target in
+  let q = Numeric.check_prob "Subsample.required_epsilon q" q in
+  if q = 0. then invalid_arg "Subsample.required_epsilon: q must be positive";
+  Float.log1p (Float.expm1 target /. q)
+
+let run_subsampled ~q ~base_epsilon ~mechanism db g =
+  let q = Numeric.check_prob "Subsample.run_subsampled q" q in
+  if q = 0. then invalid_arg "Subsample.run_subsampled: q must be positive";
+  let n = Array.length db in
+  if n = 0 then invalid_arg "Subsample.run_subsampled: empty database";
+  let m = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+  let idx = Dp_rng.Sampler.sample_without_replacement ~k:m n g in
+  let sub = Array.map (fun i -> db.(i)) idx in
+  let result = mechanism sub g in
+  (result, Privacy.pure (amplified_epsilon ~epsilon:base_epsilon ~q))

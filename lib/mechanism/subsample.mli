@@ -1,0 +1,30 @@
+(** Privacy amplification by subsampling.
+
+    Running an ε-DP mechanism on a uniformly subsampled fraction
+    [q = m/n] of the database is [log(1 + q(e^ε − 1))]-DP with respect
+    to the full database — strictly better than ε for q < 1. The
+    standard tool for making learning mechanisms cheaper, and
+    experiment E13's subject. *)
+
+val amplified_epsilon : epsilon:float -> q:float -> float
+(** [log (1 + q·(e^ε − 1))].
+    @raise Invalid_argument for ε < 0 or q outside [0, 1]. *)
+
+val required_epsilon : target:float -> q:float -> float
+(** Inverse: the base-mechanism ε such that subsampling at rate [q]
+    achieves [target]: [log(1 + (e^target − 1)/q)].
+    @raise Invalid_argument for target ≤ 0 or q outside (0, 1]. *)
+
+val run_subsampled :
+  q:float ->
+  base_epsilon:float ->
+  mechanism:(int array -> Dp_rng.Prng.t -> 'a) ->
+  int array ->
+  Dp_rng.Prng.t ->
+  'a * Privacy.budget
+(** [run_subsampled ~q ~base_epsilon ~mechanism db g] draws a uniform
+    subsample of size [⌈q·n⌉] without replacement, applies the
+    ε-DP [mechanism] to it, and returns the result with the amplified
+    budget. The caller asserts [mechanism] is [base_epsilon]-DP on the
+    subsample.
+    @raise Invalid_argument for q outside (0, 1]. *)

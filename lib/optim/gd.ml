@@ -1,0 +1,59 @@
+open Dp_linalg
+
+type report = {
+  solution : float array;
+  objective : float;
+  iterations : int;
+  converged : bool;
+  gradient_norm : float;
+}
+
+let minimize ?(step = 1.0) ?(max_iter = 10_000) ?(tol = 1e-8) ?project ~f ~grad
+    x0 =
+  let proj = match project with Some p -> p | None -> Fun.id in
+  let x = ref (proj (Array.copy x0)) in
+  let fx = ref (f !x) in
+  let iters = ref 0 in
+  let converged = ref false in
+  let gnorm = ref infinity in
+  while (not !converged) && !iters < max_iter do
+    incr iters;
+    let gr = grad !x in
+    gnorm := Vec.norm2 gr;
+    if !gnorm <= tol then converged := true
+    else begin
+      (* Armijo backtracking: accept when the (projected) step improves
+         the objective by a c * eta * |g|^2 margin. *)
+      let eta = ref step in
+      let accepted = ref false in
+      let attempts = ref 0 in
+      while (not !accepted) && !attempts < 60 do
+        incr attempts;
+        let cand = proj (Vec.axpy ~alpha:(-. !eta) gr !x) in
+        let fc = f cand in
+        let margin = 1e-4 *. !eta *. !gnorm *. !gnorm in
+        if fc <= !fx -. margin then begin
+          x := cand;
+          fx := fc;
+          accepted := true
+        end
+        else eta := !eta /. 2.
+      done;
+      if not !accepted then converged := true (* stuck: cannot improve *)
+    end
+  done;
+  {
+    solution = !x;
+    objective = !fx;
+    iterations = !iters;
+    converged = !converged;
+    gradient_norm = !gnorm;
+  }
+
+let minimize_fixed_step ~step ~iterations ?project ~grad x0 =
+  let proj = match project with Some p -> p | None -> Fun.id in
+  let x = ref (proj (Array.copy x0)) in
+  for _ = 1 to iterations do
+    x := proj (Vec.axpy ~alpha:(-.step) (grad !x) !x)
+  done;
+  !x

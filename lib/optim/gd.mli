@@ -1,0 +1,37 @@
+(** Batch (projected) gradient descent for the convex ERM objectives
+    behind the paper's cited baselines (Chaudhuri et al. regularized
+    logistic regression / SVM). *)
+
+type report = {
+  solution : float array;
+  objective : float;
+  iterations : int;
+  converged : bool;
+  gradient_norm : float;
+}
+
+val minimize :
+  ?step:float ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?project:(float array -> float array) ->
+  f:(float array -> float) ->
+  grad:(float array -> float array) ->
+  float array ->
+  report
+(** [minimize ~f ~grad x0] runs gradient descent with backtracking line
+    search (Armijo, halving from [step], default 1.0), stopping when
+    the gradient norm falls below [tol] (default 1e-8) or after
+    [max_iter] (default 10_000) iterations. When [project] is given
+    each iterate is projected (projected GD — line search then checks
+    the projected point). *)
+
+val minimize_fixed_step :
+  step:float ->
+  iterations:int ->
+  ?project:(float array -> float array) ->
+  grad:(float array -> float array) ->
+  float array ->
+  float array
+(** Plain fixed-step iteration (used where a deterministic operation
+    count matters, e.g. inside benches). *)

@@ -1,0 +1,36 @@
+open Dp_linalg
+
+type schedule = Constant of float | Inv_sqrt of float | Inv_t of float
+
+let step_size sched t =
+  if t < 1 then invalid_arg "Sgd.step_size: t must be >= 1";
+  match sched with
+  | Constant c -> c
+  | Inv_sqrt c -> c /. sqrt (float_of_int t)
+  | Inv_t c -> c /. float_of_int t
+
+let minimize ?(epochs = 10) ?(schedule = Inv_sqrt 0.5) ?project ~n ~grad_at x0 g
+    =
+  if n <= 0 then invalid_arg "Sgd.minimize: n must be positive";
+  if epochs <= 0 then invalid_arg "Sgd.minimize: epochs must be positive";
+  let proj = match project with Some p -> p | None -> Fun.id in
+  let x = ref (proj (Array.copy x0)) in
+  let order = Array.init n Fun.id in
+  let t = ref 0 in
+  let avg = Array.make (Array.length x0) 0. in
+  let avg_count = ref 0 in
+  for epoch = 1 to epochs do
+    Dp_rng.Sampler.shuffle order g;
+    Array.iter
+      (fun i ->
+        incr t;
+        let eta = step_size schedule !t in
+        let gr = grad_at i !x in
+        x := proj (Vec.axpy ~alpha:(-.eta) gr !x);
+        if epoch = epochs then begin
+          incr avg_count;
+          Vec.axpy_inplace ~alpha:1. !x avg
+        end)
+      order
+  done;
+  proj (Vec.scale (1. /. float_of_int !avg_count) avg)

@@ -1,0 +1,24 @@
+(** Stochastic (sub)gradient descent over example-indexed objectives. *)
+
+type schedule =
+  | Constant of float
+  | Inv_sqrt of float  (** [eta_t = c / sqrt t] *)
+  | Inv_t of float  (** [eta_t = c / t], the strongly-convex rate *)
+
+val step_size : schedule -> int -> float
+(** [step_size sched t] for [t >= 1]. *)
+
+val minimize :
+  ?epochs:int ->
+  ?schedule:schedule ->
+  ?project:(float array -> float array) ->
+  n:int ->
+  grad_at:(int -> float array -> float array) ->
+  float array ->
+  Dp_rng.Prng.t ->
+  float array
+(** [minimize ~n ~grad_at x0 g] runs SGD for [epochs] (default 10)
+    passes over a random permutation of the [n] examples;
+    [grad_at i x] is the (sub)gradient of the i-th example's loss at
+    [x]. Returns the averaged iterate of the final epoch
+    (Polyak–Ruppert averaging), projected when [project] is given. *)

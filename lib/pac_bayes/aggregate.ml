@@ -1,0 +1,42 @@
+open Dp_math
+
+let vote ~posterior ~predict x =
+  let posterior = Dp_info.Entropy.validate "Aggregate.vote posterior" posterior in
+  let s =
+    Numeric.float_sum_range (Array.length posterior) (fun i ->
+        posterior.(i) *. predict i x)
+  in
+  if s >= 0. then 1. else -1.
+
+let vote_risk ~posterior ~predict sample =
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Aggregate.vote_risk: empty sample";
+  Numeric.float_sum_range n (fun k ->
+      let x, y = sample.(k) in
+      if vote ~posterior ~predict x = y then 0. else 1.)
+  /. float_of_int n
+
+let gibbs_risk ~posterior ~predict sample =
+  let posterior =
+    Dp_info.Entropy.validate "Aggregate.gibbs_risk posterior" posterior
+  in
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Aggregate.gibbs_risk: empty sample";
+  Numeric.float_sum_range (Array.length posterior) (fun i ->
+      posterior.(i)
+      *. Numeric.float_sum_range n (fun k ->
+             let x, y = sample.(k) in
+             if (if predict i x >= 0. then 1. else -1.) = y then 0. else 1.))
+  /. float_of_int n
+
+let factor_two_bound ~gibbs_risk =
+  Float.min 1. (2. *. Numeric.check_nonneg "Aggregate.factor_two_bound" gibbs_risk)
+
+let private_vote_of_draws ~draws ~predict x =
+  let k = Array.length draws in
+  if k = 0 then invalid_arg "Aggregate.private_vote_of_draws: no draws";
+  let s =
+    Numeric.float_sum_range k (fun i ->
+        if predict draws.(i) x >= 0. then 1. else -1.)
+  in
+  if s >= 0. then 1. else -1.

@@ -1,0 +1,48 @@
+(** Aggregating the Gibbs posterior: the randomized predictor vs the
+    deterministic majority vote.
+
+    The paper studies the randomized predictor θ ∼ π̂ (which is what
+    can be released privately). In PAC-Bayes one also considers the
+    ρ-weighted MAJORITY VOTE [sign E_θ∼π̂ h_θ(x)], which satisfies the
+    folklore factor-two bound [R(vote) ≤ 2·E_θ∼π̂ R(θ)] for 0-1 loss.
+    Aggregation is post-processing of the posterior, so when the
+    posterior's parameters are released privately the vote costs no
+    extra budget; when only a SINGLE draw is released (the paper's
+    mechanism), voting over k draws costs k·ε by composition —
+    experiment E21 quantifies this privacy/aggregation tradeoff. *)
+
+val vote :
+  posterior:float array ->
+  predict:(int -> 'x -> float) ->
+  'x ->
+  float
+(** [vote ~posterior ~predict x] is the ρ-weighted vote
+    [sign Σᵢ ρᵢ predict i x] (±1; ties to +1).
+    @raise Invalid_argument on an invalid posterior. *)
+
+val vote_risk :
+  posterior:float array ->
+  predict:(int -> 'x -> float) ->
+  ('x * float) array ->
+  float
+(** 0-1 risk of the weighted vote on a labelled sample. *)
+
+val gibbs_risk :
+  posterior:float array ->
+  predict:(int -> 'x -> float) ->
+  ('x * float) array ->
+  float
+(** Expected 0-1 risk of the randomized predictor
+    [E_{θ∼ρ} R̂(θ)] on the sample (the quantity the factor-two bound
+    compares against). *)
+
+val factor_two_bound : gibbs_risk:float -> float
+(** [min 1 (2·gibbs_risk)] — the vote risk never exceeds it. *)
+
+val private_vote_of_draws :
+  draws:'theta array ->
+  predict:('theta -> 'x -> float) ->
+  'x ->
+  float
+(** Majority vote over independently released Gibbs draws (each draw
+    paid for separately; see E21). *)

@@ -1,0 +1,78 @@
+open Dp_math
+
+type result = {
+  posterior : float array;
+  objective : float;
+  iterations : int;
+  trace : float list;
+}
+
+let objective ~risks ~prior ~beta rho =
+  let beta = Numeric.check_pos "Bound_opt.objective beta" beta in
+  let rho = Dp_info.Entropy.validate "Bound_opt.objective rho" rho in
+  if Array.length rho <> Array.length risks then
+    invalid_arg "Bound_opt.objective: length mismatch";
+  Numeric.float_sum_range (Array.length risks) (fun i -> rho.(i) *. risks.(i))
+  +. (Dp_info.Entropy.kl_divergence rho prior /. beta)
+
+let minimize ?(step = 0.5) ?(tol = 1e-12) ?(max_iter = 20_000) ~risks ~prior
+    ~beta () =
+  let k = Array.length risks in
+  if k = 0 then invalid_arg "Bound_opt.minimize: empty risks";
+  let prior = Dp_info.Entropy.validate "Bound_opt.minimize prior" prior in
+  if Array.length prior <> k then
+    invalid_arg "Bound_opt.minimize: prior length mismatch";
+  let beta = Numeric.check_pos "Bound_opt.minimize beta" beta in
+  let step = Numeric.check_pos "Bound_opt.minimize step" step in
+  Array.iter
+    (fun r -> ignore (Numeric.check_finite "Bound_opt.minimize risk" r))
+    risks;
+  (* Work in log space; start at the prior (interior of the simplex). *)
+  let log_prior = Array.map (fun p -> log (Float.max p 1e-300)) prior in
+  let log_rho = ref (Array.copy log_prior) in
+  let eval lr =
+    let rho = Array.map exp lr in
+    Numeric.float_sum_range k (fun i -> rho.(i) *. risks.(i))
+    +. (Numeric.float_sum_range k (fun i ->
+            if rho.(i) > 0. then rho.(i) *. (lr.(i) -. log_prior.(i)) else 0.)
+       /. beta)
+  in
+  let obj = ref (eval !log_rho) in
+  let trace = ref [ !obj ] in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    (* Gradient of F at rho: R_i + (log(rho_i/pi_i) + 1)/beta. *)
+    let grad =
+      Array.init k (fun i ->
+          risks.(i) +. ((!log_rho.(i) -. log_prior.(i) +. 1.) /. beta))
+    in
+    (* EG step with halving on non-descent. *)
+    let eta = ref step in
+    let improved = ref false in
+    let attempts = ref 0 in
+    while (not !improved) && !attempts < 50 do
+      incr attempts;
+      let lw = Array.mapi (fun i l -> l -. (!eta *. grad.(i))) !log_rho in
+      let z = Logspace.log_sum_exp lw in
+      let cand = Array.map (fun w -> w -. z) lw in
+      let c_obj = eval cand in
+      if c_obj <= !obj then begin
+        if !obj -. c_obj <= tol *. (1. +. Float.abs !obj) then
+          converged := true;
+        log_rho := cand;
+        obj := c_obj;
+        improved := true
+      end
+      else eta := !eta /. 2.
+    done;
+    if not !improved then converged := true;
+    trace := !obj :: !trace
+  done;
+  {
+    posterior = Array.map exp !log_rho;
+    objective = !obj;
+    iterations = !iterations;
+    trace = List.rev !trace;
+  }

@@ -1,0 +1,31 @@
+(** Direct numerical minimization of the PAC-Bayes empirical objective
+    over the probability simplex — the independent check of Lemma 3.2
+    (experiment E3): the minimizer it finds must coincide with the
+    Gibbs posterior.
+
+    The objective [F(ρ) = Σ ρᵢRᵢ + KL(ρ‖π)/β] is convex on the
+    simplex; we use exponentiated-gradient (entropic mirror descent),
+    whose iterates stay strictly inside the simplex. *)
+
+type result = {
+  posterior : float array;
+  objective : float;
+  iterations : int;
+  trace : float list;  (** objective per iteration, oldest first *)
+}
+
+val minimize :
+  ?step:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  risks:float array ->
+  prior:float array ->
+  beta:float ->
+  unit ->
+  result
+(** @raise Invalid_argument on shape mismatch, an invalid prior, or
+    non-positive β/step. *)
+
+val objective :
+  risks:float array -> prior:float array -> beta:float -> float array -> float
+(** [F(ρ)] for an arbitrary posterior (validated). *)

@@ -1,0 +1,94 @@
+open Dp_math
+
+let check_common name n delta emp_risk kl =
+  if n <= 0 then invalid_arg (name ^ ": n must be positive");
+  ignore (Numeric.check_prob (name ^ " delta") delta);
+  if delta = 0. then invalid_arg (name ^ ": delta must be positive");
+  ignore (Numeric.check_prob (name ^ " emp_risk") emp_risk);
+  ignore (Numeric.check_nonneg (name ^ " kl") kl)
+
+let catoni ~beta ~n ~delta ~emp_risk ~kl =
+  let beta = Numeric.check_pos "Bounds.catoni beta" beta in
+  check_common "Bounds.catoni" n delta emp_risk kl;
+  let nf = float_of_int n in
+  let c = beta /. nf in
+  let inner = (-.c *. emp_risk) -. ((kl +. log (1. /. delta)) /. nf) in
+  let bound = -.Float.expm1 inner /. -.Float.expm1 (-.c) in
+  Numeric.clamp ~lo:0. ~hi:1. bound
+
+let catoni_expectation ~beta ~n ~emp_risk ~kl =
+  let beta = Numeric.check_pos "Bounds.catoni_expectation beta" beta in
+  if n <= 0 then invalid_arg "Bounds.catoni_expectation: n must be positive";
+  ignore (Numeric.check_prob "Bounds.catoni_expectation emp_risk" emp_risk);
+  ignore (Numeric.check_nonneg "Bounds.catoni_expectation kl" kl);
+  let nf = float_of_int n in
+  let c = beta /. nf in
+  let inner = (-.c *. emp_risk) -. (kl /. nf) in
+  let bound = -.Float.expm1 inner /. -.Float.expm1 (-.c) in
+  Numeric.clamp ~lo:0. ~hi:1. bound
+
+let catoni_correction ~beta ~n =
+  let beta = Numeric.check_pos "Bounds.catoni_correction beta" beta in
+  if n <= 0 then invalid_arg "Bounds.catoni_correction: n must be positive";
+  let c = beta /. float_of_int n in
+  -.Float.expm1 (-.c) /. c
+
+let empirical_objective ~beta ~emp_risk ~kl =
+  let beta = Numeric.check_pos "Bounds.empirical_objective beta" beta in
+  ignore (Numeric.check_finite "Bounds.empirical_objective emp_risk" emp_risk);
+  ignore (Numeric.check_nonneg "Bounds.empirical_objective kl" kl);
+  emp_risk +. (kl /. beta)
+
+let catoni_correction_unchecked beta n =
+  let c = beta /. float_of_int n in
+  -.Float.expm1 (-.c) /. c
+
+let linearized ~beta ~n ~delta ~emp_risk ~kl =
+  let beta = Numeric.check_pos "Bounds.linearized beta" beta in
+  check_common "Bounds.linearized" n delta emp_risk kl;
+  (* 1 − e^{−x} ≤ x on the Catoni numerator gives the valid loosening
+     [L / correction] with L = R̂ + (KL + log(1/δ))/β. *)
+  let l = emp_risk +. ((kl +. log (1. /. delta)) /. beta) in
+  Float.min 1. (l /. catoni_correction_unchecked beta n)
+
+let complexity_term n delta kl =
+  (kl +. log (2. *. sqrt (float_of_int n) /. delta)) /. float_of_int n
+
+let mcallester ~n ~delta ~emp_risk ~kl =
+  check_common "Bounds.mcallester" n delta emp_risk kl;
+  Float.min 1. (emp_risk +. sqrt (complexity_term n delta kl /. 2.))
+
+let seeger ~n ~delta ~emp_risk ~kl =
+  check_common "Bounds.seeger" n delta emp_risk kl;
+  Special.binary_kl_inv_upper ~q:emp_risk ~c:(complexity_term n delta kl)
+
+let alquier ~lambda ~n ~delta ~sub_gaussian_std ~emp_risk ~kl =
+  let lambda = Numeric.check_pos "Bounds.alquier lambda" lambda in
+  if n <= 0 then invalid_arg "Bounds.alquier: n must be positive";
+  ignore (Numeric.check_prob "Bounds.alquier delta" delta);
+  if delta = 0. then invalid_arg "Bounds.alquier: delta must be positive";
+  let sigma = Numeric.check_pos "Bounds.alquier sub_gaussian_std" sub_gaussian_std in
+  ignore (Numeric.check_finite "Bounds.alquier emp_risk" emp_risk);
+  ignore (Numeric.check_nonneg "Bounds.alquier kl" kl);
+  emp_risk
+  +. ((kl +. log (1. /. delta)) /. lambda)
+  +. (lambda *. sigma *. sigma /. (2. *. float_of_int n))
+
+let best_alquier_lambda ~n ~delta ~sub_gaussian_std ~kl =
+  if n <= 0 then invalid_arg "Bounds.best_alquier_lambda: n must be positive";
+  ignore (Numeric.check_prob "Bounds.best_alquier_lambda delta" delta);
+  if delta = 0. then invalid_arg "Bounds.best_alquier_lambda: delta must be positive";
+  let sigma =
+    Numeric.check_pos "Bounds.best_alquier_lambda sub_gaussian_std"
+      sub_gaussian_std
+  in
+  ignore (Numeric.check_nonneg "Bounds.best_alquier_lambda kl" kl);
+  sqrt (2. *. float_of_int n *. (kl +. log (1. /. delta))) /. sigma
+
+let best_catoni_beta ~n ~delta ~emp_risk ~kl =
+  check_common "Bounds.best_catoni_beta" n delta emp_risk kl;
+  let f log_beta = catoni ~beta:(exp log_beta) ~n ~delta ~emp_risk ~kl in
+  let log_beta =
+    Roots.golden_section_min ~f (log 1e-3) (log (10. *. float_of_int n))
+  in
+  exp log_beta

@@ -1,0 +1,71 @@
+(** PAC-Bayesian generalization bounds for losses in [\[0, 1\]].
+
+    The paper's Theorem 3.1 is Catoni's bound; McAllester's and the
+    Maurer–Seeger (kl⁻¹) bounds are implemented for the E4 comparison.
+    All bounds take the posterior's expected empirical risk and its KL
+    divergence from the prior, so one computation of the posterior
+    serves every bound. *)
+
+val catoni :
+  beta:float -> n:int -> delta:float -> emp_risk:float -> kl:float -> float
+(** Theorem 3.1 (high probability form): with probability ≥ 1−δ over
+    the sample,
+    [E_π̂ R ≤ (1−e^{−β/n})^{−1} · (1 − exp(−(β/n)·E_π̂R̂ − (KL(π̂‖π) + log(1/δ))/n))].
+    The result is clamped to [\[0, 1\]] (a risk bound above 1 is
+    vacuous). @raise Invalid_argument on parameters outside their
+    domains. *)
+
+val catoni_expectation : beta:float -> n:int -> emp_risk:float -> kl:float -> float
+(** The in-expectation variant (paper Eq. 1): same expression without
+    the confidence term. *)
+
+val catoni_correction : beta:float -> n:int -> float
+(** The factor [(β/n)^{−1}(1 − e^{−β/n}) ∈ (1 − β/2n, 1)] the paper
+    notes is close to 1 when β ≪ n. *)
+
+val empirical_objective : beta:float -> emp_risk:float -> kl:float -> float
+(** The unbiased empirical upper bound whose minimizer is the Gibbs
+    posterior (Lemma 3.2): [E_π̂ R̂ + KL(π̂‖π)/β]. Monotone in the
+    Catoni bound, so minimizing it minimizes the bound. *)
+
+val linearized :
+  beta:float -> n:int -> delta:float -> emp_risk:float -> kl:float -> float
+(** The valid first-order loosening of {!catoni} (via 1−e^{−x} ≤ x):
+    [(E R̂ + (KL + log(1/δ))/β) / catoni_correction], the linear form
+    commonly quoted; always ≥ {!catoni} (ablation A4). *)
+
+val mcallester : n:int -> delta:float -> emp_risk:float -> kl:float -> float
+(** McAllester (1999):
+    [E R ≤ E R̂ + sqrt((KL + log(2√n/δ)) / (2n))]. Clamped to 1. *)
+
+val seeger : n:int -> delta:float -> emp_risk:float -> kl:float -> float
+(** Maurer–Seeger:
+    [E R ≤ kl⁻¹(E R̂ | (KL + log(2√n/δ))/n)] via the binary-KL upper
+    inverse — the tightest of the three in most regimes. *)
+
+val alquier :
+  lambda:float ->
+  n:int ->
+  delta:float ->
+  sub_gaussian_std:float ->
+  emp_risk:float ->
+  kl:float ->
+  float
+(** Alquier–Ribatet–Guedj (2016) bound for UNBOUNDED losses whose
+    centred value is sub-Gaussian with parameter
+    [sub_gaussian_std] under (Q, π): with probability ≥ 1−δ,
+    [E_ρ R ≤ E_ρ R̂ + (KL + log(1/δ))/λ + λ·σ²/(2n)]. Unlike
+    {!catoni} the risk need not lie in [0,1] (used by the regression
+    learners, where the squared loss is unbounded).
+    @raise Invalid_argument on non-positive λ/σ or δ outside (0,1). *)
+
+val best_alquier_lambda :
+  n:int -> delta:float -> sub_gaussian_std:float -> kl:float -> float
+(** The λ minimizing {!alquier} at fixed (KL, σ):
+    [sqrt(2n(KL + log(1/δ)))/σ]. *)
+
+val best_catoni_beta :
+  n:int -> delta:float -> emp_risk:float -> kl:float -> float
+(** The β minimizing the Catoni bound for fixed (risk, KL) by golden
+    section on [log β] (diagnostic; note that choosing β from data this
+    way voids the fixed-β statement, exactly as in practice). *)

@@ -1,0 +1,70 @@
+open Dp_math
+
+let autocorrelation xs lag =
+  let n = Array.length xs in
+  if lag < 0 then invalid_arg "Diagnostics.autocorrelation: negative lag";
+  if n <= lag + 1 then invalid_arg "Diagnostics.autocorrelation: chain too short";
+  let mean = Summation.mean xs in
+  let var =
+    Numeric.float_sum_range n (fun i -> Numeric.sq (xs.(i) -. mean))
+    /. float_of_int n
+  in
+  if var = 0. then 0.
+  else
+    Numeric.float_sum_range (n - lag) (fun i ->
+        (xs.(i) -. mean) *. (xs.(i + lag) -. mean))
+    /. float_of_int n /. var
+
+let effective_sample_size xs =
+  let n = Array.length xs in
+  if n < 4 then invalid_arg "Diagnostics.effective_sample_size: chain too short";
+  (* Geyer's initial positive sequence: sum rho_{2k-1} + rho_{2k}
+     pairs while the pair sums stay positive. *)
+  let acc = ref 0. in
+  let k = ref 1 in
+  let continue_ = ref true in
+  while !continue_ && (2 * !k) < n - 1 do
+    let pair = autocorrelation xs ((2 * !k) - 1) +. autocorrelation xs (2 * !k) in
+    if pair > 0. then begin
+      acc := !acc +. pair;
+      incr k
+    end
+    else continue_ := false
+  done;
+  let tau = 1. +. (2. *. !acc) in
+  Numeric.clamp ~lo:1. ~hi:(float_of_int n) (float_of_int n /. tau)
+
+let gelman_rubin chains =
+  let m = Array.length chains in
+  if m < 2 then invalid_arg "Diagnostics.gelman_rubin: need >= 2 chains";
+  let n = Array.length chains.(0) in
+  if n < 4 then invalid_arg "Diagnostics.gelman_rubin: chains too short";
+  Array.iter
+    (fun c ->
+      if Array.length c <> n then
+        invalid_arg "Diagnostics.gelman_rubin: unequal chain lengths")
+    chains;
+  let nf = float_of_int n and mf = float_of_int m in
+  let means = Array.map Summation.mean chains in
+  let grand = Summation.mean means in
+  let b =
+    nf /. (mf -. 1.)
+    *. Summation.sum_map (fun mu -> Numeric.sq (mu -. grand)) means
+  in
+  let w =
+    Summation.mean
+      (Array.map
+         (fun c ->
+           let mu = Summation.mean c in
+           Summation.sum_map (fun x -> Numeric.sq (x -. mu)) c /. (nf -. 1.))
+         chains)
+  in
+  if w = 0. then 1.
+  else begin
+    let var_plus = ((nf -. 1.) /. nf *. w) +. (b /. nf) in
+    sqrt (var_plus /. w)
+  end
+
+let summarize run ~coordinate =
+  let xs = Array.map (fun s -> s.(coordinate)) run.Mcmc.samples in
+  (`Ess (effective_sample_size xs), `Mean (Summation.mean xs))

@@ -1,0 +1,21 @@
+(** Convergence diagnostics for the MCMC Gibbs sampler. *)
+
+val autocorrelation : float array -> int -> float
+(** Lag-k autocorrelation of a scalar chain (biased, normalized by the
+    lag-0 variance). @raise Invalid_argument on short chains or a
+    negative lag. *)
+
+val effective_sample_size : float array -> float
+(** ESS via Geyer's initial positive sequence: sum paired
+    autocorrelations until a pair goes non-positive. Between 1 and the
+    chain length. @raise Invalid_argument on chains shorter than 4. *)
+
+val gelman_rubin : float array array -> float
+(** Potential scale reduction factor R̂ over ≥ 2 chains of equal
+    length; values near 1 indicate convergence.
+    @raise Invalid_argument on fewer than 2 chains, unequal lengths,
+    or chains shorter than 4. *)
+
+val summarize :
+  Mcmc.run -> coordinate:int -> [ `Ess of float ] * [ `Mean of float ]
+(** Convenience: ESS and mean of one coordinate of a run. *)

@@ -1,0 +1,84 @@
+open Dp_math
+open Dp_dataset
+
+type t = {
+  mean : float array;
+  chol_precision : Dp_linalg.Mat.t; (* L with L Lᵀ = Λ *)
+  precision : Dp_linalg.Mat.t;
+  beta : float;
+  prior_std : float;
+  radius : float;
+}
+
+let fit ~beta ?(prior_std = 1.) ~radius d =
+  let beta = Numeric.check_pos "Gaussian_gibbs.fit beta" beta in
+  let prior_std = Numeric.check_pos "Gaussian_gibbs.fit prior_std" prior_std in
+  let radius = Numeric.check_pos "Gaussian_gibbs.fit radius" radius in
+  let n = float_of_int (Dataset.size d) in
+  let x = Dp_linalg.Mat.of_arrays d.Dataset.features in
+  let scale = beta /. n in
+  let precision =
+    Dp_linalg.Mat.add_diagonal
+      (1. /. (prior_std *. prior_std))
+      (Dp_linalg.Mat.scale scale (Dp_linalg.Mat.gram x))
+  in
+  let eta = Dp_linalg.Vec.scale scale (Dp_linalg.Mat.tmul_vec x d.Dataset.labels) in
+  let chol_precision = Dp_linalg.Decomp.cholesky precision in
+  let mean = Dp_linalg.Decomp.cholesky_solve chol_precision eta in
+  { mean; chol_precision; precision; beta; prior_std; radius }
+
+let mean t = Array.copy t.mean
+
+let sample_unconstrained t g =
+  (* theta = mean + L^{-T} z, z ~ N(0, I): covariance Λ^{-1}. *)
+  let dim = Array.length t.mean in
+  let z = Dp_rng.Sampler.gaussian_vector ~dim ~std:1. g in
+  (* back substitution on Lᵀ u = z *)
+  let u = Array.make dim 0. in
+  for i = dim - 1 downto 0 do
+    let s =
+      Numeric.float_sum_range
+        (dim - i - 1)
+        (fun k -> Dp_linalg.Mat.get t.chol_precision (i + 1 + k) i *. u.(i + 1 + k))
+    in
+    u.(i) <- (z.(i) -. s) /. Dp_linalg.Mat.get t.chol_precision i i
+  done;
+  Dp_linalg.Vec.add t.mean u
+
+let sample ?(max_attempts = 10_000) t g =
+  let rec go attempts =
+    if attempts = 0 then
+      failwith
+        "Gaussian_gibbs.sample: rejection into the ball failed; increase radius"
+    else begin
+      let theta = sample_unconstrained t g in
+      if Dp_linalg.Vec.norm2 theta <= t.radius then theta
+      else go (attempts - 1)
+    end
+  in
+  go max_attempts
+
+let log_density t theta =
+  if Dp_linalg.Vec.norm2 theta > t.radius then neg_infinity
+  else begin
+    let d = Dp_linalg.Vec.sub theta t.mean in
+    -0.5 *. Dp_linalg.Vec.dot d (Dp_linalg.Mat.mul_vec t.precision d)
+  end
+
+let loss_range ~radius =
+  let radius = Numeric.check_pos "Gaussian_gibbs.loss_range radius" radius in
+  Numeric.sq (radius +. 1.) /. 2.
+
+let calibrate_beta ~epsilon ~n ~radius =
+  let epsilon = Numeric.check_pos "Gaussian_gibbs.calibrate_beta epsilon" epsilon in
+  if n <= 0 then invalid_arg "Gaussian_gibbs.calibrate_beta: n must be positive";
+  epsilon *. float_of_int n /. (2. *. loss_range ~radius)
+
+let privacy_epsilon t ~n =
+  if n <= 0 then invalid_arg "Gaussian_gibbs.privacy_epsilon: n must be positive";
+  2. *. t.beta *. loss_range ~radius:t.radius /. float_of_int n
+
+let fit_private ~epsilon ?prior_std ~radius d g =
+  let beta = calibrate_beta ~epsilon ~n:(Dataset.size d) ~radius in
+  let t = fit ~beta ?prior_std ~radius d in
+  (sample t g, Dp_mechanism.Privacy.pure epsilon)

@@ -1,0 +1,90 @@
+open Dp_math
+
+type 'theta t = {
+  predictors : 'theta array;
+  log_prior : float array; (* normalized *)
+  beta : float;
+  risks : float array;
+  log_posterior : float array; (* normalized *)
+}
+
+let normalize_log_prior k = function
+  | None -> Array.make k (-.log (float_of_int k))
+  | Some lp ->
+      if Array.length lp <> k then
+        invalid_arg "Gibbs: prior length mismatch";
+      let z = Logspace.log_sum_exp lp in
+      if not (Float.is_finite z) then
+        invalid_arg "Gibbs: degenerate prior";
+      Array.map (fun w -> w -. z) lp
+
+let of_risks ~predictors ?log_prior ~beta ~risks () =
+  let k = Array.length predictors in
+  if k = 0 then invalid_arg "Gibbs.of_risks: empty predictor space";
+  if Array.length risks <> k then
+    invalid_arg "Gibbs.of_risks: risks length mismatch";
+  let beta = Numeric.check_pos "Gibbs.of_risks beta" beta in
+  Array.iter
+    (fun r -> ignore (Numeric.check_finite "Gibbs.of_risks risk" r))
+    risks;
+  let log_prior = normalize_log_prior k log_prior in
+  let lw = Array.mapi (fun i r -> log_prior.(i) -. (beta *. r)) risks in
+  let z = Logspace.log_sum_exp lw in
+  let log_posterior = Array.map (fun w -> w -. z) lw in
+  { predictors; log_prior; beta; risks; log_posterior }
+
+let fit ~predictors ?log_prior ~beta ~empirical_risk () =
+  let risks = Array.map empirical_risk predictors in
+  of_risks ~predictors ?log_prior ~beta ~risks ()
+
+let predictors t = t.predictors
+let beta t = t.beta
+let risks t = Array.copy t.risks
+let log_probabilities t = Array.copy t.log_posterior
+let probabilities t = Array.map exp t.log_posterior
+let prior_probabilities t = Array.map exp t.log_prior
+
+let sample t g =
+  t.predictors.(Dp_rng.Sampler.categorical_log ~log_weights:t.log_posterior g)
+
+let sampler t g =
+  let table = Dp_rng.Alias.of_log_weights t.log_posterior in
+  fun () -> t.predictors.(Dp_rng.Alias.sample table g)
+
+let expected_empirical_risk t =
+  Numeric.float_sum_range (Array.length t.risks) (fun i ->
+      exp t.log_posterior.(i) *. t.risks.(i))
+
+let kl_from_prior t =
+  Dp_info.Entropy.kl_divergence_log t.log_posterior t.log_prior
+
+let pac_bayes_objective t =
+  expected_empirical_risk t +. (kl_from_prior t /. t.beta)
+
+let objective_of_posterior t rho =
+  let k = Array.length t.predictors in
+  if Array.length rho <> k then
+    invalid_arg "Gibbs.objective_of_posterior: length mismatch";
+  let rho = Dp_info.Entropy.validate "Gibbs.objective_of_posterior" rho in
+  let prior = prior_probabilities t in
+  let risk_term =
+    Numeric.float_sum_range k (fun i -> rho.(i) *. t.risks.(i))
+  in
+  risk_term +. (Dp_info.Entropy.kl_divergence rho prior /. t.beta)
+
+let privacy_epsilon t ~risk_sensitivity =
+  let risk_sensitivity =
+    Numeric.check_nonneg "Gibbs.privacy_epsilon sensitivity" risk_sensitivity
+  in
+  2. *. t.beta *. risk_sensitivity
+
+let as_exponential_mechanism t ~risk_sensitivity =
+  (* q = −R̂, exponent = β, base measure = the prior. The exponential
+     mechanism's weights are ε·q + log π = −β·R̂ + log π: identical to
+     the Gibbs weights by construction. *)
+  Dp_mechanism.Exponential.of_qualities ~candidates:t.predictors
+    ~log_prior:t.log_prior
+    ~qualities:(Array.map (fun r -> -.r) t.risks)
+    ~sensitivity:risk_sensitivity ~epsilon:t.beta ()
+
+let map f t = { t with predictors = Array.map f t.predictors }

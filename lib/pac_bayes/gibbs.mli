@@ -1,0 +1,73 @@
+(** The Gibbs posterior (paper Lemma 3.2 / Theorem 4.1).
+
+    Over a finite predictor space Θ with prior π, sample Ẑ and inverse
+    temperature β, the Gibbs posterior is
+
+    [dπ̂_β(θ) ∝ exp(−β · R̂_Ẑ(θ)) dπ(θ)].
+
+    Lemma 3.2: this posterior minimizes the empirical PAC-Bayes
+    objective [E_π̂ R̂ + KL(π̂‖π)/β] over all posteriors. Theorem 4.1:
+    viewed as a mechanism it is the exponential mechanism with quality
+    [−R̂] and therefore [2·β·ΔR̂]-differentially private. Both facts
+    are verified numerically by the test suite and experiments E3/E5. *)
+
+type 'theta t
+
+val fit :
+  predictors:'theta array ->
+  ?log_prior:float array ->
+  beta:float ->
+  empirical_risk:('theta -> float) ->
+  unit ->
+  'theta t
+(** @raise Invalid_argument on empty predictors, non-positive β,
+    prior length mismatch, or non-finite risks. *)
+
+val of_risks :
+  predictors:'theta array ->
+  ?log_prior:float array ->
+  beta:float ->
+  risks:float array ->
+  unit ->
+  'theta t
+(** Same, from precomputed risks (shared across β sweeps). *)
+
+val predictors : 'theta t -> 'theta array
+val beta : 'theta t -> float
+val risks : 'theta t -> float array
+val probabilities : 'theta t -> float array
+val log_probabilities : 'theta t -> float array
+val prior_probabilities : 'theta t -> float array
+
+val sample : 'theta t -> Dp_rng.Prng.t -> 'theta
+(** Draw a predictor — the private release. *)
+
+val sampler : 'theta t -> Dp_rng.Prng.t -> unit -> 'theta
+(** Alias-table sampler for repeated draws. *)
+
+val expected_empirical_risk : 'theta t -> float
+(** [E_{θ∼π̂} R̂(θ)]. *)
+
+val kl_from_prior : 'theta t -> float
+(** [KL(π̂ ‖ π)]. *)
+
+val pac_bayes_objective : 'theta t -> float
+(** [E_π̂ R̂ + KL(π̂‖π)/β] — the quantity Lemma 3.2 says is minimal
+    among all posteriors. *)
+
+val objective_of_posterior : 'theta t -> float array -> float
+(** The same objective evaluated at an arbitrary posterior (used to
+    verify minimality). @raise Invalid_argument on length mismatch or
+    invalid distribution. *)
+
+val privacy_epsilon : 'theta t -> risk_sensitivity:float -> float
+(** Theorem 4.1: [2·β·ΔR̂]. *)
+
+val as_exponential_mechanism :
+  'theta t -> risk_sensitivity:float -> 'theta Dp_mechanism.Exponential.t
+(** The explicit correspondence with McSherry–Talwar: the same
+    distribution constructed through [Dp_mechanism.Exponential] with
+    quality [−R̂] and exponent β (tests assert the distributions agree
+    pointwise). *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t

@@ -1,0 +1,107 @@
+open Dp_math
+
+type 'theta t = {
+  samples : int array array;
+  input : float array;
+  risk : float array array;
+  channel : Dp_info.Channel.t;
+  predictors : 'theta array;
+  prior : float array;
+  beta : float;
+}
+
+let build ~universe_probs ~n ~predictors ?log_prior ~beta ~loss () =
+  let universe_probs =
+    Dp_info.Entropy.validate "Gibbs_channel.build universe_probs" universe_probs
+  in
+  let v = Array.length universe_probs in
+  let k = Array.length predictors in
+  if k = 0 then invalid_arg "Gibbs_channel.build: empty predictor space";
+  let beta = Numeric.check_pos "Gibbs_channel.build beta" beta in
+  let samples = Dp_dataset.Neighbors.all_samples ~universe:v ~n in
+  let log_q = Array.map (fun p -> log (Float.max p 1e-300)) universe_probs in
+  let input =
+    Array.map
+      (fun s ->
+        exp (Numeric.float_sum_range n (fun i -> log_q.(s.(i)))))
+      samples
+  in
+  (* Per-predictor loss on each universe element, shared across samples. *)
+  let loss_table =
+    Array.map (fun th -> Array.init v (fun z -> loss th z)) predictors
+  in
+  let risk =
+    Array.map
+      (fun s ->
+        Array.init k (fun j ->
+            Numeric.float_sum_range n (fun i -> loss_table.(j).(s.(i)))
+            /. float_of_int n))
+      samples
+  in
+  let prior = ref [||] in
+  let matrix =
+    Array.map
+      (fun risks ->
+        let g = Gibbs.of_risks ~predictors ?log_prior ~beta ~risks () in
+        if Array.length !prior = 0 then prior := Gibbs.prior_probabilities g;
+        Gibbs.probabilities g)
+      risk
+  in
+  let channel = Dp_info.Channel.create ~input ~matrix in
+  { samples; input; risk; channel; predictors; prior = !prior; beta }
+
+let sample_code ~universe s =
+  Array.fold_left (fun acc z -> (acc * universe) + z) 0 s
+
+let neighbor_indices t i =
+  let n = Array.length t.samples.(0) in
+  (* The universe size is recoverable from the channel input length:
+     |samples| = v^n. *)
+  let total = Array.length t.samples in
+  let v =
+    int_of_float (Float.round (float_of_int total ** (1. /. float_of_int n)))
+  in
+  Dp_dataset.Neighbors.neighbors_of_sample ~universe:v t.samples.(i)
+  |> Array.map (fun s -> sample_code ~universe:v s)
+
+let mutual_information t = Dp_info.Channel.mutual_information t.channel
+
+let expected_empirical_risk t =
+  Dp_info.Channel.expected_risk t.channel ~risk:(fun s j -> t.risk.(s).(j))
+
+let objective t =
+  Dp_info.Channel.objective t.channel
+    ~risk:(fun s j -> t.risk.(s).(j))
+    ~beta:t.beta
+
+let check_shape name t ch =
+  if
+    Dp_info.Channel.n_inputs ch <> Array.length t.samples
+    || Dp_info.Channel.n_outputs ch <> Array.length t.predictors
+  then invalid_arg ("Gibbs_channel." ^ name ^ ": shape mismatch")
+
+let objective_of_channel t ch =
+  check_shape "objective_of_channel" t ch;
+  Dp_info.Channel.objective ch
+    ~risk:(fun s j -> t.risk.(s).(j))
+    ~beta:t.beta
+
+let pac_objective t =
+  Dp_info.Channel.objective_kl t.channel
+    ~risk:(fun s j -> t.risk.(s).(j))
+    ~beta:t.beta ~prior:t.prior
+
+let pac_objective_of_channel t ch =
+  check_shape "pac_objective_of_channel" t ch;
+  Dp_info.Channel.objective_kl ch
+    ~risk:(fun s j -> t.risk.(s).(j))
+    ~beta:t.beta ~prior:t.prior
+
+let dp_epsilon t =
+  Dp_info.Channel.dp_epsilon t.channel ~neighbors:(neighbor_indices t)
+
+let risk_sensitivity t ~loss_lo ~loss_hi =
+  Risk.sensitivity ~loss_lo ~loss_hi ~n:(Array.length t.samples.(0))
+
+let theoretical_epsilon t ~loss_lo ~loss_hi =
+  2. *. t.beta *. risk_sensitivity t ~loss_lo ~loss_hi

@@ -1,0 +1,73 @@
+(** The paper's Figure 1 made concrete: the information channel
+    [Ẑ → θ] whose rows are Gibbs posteriors.
+
+    For a small discrete universe the full sample space of size-n
+    tuples can be enumerated, the input distribution Q^n computed
+    exactly, and every information-theoretic quantity of §4 evaluated
+    in closed form — this is how experiments E5, E6 and E12 verify
+    Theorems 4.1 and 4.2 exactly rather than by simulation. *)
+
+type 'theta t = {
+  samples : int array array;  (** all size-n tuples over the universe *)
+  input : float array;  (** P(Ẑ) = Πᵢ Q(zᵢ) *)
+  risk : float array array;  (** risk.(s).(j) = R̂_{samples.(s)}(θⱼ) *)
+  channel : Dp_info.Channel.t;  (** rows are Gibbs posteriors *)
+  predictors : 'theta array;
+  prior : float array;  (** the base measure π (normalized) *)
+  beta : float;
+}
+
+val build :
+  universe_probs:float array ->
+  n:int ->
+  predictors:'theta array ->
+  ?log_prior:float array ->
+  beta:float ->
+  loss:('theta -> int -> float) ->
+  unit ->
+  'theta t
+(** [build ~universe_probs ~n ~predictors ~beta ~loss ()] enumerates
+    all [v^n] samples from a universe of size [v = length
+    universe_probs] with record distribution Q = [universe_probs].
+    @raise Invalid_argument when the enumeration would exceed the exact
+    regime (see [Dp_dataset.Neighbors.all_samples]) or parameters are
+    invalid. *)
+
+val neighbor_indices : 'theta t -> int -> int array
+(** Indices of the samples at Hamming distance 1 from sample [i] — the
+    neighbour relation for {!dp_epsilon}. *)
+
+val mutual_information : 'theta t -> float
+(** [I(Ẑ; θ)] of the channel. *)
+
+val expected_empirical_risk : 'theta t -> float
+
+val objective : 'theta t -> float
+(** [E R̂ + I/β] — Theorem 4.2's mutual-information objective
+    evaluated at this channel. Minimized over all channels only under
+    the optimal prior (the paper's §4 assumption); compare against
+    [Dp_info.Rate_risk.solve]. *)
+
+val objective_of_channel : 'theta t -> Dp_info.Channel.t -> float
+(** The same objective for any other channel over the same spaces.
+    @raise Invalid_argument on shape mismatch. *)
+
+val pac_objective : 'theta t -> float
+(** The prior-explicit objective [E R̂ + E_Ẑ KL(π̂_Ẑ‖π)/β] with π the
+    prior this channel was built from. The Gibbs channel minimizes
+    this among ALL channels for its own prior (Lemma 3.2 row by row) —
+    the minimality statement E6 verifies without the optimal-prior
+    assumption. *)
+
+val pac_objective_of_channel : 'theta t -> Dp_info.Channel.t -> float
+(** {!pac_objective} for an arbitrary channel over the same spaces. *)
+
+val dp_epsilon : 'theta t -> float
+(** Exact privacy level: max divergence over all neighbouring rows.
+    Theorem 4.1 predicts [≤ 2·β·ΔR̂]. *)
+
+val risk_sensitivity : 'theta t -> loss_lo:float -> loss_hi:float -> float
+(** [ΔR̂ = (hi − lo)/n] for the bounded loss. *)
+
+val theoretical_epsilon : 'theta t -> loss_lo:float -> loss_hi:float -> float
+(** [2·β·ΔR̂]. *)

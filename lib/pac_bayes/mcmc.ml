@@ -1,0 +1,100 @@
+open Dp_math
+
+type config = { step_std : float; burn_in : int; thin : int }
+
+let default_config = { step_std = 0.25; burn_in = 1000; thin = 10 }
+
+type run = {
+  samples : float array array;
+  acceptance_rate : float;
+  log_density : float array -> float;
+}
+
+let run ?(config = default_config) ~log_density ~init ~n_samples g =
+  if n_samples <= 0 then invalid_arg "Mcmc.run: n_samples must be positive";
+  if Array.length init = 0 then invalid_arg "Mcmc.run: empty init";
+  if config.step_std <= 0. then invalid_arg "Mcmc.run: step_std must be positive";
+  if config.burn_in < 0 || config.thin <= 0 then
+    invalid_arg "Mcmc.run: bad burn_in/thin";
+  let dim = Array.length init in
+  let current = ref (Array.copy init) in
+  let current_ld = ref (log_density !current) in
+  if Float.is_nan !current_ld || !current_ld = infinity then
+    invalid_arg "Mcmc.run: non-finite log density at init";
+  let accepted = ref 0 and proposed = ref 0 in
+  let step () =
+    incr proposed;
+    let cand =
+      Array.map
+        (fun x -> x +. Dp_rng.Sampler.gaussian ~mean:0. ~std:config.step_std g)
+        !current
+    in
+    let cand_ld = log_density cand in
+    let log_alpha = cand_ld -. !current_ld in
+    if
+      (not (Float.is_nan cand_ld))
+      && (log_alpha >= 0. || log (Dp_rng.Prng.float_pos g) < log_alpha)
+    then begin
+      incr accepted;
+      current := cand;
+      current_ld := cand_ld
+    end
+  in
+  for _ = 1 to config.burn_in do
+    step ()
+  done;
+  let samples =
+    Array.init n_samples (fun _ ->
+        for _ = 1 to config.thin do
+          step ()
+        done;
+        Array.copy !current)
+  in
+  ignore dim;
+  {
+    samples;
+    acceptance_rate = float_of_int !accepted /. float_of_int !proposed;
+    log_density;
+  }
+
+let std_gaussian_log_prior theta =
+  let d = float_of_int (Array.length theta) in
+  (-0.5 *. Summation.sum_map (fun x -> x *. x) theta)
+  -. (0.5 *. d *. log (2. *. Float.pi))
+
+let gibbs_log_density ~beta ~empirical_risk ?log_prior () =
+  let beta = Numeric.check_pos "Mcmc.gibbs_log_density beta" beta in
+  let log_prior = Option.value log_prior ~default:std_gaussian_log_prior in
+  fun theta -> (-.beta *. empirical_risk theta) +. log_prior theta
+
+let posterior_mean run =
+  let n = Array.length run.samples in
+  let dim = Array.length run.samples.(0) in
+  Array.init dim (fun j ->
+      Numeric.float_sum_range n (fun i -> run.samples.(i).(j))
+      /. float_of_int n)
+
+let tv_distance_to_grid run ~grid ~grid_probs =
+  let k = Array.length grid in
+  if k = 0 || Array.length grid_probs <> k then
+    invalid_arg "Mcmc.tv_distance_to_grid: bad grid";
+  let counts = Array.make k 0. in
+  Array.iter
+    (fun s ->
+      (* nearest grid point in Euclidean distance *)
+      let best = ref 0 and best_d = ref infinity in
+      Array.iteri
+        (fun i gpt ->
+          let d = Dp_linalg.Vec.dist2 s gpt in
+          if d < !best_d then begin
+            best_d := d;
+            best := i
+          end)
+        grid;
+      counts.(!best) <- counts.(!best) +. 1.)
+    run.samples;
+  let n = float_of_int (Array.length run.samples) in
+  let empirical = Array.map (fun c -> c /. n) counts in
+  0.5
+  *. Numeric.float_sum_range k (fun i ->
+         Float.abs (empirical.(i) -. grid_probs.(i)))

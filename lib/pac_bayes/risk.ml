@@ -1,0 +1,28 @@
+let empirical ~loss sample theta =
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Risk.empirical: empty sample";
+  Dp_math.Numeric.float_sum_range n (fun i -> loss theta sample.(i))
+  /. float_of_int n
+
+let empirical_all ~loss sample thetas =
+  Array.map (fun th -> empirical ~loss sample th) thetas
+
+let true_risk_mc ~loss ~sampler ~n theta g =
+  if n <= 0 then invalid_arg "Risk.true_risk_mc: n must be positive";
+  Dp_math.Numeric.float_sum_range n (fun _ -> loss theta (sampler g))
+  /. float_of_int n
+
+let sensitivity ~loss_lo ~loss_hi ~n =
+  if loss_lo > loss_hi then invalid_arg "Risk.sensitivity: lo > hi";
+  if n <= 0 then invalid_arg "Risk.sensitivity: n must be positive";
+  (loss_hi -. loss_lo) /. float_of_int n
+
+let check_bounded ~loss ~lo ~hi sample thetas =
+  Array.for_all
+    (fun th ->
+      Array.for_all
+        (fun z ->
+          let v = loss th z in
+          v >= lo -. 1e-12 && v <= hi +. 1e-12)
+        sample)
+    thetas

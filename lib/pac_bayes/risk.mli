@@ -1,0 +1,37 @@
+(** Risks in the paper's statistical-prediction framework (§2.2).
+
+    A loss [ℓ_θ(z)] maps a predictor and an example to a real value;
+    the empirical risk of θ on a sample Ẑ is the average loss, and the
+    true risk is the expectation under the unknown distribution Q. *)
+
+val empirical : loss:('theta -> 'z -> float) -> 'z array -> 'theta -> float
+(** [R̂_Ẑ(θ) = (1/n) Σ ℓ_θ(zᵢ)].
+    @raise Invalid_argument on the empty sample. *)
+
+val empirical_all :
+  loss:('theta -> 'z -> float) -> 'z array -> 'theta array -> float array
+(** Empirical risk of every predictor on a shared sample. *)
+
+val true_risk_mc :
+  loss:('theta -> 'z -> float) ->
+  sampler:(Dp_rng.Prng.t -> 'z) ->
+  n:int ->
+  'theta ->
+  Dp_rng.Prng.t ->
+  float
+(** Monte-Carlo estimate of [R(θ) = E_Z ℓ_θ(Z)] with [n] fresh draws. *)
+
+val sensitivity : loss_lo:float -> loss_hi:float -> n:int -> float
+(** Global sensitivity [ΔR̂ = (loss_hi − loss_lo)/n] of the empirical
+    risk under replacement of one sample (paper Theorem 4.1).
+    @raise Invalid_argument when [loss_lo > loss_hi] or [n <= 0]. *)
+
+val check_bounded :
+  loss:('theta -> 'z -> float) ->
+  lo:float ->
+  hi:float ->
+  'z array ->
+  'theta array ->
+  bool
+(** True when every loss value on the given grid lies in [\[lo, hi\]]
+    (validation helper for the bounded-loss assumptions). *)

@@ -1,0 +1,50 @@
+type t = {
+  prob : float array; (* scaled probability of keeping column i *)
+  alias : int array; (* fallback category *)
+  probabilities : float array; (* the normalized input, for inspection *)
+}
+
+let build probabilities =
+  let k = Array.length probabilities in
+  let prob = Array.make k 0. and alias = Array.init k Fun.id in
+  let scaled = Array.map (fun p -> p *. float_of_int k) probabilities in
+  (* Partition into columns below / at-or-above average weight. *)
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri
+    (fun i s -> if s < 1. then Stack.push i small else Stack.push i large)
+    scaled;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then Stack.push l small else Stack.push l large
+  done;
+  Stack.iter (fun i -> prob.(i) <- 1.) small;
+  Stack.iter (fun i -> prob.(i) <- 1.) large;
+  { prob; alias; probabilities }
+
+let create weights =
+  let k = Array.length weights in
+  if k = 0 then invalid_arg "Alias.create: empty weight array";
+  Array.iter
+    (fun w ->
+      if w < 0. || not (Dp_math.Numeric.is_finite w) then
+        invalid_arg "Alias.create: negative or non-finite weight")
+    weights;
+  let total = Dp_math.Summation.sum weights in
+  if total <= 0. then invalid_arg "Alias.create: all weights are zero";
+  build (Array.map (fun w -> w /. total) weights)
+
+let of_log_weights lw =
+  if Array.length lw = 0 then invalid_arg "Alias.of_log_weights: empty array";
+  build (Dp_math.Logspace.normalize_log_weights lw)
+
+let sample t g =
+  let k = Array.length t.prob in
+  let i = Prng.int g k in
+  if Prng.float g < t.prob.(i) then i else t.alias.(i)
+
+let probability t i = t.probabilities.(i)
+
+let size t = Array.length t.prob

@@ -1,0 +1,26 @@
+(** Walker/Vose alias method for O(1) categorical sampling.
+
+    Building the table is O(k); each draw costs one uniform and one
+    comparison. This is the sampler behind the exponential mechanism on
+    finite ranges, where thousands of draws from the same distribution
+    are common (see ablation A1 in DESIGN.md). *)
+
+type t
+
+val create : float array -> t
+(** [create weights] preprocesses nonnegative weights (not necessarily
+    normalized) into an alias table.
+    @raise Invalid_argument when the array is empty, any weight is
+    negative or non-finite, or all weights are zero. *)
+
+val of_log_weights : float array -> t
+(** Build from unnormalized log weights (stable for extreme scales). *)
+
+val sample : t -> Prng.t -> int
+(** Draw a category index. *)
+
+val probability : t -> int -> float
+(** The normalized probability of a category (reconstructed from the
+    table; exact up to roundoff). *)
+
+val size : t -> int

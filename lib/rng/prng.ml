@@ -1,0 +1,67 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used only to expand a seed into the xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let sm = ref seed64 in
+  let s0 = splitmix64 sm in
+  let s1 = splitmix64 sm in
+  let s2 = splitmix64 sm in
+  let s3 = splitmix64 sm in
+  (* All-zero state is invalid for xoshiro; SplitMix64 cannot produce
+     four zero outputs in a row, but guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let uint64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = of_seed64 (uint64 g)
+
+let float g =
+  (* Top 53 bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (uint64 g) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let rec float_pos g =
+  let u = float g in
+  if u > 0. then u else float_pos g
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec go () =
+    let r = Int64.shift_right_logical (uint64 g) 1 in
+    (* 63-bit nonneg *)
+    let v = Int64.rem r n64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int n64) 1L then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let bool g = Int64.logand (uint64 g) 1L = 1L

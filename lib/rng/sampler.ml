@@ -1,0 +1,184 @@
+open Dp_math
+
+let uniform ~lo ~hi g =
+  if lo >= hi then invalid_arg "Sampler.uniform: requires lo < hi";
+  lo +. ((hi -. lo) *. Prng.float g)
+
+let bernoulli ~p g =
+  let p = Numeric.check_prob "Sampler.bernoulli p" p in
+  Prng.float g < p
+
+let binomial ~n ~p g =
+  if n < 0 then invalid_arg "Sampler.binomial: negative n";
+  let p = Numeric.check_prob "Sampler.binomial p" p in
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Prng.float g < p then incr count
+  done;
+  !count
+
+let geometric ~p g =
+  let p = Numeric.check_prob "Sampler.geometric p" p in
+  if p = 0. then invalid_arg "Sampler.geometric: p must be positive";
+  if p = 1. then 0
+  else
+    let u = Prng.float_pos g in
+    int_of_float (Float.floor (log u /. Float.log1p (-.p)))
+
+let exponential ~rate g =
+  let rate = Numeric.check_pos "Sampler.exponential rate" rate in
+  -.log (Prng.float_pos g) /. rate
+
+let laplace ~mean ~scale g =
+  let scale = Numeric.check_pos "Sampler.laplace scale" scale in
+  (* Inverse CDF: u uniform on (-1/2, 1/2),
+     x = mean - scale * sign(u) * log(1 - 2|u|). *)
+  let u = Prng.float_pos g -. 0.5 in
+  let s = if u >= 0. then 1. else -1. in
+  mean -. (scale *. s *. Float.log1p (-2. *. Float.abs u))
+
+let gaussian ~mean ~std g =
+  let std = Numeric.check_nonneg "Sampler.gaussian std" std in
+  if std = 0. then mean
+  else begin
+    (* Marsaglia polar method; the second deviate is discarded to keep
+       the sampler stateless. *)
+    let rec draw () =
+      let u = (2. *. Prng.float g) -. 1. in
+      let v = (2. *. Prng.float g) -. 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then draw ()
+      else u *. sqrt (-2. *. log s /. s)
+    in
+    mean +. (std *. draw ())
+  end
+
+let gaussian_vector ~dim ~std g =
+  if dim <= 0 then invalid_arg "Sampler.gaussian_vector: dim must be positive";
+  Array.init dim (fun _ -> gaussian ~mean:0. ~std g)
+
+let rec gamma ~shape ~scale g =
+  let shape = Numeric.check_pos "Sampler.gamma shape" shape in
+  let scale = Numeric.check_pos "Sampler.gamma scale" scale in
+  if shape < 1. then begin
+    (* Boost: Gamma(a) = Gamma(a+1) * U^{1/a}. *)
+    let x = gamma ~shape:(shape +. 1.) ~scale:1. g in
+    let u = Prng.float_pos g in
+    scale *. x *. (u ** (1. /. shape))
+  end
+  else begin
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec draw () =
+      let x = gaussian ~mean:0. ~std:1. g in
+      let v = 1. +. (c *. x) in
+      if v <= 0. then draw ()
+      else begin
+        let v3 = v *. v *. v in
+        let u = Prng.float_pos g in
+        let x2 = x *. x in
+        if u < 1. -. (0.0331 *. x2 *. x2) then d *. v3
+        else if log u < (0.5 *. x2) +. (d *. (1. -. v3 +. log v3)) then d *. v3
+        else draw ()
+      end
+    in
+    scale *. draw ()
+  end
+
+let beta ~a ~b g =
+  let x = gamma ~shape:a ~scale:1. g in
+  let y = gamma ~shape:b ~scale:1. g in
+  x /. (x +. y)
+
+let dirichlet ~alpha g =
+  if Array.length alpha = 0 then invalid_arg "Sampler.dirichlet: empty alpha";
+  let draws = Array.map (fun a -> gamma ~shape:a ~scale:1. g) alpha in
+  let total = Summation.sum draws in
+  Array.map (fun x -> x /. total) draws
+
+let categorical ~probs g =
+  let k = Array.length probs in
+  if k = 0 then invalid_arg "Sampler.categorical: empty probability vector";
+  Array.iter
+    (fun p ->
+      if p < 0. || not (Numeric.is_finite p) then
+        invalid_arg "Sampler.categorical: negative probability")
+    probs;
+  let total = Summation.sum probs in
+  if not (Numeric.approx_equal ~rel_tol:1e-6 total 1.) then
+    invalid_arg
+      (Printf.sprintf "Sampler.categorical: probabilities sum to %g" total);
+  let u = Prng.float g *. total in
+  let acc = ref 0. and chosen = ref (k - 1) in
+  (try
+     for i = 0 to k - 1 do
+       acc := !acc +. probs.(i);
+       if u < !acc then begin
+         chosen := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !chosen
+
+let categorical_log ~log_weights g =
+  let k = Array.length log_weights in
+  if k = 0 then invalid_arg "Sampler.categorical_log: empty weights";
+  (* Gumbel-max trick: argmax (log w_i + G_i) ~ softmax(log w). *)
+  let best = ref (-1) and best_val = ref neg_infinity in
+  for i = 0 to k - 1 do
+    if log_weights.(i) > neg_infinity then begin
+      let gumbel = -.log (-.log (Prng.float_pos g)) in
+      let v = log_weights.(i) +. gumbel in
+      if v > !best_val then begin
+        best_val := v;
+        best := i
+      end
+    end
+  done;
+  if !best < 0 then invalid_arg "Sampler.categorical_log: all weights are zero";
+  !best
+
+let discrete_laplace ~scale g =
+  let scale = Numeric.check_pos "Sampler.discrete_laplace scale" scale in
+  (* Difference of two geometric draws with p = 1 - exp(-1/scale) is a
+     two-sided geometric centred at 0. *)
+  let p = -.Float.expm1 (-1. /. scale) in
+  let x = geometric ~p g and y = geometric ~p g in
+  x - y
+
+let gamma_vector_direction ~dim g =
+  if dim <= 0 then invalid_arg "Sampler.gamma_vector_direction: dim must be positive";
+  let rec draw () =
+    let v = Array.init dim (fun _ -> gaussian ~mean:0. ~std:1. g) in
+    let n = sqrt (Summation.sum_map (fun x -> x *. x) v) in
+    if n = 0. then draw () else Array.map (fun x -> x /. n) v
+  in
+  draw ()
+
+let laplace_vector_l2 ~dim ~scale g =
+  let scale = Numeric.check_pos "Sampler.laplace_vector_l2 scale" scale in
+  let dir = gamma_vector_direction ~dim g in
+  let radius = gamma ~shape:(float_of_int dim) ~scale g in
+  Array.map (fun x -> x *. radius) dir
+
+let shuffle a g =
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int g (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let sample_without_replacement ~k n g =
+  if k < 0 || k > n then
+    invalid_arg "Sampler.sample_without_replacement: requires 0 <= k <= n";
+  let idx = Array.init n Fun.id in
+  (* Partial Fisher–Yates: only the first k positions need settling. *)
+  for i = 0 to k - 1 do
+    let j = i + Prng.int g (n - i) in
+    let t = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- t
+  done;
+  Array.sub idx 0 k

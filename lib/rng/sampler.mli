@@ -1,0 +1,69 @@
+(** Samplers for the distributions used throughout the library.
+
+    Every sampler takes the generator last so partial application gives
+    a reusable thunk. Scale/shape parameters are validated; violations
+    raise [Invalid_argument]. *)
+
+val uniform : lo:float -> hi:float -> Prng.t -> float
+(** Uniform on [\[lo, hi)]. @raise Invalid_argument if [lo >= hi]. *)
+
+val bernoulli : p:float -> Prng.t -> bool
+(** @raise Invalid_argument unless [p ∈ [0,1]]. *)
+
+val binomial : n:int -> p:float -> Prng.t -> int
+(** Sum of [n] Bernoulli draws ([n] is small everywhere we use this). *)
+
+val geometric : p:float -> Prng.t -> int
+(** Number of failures before the first success, support {0,1,...}.
+    @raise Invalid_argument unless [p ∈ (0,1]]. *)
+
+val exponential : rate:float -> Prng.t -> float
+(** Exponential with the given rate (mean [1/rate]). *)
+
+val laplace : mean:float -> scale:float -> Prng.t -> float
+(** Laplace via inverse CDF: the noise distribution of Dwork et al.'s
+    mechanism (paper Thm 2.2 uses [Lap(Δf/ε)]). *)
+
+val gaussian : mean:float -> std:float -> Prng.t -> float
+(** Marsaglia polar method. *)
+
+val gaussian_vector : dim:int -> std:float -> Prng.t -> float array
+(** Isotropic Gaussian vector. *)
+
+val gamma : shape:float -> scale:float -> Prng.t -> float
+(** Marsaglia–Tsang squeeze method (with the shape<1 boost). *)
+
+val beta : a:float -> b:float -> Prng.t -> float
+
+val dirichlet : alpha:float array -> Prng.t -> float array
+(** @raise Invalid_argument on empty or non-positive concentration. *)
+
+val categorical : probs:float array -> Prng.t -> int
+(** Linear-scan inverse-CDF draw from an explicit probability vector
+    (use {!Alias} when drawing many times from one distribution).
+    @raise Invalid_argument when probabilities are negative or do not
+    sum to ~1. *)
+
+val categorical_log : log_weights:float array -> Prng.t -> int
+(** Gumbel-max draw from unnormalized log weights: numerically stable
+    one-shot sampling from a Gibbs distribution. *)
+
+val discrete_laplace : scale:float -> Prng.t -> int
+(** Two-sided geometric distribution on ℤ with
+    [P(k) ∝ exp (-|k| / scale)]: the integer analogue of Laplace noise
+    used for count queries. *)
+
+val gamma_vector_direction : dim:int -> Prng.t -> float array
+(** Uniform direction on the unit sphere in the given dimension. *)
+
+val laplace_vector_l2 : dim:int -> scale:float -> Prng.t -> float array
+(** High-dimensional Laplace with density [∝ exp (-‖x‖₂ / scale)]:
+    the noise of Chaudhuri et al.'s output perturbation. Sampled as a
+    uniform direction times a Gamma(dim, scale) radius. *)
+
+val shuffle : 'a array -> Prng.t -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : k:int -> int -> Prng.t -> int array
+(** [sample_without_replacement ~k n] draws [k] distinct indices from
+    [\[0, n)]. @raise Invalid_argument when [k > n] or [k < 0]. *)

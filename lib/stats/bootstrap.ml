@@ -1,0 +1,25 @@
+type interval = { estimate : float; lo : float; hi : float }
+
+let confidence_interval ?(replicates = 1000) ?(confidence = 0.95) ~statistic xs
+    g =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.confidence_interval: empty sample";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Bootstrap.confidence_interval: confidence must be in (0,1)";
+  if replicates <= 0 then
+    invalid_arg "Bootstrap.confidence_interval: replicates must be positive";
+  let estimate = statistic xs in
+  let resample = Array.make n 0. in
+  let stats =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- xs.(Dp_rng.Prng.int g n)
+        done;
+        statistic resample)
+  in
+  let alpha = (1. -. confidence) /. 2. in
+  {
+    estimate;
+    lo = Describe.quantile stats alpha;
+    hi = Describe.quantile stats (1. -. alpha);
+  }

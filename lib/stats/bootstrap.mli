@@ -1,0 +1,17 @@
+(** Percentile bootstrap confidence intervals for experiment metrics. *)
+
+type interval = { estimate : float; lo : float; hi : float }
+
+val confidence_interval :
+  ?replicates:int ->
+  ?confidence:float ->
+  statistic:(float array -> float) ->
+  float array ->
+  Dp_rng.Prng.t ->
+  interval
+(** [confidence_interval ~statistic xs g] resamples [xs] with
+    replacement [replicates] times (default 1000) and returns the
+    percentile interval at the given [confidence] (default 0.95)
+    together with the point estimate on the original data.
+    @raise Invalid_argument on an empty sample or confidence outside
+    (0, 1). *)

@@ -1,0 +1,70 @@
+open Dp_math
+
+type t = { rows : int; cols : int; counts : float array array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Contingency.create: non-positive dimensions";
+  { rows; cols; counts = Array.make_matrix rows cols 0. }
+
+let of_pairs ~rows ~cols pairs =
+  let t = create ~rows ~cols in
+  Array.iter
+    (fun (r, c) ->
+      if r < 0 || r >= rows || c < 0 || c >= cols then
+        invalid_arg "Contingency.of_pairs: category out of range";
+      t.counts.(r).(c) <- t.counts.(r).(c) +. 1.)
+    pairs;
+  t
+
+let total t =
+  Numeric.float_sum_range t.rows (fun i -> Summation.sum t.counts.(i))
+
+let row_marginals t = Array.map Summation.sum t.counts
+
+let col_marginals t =
+  Array.init t.cols (fun j ->
+      Numeric.float_sum_range t.rows (fun i -> t.counts.(i).(j)))
+
+let expected_under_independence t =
+  let n = total t in
+  if n <= 0. then invalid_arg "Contingency.expected_under_independence: empty table";
+  let r = row_marginals t and c = col_marginals t in
+  Array.init t.rows (fun i -> Array.init t.cols (fun j -> r.(i) *. c.(j) /. n))
+
+let chi_square_independence t =
+  let expected = expected_under_independence t in
+  let stat = ref 0. in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      let e = expected.(i).(j) in
+      if e <= 0. then
+        invalid_arg "Contingency.chi_square_independence: zero expected cell";
+      stat := !stat +. (Numeric.sq (t.counts.(i).(j) -. e) /. e)
+    done
+  done;
+  let df = (t.rows - 1) * (t.cols - 1) in
+  { Gof.statistic = !stat; p_value = Gof.chi_square_sf ~df !stat }
+
+let map_counts f t =
+  {
+    t with
+    counts = Array.map (Array.map (fun c -> Float.max 0. (f c))) t.counts;
+  }
+
+let mutual_information t =
+  let n = total t in
+  if n <= 0. then invalid_arg "Contingency.mutual_information: empty table";
+  let joint = Array.map (Array.map (fun c -> c /. n)) t.counts in
+  Numeric.float_sum_range t.rows (fun i ->
+      Numeric.float_sum_range t.cols (fun j ->
+          let pij = joint.(i).(j) in
+          if pij <= 0. then 0.
+          else begin
+            let pi = Summation.sum joint.(i) in
+            let pj =
+              Numeric.float_sum_range t.rows (fun k -> joint.(k).(j))
+            in
+            pij *. log (pij /. (pi *. pj))
+          end))
+  |> Float.max 0.

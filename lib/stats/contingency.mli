@@ -1,0 +1,32 @@
+(** Two-way contingency tables and the χ² independence test — the
+    classical statistical-database workload (and the substrate for
+    private hypothesis testing, experiment E27). *)
+
+type t = { rows : int; cols : int; counts : float array array }
+
+val create : rows:int -> cols:int -> t
+(** Empty table. @raise Invalid_argument on non-positive dims. *)
+
+val of_pairs : rows:int -> cols:int -> (int * int) array -> t
+(** Tabulate (row, col) observations.
+    @raise Invalid_argument on out-of-range categories. *)
+
+val total : t -> float
+val row_marginals : t -> float array
+val col_marginals : t -> float array
+
+val expected_under_independence : t -> float array array
+(** [rᵢ·cⱼ/N] — the null model.
+    @raise Invalid_argument on an empty table. *)
+
+val chi_square_independence : t -> Gof.result
+(** Pearson χ² test of independence with (r−1)(c−1) degrees of
+    freedom. @raise Invalid_argument when any expected cell is ≤ 0. *)
+
+val map_counts : (float -> float) -> t -> t
+(** Transform every cell (e.g. add noise); negatives are clamped to
+    0. The L1 sensitivity of the whole table under record replacement
+    is 2 (one observation moves between cells). *)
+
+val mutual_information : t -> float
+(** Empirical mutual information (nats) between the two attributes. *)

@@ -1,0 +1,77 @@
+open Dp_math
+
+let mean = Summation.mean
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Describe.variance: needs at least two points";
+  let m = mean xs in
+  Summation.sum_map (fun x -> Numeric.sq (x -. m)) xs /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let quantile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Describe.quantile: empty array";
+  let p = Numeric.check_prob "Describe.quantile p" p in
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  (* Type-7: h = (n-1)p; linear interpolation between floor and ceil. *)
+  let h = float_of_int (n - 1) *. p in
+  let lo = int_of_float (Float.floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs 0.5
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Describe.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let standardize xs =
+  let m = mean xs and s = std xs in
+  if s = 0. then invalid_arg "Describe.standardize: zero standard deviation";
+  Array.map (fun x -> (x -. m) /. s) xs
+
+module Online = struct
+  type t = { count : int; mean : float; m2 : float }
+
+  let empty = { count = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    let count = t.count + 1 in
+    let delta = x -. t.mean in
+    let mean = t.mean +. (delta /. float_of_int count) in
+    let m2 = t.m2 +. (delta *. (x -. mean)) in
+    { count; mean; m2 }
+
+  let count t = t.count
+
+  let mean t =
+    if t.count = 0 then invalid_arg "Describe.Online.mean: no observations";
+    t.mean
+
+  let variance t =
+    if t.count < 2 then
+      invalid_arg "Describe.Online.variance: needs at least two points";
+    t.m2 /. float_of_int (t.count - 1)
+
+  let std t = sqrt (variance t)
+
+  let merge a b =
+    if a.count = 0 then b
+    else if b.count = 0 then a
+    else begin
+      let count = a.count + b.count in
+      let delta = b.mean -. a.mean in
+      let fa = float_of_int a.count and fb = float_of_int b.count in
+      let fc = float_of_int count in
+      let mean = a.mean +. (delta *. fb /. fc) in
+      let m2 = a.m2 +. b.m2 +. (Numeric.sq delta *. fa *. fb /. fc) in
+      { count; mean; m2 }
+    end
+end

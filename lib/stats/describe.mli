@@ -1,0 +1,42 @@
+(** Descriptive statistics. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator).
+    @raise Invalid_argument when fewer than two observations. *)
+
+val std : float array -> float
+
+val median : float array -> float
+(** Does not mutate its argument. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] is the linearly-interpolated [p]-quantile (type-7,
+    the R default). @raise Invalid_argument for [p] outside [0,1] or
+    the empty array. *)
+
+val min_max : float array -> float * float
+
+val standardize : float array -> float array
+(** [(x - mean) / std]. @raise Invalid_argument when the std is zero. *)
+
+(** Single-pass numerically-stable accumulation of count/mean/variance
+    (Welford's algorithm), usable for streaming experiment metrics. *)
+module Online : sig
+  type t
+
+  val empty : t
+  val add : t -> float -> t
+  val count : t -> int
+  val mean : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val variance : t -> float
+  (** Unbiased. @raise Invalid_argument with fewer than two points. *)
+
+  val std : t -> float
+  val merge : t -> t -> t
+  (** Chan et al. parallel combination. *)
+end

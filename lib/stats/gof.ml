@@ -1,0 +1,84 @@
+open Dp_math
+
+type result = { statistic : float; p_value : float }
+
+(* Asymptotic Kolmogorov distribution survival function. *)
+let kolmogorov_sf lambda =
+  if lambda <= 0. then 1.
+  else begin
+    let s = ref 0. in
+    for k = 1 to 100 do
+      let term =
+        (if k mod 2 = 1 then 1. else -1.)
+        *. exp (-2. *. Numeric.sq (float_of_int k) *. Numeric.sq lambda)
+      in
+      s := !s +. term
+    done;
+    Numeric.clamp ~lo:0. ~hi:1. (2. *. !s)
+  end
+
+let ks_statistic sorted cdf =
+  let n = Array.length sorted in
+  let fn = float_of_int n in
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let hi = (float_of_int (i + 1) /. fn) -. f in
+      let lo = f -. (float_of_int i /. fn) in
+      d := Float.max !d (Float.max hi lo))
+    sorted;
+  !d
+
+let ks_one_sample ~cdf xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Gof.ks_one_sample: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let d = ks_statistic sorted cdf in
+  let fn = float_of_int n in
+  (* Stephens' small-sample adjustment. *)
+  let lambda = (sqrt fn +. 0.12 +. (0.11 /. sqrt fn)) *. d in
+  { statistic = d; p_value = kolmogorov_sf lambda }
+
+let ks_two_sample xs ys =
+  let n = Array.length xs and m = Array.length ys in
+  if n = 0 || m = 0 then invalid_arg "Gof.ks_two_sample: empty sample";
+  let a = Array.copy xs and b = Array.copy ys in
+  Array.sort compare a;
+  Array.sort compare b;
+  let fn = float_of_int n and fm = float_of_int m in
+  let d = ref 0. and i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    let x = a.(!i) and y = b.(!j) in
+    if x <= y then incr i;
+    if y <= x then incr j;
+    let fa = float_of_int !i /. fn and fb = float_of_int !j /. fm in
+    d := Float.max !d (Float.abs (fa -. fb))
+  done;
+  let ne = fn *. fm /. (fn +. fm) in
+  let lambda = (sqrt ne +. 0.12 +. (0.11 /. sqrt ne)) *. !d in
+  { statistic = !d; p_value = kolmogorov_sf lambda }
+
+let chi_square_sf ~df x =
+  if df <= 0 then invalid_arg "Gof.chi_square_sf: df must be positive";
+  if x <= 0. then 1.
+  else
+    1.
+    -. Special.lower_incomplete_gamma_regularized ~a:(float_of_int df /. 2.)
+         ~x:(x /. 2.)
+
+let chi_square_gof ~expected ~observed =
+  let k = Array.length expected in
+  if k = 0 then invalid_arg "Gof.chi_square_gof: empty input";
+  if Array.length observed <> k then
+    invalid_arg "Gof.chi_square_gof: length mismatch";
+  Array.iter
+    (fun e ->
+      if e <= 0. then invalid_arg "Gof.chi_square_gof: non-positive expected count")
+    expected;
+  let stat =
+    Numeric.float_sum_range k (fun i ->
+        Numeric.sq (observed.(i) -. expected.(i)) /. expected.(i))
+  in
+  { statistic = stat; p_value = chi_square_sf ~df:(k - 1) stat }

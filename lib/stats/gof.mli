@@ -1,0 +1,23 @@
+(** Goodness-of-fit tests, used to validate the samplers in {!Dp_rng}
+    and to sanity-check mechanism output distributions. *)
+
+type result = { statistic : float; p_value : float }
+
+val ks_one_sample : cdf:(float -> float) -> float array -> result
+(** One-sample Kolmogorov–Smirnov test against a continuous CDF.
+    The p-value uses the asymptotic Kolmogorov distribution
+    [Q(λ) = 2 Σ (-1)^{k-1} e^{-2k²λ²}].
+    @raise Invalid_argument on the empty sample. *)
+
+val ks_two_sample : float array -> float array -> result
+(** Two-sample KS test with the effective-sample-size correction. *)
+
+val chi_square_gof : expected:float array -> observed:float array -> result
+(** Pearson χ² test: [expected] are expected counts (not
+    probabilities), degrees of freedom [bins - 1]. P-value from the
+    regularized incomplete gamma.
+    @raise Invalid_argument on length mismatch, empty input, or a
+    non-positive expected count. *)
+
+val chi_square_sf : df:int -> float -> float
+(** Survival function of the χ² distribution: [P(X > x)]. *)

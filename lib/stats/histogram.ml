@@ -1,0 +1,67 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  counts : float array;
+  total : float;
+}
+
+let create ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create: requires lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.create: requires bins > 0";
+  { lo; hi; bins; counts = Array.make bins 0.; total = 0. }
+
+let bin_width t = (t.hi -. t.lo) /. float_of_int t.bins
+
+let bin_index t x =
+  if x < t.lo || x >= t.hi then None
+  else begin
+    let i = int_of_float ((x -. t.lo) /. bin_width t) in
+    Some (Stdlib.min i (t.bins - 1))
+  end
+
+let clamped_index t x =
+  match bin_index t x with
+  | Some i -> i
+  | None -> if x < t.lo then 0 else t.bins - 1
+
+let add t x =
+  let i = clamped_index t x in
+  let counts = Array.copy t.counts in
+  counts.(i) <- counts.(i) +. 1.;
+  { t with counts; total = t.total +. 1. }
+
+let of_samples ~lo ~hi ~bins xs =
+  let t = create ~lo ~hi ~bins in
+  let counts = Array.make bins 0. in
+  Array.iter (fun x -> let i = clamped_index t x in counts.(i) <- counts.(i) +. 1.) xs;
+  { t with counts; total = float_of_int (Array.length xs) }
+
+let count t i = t.counts.(i)
+
+let total t = t.total
+
+let probability t i =
+  if t.total <= 0. then invalid_arg "Histogram.probability: empty histogram";
+  t.counts.(i) /. t.total
+
+let probabilities t =
+  if t.total <= 0. then invalid_arg "Histogram.probabilities: empty histogram";
+  Array.map (fun c -> c /. t.total) t.counts
+
+let density t i = probability t i /. bin_width t
+
+let density_at t x =
+  match bin_index t x with None -> 0. | Some i -> density t i
+
+let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. bin_width t)
+
+let map_counts f t =
+  let counts = Array.map (fun c -> Float.max 0. (f c)) t.counts in
+  { t with counts; total = Dp_math.Summation.sum counts }
+
+let l1_distance a b =
+  if a.bins <> b.bins || a.lo <> b.lo || a.hi <> b.hi then
+    invalid_arg "Histogram.l1_distance: mismatched binning";
+  let pa = probabilities a and pb = probabilities b in
+  Dp_math.Numeric.float_sum_range a.bins (fun i -> Float.abs (pa.(i) -. pb.(i)))

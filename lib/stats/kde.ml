@@ -1,0 +1,43 @@
+open Dp_math
+
+type t = { samples : float array; bandwidth : float }
+
+let silverman xs =
+  let sigma = Describe.std xs in
+  let iqr = Describe.quantile xs 0.75 -. Describe.quantile xs 0.25 in
+  let spread =
+    if iqr > 0. then Float.min sigma (iqr /. 1.34)
+    else sigma
+  in
+  let n = float_of_int (Array.length xs) in
+  let h = 0.9 *. spread *. (n ** (-0.2)) in
+  if h <= 0. then invalid_arg "Kde.fit: degenerate sample (zero spread)";
+  h
+
+let fit ?bandwidth xs =
+  if Array.length xs < 2 then invalid_arg "Kde.fit: needs at least two samples";
+  let bandwidth =
+    match bandwidth with
+    | Some h -> Numeric.check_pos "Kde.fit bandwidth" h
+    | None -> silverman xs
+  in
+  { samples = Array.copy xs; bandwidth }
+
+let gauss_const = 1. /. sqrt (2. *. Float.pi)
+
+let density t x =
+  let h = t.bandwidth in
+  let n = float_of_int (Array.length t.samples) in
+  Summation.sum_map
+    (fun xi ->
+      let z = (x -. xi) /. h in
+      gauss_const *. exp (-0.5 *. z *. z))
+    t.samples
+  /. (n *. h)
+
+let bandwidth t = t.bandwidth
+
+let log_likelihood t xs =
+  if Array.length xs = 0 then invalid_arg "Kde.log_likelihood: empty input";
+  Summation.sum_map (fun x -> log (Float.max 1e-300 (density t x))) xs
+  /. float_of_int (Array.length xs)

@@ -1,0 +1,17 @@
+(** Gaussian kernel density estimation, used as the non-private
+    baseline in the density-estimation experiments (E9) and examples. *)
+
+type t
+
+val fit : ?bandwidth:float -> float array -> t
+(** [fit xs] builds a Gaussian KDE. When [bandwidth] is omitted it is
+    chosen by Silverman's rule [0.9 min(σ, IQR/1.34) n^{-1/5}].
+    @raise Invalid_argument on fewer than two samples or a non-positive
+    bandwidth. *)
+
+val density : t -> float -> float
+
+val bandwidth : t -> float
+
+val log_likelihood : t -> float array -> float
+(** Mean log density of held-out points (model comparison metric). *)

@@ -1,0 +1,236 @@
+(* Tests for PAC-Bayes aggregation, the binary (continual counting)
+   mechanism, and private model selection. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate *)
+
+let test_vote_basic () =
+  (* two predictors disagreeing; the heavier one wins *)
+  let predict i (_ : unit) = if i = 0 then 1. else -1. in
+  check_close "majority +" 1.
+    (Dp_pac_bayes.Aggregate.vote ~posterior:[| 0.7; 0.3 |] ~predict ());
+  check_close "majority -" (-1.)
+    (Dp_pac_bayes.Aggregate.vote ~posterior:[| 0.3; 0.7 |] ~predict ());
+  (* tie goes to +1 *)
+  check_close "tie" 1.
+    (Dp_pac_bayes.Aggregate.vote ~posterior:[| 0.5; 0.5 |] ~predict ())
+
+let test_factor_two_bound_holds () =
+  (* random posteriors and random samples on the threshold task: the
+     vote risk never exceeds twice the Gibbs risk *)
+  let g = Dp_rng.Prng.create 1 in
+  let grid = Array.init 9 (fun i -> -2. +. (0.5 *. float_of_int i)) in
+  let predict i x = if x >= grid.(i) then 1. else -1. in
+  for _ = 1 to 50 do
+    let rho = Dp_rng.Sampler.dirichlet ~alpha:(Array.make 9 0.5) g in
+    let sample =
+      Array.init 100 (fun _ ->
+          let y = if Dp_rng.Prng.bool g then 1. else -1. in
+          (Dp_rng.Sampler.gaussian ~mean:(y *. 0.5) ~std:1. g, y))
+    in
+    let gr = Dp_pac_bayes.Aggregate.gibbs_risk ~posterior:rho ~predict sample in
+    let vr = Dp_pac_bayes.Aggregate.vote_risk ~posterior:rho ~predict sample in
+    Alcotest.(check bool) "factor two" true
+      (vr <= Dp_pac_bayes.Aggregate.factor_two_bound ~gibbs_risk:gr +. 1e-12)
+  done
+
+let test_vote_of_draws () =
+  let draws = [| 0.; 0.; 1. |] in
+  (* predict: sign(x - theta) *)
+  let predict theta x = if x >= theta then 1. else -1. in
+  check_close "draws vote" 1.
+    (Dp_pac_bayes.Aggregate.private_vote_of_draws ~draws ~predict 0.5);
+  check_close "draws vote neg" (-1.)
+    (Dp_pac_bayes.Aggregate.private_vote_of_draws ~draws ~predict (-0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Binary mechanism *)
+
+let test_binary_levels () =
+  Alcotest.(check int) "levels 1" 1 (Dp_mechanism.Binary_mechanism.levels ~horizon:1);
+  Alcotest.(check int) "levels 64" 7 (Dp_mechanism.Binary_mechanism.levels ~horizon:64);
+  Alcotest.(check int) "levels 65" 7 (Dp_mechanism.Binary_mechanism.levels ~horizon:65)
+
+let test_binary_counts_track_truth () =
+  let g = Dp_rng.Prng.create 2 in
+  let horizon = 256 in
+  (* with huge epsilon the noise vanishes: counts must be exact *)
+  let bm = Dp_mechanism.Binary_mechanism.create ~epsilon:1e9 ~horizon g in
+  let truth = ref 0 in
+  for t = 1 to horizon do
+    let bit = if t mod 3 = 0 then 1 else 0 in
+    Dp_mechanism.Binary_mechanism.observe bm bit;
+    truth := !truth + bit;
+    check_close ~tol:1e-6
+      (Printf.sprintf "exact at t=%d" t)
+      (float_of_int !truth)
+      (Dp_mechanism.Binary_mechanism.current_count bm)
+  done;
+  Alcotest.(check int) "true count" !truth (Dp_mechanism.Binary_mechanism.true_count bm);
+  Alcotest.(check int) "steps" horizon (Dp_mechanism.Binary_mechanism.steps_observed bm)
+
+let test_binary_error_scale () =
+  let g = Dp_rng.Prng.create 3 in
+  let horizon = 1024 and epsilon = 1. in
+  let reps = 5 in
+  let mae = ref 0. in
+  for _ = 1 to reps do
+    let bm = Dp_mechanism.Binary_mechanism.create ~epsilon ~horizon g in
+    let truth = ref 0 in
+    for _ = 1 to horizon do
+      let bit = if Dp_rng.Sampler.bernoulli ~p:0.5 g then 1 else 0 in
+      Dp_mechanism.Binary_mechanism.observe bm bit;
+      truth := !truth + bit;
+      mae :=
+        !mae
+        +. Float.abs
+             (Dp_mechanism.Binary_mechanism.current_count bm -. float_of_int !truth)
+    done
+  done;
+  let mae = !mae /. float_of_int (reps * horizon) in
+  let predicted =
+    Dp_mechanism.Binary_mechanism.expected_noise_std ~epsilon ~horizon
+  in
+  (* MAE of a sum of Laplaces is below its std; sanity: within a factor
+     of the prediction, and FAR below the naive T/eps = 1024 scale *)
+  Alcotest.(check bool)
+    (Printf.sprintf "MAE %.1f vs predicted std %.1f" mae predicted)
+    true
+    (mae < predicted && mae > predicted /. 20.);
+  Alcotest.(check bool) "much better than naive" true (mae < 100.)
+
+let test_binary_guards () =
+  let g = Dp_rng.Prng.create 4 in
+  let bm = Dp_mechanism.Binary_mechanism.create ~epsilon:1. ~horizon:4 g in
+  (try
+     Dp_mechanism.Binary_mechanism.observe bm 2;
+     Alcotest.fail "accepted non-bit"
+   with Invalid_argument _ -> ());
+  for _ = 1 to 4 do
+    Dp_mechanism.Binary_mechanism.observe bm 1
+  done;
+  try
+    Dp_mechanism.Binary_mechanism.observe bm 1;
+    Alcotest.fail "accepted past horizon"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Model selection *)
+
+let test_select_concentrates () =
+  let g = Dp_rng.Prng.create 5 in
+  let scores = [| 0.5; 0.9; 0.6 |] in
+  let count_best eps =
+    let hits = ref 0 in
+    for _ = 1 to 1000 do
+      let s =
+        Dp_learn.Model_select.select ~epsilon:eps ~candidates:[| "a"; "b"; "c" |]
+          ~score:(fun c -> scores.(Char.code c.[0] - Char.code 'a'))
+          ~score_sensitivity:0.01 g
+      in
+      if s.Dp_learn.Model_select.chosen = "b" then incr hits
+    done;
+    float_of_int !hits /. 1000.
+  in
+  let lo = count_best 0.05 and hi = count_best 5. in
+  Alcotest.(check bool) (Printf.sprintf "concentrates %.2f -> %.2f" lo hi) true
+    (hi > lo && hi > 0.95);
+  (* tiny epsilon: near uniform *)
+  Alcotest.(check bool) "near uniform at tiny eps" true (lo < 0.55)
+
+let test_select_budget_and_fields () =
+  let g = Dp_rng.Prng.create 6 in
+  let s =
+    Dp_learn.Model_select.select ~epsilon:2. ~candidates:[| 1; 2; 3 |]
+      ~score:float_of_int ~score_sensitivity:0.1 g
+  in
+  check_close "budget" 2. s.Dp_learn.Model_select.budget.Dp_mechanism.Privacy.epsilon;
+  Alcotest.(check int) "scores recorded" 3 (Array.length s.Dp_learn.Model_select.scores);
+  Alcotest.(check bool) "index consistent" true
+    (s.Dp_learn.Model_select.chosen = [| 1; 2; 3 |].(s.Dp_learn.Model_select.index))
+
+let test_select_lambda_end_to_end () =
+  let g = Dp_rng.Prng.create 7 in
+  let d =
+    Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+      (Dp_dataset.Synthetic.two_gaussians ~separation:3. ~std:1. ~dim:3 ~n:600 g)
+  in
+  let train, validation = Dp_dataset.Dataset.split ~ratio:0.7 d g in
+  let s =
+    Dp_learn.Model_select.select_best_lambda ~epsilon:5.
+      ~lambdas:[| 1e-4; 1e-2; 100. |]
+      ~loss:Dp_learn.Loss_fn.logistic ~train ~validation g
+  in
+  (* lambda = 100 crushes the model; with high eps it should rarely win *)
+  Alcotest.(check bool) "avoids absurd lambda" true
+    (s.Dp_learn.Model_select.chosen < 100.
+    || s.Dp_learn.Model_select.scores.(2)
+       >= s.Dp_learn.Model_select.scores.(0) -. 0.05)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"vote returns +-1" ~count:200
+      (pair (int_range 0 1000) (float_range (-2.) 2.))
+      (fun (seed, x) ->
+        let g = Dp_rng.Prng.create seed in
+        let rho = Dp_rng.Sampler.dirichlet ~alpha:[| 1.; 1.; 1. |] g in
+        let predict i x = if x >= float_of_int (i - 1) then 1. else -1. in
+        let v = Dp_pac_bayes.Aggregate.vote ~posterior:rho ~predict x in
+        v = 1. || v = -1.);
+    Test.make ~name:"binary mechanism count unbiased-ish" ~count:20
+      (int_range 0 1000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let bm = Dp_mechanism.Binary_mechanism.create ~epsilon:5. ~horizon:64 g in
+        for _ = 1 to 64 do
+          Dp_mechanism.Binary_mechanism.observe bm 1
+        done;
+        Float.abs (Dp_mechanism.Binary_mechanism.current_count bm -. 64.) < 40.);
+    Test.make ~name:"selection index in range" ~count:100
+      (pair (int_range 0 1000) (int_range 1 10))
+      (fun (seed, k) ->
+        let g = Dp_rng.Prng.create seed in
+        let s =
+          Dp_learn.Model_select.select ~epsilon:1.
+            ~candidates:(Array.init k Fun.id)
+            ~score:float_of_int ~score_sensitivity:1. g
+        in
+        s.Dp_learn.Model_select.index >= 0 && s.Dp_learn.Model_select.index < k);
+  ]
+
+let () =
+  Alcotest.run "dp_aggregation"
+    [
+      ( "aggregate",
+        [
+          Alcotest.test_case "vote basics" `Quick test_vote_basic;
+          Alcotest.test_case "factor-two bound" `Quick
+            test_factor_two_bound_holds;
+          Alcotest.test_case "vote of draws" `Quick test_vote_of_draws;
+        ] );
+      ( "binary mechanism",
+        [
+          Alcotest.test_case "levels" `Quick test_binary_levels;
+          Alcotest.test_case "tracks the truth" `Quick
+            test_binary_counts_track_truth;
+          Alcotest.test_case "error scale" `Quick test_binary_error_scale;
+          Alcotest.test_case "guards" `Quick test_binary_guards;
+        ] );
+      ( "model selection",
+        [
+          Alcotest.test_case "concentrates with eps" `Quick
+            test_select_concentrates;
+          Alcotest.test_case "budget & fields" `Quick
+            test_select_budget_and_fields;
+          Alcotest.test_case "lambda end-to-end" `Slow
+            test_select_lambda_end_to_end;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

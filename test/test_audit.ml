@@ -1,0 +1,152 @@
+open Dp_audit
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let test_audit_exact () =
+  (* randomized response: exact epsilon recovered *)
+  let eps = 1.3 in
+  let p = exp eps /. (1. +. exp eps) in
+  check_close ~tol:1e-12 "rr exact" eps
+    (Auditor.audit_exact ~p:[| p; 1. -. p |] ~q:[| 1. -. p; p |]);
+  check_close "identical" 0.
+    (Auditor.audit_exact ~p:[| 0.5; 0.5 |] ~q:[| 0.5; 0.5 |])
+
+let test_audit_discrete_rr () =
+  (* Empirical audit of randomized response: epsilon_hat should approach
+     the true epsilon and never grossly exceed it. *)
+  let eps = 1.0 in
+  let rr = Dp_mechanism.Randomized_response.create ~epsilon:eps in
+  let g = Dp_rng.Prng.create 3 in
+  let run bit g' =
+    if Dp_mechanism.Randomized_response.respond rr bit g' then 1 else 0
+  in
+  let r =
+    Auditor.audit_discrete ~trials:200_000 ~outcomes:2 ~epsilon_theory:eps
+      ~run:(run true) ~run':(run false) g
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "eps_hat %.3f close to %.3f" r.Auditor.epsilon_hat eps)
+    true
+    (Float.abs (r.Auditor.epsilon_hat -. eps) < 0.05);
+  Alcotest.(check bool) "passes" true (Auditor.passes r ~slack:0.05)
+
+let test_audit_continuous_laplace () =
+  (* E1 in miniature: Laplace mechanism on a count query. *)
+  let eps = 0.5 in
+  let m = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon:eps in
+  let g = Dp_rng.Prng.create 4 in
+  let r =
+    Auditor.audit_continuous ~trials:200_000 ~bins:40 ~lo:(-15.) ~hi:16.
+      ~epsilon_theory:eps
+      ~run:(fun g' -> Dp_mechanism.Laplace.release m ~value:10. g')
+      ~run':(fun g' -> Dp_mechanism.Laplace.release m ~value:11. g')
+      g
+  in
+  (* audit must not report a violation *)
+  Alcotest.(check bool)
+    (Printf.sprintf "eps_hat %.3f <= eps + slack" r.Auditor.epsilon_hat)
+    true
+    (Auditor.passes r ~slack:0.1);
+  (* and must not be trivially zero: neighbouring inputs do differ *)
+  Alcotest.(check bool) "informative" true (r.Auditor.epsilon_hat > 0.2)
+
+let test_audit_detects_violation () =
+  (* A broken "mechanism" that leaks its input deterministically must
+     produce a huge epsilon_hat. *)
+  let g = Dp_rng.Prng.create 5 in
+  let r =
+    Auditor.audit_discrete ~trials:5_000 ~outcomes:2 ~epsilon_theory:1.
+      ~run:(fun _ -> 0)
+      ~run':(fun _ -> 1)
+      g
+  in
+  Alcotest.(check bool) "violation detected" true (r.Auditor.epsilon_hat > 5.);
+  Alcotest.(check bool) "fails" false (Auditor.passes r ~slack:0.5)
+
+let test_audit_gibbs_mechanism_e5 () =
+  (* E5 in miniature: empirical audit of the Gibbs posterior over a
+     finite grid, via its exact distribution (zero sampling error). *)
+  let sample = Array.init 20 (fun i -> (float_of_int i /. 10. -. 1., if i mod 2 = 0 then 1. else -1.)) in
+  let grid = Array.init 11 (fun i -> -1. +. (0.2 *. float_of_int i)) in
+  let loss theta (x, y) = if (if x >= theta then 1. else -1.) = y then 0. else 1. in
+  let beta = 3. in
+  let fit s =
+    Dp_pac_bayes.Gibbs.fit ~predictors:grid ~beta
+      ~empirical_risk:(Dp_pac_bayes.Risk.empirical ~loss s)
+      ()
+  in
+  let p = Dp_pac_bayes.Gibbs.probabilities (fit sample) in
+  let bound = 2. *. beta /. 20. in
+  (* all neighbours at position 0 with a handful of replacement values *)
+  List.iter
+    (fun (x, y) ->
+      let s' = Array.copy sample in
+      s'.(0) <- (x, y);
+      let q = Dp_pac_bayes.Gibbs.probabilities (fit s') in
+      let e = Auditor.audit_exact ~p ~q in
+      Alcotest.(check bool)
+        (Printf.sprintf "exact eps %.4f <= bound %.4f" e bound)
+        true (e <= bound +. 1e-12))
+    [ (0.35, 1.); (0.35, -1.); (-0.99, 1.); (0.99, -1.) ]
+
+let test_smoothing_guards_empty_bins () =
+  (* With few trials and many bins, unsmoothed ratios would be infinite;
+     the default smoothing keeps the report finite. *)
+  let g = Dp_rng.Prng.create 6 in
+  let m = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon:1. in
+  let r =
+    Auditor.audit_continuous ~trials:200 ~bins:100 ~lo:(-20.) ~hi:20.
+      ~epsilon_theory:1.
+      ~run:(fun g' -> Dp_mechanism.Laplace.release m ~value:0. g')
+      ~run':(fun g' -> Dp_mechanism.Laplace.release m ~value:1. g')
+      g
+  in
+  Alcotest.(check bool) "finite" true (Float.is_finite r.Auditor.epsilon_hat)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"audit_exact symmetric and nonnegative" ~count:200
+      (pair
+         (array_of_size (Gen.return 4) (float_range 0.05 1.))
+         (array_of_size (Gen.return 4) (float_range 0.05 1.)))
+      (fun (a, b) ->
+        let norm v =
+          let s = Dp_math.Summation.sum v in
+          Array.map (fun x -> x /. s) v
+        in
+        let p = norm a and q = norm b in
+        let e = Auditor.audit_exact ~p ~q in
+        e >= 0.
+        && Dp_math.Numeric.approx_equal ~abs_tol:1e-12 e
+             (Auditor.audit_exact ~p:q ~q:p));
+    Test.make ~name:"identical mechanisms give near-zero epsilon" ~count:20
+      (int_range 0 1000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let run g' = Dp_rng.Prng.int g' 4 in
+        let r =
+          Auditor.audit_discrete ~trials:20_000 ~outcomes:4 ~epsilon_theory:0.
+            ~run ~run':run g
+        in
+        r.Auditor.epsilon_hat < 0.1);
+  ]
+
+let () =
+  Alcotest.run "dp_audit"
+    [
+      ( "auditor",
+        [
+          Alcotest.test_case "exact" `Quick test_audit_exact;
+          Alcotest.test_case "randomized response" `Slow test_audit_discrete_rr;
+          Alcotest.test_case "laplace (E1)" `Slow test_audit_continuous_laplace;
+          Alcotest.test_case "detects violations" `Quick
+            test_audit_detects_violation;
+          Alcotest.test_case "gibbs exact audit (E5)" `Quick
+            test_audit_gibbs_mechanism_e5;
+          Alcotest.test_case "smoothing" `Quick test_smoothing_guards_empty_bins;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

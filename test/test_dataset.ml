@@ -1,0 +1,262 @@
+open Dp_dataset
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let toy () =
+  Dataset.create
+    [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |]; [| 7.; 8. |] |]
+    [| 1.; -1.; 1.; -1. |]
+
+let test_create_invariants () =
+  let d = toy () in
+  Alcotest.(check int) "size" 4 (Dataset.size d);
+  Alcotest.(check int) "dim" 2 (Dataset.dim d);
+  let x, y = Dataset.row d 1 in
+  check_close "row y" (-1.) y;
+  check_close "row x" 3. x.(0);
+  (try
+     ignore (Dataset.create [| [| 1. |] |] [| 1.; 2. |]);
+     Alcotest.fail "accepted length mismatch"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Dataset.create [| [| 1. |]; [| 1.; 2. |] |] [| 1.; 2. |]);
+     Alcotest.fail "accepted ragged features"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dataset.create [||] [||]);
+    Alcotest.fail "accepted empty"
+  with Invalid_argument _ -> ()
+
+let test_replace_row () =
+  let d = toy () in
+  let d' = Dataset.replace_row d 2 ([| 0.; 0. |], 5.) in
+  (* original untouched *)
+  let x, y = Dataset.row d 2 in
+  check_close "original x" 5. x.(0);
+  check_close "original y" 1. y;
+  let x', y' = Dataset.row d' 2 in
+  check_close "new x" 0. x'.(0);
+  check_close "new y" 5. y';
+  (* neighbour differs in exactly one row *)
+  let diffs = ref 0 in
+  for i = 0 to 3 do
+    let xi, yi = Dataset.row d i and xi', yi' = Dataset.row d' i in
+    if xi <> xi' || yi <> yi' then incr diffs
+  done;
+  Alcotest.(check int) "hamming 1" 1 !diffs
+
+let test_split () =
+  let g = Dp_rng.Prng.create 1 in
+  let d = toy () in
+  let train, test = Dataset.split ~ratio:0.5 d g in
+  Alcotest.(check int) "train size" 2 (Dataset.size train);
+  Alcotest.(check int) "test size" 2 (Dataset.size test);
+  (* partition: every label count preserved *)
+  let count ds v =
+    Array.fold_left (fun acc y -> if y = v then acc + 1 else acc) 0 ds.Dataset.labels
+  in
+  Alcotest.(check int) "labels preserved" 2 (count train 1. + count test 1.);
+  (* extreme ratio still gives nonempty sides *)
+  let tr, te = Dataset.split ~ratio:0.999 d g in
+  Alcotest.(check bool) "nonempty" true (Dataset.size tr >= 1 && Dataset.size te >= 1)
+
+let test_standardize () =
+  let d = toy () in
+  let d', (means, stds) = Dataset.standardize_features d in
+  check_close "mean col0" 4. means.(0);
+  Alcotest.(check bool) "std positive" true (stds.(0) > 0.);
+  for j = 0 to 1 do
+    let col = Array.init 4 (fun i -> d'.Dataset.features.(i).(j)) in
+    check_close ~tol:1e-9 "col mean 0" 0. (Dp_stats.Describe.mean col);
+    check_close ~tol:1e-9 "col var 1" 1. (Dp_stats.Describe.variance col)
+  done
+
+let test_clip () =
+  let d = toy () in
+  let c = Dataset.clip_rows_l2 ~radius:1. d in
+  Array.iter
+    (fun row ->
+      Alcotest.(check bool) "within ball" true
+        (Dp_linalg.Vec.norm2 row <= 1. +. 1e-9))
+    c.Dataset.features
+
+let test_subsample_append () =
+  let g = Dp_rng.Prng.create 2 in
+  let d = toy () in
+  let s = Dataset.subsample ~n:2 d g in
+  Alcotest.(check int) "subsample size" 2 (Dataset.size s);
+  let a = Dataset.append d d in
+  Alcotest.(check int) "append size" 8 (Dataset.size a)
+
+(* ------------------------------------------------------------------ *)
+
+let test_two_gaussians () =
+  let g = Dp_rng.Prng.create 3 in
+  let d = Synthetic.two_gaussians ~separation:4. ~std:1. ~dim:2 ~n:2000 g in
+  Alcotest.(check int) "n" 2000 (Dataset.size d);
+  (* classes are separated: a linear rule along all-ones direction
+     classifies most points correctly *)
+  let correct = ref 0 in
+  for i = 0 to 1999 do
+    let x, y = Dataset.row d i in
+    let s = x.(0) +. x.(1) in
+    if (s >= 0. && y = 1.) || (s < 0. && y = -1.) then incr correct
+  done;
+  Alcotest.(check bool) "separable" true (float_of_int !correct /. 2000. > 0.85);
+  (* balanced labels *)
+  let pos = Array.fold_left (fun a y -> if y = 1. then a + 1 else a) 0 d.Dataset.labels in
+  Alcotest.(check int) "balanced" 1000 pos
+
+let test_logistic_model () =
+  let g = Dp_rng.Prng.create 4 in
+  let theta = [| 4.; 0. |] in
+  let d = Synthetic.logistic_model ~theta ~n:4000 g in
+  (* P(y=1|x) increases with x.(0): check correlation sign. *)
+  let num = ref 0. in
+  for i = 0 to Dataset.size d - 1 do
+    let x, y = Dataset.row d i in
+    num := !num +. (x.(0) *. y)
+  done;
+  Alcotest.(check bool) "correlation positive" true (!num > 0.);
+  (* features in the unit ball *)
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "unit ball" true (Dp_linalg.Vec.norm2 x <= 1. +. 1e-9))
+    d.Dataset.features
+
+let test_linear_regression_gen () =
+  let g = Dp_rng.Prng.create 5 in
+  let theta = [| 1.; -2. |] in
+  let d = Synthetic.linear_regression ~theta ~noise_std:0. ~n:50 g in
+  (* noiseless: labels equal the linear function exactly *)
+  for i = 0 to 49 do
+    let x, y = Dataset.row d i in
+    check_close ~tol:1e-12 "noiseless label" (Dp_linalg.Vec.dot theta x) y
+  done
+
+let test_mixture () =
+  let g = Dp_rng.Prng.create 6 in
+  let weights = [| 0.3; 0.7 |] and means = [| -2.; 2. |] and stds = [| 0.5; 0.5 |] in
+  let xs = Synthetic.gaussian_mixture_1d ~weights ~means ~stds ~n:20000 g in
+  let m = Dp_stats.Describe.mean xs in
+  (* E X = 0.3*(-2) + 0.7*2 = 0.8 *)
+  if Float.abs (m -. 0.8) > 0.05 then Alcotest.failf "mixture mean: %g" m;
+  (* density integrates to 1 *)
+  let integral =
+    Dp_math.Quadrature.adaptive_simpson
+      ~f:(Synthetic.mixture_density ~weights ~means ~stds)
+      (-10.) 10.
+  in
+  check_close ~tol:1e-6 "density integrates" 1. integral
+
+let test_zipf_bernoulli () =
+  let g = Dp_rng.Prng.create 7 in
+  let counts = Synthetic.zipf_counts ~s:1.5 ~support:10 ~n:10000 g in
+  Alcotest.(check int) "total" 10000 (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > counts.(9));
+  let db = Synthetic.bernoulli_database ~p:0.5 ~n:1000 g in
+  Alcotest.(check bool) "binary" true (Array.for_all (fun x -> x = 0 || x = 1) db)
+
+(* ------------------------------------------------------------------ *)
+
+let test_neighbors () =
+  let db = [| 1; 0; 1; 1 |] in
+  let d, d' = Neighbors.worst_case_pair_for_count db in
+  Alcotest.(check int) "hamming" 1 (Neighbors.hamming_distance d d');
+  Alcotest.(check int) "flip at 0" 0 d'.(0);
+  let samples = Neighbors.all_samples ~universe:3 ~n:2 in
+  Alcotest.(check int) "3^2 samples" 9 (Array.length samples);
+  (* all distinct *)
+  let module SS = Set.Make (struct
+    type t = int array
+
+    let compare = compare
+  end) in
+  Alcotest.(check int) "distinct" 9
+    (SS.cardinal (SS.of_list (Array.to_list samples)));
+  let nbrs = Neighbors.neighbors_of_sample ~universe:3 [| 0; 1 |] in
+  Alcotest.(check int) "neighbor count" 4 (Array.length nbrs);
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "all at hamming 1" 1
+        (Neighbors.hamming_distance s [| 0; 1 |]))
+    nbrs;
+  try
+    ignore (Neighbors.all_samples ~universe:10 ~n:10);
+    Alcotest.fail "accepted huge space"
+  with Invalid_argument _ -> ()
+
+let test_csv_roundtrip () =
+  let path = Filename.temp_file "dp_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let rows = [ [| 1.5; -2.25 |]; [| 0.1; 1e-17 |] ] in
+      Csv.write ~path ~header:[ "a"; "b" ] rows;
+      let header, back = Csv.read ~path in
+      Alcotest.(check (list string)) "header" [ "a"; "b" ] header;
+      List.iter2
+        (fun r1 r2 ->
+          Array.iteri (fun i x -> check_close "cell" x r2.(i)) r1)
+        rows back)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"split preserves rows" ~count:100
+      (pair (int_range 0 1000) (int_range 4 60))
+      (fun (seed, n) ->
+        let g = Dp_rng.Prng.create seed in
+        let theta = [| 1.; 1. |] in
+        let d = Synthetic.linear_regression ~theta ~noise_std:1. ~n g in
+        let a, b = Dataset.split ~ratio:0.7 d g in
+        Dataset.size a + Dataset.size b = n);
+    Test.make ~name:"neighbors_of_sample count" ~count:100
+      (pair (int_range 2 5) (int_range 1 6))
+      (fun (universe, n) ->
+        let s = Array.make n 0 in
+        Array.length (Neighbors.neighbors_of_sample ~universe s)
+        = n * (universe - 1));
+    Test.make ~name:"clip never increases norm" ~count:100
+      (pair (int_range 0 1000) (float_range 0.1 5.))
+      (fun (seed, radius) ->
+        let g = Dp_rng.Prng.create seed in
+        let d = Synthetic.two_gaussians ~dim:3 ~n:20 g in
+        let c = Dataset.clip_rows_l2 ~radius d in
+        Array.for_all2
+          (fun a b -> Dp_linalg.Vec.norm2 a <= Dp_linalg.Vec.norm2 b +. 1e-9)
+          c.Dataset.features d.Dataset.features);
+  ]
+
+let () =
+  Alcotest.run "dp_dataset"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "create invariants" `Quick test_create_invariants;
+          Alcotest.test_case "replace_row (neighbour)" `Quick test_replace_row;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "standardize" `Quick test_standardize;
+          Alcotest.test_case "clip" `Quick test_clip;
+          Alcotest.test_case "subsample & append" `Quick test_subsample_append;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "two gaussians" `Quick test_two_gaussians;
+          Alcotest.test_case "logistic model" `Quick test_logistic_model;
+          Alcotest.test_case "linear regression" `Quick
+            test_linear_regression_gen;
+          Alcotest.test_case "mixture" `Quick test_mixture;
+          Alcotest.test_case "zipf & bernoulli" `Quick test_zipf_bernoulli;
+        ] );
+      ( "neighbors & csv",
+        [
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,323 @@
+(* Tests for MI estimation, the Alquier sub-Gaussian bound, and the
+   libsvm loader. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* MI estimation *)
+
+let correlated_sample ~n ~flip g =
+  let xs = Array.init n (fun _ -> Dp_rng.Prng.int g 2) in
+  let ys =
+    Array.map
+      (fun x -> if Dp_rng.Sampler.bernoulli ~p:flip g then 1 - x else x)
+      xs
+  in
+  (xs, ys)
+
+let test_plugin_recovers_truth () =
+  let g = Dp_rng.Prng.create 1 in
+  let flip = 0.1 in
+  let xs, ys = correlated_sample ~n:50_000 ~flip g in
+  let est = Dp_info.Mi_estimate.plugin ~xs ~ys ~kx:2 ~ky:2 in
+  let h2 p = -.(Dp_math.Numeric.xlogx p +. Dp_math.Numeric.xlogx (1. -. p)) in
+  let truth = log 2. -. h2 flip in
+  if Float.abs (est -. truth) > 0.01 then
+    Alcotest.failf "plugin MI %g vs %g" est truth
+
+let test_plugin_bias_and_correction () =
+  (* independent variables, small sample: plug-in is biased up, the
+     Miller-Madow correction pulls toward 0 *)
+  let g = Dp_rng.Prng.create 2 in
+  let trials = 200 and n = 60 in
+  let sum_plugin = ref 0. and sum_mm = ref 0. in
+  for _ = 1 to trials do
+    let xs = Array.init n (fun _ -> Dp_rng.Prng.int g 4) in
+    let ys = Array.init n (fun _ -> Dp_rng.Prng.int g 4) in
+    sum_plugin := !sum_plugin +. Dp_info.Mi_estimate.plugin ~xs ~ys ~kx:4 ~ky:4;
+    sum_mm := !sum_mm +. Dp_info.Mi_estimate.miller_madow ~xs ~ys ~kx:4 ~ky:4
+  done;
+  let ft = float_of_int trials in
+  let mean_plugin = !sum_plugin /. ft and mean_mm = !sum_mm /. ft in
+  Alcotest.(check bool)
+    (Printf.sprintf "plugin biased up (%.4f)" mean_plugin)
+    true (mean_plugin > 0.03);
+  Alcotest.(check bool)
+    (Printf.sprintf "MM reduces bias (%.4f < %.4f)" mean_mm mean_plugin)
+    true
+    (mean_mm < mean_plugin /. 2.);
+  (* theoretical bias ~ (k-1)^2/2n = 9/120 = 0.075; plug-in mean near it *)
+  Alcotest.(check bool) "bias magnitude sane" true
+    (Float.abs (mean_plugin -. 0.075) < 0.03)
+
+let test_permutation_test () =
+  let g = Dp_rng.Prng.create 3 in
+  (* dependent: tiny p-value *)
+  let xs, ys = correlated_sample ~n:500 ~flip:0.2 g in
+  let p = Dp_info.Mi_estimate.permutation_test ~xs ~ys ~kx:2 ~ky:2 g in
+  Alcotest.(check bool) (Printf.sprintf "dependent p=%.3f" p) true (p < 0.02);
+  (* independent: p is ~uniform under the null, so any single draw may
+     be small — check the MEAN over independent datasets is ~1/2 *)
+  let mean_p =
+    Dp_math.Summation.mean
+      (Array.init 20 (fun _ ->
+           let xs = Array.init 300 (fun _ -> Dp_rng.Prng.int g 2) in
+           let ys = Array.init 300 (fun _ -> Dp_rng.Prng.int g 2) in
+           Dp_info.Mi_estimate.permutation_test ~permutations:100 ~xs ~ys ~kx:2
+             ~ky:2 g))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "independent mean p=%.3f" mean_p)
+    true
+    (mean_p > 0.3 && mean_p < 0.7)
+
+(* ------------------------------------------------------------------ *)
+(* Alquier bound *)
+
+let test_alquier_formula () =
+  check_close ~tol:1e-12 "value"
+    (0.3 +. ((1.5 +. log 20.) /. 10.) +. (10. *. 4. /. (2. *. 100.)))
+    (Dp_pac_bayes.Bounds.alquier ~lambda:10. ~n:100 ~delta:0.05
+       ~sub_gaussian_std:2. ~emp_risk:0.3 ~kl:1.5);
+  (* optimal lambda minimizes over a grid *)
+  let best =
+    Dp_pac_bayes.Bounds.best_alquier_lambda ~n:100 ~delta:0.05
+      ~sub_gaussian_std:2. ~kl:1.5
+  in
+  let at l =
+    Dp_pac_bayes.Bounds.alquier ~lambda:l ~n:100 ~delta:0.05
+      ~sub_gaussian_std:2. ~emp_risk:0.3 ~kl:1.5
+  in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "best beats lambda=%g" l)
+        true
+        (at best <= at l +. 1e-9))
+    [ 1.; 5.; 20.; 100.; 500. ]
+
+let test_alquier_coverage_on_gaussian_loss () =
+  (* unbounded loss: l_theta(z) = (z - theta)^2 / 2 with z ~ N(0,1),
+     finite grid of theta, uniform prior/posterior pairs via Gibbs.
+     Check the bound covers the true risk in most resamples. The
+     centred loss is sub-exponential rather than sub-Gaussian, so use a
+     generous sigma and expect >= 90% coverage at delta = 0.1. *)
+  let g = Dp_rng.Prng.create 4 in
+  let grid = Array.init 11 (fun i -> -1. +. (0.2 *. float_of_int i)) in
+  let loss theta z = Dp_math.Numeric.sq (z -. theta) /. 2. in
+  let true_risk theta = (1. +. (theta *. theta)) /. 2. in
+  let n = 200 and delta = 0.1 in
+  let trials = 200 in
+  let violations = ref 0 in
+  for _ = 1 to trials do
+    let sample = Array.init n (fun _ -> Dp_rng.Sampler.gaussian ~mean:0. ~std:1. g) in
+    let risks = Dp_pac_bayes.Risk.empirical_all ~loss sample grid in
+    let t = Dp_pac_bayes.Gibbs.of_risks ~predictors:grid ~beta:20. ~risks () in
+    let emp = Dp_pac_bayes.Gibbs.expected_empirical_risk t in
+    let kl = Dp_pac_bayes.Gibbs.kl_from_prior t in
+    let sigma = 3. in
+    let lambda =
+      Dp_pac_bayes.Bounds.best_alquier_lambda ~n ~delta ~sub_gaussian_std:sigma ~kl:(Float.max kl 0.1)
+    in
+    let bound =
+      Dp_pac_bayes.Bounds.alquier ~lambda ~n ~delta ~sub_gaussian_std:sigma
+        ~emp_risk:emp ~kl
+    in
+    let p = Dp_pac_bayes.Gibbs.probabilities t in
+    let truth =
+      Dp_math.Numeric.float_sum_range (Array.length p) (fun i ->
+          p.(i) *. true_risk grid.(i))
+    in
+    if truth > bound then incr violations
+  done;
+  let rate = float_of_int !violations /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "coverage violation rate %.3f" rate)
+    true (rate <= delta)
+
+(* ------------------------------------------------------------------ *)
+(* Confidence intervals *)
+
+let test_laplace_quantile () =
+  (* P(|Lap(b)| <= t) = 1 - e^{-t/b} => quantile(p) = -b log(1-p) *)
+  check_close ~tol:1e-12 "median of |noise|" (log 2.)
+    (Dp_learn.Confidence.laplace_noise_quantile ~scale:1. ~p:0.5);
+  check_close "zero scale" 0.
+    (Dp_learn.Confidence.laplace_noise_quantile ~scale:0. ~p:0.9);
+  (* verify empirically *)
+  let g = Dp_rng.Prng.create 10 in
+  let t = Dp_learn.Confidence.laplace_noise_quantile ~scale:2. ~p:0.9 in
+  let inside = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Float.abs (Dp_rng.Sampler.laplace ~mean:0. ~scale:2. g) <= t then
+      incr inside
+  done;
+  let f = float_of_int !inside /. float_of_int n in
+  if Float.abs (f -. 0.9) > 0.01 then Alcotest.failf "quantile check %g" f
+
+let test_noise_aware_ci_coverage () =
+  let g = Dp_rng.Prng.create 11 in
+  let trials = 300 in
+  let covered = ref 0 in
+  for _ = 1 to trials do
+    let xs = Array.init 200 (fun _ -> Dp_rng.Prng.float g) in
+    let iv =
+      Dp_learn.Confidence.private_mean_ci ~epsilon:0.5 ~confidence:0.9 ~lo:0.
+        ~hi:1. xs g
+    in
+    if iv.Dp_learn.Confidence.lo <= 0.5 && 0.5 <= iv.Dp_learn.Confidence.hi then
+      incr covered
+  done;
+  let rate = float_of_int !covered /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "coverage %.3f >= 0.9" rate) true
+    (rate >= 0.9);
+  (* interval is well formed *)
+  let xs = Array.init 50 (fun _ -> Dp_rng.Prng.float g) in
+  let iv =
+    Dp_learn.Confidence.private_mean_ci ~epsilon:1. ~confidence:0.95 ~lo:0.
+      ~hi:1. xs g
+  in
+  Alcotest.(check bool) "ordered" true
+    (iv.Dp_learn.Confidence.lo <= iv.Dp_learn.Confidence.estimate
+    && iv.Dp_learn.Confidence.estimate <= iv.Dp_learn.Confidence.hi)
+
+let test_naive_ci_undercovers () =
+  let g = Dp_rng.Prng.create 12 in
+  let trials = 300 in
+  let covered = ref 0 in
+  for _ = 1 to trials do
+    let xs = Array.init 100 (fun _ -> Dp_rng.Prng.float g) in
+    let release = Dp_learn.Mean_estimator.laplace ~epsilon:0.1 ~lo:0. ~hi:1. xs g in
+    let iv =
+      Dp_learn.Confidence.naive_ci ~confidence:0.95 ~lo:0. ~hi:1. ~release
+        ~n:100 xs
+    in
+    if iv.Dp_learn.Confidence.lo <= 0.5 && 0.5 <= iv.Dp_learn.Confidence.hi then
+      incr covered
+  done;
+  let rate = float_of_int !covered /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive under-covers (%.3f < 0.8)" rate)
+    true (rate < 0.8)
+
+(* ------------------------------------------------------------------ *)
+(* libsvm *)
+
+let test_libsvm_roundtrip () =
+  let path = Filename.temp_file "dp_test" ".libsvm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let d =
+        Dp_dataset.Dataset.create
+          [| [| 0.5; 0.; -1.25 |]; [| 0.; 2.; 0. |] |]
+          [| 1.; -1. |]
+      in
+      Dp_dataset.Csv.write_libsvm ~path d;
+      let back = Dp_dataset.Csv.read_libsvm ~path () in
+      Alcotest.(check int) "size" 2 (Dp_dataset.Dataset.size back);
+      Alcotest.(check int) "dim" 3 (Dp_dataset.Dataset.dim back);
+      for i = 0 to 1 do
+        let x, y = Dp_dataset.Dataset.row d i in
+        let x', y' = Dp_dataset.Dataset.row back i in
+        check_close "label" y y';
+        Array.iteri (fun j v -> check_close "feature" v x'.(j)) x
+      done)
+
+let test_libsvm_sparse_and_dim () =
+  let path = Filename.temp_file "dp_test" ".libsvm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "+1 2:0.5\n-1 1:1.0 4:2.0\n");
+      let d = Dp_dataset.Csv.read_libsvm ~path () in
+      Alcotest.(check int) "inferred dim" 4 (Dp_dataset.Dataset.dim d);
+      let x, y = Dp_dataset.Dataset.row d 0 in
+      check_close "label" 1. y;
+      check_close "sparse zero" 0. x.(0);
+      check_close "sparse value" 0.5 x.(1);
+      (* explicit dim larger than seen *)
+      let d = Dp_dataset.Csv.read_libsvm ~dim:6 ~path () in
+      Alcotest.(check int) "explicit dim" 6 (Dp_dataset.Dataset.dim d))
+
+let test_libsvm_malformed () =
+  let path = Filename.temp_file "dp_test" ".libsvm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc "+1 nonsense\n");
+      try
+        ignore (Dp_dataset.Csv.read_libsvm ~path ());
+        Alcotest.fail "accepted malformed line"
+      with Failure _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"plugin MI nonnegative and bounded" ~count:100
+      (int_range 0 10_000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let n = 50 in
+        let xs = Array.init n (fun _ -> Dp_rng.Prng.int g 3) in
+        let ys = Array.init n (fun _ -> Dp_rng.Prng.int g 3) in
+        let mi = Dp_info.Mi_estimate.plugin ~xs ~ys ~kx:3 ~ky:3 in
+        mi >= 0. && mi <= log 3. +. 1e-9);
+    Test.make ~name:"miller-madow <= plugin" ~count:100
+      (int_range 0 10_000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let n = 80 in
+        let xs = Array.init n (fun _ -> Dp_rng.Prng.int g 4) in
+        let ys = Array.init n (fun _ -> Dp_rng.Prng.int g 4) in
+        Dp_info.Mi_estimate.miller_madow ~xs ~ys ~kx:4 ~ky:4
+        <= Dp_info.Mi_estimate.plugin ~xs ~ys ~kx:4 ~ky:4 +. 1e-12);
+    Test.make ~name:"alquier bound decreasing in n" ~count:100
+      (pair (float_range 0.1 50.) (float_range 0. 5.))
+      (fun (lambda, kl) ->
+        Dp_pac_bayes.Bounds.alquier ~lambda ~n:1000 ~delta:0.05
+          ~sub_gaussian_std:1. ~emp_risk:0.5 ~kl
+        <= Dp_pac_bayes.Bounds.alquier ~lambda ~n:100 ~delta:0.05
+             ~sub_gaussian_std:1. ~emp_risk:0.5 ~kl
+           +. 1e-12);
+  ]
+
+let () =
+  Alcotest.run "dp_estimation"
+    [
+      ( "mi estimation",
+        [
+          Alcotest.test_case "plugin recovers truth" `Slow
+            test_plugin_recovers_truth;
+          Alcotest.test_case "bias & correction" `Quick
+            test_plugin_bias_and_correction;
+          Alcotest.test_case "permutation test" `Quick test_permutation_test;
+        ] );
+      ( "alquier bound",
+        [
+          Alcotest.test_case "formula & optimal lambda" `Quick
+            test_alquier_formula;
+          Alcotest.test_case "coverage (unbounded loss)" `Slow
+            test_alquier_coverage_on_gaussian_loss;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "laplace quantile" `Quick test_laplace_quantile;
+          Alcotest.test_case "noise-aware coverage" `Slow
+            test_noise_aware_ci_coverage;
+          Alcotest.test_case "naive under-covers" `Slow
+            test_naive_ci_undercovers;
+        ] );
+      ( "libsvm",
+        [
+          Alcotest.test_case "round-trip" `Quick test_libsvm_roundtrip;
+          Alcotest.test_case "sparse & dim" `Quick test_libsvm_sparse_and_dim;
+          Alcotest.test_case "malformed" `Quick test_libsvm_malformed;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

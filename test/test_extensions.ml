@@ -1,0 +1,438 @@
+(* Tests for the phase-2 modules: geometric mechanism, sparse vector,
+   subsampling amplification, conjugate Gaussian Gibbs regression,
+   Fano/Le Cam lower bounds, SVM, naive Bayes. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Geometric mechanism *)
+
+let test_geometric_pmf () =
+  let m = Dp_mechanism.Geometric_mech.create ~sensitivity:1 ~epsilon:1. in
+  let a = exp (-1.) in
+  check_close ~tol:1e-12 "alpha" a (Dp_mechanism.Geometric_mech.alpha m);
+  check_close ~tol:1e-12 "pmf center"
+    ((1. -. a) /. (1. +. a))
+    (Dp_mechanism.Geometric_mech.pmf m ~value:5 5);
+  check_close ~tol:1e-12 "pmf offset"
+    ((1. -. a) /. (1. +. a) *. (a ** 3.))
+    (Dp_mechanism.Geometric_mech.pmf m ~value:5 8);
+  (* pmf sums to 1 over a wide window *)
+  let total =
+    Dp_math.Numeric.float_sum_range 201 (fun i ->
+        Dp_mechanism.Geometric_mech.pmf m ~value:0 (i - 100))
+  in
+  check_close ~tol:1e-9 "pmf normalizes" 1. total
+
+let test_geometric_privacy_exact () =
+  let eps = 0.7 in
+  let m = Dp_mechanism.Geometric_mech.create ~sensitivity:1 ~epsilon:eps in
+  (* privacy loss at every output is exactly bounded by eps *)
+  for k = -20 to 20 do
+    let r =
+      Dp_mechanism.Geometric_mech.log_likelihood_ratio m ~value1:3 ~value2:4 k
+    in
+    Alcotest.(check bool) "ratio bounded" true (Float.abs r <= eps +. 1e-12)
+  done;
+  (* and the bound is achieved away from [3,4] *)
+  let r =
+    Dp_mechanism.Geometric_mech.log_likelihood_ratio m ~value1:3 ~value2:4 (-5)
+  in
+  check_close ~tol:1e-12 "tight" eps (Float.abs r)
+
+let test_geometric_truncated () =
+  let m = Dp_mechanism.Geometric_mech.create ~sensitivity:1 ~epsilon:0.5 in
+  (* truncation preserves total mass and DP (check ratio on the grid) *)
+  List.iter
+    (fun v ->
+      let d = Dp_mechanism.Geometric_mech.truncated_distribution m ~value:v ~lo:0 ~hi:10 in
+      check_close ~tol:1e-9
+        (Printf.sprintf "truncated normalizes (v=%d)" v)
+        1. (Dp_math.Summation.sum d))
+    [ 5; 0; 10; -3; 14 ];
+  let p = Dp_mechanism.Geometric_mech.truncated_distribution m ~value:4 ~lo:0 ~hi:10 in
+  let q = Dp_mechanism.Geometric_mech.truncated_distribution m ~value:5 ~lo:0 ~hi:10 in
+  let e = Dp_audit.Auditor.audit_exact ~p ~q in
+  Alcotest.(check bool) "truncated DP" true (e <= 0.5 +. 1e-9)
+
+let test_geometric_sampling () =
+  let g = Dp_rng.Prng.create 1 in
+  let m = Dp_mechanism.Geometric_mech.create ~sensitivity:2 ~epsilon:1. in
+  let n = 100_000 in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to n do
+    let k = Dp_mechanism.Geometric_mech.release m ~value:0 g in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  (* empirical frequencies match the pmf at the center *)
+  List.iter
+    (fun k ->
+      let f =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k))
+        /. float_of_int n
+      in
+      let p = Dp_mechanism.Geometric_mech.pmf m ~value:0 k in
+      if Float.abs (f -. p) > 5. *. sqrt (p /. float_of_int n) +. 1e-3 then
+        Alcotest.failf "freq at %d: %g vs %g" k f p)
+    [ -2; -1; 0; 1; 2 ];
+  (* zero sensitivity: deterministic *)
+  let d = Dp_mechanism.Geometric_mech.create ~sensitivity:0 ~epsilon:1. in
+  Alcotest.(check int) "deterministic" 7 (Dp_mechanism.Geometric_mech.release d ~value:7 g)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse vector *)
+
+let test_sparse_vector_behavior () =
+  let g = Dp_rng.Prng.create 2 in
+  (* far-above and far-below queries are classified correctly whp *)
+  let correct_above = ref 0 and correct_below = ref 0 in
+  let trials = 500 in
+  for _ = 1 to trials do
+    let t = Dp_mechanism.Sparse_vector.create ~epsilon:4. ~threshold:10. g in
+    (match Dp_mechanism.Sparse_vector.query t 30. with
+    | Some Dp_mechanism.Sparse_vector.Above -> incr correct_above
+    | _ -> ());
+    let t = Dp_mechanism.Sparse_vector.create ~epsilon:4. ~threshold:10. g in
+    match Dp_mechanism.Sparse_vector.query t (-10.) with
+    | Some Dp_mechanism.Sparse_vector.Below -> incr correct_below
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "above detected" true (!correct_above > 450);
+  Alcotest.(check bool) "below detected" true (!correct_below > 450)
+
+let test_sparse_vector_halts () =
+  let g = Dp_rng.Prng.create 3 in
+  let t =
+    Dp_mechanism.Sparse_vector.create ~epsilon:2. ~threshold:0. ~max_positives:2 g
+  in
+  (* feed many far-above queries; after 2 positives it must refuse *)
+  let answers = List.init 10 (fun _ -> Dp_mechanism.Sparse_vector.query t 100.) in
+  let positives =
+    List.length
+      (List.filter (function Some Dp_mechanism.Sparse_vector.Above -> true | _ -> false) answers)
+  in
+  Alcotest.(check int) "exactly max positives" 2 positives;
+  Alcotest.(check bool) "exhausted" true (Dp_mechanism.Sparse_vector.is_exhausted t);
+  Alcotest.(check bool) "refuses afterwards" true
+    (Dp_mechanism.Sparse_vector.query t 100. = None);
+  check_close "budget is total epsilon" 2.
+    (Dp_mechanism.Sparse_vector.budget t).Dp_mechanism.Privacy.epsilon
+
+(* ------------------------------------------------------------------ *)
+(* Subsampling *)
+
+let test_subsample_amplification () =
+  (* formula checks *)
+  check_close ~tol:1e-12 "full sample is identity" 1.5
+    (Dp_mechanism.Subsample.amplified_epsilon ~epsilon:1.5 ~q:1.);
+  check_close "zero rate leaks nothing" 0.
+    (Dp_mechanism.Subsample.amplified_epsilon ~epsilon:5. ~q:0.);
+  let amp = Dp_mechanism.Subsample.amplified_epsilon ~epsilon:1. ~q:0.1 in
+  Alcotest.(check bool) "amplified strictly better" true (amp < 1.);
+  (* for small q, amplified ~ q * (e^eps - 1) *)
+  check_close ~tol:1e-3 "small-q linearization"
+    (0.01 *. Float.expm1 1.)
+    (Dp_mechanism.Subsample.amplified_epsilon ~epsilon:1. ~q:0.01);
+  (* inverse round-trips *)
+  let base = Dp_mechanism.Subsample.required_epsilon ~target:0.5 ~q:0.2 in
+  check_close ~tol:1e-9 "inverse"
+    0.5
+    (Dp_mechanism.Subsample.amplified_epsilon ~epsilon:base ~q:0.2)
+
+let test_subsample_run () =
+  let g = Dp_rng.Prng.create 4 in
+  let db = Array.init 1000 (fun i -> i mod 2) in
+  let mech sub g' =
+    let m = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon:1. in
+    Dp_mechanism.Laplace.release m
+      ~value:(float_of_int (Array.fold_left ( + ) 0 sub))
+      g'
+  in
+  let result, budget =
+    Dp_mechanism.Subsample.run_subsampled ~q:0.1 ~base_epsilon:1. ~mechanism:mech db g
+  in
+  (* subsample of 100 from a half-ones db: count near 50 *)
+  Alcotest.(check bool) "plausible count" true (result > 20. && result < 80.);
+  check_close ~tol:1e-12 "amplified budget"
+    (Dp_mechanism.Subsample.amplified_epsilon ~epsilon:1. ~q:0.1)
+    budget.Dp_mechanism.Privacy.epsilon
+
+(* ------------------------------------------------------------------ *)
+(* Gaussian Gibbs *)
+
+let regression_data seed n =
+  let g = Dp_rng.Prng.create seed in
+  Dp_dataset.Dataset.map_labels
+    (Dp_math.Numeric.clamp ~lo:(-1.) ~hi:1.)
+    (Dp_dataset.Synthetic.linear_regression ~theta:[| 0.5; -0.3 |]
+       ~noise_std:0.05 ~n g)
+
+let test_gaussian_gibbs_mean_matches_ridge () =
+  (* With prior std sigma and temperature beta, the posterior mean is
+     the ridge solution with lambda = n/(beta * sigma^2 * n) ... i.e.
+     solving ((beta/n) X'X + I/s^2) mu = (beta/n) X'y, equivalent to
+     (X'X + (n/(beta s^2)) I) mu = X'y: ridge with n*lambda = n/(beta s^2). *)
+  let d = regression_data 5 400 in
+  let beta = 800. and s = 2. in
+  let t = Dp_pac_bayes.Gaussian_gibbs.fit ~beta ~prior_std:s ~radius:5. d in
+  let lambda = 1. /. (beta *. s *. s) in
+  let ridge = Dp_learn.Ridge.fit ~lambda d in
+  let mu = Dp_pac_bayes.Gaussian_gibbs.mean t in
+  Array.iteri
+    (fun i r -> check_close ~tol:1e-8 (Printf.sprintf "mean[%d]" i) r mu.(i))
+    ridge
+
+let test_gaussian_gibbs_sampling_moments () =
+  let d = regression_data 6 300 in
+  let beta = 300. in
+  let t = Dp_pac_bayes.Gaussian_gibbs.fit ~beta ~radius:10. d in
+  let g = Dp_rng.Prng.create 7 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Dp_pac_bayes.Gaussian_gibbs.sample t g) in
+  let mu = Dp_pac_bayes.Gaussian_gibbs.mean t in
+  (* with radius 10 the truncation is immaterial: sample mean = mu *)
+  for j = 0 to 1 do
+    let m = Dp_stats.Describe.mean (Array.map (fun s -> s.(j)) samples) in
+    if Float.abs (m -. mu.(j)) > 0.02 then
+      Alcotest.failf "posterior mean drift[%d]: %g vs %g" j m mu.(j)
+  done;
+  (* all samples respect the ball *)
+  Alcotest.(check bool) "in ball" true
+    (Array.for_all (fun s -> Dp_linalg.Vec.norm2 s <= 10. +. 1e-9) samples)
+
+let test_gaussian_gibbs_privacy_exact () =
+  (* Exact finite-check of Thm 4.1 for the conjugate sampler: compare
+     densities between neighbouring datasets over a grid of the ball;
+     the log ratio must be bounded by 2 beta dR (the normalizers shift
+     by at most beta dR each). *)
+  let d = regression_data 8 50 in
+  let radius = 1.5 in
+  let epsilon = 1.0 in
+  let beta = Dp_pac_bayes.Gaussian_gibbs.calibrate_beta ~epsilon ~n:50 ~radius in
+  let t = Dp_pac_bayes.Gaussian_gibbs.fit ~beta ~radius d in
+  let g = Dp_rng.Prng.create 9 in
+  let worst = ref 0. in
+  for _ = 1 to 20 do
+    let i = Dp_rng.Prng.int g 50 in
+    let x' = Dp_dataset.Synthetic.two_gaussians ~dim:2 ~n:1 g in
+    let row = Dp_linalg.Vec.project_l2_ball ~radius:1. x'.Dp_dataset.Dataset.features.(0) in
+    let d' = Dp_dataset.Dataset.replace_row d i (row, 0.5) in
+    let t' = Dp_pac_bayes.Gaussian_gibbs.fit ~beta ~radius d' in
+    (* compare normalized densities on a grid covering the ball;
+       normalize by a Riemann sum *)
+    let grid = ref [] in
+    let steps = 24 in
+    for a = 0 to steps do
+      for b = 0 to steps do
+        let th =
+          [|
+            -.radius +. (2. *. radius *. float_of_int a /. float_of_int steps);
+            -.radius +. (2. *. radius *. float_of_int b /. float_of_int steps);
+          |]
+        in
+        if Dp_linalg.Vec.norm2 th <= radius then grid := th :: !grid
+      done
+    done;
+    let grid = Array.of_list !grid in
+    let logd t = Array.map (Dp_pac_bayes.Gaussian_gibbs.log_density t) grid in
+    let l1 = logd t and l2 = logd t' in
+    let z1 = Dp_math.Logspace.log_sum_exp l1 in
+    let z2 = Dp_math.Logspace.log_sum_exp l2 in
+    Array.iteri
+      (fun k v ->
+        let r = Float.abs (v -. z1 -. (l2.(k) -. z2)) in
+        worst := Float.max !worst r)
+      l1
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "log ratio %.4f <= eps %.4f" !worst epsilon)
+    true
+    (!worst <= epsilon +. 1e-9)
+
+let test_gaussian_gibbs_utility_vs_epsilon () =
+  let d = regression_data 10 2000 in
+  let g = Dp_rng.Prng.create 11 in
+  let mse theta = Dp_learn.Erm.mean_squared_error theta d in
+  let avg_mse eps =
+    Dp_math.Summation.mean
+      (Array.init 10 (fun _ ->
+           let theta, _ =
+             Dp_pac_bayes.Gaussian_gibbs.fit_private ~epsilon:eps ~radius:1.5 d g
+           in
+           mse theta))
+  in
+  let hi = avg_mse 20. and lo = avg_mse 0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more privacy, more error (%.4f vs %.4f)" lo hi)
+    true (lo >= hi)
+
+(* ------------------------------------------------------------------ *)
+(* Fano / Le Cam *)
+
+let test_fano () =
+  check_close ~tol:1e-12 "fano zero information"
+    (1. -. (log 2. /. log 16.))
+    (Dp_info.Fano.fano_error_lower_bound ~mi:0. ~k:16);
+  (* huge information: no lower bound *)
+  check_close "fano saturates" 0.
+    (Dp_info.Fano.fano_error_lower_bound ~mi:100. ~k:4);
+  (* clamped at 1 - 1/k *)
+  Alcotest.(check bool) "clamp" true
+    (Dp_info.Fano.fano_error_lower_bound ~mi:0. ~k:2 <= 0.5);
+  (* DP version decreases in epsilon *)
+  let e1 = Dp_info.Fano.fano_error_lower_bound_dp ~epsilon:0.01 ~diameter:1 ~k:32 in
+  let e2 = Dp_info.Fano.fano_error_lower_bound_dp ~epsilon:1. ~diameter:1 ~k:32 in
+  Alcotest.(check bool) "monotone in eps" true (e1 >= e2)
+
+let test_le_cam_and_testing () =
+  check_close ~tol:1e-12 "le cam"
+    (0.25 *. exp (-1.))
+    (Dp_info.Fano.le_cam_risk_lower_bound ~separation:1. ~kl:1.);
+  Alcotest.(check bool) "testing bound in (0,1]" true
+    (let b = Dp_info.Fano.dp_testing_lower_bound ~epsilon:0.1 ~n:10 in
+     b > 0. && b <= 1.);
+  check_close ~tol:1e-12 "testing bound value" (exp (-1.))
+    (Dp_info.Fano.dp_testing_lower_bound ~epsilon:0.1 ~n:10);
+  (* consistency: the randomized-response channel's actual testing
+     error respects the bound: total error of the likelihood-ratio test
+     is 2(1-p) >= e^{-eps} for single record *)
+  let eps = 1. in
+  let p = exp eps /. (1. +. exp eps) in
+  Alcotest.(check bool) "RR respects the floor" true
+    (2. *. (1. -. p) >= Dp_info.Fano.dp_testing_lower_bound ~epsilon:eps ~n:1 -. 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* SVM & naive Bayes *)
+
+let classification_data seed n =
+  let g = Dp_rng.Prng.create seed in
+  Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+    (Dp_dataset.Synthetic.two_gaussians ~separation:3. ~std:1. ~dim:3 ~n g)
+
+let test_svm () =
+  let g = Dp_rng.Prng.create 12 in
+  let d = classification_data 13 600 in
+  let m = Dp_learn.Svm.train ~lambda:1e-3 d g in
+  let acc = Dp_learn.Svm.accuracy m.Dp_learn.Svm.theta d in
+  Alcotest.(check bool) (Printf.sprintf "svm acc %.3f" acc) true (acc > 0.85);
+  Alcotest.(check bool) "violations counted" true
+    (m.Dp_learn.Svm.margin_violations >= 0
+    && m.Dp_learn.Svm.margin_violations <= 600);
+  (* private variants run and stay sane *)
+  let theta, b = Dp_learn.Svm.train_private_output ~epsilon:5. d g in
+  check_close "budget" 5. b.Dp_mechanism.Privacy.epsilon;
+  Alcotest.(check bool) "output-perturbed learns at high eps" true
+    (Dp_learn.Svm.accuracy theta d > 0.7);
+  let theta, _ =
+    Dp_learn.Svm.train_private_gibbs
+      ~mcmc_config:{ Dp_pac_bayes.Mcmc.step_std = 0.3; burn_in = 1500; thin = 2 }
+      ~epsilon:20. ~radius:3. d g
+  in
+  Alcotest.(check bool) "gibbs svm learns" true
+    (Dp_learn.Svm.accuracy theta d > 0.7)
+
+let test_naive_bayes () =
+  let d = classification_data 14 2000 in
+  let nb = Dp_learn.Naive_bayes.fit ~lo:(-2.) ~hi:2. d in
+  let acc = Dp_learn.Naive_bayes.accuracy nb d in
+  Alcotest.(check bool) (Printf.sprintf "nb acc %.3f" acc) true (acc > 0.85);
+  (* log odds sign matches prediction *)
+  let x, _ = Dp_dataset.Dataset.row d 0 in
+  let odds = Dp_learn.Naive_bayes.predict_log_odds nb x in
+  let pred = Dp_learn.Naive_bayes.predict nb x in
+  Alcotest.(check bool) "consistent" true ((odds >= 0.) = (pred = 1.));
+  (* private version approaches non-private accuracy at large eps *)
+  let g = Dp_rng.Prng.create 15 in
+  let nb_p, budget = Dp_learn.Naive_bayes.fit_private ~epsilon:20. ~lo:(-2.) ~hi:2. d g in
+  check_close "budget" 20. budget.Dp_mechanism.Privacy.epsilon;
+  Alcotest.(check bool) "private nb learns" true
+    (Dp_learn.Naive_bayes.accuracy nb_p d > 0.8);
+  (* tiny epsilon destroys accuracy toward chance *)
+  let nb_bad, _ = Dp_learn.Naive_bayes.fit_private ~epsilon:0.01 ~lo:(-2.) ~hi:2. d g in
+  Alcotest.(check bool) "tiny eps worse" true
+    (Dp_learn.Naive_bayes.accuracy nb_bad d
+    <= Dp_learn.Naive_bayes.accuracy nb_p d +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"geometric truncated distributions normalize" ~count:200
+      (triple (int_range (-20) 30) (float_range 0.1 4.) (int_range 1 20))
+      (fun (v, eps, width) ->
+        let m = Dp_mechanism.Geometric_mech.create ~sensitivity:1 ~epsilon:eps in
+        let d =
+          Dp_mechanism.Geometric_mech.truncated_distribution m ~value:v ~lo:0
+            ~hi:width
+        in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-9
+          (Dp_math.Summation.sum d) 1.
+        && Array.for_all (fun p -> p >= 0.) d);
+    Test.make ~name:"amplification is monotone and never worse" ~count:300
+      (pair (float_range 0.01 5.) (float_range 0.01 1.))
+      (fun (eps, q) ->
+        let a = Dp_mechanism.Subsample.amplified_epsilon ~epsilon:eps ~q in
+        a <= eps +. 1e-12 && a >= 0.);
+    Test.make ~name:"fano bound within [0, 1-1/k]" ~count:300
+      (pair (float_range 0. 10.) (int_range 2 64))
+      (fun (mi, k) ->
+        let b = Dp_info.Fano.fano_error_lower_bound ~mi ~k in
+        b >= 0. && b <= 1. -. (1. /. float_of_int k));
+    Test.make ~name:"gaussian gibbs log density maximal near mean" ~count:20
+      (int_range 0 1000)
+      (fun seed ->
+        let d = regression_data seed 100 in
+        let t = Dp_pac_bayes.Gaussian_gibbs.fit ~beta:100. ~radius:5. d in
+        let mu = Dp_pac_bayes.Gaussian_gibbs.mean t in
+        let off = Array.map (fun x -> x +. 0.3) mu in
+        Dp_pac_bayes.Gaussian_gibbs.log_density t mu
+        >= Dp_pac_bayes.Gaussian_gibbs.log_density t off);
+  ]
+
+let () =
+  Alcotest.run "dp_extensions"
+    [
+      ( "geometric mechanism",
+        [
+          Alcotest.test_case "pmf" `Quick test_geometric_pmf;
+          Alcotest.test_case "exact privacy" `Quick test_geometric_privacy_exact;
+          Alcotest.test_case "truncation" `Quick test_geometric_truncated;
+          Alcotest.test_case "sampling" `Slow test_geometric_sampling;
+        ] );
+      ( "sparse vector",
+        [
+          Alcotest.test_case "classification" `Quick test_sparse_vector_behavior;
+          Alcotest.test_case "halting & budget" `Quick test_sparse_vector_halts;
+        ] );
+      ( "subsampling",
+        [
+          Alcotest.test_case "amplification formulas" `Quick
+            test_subsample_amplification;
+          Alcotest.test_case "end-to-end" `Quick test_subsample_run;
+        ] );
+      ( "gaussian gibbs (Sec 5 regression)",
+        [
+          Alcotest.test_case "mean = tempered ridge" `Quick
+            test_gaussian_gibbs_mean_matches_ridge;
+          Alcotest.test_case "sampling moments" `Slow
+            test_gaussian_gibbs_sampling_moments;
+          Alcotest.test_case "exact privacy (Thm 4.1)" `Quick
+            test_gaussian_gibbs_privacy_exact;
+          Alcotest.test_case "utility vs epsilon" `Slow
+            test_gaussian_gibbs_utility_vs_epsilon;
+        ] );
+      ( "fano & le cam",
+        [
+          Alcotest.test_case "fano" `Quick test_fano;
+          Alcotest.test_case "le cam & testing" `Quick test_le_cam_and_testing;
+        ] );
+      ( "svm & naive bayes",
+        [
+          Alcotest.test_case "svm" `Slow test_svm;
+          Alcotest.test_case "naive bayes" `Quick test_naive_bayes;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

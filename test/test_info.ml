@@ -1,0 +1,373 @@
+open Dp_info
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Entropy and divergences *)
+
+let test_entropy () =
+  check_close "uniform 2" (log 2.) (Entropy.entropy [| 0.5; 0.5 |]);
+  check_close "uniform 4 bits" 2. (Entropy.entropy_base2 [| 0.25; 0.25; 0.25; 0.25 |]);
+  check_close "point mass" 0. (Entropy.entropy [| 1.; 0.; 0. |]);
+  let p = [| 0.3; 0.7 |] in
+  check_close "cross entropy self = entropy" (Entropy.entropy p)
+    (Entropy.cross_entropy p p);
+  try
+    ignore (Entropy.entropy [| 0.5; 0.6 |]);
+    Alcotest.fail "accepted non-distribution"
+  with Invalid_argument _ -> ()
+
+let test_kl () =
+  let p = [| 0.3; 0.7 |] and q = [| 0.5; 0.5 |] in
+  check_close ~tol:1e-12 "kl value"
+    ((0.3 *. log (0.3 /. 0.5)) +. (0.7 *. log (0.7 /. 0.5)))
+    (Entropy.kl_divergence p q);
+  check_close "kl self" 0. (Entropy.kl_divergence p p);
+  Alcotest.(check (float 0.))
+    "absolute continuity" infinity
+    (Entropy.kl_divergence [| 0.5; 0.5 |] [| 1.; 0. |]);
+  (* log-domain agrees *)
+  let lp = Array.map log p and lq = Array.map log q in
+  check_close ~tol:1e-12 "log-domain kl" (Entropy.kl_divergence p q)
+    (Entropy.kl_divergence_log lp lq);
+  (* chain with cross entropy: KL = CE - H *)
+  check_close ~tol:1e-12 "kl = ce - h"
+    (Entropy.cross_entropy p q -. Entropy.entropy p)
+    (Entropy.kl_divergence p q)
+
+let test_tv_js () =
+  let p = [| 1.; 0. |] and q = [| 0.; 1. |] in
+  check_close "tv max" 1. (Entropy.total_variation p q);
+  check_close "tv self" 0. (Entropy.total_variation p p);
+  check_close "js disjoint" (log 2.) (Entropy.jensen_shannon p q);
+  check_close "js self" 0. (Entropy.jensen_shannon p p)
+
+let test_max_divergence () =
+  let p = [| 0.6; 0.4 |] and q = [| 0.3; 0.7 |] in
+  check_close ~tol:1e-12 "max div" (log 2.) (Entropy.max_divergence p q);
+  check_close "self" 0. (Entropy.max_divergence p p);
+  Alcotest.(check (float 0.))
+    "unbounded" infinity
+    (Entropy.max_divergence [| 0.5; 0.5 |] [| 1.; 0. |]);
+  (* KL <= max divergence always *)
+  Alcotest.(check bool) "kl below max div" true
+    (Entropy.kl_divergence p q <= Entropy.max_divergence p q +. 1e-12)
+
+let test_renyi () =
+  let p = [| 0.6; 0.4 |] and q = [| 0.3; 0.7 |] in
+  (* Renyi is nondecreasing in alpha and sandwiched between KL and max-div. *)
+  let r2 = Entropy.renyi_divergence ~alpha:2. p q in
+  let r10 = Entropy.renyi_divergence ~alpha:10. p q in
+  let kl = Entropy.kl_divergence p q in
+  let md = Entropy.max_divergence p q in
+  Alcotest.(check bool) "ordering" true (kl <= r2 +. 1e-12 && r2 <= r10 +. 1e-12 && r10 <= md +. 1e-12);
+  (* alpha near 1 approaches KL *)
+  let r1 = Entropy.renyi_divergence ~alpha:1.0001 p q in
+  check_close ~tol:1e-3 "limit to KL" kl r1
+
+let test_mutual_information () =
+  (* Independent: I = 0 *)
+  let joint = [| [| 0.25; 0.25 |]; [| 0.25; 0.25 |] |] in
+  check_close "independent" 0. (Entropy.mutual_information ~joint);
+  (* Perfectly correlated: I = log 2 *)
+  let joint = [| [| 0.5; 0. |]; [| 0.; 0.5 |] |] in
+  check_close "identity channel" (log 2.) (Entropy.mutual_information ~joint);
+  (* From channel: binary symmetric channel with crossover 0.1, uniform
+     input: I = log2 - H(0.1) in nats *)
+  let h2 p = -.(Dp_math.Numeric.xlogx p +. Dp_math.Numeric.xlogx (1. -. p)) in
+  let bsc = [| [| 0.9; 0.1 |]; [| 0.1; 0.9 |] |] in
+  check_close ~tol:1e-12 "bsc"
+    (log 2. -. h2 0.1)
+    (Entropy.mutual_information_channel ~input:[| 0.5; 0.5 |] ~channel:bsc)
+
+(* ------------------------------------------------------------------ *)
+(* Channel *)
+
+let bsc eps =
+  (* a randomized-response channel: epsilon-DP binary channel *)
+  let p = exp eps /. (1. +. exp eps) in
+  Channel.create ~input:[| 0.5; 0.5 |]
+    ~matrix:[| [| p; 1. -. p |]; [| 1. -. p; p |] |]
+
+let test_channel_basics () =
+  let ch = bsc 1. in
+  Alcotest.(check int) "inputs" 2 (Channel.n_inputs ch);
+  Alcotest.(check int) "outputs" 2 (Channel.n_outputs ch);
+  let m = Channel.output_marginal ch in
+  check_close "marginal uniform" 0.5 m.(0);
+  let j = Channel.joint ch in
+  check_close ~tol:1e-12 "joint entry" (0.5 *. exp 1. /. (1. +. exp 1.)) j.(0).(0);
+  (* row must be a copy *)
+  let r = Channel.row ch 0 in
+  r.(0) <- 99.;
+  check_close "row is a copy" 99. r.(0);
+  let r2 = Channel.row ch 0 in
+  Alcotest.(check bool) "internal state unchanged" true (r2.(0) < 1.)
+
+let test_channel_dp_epsilon () =
+  let eps = 0.8 in
+  let ch = bsc eps in
+  let neighbors i = [| 1 - i |] in
+  check_close ~tol:1e-12 "exact dp epsilon" eps (Channel.dp_epsilon ch ~neighbors)
+
+let test_kl_decomposition () =
+  (* Catoni's identity (claim C6): E_Z KL(row‖prior) = I + KL(marginal‖prior),
+     for ANY prior. *)
+  let ch =
+    Channel.create ~input:[| 0.2; 0.5; 0.3 |]
+      ~matrix:
+        [| [| 0.7; 0.2; 0.1 |]; [| 0.1; 0.6; 0.3 |]; [| 0.3; 0.3; 0.4 |] |]
+  in
+  let check_prior prior =
+    let lhs = Channel.expected_kl_to ch ~prior in
+    let mi, kl_m = Channel.kl_decomposition ch ~prior in
+    check_close ~tol:1e-12 "decomposition" lhs (mi +. kl_m)
+  in
+  check_prior [| 1. /. 3.; 1. /. 3.; 1. /. 3. |];
+  check_prior [| 0.6; 0.3; 0.1 |];
+  (* With the optimal prior (the marginal) the KL term vanishes and
+     E KL = I exactly — the paper's pi_OPT = E_Z posterior. *)
+  let marginal = Channel.output_marginal ch in
+  let mi, kl_m = Channel.kl_decomposition ch ~prior:marginal in
+  check_close ~tol:1e-12 "optimal prior kills the extra term" 0. kl_m;
+  check_close ~tol:1e-12 "E KL = I at optimum" (Channel.mutual_information ch)
+    (Channel.expected_kl_to ch ~prior:marginal);
+  ignore mi
+
+let test_channel_objective_and_perturb () =
+  let ch = bsc 1.5 in
+  let risk i j = if i = j then 0. else 1. in
+  let base = Channel.objective ch ~risk ~beta:2. in
+  Alcotest.(check bool) "objective positive" true (base > 0.);
+  let g = Dp_rng.Prng.create 17 in
+  let p = Channel.perturb ch ~magnitude:0.3 g in
+  (* perturbed channel still valid: rows sum to 1 *)
+  for i = 0 to 1 do
+    check_close ~tol:1e-9 "row sums" 1. (Dp_math.Summation.sum (Channel.row p i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Blahut–Arimoto *)
+
+let test_ba_bsc_capacity () =
+  (* BSC capacity: log 2 - H(p) nats. *)
+  let h2 p = -.(Dp_math.Numeric.xlogx p +. Dp_math.Numeric.xlogx (1. -. p)) in
+  let p = 0.11 in
+  let r =
+    Blahut_arimoto.capacity
+      ~channel:[| [| 1. -. p; p |]; [| p; 1. -. p |] |]
+      ()
+  in
+  check_close ~tol:1e-7 "bsc capacity" (log 2. -. h2 p) r.Blahut_arimoto.capacity;
+  (* capacity-achieving input for symmetric channel is uniform *)
+  check_close ~tol:1e-4 "uniform input" 0.5 r.Blahut_arimoto.input.(0)
+
+let test_ba_erasure_capacity () =
+  (* Binary erasure channel capacity: (1 - e) log 2. *)
+  let e = 0.3 in
+  let channel = [| [| 1. -. e; 0.; e |]; [| 0.; 1. -. e; e |] |] in
+  let r = Blahut_arimoto.capacity ~channel () in
+  check_close ~tol:1e-7 "bec capacity" ((1. -. e) *. log 2.) r.Blahut_arimoto.capacity
+
+let test_ba_useless_channel () =
+  (* Identical rows carry zero information. *)
+  let channel = [| [| 0.4; 0.6 |]; [| 0.4; 0.6 |] |] in
+  let r = Blahut_arimoto.capacity ~channel () in
+  check_close ~tol:1e-9 "zero capacity" 0. r.Blahut_arimoto.capacity
+
+(* ------------------------------------------------------------------ *)
+(* Rate–risk (Theorem 4.2 solver) *)
+
+let test_rate_risk_fixed_point () =
+  (* Small exact problem: 3 samples, 4 predictors, random-ish risks. *)
+  let input = [| 0.5; 0.3; 0.2 |] in
+  let risk =
+    [| [| 0.1; 0.5; 0.9; 0.3 |]; [| 0.8; 0.2; 0.4; 0.6 |]; [| 0.5; 0.5; 0.1; 0.7 |] |]
+  in
+  let beta = 3. in
+  let r = Rate_risk.solve ~input ~risk ~beta () in
+  (* 1. Fixed point: rows are Gibbs posteriors under the final prior. *)
+  let rows = Rate_risk.gibbs_rows ~prior:r.Rate_risk.prior ~risk ~beta in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j p ->
+          check_close ~tol:1e-6
+            (Printf.sprintf "row %d col %d" i j)
+            p
+            (Dp_info.Channel.row r.Rate_risk.channel i).(j))
+        row)
+    rows;
+  (* 2. The prior equals the output marginal (Catoni's optimality). *)
+  let marginal = Channel.output_marginal r.Rate_risk.channel in
+  Array.iteri
+    (fun j m -> check_close ~tol:1e-6 "prior = marginal" m r.Rate_risk.prior.(j))
+    marginal;
+  (* 3. Objective decreases along the trace (monotone convergence). *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (b <= a +. 1e-10);
+        monotone rest
+    | _ -> ()
+  in
+  monotone r.Rate_risk.trace;
+  (* 4. The solution beats arbitrary alternative channels. *)
+  let g = Dp_rng.Prng.create 23 in
+  let obj ch = Channel.objective ch ~risk:(fun z th -> risk.(z).(th)) ~beta in
+  for _ = 1 to 20 do
+    let alt = Channel.perturb r.Rate_risk.channel ~magnitude:0.5 g in
+    Alcotest.(check bool) "global minimum" true
+      (r.Rate_risk.objective <= obj alt +. 1e-9)
+  done
+
+let test_rate_risk_beta_monotonicity () =
+  (* Larger beta tolerates more information: I increases, E risk
+     decreases. This is the paper's privacy/utility tilt. *)
+  let input = [| 0.25; 0.25; 0.25; 0.25 |] in
+  let risk =
+    [| [| 0.; 1. |]; [| 1.; 0. |]; [| 0.2; 0.8 |]; [| 0.8; 0.2 |] |]
+  in
+  let solve beta = Rate_risk.solve ~input ~risk ~beta () in
+  let low = solve 0.5 and high = solve 8. in
+  let mi r = Channel.mutual_information r.Rate_risk.channel in
+  let er r =
+    Channel.expected_risk r.Rate_risk.channel ~risk:(fun z th -> risk.(z).(th))
+  in
+  Alcotest.(check bool) "MI grows with beta" true (mi high >= mi low -. 1e-9);
+  Alcotest.(check bool) "risk falls with beta" true (er high <= er low +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Leakage *)
+
+let test_leakage_bounds () =
+  (* Randomized response channel: exact MI must respect the DP bound. *)
+  let eps = 1.2 in
+  let p = exp eps /. (1. +. exp eps) in
+  let channel = [| [| p; 1. -. p |]; [| 1. -. p; p |] |] in
+  let input = [| 0.5; 0.5 |] in
+  let mi = Entropy.mutual_information_channel ~input ~channel in
+  let bound = Leakage.mi_upper_bound_pure_dp ~epsilon:eps ~diameter:1 in
+  Alcotest.(check bool) "MI below DP bound" true (mi <= bound +. 1e-12);
+  (* min-entropy leakage and the Alvim bound (n=1 record, v=2) *)
+  let leak = Leakage.min_entropy_leakage ~input ~channel in
+  let alvim = Leakage.min_entropy_leakage_bound_alvim ~epsilon:eps ~n:1 ~universe:2 in
+  Alcotest.(check bool) "leakage below Alvim" true (leak <= alvim +. 1e-12);
+  (* for the binary uniform case the Alvim bound is tight: v e^eps/(v-1+e^eps) = 2p *)
+  check_close ~tol:1e-12 "alvim tight for RR" (log (2. *. p)) alvim;
+  check_close ~tol:1e-12 "leakage equals bound here" alvim leak
+
+let test_leakage_degenerate () =
+  (* A useless channel leaks nothing. *)
+  let channel = [| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |] in
+  check_close "no leakage" 0.
+    (Leakage.min_entropy_leakage ~input:[| 0.5; 0.5 |] ~channel);
+  (* identity channel leaks everything: H_inf(X) = log 2 *)
+  let channel = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  check_close "full leakage" (log 2.)
+    (Leakage.min_entropy_leakage ~input:[| 0.5; 0.5 |] ~channel)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  let dist_gen k =
+    let open Gen in
+    array_size (return k) (float_range 0.01 1. |> fun g -> map Float.abs g)
+    |> map (fun a ->
+           let s = Dp_math.Summation.sum a in
+           Array.map (fun x -> x /. s) a)
+  in
+  let dist k = make (dist_gen k) in
+  [
+    Test.make ~name:"KL nonnegative (Gibbs ineq)" ~count:300
+      (pair (dist 5) (dist 5))
+      (fun (p, q) -> Entropy.kl_divergence p q >= 0.);
+    Test.make ~name:"entropy bounded by log k" ~count:300 (dist 6)
+      (fun p -> Entropy.entropy p <= log 6. +. 1e-9);
+    Test.make ~name:"TV bounded by 1 and symmetric" ~count:300
+      (pair (dist 4) (dist 4))
+      (fun (p, q) ->
+        let d = Entropy.total_variation p q in
+        d >= 0. && d <= 1.
+        && Dp_math.Numeric.approx_equal ~abs_tol:1e-12 d
+             (Entropy.total_variation q p));
+    Test.make ~name:"Pinsker: TV^2 <= KL/2" ~count:300
+      (pair (dist 4) (dist 4))
+      (fun (p, q) ->
+        let tv = Entropy.total_variation p q in
+        2. *. tv *. tv <= Entropy.kl_divergence p q +. 1e-9);
+    Test.make ~name:"I(X;Y) <= min(H(X), H(Y))" ~count:200
+      (pair (dist 3) (pair (dist 4) (pair (dist 4) (dist 4))))
+      (fun (input, (r0, (r1, r2))) ->
+        let channel = [| r0; r1; r2 |] in
+        let mi = Entropy.mutual_information_channel ~input ~channel in
+        let hx = Entropy.entropy input in
+        let py =
+          Array.init 4 (fun j ->
+              Dp_math.Numeric.float_sum_range 3 (fun i ->
+                  input.(i) *. channel.(i).(j)))
+        in
+        let hy = Entropy.entropy py in
+        mi >= -1e-9 && mi <= Float.min hx hy +. 1e-9);
+    Test.make ~name:"channel MI below capacity" ~count:100
+      (pair (dist 3) (pair (dist 4) (pair (dist 4) (dist 4))))
+      (fun (input, (r0, (r1, r2))) ->
+        let channel = [| r0; r1; r2 |] in
+        let mi = Entropy.mutual_information_channel ~input ~channel in
+        let cap = (Blahut_arimoto.capacity ~channel ()).Blahut_arimoto.capacity in
+        mi <= cap +. 1e-6);
+    Test.make ~name:"KL decomposition identity for random channels"
+      ~count:100
+      (pair (dist 3) (pair (pair (dist 4) (dist 4)) (pair (dist 4) (dist 4))))
+      (fun (input, ((r0, r1), (r2, prior))) ->
+        let ch = Channel.create ~input ~matrix:[| r0; r1; r2 |] in
+        let lhs = Channel.expected_kl_to ch ~prior in
+        let mi, klm = Channel.kl_decomposition ch ~prior in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-8 ~abs_tol:1e-10 lhs (mi +. klm));
+  ]
+
+let () =
+  Alcotest.run "dp_info"
+    [
+      ( "entropy",
+        [
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "kl" `Quick test_kl;
+          Alcotest.test_case "tv & js" `Quick test_tv_js;
+          Alcotest.test_case "max divergence" `Quick test_max_divergence;
+          Alcotest.test_case "renyi" `Quick test_renyi;
+          Alcotest.test_case "mutual information" `Quick
+            test_mutual_information;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "basics" `Quick test_channel_basics;
+          Alcotest.test_case "dp epsilon" `Quick test_channel_dp_epsilon;
+          Alcotest.test_case "KL decomposition (C6)" `Quick
+            test_kl_decomposition;
+          Alcotest.test_case "objective & perturb" `Quick
+            test_channel_objective_and_perturb;
+        ] );
+      ( "blahut-arimoto",
+        [
+          Alcotest.test_case "BSC capacity" `Quick test_ba_bsc_capacity;
+          Alcotest.test_case "BEC capacity" `Quick test_ba_erasure_capacity;
+          Alcotest.test_case "useless channel" `Quick test_ba_useless_channel;
+        ] );
+      ( "rate-risk (Thm 4.2)",
+        [
+          Alcotest.test_case "fixed point & optimality" `Quick
+            test_rate_risk_fixed_point;
+          Alcotest.test_case "beta monotonicity" `Quick
+            test_rate_risk_beta_monotonicity;
+        ] );
+      ( "leakage (C8)",
+        [
+          Alcotest.test_case "DP bounds" `Quick test_leakage_bounds;
+          Alcotest.test_case "degenerate channels" `Quick
+            test_leakage_degenerate;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,174 @@
+(* Cross-module invariance properties: algebraic identities that
+   downstream code implicitly relies on, checked by qcheck. *)
+
+let approx = Dp_math.Numeric.approx_equal ~rel_tol:1e-9 ~abs_tol:1e-9
+
+let qcheck_tests =
+  let open QCheck in
+  let risks_gen = array_of_size (Gen.int_range 2 15) (float_range 0. 1.) in
+  [
+    (* Gibbs posterior is invariant under constant risk shifts: only
+       risk DIFFERENCES matter. *)
+    Test.make ~name:"gibbs invariant under risk shift" ~count:200
+      (pair risks_gen (float_range (-5.) 5.))
+      (fun (risks, c) ->
+        let k = Array.length risks in
+        let p1 =
+          Dp_pac_bayes.Gibbs.probabilities
+            (Dp_pac_bayes.Gibbs.of_risks ~predictors:(Array.init k Fun.id)
+               ~beta:4. ~risks ())
+        in
+        let p2 =
+          Dp_pac_bayes.Gibbs.probabilities
+            (Dp_pac_bayes.Gibbs.of_risks ~predictors:(Array.init k Fun.id)
+               ~beta:4.
+               ~risks:(Array.map (fun r -> r +. c) risks)
+               ())
+        in
+        Array.for_all2 approx p1 p2);
+    (* Temperature/scale duality: beta(c.R) = (beta.c)(R). *)
+    Test.make ~name:"gibbs temperature-scale duality" ~count:200
+      (pair risks_gen (float_range 0.1 5.))
+      (fun (risks, c) ->
+        let k = Array.length risks in
+        let p1 =
+          Dp_pac_bayes.Gibbs.probabilities
+            (Dp_pac_bayes.Gibbs.of_risks ~predictors:(Array.init k Fun.id)
+               ~beta:2.
+               ~risks:(Array.map (fun r -> c *. r) risks)
+               ())
+        in
+        let p2 =
+          Dp_pac_bayes.Gibbs.probabilities
+            (Dp_pac_bayes.Gibbs.of_risks ~predictors:(Array.init k Fun.id)
+               ~beta:(2. *. c) ~risks ())
+        in
+        Array.for_all2 approx p1 p2);
+    (* Exponential mechanism: quality shifts cancel in the softmax. *)
+    Test.make ~name:"exponential invariant under quality shift" ~count:200
+      (pair risks_gen (float_range (-10.) 10.))
+      (fun (qs, c) ->
+        let k = Array.length qs in
+        let build qual =
+          Dp_mechanism.Exponential.probabilities
+            (Dp_mechanism.Exponential.of_qualities
+               ~candidates:(Array.init k Fun.id) ~qualities:qual
+               ~sensitivity:1. ~epsilon:1.5 ())
+        in
+        Array.for_all2 approx (build qs)
+          (build (Array.map (fun q -> q +. c) qs)));
+    (* Laplace mechanism is shift-equivariant in distribution. *)
+    Test.make ~name:"laplace cdf shift equivariance" ~count:300
+      (triple (float_range 0.1 3.) (float_range (-5.) 5.) (float_range (-5.) 5.))
+      (fun (eps, v, y) ->
+        let m = Dp_mechanism.Laplace.create ~sensitivity:1. ~epsilon:eps in
+        approx
+          (Dp_mechanism.Laplace.cdf m ~value:v y)
+          (Dp_mechanism.Laplace.cdf m ~value:(v +. 2.) (y +. 2.)));
+    (* RDP composition is exactly additive at every order. *)
+    Test.make ~name:"rdp composition additive" ~count:200
+      (triple (float_range 0.5 5.) (float_range 0.1 2.) (float_range 1.1 64.))
+      (fun (sigma, eps, alpha) ->
+        let a = Dp_mechanism.Rdp.gaussian ~l2_sensitivity:1. ~std:sigma in
+        let b = Dp_mechanism.Rdp.laplace ~sensitivity:1. ~epsilon:eps in
+        approx
+          (Dp_mechanism.Rdp.compose [ a; b ] alpha)
+          (a alpha +. b alpha));
+    (* Mutual information is invariant under relabeling the inputs. *)
+    Test.make ~name:"MI invariant under input permutation" ~count:100
+      (int_range 0 10_000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let input = Dp_rng.Sampler.dirichlet ~alpha:[| 1.; 1.; 1. |] g in
+        let rows =
+          Array.init 3 (fun _ -> Dp_rng.Sampler.dirichlet ~alpha:[| 1.; 1. |] g)
+        in
+        let ch = Dp_info.Channel.create ~input ~matrix:rows in
+        let perm = [| 2; 0; 1 |] in
+        let ch' =
+          Dp_info.Channel.create
+            ~input:(Array.map (fun i -> input.(i)) perm)
+            ~matrix:(Array.map (fun i -> rows.(i)) perm)
+        in
+        approx
+          (Dp_info.Channel.mutual_information ch)
+          (Dp_info.Channel.mutual_information ch'));
+    (* KL is invariant under a common permutation of both arguments. *)
+    Test.make ~name:"KL invariant under common permutation" ~count:200
+      (int_range 0 10_000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let p = Dp_rng.Sampler.dirichlet ~alpha:[| 1.; 1.; 1.; 1. |] g in
+        let q = Dp_rng.Sampler.dirichlet ~alpha:[| 1.; 1.; 1.; 1. |] g in
+        let perm = [| 3; 1; 0; 2 |] in
+        let ap a = Array.map (fun i -> a.(i)) perm in
+        approx
+          (Dp_info.Entropy.kl_divergence p q)
+          (Dp_info.Entropy.kl_divergence (ap p) (ap q)));
+    (* Histogram probabilities are the normalized counts. *)
+    Test.make ~name:"histogram probabilities = counts / n" ~count:200
+      (array_of_size (Gen.int_range 1 60) (float_range 0. 1.))
+      (fun xs ->
+        let h = Dp_stats.Histogram.of_samples ~lo:0. ~hi:1. ~bins:6 xs in
+        let n = float_of_int (Array.length xs) in
+        let ok = ref true in
+        for i = 0 to 5 do
+          if
+            not
+              (approx
+                 (Dp_stats.Histogram.probability h i)
+                 (Dp_stats.Histogram.count h i /. n))
+          then ok := false
+        done;
+        !ok);
+    (* The subsampling amplification composes sensibly: amplifying at
+       q then q' is weaker than amplifying once at q*q' (two
+       independent thinnings). *)
+    Test.make ~name:"amplification submultiplicative in q" ~count:300
+      (triple (float_range 0.1 2.) (float_range 0.05 1.) (float_range 0.05 1.))
+      (fun (eps, q1, q2) ->
+        let once =
+          Dp_mechanism.Subsample.amplified_epsilon ~epsilon:eps ~q:(q1 *. q2)
+        in
+        let twice =
+          Dp_mechanism.Subsample.amplified_epsilon
+            ~epsilon:(Dp_mechanism.Subsample.amplified_epsilon ~epsilon:eps ~q:q1)
+            ~q:q2
+        in
+        once <= twice +. 1e-12);
+    (* Group privacy composes: group k1 then k2 = group (k1*k2) for
+       pure budgets. *)
+    Test.make ~name:"group privacy multiplicative (pure)" ~count:200
+      (triple (float_range 0. 2.) (int_range 1 5) (int_range 1 5))
+      (fun (eps, k1, k2) ->
+        let b = Dp_mechanism.Privacy.pure eps in
+        approx
+          (Dp_mechanism.Privacy.group ~k:(k1 * k2) b).Dp_mechanism.Privacy
+            .epsilon
+          (Dp_mechanism.Privacy.group ~k:k2
+             (Dp_mechanism.Privacy.group ~k:k1 b))
+            .Dp_mechanism.Privacy
+            .epsilon);
+    (* Vote is invariant under posterior scaling... posteriors are
+       normalized, so instead: vote flips with globally negated
+       predictors. *)
+    Test.make ~name:"vote anti-symmetry" ~count:200
+      (pair (int_range 0 10_000) (float_range (-2.) 2.))
+      (fun (seed, x) ->
+        let g = Dp_rng.Prng.create seed in
+        let rho = Dp_rng.Sampler.dirichlet ~alpha:[| 1.; 1.; 1. |] g in
+        let predict i x = if x >= float_of_int (i - 1) then 1. else -1. in
+        let neg i x = -.predict i x in
+        let v = Dp_pac_bayes.Aggregate.vote ~posterior:rho ~predict x in
+        let v' = Dp_pac_bayes.Aggregate.vote ~posterior:rho ~predict:neg x in
+        (* ties both resolve to +1, so only require opposite when the
+           weighted sum is bounded away from zero *)
+        let s =
+          Dp_math.Numeric.float_sum_range 3 (fun i -> rho.(i) *. predict i x)
+        in
+        if Float.abs s > 1e-9 then v = -.v' else true);
+  ]
+
+let () =
+  Alcotest.run "dp_invariants"
+    [ ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

@@ -1,0 +1,326 @@
+open Dp_learn
+open Dp_dataset
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Loss functions *)
+
+let test_logistic_loss () =
+  let theta = [| 1.; 0. |] and x = [| 1.; 0. |] in
+  check_close ~tol:1e-12 "value at margin 1"
+    (log (1. +. exp (-1.)))
+    (Loss_fn.logistic.Loss_fn.value ~theta ~x ~y:1.);
+  (* gradient check by finite differences *)
+  let fd_check loss theta x y =
+    let g = loss.Loss_fn.grad ~theta ~x ~y in
+    Array.iteri
+      (fun j _ ->
+        let h = 1e-6 in
+        let tp = Array.copy theta and tm = Array.copy theta in
+        tp.(j) <- tp.(j) +. h;
+        tm.(j) <- tm.(j) -. h;
+        let fd =
+          (loss.Loss_fn.value ~theta:tp ~x ~y -. loss.Loss_fn.value ~theta:tm ~x ~y)
+          /. (2. *. h)
+        in
+        check_close ~tol:1e-4 (Printf.sprintf "grad[%d]" j) fd g.(j))
+      g
+  in
+  fd_check Loss_fn.logistic [| 0.5; -0.3 |] [| 0.8; 0.1 |] 1.;
+  fd_check Loss_fn.logistic [| 0.5; -0.3 |] [| 0.8; 0.1 |] (-1.);
+  fd_check Loss_fn.squared [| 0.5; -0.3 |] [| 0.8; 0.1 |] 0.7;
+  fd_check (Loss_fn.huber ~delta:1.) [| 2.; 0. |] [| 1.; 0. |] 0.1
+
+let test_hinge_loss () =
+  let theta = [| 1.; 0. |] in
+  check_close "hinge inside margin" 0.5
+    (Loss_fn.hinge.Loss_fn.value ~theta ~x:[| 0.5; 0. |] ~y:1.);
+  check_close "hinge satisfied" 0.
+    (Loss_fn.hinge.Loss_fn.value ~theta ~x:[| 2.; 0. |] ~y:1.);
+  let g = Loss_fn.hinge.Loss_fn.grad ~theta ~x:[| 2.; 0. |] ~y:1. in
+  check_close "zero subgradient" 0. g.(0)
+
+let test_zero_one_and_clip () =
+  check_close "zero one correct" 0.
+    (Loss_fn.zero_one ~theta:[| 1. |] ~x:[| 1. |] ~y:1.);
+  check_close "zero one wrong" 1.
+    (Loss_fn.zero_one ~theta:[| 1. |] ~x:[| 1. |] ~y:(-1.));
+  (* clip keeps the squared loss within its declared range *)
+  let v =
+    Loss_fn.clip Loss_fn.squared ~theta:[| 100. |] ~x:[| 1. |] ~y:0.
+  in
+  check_close "clipped at top" 8. v;
+  check_close "range width" 8. (Loss_fn.range_width Loss_fn.squared)
+
+(* ------------------------------------------------------------------ *)
+(* ERM *)
+
+let classification_data seed n =
+  let g = Dp_rng.Prng.create seed in
+  let d = Synthetic.two_gaussians ~separation:3. ~std:1. ~dim:3 ~n g in
+  Dataset.clip_rows_l2 ~radius:1. d
+
+let test_erm_learns () =
+  let d = classification_data 1 400 in
+  let m = Erm.train ~lambda:1e-3 ~loss:Loss_fn.logistic d in
+  Alcotest.(check bool) "converged" true m.Erm.converged;
+  let acc = Erm.accuracy m.Erm.theta d in
+  Alcotest.(check bool) (Printf.sprintf "train acc %.3f" acc) true (acc > 0.85);
+  (* hinge learns the same task *)
+  let m2 = Erm.train ~lambda:1e-3 ~loss:Loss_fn.hinge d in
+  Alcotest.(check bool) "hinge accuracy" true (Erm.accuracy m2.Erm.theta d > 0.85)
+
+let test_erm_regularization_shrinks () =
+  let d = classification_data 2 200 in
+  let weak = Erm.train ~lambda:1e-4 ~loss:Loss_fn.logistic d in
+  let strong = Erm.train ~lambda:10. ~loss:Loss_fn.logistic d in
+  Alcotest.(check bool) "shrinkage" true
+    (Dp_linalg.Vec.norm2 strong.Erm.theta < Dp_linalg.Vec.norm2 weak.Erm.theta)
+
+let test_erm_projected () =
+  let d = classification_data 3 200 in
+  let m = Erm.train ~lambda:1e-4 ~radius:0.5 ~loss:Loss_fn.logistic d in
+  Alcotest.(check bool) "feasible" true
+    (Dp_linalg.Vec.norm2 m.Erm.theta <= 0.5 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Private ERM *)
+
+let test_output_perturbation_accuracy_tradeoff () =
+  let d = classification_data 4 2000 in
+  let g = Dp_rng.Prng.create 5 in
+  let np = Erm.train ~lambda:0.01 ~loss:Loss_fn.logistic d in
+  let acc_np = Erm.accuracy np.Erm.theta d in
+  let acc_at eps =
+    (* average 5 runs to tame noise *)
+    Dp_math.Summation.mean
+      (Array.init 5 (fun _ ->
+           let m =
+             Private_erm.output_perturbation ~epsilon:eps ~lambda:0.01
+               ~loss:Loss_fn.logistic d g
+           in
+           Erm.accuracy m.Private_erm.theta d))
+  in
+  let hi = acc_at 50. and lo = acc_at 0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "high eps near non-private (%.3f vs %.3f)" hi acc_np)
+    true
+    (hi > acc_np -. 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "low eps worse (%.3f < %.3f)" lo hi)
+    true (lo < hi);
+  (* budget recorded *)
+  let m =
+    Private_erm.output_perturbation ~epsilon:1. ~lambda:0.01
+      ~loss:Loss_fn.logistic d g
+  in
+  check_close "budget" 1. m.Private_erm.budget.Dp_mechanism.Privacy.epsilon
+
+let test_objective_perturbation () =
+  let d = classification_data 6 2000 in
+  let g = Dp_rng.Prng.create 7 in
+  let m =
+    Private_erm.objective_perturbation ~epsilon:2. ~lambda:0.01
+      ~loss:Loss_fn.logistic d g
+  in
+  let acc = Erm.accuracy m.Private_erm.theta d in
+  Alcotest.(check bool) (Printf.sprintf "acc %.3f" acc) true (acc > 0.8);
+  (* hinge has no smoothness constant -> must refuse *)
+  try
+    ignore
+      (Private_erm.objective_perturbation ~epsilon:1. ~lambda:0.01
+         ~loss:Loss_fn.hinge d g);
+    Alcotest.fail "accepted non-smooth loss"
+  with Invalid_argument _ -> ()
+
+let test_gibbs_erm () =
+  let d = classification_data 8 500 in
+  let g = Dp_rng.Prng.create 9 in
+  let m =
+    Private_erm.gibbs ~epsilon:20. ~radius:3. ~loss:Loss_fn.logistic d g
+  in
+  Alcotest.(check bool) "in ball" true
+    (Dp_linalg.Vec.norm2 m.Private_erm.theta <= 3. +. 1e-9);
+  let acc = Erm.accuracy m.Private_erm.theta d in
+  Alcotest.(check bool) (Printf.sprintf "gibbs acc %.3f" acc) true (acc > 0.75);
+  (* beta calibration: 2 beta range / n = eps *)
+  let beta = Private_erm.gibbs_beta ~epsilon:1. ~n:100 ~loss_range:4. in
+  check_close "beta" (100. /. 8.) beta
+
+let test_gibbs_posterior_concentration () =
+  (* More privacy (smaller eps) => flatter posterior => draws more
+     spread out. Measure the spread of posterior samples. *)
+  let d = classification_data 10 300 in
+  let spread eps seed =
+    let g = Dp_rng.Prng.create seed in
+    let samples =
+      Private_erm.gibbs_posterior_samples ~epsilon:eps ~radius:3.
+        ~loss:Loss_fn.logistic ~n_samples:300 d g
+    in
+    let firsts = Array.map (fun s -> s.(0)) samples in
+    Dp_stats.Describe.std firsts
+  in
+  let tight = spread 50. 11 and loose = spread 0.5 12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread %.3f < %.3f" tight loose)
+    true (tight < loose)
+
+(* ------------------------------------------------------------------ *)
+(* Mean & density *)
+
+let test_mean_estimator () =
+  let g = Dp_rng.Prng.create 13 in
+  let xs = Array.init 1000 (fun _ -> Dp_rng.Sampler.uniform ~lo:0. ~hi:1. g) in
+  let truth = Mean_estimator.non_private ~lo:0. ~hi:1. xs in
+  (* average of many private releases converges to the truth *)
+  let est =
+    Dp_math.Summation.mean
+      (Array.init 200 (fun _ ->
+           Mean_estimator.laplace ~epsilon:1. ~lo:0. ~hi:1. xs g))
+  in
+  if Float.abs (est -. truth) > 0.005 then
+    Alcotest.failf "private mean biased: %g vs %g" est truth;
+  check_close "expected error" 0.001
+    (Mean_estimator.expected_absolute_error ~epsilon:1. ~lo:0. ~hi:1. ~n:1000);
+  (* clamping: outliers cannot blow up the estimate *)
+  let wild = Array.append xs [| 1e9 |] in
+  let m = Mean_estimator.non_private ~lo:0. ~hi:1. wild in
+  Alcotest.(check bool) "clamped" true (m <= 1.)
+
+let test_density_estimation () =
+  let g = Dp_rng.Prng.create 14 in
+  let weights = [| 0.5; 0.5 |] and means = [| -1.5; 1.5 |] and stds = [| 0.5; 0.5 |] in
+  let xs = Synthetic.gaussian_mixture_1d ~weights ~means ~stds ~n:20_000 g in
+  let truth = Synthetic.mixture_density ~weights ~means ~stds in
+  let np = Density.fit_non_private ~lo:(-4.) ~hi:4. ~bins:40 xs in
+  let p = Density.fit_private ~epsilon:1. ~lo:(-4.) ~hi:4. ~bins:40 xs g in
+  let err_np = Density.l1_error np ~true_density:truth in
+  let err_p = Density.l1_error p ~true_density:truth in
+  Alcotest.(check bool) (Printf.sprintf "np err %.3f small" err_np) true (err_np < 0.1);
+  (* with n=20k and eps=1 the private error is close to non-private *)
+  Alcotest.(check bool) (Printf.sprintf "p err %.3f reasonable" err_p) true (err_p < 0.2);
+  (* tiny data + tiny epsilon => worse *)
+  let xs_small = Array.sub xs 0 200 in
+  let p_bad = Density.fit_private ~epsilon:0.05 ~lo:(-4.) ~hi:4. ~bins:40 xs_small g in
+  let err_bad = Density.l1_error p_bad ~true_density:truth in
+  Alcotest.(check bool)
+    (Printf.sprintf "worse at small eps (%.3f > %.3f)" err_bad err_p)
+    true (err_bad > err_p);
+  (* log likelihood sane *)
+  let ll = Density.log_likelihood np (Array.sub xs 0 1000) in
+  Alcotest.(check bool) "ll finite" true (Float.is_finite ll)
+
+(* ------------------------------------------------------------------ *)
+(* Ridge *)
+
+let regression_data seed n =
+  let g = Dp_rng.Prng.create seed in
+  Synthetic.linear_regression ~theta:[| 0.5; -0.3 |] ~noise_std:0.05 ~n g
+
+let test_ridge () =
+  let d = regression_data 15 500 in
+  let theta = Ridge.fit ~lambda:1e-6 d in
+  check_close ~tol:0.05 "theta0" 0.5 theta.(0);
+  check_close ~tol:0.05 "theta1" (-0.3) theta.(1);
+  (* heavier regularization shrinks *)
+  let heavy = Ridge.fit ~lambda:10. d in
+  Alcotest.(check bool) "shrinks" true
+    (Dp_linalg.Vec.norm2 heavy < Dp_linalg.Vec.norm2 theta)
+
+let test_ridge_private () =
+  let d = regression_data 16 2000 in
+  let g = Dp_rng.Prng.create 17 in
+  let mse_of theta = Erm.mean_squared_error theta d in
+  let np = Ridge.fit ~lambda:0.01 d in
+  let out =
+    Dp_math.Summation.mean
+      (Array.init 10 (fun _ ->
+           mse_of (Ridge.fit_output_perturbed ~epsilon:20. ~lambda:0.01 d g)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "output-perturbed mse %.4f near np %.4f" out (mse_of np))
+    true
+    (out < mse_of np +. 0.1);
+  let gm = Ridge.fit_gibbs ~epsilon:20. ~radius:1. d g in
+  Alcotest.(check bool) "gibbs mse" true (mse_of gm < 0.5)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"logistic loss nonnegative and decreasing in margin"
+      ~count:200
+      (pair (float_range (-2.) 2.) (float_range (-2.) 2.))
+      (fun (a, b) ->
+        let v m = Loss_fn.logistic.Loss_fn.value ~theta:[| m |] ~x:[| 1. |] ~y:1. in
+        let lo = Float.min a b and hi = Float.max a b in
+        v lo >= v hi -. 1e-12 && v lo >= 0.);
+    Test.make ~name:"clip stays in range" ~count:200
+      (triple (float_range (-100.) 100.) (float_range (-1.) 1.)
+         (float_range (-1.) 1.))
+      (fun (t, x, y) ->
+        let v = Loss_fn.clip Loss_fn.squared ~theta:[| t |] ~x:[| x |] ~y in
+        v >= 0. && v <= 8.);
+    Test.make ~name:"private mean within clamp range + noise scale"
+      ~count:50
+      (pair (int_range 0 10_000) (int_range 10 200))
+      (fun (seed, n) ->
+        let g = Dp_rng.Prng.create seed in
+        let xs = Array.init n (fun _ -> Dp_rng.Prng.float g) in
+        let v = Mean_estimator.laplace ~epsilon:1. ~lo:0. ~hi:1. xs g in
+        (* mean in [0,1], noise has scale 1/(n eps) <= 0.1; 60 scales
+           of slack make false failures negligible *)
+        v > -6. && v < 7.);
+    Test.make ~name:"noisy histogram never has negative counts" ~count:50
+      (int_range 0 10_000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let xs = Array.init 50 (fun _ -> Dp_rng.Prng.float g) in
+        let e = Density.fit_private ~epsilon:0.5 ~lo:0. ~hi:1. ~bins:8 xs g in
+        Array.for_all (fun c -> c >= 0.)
+          e.Density.histogram.Dp_stats.Histogram.counts);
+  ]
+
+let () =
+  Alcotest.run "dp_learn"
+    [
+      ( "losses",
+        [
+          Alcotest.test_case "logistic + gradients" `Quick test_logistic_loss;
+          Alcotest.test_case "hinge" `Quick test_hinge_loss;
+          Alcotest.test_case "zero-one & clip" `Quick test_zero_one_and_clip;
+        ] );
+      ( "erm",
+        [
+          Alcotest.test_case "learns" `Quick test_erm_learns;
+          Alcotest.test_case "regularization" `Quick
+            test_erm_regularization_shrinks;
+          Alcotest.test_case "projection" `Quick test_erm_projected;
+        ] );
+      ( "private erm",
+        [
+          Alcotest.test_case "output perturbation" `Slow
+            test_output_perturbation_accuracy_tradeoff;
+          Alcotest.test_case "objective perturbation" `Slow
+            test_objective_perturbation;
+          Alcotest.test_case "gibbs" `Slow test_gibbs_erm;
+          Alcotest.test_case "gibbs concentration" `Slow
+            test_gibbs_posterior_concentration;
+        ] );
+      ( "mean & density",
+        [
+          Alcotest.test_case "mean estimator" `Quick test_mean_estimator;
+          Alcotest.test_case "density estimation" `Quick
+            test_density_estimation;
+        ] );
+      ( "ridge",
+        [
+          Alcotest.test_case "fit" `Quick test_ridge;
+          Alcotest.test_case "private variants" `Slow test_ridge_private;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,230 @@
+open Dp_linalg
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let check_vec ?(tol = 1e-9) msg expected actual =
+  if Array.length expected <> Array.length actual then
+    Alcotest.failf "%s: length mismatch" msg;
+  Array.iteri
+    (fun i e -> check_close ~tol (Printf.sprintf "%s[%d]" msg i) e actual.(i))
+    expected
+
+let check_mat ?(tol = 1e-9) msg expected actual =
+  let re, ce = Mat.dims expected and ra, ca = Mat.dims actual in
+  if re <> ra || ce <> ca then Alcotest.failf "%s: shape mismatch" msg;
+  for i = 0 to re - 1 do
+    for j = 0 to ce - 1 do
+      check_close ~tol
+        (Printf.sprintf "%s[%d,%d]" msg i j)
+        (Mat.get expected i j) (Mat.get actual i j)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let test_vec_ops () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  check_vec "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  check_vec "sub" [| -3.; -3.; -3. |] (Vec.sub a b);
+  check_vec "scale" [| 2.; 4.; 6. |] (Vec.scale 2. a);
+  check_vec "axpy" [| 6.; 9.; 12. |] (Vec.axpy ~alpha:2. a b);
+  check_close "dot" 32. (Vec.dot a b);
+  check_close "norm2" (sqrt 14.) (Vec.norm2 a);
+  check_close "norm1" 6. (Vec.norm1 a);
+  check_close "norm_inf" 3. (Vec.norm_inf a);
+  check_close "dist2" (sqrt 27.) (Vec.dist2 a b);
+  Alcotest.(check int) "argmax" 2 (Vec.argmax a);
+  Alcotest.(check int) "argmin" 0 (Vec.argmin a)
+
+let test_vec_projection () =
+  let x = [| 3.; 4. |] in
+  check_vec "inside" x (Vec.project_l2_ball ~radius:10. x);
+  let p = Vec.project_l2_ball ~radius:1. x in
+  check_close "on sphere" 1. (Vec.norm2 p);
+  check_vec "direction" [| 0.6; 0.8 |] p;
+  check_vec "normalize" [| 0.6; 0.8 |] (Vec.normalize x)
+
+let test_vec_errors () =
+  (try
+     ignore (Vec.add [| 1. |] [| 1.; 2. |]);
+     Alcotest.fail "add accepted mismatch"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Vec.normalize [| 0.; 0. |]);
+    Alcotest.fail "normalize accepted zero"
+  with Invalid_argument _ -> ()
+
+let test_mat_basic () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_close "get" 3. (Mat.get a 1 0);
+  check_vec "row" [| 3.; 4. |] (Mat.row a 1);
+  check_vec "col" [| 2.; 4. |] (Mat.col a 1);
+  check_mat "transpose"
+    (Mat.of_arrays [| [| 1.; 3. |]; [| 2.; 4. |] |])
+    (Mat.transpose a);
+  check_close "trace" 5. (Mat.trace a);
+  check_close "frobenius" (sqrt 30.) (Mat.frobenius_norm a);
+  check_mat "identity mult" a (Mat.mul a (Mat.identity 2))
+
+let test_mat_mul () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  check_mat "mul"
+    (Mat.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |])
+    (Mat.mul a b);
+  check_vec "mul_vec" [| 5.; 11. |] (Mat.mul_vec a [| 1.; 2. |]);
+  check_vec "tmul_vec" [| 7.; 10. |] (Mat.tmul_vec a [| 1.; 2. |]);
+  check_mat "gram"
+    (Mat.mul (Mat.transpose a) a)
+    (Mat.gram a);
+  check_mat "outer"
+    (Mat.of_arrays [| [| 2.; 3. |]; [| 4.; 6. |] |])
+    (Mat.outer [| 1.; 2. |] [| 2.; 3. |])
+
+let spd_example () =
+  (* A = Bᵀ B + I is SPD for any B. *)
+  let b =
+    Mat.of_arrays [| [| 1.; 2.; 0. |]; [| 0.; 1.; 1. |]; [| 2.; 0.; 1. |] |]
+  in
+  Mat.add_diagonal 1. (Mat.gram b)
+
+let test_cholesky () =
+  let a = spd_example () in
+  let l = Decomp.cholesky a in
+  check_mat ~tol:1e-9 "reconstruction" a (Mat.mul l (Mat.transpose l));
+  let x_true = [| 1.; -2.; 0.5 |] in
+  let b = Mat.mul_vec a x_true in
+  check_vec ~tol:1e-9 "solve_spd" x_true (Decomp.solve_spd a b);
+  (* Non-PD must raise. *)
+  let bad = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  try
+    ignore (Decomp.cholesky bad);
+    Alcotest.fail "cholesky accepted indefinite matrix"
+  with Decomp.Singular _ -> ()
+
+let test_lu_solve () =
+  let a =
+    Mat.of_arrays [| [| 0.; 2.; 1. |]; [| 1.; 1.; 0. |]; [| 3.; 0.; 1. |] |]
+  in
+  let x_true = [| 2.; -1.; 3. |] in
+  let b = Mat.mul_vec a x_true in
+  check_vec ~tol:1e-9 "solve" x_true (Decomp.solve a b);
+  let inv = Decomp.inverse a in
+  check_mat ~tol:1e-9 "inverse" (Mat.identity 3) (Mat.mul a inv);
+  check_close ~tol:1e-9 "det"
+    ((0. *. ((1. *. 1.) -. (0. *. 0.)))
+    -. (2. *. ((1. *. 1.) -. (0. *. 3.)))
+    +. (1. *. ((1. *. 0.) -. (1. *. 3.))))
+    (Decomp.determinant a)
+
+let test_log_det () =
+  let a = spd_example () in
+  check_close ~tol:1e-9 "log det"
+    (log (Decomp.determinant a))
+    (Decomp.log_det_spd a)
+
+let test_qr_lstsq () =
+  let a =
+    Mat.of_arrays
+      [| [| 1.; 0. |]; [| 1.; 1. |]; [| 1.; 2. |]; [| 1.; 3. |] |]
+  in
+  let q, r = Decomp.qr a in
+  check_mat ~tol:1e-9 "QR reconstruction" a (Mat.mul q r);
+  check_mat ~tol:1e-9 "Q orthonormal" (Mat.identity 2) (Mat.gram q);
+  (* Least squares for y = 1 + 2x exactly. *)
+  let b = [| 1.; 3.; 5.; 7. |] in
+  check_vec ~tol:1e-9 "exact fit" [| 1.; 2. |] (Decomp.lstsq a b);
+  (* Noisy: residual must be orthogonal to the column space. *)
+  let b2 = [| 1.1; 2.9; 5.2; 6.8 |] in
+  let x = Decomp.lstsq a b2 in
+  let resid = Vec.sub b2 (Mat.mul_vec a x) in
+  check_vec ~tol:1e-9 "normal equations" [| 0.; 0. |] (Mat.tmul_vec a resid)
+
+let test_jacobi_eigen () =
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let values, vectors = Decomp.jacobi_eigen a in
+  check_vec ~tol:1e-9 "eigenvalues" [| 3.; 1. |] values;
+  (* A v = λ v for each column. *)
+  for j = 0 to 1 do
+    let v = Mat.col vectors j in
+    check_vec ~tol:1e-8
+      (Printf.sprintf "eigvec %d" j)
+      (Vec.scale values.(j) v) (Mat.mul_vec a v)
+  done;
+  let a3 = spd_example () in
+  let values, _ = Decomp.jacobi_eigen a3 in
+  check_close ~tol:1e-8 "trace = sum eig" (Mat.trace a3)
+    (Dp_math.Summation.sum values);
+  Alcotest.(check bool)
+    "SPD eigenvalues positive" true
+    (Array.for_all (fun v -> v > 0.) values)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  let vec_gen n = array_of_size (Gen.return n) (float_range (-10.) 10.) in
+  [
+    Test.make ~name:"Cauchy-Schwarz" ~count:300
+      (pair (vec_gen 5) (vec_gen 5))
+      (fun (a, b) ->
+        Float.abs (Vec.dot a b) <= (Vec.norm2 a *. Vec.norm2 b) +. 1e-9);
+    Test.make ~name:"triangle inequality" ~count:300
+      (pair (vec_gen 5) (vec_gen 5))
+      (fun (a, b) ->
+        Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-9);
+    Test.make ~name:"projection is contraction" ~count:300
+      (pair (vec_gen 4) (vec_gen 4))
+      (fun (a, b) ->
+        let pa = Vec.project_l2_ball ~radius:1. a in
+        let pb = Vec.project_l2_ball ~radius:1. b in
+        Vec.dist2 pa pb <= Vec.dist2 a b +. 1e-9);
+    Test.make ~name:"gram is PSD" ~count:100
+      (array_of_size (Gen.return 12) (float_range (-3.) 3.))
+      (fun data ->
+        let a = Mat.init 4 3 (fun i j -> data.((i * 3) + j)) in
+        let g = Mat.gram a in
+        let x = [| 1.; -0.5; 2. |] in
+        Vec.dot x (Mat.mul_vec g x) >= -1e-9);
+    Test.make ~name:"solve then multiply round-trips" ~count:100
+      (array_of_size (Gen.return 9) (float_range (-3.) 3.))
+      (fun data ->
+        let a = Mat.init 3 3 (fun i j -> data.((i * 3) + j)) in
+        let a = Mat.add_diagonal 5. a in
+        (* diagonal dominance keeps it nonsingular *)
+        let b = [| 1.; 2.; 3. |] in
+        match Decomp.solve a b with
+        | x ->
+            let b' = Mat.mul_vec a x in
+            Array.for_all2
+              (fun u v -> Dp_math.Numeric.approx_equal ~rel_tol:1e-6 ~abs_tol:1e-6 u v)
+              b b'
+        | exception Decomp.Singular _ -> true);
+  ]
+
+let () =
+  Alcotest.run "dp_linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_ops;
+          Alcotest.test_case "projection" `Quick test_vec_projection;
+          Alcotest.test_case "errors" `Quick test_vec_errors;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "basics" `Quick test_mat_basic;
+          Alcotest.test_case "products" `Quick test_mat_mul;
+        ] );
+      ( "decomp",
+        [
+          Alcotest.test_case "cholesky" `Quick test_cholesky;
+          Alcotest.test_case "lu solve" `Quick test_lu_solve;
+          Alcotest.test_case "log det" `Quick test_log_det;
+          Alcotest.test_case "qr & least squares" `Quick test_qr_lstsq;
+          Alcotest.test_case "jacobi eigen" `Quick test_jacobi_eigen;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

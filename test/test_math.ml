@@ -1,0 +1,291 @@
+open Dp_math
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual) then
+    Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Numeric *)
+
+let test_approx_equal () =
+  Alcotest.(check bool) "equal" true (Numeric.approx_equal 1. 1.);
+  Alcotest.(check bool)
+    "close" true
+    (Numeric.approx_equal 1. (1. +. 1e-12));
+  Alcotest.(check bool) "far" false (Numeric.approx_equal 1. 1.1);
+  Alcotest.(check bool) "nan" false (Numeric.approx_equal nan nan);
+  Alcotest.(check bool)
+    "abs tol" true
+    (Numeric.approx_equal ~abs_tol:0.2 1. 1.1)
+
+let test_clamp () =
+  check_close "mid" 0.5 (Numeric.clamp ~lo:0. ~hi:1. 0.5);
+  check_close "below" 0. (Numeric.clamp ~lo:0. ~hi:1. (-3.));
+  check_close "above" 1. (Numeric.clamp ~lo:0. ~hi:1. 7.);
+  Alcotest.check_raises "bad interval" (Invalid_argument "Numeric.clamp: lo > hi")
+    (fun () -> ignore (Numeric.clamp ~lo:1. ~hi:0. 0.5))
+
+let test_checks () =
+  check_close "prob ok" 0.3 (Numeric.check_prob "p" 0.3);
+  (try
+     ignore (Numeric.check_prob "p" 1.5);
+     Alcotest.fail "check_prob accepted 1.5"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Numeric.check_pos "x" 0.);
+     Alcotest.fail "check_pos accepted 0"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Numeric.check_finite "x" nan);
+     Alcotest.fail "check_finite accepted nan"
+   with Invalid_argument _ -> ())
+
+let test_xlogx () =
+  check_close "zero" 0. (Numeric.xlogx 0.);
+  check_close "e" (exp 1.) (Numeric.xlogx (exp 1.));
+  check_close "xlogy zero" 0. (Numeric.xlogy 0. 0.);
+  check_close "xlogy" (2. *. log 3.) (Numeric.xlogy 2. 3.)
+
+let test_compensated_sum () =
+  (* Classic cancellation case: 1 + 1e16 - 1e16 should be 1 with
+     compensation, 0 with naive summation. *)
+  let xs = [| 1.; 1e16; -1e16 |] in
+  check_close "neumaier" 1. (Summation.sum xs);
+  check_close "empty" 0. (Summation.sum [||]);
+  check_close "mean" 2. (Summation.mean [| 1.; 2.; 3. |])
+
+let test_dot_cumulative () =
+  check_close "dot" 32. (Summation.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  let c = Summation.cumulative [| 1.; 2.; 3. |] in
+  check_close "cum0" 1. c.(0);
+  check_close "cum1" 3. c.(1);
+  check_close "cum2" 6. c.(2);
+  check_close "wmean" 2.5
+    (Summation.weighted_mean ~weights:[| 1.; 1. |] [| 2.; 3. |])
+
+(* ------------------------------------------------------------------ *)
+(* Logspace *)
+
+let test_log_sum_exp () =
+  check_close "pair" (log 2.) (Logspace.log_sum_exp [| 0.; 0. |]);
+  check_close "large"
+    (1000. +. log 2.)
+    (Logspace.log_sum_exp [| 1000.; 1000. |]);
+  check_close "binary" (log 3.) (Logspace.log_sum_exp2 (log 1.) (log 2.));
+  Alcotest.(check (float 0.))
+    "empty" neg_infinity
+    (Logspace.log_sum_exp [||]);
+  Alcotest.(check (float 0.))
+    "neg_inf" neg_infinity
+    (Logspace.log_sum_exp [| neg_infinity; neg_infinity |])
+
+let test_normalize_log_weights () =
+  let p = Logspace.normalize_log_weights [| 0.; log 3. |] in
+  check_close "w0" 0.25 p.(0);
+  check_close "w1" 0.75 p.(1);
+  (* Extreme scale: must not under/overflow. *)
+  let p = Logspace.normalize_log_weights [| -10000.; -10000. |] in
+  check_close "extreme" 0.5 p.(0)
+
+let test_log1pexp_log1mexp () =
+  check_close "log1pexp 0" (log 2.) (Logspace.log1pexp 0.);
+  check_close "log1pexp big" 100. (Logspace.log1pexp 100.) ~tol:1e-12;
+  check_close "log1pexp small" (exp (-50.)) (Logspace.log1pexp (-50.));
+  check_close "log1mexp" (log 0.5) (Logspace.log1mexp (-.log 2.));
+  check_close "log1mexp small"
+    (log (1. -. exp (-5.)))
+    (Logspace.log1mexp (-5.))
+
+(* ------------------------------------------------------------------ *)
+(* Special functions *)
+
+let test_erf () =
+  check_close "erf 0" 0. (Special.erf 0.);
+  check_close ~tol:1e-7 "erf 1" 0.8427007929497149 (Special.erf 1.);
+  check_close ~tol:1e-7 "erf -1" (-0.8427007929497149) (Special.erf (-1.));
+  check_close ~tol:1e-7 "erfc 2" 0.004677734981063127 (Special.erfc 2.);
+  check_close ~tol:1e-6 "erf_inv roundtrip" 0.7
+    (Special.erf (Special.erf_inv 0.7))
+
+let test_log_gamma () =
+  check_close "gamma 1" 0. (Special.log_gamma 1.);
+  check_close "gamma 2" 0. (Special.log_gamma 2.);
+  check_close ~tol:1e-10 "gamma 5" (log 24.) (Special.log_gamma 5.);
+  check_close ~tol:1e-10 "gamma 0.5"
+    (0.5 *. log Float.pi)
+    (Special.log_gamma 0.5);
+  check_close ~tol:1e-9 "gamma 10.3" 13.48203678613843
+    (Special.log_gamma 10.3)
+
+let test_incomplete_gamma () =
+  (* P(1, x) = 1 - exp(-x). *)
+  check_close ~tol:1e-9 "P(1,1)"
+    (1. -. exp (-1.))
+    (Special.lower_incomplete_gamma_regularized ~a:1. ~x:1.);
+  check_close ~tol:1e-9 "P(1,5)"
+    (1. -. exp (-5.))
+    (Special.lower_incomplete_gamma_regularized ~a:1. ~x:5.);
+  (* chi2 CDF with k=2 at x=2: P(1, 1) again. *)
+  check_close "P zero" 0.
+    (Special.lower_incomplete_gamma_regularized ~a:2.5 ~x:0.)
+
+let test_incomplete_beta () =
+  (* I_x(1,1) = x. *)
+  check_close ~tol:1e-10 "I(1,1)" 0.3
+    (Special.incomplete_beta_regularized ~a:1. ~b:1. ~x:0.3);
+  (* I_x(2,2) = x^2 (3 - 2x). *)
+  check_close ~tol:1e-9 "I(2,2)"
+    (0.25 *. (3. -. 1.))
+    (Special.incomplete_beta_regularized ~a:2. ~b:2. ~x:0.5);
+  check_close "edges0" 0.
+    (Special.incomplete_beta_regularized ~a:3. ~b:4. ~x:0.);
+  check_close "edges1" 1.
+    (Special.incomplete_beta_regularized ~a:3. ~b:4. ~x:1.)
+
+let test_digamma () =
+  (* psi(1) = -gamma_euler. *)
+  check_close ~tol:1e-9 "psi 1" (-0.5772156649015329) (Special.digamma 1.);
+  check_close ~tol:1e-9 "psi 0.5"
+    (-1.9635100260214235)
+    (Special.digamma 0.5);
+  (* Recurrence psi(x+1) = psi(x) + 1/x. *)
+  check_close ~tol:1e-9 "recurrence"
+    (Special.digamma 3.7 +. (1. /. 3.7))
+    (Special.digamma 4.7)
+
+let test_normal () =
+  check_close "cdf 0" 0.5 (Special.std_normal_cdf 0.);
+  check_close ~tol:1e-7 "cdf 1.96" 0.9750021048517795
+    (Special.std_normal_cdf 1.96);
+  check_close ~tol:1e-8 "quantile" 1.6448536269514722
+    (Special.std_normal_quantile 0.95);
+  check_close ~tol:1e-8 "quantile tail"
+    (-3.090232306167813)
+    (Special.std_normal_quantile 0.001)
+
+let test_binary_kl () =
+  check_close "kl equal" 0. (Special.binary_kl 0.3 0.3);
+  check_close ~tol:1e-12 "kl value"
+    ((0.1 *. log (0.1 /. 0.5)) +. (0.9 *. log (0.9 /. 0.5)))
+    (Special.binary_kl 0.1 0.5);
+  Alcotest.(check (float 0.)) "kl inf" infinity (Special.binary_kl 0.5 0.);
+  let q = 0.2 and c = 0.05 in
+  let p = Special.binary_kl_inv_upper ~q ~c in
+  check_close ~tol:1e-9 "inverse achieves" c (Special.binary_kl q p);
+  Alcotest.(check bool) "inverse above q" true (p >= q)
+
+(* ------------------------------------------------------------------ *)
+(* Roots & quadrature *)
+
+let test_roots () =
+  let f x = (x *. x) -. 2. in
+  check_close ~tol:1e-9 "bisect" (sqrt 2.) (Roots.bisect ~f 0. 2.);
+  check_close ~tol:1e-9 "brent" (sqrt 2.) (Roots.brent ~f 0. 2.);
+  check_close ~tol:1e-9 "newton" (sqrt 2.)
+    (Roots.newton ~f ~df:(fun x -> 2. *. x) 1.);
+  let g x = Numeric.sq (x -. 0.3) in
+  check_close ~tol:1e-6 "golden" 0.3 (Roots.golden_section_min ~f:g (-1.) 1.)
+
+let test_quadrature () =
+  check_close ~tol:1e-8 "simpson x^2" (1. /. 3.)
+    (Quadrature.simpson ~f:(fun x -> x *. x) 0. 1.);
+  check_close ~tol:1e-8 "adaptive sin" 2.
+    (Quadrature.adaptive_simpson ~f:sin 0. Float.pi);
+  check_close ~tol:1e-4 "trapezoid exp"
+    (exp 1. -. 1.)
+    (Quadrature.trapezoid ~n:1024 ~f:exp 0. 1.);
+  (* ∫₀^∞ e^{-x} dx = 1. *)
+  check_close ~tol:1e-6 "to infinity" 1.
+    (Quadrature.integrate_to_infinity ~f:(fun x -> exp (-.x)) 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"log_sum_exp >= max" ~count:500
+      (array_of_size (Gen.int_range 1 20) (float_range (-50.) 50.))
+      (fun a ->
+        let m = Array.fold_left Float.max neg_infinity a in
+        Logspace.log_sum_exp a >= m -. 1e-9);
+    Test.make ~name:"normalize_log_weights sums to 1" ~count:500
+      (array_of_size (Gen.int_range 1 20) (float_range (-300.) 300.))
+      (fun a ->
+        let p = Logspace.normalize_log_weights a in
+        Numeric.approx_equal ~rel_tol:1e-9 1. (Summation.sum p)
+        && Array.for_all (fun x -> x >= 0.) p);
+    Test.make ~name:"erf is odd" ~count:200 (float_range (-5.) 5.)
+      (fun x ->
+        Numeric.approx_equal ~abs_tol:1e-10 (Special.erf x)
+          (-.Special.erf (-.x)));
+    Test.make ~name:"erf monotone" ~count:200
+      (pair (float_range (-4.) 4.) (float_range 0.001 1.))
+      (fun (x, d) -> Special.erf (x +. d) >= Special.erf x -. 1e-12);
+    Test.make ~name:"binary_kl nonnegative" ~count:500
+      (pair (float_range 0. 1.) (float_range 0.001 0.999))
+      (fun (q, p) -> Special.binary_kl q p >= 0.);
+    Test.make ~name:"log_gamma recurrence" ~count:200 (float_range 0.1 20.)
+      (fun x ->
+        Numeric.approx_equal ~rel_tol:1e-8 ~abs_tol:1e-8
+          (Special.log_gamma (x +. 1.))
+          (Special.log_gamma x +. log x));
+    Test.make ~name:"normal quantile inverts cdf" ~count:200
+      (float_range 0.01 0.99)
+      (fun p ->
+        Numeric.approx_equal ~abs_tol:1e-7 p
+          (Special.std_normal_cdf (Special.std_normal_quantile p)));
+    Test.make ~name:"compensated sum matches naive on benign input"
+      ~count:300
+      (array_of_size (Gen.int_range 0 30) (float_range (-10.) 10.))
+      (fun a ->
+        let naive = Array.fold_left ( +. ) 0. a in
+        Numeric.approx_equal ~rel_tol:1e-9 ~abs_tol:1e-9 naive
+          (Summation.sum a));
+    Test.make ~name:"clamp is idempotent and in range" ~count:300
+      (triple (float_range (-5.) 5.) (float_range (-5.) 0.)
+         (float_range 0. 5.))
+      (fun (x, lo, hi) ->
+        let c = Numeric.clamp ~lo ~hi x in
+        c >= lo && c <= hi && Numeric.clamp ~lo ~hi c = c);
+  ]
+
+let () =
+  Alcotest.run "dp_math"
+    [
+      ( "numeric",
+        [
+          Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "domain checks" `Quick test_checks;
+          Alcotest.test_case "xlogx/xlogy" `Quick test_xlogx;
+        ] );
+      ( "summation",
+        [
+          Alcotest.test_case "compensated sum" `Quick test_compensated_sum;
+          Alcotest.test_case "dot & cumulative" `Quick test_dot_cumulative;
+        ] );
+      ( "logspace",
+        [
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+          Alcotest.test_case "normalize" `Quick test_normalize_log_weights;
+          Alcotest.test_case "log1pexp/log1mexp" `Quick
+            test_log1pexp_log1mexp;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "erf" `Quick test_erf;
+          Alcotest.test_case "log_gamma" `Quick test_log_gamma;
+          Alcotest.test_case "incomplete gamma" `Quick test_incomplete_gamma;
+          Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+          Alcotest.test_case "digamma" `Quick test_digamma;
+          Alcotest.test_case "normal cdf/quantile" `Quick test_normal;
+          Alcotest.test_case "binary kl" `Quick test_binary_kl;
+        ] );
+      ( "roots & quadrature",
+        [
+          Alcotest.test_case "root finding" `Quick test_roots;
+          Alcotest.test_case "quadrature" `Quick test_quadrature;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,517 @@
+open Dp_mechanism
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Privacy accounting *)
+
+let test_budgets () =
+  let b = Privacy.pure 0.5 in
+  check_close "pure eps" 0.5 b.Privacy.epsilon;
+  check_close "pure delta" 0. b.Privacy.delta;
+  let c = Privacy.compose b (Privacy.approx ~epsilon:0.3 ~delta:1e-6) in
+  check_close "composed eps" 0.8 c.Privacy.epsilon;
+  check_close "composed delta" 1e-6 c.Privacy.delta;
+  let p = Privacy.parallel [ Privacy.pure 0.5; Privacy.pure 1.2 ] in
+  check_close "parallel" 1.2 p.Privacy.epsilon;
+  (try
+     ignore (Privacy.pure (-1.));
+     Alcotest.fail "accepted negative epsilon"
+   with Invalid_argument _ -> ());
+  check_close "laplace scale" 2. (Privacy.scale_noise_for ~epsilon:0.5 ~sensitivity:1.)
+
+let test_advanced_composition () =
+  let b = Privacy.pure 0.1 in
+  let adv = Privacy.advanced_compose ~k:100 ~delta_slack:1e-5 b in
+  let basic = Privacy.compose_list (List.init 100 (fun _ -> b)) in
+  (* for many small-eps compositions, advanced < basic *)
+  Alcotest.(check bool) "advanced beats basic" true
+    (adv.Privacy.epsilon < basic.Privacy.epsilon);
+  check_close "basic epsilon" 10. basic.Privacy.epsilon;
+  Alcotest.(check bool) "delta recorded" true (adv.Privacy.delta >= 1e-5)
+
+let test_accountant () =
+  let acc = Privacy.Accountant.create ~total:(Privacy.pure 1.) in
+  Privacy.Accountant.spend acc (Privacy.pure 0.4);
+  Privacy.Accountant.spend acc (Privacy.pure 0.6);
+  check_close "all spent" 1. (Privacy.Accountant.spent acc).Privacy.epsilon;
+  check_close "nothing left" 0.
+    (Privacy.Accountant.remaining acc).Privacy.epsilon;
+  Alcotest.(check bool) "cannot afford more" false
+    (Privacy.Accountant.can_afford acc (Privacy.pure 0.1));
+  try
+    Privacy.Accountant.spend acc (Privacy.pure 0.1);
+    Alcotest.fail "overspent"
+  with Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity *)
+
+let test_sensitivity_closed_forms () =
+  check_close "count" 1. (Sensitivity.count ());
+  check_close "bounded sum" 5. (Sensitivity.bounded_sum ~lo:0. ~hi:5.);
+  check_close "bounded mean" 0.05 (Sensitivity.bounded_mean ~lo:0. ~hi:5. ~n:100);
+  check_close "histogram" 2. (Sensitivity.histogram ());
+  check_close "empirical risk" 0.01
+    (Sensitivity.empirical_risk ~loss_range:1. ~n:100)
+
+let test_sensitivity_bruteforce_matches () =
+  (* count query over 0/1 databases: brute force must find exactly 1. *)
+  let g = Dp_rng.Prng.create 1 in
+  let dbs =
+    Array.init 5 (fun _ ->
+        Dp_dataset.Synthetic.bernoulli_database ~p:0.5 ~n:8 g)
+  in
+  let f db = float_of_int (Array.fold_left ( + ) 0 db) in
+  check_close "brute force count" 1.
+    (Sensitivity.estimate_scalar ~f ~databases:dbs ~universe:2);
+  (* mean over {0,1,2} with n=8: sensitivity 2/8. *)
+  let mean db = f db /. 8. in
+  let dbs3 = [| [| 0; 1; 2; 0; 1; 2; 0; 1 |] |] in
+  check_close "brute force mean" 0.25
+    (Sensitivity.estimate_scalar ~f:mean ~databases:dbs3 ~universe:3)
+
+(* ------------------------------------------------------------------ *)
+(* Laplace mechanism *)
+
+let test_laplace_properties () =
+  let m = Laplace.create ~sensitivity:1. ~epsilon:0.5 in
+  check_close "scale" 2. (Laplace.scale m);
+  check_close "budget" 0.5 (Laplace.budget m).Privacy.epsilon;
+  check_close "cdf at value" 0.5 (Laplace.cdf m ~value:3. 3.);
+  check_close ~tol:1e-12 "density integrates (interval)" 1.
+    (Laplace.interval_probability m ~value:0. ~lo:(-200.) ~hi:200.);
+  (* zero sensitivity: deterministic *)
+  let d = Laplace.create ~sensitivity:0. ~epsilon:1. in
+  let g = Dp_rng.Prng.create 2 in
+  check_close "deterministic" 7. (Laplace.release d ~value:7. g)
+
+let test_laplace_dp_closed_form () =
+  (* Theorem 2.2: the log likelihood ratio between neighbouring query
+     values (|v1 - v2| <= sensitivity) never exceeds epsilon. *)
+  let eps = 0.7 in
+  let m = Laplace.create ~sensitivity:1. ~epsilon:eps in
+  let worst = ref 0. in
+  for i = -100 to 100 do
+    let y = float_of_int i /. 10. in
+    let r = Laplace.log_likelihood_ratio m ~value1:0. ~value2:1. y in
+    worst := Float.max !worst (Float.abs r)
+  done;
+  Alcotest.(check bool) "ratio bounded by eps" true (!worst <= eps +. 1e-12);
+  (* the bound is achieved (tight) away from the interval [v1, v2] *)
+  check_close ~tol:1e-12 "tight" eps !worst
+
+let test_laplace_unbiased () =
+  let m = Laplace.create ~sensitivity:1. ~epsilon:1. in
+  let g = Dp_rng.Prng.create 3 in
+  let n = 100_000 in
+  let mean =
+    Dp_math.Summation.mean (Array.init n (fun _ -> Laplace.release m ~value:10. g))
+  in
+  (* std of Laplace(1) is sqrt 2; 5 sigma of the mean *)
+  if Float.abs (mean -. 10.) > 5. *. sqrt 2. /. sqrt (float_of_int n) then
+    Alcotest.failf "biased release: %g" mean
+
+let test_laplace_empirical_matches_cdf () =
+  let m = Laplace.create ~sensitivity:1. ~epsilon:2. in
+  let g = Dp_rng.Prng.create 4 in
+  let xs = Array.init 5000 (fun _ -> Laplace.release m ~value:1. g) in
+  let r = Dp_stats.Gof.ks_one_sample ~cdf:(Laplace.cdf m ~value:1.) xs in
+  Alcotest.(check bool) "KS accepts" true (r.Dp_stats.Gof.p_value > 0.001)
+
+(* ------------------------------------------------------------------ *)
+(* Gaussian mechanism *)
+
+let test_gaussian_mech () =
+  let m = Gaussian_mech.create ~l2_sensitivity:1. ~epsilon:1. ~delta:1e-5 in
+  let expected = sqrt (2. *. log (1.25 /. 1e-5)) in
+  check_close "std formula" expected (Gaussian_mech.std m);
+  let b = Gaussian_mech.budget m in
+  check_close "delta" 1e-5 b.Privacy.delta;
+  (try
+     ignore (Gaussian_mech.create ~l2_sensitivity:1. ~epsilon:1. ~delta:0.);
+     Alcotest.fail "accepted delta=0"
+   with Invalid_argument _ -> ());
+  let g = Dp_rng.Prng.create 5 in
+  let v = Gaussian_mech.release_vector m ~value:[| 1.; 2. |] g in
+  Alcotest.(check int) "vector length" 2 (Array.length v)
+
+(* ------------------------------------------------------------------ *)
+(* Exponential mechanism *)
+
+let test_exponential_distribution () =
+  (* Probabilities must follow exp(eps * q) exactly. *)
+  let qualities = [| 0.; 1.; 2. |] in
+  let m =
+    Exponential.create ~candidates:[| "a"; "b"; "c" |]
+      ~quality:(fun u -> qualities.(Char.code u.[0] - Char.code 'a'))
+      ~sensitivity:1. ~epsilon:1. ()
+  in
+  let p = Exponential.probabilities m in
+  let z = 1. +. exp 1. +. exp 2. in
+  check_close ~tol:1e-12 "p(a)" (1. /. z) p.(0);
+  check_close ~tol:1e-12 "p(b)" (exp 1. /. z) p.(1);
+  check_close ~tol:1e-12 "p(c)" (exp 2. /. z) p.(2);
+  check_close "privacy epsilon" 2. (Exponential.privacy_epsilon m);
+  check_close "max quality" 2. (Exponential.max_quality m);
+  let eq = Exponential.expected_quality m in
+  check_close ~tol:1e-12 "expected quality"
+    ((0. +. exp 1. +. (2. *. exp 2.)) /. z)
+    eq
+
+let test_exponential_prior () =
+  (* A non-uniform base measure reweights the distribution. *)
+  let m =
+    Exponential.create ~candidates:[| 0; 1 |]
+      ~log_prior:[| log 0.9; log 0.1 |]
+      ~quality:(fun _ -> 0.) ~sensitivity:1. ~epsilon:1. ()
+  in
+  let p = Exponential.probabilities m in
+  check_close ~tol:1e-12 "prior dominates" 0.9 p.(0)
+
+let test_exponential_privacy_guarantee () =
+  (* Exact check of Theorem 2.3 on a private-selection task: pick the
+     value closest to the database mean. The quality
+     q(D, u) = -|u - mean(D)| has global sensitivity range/n = 8/5
+     under record replacement; for every neighbouring pair the
+     log-probability ratio must stay within 2 eps Δq. *)
+  let candidates = Array.init 9 Fun.id in
+  let sens = 8. /. 5. in
+  let quality db u =
+    let mean =
+      float_of_int (Array.fold_left ( + ) 0 db) /. float_of_int (Array.length db)
+    in
+    -.Float.abs (float_of_int u -. mean)
+  in
+  let db = [| 3; 5; 7; 2; 8 |] in
+  let eps = 0.4 in
+  let build d =
+    Exponential.create ~candidates ~quality:(quality d) ~sensitivity:sens
+      ~epsilon:eps ()
+  in
+  let m = build db in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      for v = 0 to 8 do
+        if v <> db.(i) then begin
+          let db' = Array.copy db in
+          db'.(i) <- v;
+          worst := Float.max !worst (Exponential.log_ratio_bound m (build db'))
+        end
+      done)
+    db;
+  let bound = Exponential.privacy_epsilon m in
+  check_close "bound is 2 eps sens" (2. *. eps *. sens) bound;
+  Alcotest.(check bool) "DP guarantee holds" true (!worst <= bound +. 1e-12)
+
+let test_exponential_sampling_agreement () =
+  (* Gumbel-max sampling and alias sampling agree with the exact
+     probabilities. *)
+  let m =
+    Exponential.create ~candidates:[| 0; 1; 2; 3 |]
+      ~quality:float_of_int ~sensitivity:1. ~epsilon:0.8 ()
+  in
+  let p = Exponential.probabilities m in
+  let g = Dp_rng.Prng.create 6 in
+  let n = 200_000 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to n do
+    let u = Exponential.sample m g in
+    counts.(u) <- counts.(u) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      if Float.abs (freq -. p.(i)) > 5. *. sqrt (p.(i) /. float_of_int n) then
+        Alcotest.failf "gumbel freq %d: %g vs %g" i freq p.(i))
+    counts;
+  let draw = Exponential.sampler m g in
+  let counts = Array.make 4 0 in
+  for _ = 1 to n do
+    let u = draw () in
+    counts.(u) <- counts.(u) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      if Float.abs (freq -. p.(i)) > 5. *. sqrt (p.(i) /. float_of_int n) then
+        Alcotest.failf "alias freq %d: %g vs %g" i freq p.(i))
+    counts
+
+let test_exponential_utility_bound () =
+  let m =
+    Exponential.create
+      ~candidates:(Array.init 64 Fun.id)
+      ~quality:(fun u -> -.Float.abs (float_of_int (u - 32)))
+      ~sensitivity:1. ~epsilon:2. ()
+  in
+  let threshold = Exponential.utility_bound m ~failure_prob:0.05 in
+  (* Empirically the sampled quality should rarely fall below it. *)
+  let g = Dp_rng.Prng.create 7 in
+  let fails = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let u = Exponential.sample m g in
+    if -.Float.abs (float_of_int (u - 32)) < threshold then incr fails
+  done;
+  Alcotest.(check bool) "failure rate below bound" true
+    (float_of_int !fails /. float_of_int trials <= 0.05 +. 0.02)
+
+let test_calibrate () =
+  check_close "calibrate" 0.25
+    (Exponential.calibrate_exponent ~target_epsilon:1. ~sensitivity:2.)
+
+(* ------------------------------------------------------------------ *)
+(* Permute-and-flip *)
+
+let test_pf_distribution_and_sampling () =
+  let qualities = [| 0.; 1.; 2. |] in
+  let m =
+    Dp_mechanism.Permute_and_flip.create ~candidates:[| 0; 1; 2 |]
+      ~quality:(fun i -> qualities.(i))
+      ~sensitivity:1. ~epsilon:2. ()
+  in
+  let p = Dp_mechanism.Permute_and_flip.probabilities m in
+  check_close ~tol:1e-12 "normalizes" 1. (Dp_math.Summation.sum p);
+  (* the argmax always has the largest probability *)
+  Alcotest.(check int) "mode" 2 (Dp_linalg.Vec.argmax p);
+  (* sampling agrees with the subset-DP distribution *)
+  let g = Dp_rng.Prng.create 41 in
+  let n = 100_000 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to n do
+    let u = Dp_mechanism.Permute_and_flip.sample m g in
+    counts.(u) <- counts.(u) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let f = float_of_int c /. float_of_int n in
+      if Float.abs (f -. p.(i)) > 5. *. sqrt (p.(i) /. float_of_int n) +. 1e-3
+      then Alcotest.failf "pf freq %d: %g vs %g" i f p.(i))
+    counts
+
+let test_pf_dominates_em () =
+  (* McKenna-Sheldon: E[q] of P&F >= E[q] of EM at equal eps, for any
+     quality vector *)
+  let g = Dp_rng.Prng.create 42 in
+  for _ = 1 to 50 do
+    let k = 2 + Dp_rng.Prng.int g 8 in
+    let qualities = Array.init k (fun _ -> Dp_rng.Sampler.uniform ~lo:(-3.) ~hi:0. g) in
+    let eps = Dp_rng.Sampler.uniform ~lo:0.2 ~hi:4. g in
+    let pf =
+      Dp_mechanism.Permute_and_flip.create ~candidates:(Array.init k Fun.id)
+        ~quality:(fun i -> qualities.(i))
+        ~sensitivity:1. ~epsilon:eps ()
+    in
+    let em =
+      Dp_mechanism.Exponential.create ~candidates:(Array.init k Fun.id)
+        ~quality:(fun i -> qualities.(i))
+        ~sensitivity:1. ~epsilon:(eps /. 2.) ()
+    in
+    Alcotest.(check bool) "P&F dominates" true
+      (Dp_mechanism.Permute_and_flip.expected_quality pf
+      >= Dp_mechanism.Exponential.expected_quality em -. 1e-9)
+  done
+
+let test_pf_privacy_exact () =
+  (* exact eps over all neighbours of a small counting-style task *)
+  let eps = 0.8 in
+  let db = [| 2; 4; 4; 1 |] in
+  let build d =
+    Dp_mechanism.Permute_and_flip.create ~candidates:[| 0; 1; 2; 3; 4 |]
+      ~quality:(fun u ->
+        -.Float.abs
+            (float_of_int u
+            -. (float_of_int (Array.fold_left ( + ) 0 d) /. 4.)))
+      ~sensitivity:1. ~epsilon:eps ()
+  in
+  let p = Dp_mechanism.Permute_and_flip.probabilities (build db) in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      for v = 0 to 4 do
+        if v <> db.(i) then begin
+          let d' = Array.copy db in
+          d'.(i) <- v;
+          let q = Dp_mechanism.Permute_and_flip.probabilities (build d') in
+          Array.iteri
+            (fun u pu ->
+              if pu > 0. && q.(u) > 0. then
+                worst := Float.max !worst (Float.abs (log (pu /. q.(u)))))
+            p
+        end
+      done)
+    db;
+  Alcotest.(check bool)
+    (Printf.sprintf "exact eps %.4f <= %.4f" !worst eps)
+    true
+    (!worst <= eps +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized response & noisy max *)
+
+let test_randomized_response () =
+  let rr = Randomized_response.create ~epsilon:1. in
+  check_close "truth prob" (exp 1. /. (1. +. exp 1.))
+    (Randomized_response.truth_probability rr);
+  let ch = Randomized_response.channel_matrix rr in
+  check_close ~tol:1e-12 "row sums" 1. (ch.(0).(0) +. ch.(0).(1));
+  (* the channel's likelihood ratio equals e^eps exactly *)
+  check_close ~tol:1e-12 "lr" (exp 1.) (ch.(0).(0) /. ch.(1).(0));
+  (* debiasing recovers the true mean *)
+  let g = Dp_rng.Prng.create 8 in
+  let db = Dp_dataset.Synthetic.bernoulli_database ~p:0.3 ~n:50_000 g in
+  let noisy = Randomized_response.respond_database rr db g in
+  let est = Randomized_response.estimate_mean rr noisy in
+  let truth =
+    float_of_int (Array.fold_left ( + ) 0 db) /. 50_000.
+  in
+  if Float.abs (est -. truth) > 0.02 then
+    Alcotest.failf "debiased estimate %g vs %g" est truth
+
+let test_noisy_max () =
+  let g = Dp_rng.Prng.create 9 in
+  let scores = [| 1.; 5.; 2. |] in
+  (* With large epsilon the argmax is recovered almost surely. *)
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    if Noisy_max.select ~epsilon:50. ~sensitivity:1. ~scores g = 1 then
+      incr hits
+  done;
+  Alcotest.(check bool) "high eps recovers argmax" true (!hits > 990);
+  (* With tiny epsilon the selection is near-uniform. *)
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Noisy_max.select ~epsilon:0.001 ~sensitivity:1. ~scores g in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. 30_000. in
+      if Float.abs (f -. (1. /. 3.)) > 0.03 then
+        Alcotest.failf "low eps not uniform: %g" f)
+    counts;
+  (* exponential-noise variant also selects the max eventually *)
+  let i =
+    Noisy_max.select_exponential_noise ~epsilon:100. ~sensitivity:1. ~scores g
+  in
+  Alcotest.(check int) "exp noise argmax" 1 i
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"exponential probabilities normalize" ~count:200
+      (pair
+         (array_of_size (Gen.int_range 1 40) (float_range (-5.) 5.))
+         (float_range 0.01 5.))
+      (fun (qualities, eps) ->
+        let m =
+          Exponential.create
+            ~candidates:(Array.init (Array.length qualities) Fun.id)
+            ~quality:(fun i -> qualities.(i))
+            ~sensitivity:1. ~epsilon:eps ()
+        in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-9 1.
+          (Dp_math.Summation.sum (Exponential.probabilities m)));
+    Test.make ~name:"expected quality between min and max" ~count:200
+      (array_of_size (Gen.int_range 1 20) (float_range (-5.) 5.))
+      (fun qualities ->
+        let m =
+          Exponential.create
+            ~candidates:(Array.init (Array.length qualities) Fun.id)
+            ~quality:(fun i -> qualities.(i))
+            ~sensitivity:1. ~epsilon:1. ()
+        in
+        let eq = Exponential.expected_quality m in
+        let lo = Array.fold_left Float.min infinity qualities in
+        let hi = Array.fold_left Float.max neg_infinity qualities in
+        eq >= lo -. 1e-9 && eq <= hi +. 1e-9);
+    Test.make ~name:"higher epsilon concentrates on the argmax" ~count:100
+      (array_of_size (Gen.int_range 2 20) (float_range (-3.) 3.))
+      (fun qualities ->
+        let build eps =
+          Exponential.create
+            ~candidates:(Array.init (Array.length qualities) Fun.id)
+            ~quality:(fun i -> qualities.(i))
+            ~sensitivity:1. ~epsilon:eps ()
+        in
+        let best = Dp_linalg.Vec.argmax qualities in
+        let p1 = (Exponential.probabilities (build 0.5)).(best) in
+        let p2 = (Exponential.probabilities (build 2.)).(best) in
+        p2 >= p1 -. 1e-9);
+    Test.make ~name:"laplace log-ratio bounded for adjacent values"
+      ~count:200
+      (triple (float_range 0.1 3.) (float_range (-5.) 5.)
+         (float_range (-20.) 20.))
+      (fun (eps, v, y) ->
+        let m = Laplace.create ~sensitivity:1. ~epsilon:eps in
+        Float.abs (Laplace.log_likelihood_ratio m ~value1:v ~value2:(v +. 1.) y)
+        <= eps +. 1e-9);
+    Test.make ~name:"composition is commutative and monotone" ~count:200
+      (pair (float_range 0. 3.) (float_range 0. 3.))
+      (fun (e1, e2) ->
+        let a = Privacy.pure e1 and b = Privacy.pure e2 in
+        let ab = Privacy.compose a b and ba = Privacy.compose b a in
+        ab = ba && ab.Privacy.epsilon >= Float.max e1 e2 -. 1e-12);
+  ]
+
+let () =
+  Alcotest.run "dp_mechanism"
+    [
+      ( "privacy",
+        [
+          Alcotest.test_case "budgets" `Quick test_budgets;
+          Alcotest.test_case "advanced composition" `Quick
+            test_advanced_composition;
+          Alcotest.test_case "accountant" `Quick test_accountant;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "closed forms" `Quick
+            test_sensitivity_closed_forms;
+          Alcotest.test_case "brute force agrees" `Quick
+            test_sensitivity_bruteforce_matches;
+        ] );
+      ( "laplace",
+        [
+          Alcotest.test_case "properties" `Quick test_laplace_properties;
+          Alcotest.test_case "DP closed form (Thm 2.2)" `Quick
+            test_laplace_dp_closed_form;
+          Alcotest.test_case "unbiased" `Quick test_laplace_unbiased;
+          Alcotest.test_case "empirical matches CDF" `Quick
+            test_laplace_empirical_matches_cdf;
+        ] );
+      ("gaussian", [ Alcotest.test_case "calibration" `Quick test_gaussian_mech ]);
+      ( "exponential",
+        [
+          Alcotest.test_case "exact distribution" `Quick
+            test_exponential_distribution;
+          Alcotest.test_case "base measure" `Quick test_exponential_prior;
+          Alcotest.test_case "DP guarantee (Thm 2.3)" `Quick
+            test_exponential_privacy_guarantee;
+          Alcotest.test_case "samplers agree" `Slow
+            test_exponential_sampling_agreement;
+          Alcotest.test_case "utility bound" `Quick
+            test_exponential_utility_bound;
+          Alcotest.test_case "calibration" `Quick test_calibrate;
+        ] );
+      ( "permute-and-flip",
+        [
+          Alcotest.test_case "distribution & sampling" `Slow
+            test_pf_distribution_and_sampling;
+          Alcotest.test_case "dominates EM" `Quick test_pf_dominates_em;
+          Alcotest.test_case "exact privacy" `Quick test_pf_privacy_exact;
+        ] );
+      ( "other mechanisms",
+        [
+          Alcotest.test_case "randomized response" `Quick
+            test_randomized_response;
+          Alcotest.test_case "noisy max" `Quick test_noisy_max;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,118 @@
+open Dp_optim
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* Quadratic f(x) = 1/2 (x-c)ᵀ A (x-c) with SPD A. *)
+let quadratic c =
+  let a = Dp_linalg.Mat.of_arrays [| [| 3.; 1. |]; [| 1.; 2. |] |] in
+  let f x =
+    let d = Dp_linalg.Vec.sub x c in
+    0.5 *. Dp_linalg.Vec.dot d (Dp_linalg.Mat.mul_vec a d)
+  in
+  let grad x = Dp_linalg.Mat.mul_vec a (Dp_linalg.Vec.sub x c) in
+  (f, grad)
+
+let test_gd_quadratic () =
+  let c = [| 1.; -2. |] in
+  let f, grad = quadratic c in
+  let r = Gd.minimize ~f ~grad [| 0.; 0. |] in
+  Alcotest.(check bool) "converged" true r.Gd.converged;
+  check_close ~tol:1e-5 "x0" c.(0) r.Gd.solution.(0);
+  check_close ~tol:1e-5 "x1" c.(1) r.Gd.solution.(1);
+  check_close ~tol:1e-6 "objective" 0. r.Gd.objective
+
+let test_gd_projected () =
+  (* Minimize |x - (2,0)|^2 over the unit ball: solution (1, 0). *)
+  let c = [| 2.; 0. |] in
+  let f x = Dp_math.Numeric.sq (Dp_linalg.Vec.dist2 x c) in
+  let grad x = Dp_linalg.Vec.scale 2. (Dp_linalg.Vec.sub x c) in
+  let r =
+    Gd.minimize ~f ~grad
+      ~project:(Dp_linalg.Vec.project_l2_ball ~radius:1.)
+      [| 0.; 0. |]
+  in
+  check_close ~tol:1e-4 "boundary x0" 1. r.Gd.solution.(0);
+  check_close ~tol:1e-4 "boundary x1" 0. r.Gd.solution.(1)
+
+let test_gd_fixed_step () =
+  let c = [| 3. |] in
+  let grad x = [| 2. *. (x.(0) -. c.(0)) |] in
+  let x = Gd.minimize_fixed_step ~step:0.25 ~iterations:100 ~grad [| 0. |] in
+  check_close ~tol:1e-6 "fixed step converges" 3. x.(0)
+
+let test_gd_nonconvex_descent () =
+  (* On any function, GD with line search must not increase f. *)
+  let f x = sin (3. *. x.(0)) +. (0.1 *. x.(0) *. x.(0)) in
+  let grad x = [| (3. *. cos (3. *. x.(0))) +. (0.2 *. x.(0)) |] in
+  let x0 = [| 1.7 |] in
+  let r = Gd.minimize ~f ~grad x0 in
+  Alcotest.(check bool) "descent" true (r.Gd.objective <= f x0 +. 1e-12)
+
+let test_schedules () =
+  check_close "constant" 0.3 (Sgd.step_size (Sgd.Constant 0.3) 7);
+  check_close "inv sqrt" (0.5 /. 2.) (Sgd.step_size (Sgd.Inv_sqrt 0.5) 4);
+  check_close "inv t" 0.125 (Sgd.step_size (Sgd.Inv_t 0.5) 4);
+  try
+    ignore (Sgd.step_size (Sgd.Constant 1.) 0);
+    Alcotest.fail "accepted t=0"
+  with Invalid_argument _ -> ()
+
+let test_sgd_least_squares () =
+  (* Least squares: f_i(x) = 1/2 (a_i . x - b_i)^2 with known solution. *)
+  let g = Dp_rng.Prng.create 11 in
+  let theta = [| 2.; -1. |] in
+  let d = Dp_dataset.Synthetic.linear_regression ~theta ~noise_std:0.01 ~n:500 g in
+  let grad_at i x =
+    let a = d.Dp_dataset.Dataset.features.(i) in
+    let b = d.Dp_dataset.Dataset.labels.(i) in
+    let r = Dp_linalg.Vec.dot a x -. b in
+    Dp_linalg.Vec.scale r a
+  in
+  let x =
+    Sgd.minimize ~epochs:60 ~schedule:(Sgd.Inv_sqrt 0.8) ~n:500 ~grad_at
+      [| 0.; 0. |] g
+  in
+  check_close ~tol:0.1 "sgd x0" 2. x.(0);
+  check_close ~tol:0.1 "sgd x1" (-1.) x.(1)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"GD never increases a convex objective" ~count:50
+      (pair (float_range (-3.) 3.) (float_range (-3.) 3.))
+      (fun (c0, c1) ->
+        let f, grad = quadratic [| c0; c1 |] in
+        let r = Gd.minimize ~max_iter:50 ~f ~grad [| 0.; 0. |] in
+        r.Gd.objective <= f [| 0.; 0. |] +. 1e-12);
+    Test.make ~name:"projected GD stays feasible" ~count:50
+      (pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+      (fun (c0, c1) ->
+        let f, grad = quadratic [| c0; c1 |] in
+        let r =
+          Gd.minimize ~max_iter:100 ~f ~grad
+            ~project:(Dp_linalg.Vec.project_l2_ball ~radius:1.)
+            [| 0.; 0. |]
+        in
+        Dp_linalg.Vec.norm2 r.Gd.solution <= 1. +. 1e-9);
+  ]
+
+let () =
+  Alcotest.run "dp_optim"
+    [
+      ( "gd",
+        [
+          Alcotest.test_case "quadratic" `Quick test_gd_quadratic;
+          Alcotest.test_case "projected" `Quick test_gd_projected;
+          Alcotest.test_case "fixed step" `Quick test_gd_fixed_step;
+          Alcotest.test_case "descent property" `Quick
+            test_gd_nonconvex_descent;
+        ] );
+      ( "sgd",
+        [
+          Alcotest.test_case "schedules" `Quick test_schedules;
+          Alcotest.test_case "least squares" `Quick test_sgd_least_squares;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

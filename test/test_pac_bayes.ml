@@ -1,0 +1,604 @@
+open Dp_pac_bayes
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* A small running example: threshold classifiers on 1-D data with 0-1
+   loss. Predictor theta classifies x as +1 iff x >= theta. *)
+let zero_one_loss theta (x, y) =
+  let pred = if x >= theta then 1. else -1. in
+  if pred = y then 0. else 1.
+
+let threshold_grid = Array.init 21 (fun i -> -2. +. (0.2 *. float_of_int i))
+
+let make_sample ~n seed =
+  let g = Dp_rng.Prng.create seed in
+  Array.init n (fun _ ->
+      let y = if Dp_rng.Prng.bool g then 1. else -1. in
+      let x = Dp_rng.Sampler.gaussian ~mean:(y *. 0.8) ~std:1. g in
+      (x, y))
+
+(* ------------------------------------------------------------------ *)
+(* Risk *)
+
+let test_empirical_risk () =
+  let sample = [| (1., 1.); (-1., -1.); (0.5, -1.) |] in
+  (* theta = 0: predicts +1 for x>=0: correct, correct, wrong -> 1/3 *)
+  check_close "emp risk" (1. /. 3.) (Risk.empirical ~loss:zero_one_loss sample 0.);
+  let all = Risk.empirical_all ~loss:zero_one_loss sample [| 0.; 100. |] in
+  (* theta = 100 predicts -1 always: wrong, correct, correct -> 1/3 *)
+  check_close "emp all" (1. /. 3.) all.(1);
+  check_close "sensitivity" 0.25 (Risk.sensitivity ~loss_lo:0. ~loss_hi:1. ~n:4);
+  Alcotest.(check bool) "bounded" true
+    (Risk.check_bounded ~loss:zero_one_loss ~lo:0. ~hi:1. sample threshold_grid)
+
+let test_true_risk_mc () =
+  let g = Dp_rng.Prng.create 42 in
+  let sampler g =
+    let y = if Dp_rng.Prng.bool g then 1. else -1. in
+    (Dp_rng.Sampler.gaussian ~mean:(y *. 0.8) ~std:1. g, y)
+  in
+  (* Bayes-optimal threshold is 0; its true risk is P(N(0.8,1) < 0) =
+     Phi(-0.8). *)
+  let r = Risk.true_risk_mc ~loss:zero_one_loss ~sampler ~n:200_000 0. g in
+  let expected = Dp_math.Special.std_normal_cdf (-0.8) in
+  if Float.abs (r -. expected) > 0.005 then
+    Alcotest.failf "true risk %g vs %g" r expected
+
+(* ------------------------------------------------------------------ *)
+(* Gibbs posterior *)
+
+let test_gibbs_distribution () =
+  let risks = [| 0.; 0.5; 1. |] in
+  let t = Gibbs.of_risks ~predictors:[| "a"; "b"; "c" |] ~beta:2. ~risks () in
+  let p = Gibbs.probabilities t in
+  let z = 1. +. exp (-1.) +. exp (-2.) in
+  check_close ~tol:1e-12 "p0" (1. /. z) p.(0);
+  check_close ~tol:1e-12 "p1" (exp (-1.) /. z) p.(1);
+  check_close ~tol:1e-12 "p2" (exp (-2.) /. z) p.(2);
+  check_close ~tol:1e-12 "normalized" 1. (Dp_math.Summation.sum p);
+  check_close ~tol:1e-12 "expected risk"
+    ((0. +. (0.5 *. exp (-1.)) +. exp (-2.)) /. z)
+    (Gibbs.expected_empirical_risk t)
+
+let test_gibbs_beta_limits () =
+  let risks = [| 0.2; 0.8; 0.5 |] in
+  let preds = [| 0; 1; 2 |] in
+  (* beta -> 0: posterior -> prior (uniform) *)
+  let t = Gibbs.of_risks ~predictors:preds ~beta:1e-9 ~risks () in
+  Array.iter
+    (fun p -> check_close ~tol:1e-6 "uniform limit" (1. /. 3.) p)
+    (Gibbs.probabilities t);
+  (* beta -> inf: point mass on the ERM *)
+  let t = Gibbs.of_risks ~predictors:preds ~beta:1e6 ~risks () in
+  let p = Gibbs.probabilities t in
+  check_close ~tol:1e-9 "erm limit" 1. p.(0);
+  (* extreme beta must not overflow thanks to log-space *)
+  let t = Gibbs.of_risks ~predictors:preds ~beta:1e8 ~risks () in
+  check_close ~tol:1e-9 "no overflow" 1. (Dp_math.Summation.sum (Gibbs.probabilities t))
+
+let test_gibbs_nonuniform_prior () =
+  let risks = [| 0.5; 0.5 |] in
+  let t =
+    Gibbs.of_risks ~predictors:[| 0; 1 |]
+      ~log_prior:[| log 0.9; log 0.1 |]
+      ~beta:1. ~risks ()
+  in
+  (* equal risks: posterior = prior *)
+  let p = Gibbs.probabilities t in
+  check_close ~tol:1e-12 "prior preserved" 0.9 p.(0);
+  check_close ~tol:1e-12 "kl zero" 0. (Gibbs.kl_from_prior t)
+
+let test_gibbs_sampling () =
+  let sample = make_sample ~n:50 7 in
+  let t =
+    Gibbs.fit ~predictors:threshold_grid ~beta:10.
+      ~empirical_risk:(Risk.empirical ~loss:zero_one_loss sample)
+      ()
+  in
+  let p = Gibbs.probabilities t in
+  let g = Dp_rng.Prng.create 8 in
+  let n = 100_000 in
+  let counts = Array.make (Array.length threshold_grid) 0 in
+  let draw = Gibbs.sampler t g in
+  for _ = 1 to n do
+    let th = draw () in
+    let idx =
+      int_of_float (Float.round ((th +. 2.) /. 0.2))
+    in
+    counts.(idx) <- counts.(idx) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      let se = 5. *. sqrt (Float.max (p.(i) /. float_of_int n) 1e-9) in
+      if Float.abs (freq -. p.(i)) > se +. 1e-3 then
+        Alcotest.failf "sampling freq %d: %g vs %g" i freq p.(i))
+    counts
+
+let test_gibbs_minimizes_objective_lemma_3_2 () =
+  (* Lemma 3.2: the Gibbs posterior minimizes E R̂ + KL/β. Compare
+     against many alternative posteriors. *)
+  let sample = make_sample ~n:40 9 in
+  let t =
+    Gibbs.fit ~predictors:threshold_grid ~beta:5.
+      ~empirical_risk:(Risk.empirical ~loss:zero_one_loss sample)
+      ()
+  in
+  let gibbs_obj = Gibbs.pac_bayes_objective t in
+  let k = Array.length threshold_grid in
+  (* uniform posterior *)
+  let uniform = Array.make k (1. /. float_of_int k) in
+  Alcotest.(check bool) "beats uniform" true
+    (gibbs_obj <= Gibbs.objective_of_posterior t uniform +. 1e-12);
+  (* point masses *)
+  for i = 0 to k - 1 do
+    let point = Array.make k 0. in
+    point.(i) <- 1.;
+    Alcotest.(check bool) "beats point mass" true
+      (gibbs_obj <= Gibbs.objective_of_posterior t point +. 1e-12)
+  done;
+  (* random posteriors *)
+  let g = Dp_rng.Prng.create 10 in
+  for _ = 1 to 50 do
+    let rho = Dp_rng.Sampler.dirichlet ~alpha:(Array.make k 0.5) g in
+    Alcotest.(check bool) "beats random" true
+      (gibbs_obj <= Gibbs.objective_of_posterior t rho +. 1e-12)
+  done;
+  (* and the Gibbs posterior itself evaluates to its own objective *)
+  check_close ~tol:1e-9 "self-consistent" gibbs_obj
+    (Gibbs.objective_of_posterior t (Gibbs.probabilities t))
+
+let test_gibbs_is_exponential_mechanism () =
+  (* Theorem 4.1 structure: the Gibbs posterior IS the exponential
+     mechanism with q = -R̂. Distributions must agree pointwise. *)
+  let sample = make_sample ~n:30 11 in
+  let n = Array.length sample in
+  let t =
+    Gibbs.fit ~predictors:threshold_grid ~beta:4.
+      ~empirical_risk:(Risk.empirical ~loss:zero_one_loss sample)
+      ()
+  in
+  let sens = Risk.sensitivity ~loss_lo:0. ~loss_hi:1. ~n in
+  let m = Gibbs.as_exponential_mechanism t ~risk_sensitivity:sens in
+  let pg = Gibbs.probabilities t in
+  let pe = Dp_mechanism.Exponential.probabilities m in
+  Array.iteri (fun i p -> check_close ~tol:1e-12 "pointwise equal" p pe.(i)) pg;
+  (* privacy levels agree: 2 beta ΔR̂ *)
+  check_close ~tol:1e-12 "privacy epsilon"
+    (Gibbs.privacy_epsilon t ~risk_sensitivity:sens)
+    (Dp_mechanism.Exponential.privacy_epsilon m);
+  check_close ~tol:1e-12 "value" (2. *. 4. *. (1. /. float_of_int n))
+    (Gibbs.privacy_epsilon t ~risk_sensitivity:sens)
+
+let test_gibbs_privacy_theorem_4_1 () =
+  (* Exact DP check of Theorem 4.1: for neighbouring samples, the
+     max log-ratio between Gibbs posteriors is bounded by 2 beta ΔR̂. *)
+  let sample = make_sample ~n:25 12 in
+  let n = Array.length sample in
+  let beta = 6. in
+  let fit s =
+    Gibbs.fit ~predictors:threshold_grid ~beta
+      ~empirical_risk:(Risk.empirical ~loss:zero_one_loss s)
+      ()
+  in
+  let t = fit sample in
+  let lp = Gibbs.log_probabilities t in
+  let bound = 2. *. beta /. float_of_int n in
+  let g = Dp_rng.Prng.create 13 in
+  let worst = ref 0. in
+  for _ = 1 to 100 do
+    (* random neighbour: replace one record *)
+    let i = Dp_rng.Prng.int g n in
+    let y = if Dp_rng.Prng.bool g then 1. else -1. in
+    let x = Dp_rng.Sampler.gaussian ~mean:0. ~std:2. g in
+    let sample' = Array.copy sample in
+    sample'.(i) <- (x, y);
+    let lp' = Gibbs.log_probabilities (fit sample') in
+    Array.iteri
+      (fun j l -> worst := Float.max !worst (Float.abs (l -. lp'.(j))))
+      lp
+  done;
+  Alcotest.(check bool) "DP bound holds" true (!worst <= bound +. 1e-12);
+  (* the bound is meaningful: some neighbour pair gets close to it *)
+  Alcotest.(check bool) "bound not vacuous" true (!worst > 0.1 *. bound)
+
+(* ------------------------------------------------------------------ *)
+(* Bounds *)
+
+let test_bound_formulas () =
+  (* Catoni at kl=0, delta=1-ish reduces toward the corrected risk. *)
+  let b = Bounds.catoni ~beta:10. ~n:100 ~delta:0.99 ~emp_risk:0.2 ~kl:0. in
+  Alcotest.(check bool) "close to emp risk" true (b >= 0.2 && b < 0.3);
+  (* Monotone in every adverse direction. *)
+  let base = Bounds.catoni ~beta:10. ~n:100 ~delta:0.05 ~emp_risk:0.2 ~kl:1. in
+  Alcotest.(check bool) "worse with higher risk" true
+    (Bounds.catoni ~beta:10. ~n:100 ~delta:0.05 ~emp_risk:0.4 ~kl:1. >= base);
+  Alcotest.(check bool) "worse with higher kl" true
+    (Bounds.catoni ~beta:10. ~n:100 ~delta:0.05 ~emp_risk:0.2 ~kl:3. >= base);
+  Alcotest.(check bool) "worse with smaller delta" true
+    (Bounds.catoni ~beta:10. ~n:100 ~delta:0.01 ~emp_risk:0.2 ~kl:1. >= base);
+  Alcotest.(check bool) "better with more data" true
+    (Bounds.catoni ~beta:10. ~n:1000 ~delta:0.05 ~emp_risk:0.2 ~kl:1. <= base);
+  (* clamped to [0, 1] *)
+  check_close "vacuous clamped" 1.
+    (Bounds.catoni ~beta:1. ~n:10 ~delta:1e-9 ~emp_risk:0.9 ~kl:50.)
+
+let test_catoni_correction () =
+  let c = Bounds.catoni_correction ~beta:1. ~n:1000 in
+  Alcotest.(check bool) "close to 1" true (c > 0.999 && c <= 1.);
+  (* paper's inequality: correction >= 1 - beta/(2n) *)
+  let c2 = Bounds.catoni_correction ~beta:100. ~n:200 in
+  Alcotest.(check bool) "paper lower bound" true (c2 >= 1. -. (100. /. 400.))
+
+let test_linearized_dominates_catoni () =
+  (* The linearized bound is looser (>= catoni) wherever both < 1. *)
+  List.iter
+    (fun (beta, n, risk, kl) ->
+      let c = Bounds.catoni ~beta ~n ~delta:0.05 ~emp_risk:risk ~kl in
+      let l = Bounds.linearized ~beta ~n ~delta:0.05 ~emp_risk:risk ~kl in
+      if l < 1. then Alcotest.(check bool) "linearized looser" true (l >= c -. 1e-12))
+    [ (10., 100, 0.2, 0.5); (50., 500, 0.1, 2.); (5., 1000, 0.3, 1.) ]
+
+let test_seeger_tightest () =
+  (* In the small-risk regime Seeger is tighter than McAllester. *)
+  let n = 500 and delta = 0.05 and kl = 2. in
+  let emp_risk = 0.05 in
+  let s = Bounds.seeger ~n ~delta ~emp_risk ~kl in
+  let m = Bounds.mcallester ~n ~delta ~emp_risk ~kl in
+  Alcotest.(check bool) "seeger <= mcallester" true (s <= m +. 1e-12);
+  Alcotest.(check bool) "seeger above emp risk" true (s >= emp_risk)
+
+let test_bound_validity_coverage () =
+  (* Thm 3.1 validity: over many resampled training sets, the Catoni
+     bound on the Gibbs posterior holds for the true risk with
+     frequency >= 1 - delta. True risk computed on the grid exactly via
+     a huge i.i.d. test pool approximation. *)
+  let delta = 0.1 and beta = 20. and n = 60 in
+  let g = Dp_rng.Prng.create 77 in
+  (* approximate the true risk of each threshold with a large pool *)
+  let pool = make_sample ~n:100_000 999 in
+  let true_risks =
+    Array.map (fun th -> Risk.empirical ~loss:zero_one_loss pool th) threshold_grid
+  in
+  let trials = 300 in
+  let violations = ref 0 in
+  for _ = 1 to trials do
+    let seed = Dp_rng.Prng.int g 1_000_000 in
+    let sample = make_sample ~n seed in
+    let t =
+      Gibbs.fit ~predictors:threshold_grid ~beta
+        ~empirical_risk:(Risk.empirical ~loss:zero_one_loss sample)
+        ()
+    in
+    let bound =
+      Bounds.catoni ~beta ~n ~delta
+        ~emp_risk:(Gibbs.expected_empirical_risk t)
+        ~kl:(Gibbs.kl_from_prior t)
+    in
+    let p = Gibbs.probabilities t in
+    let true_gibbs_risk =
+      Dp_math.Numeric.float_sum_range (Array.length p) (fun i ->
+          p.(i) *. true_risks.(i))
+    in
+    if true_gibbs_risk > bound then incr violations
+  done;
+  let rate = float_of_int !violations /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "violation rate %.3f <= delta" rate)
+    true (rate <= delta)
+
+(* ------------------------------------------------------------------ *)
+(* Bound optimizer (independent Lemma 3.2 check) *)
+
+let test_bound_opt_recovers_gibbs () =
+  let sample = make_sample ~n:35 21 in
+  let risks =
+    Risk.empirical_all ~loss:zero_one_loss sample threshold_grid
+  in
+  let k = Array.length threshold_grid in
+  let prior = Array.make k (1. /. float_of_int k) in
+  let beta = 8. in
+  let r = Bound_opt.minimize ~risks ~prior ~beta () in
+  let t = Gibbs.of_risks ~predictors:threshold_grid ~beta ~risks () in
+  let gibbs_p = Gibbs.probabilities t in
+  (* objectives agree to high precision *)
+  check_close ~tol:1e-6 "objective matches Gibbs"
+    (Gibbs.pac_bayes_objective t) r.Bound_opt.objective;
+  (* posteriors agree in TV *)
+  let tv =
+    0.5
+    *. Dp_math.Numeric.float_sum_range k (fun i ->
+           Float.abs (r.Bound_opt.posterior.(i) -. gibbs_p.(i)))
+  in
+  Alcotest.(check bool) (Printf.sprintf "TV %.2e small" tv) true (tv < 1e-4);
+  (* trace is monotone decreasing *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (b <= a +. 1e-12);
+        mono rest
+    | _ -> ()
+  in
+  mono r.Bound_opt.trace
+
+let test_bound_opt_nonuniform_prior () =
+  let risks = [| 0.1; 0.9; 0.4 |] in
+  let prior = [| 0.1; 0.8; 0.1 |] in
+  let beta = 2. in
+  let r = Bound_opt.minimize ~risks ~prior ~beta () in
+  let t =
+    Gibbs.of_risks ~predictors:[| 0; 1; 2 |]
+      ~log_prior:(Array.map log prior) ~beta ~risks ()
+  in
+  Array.iteri
+    (fun i p ->
+      check_close ~tol:1e-4 (Printf.sprintf "coord %d" i) p
+        r.Bound_opt.posterior.(i))
+    (Gibbs.probabilities t)
+
+(* ------------------------------------------------------------------ *)
+(* MCMC *)
+
+let test_mcmc_gaussian_target () =
+  (* Target: standard normal (beta R̂ = x^2/2 absorbed in log density).
+     Posterior mean ~ 0, std ~ 1. *)
+  let g = Dp_rng.Prng.create 31 in
+  let log_density th = -0.5 *. th.(0) *. th.(0) in
+  let r =
+    Mcmc.run
+      ~config:{ Mcmc.step_std = 1.0; burn_in = 2000; thin = 5 }
+      ~log_density ~init:[| 3. |] ~n_samples:20_000 g
+  in
+  Alcotest.(check bool) "acceptance reasonable" true
+    (r.Mcmc.acceptance_rate > 0.2 && r.Mcmc.acceptance_rate < 0.9);
+  let mean = (Mcmc.posterior_mean r).(0) in
+  if Float.abs mean > 0.05 then Alcotest.failf "mcmc mean %g" mean;
+  let xs = Array.map (fun s -> s.(0)) r.Mcmc.samples in
+  let v = Dp_stats.Describe.variance xs in
+  if Float.abs (v -. 1.) > 0.1 then Alcotest.failf "mcmc var %g" v
+
+let test_mcmc_matches_grid_gibbs () =
+  (* Ablation A3 core check: the MCMC Gibbs sampler matches the exact
+     grid posterior in TV after enough steps. *)
+  let sample = make_sample ~n:30 41 in
+  let beta = 5. in
+  let emp th = Risk.empirical ~loss:zero_one_loss sample th in
+  (* exact: grid Gibbs restricted to the same grid prior *)
+  let t =
+    Gibbs.fit ~predictors:threshold_grid ~beta
+      ~empirical_risk:emp ()
+  in
+  let grid = Array.map (fun th -> [| th |]) threshold_grid in
+  (* continuous MCMC over theta in [-2, 2] with uniform prior *)
+  let log_density th =
+    if th.(0) < -2. || th.(0) > 2. then neg_infinity
+    else -.beta *. emp th.(0)
+  in
+  let g = Dp_rng.Prng.create 43 in
+  let r =
+    Mcmc.run
+      ~config:{ Mcmc.step_std = 0.5; burn_in = 5000; thin = 10 }
+      ~log_density ~init:[| 0. |] ~n_samples:30_000 g
+  in
+  (* The grid posterior uses a uniform prior over 21 points; nearest-
+     neighbour binning of the continuous chain approximates the same
+     distribution because the risk is piecewise constant between data
+     points and the grid is fine. Allow a modest TV tolerance. *)
+  let tv =
+    Mcmc.tv_distance_to_grid r ~grid ~grid_probs:(Gibbs.probabilities t)
+  in
+  Alcotest.(check bool) (Printf.sprintf "TV %.3f below 0.08" tv) true (tv < 0.08)
+
+let test_mcmc_gibbs_log_density () =
+  let ld = Mcmc.gibbs_log_density ~beta:2. ~empirical_risk:(fun th -> th.(0) *. th.(0)) () in
+  (* -beta*r + log prior; at 0 the risk term vanishes *)
+  let at0 = ld [| 0. |] in
+  let at1 = ld [| 1. |] in
+  (* difference: -2*1 + (logphi(1)-logphi(0)) = -2 - 0.5 *)
+  check_close ~tol:1e-12 "density ratio" (-2.5) (at1 -. at0)
+
+(* ------------------------------------------------------------------ *)
+(* Gibbs channel (E6/E12 machinery) *)
+
+let test_gibbs_channel_exact () =
+  (* Universe {0,1}, n=3, predictors classify the majority bit.
+     Loss: predictor j in {0,1} suffers loss 1 on record z if z != j. *)
+  let loss j z = if j = z then 0. else 1. in
+  let beta = 2. in
+  let gc =
+    Gibbs_channel.build ~universe_probs:[| 0.5; 0.5 |] ~n:3
+      ~predictors:[| 0; 1 |] ~beta ~loss ()
+  in
+  Alcotest.(check int) "8 samples" 8 (Array.length gc.Gibbs_channel.samples);
+  (* input distribution is uniform over the 8 tuples *)
+  Array.iter
+    (fun p -> check_close ~tol:1e-12 "uniform input" 0.125 p)
+    gc.Gibbs_channel.input;
+  (* Theorem 4.1: exact channel epsilon below 2 beta ΔR̂ = 2*2*(1/3). *)
+  let eps_hat = Gibbs_channel.dp_epsilon gc in
+  let eps_bound = Gibbs_channel.theoretical_epsilon gc ~loss_lo:0. ~loss_hi:1. in
+  check_close ~tol:1e-12 "bound value" (4. /. 3.) eps_bound;
+  Alcotest.(check bool) "exact <= bound" true (eps_hat <= eps_bound +. 1e-12);
+  Alcotest.(check bool) "not degenerate" true (eps_hat > 0.);
+  (* Lemma 3.2 row by row: the Gibbs channel minimizes the
+     prior-explicit objective E R̂ + E_Z KL(rows‖prior)/beta among all
+     channels. *)
+  let obj = Gibbs_channel.pac_objective gc in
+  let g = Dp_rng.Prng.create 51 in
+  for _ = 1 to 100 do
+    let alt =
+      Dp_info.Channel.perturb gc.Gibbs_channel.channel ~magnitude:0.4 g
+    in
+    Alcotest.(check bool) "gibbs minimizes KL objective" true
+      (obj <= Gibbs_channel.pac_objective_of_channel gc alt +. 1e-12)
+  done;
+  (* Catoni's identity: the KL objective upper-bounds the MI objective,
+     with the gap KL(marginal‖prior)/beta. *)
+  let mi_obj = Gibbs_channel.objective gc in
+  Alcotest.(check bool) "KL objective >= MI objective" true
+    (obj >= mi_obj -. 1e-12);
+  (* Theorem 4.2 under the optimal prior: the alternating solver's
+     optimum beats perturbations of its own channel on the MI
+     objective. *)
+  let rr =
+    Dp_info.Rate_risk.solve ~input:gc.Gibbs_channel.input
+      ~risk:gc.Gibbs_channel.risk ~beta ()
+  in
+  for _ = 1 to 100 do
+    let alt =
+      Dp_info.Channel.perturb rr.Dp_info.Rate_risk.channel ~magnitude:0.4 g
+    in
+    Alcotest.(check bool) "optimal-prior channel minimizes MI objective" true
+      (rr.Dp_info.Rate_risk.objective
+      <= Gibbs_channel.objective_of_channel gc alt +. 1e-12)
+  done
+
+let test_gibbs_channel_vs_rate_risk () =
+  (* The rate-risk solver run on the same risk matrix must find the
+     same optimum value as the Gibbs channel built with the OPTIMAL
+     prior; with a uniform prior the Gibbs channel objective is >= the
+     solver's optimum. *)
+  let loss j z = if j = z then 0. else 1. in
+  let beta = 3. in
+  let gc =
+    Gibbs_channel.build ~universe_probs:[| 0.7; 0.3 |] ~n:2
+      ~predictors:[| 0; 1 |] ~beta ~loss ()
+  in
+  let r =
+    Dp_info.Rate_risk.solve ~input:gc.Gibbs_channel.input
+      ~risk:gc.Gibbs_channel.risk ~beta ()
+  in
+  Alcotest.(check bool) "solver optimum <= uniform-prior Gibbs" true
+    (r.Dp_info.Rate_risk.objective <= Gibbs_channel.objective gc +. 1e-9);
+  (* MI at the solver optimum is still bounded by the channel epsilon
+     (Alvim-style sanity: I <= diam * eps; here diam = n). *)
+  let eps_hat =
+    Dp_info.Channel.dp_epsilon r.Dp_info.Rate_risk.channel
+      ~neighbors:(Gibbs_channel.neighbor_indices gc)
+  in
+  let mi = Dp_info.Channel.mutual_information r.Dp_info.Rate_risk.channel in
+  Alcotest.(check bool) "I <= n * eps" true
+    (mi <= (2. *. eps_hat) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Gibbs posterior normalizes" ~count:200
+      (pair
+         (array_of_size (Gen.int_range 1 30) (float_range 0. 1.))
+         (float_range 0.01 50.))
+      (fun (risks, beta) ->
+        let t =
+          Gibbs.of_risks ~predictors:(Array.init (Array.length risks) Fun.id)
+            ~beta ~risks ()
+        in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-9 1.
+          (Dp_math.Summation.sum (Gibbs.probabilities t)));
+    Test.make ~name:"Gibbs expected risk <= prior expected risk" ~count:200
+      (array_of_size (Gen.int_range 1 20) (float_range 0. 1.))
+      (fun risks ->
+        (* reweighting toward low risk can only reduce expected risk *)
+        let t =
+          Gibbs.of_risks ~predictors:(Array.init (Array.length risks) Fun.id)
+            ~beta:3. ~risks ()
+        in
+        let prior_risk = Dp_stats.Describe.mean risks in
+        Gibbs.expected_empirical_risk t <= prior_risk +. 1e-9);
+    Test.make ~name:"objective_of_posterior >= pac_bayes_objective"
+      ~count:200
+      (pair
+         (array_of_size (Gen.int_range 2 15) (float_range 0. 1.))
+         (int_range 0 10_000))
+      (fun (risks, seed) ->
+        let k = Array.length risks in
+        let t =
+          Gibbs.of_risks ~predictors:(Array.init k Fun.id) ~beta:5. ~risks ()
+        in
+        let g = Dp_rng.Prng.create seed in
+        let rho = Dp_rng.Sampler.dirichlet ~alpha:(Array.make k 1.) g in
+        Gibbs.objective_of_posterior t rho
+        >= Gibbs.pac_bayes_objective t -. 1e-9);
+    Test.make ~name:"catoni bound within [0,1] and above nothing vacuous"
+      ~count:300
+      (quad (float_range 0.1 100.) (int_range 10 5000) (float_range 0.001 0.5)
+         (pair (float_range 0. 1.) (float_range 0. 10.)))
+      (fun (beta, n, delta, (risk, kl)) ->
+        let b = Bounds.catoni ~beta ~n ~delta ~emp_risk:risk ~kl in
+        b >= 0. && b <= 1.);
+    Test.make ~name:"seeger >= emp risk and <= 1" ~count:300
+      (triple (int_range 10 5000) (float_range 0. 1.) (float_range 0. 5.))
+      (fun (n, risk, kl) ->
+        let b = Bounds.seeger ~n ~delta:0.05 ~emp_risk:risk ~kl in
+        b >= risk -. 1e-9 && b <= 1.);
+    Test.make ~name:"privacy epsilon linear in beta" ~count:100
+      (pair (float_range 0.1 10.) (float_range 0.001 1.))
+      (fun (beta, sens) ->
+        let t =
+          Gibbs.of_risks ~predictors:[| 0; 1 |] ~beta ~risks:[| 0.1; 0.9 |] ()
+        in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-12
+          (2. *. beta *. sens)
+          (Gibbs.privacy_epsilon t ~risk_sensitivity:sens));
+  ]
+
+let () =
+  Alcotest.run "dp_pac_bayes"
+    [
+      ( "risk",
+        [
+          Alcotest.test_case "empirical" `Quick test_empirical_risk;
+          Alcotest.test_case "true risk MC" `Slow test_true_risk_mc;
+        ] );
+      ( "gibbs",
+        [
+          Alcotest.test_case "exact distribution" `Quick
+            test_gibbs_distribution;
+          Alcotest.test_case "beta limits" `Quick test_gibbs_beta_limits;
+          Alcotest.test_case "non-uniform prior" `Quick
+            test_gibbs_nonuniform_prior;
+          Alcotest.test_case "sampling" `Slow test_gibbs_sampling;
+          Alcotest.test_case "minimizes objective (Lemma 3.2)" `Quick
+            test_gibbs_minimizes_objective_lemma_3_2;
+          Alcotest.test_case "= exponential mechanism (Thm 4.1)" `Quick
+            test_gibbs_is_exponential_mechanism;
+          Alcotest.test_case "DP guarantee (Thm 4.1)" `Quick
+            test_gibbs_privacy_theorem_4_1;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "formulas & monotonicity" `Quick
+            test_bound_formulas;
+          Alcotest.test_case "catoni correction" `Quick test_catoni_correction;
+          Alcotest.test_case "linearized looser" `Quick
+            test_linearized_dominates_catoni;
+          Alcotest.test_case "seeger tightest" `Quick test_seeger_tightest;
+          Alcotest.test_case "coverage (Thm 3.1)" `Slow
+            test_bound_validity_coverage;
+        ] );
+      ( "bound optimizer",
+        [
+          Alcotest.test_case "recovers Gibbs (Lemma 3.2)" `Quick
+            test_bound_opt_recovers_gibbs;
+          Alcotest.test_case "non-uniform prior" `Quick
+            test_bound_opt_nonuniform_prior;
+        ] );
+      ( "mcmc",
+        [
+          Alcotest.test_case "gaussian target" `Slow test_mcmc_gaussian_target;
+          Alcotest.test_case "matches grid Gibbs (A3)" `Slow
+            test_mcmc_matches_grid_gibbs;
+          Alcotest.test_case "gibbs log density" `Quick
+            test_mcmc_gibbs_log_density;
+        ] );
+      ( "gibbs channel (Fig 1)",
+        [
+          Alcotest.test_case "exact channel (Thm 4.1/4.2)" `Quick
+            test_gibbs_channel_exact;
+          Alcotest.test_case "agrees with rate-risk" `Quick
+            test_gibbs_channel_vs_rate_risk;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

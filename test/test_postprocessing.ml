@@ -1,0 +1,240 @@
+(* Tests for channel post-processing (DPI / DP invariance), group
+   privacy, and multiclass learners. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let base_channel () =
+  Dp_info.Channel.create ~input:[| 0.3; 0.4; 0.3 |]
+    ~matrix:
+      [| [| 0.7; 0.2; 0.1 |]; [| 0.2; 0.6; 0.2 |]; [| 0.1; 0.2; 0.7 |] |]
+
+let neighbors i = Array.of_list (List.filter (fun j -> j <> i) [ 0; 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+
+let test_cascade_shapes () =
+  let ch = base_channel () in
+  let post = Dp_info.Channel_ops.deterministic_post ~outputs:3 (fun y -> y mod 2) in
+  let c = Dp_info.Channel_ops.cascade ch ~post in
+  Alcotest.(check int) "outputs preserved" 3 (Dp_info.Channel.n_outputs c);
+  (* rows remain distributions (validated by Channel.create) *)
+  check_close ~tol:1e-12 "row sums" 1.
+    (Dp_math.Summation.sum (Dp_info.Channel.row c 0));
+  (* column 1 (odd target) collects mass of output 1 only; column 2 empty *)
+  check_close ~tol:1e-12 "empty column" 0. (Dp_info.Channel.row c 0).(2)
+
+let test_data_processing_inequality () =
+  let g = Dp_rng.Prng.create 1 in
+  let ch = base_channel () in
+  let i0 = Dp_info.Channel.mutual_information ch in
+  let e0 = Dp_info.Channel.dp_epsilon ch ~neighbors in
+  for _ = 1 to 50 do
+    (* random stochastic post-processor *)
+    let post =
+      Array.init 3 (fun _ -> Dp_rng.Sampler.dirichlet ~alpha:[| 1.; 1.; 1. |] g)
+    in
+    let c = Dp_info.Channel_ops.cascade ch ~post in
+    Alcotest.(check bool) "DPI" true
+      (Dp_info.Channel.mutual_information c <= i0 +. 1e-9);
+    Alcotest.(check bool) "DP invariance" true
+      (Dp_info.Channel.dp_epsilon c ~neighbors <= e0 +. 1e-9)
+  done
+
+let test_total_eraser () =
+  let ch = base_channel () in
+  let c =
+    Dp_info.Channel_ops.cascade ch
+      ~post:(Dp_info.Channel_ops.deterministic_post ~outputs:3 (fun _ -> 1))
+  in
+  check_close ~tol:1e-12 "no information" 0. (Dp_info.Channel.mutual_information c);
+  check_close ~tol:1e-9 "no privacy loss" 0.
+    (Dp_info.Channel.dp_epsilon c ~neighbors)
+
+let test_product_channel () =
+  let ch = base_channel () in
+  let p = Dp_info.Channel_ops.product ch ch in
+  Alcotest.(check int) "output alphabet" 9 (Dp_info.Channel.n_outputs p);
+  (* epsilon adds exactly for independent copies *)
+  check_close ~tol:1e-9 "eps additive"
+    (2. *. Dp_info.Channel.dp_epsilon ch ~neighbors)
+    (Dp_info.Channel.dp_epsilon p ~neighbors);
+  (* information subadditive *)
+  Alcotest.(check bool) "I subadditive" true
+    (Dp_info.Channel.mutual_information p
+    <= (2. *. Dp_info.Channel.mutual_information ch) +. 1e-9);
+  (* and at least the single-copy information *)
+  Alcotest.(check bool) "I superadditive vs one copy" true
+    (Dp_info.Channel.mutual_information p
+    >= Dp_info.Channel.mutual_information ch -. 1e-9)
+
+let test_post_constructors () =
+  (try
+     ignore (Dp_info.Channel_ops.deterministic_post ~outputs:2 (fun _ -> 5));
+     Alcotest.fail "accepted function leaving alphabet"
+   with Invalid_argument _ -> ());
+  let p = Dp_info.Channel_ops.binary_symmetric_post ~outputs:4 ~flip:0.75 in
+  (* flip = 3/4 over 4 outputs is the uniform eraser *)
+  Array.iter (fun row -> Array.iter (fun v -> check_close "uniform" 0.25 v) row) p
+
+(* ------------------------------------------------------------------ *)
+
+let test_group_privacy () =
+  let b = Dp_mechanism.Privacy.group ~k:3 (Dp_mechanism.Privacy.pure 0.5) in
+  check_close "eps scales" 1.5 b.Dp_mechanism.Privacy.epsilon;
+  check_close "delta stays 0" 0. b.Dp_mechanism.Privacy.delta;
+  let b =
+    Dp_mechanism.Privacy.group ~k:2
+      (Dp_mechanism.Privacy.approx ~epsilon:1. ~delta:1e-6)
+  in
+  check_close ~tol:1e-9 "delta scales" (2. *. exp 1. *. 1e-6)
+    b.Dp_mechanism.Privacy.delta;
+  (* group of 1 is the identity *)
+  let b0 = Dp_mechanism.Privacy.approx ~epsilon:0.7 ~delta:1e-5 in
+  Alcotest.(check bool) "identity" true (Dp_mechanism.Privacy.group ~k:1 b0 = b0);
+  (* consistency with the channel: hamming-2 neighbours have at most
+     2*eps divergence (checked on the exact Gibbs channel) *)
+  let gc =
+    Dp_pac_bayes.Gibbs_channel.build ~universe_probs:[| 0.5; 0.5 |] ~n:4
+      ~predictors:[| 0; 1 |] ~beta:4.
+      ~loss:(fun j z -> if j = z then 0. else 1.)
+      ()
+  in
+  let eps1 = Dp_pac_bayes.Gibbs_channel.dp_epsilon gc in
+  (* all pairs at hamming distance exactly 2 *)
+  let worst2 = ref 0. in
+  let samples = gc.Dp_pac_bayes.Gibbs_channel.samples in
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj ->
+          if Dp_dataset.Neighbors.hamming_distance si sj = 2 then begin
+            let ri = Dp_info.Channel.row gc.Dp_pac_bayes.Gibbs_channel.channel i in
+            let rj = Dp_info.Channel.row gc.Dp_pac_bayes.Gibbs_channel.channel j in
+            worst2 := Float.max !worst2 (Dp_info.Entropy.max_divergence ri rj)
+          end)
+        samples)
+    samples;
+  Alcotest.(check bool)
+    (Printf.sprintf "group privacy %.4f <= 2 x %.4f" !worst2 eps1)
+    true
+    (!worst2 <= (2. *. eps1) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+
+let multiclass_data seed n =
+  let g = Dp_rng.Prng.create seed in
+  (* three classes at 120-degree separated means in 2-D *)
+  let means =
+    [| [| 0.8; 0. |]; [| -0.4; 0.7 |]; [| -0.4; -0.7 |] |]
+  in
+  let features = Array.make n [||] and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let c = i mod 3 in
+    features.(i) <-
+      Dp_linalg.Vec.project_l2_ball ~radius:1.
+        [|
+          means.(c).(0) +. Dp_rng.Sampler.gaussian ~mean:0. ~std:0.25 g;
+          means.(c).(1) +. Dp_rng.Sampler.gaussian ~mean:0. ~std:0.25 g;
+        |];
+    labels.(i) <- c
+  done;
+  (features, labels)
+
+let test_multiclass_learns () =
+  let features, labels = multiclass_data 2 600 in
+  let m =
+    Dp_learn.Multiclass.train ~classes:3 ~loss:Dp_learn.Loss_fn.logistic
+      ~features ~labels ()
+  in
+  let acc = Dp_learn.Multiclass.accuracy m ~features ~labels in
+  Alcotest.(check bool) (Printf.sprintf "acc %.3f" acc) true (acc > 0.9);
+  (* prediction consistent with argmax *)
+  let x = features.(0) in
+  let scores = Array.map (fun th -> Dp_linalg.Vec.dot th x) m.Dp_learn.Multiclass.thetas in
+  Alcotest.(check int) "argmax" (Dp_linalg.Vec.argmax scores)
+    (Dp_learn.Multiclass.predict m x)
+
+let test_multiclass_private () =
+  let g = Dp_rng.Prng.create 3 in
+  let features, labels = multiclass_data 4 3000 in
+  let m, budget =
+    Dp_learn.Multiclass.train_private_output ~epsilon:9. ~classes:3
+      ~loss:Dp_learn.Loss_fn.logistic ~features ~labels g
+  in
+  check_close "budget" 9. budget.Dp_mechanism.Privacy.epsilon;
+  let acc = Dp_learn.Multiclass.accuracy m ~features ~labels in
+  Alcotest.(check bool) (Printf.sprintf "private acc %.3f" acc) true (acc > 0.8);
+  (* bad labels rejected *)
+  try
+    ignore
+      (Dp_learn.Multiclass.train ~classes:2 ~loss:Dp_learn.Loss_fn.logistic
+         ~features ~labels ());
+    Alcotest.fail "accepted out-of-range labels"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"cascade preserves stochasticity" ~count:100
+      (int_range 0 10_000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let post =
+          Array.init 3 (fun _ -> Dp_rng.Sampler.dirichlet ~alpha:[| 0.5; 0.5; 0.5 |] g)
+        in
+        let c = Dp_info.Channel_ops.cascade (base_channel ()) ~post in
+        let ok = ref true in
+        for i = 0 to 2 do
+          if
+            not
+              (Dp_math.Numeric.approx_equal ~rel_tol:1e-9 1.
+                 (Dp_math.Summation.sum (Dp_info.Channel.row c i)))
+          then ok := false
+        done;
+        !ok);
+    Test.make ~name:"group privacy monotone in k" ~count:100
+      (pair (float_range 0. 2.) (int_range 1 10))
+      (fun (eps, k) ->
+        let b = Dp_mechanism.Privacy.pure eps in
+        (Dp_mechanism.Privacy.group ~k b).Dp_mechanism.Privacy.epsilon
+        <= (Dp_mechanism.Privacy.group ~k:(k + 1) b).Dp_mechanism.Privacy.epsilon
+           +. 1e-12);
+    Test.make ~name:"multiclass predict in range" ~count:50
+      (int_range 0 1000)
+      (fun seed ->
+        let features, labels = multiclass_data seed 60 in
+        let m =
+          Dp_learn.Multiclass.train ~classes:3 ~loss:Dp_learn.Loss_fn.logistic
+            ~features ~labels ()
+        in
+        Array.for_all
+          (fun x ->
+            let p = Dp_learn.Multiclass.predict m x in
+            p >= 0 && p < 3)
+          features);
+  ]
+
+let () =
+  Alcotest.run "dp_postprocessing"
+    [
+      ( "channel ops",
+        [
+          Alcotest.test_case "cascade shapes" `Quick test_cascade_shapes;
+          Alcotest.test_case "data-processing inequality" `Quick
+            test_data_processing_inequality;
+          Alcotest.test_case "total eraser" `Quick test_total_eraser;
+          Alcotest.test_case "product channel" `Quick test_product_channel;
+          Alcotest.test_case "post constructors" `Quick test_post_constructors;
+        ] );
+      ("group privacy", [ Alcotest.test_case "scaling" `Quick test_group_privacy ]);
+      ( "multiclass",
+        [
+          Alcotest.test_case "learns" `Quick test_multiclass_learns;
+          Alcotest.test_case "private" `Slow test_multiclass_private;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

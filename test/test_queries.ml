@@ -1,0 +1,209 @@
+(* Tests for propose-test-release and hierarchical range queries. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* PTR *)
+
+let test_distance_to_instability () =
+  Alcotest.(check int) "immediate" 0
+    (Dp_mechanism.Propose_test_release.distance_to_instability
+       ~is_stable:(fun _ -> false));
+  Alcotest.(check int) "at 5" 5
+    (Dp_mechanism.Propose_test_release.distance_to_instability
+       ~is_stable:(fun k -> k < 5))
+
+let test_ptr_release_scalar () =
+  let g = Dp_rng.Prng.create 1 in
+  (* far from instability: almost always releases, near the value *)
+  let released = ref 0 and sum_err = ref 0. in
+  for _ = 1 to 500 do
+    match
+      Dp_mechanism.Propose_test_release.release_scalar ~epsilon:1. ~delta:1e-6
+        ~distance:100 ~local_bound:0.5 ~value:42. g
+    with
+    | Dp_mechanism.Propose_test_release.Released v ->
+        incr released;
+        sum_err := !sum_err +. Float.abs (v -. 42.)
+    | Dp_mechanism.Propose_test_release.Refused -> ()
+  done;
+  Alcotest.(check bool) "almost always releases" true (!released > 495);
+  Alcotest.(check bool) "small noise" true
+    (!sum_err /. float_of_int !released < 2.);
+  (* at distance 0: almost always refuses *)
+  let refused = ref 0 in
+  for _ = 1 to 500 do
+    if
+      Dp_mechanism.Propose_test_release.release_scalar ~epsilon:1. ~delta:1e-6
+        ~distance:0 ~local_bound:0.5 ~value:42. g
+      = Dp_mechanism.Propose_test_release.Refused
+    then incr refused
+  done;
+  Alcotest.(check bool) "refuses near instability" true (!refused > 495)
+
+let test_ptr_median_utility () =
+  let g = Dp_rng.Prng.create 2 in
+  let xs =
+    Array.init 201 (fun _ -> 500. +. Dp_rng.Sampler.gaussian ~mean:0. ~std:20. g)
+  in
+  let truth = Dp_stats.Describe.median xs in
+  let errs = ref [] and refusals = ref 0 in
+  for _ = 1 to 300 do
+    match
+      Dp_mechanism.Propose_test_release.private_median ~epsilon:2. ~delta:1e-6
+        ~lo:0. ~hi:1000. xs g
+    with
+    | Dp_mechanism.Propose_test_release.Released v ->
+        errs := Float.abs (v -. truth) :: !errs
+    | Dp_mechanism.Propose_test_release.Refused -> incr refusals
+  done;
+  Alcotest.(check bool) "mostly releases" true (!refusals < 30);
+  let med = Dp_stats.Describe.median (Array.of_list !errs) in
+  Alcotest.(check bool) (Printf.sprintf "median err %.2f" med) true (med < 10.)
+
+(* ------------------------------------------------------------------ *)
+(* Range queries *)
+
+let test_range_exact_at_huge_epsilon () =
+  let g = Dp_rng.Prng.create 3 in
+  let counts = Array.init 37 (fun i -> i mod 5) in
+  (* huge epsilon: both strategies ~exact for every range *)
+  let flat = Dp_mechanism.Range_queries.flat_release ~epsilon:1e9 counts g in
+  let hier = Dp_mechanism.Range_queries.hierarchical_release ~epsilon:1e9 counts g in
+  for _ = 1 to 200 do
+    let lo = Dp_rng.Prng.int g 37 in
+    let hi = lo + Dp_rng.Prng.int g (37 - lo) in
+    let truth = float_of_int (Dp_mechanism.Range_queries.true_range counts ~lo ~hi) in
+    check_close ~tol:1e-4
+      (Printf.sprintf "flat [%d,%d]" lo hi)
+      truth
+      (Dp_mechanism.Range_queries.range_query flat ~lo ~hi);
+    check_close ~tol:1e-4
+      (Printf.sprintf "hier [%d,%d]" lo hi)
+      truth
+      (Dp_mechanism.Range_queries.range_query hier ~lo ~hi)
+  done
+
+let test_range_error_scaling () =
+  let g = Dp_rng.Prng.create 4 in
+  let m = 512 in
+  let counts = Array.make m 3 in
+  let reps = 30 in
+  let rmse_of release len =
+    let acc = ref 0. and cnt = ref 0 in
+    for _ = 1 to reps do
+      let t = release () in
+      for _ = 1 to 20 do
+        let lo = Dp_rng.Prng.int g (m - len + 1) in
+        let hi = lo + len - 1 in
+        let truth = float_of_int (Dp_mechanism.Range_queries.true_range counts ~lo ~hi) in
+        acc := !acc +. Dp_math.Numeric.sq (Dp_mechanism.Range_queries.range_query t ~lo ~hi -. truth);
+        incr cnt
+      done
+    done;
+    sqrt (!acc /. float_of_int !cnt)
+  in
+  let flat () = Dp_mechanism.Range_queries.flat_release ~epsilon:1. counts g in
+  let hier () = Dp_mechanism.Range_queries.hierarchical_release ~epsilon:1. counts g in
+  (* flat singleton error matches the analytic law within 30% *)
+  let f1 = rmse_of flat 1 in
+  let analytic = Dp_mechanism.Range_queries.expected_flat_std ~epsilon:1. ~range_len:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flat singleton %.2f ~ %.2f" f1 analytic)
+    true
+    (Float.abs (f1 -. analytic) < 0.3 *. analytic);
+  (* hierarchy beats flat on the full-domain range *)
+  let ff = rmse_of flat m and hf = rmse_of hier m in
+  Alcotest.(check bool)
+    (Printf.sprintf "full range: hier %.1f < flat %.1f" hf ff)
+    true (hf < ff)
+
+let test_range_decomposition_counts () =
+  (* the dyadic decomposition must produce few nodes: query the whole
+     domain minus endpoints and check the noise variance implied is
+     far below flat's *)
+  let g = Dp_rng.Prng.create 5 in
+  let m = 256 in
+  let counts = Array.make m 0 in
+  let errs =
+    Array.init 300 (fun _ ->
+        let t =
+          Dp_mechanism.Range_queries.hierarchical_release ~epsilon:1. counts g
+        in
+        Dp_mechanism.Range_queries.range_query t ~lo:1 ~hi:(m - 2))
+  in
+  let std = Dp_stats.Describe.std errs in
+  (* with <= ~2 log m nodes of scale 2*9, std <= sqrt(16)*sqrt(2)*18 ~ 102;
+     flat would be sqrt(254)*sqrt(2)*2 ~ 45... compare against the naive
+     worst: 254 nodes at scale 18 would give ~ 405 *)
+  Alcotest.(check bool) (Printf.sprintf "std %.1f reasonable" std) true
+    (std < 150.)
+
+let test_range_validation () =
+  let g = Dp_rng.Prng.create 6 in
+  let t = Dp_mechanism.Range_queries.flat_release ~epsilon:1. [| 1; 2; 3 |] g in
+  Alcotest.(check int) "domain" 3 (Dp_mechanism.Range_queries.domain_size t);
+  check_close "budget" 1. (Dp_mechanism.Range_queries.budget t).Dp_mechanism.Privacy.epsilon;
+  (try
+     ignore (Dp_mechanism.Range_queries.range_query t ~lo:2 ~hi:1);
+     Alcotest.fail "accepted inverted range"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dp_mechanism.Range_queries.range_query t ~lo:0 ~hi:3);
+    Alcotest.fail "accepted out-of-domain range"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"hier answers every range finitely" ~count:50
+      (pair (int_range 0 1000) (int_range 1 100))
+      (fun (seed, m) ->
+        let g = Dp_rng.Prng.create seed in
+        let counts = Array.init m (fun i -> i mod 3) in
+        let t =
+          Dp_mechanism.Range_queries.hierarchical_release ~epsilon:1. counts g
+        in
+        let ok = ref true in
+        for lo = 0 to m - 1 do
+          let hi = Stdlib.min (m - 1) (lo + 7) in
+          if not (Float.is_finite (Dp_mechanism.Range_queries.range_query t ~lo ~hi))
+          then ok := false
+        done;
+        !ok);
+    Test.make ~name:"ptr outcome is well formed" ~count:100
+      (pair (int_range 0 1000) (int_range 0 50))
+      (fun (seed, distance) ->
+        let g = Dp_rng.Prng.create seed in
+        match
+          Dp_mechanism.Propose_test_release.release_scalar ~epsilon:1.
+            ~delta:1e-5 ~distance ~local_bound:1. ~value:0. g
+        with
+        | Dp_mechanism.Propose_test_release.Released v -> Float.is_finite v
+        | Dp_mechanism.Propose_test_release.Refused -> true);
+  ]
+
+let () =
+  Alcotest.run "dp_queries"
+    [
+      ( "propose-test-release",
+        [
+          Alcotest.test_case "distance" `Quick test_distance_to_instability;
+          Alcotest.test_case "release scalar" `Quick test_ptr_release_scalar;
+          Alcotest.test_case "median utility" `Quick test_ptr_median_utility;
+        ] );
+      ( "range queries",
+        [
+          Alcotest.test_case "exact at huge epsilon" `Quick
+            test_range_exact_at_huge_epsilon;
+          Alcotest.test_case "error scaling" `Slow test_range_error_scaling;
+          Alcotest.test_case "decomposition" `Quick
+            test_range_decomposition_counts;
+          Alcotest.test_case "validation" `Quick test_range_validation;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,258 @@
+(* Tests for contingency tables, smooth sensitivity, and synthetic
+   data release. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Contingency *)
+
+let test_contingency_basics () =
+  let t =
+    Dp_stats.Contingency.of_pairs ~rows:2 ~cols:3
+      [| (0, 0); (0, 1); (1, 2); (1, 2); (0, 0) |]
+  in
+  check_close "total" 5. (Dp_stats.Contingency.total t);
+  let r = Dp_stats.Contingency.row_marginals t in
+  check_close "row 0" 3. r.(0);
+  check_close "row 1" 2. r.(1);
+  let c = Dp_stats.Contingency.col_marginals t in
+  check_close "col 2" 2. c.(2);
+  let e = Dp_stats.Contingency.expected_under_independence t in
+  check_close ~tol:1e-12 "expected cell" (3. *. 2. /. 5.) e.(0).(0);
+  (try
+     ignore (Dp_stats.Contingency.of_pairs ~rows:2 ~cols:2 [| (2, 0) |]);
+     Alcotest.fail "accepted out of range"
+   with Invalid_argument _ -> ())
+
+let test_chi_square_independence () =
+  let g = Dp_rng.Prng.create 1 in
+  (* independent attributes: p-value large most of the time *)
+  let indep =
+    Array.init 2000 (fun _ ->
+        ((if Dp_rng.Prng.bool g then 1 else 0), if Dp_rng.Prng.bool g then 1 else 0))
+  in
+  let t = Dp_stats.Contingency.of_pairs ~rows:2 ~cols:2 indep in
+  let r = Dp_stats.Contingency.chi_square_independence t in
+  Alcotest.(check bool) "independent accepted" true (r.Dp_stats.Gof.p_value > 0.001);
+  (* perfectly dependent: rejected *)
+  let dep = Array.init 2000 (fun _ -> let a = if Dp_rng.Prng.bool g then 1 else 0 in (a, a)) in
+  let t = Dp_stats.Contingency.of_pairs ~rows:2 ~cols:2 dep in
+  let r = Dp_stats.Contingency.chi_square_independence t in
+  Alcotest.(check bool) "dependent rejected" true (r.Dp_stats.Gof.p_value < 1e-10);
+  (* MI: zero iff independent (in expectation), log 2 for the copy *)
+  check_close ~tol:0.01 "copy MI" (log 2.) (Dp_stats.Contingency.mutual_information t)
+
+let test_contingency_noising () =
+  let t = Dp_stats.Contingency.of_pairs ~rows:2 ~cols:2 [| (0, 0); (1, 1) |] in
+  let noisy = Dp_stats.Contingency.map_counts (fun c -> c -. 5.) t in
+  (* negatives clamped *)
+  Alcotest.(check bool) "clamped" true
+    (Array.for_all (Array.for_all (fun c -> c >= 0.)) noisy.Dp_stats.Contingency.counts)
+
+(* ------------------------------------------------------------------ *)
+(* Smooth sensitivity *)
+
+let test_smooth_sensitivity_concentrated () =
+  (* tightly concentrated data: smooth sensitivity far below range *)
+  let xs = Array.init 101 (fun i -> 500. +. (0.1 *. float_of_int (i - 50))) in
+  let s =
+    Dp_mechanism.Smooth_sensitivity.median_smooth_sensitivity ~beta:(1. /. 6.)
+      ~lo:0. ~hi:1000. xs
+  in
+  Alcotest.(check bool) (Printf.sprintf "S=%.2f small" s) true (s < 50.);
+  (* but never below the local sensitivity at distance 0 *)
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let ls0 =
+    Dp_mechanism.Smooth_sensitivity.median_local_sensitivity_at_distance
+      ~lo:0. ~hi:1000. ~sorted 0
+  in
+  Alcotest.(check bool) "S >= LS(0)" true (s >= ls0 -. 1e-12)
+
+let test_smooth_sensitivity_monotone_in_beta () =
+  let g = Dp_rng.Prng.create 2 in
+  let xs = Array.init 51 (fun _ -> Dp_rng.Sampler.uniform ~lo:400. ~hi:600. g) in
+  let s b =
+    Dp_mechanism.Smooth_sensitivity.median_smooth_sensitivity ~beta:b ~lo:0.
+      ~hi:1000. xs
+  in
+  (* larger beta discounts far databases more: S decreases *)
+  Alcotest.(check bool) "monotone" true (s 1. <= s 0.01 +. 1e-9)
+
+let test_smooth_sensitivity_worst_case () =
+  (* adversarial data (all at lo): the median can be dragged to hi in
+     ~n/2 steps, so S ~ range * e^{-beta n/2}; still finite and the
+     mechanism runs *)
+  let xs = Array.make 21 0. in
+  let s =
+    Dp_mechanism.Smooth_sensitivity.median_smooth_sensitivity ~beta:0.5 ~lo:0.
+      ~hi:1000. xs
+  in
+  Alcotest.(check bool) "finite" true (Float.is_finite s && s > 0.)
+
+let test_private_median_utility () =
+  let g = Dp_rng.Prng.create 3 in
+  let xs =
+    Array.init 201 (fun _ -> 500. +. Dp_rng.Sampler.gaussian ~mean:0. ~std:10. g)
+  in
+  let truth = Dp_stats.Describe.median xs in
+  let errs =
+    Array.init 200 (fun _ ->
+        Float.abs
+          (Dp_mechanism.Smooth_sensitivity.private_median ~epsilon:2. ~lo:0.
+             ~hi:1000. xs g
+          -. truth))
+  in
+  (* median error small despite the 1000-wide domain *)
+  let med_err = Dp_stats.Describe.median errs in
+  Alcotest.(check bool) (Printf.sprintf "median err %.2f" med_err) true
+    (med_err < 20.)
+
+let test_cauchy_sampler () =
+  let g = Dp_rng.Prng.create 4 in
+  (* median of |Cauchy(1)| is 1 *)
+  let xs =
+    Array.init 20_000 (fun _ ->
+        Float.abs (Dp_mechanism.Smooth_sensitivity.cauchy ~scale:1. g))
+  in
+  let med = Dp_stats.Describe.median xs in
+  if Float.abs (med -. 1.) > 0.05 then Alcotest.failf "cauchy median %g" med
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic release *)
+
+let make_data seed n =
+  let g = Dp_rng.Prng.create seed in
+  Dp_dataset.Dataset.clip_rows_l2 ~radius:1.
+    (Dp_dataset.Synthetic.two_gaussians ~separation:2.5 ~std:1. ~dim:2 ~n g)
+
+let test_synthetic_shapes_and_ranges () =
+  let g = Dp_rng.Prng.create 5 in
+  let d = make_data 6 500 in
+  let model, budget =
+    Dp_learn.Synthetic_release.fit ~epsilon:5. ~lo:(-1.) ~hi:1. d g
+  in
+  check_close "budget" 5. budget.Dp_mechanism.Privacy.epsilon;
+  let synth = Dp_learn.Synthetic_release.sample_dataset model ~n:300 g in
+  Alcotest.(check int) "size" 300 (Dp_dataset.Dataset.size synth);
+  Alcotest.(check int) "dim" 2 (Dp_dataset.Dataset.dim synth);
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v -> Alcotest.(check bool) "in range" true (v >= -1. && v <= 1.))
+        row)
+    synth.Dp_dataset.Dataset.features;
+  Array.iter
+    (fun y -> Alcotest.(check bool) "labels" true (y = 1. || y = -1.))
+    synth.Dp_dataset.Dataset.labels;
+  let bal = Dp_learn.Synthetic_release.class_balance model in
+  Alcotest.(check bool) "balance near 1/2" true (bal > 0.3 && bal < 0.7)
+
+let test_synthetic_preserves_task () =
+  let g = Dp_rng.Prng.create 7 in
+  let train = make_data 8 5000 and test = make_data 9 3000 in
+  let model, _ =
+    Dp_learn.Synthetic_release.fit ~epsilon:5. ~bins:12 ~lo:(-1.) ~hi:1. train g
+  in
+  let synth = Dp_learn.Synthetic_release.sample_dataset model ~n:5000 g in
+  let m = Dp_learn.Erm.train ~lambda:1e-3 ~loss:Dp_learn.Loss_fn.logistic synth in
+  let acc = Dp_learn.Erm.accuracy m.Dp_learn.Erm.theta test in
+  Alcotest.(check bool) (Printf.sprintf "synthetic acc %.3f" acc) true (acc > 0.8)
+
+let test_synthetic_noise_degrades () =
+  let g = Dp_rng.Prng.create 10 in
+  let train = make_data 11 300 in
+  let fidelity eps =
+    (* L1 distance between real and synthetic label-conditional means *)
+    let model, _ =
+      Dp_learn.Synthetic_release.fit ~epsilon:eps ~lo:(-1.) ~hi:1. train g
+    in
+    let synth = Dp_learn.Synthetic_release.sample_dataset model ~n:3000 g in
+    let mean_of d y =
+      let sel = ref [] in
+      for i = 0 to Dp_dataset.Dataset.size d - 1 do
+        let x, y' = Dp_dataset.Dataset.row d i in
+        if y' = y then sel := x.(0) :: !sel
+      done;
+      Dp_math.Summation.mean (Array.of_list !sel)
+    in
+    Float.abs (mean_of train 1. -. mean_of synth 1.)
+  in
+  let good = Dp_math.Summation.mean (Array.init 5 (fun _ -> fidelity 20.)) in
+  let bad = Dp_math.Summation.mean (Array.init 5 (fun _ -> fidelity 0.02)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fidelity degrades (%.3f vs %.3f)" good bad)
+    true (good < bad)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"contingency MI nonnegative" ~count:100
+      (make
+         Gen.(
+           array_size (int_range 2 60)
+             (pair (int_range 0 1) (int_range 0 2))))
+      (fun pairs ->
+        let t = Dp_stats.Contingency.of_pairs ~rows:2 ~cols:3 pairs in
+        Dp_stats.Contingency.mutual_information t >= 0.);
+    Test.make ~name:"smooth sensitivity between LS(0) and range" ~count:100
+      (pair (int_range 0 1000) (int_range 5 60))
+      (fun (seed, n) ->
+        let g = Dp_rng.Prng.create seed in
+        let xs = Array.init n (fun _ -> Dp_rng.Sampler.uniform ~lo:0. ~hi:10. g) in
+        let s =
+          Dp_mechanism.Smooth_sensitivity.median_smooth_sensitivity ~beta:0.2
+            ~lo:0. ~hi:10. xs
+        in
+        s >= 0. && s <= 10.);
+    Test.make ~name:"synthetic sample dataset size and labels" ~count:20
+      (int_range 0 1000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let d = make_data seed 100 in
+        let model, _ =
+          Dp_learn.Synthetic_release.fit ~epsilon:1. ~lo:(-1.) ~hi:1. d g
+        in
+        let s = Dp_learn.Synthetic_release.sample_dataset model ~n:50 g in
+        Dp_dataset.Dataset.size s = 50
+        && Array.for_all
+             (fun y -> y = 1. || y = -1.)
+             s.Dp_dataset.Dataset.labels);
+  ]
+
+let () =
+  Alcotest.run "dp_release"
+    [
+      ( "contingency",
+        [
+          Alcotest.test_case "basics" `Quick test_contingency_basics;
+          Alcotest.test_case "chi-square independence" `Quick
+            test_chi_square_independence;
+          Alcotest.test_case "noising" `Quick test_contingency_noising;
+        ] );
+      ( "smooth sensitivity",
+        [
+          Alcotest.test_case "concentrated data" `Quick
+            test_smooth_sensitivity_concentrated;
+          Alcotest.test_case "monotone in beta" `Quick
+            test_smooth_sensitivity_monotone_in_beta;
+          Alcotest.test_case "worst case" `Quick test_smooth_sensitivity_worst_case;
+          Alcotest.test_case "private median utility" `Quick
+            test_private_median_utility;
+          Alcotest.test_case "cauchy sampler" `Quick test_cauchy_sampler;
+        ] );
+      ( "synthetic release",
+        [
+          Alcotest.test_case "shapes & ranges" `Quick
+            test_synthetic_shapes_and_ranges;
+          Alcotest.test_case "preserves the task" `Slow
+            test_synthetic_preserves_task;
+          Alcotest.test_case "noise degrades fidelity" `Slow
+            test_synthetic_noise_degrades;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,337 @@
+open Dp_rng
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let moments draw n g =
+  let xs = Array.init n (fun _ -> draw g) in
+  let m = Dp_math.Summation.mean xs in
+  let v =
+    Dp_math.Summation.sum_map (fun x -> Dp_math.Numeric.sq (x -. m)) xs
+    /. float_of_int (n - 1)
+  in
+  (m, v)
+
+(* Monte-Carlo tolerance: with n = 100_000 draws the standard error of
+   the mean is sigma/sqrt(n); we allow five standard errors. *)
+let mc_n = 100_000
+
+let check_moment msg ~expected ~std actual =
+  let se = 5. *. std /. sqrt (float_of_int mc_n) in
+  if Float.abs (actual -. expected) > se then
+    Alcotest.failf "%s: expected %g +- %g, got %g" msg expected se actual
+
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  let g1 = Prng.create 42 and g2 = Prng.create 42 in
+  for i = 1 to 100 do
+    if Prng.uint64 g1 <> Prng.uint64 g2 then
+      Alcotest.failf "streams diverged at step %d" i
+  done;
+  let g3 = Prng.create 43 in
+  Alcotest.(check bool)
+    "different seeds differ" true
+    (Prng.uint64 (Prng.create 42) <> Prng.uint64 g3)
+
+let test_copy_and_split () =
+  let g = Prng.create 7 in
+  ignore (Prng.uint64 g);
+  let c = Prng.copy g in
+  Alcotest.(check bool) "copy continues identically" true
+    (Prng.uint64 g = Prng.uint64 c);
+  let g = Prng.create 7 in
+  let child = Prng.split g in
+  (* Child and parent should not produce the same next values. *)
+  Alcotest.(check bool) "split independent" true
+    (Prng.uint64 child <> Prng.uint64 g)
+
+let test_float_range () =
+  let g = Prng.create 1 in
+  for _ = 1 to 10_000 do
+    let u = Prng.float g in
+    if u < 0. || u >= 1. then Alcotest.failf "float out of range: %g" u
+  done;
+  let g = Prng.create 2 in
+  for _ = 1 to 10_000 do
+    let u = Prng.float_pos g in
+    if u <= 0. || u >= 1. then Alcotest.failf "float_pos out of range: %g" u
+  done
+
+let test_int_uniformity () =
+  let g = Prng.create 3 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Prng.int g 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* chi-square with 9 dof; 99.9% quantile ~ 27.9 *)
+  let expected = float_of_int n /. 10. in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        acc +. (Dp_math.Numeric.sq (float_of_int c -. expected) /. expected))
+      0. counts
+  in
+  if chi2 > 27.9 then Alcotest.failf "chi2 too large: %g" chi2
+
+let test_uniform_moments () =
+  let g = Prng.create 11 in
+  let m, v = moments (fun g -> Sampler.uniform ~lo:2. ~hi:6. g) mc_n g in
+  check_moment "uniform mean" ~expected:4. ~std:(4. /. sqrt 12.) m;
+  check_close ~tol:0.05 "uniform var" (16. /. 12.) v
+
+let test_laplace_moments () =
+  let g = Prng.create 12 in
+  let b = 2.0 in
+  let m, v = moments (fun g -> Sampler.laplace ~mean:1. ~scale:b g) mc_n g in
+  check_moment "laplace mean" ~expected:1. ~std:(b *. sqrt 2.) m;
+  (* var = 2b^2 = 8 *)
+  if Float.abs (v -. 8.) > 0.4 then Alcotest.failf "laplace var: %g" v
+
+let test_gaussian_moments () =
+  let g = Prng.create 13 in
+  let m, v = moments (fun g -> Sampler.gaussian ~mean:(-2.) ~std:3. g) mc_n g in
+  check_moment "gaussian mean" ~expected:(-2.) ~std:3. m;
+  if Float.abs (v -. 9.) > 0.4 then Alcotest.failf "gaussian var: %g" v;
+  check_close "zero std" 5. (Sampler.gaussian ~mean:5. ~std:0. g)
+
+let test_exponential_gamma () =
+  let g = Prng.create 14 in
+  let m, v = moments (fun g -> Sampler.exponential ~rate:2. g) mc_n g in
+  check_moment "exponential mean" ~expected:0.5 ~std:0.5 m;
+  if Float.abs (v -. 0.25) > 0.05 then Alcotest.failf "exponential var: %g" v;
+  let m, v = moments (fun g -> Sampler.gamma ~shape:3. ~scale:2. g) mc_n g in
+  check_moment "gamma mean" ~expected:6. ~std:(sqrt 12.) m;
+  if Float.abs (v -. 12.) > 1.5 then Alcotest.failf "gamma var: %g" v;
+  (* shape < 1 branch *)
+  let m, _ = moments (fun g -> Sampler.gamma ~shape:0.5 ~scale:1. g) mc_n g in
+  check_moment "gamma(0.5) mean" ~expected:0.5 ~std:(sqrt 0.5) m
+
+let test_beta_dirichlet () =
+  let g = Prng.create 15 in
+  let m, v = moments (fun g -> Sampler.beta ~a:2. ~b:3. g) mc_n g in
+  check_moment "beta mean" ~expected:0.4 ~std:0.3 m;
+  let expected_var = 2. *. 3. /. (25. *. 6.) in
+  if Float.abs (v -. expected_var) > 0.01 then Alcotest.failf "beta var: %g" v;
+  let d = Sampler.dirichlet ~alpha:[| 1.; 2.; 3. |] g in
+  check_close ~tol:1e-9 "dirichlet sums to 1" 1. (Dp_math.Summation.sum d);
+  Alcotest.(check bool) "dirichlet nonneg" true (Array.for_all (fun x -> x >= 0.) d)
+
+let test_bernoulli_binomial_geometric () =
+  let g = Prng.create 16 in
+  let count = ref 0 in
+  for _ = 1 to mc_n do
+    if Sampler.bernoulli ~p:0.3 g then incr count
+  done;
+  check_moment "bernoulli p" ~expected:0.3
+    ~std:(sqrt (0.3 *. 0.7))
+    (float_of_int !count /. float_of_int mc_n);
+  let m, _ =
+    moments (fun g -> float_of_int (Sampler.binomial ~n:10 ~p:0.4 g)) mc_n g
+  in
+  check_moment "binomial mean" ~expected:4. ~std:(sqrt 2.4) m;
+  let m, _ =
+    moments (fun g -> float_of_int (Sampler.geometric ~p:0.25 g)) mc_n g
+  in
+  check_moment "geometric mean" ~expected:3. ~std:(sqrt (0.75 /. (0.25 *. 0.25))) m
+
+let test_discrete_laplace () =
+  let g = Prng.create 17 in
+  let scale = 1.5 in
+  let m, v =
+    moments (fun g -> float_of_int (Sampler.discrete_laplace ~scale g)) mc_n g
+  in
+  (* symmetric: mean 0; variance = 2q/(1-q)^2 with q = exp(-1/scale). *)
+  let q = exp (-1. /. scale) in
+  let expected_var = 2. *. q /. Dp_math.Numeric.sq (1. -. q) in
+  check_moment "discrete laplace mean" ~expected:0. ~std:(sqrt expected_var) m;
+  if Float.abs (v -. expected_var) > 0.2 *. expected_var then
+    Alcotest.failf "discrete laplace var: %g vs %g" v expected_var
+
+let test_categorical () =
+  let g = Prng.create 18 in
+  let probs = [| 0.1; 0.2; 0.3; 0.4 |] in
+  let counts = Array.make 4 0 in
+  for _ = 1 to mc_n do
+    let i = Sampler.categorical ~probs g in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i p ->
+      check_moment
+        (Printf.sprintf "categorical p%d" i)
+        ~expected:p
+        ~std:(sqrt (p *. (1. -. p)))
+        (float_of_int counts.(i) /. float_of_int mc_n))
+    probs;
+  (* Gumbel-max on matching log-weights must agree in distribution. *)
+  let lw = Array.map log probs in
+  let counts = Array.make 4 0 in
+  for _ = 1 to mc_n do
+    let i = Sampler.categorical_log ~log_weights:lw g in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i p ->
+      check_moment
+        (Printf.sprintf "gumbel p%d" i)
+        ~expected:p
+        ~std:(sqrt (p *. (1. -. p)))
+        (float_of_int counts.(i) /. float_of_int mc_n))
+    probs
+
+let test_alias () =
+  let g = Prng.create 19 in
+  let weights = [| 1.; 2.; 3.; 4. |] in
+  let t = Alias.create weights in
+  Alcotest.(check int) "size" 4 (Alias.size t);
+  check_close "prob" 0.4 (Alias.probability t 3);
+  let counts = Array.make 4 0 in
+  for _ = 1 to mc_n do
+    let i = Alias.sample t g in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i w ->
+      let p = w /. 10. in
+      check_moment
+        (Printf.sprintf "alias p%d" i)
+        ~expected:p
+        ~std:(sqrt (p *. (1. -. p)))
+        (float_of_int counts.(i) /. float_of_int mc_n))
+    weights;
+  (* log-weight construction at extreme scale *)
+  let t = Alias.of_log_weights [| -1000.; -1000. +. log 3. |] in
+  check_close ~tol:1e-9 "log weights" 0.75 (Alias.probability t 1);
+  try
+    ignore (Alias.create [| 0.; 0. |]);
+    Alcotest.fail "alias accepted all-zero"
+  with Invalid_argument _ -> ()
+
+let test_laplace_vector () =
+  let g = Prng.create 20 in
+  let dim = 3 and scale = 0.5 in
+  (* E ||x||_2 = dim * scale for the Gamma(dim, scale) radius. *)
+  let n = 20_000 in
+  let mean_norm =
+    Dp_math.Summation.mean
+      (Array.init n (fun _ ->
+           let v = Sampler.laplace_vector_l2 ~dim ~scale g in
+           Dp_math.Summation.sum_map (fun x -> x *. x) v |> sqrt))
+  in
+  if Float.abs (mean_norm -. 1.5) > 0.05 then
+    Alcotest.failf "laplace vector mean norm: %g" mean_norm;
+  (* Direction uniformity: each coordinate has mean 0. *)
+  let sums = Array.make dim 0. in
+  for _ = 1 to n do
+    let v = Sampler.laplace_vector_l2 ~dim ~scale g in
+    Array.iteri (fun i x -> sums.(i) <- sums.(i) +. x) v
+  done;
+  Array.iteri
+    (fun i s ->
+      if Float.abs (s /. float_of_int n) > 0.05 then
+        Alcotest.failf "coordinate %d biased: %g" i (s /. float_of_int n))
+    sums
+
+let test_shuffle_swor () =
+  let g = Prng.create 21 in
+  let a = Array.init 10 Fun.id in
+  Sampler.shuffle a g;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 10 Fun.id) sorted;
+  let s = Sampler.sample_without_replacement ~k:5 20 g in
+  Alcotest.(check int) "k elements" 5 (Array.length s);
+  let module IS = Set.Make (Int) in
+  Alcotest.(check int) "distinct" 5 (IS.cardinal (IS.of_list (Array.to_list s)));
+  Array.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 20)) s
+
+let test_ks_uniform () =
+  (* Kolmogorov–Smirnov on the raw uniform: D_n * sqrt(n) should be
+     below the 0.999 quantile (~1.95) for a correct generator. *)
+  let g = Prng.create 22 in
+  let n = 10_000 in
+  let xs = Array.init n (fun _ -> Prng.float g) in
+  Array.sort compare xs;
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let ecdf_hi = float_of_int (i + 1) /. float_of_int n in
+      let ecdf_lo = float_of_int i /. float_of_int n in
+      d := Float.max !d (Float.max (Float.abs (ecdf_hi -. x)) (Float.abs (x -. ecdf_lo))))
+    xs;
+  let stat = !d *. sqrt (float_of_int n) in
+  if stat > 1.95 then Alcotest.failf "KS statistic too large: %g" stat
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Prng.int in range" ~count:500
+      (pair (int_range 0 10_000) (int_range 1 1000))
+      (fun (seed, n) ->
+        let g = Prng.create seed in
+        let v = Prng.int g n in
+        v >= 0 && v < n);
+    Test.make ~name:"laplace symmetric around mean (median check)" ~count:50
+      (int_range 0 1000)
+      (fun seed ->
+        let g = Prng.create seed in
+        let above = ref 0 in
+        let n = 2000 in
+        for _ = 1 to n do
+          if Sampler.laplace ~mean:3. ~scale:1. g > 3. then incr above
+        done;
+        (* crude binomial bound: within 5 sigma of n/2 *)
+        Float.abs (float_of_int !above -. 1000.) < 5. *. sqrt (2000. *. 0.25));
+    Test.make ~name:"alias probabilities normalize" ~count:200
+      (array_of_size (Gen.int_range 1 30) (float_range 0.01 10.))
+      (fun w ->
+        let t = Alias.create w in
+        let total =
+          Dp_math.Summation.sum
+            (Array.init (Alias.size t) (Alias.probability t))
+        in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-9 1. total);
+    Test.make ~name:"sample_without_replacement distinct" ~count:200
+      (pair (int_range 0 1000) (int_range 1 50))
+      (fun (seed, n) ->
+        let g = Prng.create seed in
+        let k = 1 + (n / 2) in
+        let s = Sampler.sample_without_replacement ~k n g in
+        let module IS = Set.Make (Int) in
+        IS.cardinal (IS.of_list (Array.to_list s)) = k);
+  ]
+
+let () =
+  Alcotest.run "dp_rng"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "copy & split" `Quick test_copy_and_split;
+          Alcotest.test_case "float ranges" `Quick test_float_range;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "KS uniformity" `Quick test_ks_uniform;
+        ] );
+      ( "samplers",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_moments;
+          Alcotest.test_case "laplace" `Quick test_laplace_moments;
+          Alcotest.test_case "gaussian" `Quick test_gaussian_moments;
+          Alcotest.test_case "exponential & gamma" `Quick test_exponential_gamma;
+          Alcotest.test_case "beta & dirichlet" `Quick test_beta_dirichlet;
+          Alcotest.test_case "discrete families" `Quick
+            test_bernoulli_binomial_geometric;
+          Alcotest.test_case "discrete laplace" `Quick test_discrete_laplace;
+          Alcotest.test_case "categorical & gumbel" `Quick test_categorical;
+          Alcotest.test_case "alias method" `Quick test_alias;
+          Alcotest.test_case "laplace vector" `Quick test_laplace_vector;
+          Alcotest.test_case "shuffle & SWOR" `Quick test_shuffle_swor;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

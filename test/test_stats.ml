@@ -1,0 +1,208 @@
+open Dp_stats
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+
+let test_describe () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_close "mean" 5. (Describe.mean xs);
+  check_close "variance" (32. /. 7.) (Describe.variance xs);
+  check_close "median" 4.5 (Describe.median xs);
+  check_close "q0" 2. (Describe.quantile xs 0.);
+  check_close "q1" 9. (Describe.quantile xs 1.);
+  let lo, hi = Describe.min_max xs in
+  check_close "min" 2. lo;
+  check_close "max" 9. hi;
+  let z = Describe.standardize xs in
+  check_close ~tol:1e-12 "standardized mean" 0. (Describe.mean z);
+  check_close "standardized var" 1. (Describe.variance z)
+
+let test_quantile_interpolation () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  (* type-7: h = 3 * 0.5 = 1.5 -> 2 + 0.5*(3-2) = 2.5 *)
+  check_close "median interp" 2.5 (Describe.quantile xs 0.5);
+  check_close "q25" 1.75 (Describe.quantile xs 0.25)
+
+let test_online () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  let t = Array.fold_left Describe.Online.add Describe.Online.empty xs in
+  Alcotest.(check int) "count" 8 (Describe.Online.count t);
+  check_close "online mean" (Describe.mean xs) (Describe.Online.mean t);
+  check_close "online var" (Describe.variance xs) (Describe.Online.variance t);
+  (* merge must equal sequential *)
+  let half1 = Array.sub xs 0 4 and half2 = Array.sub xs 4 4 in
+  let t1 = Array.fold_left Describe.Online.add Describe.Online.empty half1 in
+  let t2 = Array.fold_left Describe.Online.add Describe.Online.empty half2 in
+  let merged = Describe.Online.merge t1 t2 in
+  check_close "merged mean" (Describe.Online.mean t) (Describe.Online.mean merged);
+  check_close "merged var" (Describe.Online.variance t)
+    (Describe.Online.variance merged)
+
+let test_histogram_basic () =
+  let h = Histogram.of_samples ~lo:0. ~hi:10. ~bins:5 [| 1.; 1.5; 3.; 9.9; 5. |] in
+  check_close "total" 5. (Histogram.total h);
+  check_close "bin0 count" 2. (Histogram.count h 0);
+  check_close "bin0 prob" 0.4 (Histogram.probability h 0);
+  check_close "bin width" 2. (Histogram.bin_width h);
+  check_close "bin center" 1. (Histogram.bin_center h 0);
+  check_close "density" 0.2 (Histogram.density h 0);
+  check_close "density_at" 0.2 (Histogram.density_at h 1.2);
+  check_close "density outside" 0. (Histogram.density_at h 12.);
+  (* clamping *)
+  let h = Histogram.add h (-5.) in
+  check_close "clamped low" 3. (Histogram.count h 0);
+  let h = Histogram.add h 100. in
+  check_close "clamped high" 2. (Histogram.count h 4)
+
+let test_histogram_ops () =
+  let h = Histogram.of_samples ~lo:0. ~hi:4. ~bins:4 [| 0.5; 1.5; 2.5; 3.5 |] in
+  let noisy = Histogram.map_counts (fun c -> c -. 2.) h in
+  (* negatives are clamped at zero *)
+  check_close "clamped count" 0. (Histogram.count noisy 0);
+  check_close "l1 self" 0. (Histogram.l1_distance h h);
+  let h2 = Histogram.of_samples ~lo:0. ~hi:4. ~bins:4 [| 0.5; 0.6; 0.7; 0.8 |] in
+  check_close "l1 disjoint" 1.5 (Histogram.l1_distance h h2)
+
+let test_ks_one_sample () =
+  let g = Dp_rng.Prng.create 5 in
+  (* Correct null: uniforms against the uniform CDF -> large p. *)
+  let xs = Array.init 2000 (fun _ -> Dp_rng.Prng.float g) in
+  let r = Gof.ks_one_sample ~cdf:(fun x -> Dp_math.Numeric.clamp ~lo:0. ~hi:1. x) xs in
+  Alcotest.(check bool) "uniform accepted" true (r.p_value > 0.01);
+  (* Wrong null: exponentials against uniform CDF -> tiny p. *)
+  let ys = Array.init 2000 (fun _ -> Dp_rng.Sampler.exponential ~rate:1. g) in
+  let r = Gof.ks_one_sample ~cdf:(fun x -> Dp_math.Numeric.clamp ~lo:0. ~hi:1. x) ys in
+  Alcotest.(check bool) "exponential rejected" true (r.p_value < 1e-6)
+
+let test_ks_laplace_sampler () =
+  (* End-to-end: the Laplace sampler passes KS against its analytic CDF;
+     this is the sampler the DP mechanism relies on. *)
+  let g = Dp_rng.Prng.create 6 in
+  let b = 1.7 in
+  let xs = Array.init 5000 (fun _ -> Dp_rng.Sampler.laplace ~mean:0. ~scale:b g) in
+  let cdf x =
+    if x < 0. then 0.5 *. exp (x /. b) else 1. -. (0.5 *. exp (-.x /. b))
+  in
+  let r = Gof.ks_one_sample ~cdf xs in
+  Alcotest.(check bool) "laplace sampler matches CDF" true (r.p_value > 0.001)
+
+let test_ks_two_sample () =
+  let g = Dp_rng.Prng.create 7 in
+  let xs = Array.init 1500 (fun _ -> Dp_rng.Sampler.gaussian ~mean:0. ~std:1. g) in
+  let ys = Array.init 1500 (fun _ -> Dp_rng.Sampler.gaussian ~mean:0. ~std:1. g) in
+  let r = Gof.ks_two_sample xs ys in
+  Alcotest.(check bool) "same dist accepted" true (r.p_value > 0.01);
+  let zs = Array.init 1500 (fun _ -> Dp_rng.Sampler.gaussian ~mean:1. ~std:1. g) in
+  let r = Gof.ks_two_sample xs zs in
+  Alcotest.(check bool) "shifted rejected" true (r.p_value < 1e-6)
+
+let test_chi_square () =
+  let expected = [| 25.; 25.; 25.; 25. |] in
+  let r = Gof.chi_square_gof ~expected ~observed:[| 25.; 25.; 25.; 25. |] in
+  check_close "perfect fit stat" 0. r.statistic;
+  check_close "perfect fit p" 1. r.p_value;
+  let r = Gof.chi_square_gof ~expected ~observed:[| 50.; 0.; 25.; 25. |] in
+  Alcotest.(check bool) "bad fit rejected" true (r.p_value < 0.001);
+  (* known value: chi2 sf with df=2 is exp(-x/2) *)
+  check_close ~tol:1e-9 "sf df2" (exp (-1.)) (Gof.chi_square_sf ~df:2 2.)
+
+let test_kde () =
+  let g = Dp_rng.Prng.create 8 in
+  let xs = Array.init 4000 (fun _ -> Dp_rng.Sampler.gaussian ~mean:0. ~std:1. g) in
+  let k = Kde.fit xs in
+  Alcotest.(check bool) "bandwidth positive" true (Kde.bandwidth k > 0.);
+  let d0 = Kde.density k 0. in
+  let expected = 1. /. sqrt (2. *. Float.pi) in
+  if Float.abs (d0 -. expected) > 0.05 then
+    Alcotest.failf "KDE at mode: %g vs %g" d0 expected;
+  Alcotest.(check bool) "tails lower" true (Kde.density k 3. < d0);
+  (* integral ~ 1 *)
+  let integral =
+    Dp_math.Quadrature.simpson ~n:512 ~f:(Kde.density k) (-6.) 6.
+  in
+  check_close ~tol:0.02 "integrates to 1" 1. integral
+
+let test_bootstrap () =
+  let g = Dp_rng.Prng.create 9 in
+  let xs = Array.init 400 (fun _ -> Dp_rng.Sampler.gaussian ~mean:10. ~std:2. g) in
+  let iv =
+    Bootstrap.confidence_interval ~statistic:Describe.mean xs g
+  in
+  Alcotest.(check bool) "interval contains estimate" true
+    (iv.lo <= iv.estimate && iv.estimate <= iv.hi);
+  Alcotest.(check bool) "interval contains truth" true
+    (iv.lo <= 10.3 && iv.hi >= 9.7);
+  Alcotest.(check bool) "interval is tight" true (iv.hi -. iv.lo < 1.)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"quantile is monotone in p" ~count:200
+      (pair
+         (array_of_size (Gen.int_range 2 40) (float_range (-100.) 100.))
+         (pair (float_range 0. 1.) (float_range 0. 1.)))
+      (fun (xs, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Describe.quantile xs lo <= Describe.quantile xs hi +. 1e-9);
+    Test.make ~name:"histogram probabilities sum to 1" ~count:200
+      (array_of_size (Gen.int_range 1 100) (float_range (-5.) 5.))
+      (fun xs ->
+        let h = Histogram.of_samples ~lo:(-5.) ~hi:5. ~bins:7 xs in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-9 1.
+          (Dp_math.Summation.sum (Histogram.probabilities h)));
+    Test.make ~name:"online matches batch variance" ~count:200
+      (array_of_size (Gen.int_range 2 50) (float_range (-10.) 10.))
+      (fun xs ->
+        let t = Array.fold_left Describe.Online.add Describe.Online.empty xs in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-6 ~abs_tol:1e-9
+          (Describe.variance xs)
+          (Describe.Online.variance t));
+    Test.make ~name:"l1 distance is a metric (symmetric, bounded by 2)"
+      ~count:100
+      (pair
+         (array_of_size (Gen.int_range 1 50) (float_range 0. 10.))
+         (array_of_size (Gen.int_range 1 50) (float_range 0. 10.)))
+      (fun (xs, ys) ->
+        let ha = Histogram.of_samples ~lo:0. ~hi:10. ~bins:5 xs in
+        let hb = Histogram.of_samples ~lo:0. ~hi:10. ~bins:5 ys in
+        let d = Histogram.l1_distance ha hb in
+        d >= 0. && d <= 2.
+        && Dp_math.Numeric.approx_equal ~abs_tol:1e-12 d
+             (Histogram.l1_distance hb ha));
+  ]
+
+let () =
+  Alcotest.run "dp_stats"
+    [
+      ( "describe",
+        [
+          Alcotest.test_case "summary stats" `Quick test_describe;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_quantile_interpolation;
+          Alcotest.test_case "online (Welford)" `Quick test_online;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basic;
+          Alcotest.test_case "noising & distance" `Quick test_histogram_ops;
+        ] );
+      ( "gof",
+        [
+          Alcotest.test_case "KS one-sample" `Quick test_ks_one_sample;
+          Alcotest.test_case "KS validates Laplace sampler" `Quick
+            test_ks_laplace_sampler;
+          Alcotest.test_case "KS two-sample" `Quick test_ks_two_sample;
+          Alcotest.test_case "chi-square" `Quick test_chi_square;
+        ] );
+      ( "kde & bootstrap",
+        [
+          Alcotest.test_case "kde" `Quick test_kde;
+          Alcotest.test_case "bootstrap CI" `Quick test_bootstrap;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

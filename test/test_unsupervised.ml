@@ -1,0 +1,261 @@
+(* Tests for local DP protocols, private k-means, and private PCA. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if not (Dp_math.Numeric.approx_equal ~rel_tol:tol ~abs_tol:tol expected actual)
+  then Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Local DP *)
+
+let test_grr_probabilities () =
+  let grr = Dp_mechanism.Local_dp.Grr.create ~epsilon:1. ~k:4 in
+  check_close ~tol:1e-12 "truth prob"
+    (exp 1. /. (exp 1. +. 3.))
+    (Dp_mechanism.Local_dp.Grr.truth_probability grr);
+  (* respond keeps range *)
+  let g = Dp_rng.Prng.create 1 in
+  for _ = 1 to 1000 do
+    let r = Dp_mechanism.Local_dp.Grr.respond grr 2 g in
+    Alcotest.(check bool) "in range" true (r >= 0 && r < 4)
+  done;
+  try
+    ignore (Dp_mechanism.Local_dp.Grr.respond grr 4 g);
+    Alcotest.fail "accepted out of range"
+  with Invalid_argument _ -> ()
+
+let test_grr_ldp_property () =
+  (* exact eps-LDP: output distribution ratio between any two inputs *)
+  let eps = 0.8 in
+  let grr = Dp_mechanism.Local_dp.Grr.create ~epsilon:eps ~k:5 in
+  let p = Dp_mechanism.Local_dp.Grr.truth_probability grr in
+  let q = (1. -. p) /. 4. in
+  (* P(report r | v) is p if r = v else q; max ratio = p/q = e^eps *)
+  check_close ~tol:1e-12 "ratio is e^eps" (exp eps) (p /. q)
+
+let test_grr_estimation_consistency () =
+  let g = Dp_rng.Prng.create 2 in
+  let k = 5 and n = 100_000 in
+  let truth = [| 0.4; 0.25; 0.2; 0.1; 0.05 |] in
+  let grr = Dp_mechanism.Local_dp.Grr.create ~epsilon:2. ~k in
+  let values = Array.init n (fun _ -> Dp_rng.Sampler.categorical ~probs:truth g) in
+  let reports = Array.map (fun v -> Dp_mechanism.Local_dp.Grr.respond grr v g) values in
+  let est = Dp_mechanism.Local_dp.Grr.estimate_frequencies grr reports in
+  Array.iteri
+    (fun i t ->
+      if Float.abs (est.(i) -. t) > 0.02 then
+        Alcotest.failf "grr freq %d: %g vs %g" i est.(i) t)
+    truth;
+  (* estimates sum to ~1 (debiasing is affine) *)
+  check_close ~tol:1e-6 "sums to 1" 1. (Dp_math.Summation.sum est)
+
+let test_unary_estimation () =
+  let g = Dp_rng.Prng.create 3 in
+  let k = 16 and n = 50_000 in
+  let ue = Dp_mechanism.Local_dp.Unary.create ~epsilon:2. ~k in
+  Alcotest.(check bool) "keep prob > 1/2" true
+    (Dp_mechanism.Local_dp.Unary.keep_probability ue > 0.5);
+  let truth = Array.init k (fun i -> if i = 3 then 0.5 else 0.5 /. 15.) in
+  let values = Array.init n (fun _ -> Dp_rng.Sampler.categorical ~probs:truth g) in
+  let reports = Array.map (fun v -> Dp_mechanism.Local_dp.Unary.respond ue v g) values in
+  let est = Dp_mechanism.Local_dp.Unary.estimate_frequencies ue reports in
+  if Float.abs (est.(3) -. 0.5) > 0.03 then
+    Alcotest.failf "unary mode freq: %g" est.(3);
+  (* report shape *)
+  let r = Dp_mechanism.Local_dp.Unary.respond ue 0 g in
+  Alcotest.(check int) "report length" k (Array.length r)
+
+let test_grr_beats_unary_small_k_and_vice_versa () =
+  let g = Dp_rng.Prng.create 4 in
+  let n = 30_000 and eps = 1. in
+  let l2_error k =
+    let weights = Array.init k (fun i -> 1. /. float_of_int (i + 1)) in
+    let z = Dp_math.Summation.sum weights in
+    let truth = Array.map (fun w -> w /. z) weights in
+    let values =
+      let t = Dp_rng.Alias.create weights in
+      Array.init n (fun _ -> Dp_rng.Alias.sample t g)
+    in
+    let grr = Dp_mechanism.Local_dp.Grr.create ~epsilon:eps ~k in
+    let rg = Array.map (fun v -> Dp_mechanism.Local_dp.Grr.respond grr v g) values in
+    let eg = Dp_mechanism.Local_dp.Grr.estimate_frequencies grr rg in
+    let ue = Dp_mechanism.Local_dp.Unary.create ~epsilon:eps ~k in
+    let ru = Array.map (fun v -> Dp_mechanism.Local_dp.Unary.respond ue v g) values in
+    let eu = Dp_mechanism.Local_dp.Unary.estimate_frequencies ue ru in
+    let l2 est =
+      sqrt
+        (Dp_math.Numeric.float_sum_range k (fun i ->
+             Dp_math.Numeric.sq (est.(i) -. truth.(i))))
+    in
+    (l2 eg, l2 eu)
+  in
+  let g4, u4 = l2_error 3 in
+  let g128, u128 = l2_error 128 in
+  Alcotest.(check bool) (Printf.sprintf "small k: grr %.4f <= unary %.4f" g4 u4)
+    true (g4 <= u4);
+  Alcotest.(check bool)
+    (Printf.sprintf "large k: unary %.4f <= grr %.4f" u128 g128)
+    true (u128 <= g128)
+
+(* ------------------------------------------------------------------ *)
+(* k-means *)
+
+let blobs ~n g =
+  let centers = [| [| 0.6; 0. |]; [| -0.3; 0.5 |]; [| -0.3; -0.5 |] |] in
+  Array.init n (fun i ->
+      let c = centers.(i mod 3) in
+      [|
+        c.(0) +. Dp_rng.Sampler.gaussian ~mean:0. ~std:0.05 g;
+        c.(1) +. Dp_rng.Sampler.gaussian ~mean:0. ~std:0.05 g;
+      |])
+
+let test_kmeans_recovers_blobs () =
+  let g = Dp_rng.Prng.create 5 in
+  let points = blobs ~n:600 g in
+  let m = Dp_learn.Kmeans.fit ~k:3 points g in
+  Alcotest.(check bool)
+    (Printf.sprintf "inertia %.4f small" m.Dp_learn.Kmeans.inertia)
+    true
+    (m.Dp_learn.Kmeans.inertia < 0.01);
+  (* every true center is near some fitted center *)
+  List.iter
+    (fun c ->
+      let d =
+        Array.fold_left
+          (fun acc fc -> Float.min acc (Dp_linalg.Vec.dist2 (Array.of_list c) fc))
+          infinity m.Dp_learn.Kmeans.centers
+      in
+      Alcotest.(check bool) "center recovered" true (d < 0.1))
+    [ [ 0.6; 0. ]; [ -0.3; 0.5 ]; [ -0.3; -0.5 ] ]
+
+let test_kmeans_assign_inertia () =
+  let centers = [| [| 0.; 0. |]; [| 1.; 0. |] |] in
+  Alcotest.(check int) "assign near" 0 (Dp_learn.Kmeans.assign ~centers [| 0.1; 0. |]);
+  Alcotest.(check int) "assign far" 1 (Dp_learn.Kmeans.assign ~centers [| 0.9; 0. |]);
+  check_close ~tol:1e-12 "inertia value" 0.01
+    (Dp_learn.Kmeans.inertia ~centers [| [| 0.1; 0. |] |])
+
+let test_private_kmeans_utility () =
+  let g = Dp_rng.Prng.create 6 in
+  let points = blobs ~n:5000 g in
+  let np = Dp_learn.Kmeans.fit ~k:3 points g in
+  let hi, b = Dp_learn.Kmeans.fit_private ~epsilon:10. ~k:3 points g in
+  check_close "budget" 10. b.Dp_mechanism.Privacy.epsilon;
+  Alcotest.(check bool)
+    (Printf.sprintf "dp %.4f near np %.4f" hi.Dp_learn.Kmeans.inertia
+       np.Dp_learn.Kmeans.inertia)
+    true
+    (hi.Dp_learn.Kmeans.inertia < np.Dp_learn.Kmeans.inertia +. 0.05);
+  let lo, _ = Dp_learn.Kmeans.fit_private ~epsilon:0.01 ~k:3 points g in
+  Alcotest.(check bool) "tiny eps worse" true
+    (lo.Dp_learn.Kmeans.inertia >= hi.Dp_learn.Kmeans.inertia -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* PCA *)
+
+let planted_data ~n g =
+  Array.init n (fun _ ->
+      let z1 = Dp_rng.Sampler.gaussian ~mean:0. ~std:0.5 g in
+      let z2 = Dp_rng.Sampler.gaussian ~mean:0. ~std:0.3 g in
+      Dp_linalg.Vec.project_l2_ball ~radius:1.
+        [| z1; z2; 0.02 *. z1; 0.01 *. z2; 0. |])
+
+let test_pca_exact () =
+  let g = Dp_rng.Prng.create 7 in
+  let points = planted_data ~n:3000 g in
+  let m = Dp_learn.Pca.fit ~j:2 points in
+  Alcotest.(check int) "components" 2 (Array.length m.Dp_learn.Pca.components);
+  Alcotest.(check bool)
+    (Printf.sprintf "explained %.3f" m.Dp_learn.Pca.explained_ratio)
+    true
+    (m.Dp_learn.Pca.explained_ratio > 0.98);
+  (* top component is ~e1 *)
+  let c0 = m.Dp_learn.Pca.components.(0) in
+  Alcotest.(check bool) "aligned with e1" true (Float.abs c0.(0) > 0.95);
+  (* self affinity is 1 *)
+  check_close ~tol:1e-9 "self affinity" 1. (Dp_learn.Pca.subspace_affinity m m)
+
+let test_pca_private_recovery () =
+  let g = Dp_rng.Prng.create 8 in
+  let points = planted_data ~n:20_000 g in
+  let exact = Dp_learn.Pca.fit ~j:2 points in
+  let priv, b = Dp_learn.Pca.fit_private ~epsilon:5. ~j:2 points g in
+  check_close "budget" 5. b.Dp_mechanism.Privacy.epsilon;
+  let aff = Dp_learn.Pca.subspace_affinity exact priv in
+  Alcotest.(check bool) (Printf.sprintf "affinity %.3f high" aff) true (aff > 0.9);
+  (* tiny epsilon: affinity drops *)
+  let bad, _ = Dp_learn.Pca.fit_private ~epsilon:0.001 ~j:2 points g in
+  let aff_bad = Dp_learn.Pca.subspace_affinity exact bad in
+  Alcotest.(check bool)
+    (Printf.sprintf "degrades (%.3f < %.3f)" aff_bad aff)
+    true (aff_bad < aff)
+
+let test_pca_errors () =
+  (try
+     ignore (Dp_learn.Pca.fit ~j:0 [| [| 1.; 0. |] |]);
+     Alcotest.fail "accepted j=0"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dp_learn.Pca.fit ~j:3 [| [| 1.; 0. |] |]);
+    Alcotest.fail "accepted j>d"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"grr estimates sum to ~1" ~count:30
+      (pair (int_range 0 1000) (int_range 2 10))
+      (fun (seed, k) ->
+        let g = Dp_rng.Prng.create seed in
+        let grr = Dp_mechanism.Local_dp.Grr.create ~epsilon:1. ~k in
+        let reports = Array.init 2000 (fun _ -> Dp_rng.Prng.int g k) in
+        let est = Dp_mechanism.Local_dp.Grr.estimate_frequencies grr reports in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-6
+          (Dp_math.Summation.sum est) 1.);
+    Test.make ~name:"kmeans centers stay in the ball (private)" ~count:10
+      (int_range 0 1000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let points = blobs ~n:300 g in
+        let m, _ = Dp_learn.Kmeans.fit_private ~epsilon:1. ~k:3 points g in
+        Array.for_all
+          (fun c -> Dp_linalg.Vec.norm2 c <= 1. +. 1e-9)
+          m.Dp_learn.Kmeans.centers);
+    Test.make ~name:"subspace affinity in [0,1]" ~count:20
+      (int_range 0 1000)
+      (fun seed ->
+        let g = Dp_rng.Prng.create seed in
+        let pts = planted_data ~n:500 g in
+        let a = Dp_learn.Pca.fit ~j:2 pts in
+        let b, _ = Dp_learn.Pca.fit_private ~epsilon:0.5 ~j:2 pts g in
+        let aff = Dp_learn.Pca.subspace_affinity a b in
+        aff >= -1e-9 && aff <= 1. +. 1e-9);
+  ]
+
+let () =
+  Alcotest.run "dp_unsupervised"
+    [
+      ( "local dp",
+        [
+          Alcotest.test_case "grr probabilities" `Quick test_grr_probabilities;
+          Alcotest.test_case "grr LDP property" `Quick test_grr_ldp_property;
+          Alcotest.test_case "grr estimation" `Slow test_grr_estimation_consistency;
+          Alcotest.test_case "unary estimation" `Slow test_unary_estimation;
+          Alcotest.test_case "grr/unary crossover" `Slow
+            test_grr_beats_unary_small_k_and_vice_versa;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "recovers blobs" `Quick test_kmeans_recovers_blobs;
+          Alcotest.test_case "assign & inertia" `Quick test_kmeans_assign_inertia;
+          Alcotest.test_case "private utility" `Slow test_private_kmeans_utility;
+        ] );
+      ( "pca",
+        [
+          Alcotest.test_case "exact" `Quick test_pca_exact;
+          Alcotest.test_case "private recovery" `Slow test_pca_private_recovery;
+          Alcotest.test_case "input validation" `Quick test_pca_errors;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
