@@ -7,7 +7,14 @@
       including ablation A1 (alias-table vs Gumbel-max vs linear-scan
       sampling for the exponential mechanism).
 
-   Usage: main.exe [--quick] [--tables-only | --bench-only] *)
+   3. Serving-engine throughput: queries/sec through the full
+      plan → ledger → mechanism → cache path, cached vs uncached.
+
+   Usage: main.exe [--quick] [--tables-only | --bench-only] [--json FILE]
+
+   --json FILE writes the micro-benchmark estimates as JSON
+   ({"benchmarks":[{"name":..., "ns_per_run":...}]}), so successive
+   PRs can record a perf trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -126,9 +133,67 @@ let regression_draw_tests () =
                 ~epsilon:1. ~radius:2. data g)));
   ]
 
-let run_benchmarks () =
+(* Serving-engine throughput. A huge budget and a tiny per-query
+   epsilon keep the ledger from exhausting mid-benchmark; the audit log
+   is off so memory stays flat over millions of requests. *)
+let engine_tests () =
+  let make ~cache =
+    let eng = Dp_engine.Engine.create ~seed:11 ~audit:false () in
+    let policy =
+      {
+        (Dp_engine.Registry.default_policy
+           ~total:(Dp_mechanism.Privacy.pure 1e12))
+        with
+        Dp_engine.Registry.cache;
+        default_epsilon = 1e-4;
+      }
+    in
+    (match
+       Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:4096 ~policy
+     with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    eng
+  in
+  let uncached = make ~cache:false and cached = make ~cache:true in
+  let submit eng expr =
+    match Dp_engine.Engine.submit_text eng ~dataset:"bench" expr with
+    | Ok r -> ignore r.Dp_engine.Engine.answer
+    | Error e -> failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e)
+  in
+  (* prime the cache so the cached case measures pure hits *)
+  submit cached "count(income>50000)";
+  submit cached "histogram(age,64)";
+  [
+    Test.make ~name:"engine count (uncached)"
+      (Staged.stage (fun () -> submit uncached "count(income>50000)"));
+    Test.make ~name:"engine count (cached)"
+      (Staged.stage (fun () -> submit cached "count(income>50000)"));
+    Test.make ~name:"engine mean (uncached)"
+      (Staged.stage (fun () -> submit uncached "mean(income)"));
+    Test.make ~name:"engine histogram k=64 (uncached)"
+      (Staged.stage (fun () -> submit uncached "histogram(age,64)"));
+    Test.make ~name:"engine histogram k=64 (cached)"
+      (Staged.stage (fun () -> submit cached "histogram(age,64)"));
+  ]
+
+let write_json file rows =
+  let oc = open_out file in
+  output_string oc "{\"benchmarks\":[";
+  List.iteri
+    (fun i (name, t) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "\n  {\"name\": %S, \"ns_per_run\": %.3f}" name t)
+    rows;
+  output_string oc "\n]}\n";
+  close_out oc;
+  Format.printf "wrote %d benchmark estimates to %s@." (List.length rows) file
+
+let run_benchmarks json =
   let tests =
-    Test.make_grouped ~name:"dp" (sampler_tests () @ kernel_tests () @ regression_draw_tests ())
+    Test.make_grouped ~name:"dp"
+      (sampler_tests () @ kernel_tests () @ regression_draw_tests ()
+      @ engine_tests ())
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -147,7 +212,13 @@ let run_benchmarks () =
   in
   let rows = List.sort compare rows in
   Format.printf "@.== micro-benchmarks (ns/run, OLS on monotonic clock) ==@.";
-  List.iter (fun (name, t) -> Format.printf "%-45s %12.1f@." name t) rows
+  List.iter (fun (name, t) -> Format.printf "%-45s %12.1f@." name t) rows;
+  Option.iter (fun file -> write_json file rows) json
+
+let rec json_arg = function
+  | "--json" :: file :: _ -> Some file
+  | _ :: rest -> json_arg rest
+  | [] -> None
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -156,5 +227,5 @@ let () =
   let bench_only = List.mem "--bench-only" argv in
   if not bench_only then
     Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;
-  if not tables_only then run_benchmarks ();
+  if not tables_only then run_benchmarks (json_arg argv);
   Format.printf "@.done.@."

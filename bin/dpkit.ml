@@ -1,8 +1,11 @@
-(* dpkit — command-line driver for the experiment suite.
+(* dpkit — command-line driver for the experiment suite and the
+   query-serving engine.
 
    dpkit list                         enumerate experiments
    dpkit experiment E5 [--quick]      run one experiment
-   dpkit experiment all [--seed 7]    run everything *)
+   dpkit experiment all [--seed 7]    run everything
+   dpkit serve                        line-protocol DP query server (stdin/stdout)
+   dpkit query "mean(income)" ...     one-shot queries against a synthetic dataset *)
 
 open Cmdliner
 
@@ -183,7 +186,84 @@ let channel_cmd =
        ~doc:"Print the paper's Figure 1 channel for given beta and n.")
     Term.(ret (const run $ beta_arg $ n_arg))
 
+let serve_cmd =
+  let run seed =
+    let eng = Dp_engine.Engine.create ~seed () in
+    Format.printf "dpkit %s DP query engine — 'help' lists commands@."
+      Dp_engine.Version.current;
+    Dp_engine.Protocol.serve eng stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve differentially-private queries over a line protocol on \
+          stdin/stdout.")
+    Term.(const run $ seed_arg)
+
+let query_cmd =
+  let exprs_arg =
+    let doc =
+      "Queries to answer in order, e.g. 'count', 'mean(income)', \
+       'histogram(age,8)'. A query may carry options after a space: \
+       'mean(income) eps=0.2 analyst=alice'."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPR" ~doc)
+  in
+  let rows_arg =
+    let doc = "Rows of the ad-hoc synthetic dataset." in
+    Arg.(value & opt int 1000 & info [ "rows" ] ~docv:"N" ~doc)
+  in
+  let total_arg =
+    let doc = "Total privacy budget epsilon of the dataset." in
+    Arg.(value & opt float 1.0 & info [ "budget" ] ~docv:"EPS" ~doc)
+  in
+  let delta_arg =
+    let doc = "Total privacy budget delta." in
+    Arg.(value & opt float 0. & info [ "delta" ] ~docv:"DELTA" ~doc)
+  in
+  let backend_arg =
+    let doc = "Composition backend: basic | advanced | rdp." in
+    Arg.(value & opt string "basic" & info [ "backend" ] ~docv:"B" ~doc)
+  in
+  let default_eps_arg =
+    let doc = "Per-query epsilon when a query names none." in
+    Arg.(value & opt float 0.1 & info [ "query-eps" ] ~docv:"EPS" ~doc)
+  in
+  let run seed rows budget delta backend default_eps exprs =
+    let eng = Dp_engine.Engine.create ~seed () in
+    let print_all lines = List.iter (Format.printf "%s@.") lines in
+    let register =
+      Printf.sprintf
+        "register adhoc rows=%d eps=%g delta=%g backend=%s default-eps=%g"
+        rows budget delta backend default_eps
+    in
+    let lines = Dp_engine.Protocol.exec eng register in
+    print_all lines;
+    match lines with
+    | line :: _ when String.length line >= 3 && String.sub line 0 3 = "err" ->
+        `Error (false, "registration failed")
+    | _ ->
+        List.iter
+          (fun expr ->
+            print_all (Dp_engine.Protocol.exec eng ("query adhoc " ^ expr)))
+          exprs;
+        print_all (Dp_engine.Protocol.exec eng "report adhoc");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Answer one-shot DP queries against an ad-hoc synthetic dataset and \
+          print the budget/leakage report.")
+    Term.(
+      ret
+        (const run $ seed_arg $ rows_arg $ total_arg $ delta_arg $ backend_arg
+       $ default_eps_arg $ exprs_arg))
+
 let () =
   let doc = "reproduction toolkit for 'Differentially-private Learning and Information Theory' (PAIS/EDBT 2012)" in
-  let info = Cmd.info "dpkit" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; audit_cmd; channel_cmd ]))
+  let info = Cmd.info "dpkit" ~version:Dp_engine.Version.current ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd; query_cmd ]))

@@ -1,0 +1,26 @@
+open Dp_mechanism
+
+type event = { label : string; budget : Privacy.budget }
+
+type outcome =
+  | Consistent of Privacy.budget
+  | Overdraft of { index : int; label : string; remaining : Privacy.budget }
+
+let replay ~total events =
+  let acc = Privacy.Accountant.create ~total in
+  let rec go i = function
+    | [] -> Consistent (Privacy.Accountant.spent acc)
+    | e :: rest -> (
+        match Privacy.Accountant.spend acc e.budget with
+        | () -> go (i + 1) rest
+        | exception Privacy.Budget_exceeded { remaining; _ } ->
+            Overdraft { index = i; label = e.label; remaining })
+  in
+  go 0 events
+
+let pp_outcome fmt = function
+  | Consistent spent ->
+      Format.fprintf fmt "consistent: spent %a" Privacy.pp_budget spent
+  | Overdraft { index; label; remaining } ->
+      Format.fprintf fmt "OVERDRAFT at event %d (%s): only %a remaining"
+        index label Privacy.pp_budget remaining

@@ -1,0 +1,27 @@
+(** Deterministic replay of a budget trace.
+
+    The serving engine logs one record per decision; replaying the
+    charged amounts through a fresh [Privacy.Accountant] verifies,
+    after the fact, that the claimed spend never overdrew the declared
+    total — the accounting analogue of the output-distribution audits
+    in {!Auditor}. Because the engine logs *marginal* composed charges
+    (the increase of the composed spend, whatever the composition
+    backend), the marginals telescope and basic composition of the
+    trace is exact for every backend. *)
+
+open Dp_mechanism
+
+type event = { label : string; budget : Privacy.budget }
+(** One charged release: a human-readable label and the budget it cost. *)
+
+type outcome =
+  | Consistent of Privacy.budget  (** final spent budget of the trace *)
+  | Overdraft of { index : int; label : string; remaining : Privacy.budget }
+      (** the first event (0-based) whose charge exceeded what was
+          left *)
+
+val replay : total:Privacy.budget -> event list -> outcome
+(** Replays in order through [Privacy.Accountant], catching its typed
+    {!Privacy.Budget_exceeded} rejection. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

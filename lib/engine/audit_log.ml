@@ -1,0 +1,66 @@
+open Dp_mechanism
+
+type verdict = Answered | Cached | Rejected of string
+
+type record = {
+  seq : int;
+  analyst : string option;
+  dataset : string;
+  query : string;
+  mechanism : string option;
+  requested : Privacy.budget;
+  charged : Privacy.budget;
+  cache_hit : bool;
+  verdict : verdict;
+}
+
+type t = { mutable rev : record list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let append t ?analyst ?mechanism ~dataset ~query ~requested ~charged ~cache_hit
+    ~verdict () =
+  let r =
+    {
+      seq = t.n;
+      analyst;
+      dataset;
+      query;
+      mechanism;
+      requested;
+      charged;
+      cache_hit;
+      verdict;
+    }
+  in
+  t.rev <- r :: t.rev;
+  t.n <- t.n + 1;
+  r
+
+let records t = List.rev t.rev
+let for_dataset t name = List.filter (fun r -> r.dataset = name) (records t)
+let length t = t.n
+
+let to_events t name =
+  List.filter_map
+    (fun r ->
+      match r.verdict with
+      | Answered ->
+          Some { Dp_audit.Replay.label = r.query; budget = r.charged }
+      | Cached | Rejected _ -> None)
+    (for_dataset t name)
+
+let verdict_string = function
+  | Answered -> "answered"
+  | Cached -> "cached"
+  | Rejected reason -> "rejected:" ^ reason
+
+let pp_record fmt r =
+  Format.fprintf fmt
+    "#%d %s %s %s mech=%s requested=%a charged=%a cache=%s %s" r.seq
+    (match r.analyst with Some a -> a | None -> "-")
+    r.dataset r.query
+    (match r.mechanism with Some m -> m | None -> "-")
+    Privacy.pp_budget r.requested Privacy.pp_budget r.charged
+    (if r.cache_hit then "hit" else "miss")
+    (verdict_string r.verdict)

@@ -1,0 +1,52 @@
+(** Structured audit log: one record per serving decision.
+
+    Records carry both the face-value request and the *marginal*
+    composed charge (how much the ledger's spent budget actually grew),
+    so the trace telescopes and [Dp_audit.Replay] can re-verify the
+    accounting under any composition backend. *)
+
+open Dp_mechanism
+
+type verdict = Answered | Cached | Rejected of string
+
+type record = {
+  seq : int;  (** global decision number, starting at 0 *)
+  analyst : string option;
+  dataset : string;
+  query : string;  (** normal form *)
+  mechanism : string option;  (** [None] when planning failed *)
+  requested : Privacy.budget;  (** face value of the release *)
+  charged : Privacy.budget;  (** marginal ledger increase; zero on
+                                 cache hits and rejections *)
+  cache_hit : bool;
+  verdict : verdict;
+}
+
+type t
+
+val create : unit -> t
+
+val append :
+  t ->
+  ?analyst:string ->
+  ?mechanism:string ->
+  dataset:string ->
+  query:string ->
+  requested:Privacy.budget ->
+  charged:Privacy.budget ->
+  cache_hit:bool ->
+  verdict:verdict ->
+  unit ->
+  record
+
+val records : t -> record list
+(** In decision order. *)
+
+val for_dataset : t -> string -> record list
+val length : t -> int
+
+val to_events : t -> string -> Dp_audit.Replay.event list
+(** The charged-release trace of one dataset, ready for
+    [Dp_audit.Replay.replay]. *)
+
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,32 @@
+type entry = {
+  answer : Planner.answer;
+  mechanism : Planner.mechanism;
+  requested : Dp_mechanism.Privacy.budget;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let lookup t key =
+  match Hashtbl.find_opt t.table key with
+  | Some _ as e ->
+      t.hits <- t.hits + 1;
+      e
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t key entry = Hashtbl.replace t.table key entry
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let n = t.hits + t.misses in
+  if n = 0 then 0. else float_of_int t.hits /. float_of_int n
+
+let size t = Hashtbl.length t.table

@@ -1,0 +1,251 @@
+open Dp_mechanism
+
+type serving = {
+  dataset : Registry.dataset;
+  ledger : Ledger.t;
+  cache : Cache.t;
+  mutable answered : int;
+  mutable rejected : int;
+}
+
+type t = {
+  registry : Registry.t;
+  servings : (string, serving) Hashtbl.t;
+  log : Audit_log.t option;
+  rng : Dp_rng.Prng.t;
+}
+
+let create ?(seed = 20120330) ?(audit = true) () =
+  {
+    registry = Registry.create ();
+    servings = Hashtbl.create 8;
+    log = (if audit then Some (Audit_log.create ()) else None);
+    rng = Dp_rng.Prng.create seed;
+  }
+
+let register t (ds : Registry.dataset) =
+  match Registry.register t.registry ds with
+  | Error _ as e -> e
+  | Ok () ->
+      let ledger =
+        Ledger.create ~total:ds.policy.total ~backend:ds.policy.backend
+          ?analyst_epsilon:ds.policy.analyst_epsilon ()
+      in
+      Hashtbl.replace t.servings ds.name
+        { dataset = ds; ledger; cache = Cache.create (); answered = 0; rejected = 0 };
+      Ok ()
+
+let register_synthetic t ~name ~rows ~policy =
+  match Registry.find t.registry name with
+  | Some _ -> Error (Printf.sprintf "dataset %S already registered" name)
+  | None ->
+      let ds = Registry.synthetic ~name ~rows ~policy t.rng in
+      Result.map (fun () -> ds) (register t ds)
+
+let datasets t = Registry.names t.registry
+let find t name = Registry.find t.registry name
+
+type error =
+  | Unknown_dataset of string
+  | Bad_query of string
+  | Budget_exceeded of Ledger.rejection
+
+let pp_error fmt = function
+  | Unknown_dataset name -> Format.fprintf fmt "unknown dataset %S" name
+  | Bad_query msg -> Format.fprintf fmt "bad query: %s" msg
+  | Budget_exceeded r ->
+      Format.fprintf fmt "budget exceeded%s: requested %a, remaining %a"
+        (match r.Ledger.analyst with
+        | Some a -> Printf.sprintf " for analyst %S" a
+        | None -> "")
+        Privacy.pp_budget r.Ledger.requested Privacy.pp_budget
+        r.Ledger.remaining
+
+type response = {
+  answer : Planner.answer;
+  mechanism : Planner.mechanism;
+  requested : Privacy.budget;
+  charged : Privacy.budget;
+  cache_hit : bool;
+  seq : int;
+}
+
+let zero = { Privacy.epsilon = 0.; delta = 0. }
+
+let log_decision t ?analyst ?mechanism ~dataset ~query ~requested ~charged
+    ~cache_hit ~verdict () =
+  match t.log with
+  | None -> -1
+  | Some log ->
+      (Audit_log.append log ?analyst ?mechanism ~dataset ~query ~requested
+         ~charged ~cache_hit ~verdict ())
+        .Audit_log.seq
+
+let submit t ?analyst ?epsilon ~dataset query =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv -> (
+      let ds = sv.dataset in
+      let eps =
+        match epsilon with Some e -> e | None -> ds.policy.default_epsilon
+      in
+      let norm = Query.normalize query in
+      (* Cache before planning: a hit replays the stored release without
+         touching the raw data (planning is an O(n) scan), and without
+         consulting the ledger — post-processing is free even after the
+         budget is exhausted. *)
+      let key = Printf.sprintf "%s|eps=%.12g|%s" ds.name eps norm in
+      let cached = if ds.policy.cache then Cache.lookup sv.cache key else None in
+      match cached with
+      | Some entry ->
+          let seq =
+            log_decision t ?analyst
+              ~mechanism:(Planner.mechanism_name entry.Cache.mechanism)
+              ~dataset ~query:norm ~requested:entry.Cache.requested
+              ~charged:zero ~cache_hit:true ~verdict:Audit_log.Cached ()
+          in
+          Ok
+            {
+              answer = entry.Cache.answer;
+              mechanism = entry.Cache.mechanism;
+              requested = entry.Cache.requested;
+              charged = zero;
+              cache_hit = true;
+              seq;
+            }
+      | None -> (
+          match Planner.plan ds ~epsilon:eps query with
+          | Error msg ->
+              let seq =
+                log_decision t ?analyst ~dataset ~query:norm ~requested:zero
+                  ~charged:zero ~cache_hit:false
+                  ~verdict:(Audit_log.Rejected msg) ()
+              in
+              ignore seq;
+              Error (Bad_query msg)
+          | Ok plan -> (
+              let before = Ledger.spent sv.ledger in
+              match Ledger.spend sv.ledger ?analyst plan.Planner.charge with
+              | Error rejection ->
+                  sv.rejected <- sv.rejected + 1;
+                  let seq =
+                    log_decision t ?analyst
+                      ~mechanism:(Planner.mechanism_name plan.Planner.mechanism)
+                      ~dataset ~query:norm
+                      ~requested:plan.Planner.charge.Ledger.budget ~charged:zero
+                      ~cache_hit:false
+                      ~verdict:(Audit_log.Rejected "budget-exceeded") ()
+                  in
+                  ignore seq;
+                  Error (Budget_exceeded rejection)
+              | Ok () ->
+                  let after = Ledger.spent sv.ledger in
+                  let charged =
+                    {
+                      Privacy.epsilon =
+                        Float.max 0.
+                          (after.Privacy.epsilon -. before.Privacy.epsilon);
+                      delta =
+                        Float.max 0. (after.Privacy.delta -. before.Privacy.delta);
+                    }
+                  in
+                  let answer = plan.Planner.run t.rng in
+                  if ds.policy.cache then
+                    Cache.store sv.cache key
+                      {
+                        Cache.answer;
+                        mechanism = plan.Planner.mechanism;
+                        requested = plan.Planner.charge.Ledger.budget;
+                      };
+                  sv.answered <- sv.answered + 1;
+                  let seq =
+                    log_decision t ?analyst
+                      ~mechanism:(Planner.mechanism_name plan.Planner.mechanism)
+                      ~dataset ~query:norm
+                      ~requested:plan.Planner.charge.Ledger.budget ~charged
+                      ~cache_hit:false ~verdict:Audit_log.Answered ()
+                  in
+                  Ok
+                    {
+                      answer;
+                      mechanism = plan.Planner.mechanism;
+                      requested = plan.Planner.charge.Ledger.budget;
+                      charged;
+                      cache_hit = false;
+                      seq;
+                    })))
+
+let submit_text t ?analyst ?epsilon ~dataset text =
+  match Query.parse text with
+  | Error msg -> Error (Bad_query msg)
+  | Ok q -> submit t ?analyst ?epsilon ~dataset q
+
+type report = {
+  dataset : string;
+  rows : int;
+  queries : int;
+  answered : int;
+  cache_hits : int;
+  rejected : int;
+  hit_rate : float;
+  backend : Ledger.backend;
+  total : Privacy.budget;
+  spent : Privacy.budget;
+  remaining : Privacy.budget;
+  leakage : Meter.reading;
+}
+
+let report t ~dataset =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv ->
+      let spent = Ledger.spent sv.ledger in
+      let hits = Cache.hits sv.cache in
+      Ok
+        {
+          dataset;
+          rows = sv.dataset.Registry.rows;
+          queries = sv.answered + sv.rejected + hits;
+          answered = sv.answered;
+          cache_hits = hits;
+          rejected = sv.rejected;
+          hit_rate = Cache.hit_rate sv.cache;
+          backend = Ledger.backend sv.ledger;
+          total = Ledger.total sv.ledger;
+          spent;
+          remaining = Ledger.remaining sv.ledger;
+          leakage =
+            Meter.reading ~rows:sv.dataset.Registry.rows
+              ~universe:sv.dataset.Registry.policy.universe spent;
+        }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>dataset %s (%d rows, %a composition)@,\
+     queries: %d (%d answered, %d cached, %d rejected), cache hit-rate %.3f@,\
+     budget: total %a, spent %a, remaining %a@,\
+     leakage: %a@]"
+    r.dataset r.rows Ledger.pp_backend r.backend r.queries r.answered
+    r.cache_hits r.rejected r.hit_rate Privacy.pp_budget r.total
+    Privacy.pp_budget r.spent Privacy.pp_budget r.remaining Meter.pp r.leakage
+
+let records t ~dataset =
+  match t.log with
+  | None -> []
+  | Some log -> Audit_log.for_dataset log dataset
+
+let replay t ~dataset =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv -> (
+      match t.log with
+      | None -> Ok (Dp_audit.Replay.Consistent zero)
+      | Some log ->
+          Ok
+            (Dp_audit.Replay.replay ~total:sv.dataset.Registry.policy.total
+               (Audit_log.to_events log dataset)))
+
+let analyst_spent t ~dataset ~analyst =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> zero
+  | Some sv -> Ledger.analyst_spent sv.ledger analyst

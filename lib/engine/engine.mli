@@ -1,0 +1,85 @@
+(** The differentially-private query-serving engine.
+
+    Composes the registry, per-dataset ledgers, the answer cache, the
+    leakage meter and the audit log into an interactive service: a
+    dataset is registered once with a lifetime budget, then queries
+    arrive and are planned, charged, answered (or served from cache, or
+    rejected) until the budget is exhausted. This is the operational
+    form of the paper's channel view: the engine *is* the channel
+    [Ẑ → θ], and the report's leakage reading meters it. *)
+
+open Dp_mechanism
+
+type t
+
+val create : ?seed:int -> ?audit:bool -> unit -> t
+(** [seed] (default 20120330) drives all mechanism noise — the engine
+    is deterministic given the seed and the request sequence. [audit]
+    (default [true]) controls the unbounded audit log; benchmarks
+    serving millions of requests switch it off. *)
+
+val register : t -> Registry.dataset -> (unit, string) result
+
+val register_synthetic :
+  t -> name:string -> rows:int -> policy:Registry.policy ->
+  (Registry.dataset, string) result
+(** Register the deterministic demo dataset of {!Registry.synthetic},
+    drawn from the engine's generator. *)
+
+val datasets : t -> string list
+val find : t -> string -> Registry.dataset option
+
+type error =
+  | Unknown_dataset of string
+  | Bad_query of string
+  | Budget_exceeded of Ledger.rejection
+
+val pp_error : Format.formatter -> error -> unit
+
+type response = {
+  answer : Planner.answer;
+  mechanism : Planner.mechanism;
+  requested : Privacy.budget;  (** face value of the query *)
+  charged : Privacy.budget;
+      (** marginal increase of the composed spend; zero on cache hits *)
+  cache_hit : bool;
+  seq : int;  (** audit-log sequence number (-1 when auditing is off) *)
+}
+
+val submit :
+  t -> ?analyst:string -> ?epsilon:float -> dataset:string -> Query.t ->
+  (response, error) result
+(** Serve one query. [epsilon] defaults to the dataset policy's
+    [default_epsilon]. Cache hits are answered even after the budget is
+    exhausted (post-processing costs nothing). *)
+
+val submit_text :
+  t -> ?analyst:string -> ?epsilon:float -> dataset:string -> string ->
+  (response, error) result
+(** [submit] composed with {!Query.parse}. *)
+
+type report = {
+  dataset : string;
+  rows : int;
+  queries : int;  (** decisions for this dataset, including rejections *)
+  answered : int;
+  cache_hits : int;
+  rejected : int;
+  hit_rate : float;
+  backend : Ledger.backend;
+  total : Privacy.budget;
+  spent : Privacy.budget;
+  remaining : Privacy.budget;
+  leakage : Meter.reading;
+}
+
+val report : t -> dataset:string -> (report, error) result
+val pp_report : Format.formatter -> report -> unit
+
+val records : t -> dataset:string -> Audit_log.record list
+
+val replay : t -> dataset:string -> (Dp_audit.Replay.outcome, error) result
+(** Re-verify the audit log's charged trace against the dataset's total
+    budget via [Dp_audit.Replay]. *)
+
+val analyst_spent : t -> dataset:string -> analyst:string -> Privacy.budget

@@ -1,0 +1,41 @@
+type reading = {
+  epsilon : float;
+  delta : float;
+  mi_bound_nats : float;
+  mi_bound_bits : float;
+  capacity_bound_nats : float;
+  min_entropy_leakage_bits : float option;
+}
+
+let nats_to_bits x = x /. log 2.
+
+let reading ~rows ~universe (b : Dp_mechanism.Privacy.budget) =
+  let epsilon = b.Dp_mechanism.Privacy.epsilon in
+  let mi = Dp_info.Leakage.mi_upper_bound_pure_dp ~epsilon ~diameter:1 in
+  let capacity =
+    Dp_info.Leakage.channel_capacity_bound_pure_dp ~epsilon ~diameter:rows
+  in
+  let min_entropy =
+    if epsilon > 0. && rows > 0 && universe >= 2 then
+      Some
+        (nats_to_bits
+           (Dp_info.Leakage.min_entropy_leakage_bound_alvim ~epsilon ~n:rows
+              ~universe))
+    else None
+  in
+  {
+    epsilon;
+    delta = b.Dp_mechanism.Privacy.delta;
+    mi_bound_nats = mi;
+    mi_bound_bits = nats_to_bits mi;
+    capacity_bound_nats = capacity;
+    min_entropy_leakage_bits = min_entropy;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "I(record;answers) <= %.4g nats (%.4g bits); capacity <= %.4g nats%s"
+    r.mi_bound_nats r.mi_bound_bits r.capacity_bound_nats
+    (match r.min_entropy_leakage_bits with
+    | Some l -> Format.asprintf "; min-entropy leakage <= %.4g bits" l
+    | None -> "")

@@ -1,0 +1,32 @@
+(** The leakage meter: the information-theoretic reading of the spent
+    budget.
+
+    The paper's central observation (§4–5) is that a private learner is
+    a channel [Ẑ → θ] whose leakage is metered by ε; Cuff & Yu make the
+    ε-as-MI-cap reading precise. The meter turns the ledger's spent ε
+    into the corresponding channel bounds from [Dp_info.Leakage]:
+
+    - a per-record mutual-information cap [I(X;Y) ≤ ε] (group-privacy
+      bound at Hamming diameter 1) — what the answers so far can reveal
+      about any one individual's record, for any prior;
+    - the database-level channel-capacity bound [C ≤ n·ε];
+    - Alvim et al.'s min-entropy leakage bound for a one-try adversary.
+
+    The bounds are exact for pure ε-DP; when δ > 0 they are reported on
+    the ε component alone and are approximate up to δ. *)
+
+type reading = {
+  epsilon : float;  (** composed spent ε the bounds are computed from *)
+  delta : float;
+  mi_bound_nats : float;  (** per-record MI cap, nats *)
+  mi_bound_bits : float;
+  capacity_bound_nats : float;  (** database-level capacity cap, n·ε *)
+  min_entropy_leakage_bits : float option;
+      (** Alvim bound for [rows] records over [universe] values; [None]
+          when ε = 0 *)
+}
+
+val reading :
+  rows:int -> universe:int -> Dp_mechanism.Privacy.budget -> reading
+
+val pp : Format.formatter -> reading -> unit

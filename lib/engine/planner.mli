@@ -1,0 +1,43 @@
+(** Query planning: sensitivity analysis and mechanism selection.
+
+    The planner turns a {!Query.t} against a registered dataset into an
+    executable release plan. Sensitivities come from the closed forms
+    in [Dp_mechanism.Sensitivity] (Definition 2.2 of the paper):
+
+    - count / predicate count: 1 (one record flips membership);
+    - sum(col): [hi − lo] under record replacement;
+    - mean(col): [(hi − lo)/n];
+    - histogram / cdf: L1 sensitivity 2 (one record moves between two
+      cells); the CDF is released as a noisy cell histogram whose
+      cumulative sum is post-processed into a monotone CDF, which is
+      far tighter than noising the k cumulative counts directly;
+    - quantile: rank-quality sensitivity 1 inside the exponential
+      mechanism of [Dp_learn.Quantile].
+
+    Mechanism selection is policy-aware: integer-valued queries use the
+    geometric mechanism (universally optimal for counts) under basic or
+    advanced composition, and the discrete Gaussian under an RDP
+    backend, where its Rényi curve composes tightly; real-valued
+    queries use Laplace; quantiles use the exponential mechanism. *)
+
+type answer = Scalar of float | Vector of float array
+
+type mechanism = Laplace | Geometric | Exponential | Discrete_gaussian
+
+val mechanism_name : mechanism -> string
+
+type plan = {
+  query : Query.t;
+  mechanism : mechanism;
+  sensitivity : float;
+  epsilon : float;  (** requested face-value ε of this release *)
+  charge : Ledger.charge;
+      (** what the ledger is asked for; for the discrete Gaussian this
+          is the RDP-converted (ε, δ) at the policy's δ *)
+  run : Dp_rng.Prng.t -> answer;  (** one fresh noisy release *)
+}
+
+val plan :
+  Registry.dataset -> epsilon:float -> Query.t -> (plan, string) result
+(** [Error] explains an unknown column, non-positive ε, or a
+    query/dataset mismatch; it never raises. *)

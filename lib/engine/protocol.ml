@@ -1,0 +1,220 @@
+open Dp_mechanism
+
+let fstr x = Printf.sprintf "%g" x
+
+(* key=value option parsing; bare words are flags *)
+let parse_opts tokens =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          ( String.sub tok 0 i,
+            Some (String.sub tok (i + 1) (String.length tok - i - 1)) )
+      | None -> (tok, None))
+    tokens
+
+let find_opt key opts =
+  List.find_map (fun (k, v) -> if k = key then v else None) opts
+
+let has_flag key opts = List.exists (fun (k, v) -> k = key && v = None) opts
+
+let float_opt key ~default opts =
+  match find_opt key opts with
+  | None -> Ok default
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some x when Float.is_finite x -> Ok x
+      | _ -> Error (Printf.sprintf "err bad-argument %s=%s" key s))
+
+let int_opt key ~default opts =
+  match find_opt key opts with
+  | None -> Ok default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "err bad-argument %s=%s" key s))
+
+let ( let* ) = Result.bind
+
+let register_lines eng name opts =
+  let result =
+    let* rows = int_opt "rows" ~default:1000 opts in
+    let* eps = float_opt "eps" ~default:1.0 opts in
+    let* delta = float_opt "delta" ~default:0. opts in
+    let* default_eps = float_opt "default-eps" ~default:0.1 opts in
+    let* analyst_eps = float_opt "analyst-eps" ~default:0. opts in
+    let* universe = int_opt "universe" ~default:64 opts in
+    let* slack = float_opt "slack" ~default:1e-6 opts in
+    let* backend =
+      match find_opt "backend" opts with
+      | None | Some "basic" -> Ok Ledger.Basic
+      | Some "advanced" -> Ok (Ledger.Advanced { slack })
+      | Some "rdp" ->
+          Ok (Ledger.Rdp { delta = (if delta > 0. then delta else 1e-6) })
+      | Some other ->
+          Error (Printf.sprintf "err bad-argument backend=%s" other)
+    in
+    if rows <= 0 then Error "err bad-argument rows must be positive"
+    else if eps <= 0. then Error "err bad-argument eps must be positive"
+    else
+      let policy =
+        {
+          Registry.total = Privacy.approx ~epsilon:eps ~delta;
+          backend;
+          default_epsilon = default_eps;
+          analyst_epsilon = (if analyst_eps > 0. then Some analyst_eps else None);
+          universe;
+          cache = not (has_flag "no-cache" opts);
+        }
+      in
+      Result.map_error
+        (fun msg -> "err register-failed " ^ msg)
+        (Engine.register_synthetic eng ~name ~rows ~policy)
+  in
+  match result with
+  | Error line -> [ line ]
+  | Ok ds ->
+      [
+        Printf.sprintf "ok registered name=%s rows=%d cols=%s eps=%s delta=%s backend=%s"
+          ds.Registry.name ds.Registry.rows
+          (String.concat ","
+             (Array.to_list
+                (Array.map
+                   (fun (c : Registry.column) -> c.name)
+                   ds.Registry.columns)))
+          (fstr ds.Registry.policy.total.Privacy.epsilon)
+          (fstr ds.Registry.policy.total.Privacy.delta)
+          (Format.asprintf "%a" Ledger.pp_backend ds.Registry.policy.backend);
+      ]
+
+let answer_string = function
+  | Planner.Scalar v -> Printf.sprintf "value=%.6f" v
+  | Planner.Vector vs ->
+      Printf.sprintf "values=[%s]"
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%.6f") vs)))
+
+let query_lines eng dataset expr opts =
+  let analyst = find_opt "analyst" opts in
+  match find_opt "eps" opts with
+  | Some s when float_of_string_opt s = None ->
+      [ Printf.sprintf "err bad-argument eps=%s" s ]
+  | eps_opt -> (
+  let epsilon = Option.bind eps_opt float_of_string_opt in
+  match Engine.submit_text eng ?analyst ?epsilon ~dataset expr with
+  | Ok r ->
+      [
+        Printf.sprintf "ok seq=%d %s mechanism=%s eps-charged=%s cache=%s"
+          r.Engine.seq
+          (answer_string r.Engine.answer)
+          (Planner.mechanism_name r.Engine.mechanism)
+          (fstr r.Engine.charged.Privacy.epsilon)
+          (if r.Engine.cache_hit then "hit" else "miss");
+      ]
+  | Error (Engine.Unknown_dataset name) ->
+      [ Printf.sprintf "err unknown-dataset %s" name ]
+  | Error (Engine.Bad_query msg) -> [ Printf.sprintf "err bad-query %s" msg ]
+  | Error (Engine.Budget_exceeded rej) ->
+      [
+        Printf.sprintf "err budget-exceeded requested=%s remaining=%s%s"
+          (fstr rej.Ledger.requested.Privacy.epsilon)
+          (fstr rej.Ledger.remaining.Privacy.epsilon)
+          (match rej.Ledger.analyst with
+          | Some a -> " analyst=" ^ a
+          | None -> "");
+      ])
+
+let report_lines eng dataset =
+  match Engine.report eng ~dataset with
+  | Error e -> [ Format.asprintf "err %a" Engine.pp_error e ]
+  | Ok r ->
+      let lk = r.Engine.leakage in
+      [
+        Printf.sprintf "report dataset=%s rows=%d backend=%s" r.Engine.dataset
+          r.Engine.rows
+          (Format.asprintf "%a" Ledger.pp_backend r.Engine.backend);
+        Printf.sprintf
+          "  queries=%d answered=%d cache-hits=%d rejected=%d hit-rate=%.3f"
+          r.Engine.queries r.Engine.answered r.Engine.cache_hits
+          r.Engine.rejected r.Engine.hit_rate;
+        Printf.sprintf
+          "  eps-total=%s eps-spent=%s eps-remaining=%s delta-spent=%s"
+          (fstr r.Engine.total.Privacy.epsilon)
+          (fstr r.Engine.spent.Privacy.epsilon)
+          (fstr r.Engine.remaining.Privacy.epsilon)
+          (fstr r.Engine.spent.Privacy.delta);
+        Printf.sprintf
+          "  leakage: mi-bound=%s nats (%s bits/record) capacity-bound=%s nats%s"
+          (fstr lk.Meter.mi_bound_nats)
+          (fstr lk.Meter.mi_bound_bits)
+          (fstr lk.Meter.capacity_bound_nats)
+          (match lk.Meter.min_entropy_leakage_bits with
+          | Some b -> Printf.sprintf " min-entropy-leakage=%s bits" (fstr b)
+          | None -> "");
+      ]
+
+let log_lines eng dataset =
+  match Engine.records eng ~dataset with
+  | [] -> [ "ok log empty" ]
+  | rs ->
+      Printf.sprintf "ok log entries=%d" (List.length rs)
+      :: List.map (fun r -> Format.asprintf "  %a" Audit_log.pp_record r) rs
+
+let replay_lines eng dataset =
+  match Engine.replay eng ~dataset with
+  | Error e -> [ Format.asprintf "err %a" Engine.pp_error e ]
+  | Ok outcome -> (
+      match outcome with
+      | Dp_audit.Replay.Consistent spent ->
+          [
+            Printf.sprintf "ok replay consistent eps-spent=%s"
+              (fstr spent.Privacy.epsilon);
+          ]
+      | Dp_audit.Replay.Overdraft _ ->
+          [ Format.asprintf "err replay %a" Dp_audit.Replay.pp_outcome outcome ])
+
+let help_lines =
+  [
+    "ok commands:";
+    "  register NAME [rows=N] [eps=E] [delta=D] [backend=basic|advanced|rdp]";
+    "           [slack=S] [default-eps=E] [analyst-eps=E] [universe=U] [no-cache]";
+    "  query NAME EXPR [eps=E] [analyst=A]   e.g. query demo mean(income) eps=0.2";
+    "  report NAME | log NAME | replay NAME | help | quit";
+    "  EXPR: count | count(col>x) | sum(col) | mean(col) | histogram(col,bins)";
+    "        | quantile(col,q) | cdf(col,t1,...)";
+  ]
+
+let tokens line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun s -> s <> "")
+
+let is_quit line =
+  match tokens line with [ "quit" ] | [ "exit" ] -> true | _ -> false
+
+let exec eng line =
+  match tokens line with
+  | [] -> []
+  | word :: _ when String.length word > 0 && word.[0] = '#' -> []
+  | [ "help" ] -> help_lines
+  | [ "quit" ] | [ "exit" ] -> [ "ok bye" ]
+  | "register" :: name :: opts -> register_lines eng name (parse_opts opts)
+  | "query" :: dataset :: expr :: opts ->
+      query_lines eng dataset expr (parse_opts opts)
+  | [ "query" ] | [ "query"; _ ] ->
+      [ "err bad-argument query needs NAME and EXPR (try 'help')" ]
+  | [ "report"; dataset ] -> report_lines eng dataset
+  | [ "log"; dataset ] -> log_lines eng dataset
+  | [ "replay"; dataset ] -> replay_lines eng dataset
+  | cmd :: _ ->
+      [ Printf.sprintf "err unknown-command %s (try 'help')" cmd ]
+
+let serve eng ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        List.iter (fun l -> output_string oc l; output_char oc '\n') (exec eng line);
+        flush oc;
+        if not (is_quit line) then loop ()
+  in
+  loop ()

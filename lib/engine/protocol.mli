@@ -1,0 +1,29 @@
+(** Deterministic line protocol over stdin/stdout — `dpkit serve`.
+
+    One request per line, one or more reply lines per request; replies
+    start with [ok], [err], or (for multi-line reports and logs) an
+    indented block after a header line. The protocol needs no
+    dependencies beyond the standard library, so the engine is drivable
+    end-to-end from a shell pipe, a test harness, or an expect script.
+
+    Commands:
+    {v
+    register NAME [rows=N] [eps=E] [delta=D] [backend=basic|advanced|rdp]
+                  [slack=S] [default-eps=E] [analyst-eps=E]
+                  [universe=U] [no-cache]
+    query NAME EXPR [eps=E] [analyst=A]
+    report NAME
+    log NAME
+    replay NAME
+    help
+    quit
+    v} *)
+
+val exec : Engine.t -> string -> string list
+(** Execute one request line; returns the reply lines (empty for blank
+    or [#]-comment lines). Never raises on malformed input. *)
+
+val is_quit : string -> bool
+
+val serve : Engine.t -> in_channel -> out_channel -> unit
+(** Read-eval-print until EOF or [quit]; flushes after every reply. *)

@@ -1,0 +1,132 @@
+type comparison = Le | Lt | Ge | Gt
+type predicate = { column : string; op : comparison; threshold : float }
+
+type t =
+  | Count of predicate option
+  | Sum of { column : string }
+  | Mean of { column : string }
+  | Histogram of { column : string; bins : int }
+  | Quantile of { column : string; q : float }
+  | Cdf of { column : string; points : float array }
+
+let column = function
+  | Count None -> None
+  | Count (Some { column; _ })
+  | Sum { column }
+  | Mean { column }
+  | Histogram { column; _ }
+  | Quantile { column; _ }
+  | Cdf { column; _ } ->
+      Some column
+
+let op_to_string = function Le -> "<=" | Lt -> "<" | Ge -> ">=" | Gt -> ">"
+
+(* Canonical float printing: shortest round-trippable form keeps cache
+   keys stable across 0.5 / 0.50 spellings. *)
+let fstr x = Printf.sprintf "%.12g" x
+
+let normalize = function
+  | Count None -> "count"
+  | Count (Some { column; op; threshold }) ->
+      Printf.sprintf "count(%s%s%s)" column (op_to_string op) (fstr threshold)
+  | Sum { column } -> Printf.sprintf "sum(%s)" column
+  | Mean { column } -> Printf.sprintf "mean(%s)" column
+  | Histogram { column; bins } -> Printf.sprintf "histogram(%s,%d)" column bins
+  | Quantile { column; q } -> Printf.sprintf "quantile(%s,%s)" column (fstr q)
+  | Cdf { column; points } ->
+      Printf.sprintf "cdf(%s,%s)" column
+        (String.concat "," (Array.to_list (Array.map fstr points)))
+
+let pp fmt q = Format.pp_print_string fmt (normalize q)
+
+let is_ident s =
+  String.length s > 0
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let float_of_text s =
+  match float_of_string_opt (String.trim s) with
+  | Some x when Float.is_finite x -> Ok x
+  | _ -> Error (Printf.sprintf "not a finite number: %S" s)
+
+let canonical_points points =
+  let pts = List.sort_uniq compare points in
+  Array.of_list pts
+
+(* Split "body" of a call on commas (no nesting in this grammar). *)
+let split_args body = String.split_on_char ',' body |> List.map String.trim
+
+let parse_predicate body =
+  (* column <op> threshold, with the two-char operators first *)
+  let ops = [ ("<=", Le); (">=", Ge); ("<", Lt); (">", Gt) ] in
+  let rec find = function
+    | [] -> Error "count predicate must be column<=x, column<x, column>=x or column>x"
+    | (tok, op) :: rest -> (
+        match String.index_opt body (String.get tok 0) with
+        | Some i
+          when i + String.length tok <= String.length body
+               && String.sub body i (String.length tok) = tok ->
+            let column = String.trim (String.sub body 0 i) in
+            let rhs =
+              String.sub body
+                (i + String.length tok)
+                (String.length body - i - String.length tok)
+            in
+            if not (is_ident column) then
+              Error (Printf.sprintf "bad column name %S" column)
+            else
+              Result.map
+                (fun threshold -> Count (Some { column; op; threshold }))
+                (float_of_text rhs)
+        | _ -> find rest)
+  in
+  find ops
+
+let parse s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let call =
+    match (String.index_opt s '(', String.rindex_opt s ')') with
+    | Some i, Some j when j = String.length s - 1 && i < j ->
+        Some (String.sub s 0 i, String.sub s (i + 1) (j - i - 1))
+    | _ -> None
+  in
+  match (s, call) with
+  | "count", _ -> Ok (Count None)
+  | _, Some ("count", body) -> parse_predicate body
+  | _, Some ("sum", body) when is_ident body -> Ok (Sum { column = body })
+  | _, Some ("mean", body) when is_ident body -> Ok (Mean { column = body })
+  | _, Some ("histogram", body) -> (
+      match split_args body with
+      | [ column; bins ] when is_ident column -> (
+          match int_of_string_opt bins with
+          | Some b when b > 0 && b <= 100_000 ->
+              Ok (Histogram { column; bins = b })
+          | _ -> Error (Printf.sprintf "bad bin count %S" bins))
+      | _ -> Error "histogram takes (column,bins)")
+  | _, Some ("quantile", body) -> (
+      match split_args body with
+      | [ column; q ] when is_ident column ->
+          Result.bind (float_of_text q) (fun q ->
+              if q < 0. || q > 1. then Error "quantile q must be in [0,1]"
+              else Ok (Quantile { column; q }))
+      | _ -> Error "quantile takes (column,q)")
+  | _, Some ("cdf", body) -> (
+      match split_args body with
+      | column :: (_ :: _ as pts) when is_ident column ->
+          let rec collect acc = function
+            | [] -> Ok (List.rev acc)
+            | p :: rest ->
+                Result.bind (float_of_text p) (fun x -> collect (x :: acc) rest)
+          in
+          Result.map
+            (fun pts -> Cdf { column; points = canonical_points pts })
+            (collect [] pts)
+      | _ -> Error "cdf takes (column,t1,...,tk)")
+  | _ ->
+      Error
+        (Printf.sprintf
+           "cannot parse query %S (try count, count(col>x), sum(col), \
+            mean(col), histogram(col,bins), quantile(col,q), \
+            cdf(col,t1,...))"
+           s)

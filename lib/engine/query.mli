@@ -1,0 +1,36 @@
+(** Typed query language of the serving engine.
+
+    A query is a statistical aggregate over one registered dataset.
+    Queries have a canonical textual form ({!normalize}) which doubles
+    as the answer-cache key: two queries with the same normal form are
+    the same question, so a cached noisy answer may be replayed for
+    either (DP post-processing, Proposition 2.1 of Dwork–Roth). *)
+
+type comparison = Le | Lt | Ge | Gt
+type predicate = { column : string; op : comparison; threshold : float }
+
+type t =
+  | Count of predicate option
+      (** [Count None] counts all rows; [Count (Some p)] counts rows
+          whose column satisfies the predicate. Sensitivity 1. *)
+  | Sum of { column : string }
+  | Mean of { column : string }
+  | Histogram of { column : string; bins : int }
+  | Quantile of { column : string; q : float }
+  | Cdf of { column : string; points : float array }
+      (** Empirical CDF evaluated at the given thresholds (sorted and
+          deduplicated on construction). *)
+
+val column : t -> string option
+(** The column the query reads, if any ([Count None] reads none). *)
+
+val normalize : t -> string
+(** Canonical text: lowercase keyword, canonical float printing,
+    CDF points sorted. [parse (normalize q) = Ok q]. *)
+
+val parse : string -> (t, string) result
+(** Parse the surface syntax: [count], [count(age>40)], [sum(income)],
+    [mean(income)], [histogram(age,16)], [quantile(income,0.5)],
+    [cdf(age,30,50,70)]. Comparison operators: [<= < >= >]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+open Dp_mechanism
+
+type column = { name : string; values : float array; lo : float; hi : float }
+
+type policy = {
+  total : Privacy.budget;
+  backend : Ledger.backend;
+  default_epsilon : float;
+  analyst_epsilon : float option;
+  universe : int;
+  cache : bool;
+}
+
+let default_policy ~total =
+  {
+    total;
+    backend = Ledger.Basic;
+    default_epsilon = 0.1;
+    analyst_epsilon = None;
+    universe = 64;
+    cache = true;
+  }
+
+type dataset = {
+  name : string;
+  columns : column array;
+  rows : int;
+  policy : policy;
+}
+
+let dataset ~name ~policy ~columns =
+  if name = "" then invalid_arg "Registry.dataset: empty name";
+  if columns = [] then invalid_arg "Registry.dataset: no columns";
+  ignore
+    (Dp_math.Numeric.check_pos "Registry.dataset default_epsilon"
+       policy.default_epsilon);
+  if policy.universe < 2 then
+    invalid_arg "Registry.dataset: universe must be >= 2";
+  let rows = Array.length (List.hd columns).values in
+  if rows = 0 then invalid_arg "Registry.dataset: empty columns";
+  let seen = Hashtbl.create 8 in
+  let columns =
+    List.map
+      (fun (c : column) ->
+        if Hashtbl.mem seen c.name then
+          invalid_arg
+            (Printf.sprintf "Registry.dataset: duplicate column %S" c.name);
+        Hashtbl.add seen c.name ();
+        if c.lo >= c.hi then
+          invalid_arg
+            (Printf.sprintf "Registry.dataset: column %S has lo >= hi" c.name);
+        if Array.length c.values <> rows then
+          invalid_arg "Registry.dataset: ragged columns";
+        {
+          c with
+          values =
+            Array.map (Dp_math.Numeric.clamp ~lo:c.lo ~hi:c.hi) c.values;
+        })
+      columns
+  in
+  { name; columns = Array.of_list columns; rows; policy }
+
+let column ds name =
+  Array.find_opt (fun (c : column) -> c.name = name) ds.columns
+
+let synthetic ~name ~rows ~policy g =
+  if rows <= 0 then invalid_arg "Registry.synthetic: rows must be positive";
+  let age =
+    Array.init rows (fun _ -> Dp_rng.Sampler.uniform ~lo:18. ~hi:80. g)
+  in
+  let income =
+    Dp_dataset.Synthetic.gaussian_mixture_1d ~weights:[| 0.65; 0.35 |]
+      ~means:[| 32_000.; 95_000. |] ~stds:[| 12_000.; 30_000. |] ~n:rows g
+  in
+  let score =
+    Array.init rows (fun _ -> Dp_rng.Sampler.gaussian ~mean:0. ~std:1. g)
+  in
+  dataset ~name ~policy
+    ~columns:
+      [
+        { name = "age"; values = age; lo = 18.; hi = 80. };
+        { name = "income"; values = income; lo = 0.; hi = 200_000. };
+        { name = "score"; values = score; lo = -4.; hi = 4. };
+      ]
+
+type t = (string, dataset) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let register t ds =
+  if Hashtbl.mem t ds.name then
+    Error (Printf.sprintf "dataset %S already registered" ds.name)
+  else (
+    Hashtbl.add t ds.name ds;
+    Ok ())
+
+let find t name = Hashtbl.find_opt t name
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

@@ -1,0 +1,56 @@
+(** The dataset registry: named datasets, each with bounded numeric
+    columns and a per-dataset privacy policy.
+
+    Column bounds are declared at registration and values are clamped
+    into them, so every planner sensitivity derived from [lo, hi] is a
+    true global sensitivity (the clamping is the standard bounded-range
+    preprocessing, as in [Dp_dataset.Dataset.clip_rows_l2]). The row
+    count and the policy are treated as public metadata. *)
+
+open Dp_mechanism
+
+type column = { name : string; values : float array; lo : float; hi : float }
+
+type policy = {
+  total : Privacy.budget;  (** lifetime (ε, δ) budget of the dataset *)
+  backend : Ledger.backend;
+  default_epsilon : float;  (** per-query ε when the query names none *)
+  analyst_epsilon : float option;  (** per-analyst sub-budget cap *)
+  universe : int;
+      (** distinguishable values per record, for the Alvim et al.
+          min-entropy leakage bound reported by the meter *)
+  cache : bool;  (** answer identical repeated queries from cache *)
+}
+
+val default_policy : total:Privacy.budget -> policy
+(** Basic composition, default ε = 0.1 per query, no analyst caps,
+    universe 64, cache on. *)
+
+type dataset = {
+  name : string;
+  columns : column array;
+  rows : int;
+  policy : policy;
+}
+
+val dataset :
+  name:string -> policy:policy -> columns:column list -> dataset
+(** Validates and clamps. @raise Invalid_argument on an empty name or
+    column set, empty/ragged columns, duplicate column names,
+    [lo >= hi], or a non-positive [default_epsilon]. *)
+
+val column : dataset -> string -> column option
+
+val synthetic :
+  name:string -> rows:int -> policy:policy -> Dp_rng.Prng.t -> dataset
+(** A deterministic (given the generator) demo dataset with columns
+    [age] ∈ [18,80], [income] ∈ [0,200000] (bimodal), and [score]
+    ∈ [−4,4] (standard normal, clamped).
+    @raise Invalid_argument when [rows <= 0]. *)
+
+type t
+
+val create : unit -> t
+val register : t -> dataset -> (unit, string) result
+val find : t -> string -> dataset option
+val names : t -> string list

@@ -56,6 +56,17 @@ let pp_budget fmt b =
   if b.delta = 0. then Format.fprintf fmt "%g-DP" b.epsilon
   else Format.fprintf fmt "(%g, %g)-DP" b.epsilon b.delta
 
+exception Budget_exceeded of { requested : budget; remaining : budget }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { requested; remaining } ->
+        Some
+          (Format.asprintf
+             "Privacy.Budget_exceeded: requested %a with only %a remaining"
+             pp_budget requested pp_budget remaining)
+    | _ -> None)
+
 module Accountant = struct
   type t = { total : budget; mutable used : budget }
 
@@ -65,18 +76,16 @@ module Accountant = struct
     t.used.epsilon +. b.epsilon <= t.total.epsilon +. 1e-12
     && t.used.delta +. b.delta <= t.total.delta +. 1e-15
 
-  let spend t b =
-    if not (can_afford t b) then
-      failwith
-        (Format.asprintf "Privacy.Accountant: spend %a exceeds remaining budget"
-           pp_budget b);
-    t.used <- compose t.used b
-
-  let spent t = t.used
-
   let remaining t =
     {
       epsilon = Float.max 0. (t.total.epsilon -. t.used.epsilon);
       delta = Float.max 0. (t.total.delta -. t.used.delta);
     }
+
+  let spend t b =
+    if not (can_afford t b) then
+      raise (Budget_exceeded { requested = b; remaining = remaining t });
+    t.used <- compose t.used b
+
+  let spent t = t.used
 end

@@ -39,13 +39,18 @@ val scale_noise_for : epsilon:float -> sensitivity:float -> float
 
 val pp_budget : Format.formatter -> budget -> unit
 
+exception Budget_exceeded of { requested : budget; remaining : budget }
+(** Raised by {!Accountant.spend} on overdraft. Carries the offending
+    request and what was left, so callers (e.g. the serving engine's
+    ledger) can reject structurally instead of parsing a message. *)
+
 (** Mutable budget ledger for a sequence of releases. *)
 module Accountant : sig
   type t
 
   val create : total:budget -> t
   val spend : t -> budget -> unit
-  (** @raise Failure when the spend would exceed the total budget. *)
+  (** @raise Budget_exceeded when the spend would exceed the total. *)
 
   val spent : t -> budget
   val remaining : t -> budget

@@ -44,7 +44,9 @@ let test_accountant () =
   try
     Privacy.Accountant.spend acc (Privacy.pure 0.1);
     Alcotest.fail "overspent"
-  with Failure _ -> ()
+  with Privacy.Budget_exceeded { requested; remaining } ->
+    check_close "rejection echoes the request" 0.1 requested.Privacy.epsilon;
+    check_close "rejection reports what is left" 0. remaining.Privacy.epsilon
 
 (* ------------------------------------------------------------------ *)
 (* Sensitivity *)
@@ -458,6 +460,58 @@ let qcheck_tests =
         let a = Privacy.pure e1 and b = Privacy.pure e2 in
         let ab = Privacy.compose a b and ba = Privacy.compose b a in
         ab = ba && ab.Privacy.epsilon >= Float.max e1 e2 -. 1e-12);
+    Test.make ~name:"accountant: spent + remaining = total" ~count:200
+      (pair (float_range 0.5 5.)
+         (list_of_size (Gen.int_range 0 20) (float_range 0.001 0.3)))
+      (fun (total, charges) ->
+        let acc = Privacy.Accountant.create ~total:(Privacy.pure total) in
+        List.iter
+          (fun e ->
+            try Privacy.Accountant.spend acc (Privacy.pure e)
+            with Privacy.Budget_exceeded _ -> ())
+          charges;
+        let spent = Privacy.Accountant.spent acc
+        and remaining = Privacy.Accountant.remaining acc in
+        Dp_math.Numeric.approx_equal ~rel_tol:1e-9 ~abs_tol:1e-12 total
+          (spent.Privacy.epsilon +. remaining.Privacy.epsilon)
+        && spent.Privacy.epsilon <= total +. 1e-9);
+    Test.make ~name:"accountant: can_afford agrees with spend" ~count:200
+      (triple (float_range 0.5 3.) (float_range 0.001 1.)
+         (float_range 0.001 4.))
+      (fun (total, first, request) ->
+        let acc = Privacy.Accountant.create ~total:(Privacy.pure total) in
+        (try Privacy.Accountant.spend acc (Privacy.pure first)
+         with Privacy.Budget_exceeded _ -> ());
+        let b = Privacy.pure request in
+        let afford = Privacy.Accountant.can_afford acc b in
+        match Privacy.Accountant.spend acc b with
+        | () -> afford
+        | exception Privacy.Budget_exceeded { requested; remaining } ->
+            (not afford)
+            && requested = b
+            && remaining.Privacy.epsilon < request);
+    Test.make ~name:"advanced_compose rejects bad k and slack" ~count:100
+      (pair (int_range (-5) 0)
+         (oneofl [ -0.5; 0.; 1.; 1.5 ]))
+      (fun (bad_k, bad_slack) ->
+        let rejects f = match f () with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        rejects (fun () ->
+            Privacy.advanced_compose ~k:bad_k ~delta_slack:0.01
+              (Privacy.pure 0.1))
+        && rejects (fun () ->
+               Privacy.advanced_compose ~k:3 ~delta_slack:bad_slack
+                 (Privacy.pure 0.1)));
+    Test.make ~name:"advanced_compose epsilon monotone in k" ~count:200
+      (triple (int_range 1 40) (float_range 0.01 1.) (float_range 0.001 0.2))
+      (fun (k, eps, slack) ->
+        let e_at k =
+          (Privacy.advanced_compose ~k ~delta_slack:slack (Privacy.pure eps))
+            .Privacy.epsilon
+        in
+        e_at (k + 1) >= e_at k -. 1e-12);
   ]
 
 let () =

@@ -9,7 +9,8 @@ let rejects name f =
         Alcotest.failf "%s: accepted invalid input" name
       with
       | Invalid_argument _ -> ()
-      | Failure _ -> ())
+      | Failure _ -> ()
+      | Dp_mechanism.Privacy.Budget_exceeded _ -> ())
 
 let g () = Dp_rng.Prng.create 0
 
