@@ -177,6 +177,76 @@ let engine_tests () =
       (Staged.stage (fun () -> submit cached "histogram(age,64)"));
   ]
 
+(* Durability overhead: the same serving path with the write-ahead
+   journal attached (every fresh release pays an fsync), plus the cost
+   of recovering an engine from a journal of a few hundred charges. *)
+let durability_tests () =
+  let journaled =
+    let eng = Dp_engine.Engine.create ~seed:11 ~audit:false () in
+    let path = Filename.temp_file "dpkit_bench" ".wal" in
+    at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+    (match Dp_engine.Engine.open_journal eng path with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    let policy =
+      {
+        (Dp_engine.Registry.default_policy
+           ~total:(Dp_mechanism.Privacy.pure 1e12))
+        with
+        Dp_engine.Registry.default_epsilon = 1e-4;
+        cache = false;
+      }
+    in
+    (match
+       Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:4096 ~policy
+     with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    eng
+  in
+  let submit eng expr =
+    match Dp_engine.Engine.submit_text eng ~dataset:"bench" expr with
+    | Ok r -> ignore r.Dp_engine.Engine.answer
+    | Error e -> failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e)
+  in
+  let recovery_path =
+    let path = Filename.temp_file "dpkit_bench_rec" ".wal" in
+    at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+    let eng = Dp_engine.Engine.create ~seed:12 ~audit:false () in
+    (match Dp_engine.Engine.open_journal eng path with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    let policy =
+      {
+        (Dp_engine.Registry.default_policy
+           ~total:(Dp_mechanism.Privacy.pure 1e12))
+        with
+        Dp_engine.Registry.default_epsilon = 1e-4;
+      }
+    in
+    (match
+       Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:512 ~policy
+     with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    for i = 0 to 499 do
+      submit eng (Printf.sprintf "count(age>%d)" (18 + (i mod 60)))
+    done;
+    Dp_engine.Engine.close eng;
+    path
+  in
+  [
+    Test.make ~name:"engine count (journaled, fsync/query)"
+      (Staged.stage (fun () -> submit journaled "count(income>50000)"));
+    Test.make ~name:"engine recovery (500-charge journal)"
+      (Staged.stage (fun () ->
+           let eng = Dp_engine.Engine.create ~seed:12 ~audit:false () in
+           (match Dp_engine.Engine.open_journal eng recovery_path with
+           | Ok r -> ignore r.Dp_engine.Engine.charges
+           | Error msg -> failwith msg);
+           Dp_engine.Engine.close eng));
+  ]
+
 let write_json file rows =
   let oc = open_out file in
   output_string oc "{\"benchmarks\":[";
@@ -193,7 +263,7 @@ let run_benchmarks json =
   let tests =
     Test.make_grouped ~name:"dp"
       (sampler_tests () @ kernel_tests () @ regression_draw_tests ()
-      @ engine_tests ())
+      @ engine_tests () @ durability_tests ())
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

@@ -187,18 +187,71 @@ let channel_cmd =
     Term.(ret (const run $ beta_arg $ n_arg))
 
 let serve_cmd =
-  let run seed =
-    let eng = Dp_engine.Engine.create ~seed () in
-    Format.printf "dpkit %s DP query engine — 'help' lists commands@."
-      Dp_engine.Version.current;
-    Dp_engine.Protocol.serve eng stdin stdout
+  let journal_arg =
+    let doc =
+      "Write-ahead budget journal. Charges are fsynced to $(docv) before \
+       any noisy answer is released; on startup existing records are \
+       replayed, so spent budget survives crashes."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let faults_arg =
+    let doc =
+      "Fault-injection plan, e.g. 'journal-fsync=2' or 'all-transient' \
+       (testing only; overrides \\$DPKIT_FAULTS)."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let run seed journal faults_spec =
+    let faults_r =
+      match faults_spec with
+      | None -> Ok (Dp_engine.Faults.of_env ())
+      | Some spec -> Dp_engine.Faults.parse spec
+    in
+    match faults_r with
+    | Error msg -> `Error (false, "bad --faults: " ^ msg)
+    | Ok faults -> (
+        let eng = Dp_engine.Engine.create ~seed ~faults () in
+        let recovered =
+          match journal with
+          | None -> Ok None
+          | Some path ->
+              Result.map Option.some (Dp_engine.Engine.open_journal eng path)
+        in
+        match recovered with
+        | Error msg -> `Error (false, "journal recovery failed: " ^ msg)
+        | Ok r ->
+            Format.printf "dpkit %s DP query engine — 'help' lists commands@."
+              Dp_engine.Version.current;
+            (match r with
+            | None -> ()
+            | Some r ->
+                Format.printf
+                  "journal %s: replayed %d records (%d datasets, %d charges, \
+                   %d cached answers), truncated %d torn bytes, %s@."
+                  r.Dp_engine.Engine.journal_path r.Dp_engine.Engine.records
+                  r.Dp_engine.Engine.datasets r.Dp_engine.Engine.charges
+                  r.Dp_engine.Engine.cache_entries r.Dp_engine.Engine.torn_bytes
+                  (if r.Dp_engine.Engine.verified then "audit-verified"
+                   else "UNVERIFIED"));
+            let outcome =
+              match Dp_engine.Protocol.serve eng stdin stdout with
+              | () -> `Ok ()
+              | exception Dp_engine.Faults.Crash p ->
+                  flush stdout;
+                  Printf.eprintf "dpkit: injected crash at %s\n%!"
+                    (Dp_engine.Faults.point_name p);
+                  exit 70
+            in
+            Dp_engine.Engine.close eng;
+            outcome)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve differentially-private queries over a line protocol on \
           stdin/stdout.")
-    Term.(const run $ seed_arg)
+    Term.(ret (const run $ seed_arg $ journal_arg $ faults_arg))
 
 let query_cmd =
   let exprs_arg =

@@ -19,25 +19,25 @@ let parse_libsvm_line line =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun s -> s <> "")
   with
-  | [] -> failwith "Csv.read_libsvm: empty line"
+  | [] -> invalid_arg "Csv.read_libsvm: empty line"
   | label :: feats ->
       let y =
         match float_of_string_opt label with
         | Some y -> y
-        | None -> failwith (Printf.sprintf "Csv.read_libsvm: bad label %S" label)
+        | None -> invalid_arg (Printf.sprintf "Csv.read_libsvm: bad label %S" label)
       in
       let pairs =
         List.map
           (fun f ->
             match String.index_opt f ':' with
-            | None -> failwith (Printf.sprintf "Csv.read_libsvm: bad feature %S" f)
+            | None -> invalid_arg (Printf.sprintf "Csv.read_libsvm: bad feature %S" f)
             | Some i -> (
                 let idx = String.sub f 0 i in
                 let v = String.sub f (i + 1) (String.length f - i - 1) in
                 match (int_of_string_opt idx, float_of_string_opt v) with
                 | Some idx, Some v when idx >= 1 -> (idx, v)
                 | _ ->
-                    failwith (Printf.sprintf "Csv.read_libsvm: bad feature %S" f)))
+                    invalid_arg (Printf.sprintf "Csv.read_libsvm: bad feature %S" f)))
           feats
       in
       (y, pairs)
@@ -61,9 +61,9 @@ let read_libsvm ?dim ~path () =
       in
       loop ();
       let rows = List.rev !rows in
-      if rows = [] then failwith "Csv.read_libsvm: empty file";
+      if rows = [] then invalid_arg "Csv.read_libsvm: empty file";
       let d = !max_idx in
-      if d = 0 then failwith "Csv.read_libsvm: no features";
+      if d = 0 then invalid_arg "Csv.read_libsvm: no features";
       let features =
         Array.of_list
           (List.map
@@ -113,7 +113,7 @@ let read ~path =
                    (fun s ->
                      match float_of_string_opt (String.trim s) with
                      | Some f -> f
-                     | None -> failwith (Printf.sprintf "Csv.read: bad float %S" s))
+                     | None -> invalid_arg (Printf.sprintf "Csv.read: bad float %S" s))
                    cells)
             in
             rows := row :: !rows;

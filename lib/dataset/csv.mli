@@ -10,7 +10,7 @@ val write :
 val read : path:string -> string list * float array list
 (** Returns the header fields and data rows.
     @raise Sys_error when the file cannot be read.
-    @raise Failure on a malformed numeric field. *)
+    @raise Invalid_argument on a malformed numeric field. *)
 
 val read_libsvm : ?dim:int -> path:string -> unit -> Dataset.t
 (** Read a libsvm/svmlight-format file: lines of
@@ -18,7 +18,7 @@ val read_libsvm : ?dim:int -> path:string -> unit -> Dataset.t
     labels expected. When [dim] is omitted the dimension is the
     largest index seen; absent features are 0.
     @raise Sys_error when the file cannot be read.
-    @raise Failure on malformed lines or an empty file. *)
+    @raise Invalid_argument on malformed lines or an empty file. *)
 
 val write_libsvm : path:string -> Dataset.t -> unit
 (** Write a dataset in libsvm format (all features written, 1-based

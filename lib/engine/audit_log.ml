@@ -1,6 +1,6 @@
 open Dp_mechanism
 
-type verdict = Answered | Cached | Rejected of string
+type verdict = Answered | Cached | Rejected of string | Charged_unreleased of string
 
 type record = {
   seq : int;
@@ -45,7 +45,10 @@ let to_events t name =
   List.filter_map
     (fun r ->
       match r.verdict with
-      | Answered ->
+      | Answered | Charged_unreleased _ ->
+          (* a charge whose answer was withheld (journal or RNG failure
+             after the ledger committed) still consumed budget: the
+             replayed trace must account for it *)
           Some { Dp_audit.Replay.label = r.query; budget = r.charged }
       | Cached | Rejected _ -> None)
     (for_dataset t name)
@@ -54,6 +57,7 @@ let verdict_string = function
   | Answered -> "answered"
   | Cached -> "cached"
   | Rejected reason -> "rejected:" ^ reason
+  | Charged_unreleased reason -> "charged-unreleased:" ^ reason
 
 let pp_record fmt r =
   Format.fprintf fmt

@@ -7,7 +7,15 @@
 
 open Dp_mechanism
 
-type verdict = Answered | Cached | Rejected of string
+type verdict =
+  | Answered
+  | Cached
+  | Rejected of string
+  | Charged_unreleased of string
+      (** the ledger committed the charge but the answer was withheld
+          (journal or RNG failure on the release path): budget spent,
+          nothing released — the over-counting side of
+          charge-before-answer ordering *)
 
 type record = {
   seq : int;  (** global decision number, starting at 0 *)

@@ -13,42 +13,53 @@ type t = {
   servings : (string, serving) Hashtbl.t;
   log : Audit_log.t option;
   rng : Dp_rng.Prng.t;
+  seed : int;
+  faults : Faults.t;
+  mutable journal : Journal.t option;
+  mutable journal_failed : bool;
 }
 
-let create ?(seed = 20120330) ?(audit = true) () =
+let create ?(seed = 20120330) ?(audit = true) ?faults () =
+  let faults = match faults with Some f -> f | None -> Faults.of_env () in
   {
     registry = Registry.create ();
     servings = Hashtbl.create 8;
     log = (if audit then Some (Audit_log.create ()) else None);
     rng = Dp_rng.Prng.create seed;
+    seed;
+    faults;
+    journal = None;
+    journal_failed = false;
   }
 
-let register t (ds : Registry.dataset) =
-  match Registry.register t.registry ds with
-  | Error _ as e -> e
-  | Ok () ->
-      let ledger =
-        Ledger.create ~total:ds.policy.total ~backend:ds.policy.backend
-          ?analyst_epsilon:ds.policy.analyst_epsilon ()
-      in
-      Hashtbl.replace t.servings ds.name
-        { dataset = ds; ledger; cache = Cache.create (); answered = 0; rejected = 0 };
-      Ok ()
+let faults t = t.faults
+let journal_path t = Option.map Journal.path t.journal
 
-let register_synthetic t ~name ~rows ~policy =
-  match Registry.find t.registry name with
-  | Some _ -> Error (Printf.sprintf "dataset %S already registered" name)
-  | None ->
-      let ds = Registry.synthetic ~name ~rows ~policy t.rng in
-      Result.map (fun () -> ds) (register t ds)
+let close t =
+  Option.iter Journal.close t.journal;
+  t.journal <- None
 
-let datasets t = Registry.names t.registry
-let find t name = Registry.find t.registry name
+(* Synthetic datasets are regenerated on recovery, so their generator
+   must depend only on stable registration-time facts — never on how
+   much of the engine's noise stream other queries have consumed. *)
+let dataset_seed t name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0x3FFFFFFF)
+    name;
+  (t.seed * 31 + !h) land 0x3FFFFFFF
 
 type error =
   | Unknown_dataset of string
   | Bad_query of string
   | Budget_exceeded of Ledger.rejection
+  | Degraded of {
+      dataset : string;
+      remaining : Privacy.budget;
+      low_water : float;
+    }
+  | Transient of string
+  | Fatal of string
 
 let pp_error fmt = function
   | Unknown_dataset name -> Format.fprintf fmt "unknown dataset %S" name
@@ -60,6 +71,72 @@ let pp_error fmt = function
         | None -> "")
         Privacy.pp_budget r.Ledger.requested Privacy.pp_budget
         r.Ledger.remaining
+  | Degraded { dataset; remaining; low_water } ->
+      Format.fprintf fmt
+        "dataset %S degraded: remaining %a below low-water %g (cache hits only)"
+        dataset Privacy.pp_budget remaining low_water
+  | Transient msg -> Format.fprintf fmt "transient failure: %s" msg
+  | Fatal msg -> Format.fprintf fmt "fatal failure: %s" msg
+
+(* Journaling. An [Error] from here means the record is not durable:
+   for budget charges the caller must withhold the answer (the in-memory
+   ledger stays charged, so the accounting can only over-count). *)
+let journal_append t record =
+  match t.journal with
+  | None -> Ok ()
+  | Some j -> (
+      match Journal.append j record with
+      | Ok () -> Ok ()
+      | Error (`Transient msg) -> Error (Transient msg)
+      | Error (`Fatal msg) ->
+          t.journal_failed <- true;
+          Error (Fatal msg))
+
+let register_serving t (ds : Registry.dataset) =
+  match Registry.register t.registry ds with
+  | Error _ as e -> e
+  | Ok () ->
+      let ledger =
+        Ledger.create ~total:ds.policy.total ~backend:ds.policy.backend
+          ?analyst_epsilon:ds.policy.analyst_epsilon ()
+      in
+      Hashtbl.replace t.servings ds.name
+        { dataset = ds; ledger; cache = Cache.create (); answered = 0; rejected = 0 };
+      Ok ()
+
+let register t (ds : Registry.dataset) =
+  if t.journal <> None then
+    Error
+      (Printf.sprintf
+         "dataset %S: raw datasets cannot be made durable (the journal \
+          records a regeneration seed, not column data); use \
+          register_synthetic"
+         ds.name)
+  else register_serving t ds
+
+let register_synthetic t ~name ~rows ~policy =
+  match Registry.find t.registry name with
+  | Some _ -> Error (Printf.sprintf "dataset %S already registered" name)
+  | None -> (
+      let seed = dataset_seed t name in
+      match
+        Registry.synthetic ~name ~rows ~policy (Dp_rng.Prng.create seed)
+      with
+      | exception Invalid_argument msg -> Error msg
+      | ds -> (
+          match register_serving t ds with
+          | Error _ as e -> e
+          | Ok () -> (
+              match journal_append t (Journal.Register { name; rows; seed; policy }) with
+              | Ok () -> Ok ds
+              | Error e ->
+                  (* never servable without being durable *)
+                  Registry.remove t.registry name;
+                  Hashtbl.remove t.servings name;
+                  Error (Format.asprintf "%a" pp_error e))))
+
+let datasets t = Registry.names t.registry
+let find t name = Registry.find t.registry name
 
 type response = {
   answer : Planner.answer;
@@ -81,6 +158,12 @@ let log_decision t ?analyst ?mechanism ~dataset ~query ~requested ~charged
          ~charged ~cache_hit ~verdict ())
         .Audit_log.seq
 
+let degraded_for t (sv : serving) =
+  t.journal_failed
+  ||
+  let lw = sv.dataset.Registry.policy.low_water in
+  lw > 0. && (Ledger.remaining sv.ledger).Privacy.epsilon < lw
+
 let submit t ?analyst ?epsilon ~dataset query =
   match Hashtbl.find_opt t.servings dataset with
   | None -> Error (Unknown_dataset dataset)
@@ -93,7 +176,7 @@ let submit t ?analyst ?epsilon ~dataset query =
       (* Cache before planning: a hit replays the stored release without
          touching the raw data (planning is an O(n) scan), and without
          consulting the ledger — post-processing is free even after the
-         budget is exhausted. *)
+         budget is exhausted, and still served in degraded mode. *)
       let key = Printf.sprintf "%s|eps=%.12g|%s" ds.name eps norm in
       let cached = if ds.policy.cache then Cache.lookup sv.cache key else None in
       match cached with
@@ -113,33 +196,51 @@ let submit t ?analyst ?epsilon ~dataset query =
               cache_hit = true;
               seq;
             }
+      | None when t.journal_failed ->
+          Error
+            (Fatal
+               "journal unavailable: refusing fresh releases, serving cache \
+                hits only")
+      | None when degraded_for t sv ->
+          sv.rejected <- sv.rejected + 1;
+          ignore
+            (log_decision t ?analyst ~dataset ~query:norm ~requested:zero
+               ~charged:zero ~cache_hit:false
+               ~verdict:(Audit_log.Rejected "degraded") ());
+          Error
+            (Degraded
+               {
+                 dataset;
+                 remaining = Ledger.remaining sv.ledger;
+                 low_water = ds.policy.low_water;
+               })
       | None -> (
           match Planner.plan ds ~epsilon:eps query with
           | Error msg ->
-              let seq =
-                log_decision t ?analyst ~dataset ~query:norm ~requested:zero
-                  ~charged:zero ~cache_hit:false
-                  ~verdict:(Audit_log.Rejected msg) ()
-              in
-              ignore seq;
+              ignore
+                (log_decision t ?analyst ~dataset ~query:norm ~requested:zero
+                   ~charged:zero ~cache_hit:false
+                   ~verdict:(Audit_log.Rejected msg) ());
               Error (Bad_query msg)
           | Ok plan -> (
               let before = Ledger.spent sv.ledger in
               match Ledger.spend sv.ledger ?analyst plan.Planner.charge with
               | Error rejection ->
                   sv.rejected <- sv.rejected + 1;
-                  let seq =
-                    log_decision t ?analyst
-                      ~mechanism:(Planner.mechanism_name plan.Planner.mechanism)
-                      ~dataset ~query:norm
-                      ~requested:plan.Planner.charge.Ledger.budget ~charged:zero
-                      ~cache_hit:false
-                      ~verdict:(Audit_log.Rejected "budget-exceeded") ()
-                  in
-                  ignore seq;
+                  ignore
+                    (log_decision t ?analyst
+                       ~mechanism:(Planner.mechanism_name plan.Planner.mechanism)
+                       ~dataset ~query:norm
+                       ~requested:plan.Planner.charge.Ledger.budget ~charged:zero
+                       ~cache_hit:false
+                       ~verdict:(Audit_log.Rejected "budget-exceeded") ());
                   Error (Budget_exceeded rejection)
-              | Ok () ->
+              | Ok () -> (
                   let after = Ledger.spent sv.ledger in
+                  let face = plan.Planner.charge.Ledger.budget in
+                  let mech_name =
+                    Planner.mechanism_name plan.Planner.mechanism
+                  in
                   let charged =
                     {
                       Privacy.epsilon =
@@ -149,31 +250,81 @@ let submit t ?analyst ?epsilon ~dataset query =
                         Float.max 0. (after.Privacy.delta -. before.Privacy.delta);
                     }
                   in
-                  let answer = plan.Planner.run t.rng in
-                  if ds.policy.cache then
-                    Cache.store sv.cache key
-                      {
-                        Cache.answer;
-                        mechanism = plan.Planner.mechanism;
-                        requested = plan.Planner.charge.Ledger.budget;
-                      };
-                  sv.answered <- sv.answered + 1;
-                  let seq =
-                    log_decision t ?analyst
-                      ~mechanism:(Planner.mechanism_name plan.Planner.mechanism)
-                      ~dataset ~query:norm
-                      ~requested:plan.Planner.charge.Ledger.budget ~charged
-                      ~cache_hit:false ~verdict:Audit_log.Answered ()
+                  let withhold reason err =
+                    (* the ledger is already charged; the journal (when
+                       durable) and the audit log both record the spend
+                       so nothing can under-count, but no answer leaves
+                       the engine *)
+                    sv.rejected <- sv.rejected + 1;
+                    ignore
+                      (log_decision t ?analyst ~mechanism:mech_name ~dataset
+                         ~query:norm ~requested:face ~charged ~cache_hit:false
+                         ~verdict:(Audit_log.Charged_unreleased reason) ());
+                    Error err
                   in
-                  Ok
-                    {
-                      answer;
-                      mechanism = plan.Planner.mechanism;
-                      requested = plan.Planner.charge.Ledger.budget;
-                      charged;
-                      cache_hit = false;
-                      seq;
-                    })))
+                  (* charge-before-answer: the charge must be durable
+                     before any noise is drawn, so a crash from here on
+                     can only over-count spent epsilon *)
+                  match
+                    journal_append t
+                      (Journal.Charge
+                         {
+                           Journal.dataset;
+                           analyst;
+                           query = norm;
+                           mechanism = mech_name;
+                           face;
+                           marginal = charged;
+                           rho = Ledger.rho_of_charge plan.Planner.charge;
+                         })
+                  with
+                  | Error e -> withhold "journal" e
+                  | Ok () -> (
+                      Faults.check t.faults Faults.Crash_after_charge;
+                      match
+                        Faults.with_retries (fun ~attempt ->
+                            Faults.check t.faults ~attempt Faults.Rng;
+                            plan.Planner.run t.rng)
+                      with
+                      | Error msg ->
+                          withhold "rng" (Transient ("rng exhausted: " ^ msg))
+                      | Ok answer ->
+                          if ds.policy.cache then begin
+                            Cache.store sv.cache key
+                              {
+                                Cache.answer;
+                                mechanism = plan.Planner.mechanism;
+                                requested = face;
+                              };
+                            (* a lost cache record is safe (a future miss
+                               re-charges: over-counting), so a failure
+                               here does not withhold the answer *)
+                            ignore
+                              (journal_append t
+                                 (Journal.Cache_insert
+                                    {
+                                      Journal.dataset;
+                                      key;
+                                      answer;
+                                      mechanism = plan.Planner.mechanism;
+                                      requested = face;
+                                    }))
+                          end;
+                          sv.answered <- sv.answered + 1;
+                          let seq =
+                            log_decision t ?analyst ~mechanism:mech_name
+                              ~dataset ~query:norm ~requested:face ~charged
+                              ~cache_hit:false ~verdict:Audit_log.Answered ()
+                          in
+                          Ok
+                            {
+                              answer;
+                              mechanism = plan.Planner.mechanism;
+                              requested = face;
+                              charged;
+                              cache_hit = false;
+                              seq;
+                            })))))
 
 let submit_text t ?analyst ?epsilon ~dataset text =
   match Query.parse text with
@@ -193,6 +344,7 @@ type report = {
   spent : Privacy.budget;
   remaining : Privacy.budget;
   leakage : Meter.reading;
+  degraded : bool;
 }
 
 let report t ~dataset =
@@ -217,17 +369,20 @@ let report t ~dataset =
           leakage =
             Meter.reading ~rows:sv.dataset.Registry.rows
               ~universe:sv.dataset.Registry.policy.universe spent;
+          degraded = degraded_for t sv;
         }
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "@[<v>dataset %s (%d rows, %a composition)@,\
+    "@[<v>dataset %s (%d rows, %a composition)%s@,\
      queries: %d (%d answered, %d cached, %d rejected), cache hit-rate %.3f@,\
      budget: total %a, spent %a, remaining %a@,\
      leakage: %a@]"
-    r.dataset r.rows Ledger.pp_backend r.backend r.queries r.answered
-    r.cache_hits r.rejected r.hit_rate Privacy.pp_budget r.total
-    Privacy.pp_budget r.spent Privacy.pp_budget r.remaining Meter.pp r.leakage
+    r.dataset r.rows Ledger.pp_backend r.backend
+    (if r.degraded then " [degraded]" else "")
+    r.queries r.answered r.cache_hits r.rejected r.hit_rate Privacy.pp_budget
+    r.total Privacy.pp_budget r.spent Privacy.pp_budget r.remaining Meter.pp
+    r.leakage
 
 let records t ~dataset =
   match t.log with
@@ -249,3 +404,149 @@ let analyst_spent t ~dataset ~analyst =
   match Hashtbl.find_opt t.servings dataset with
   | None -> zero
   | Some sv -> Ledger.analyst_spent sv.ledger analyst
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+type recovery = {
+  journal_path : string;
+  records : int;
+  torn_bytes : int;
+  datasets : int;
+  charges : int;
+  cache_entries : int;
+  verified : bool;
+}
+
+exception Recovery_failed of string
+
+let apply_record t counts = function
+  | Journal.Register { name; rows; seed; policy } -> (
+      if Registry.find t.registry name <> None then
+        raise
+          (Recovery_failed
+             (Printf.sprintf "journal registers %S but it already exists" name));
+      let ds =
+        try Registry.synthetic ~name ~rows ~policy (Dp_rng.Prng.create seed)
+        with Invalid_argument msg -> raise (Recovery_failed msg)
+      in
+      match register_serving t ds with
+      | Ok () -> ()
+      | Error msg -> raise (Recovery_failed msg))
+  | Journal.Charge c -> (
+      match Hashtbl.find_opt t.servings c.Journal.dataset with
+      | None ->
+          raise
+            (Recovery_failed
+               (Printf.sprintf "journal charges unknown dataset %S"
+                  c.Journal.dataset))
+      | Some sv ->
+          (try
+             Ledger.replay_charge sv.ledger ?analyst:c.Journal.analyst
+               ~face:c.Journal.face ~rho:c.Journal.rho ()
+           with
+          | Invalid_argument msg -> raise (Recovery_failed msg)
+          | Privacy.Budget_exceeded _ ->
+              raise
+                (Recovery_failed
+                   (Printf.sprintf
+                      "journaled charge overdraws analyst budget on %S"
+                      c.Journal.dataset)));
+          sv.answered <- sv.answered + 1;
+          ignore
+            (log_decision t ?analyst:c.Journal.analyst
+               ~mechanism:c.Journal.mechanism ~dataset:c.Journal.dataset
+               ~query:c.Journal.query ~requested:c.Journal.face
+               ~charged:c.Journal.marginal ~cache_hit:false
+               ~verdict:Audit_log.Answered ());
+          incr (fst counts))
+  | Journal.Cache_insert k -> (
+      match Hashtbl.find_opt t.servings k.Journal.dataset with
+      | None ->
+          raise
+            (Recovery_failed
+               (Printf.sprintf "journal caches unknown dataset %S"
+                  k.Journal.dataset))
+      | Some sv ->
+          Cache.store sv.cache k.Journal.key
+            {
+              Cache.answer = k.Journal.answer;
+              mechanism = k.Journal.mechanism;
+              requested = k.Journal.requested;
+            };
+          incr (snd counts))
+
+(* The rebuilt audit trace must re-verify: replaying the journaled
+   marginals through the plain basic accountant (Dp_audit.Replay) has
+   to land on the rebuilt ledger's composed spend, exactly as for a
+   live engine. With auditing off there is no rebuilt log, so the
+   events come straight from the journal's charge records instead. *)
+let verify_recovered t journal_records =
+  let journal_events name =
+    List.filter_map
+      (function
+        | Journal.Charge c when c.Journal.dataset = name ->
+            Some
+              {
+                Dp_audit.Replay.label = c.Journal.query;
+                budget = c.Journal.marginal;
+              }
+        | _ -> None)
+      journal_records
+  in
+  Hashtbl.fold
+    (fun name (sv : serving) acc ->
+      acc
+      &&
+      let outcome =
+        match t.log with
+        | Some log ->
+            Dp_audit.Replay.replay ~total:sv.dataset.Registry.policy.total
+              (Audit_log.to_events log name)
+        | None ->
+            Dp_audit.Replay.replay ~total:sv.dataset.Registry.policy.total
+              (journal_events name)
+      in
+      match outcome with
+      | Dp_audit.Replay.Overdraft _ -> false
+      | Dp_audit.Replay.Consistent replayed ->
+          let spent = Ledger.spent sv.ledger in
+          Float.abs (replayed.Privacy.epsilon -. spent.Privacy.epsilon)
+          <= 1e-9 *. Float.max 1. spent.Privacy.epsilon)
+    t.servings true
+
+let open_journal t path =
+  if t.journal <> None then Error "a journal is already attached"
+  else
+    match Journal.open_ ~faults:t.faults path with
+    | Error msg -> Error msg
+    | Ok (j, records, stats) -> (
+        let counts = (ref 0, ref 0) in
+        let n_datasets_before = Hashtbl.length t.servings in
+        match List.iter (apply_record t counts) records with
+        | exception Recovery_failed msg ->
+            Journal.close j;
+            Error (Printf.sprintf "journal %s: recovery failed: %s" path msg)
+        | () ->
+            let verified = verify_recovered t records in
+            if not verified then begin
+              Journal.close j;
+              Error
+                (Printf.sprintf
+                   "journal %s: recovered state failed audit replay \
+                    verification"
+                   path)
+            end
+            else begin
+              t.journal <- Some j;
+              Ok
+                {
+                  journal_path = path;
+                  records = stats.Journal.records;
+                  torn_bytes = stats.Journal.torn_bytes;
+                  datasets = Hashtbl.length t.servings - n_datasets_before;
+                  charges = !(fst counts);
+                  cache_entries = !(snd counts);
+                  verified;
+                }
+            end)

@@ -1,30 +1,53 @@
 (** The differentially-private query-serving engine.
 
     Composes the registry, per-dataset ledgers, the answer cache, the
-    leakage meter and the audit log into an interactive service: a
-    dataset is registered once with a lifetime budget, then queries
-    arrive and are planned, charged, answered (or served from cache, or
-    rejected) until the budget is exhausted. This is the operational
-    form of the paper's channel view: the engine *is* the channel
-    [Ẑ → θ], and the report's leakage reading meters it. *)
+    leakage meter, the audit log and (optionally) the write-ahead
+    budget journal into an interactive service: a dataset is registered
+    once with a lifetime budget, then queries arrive and are planned,
+    charged, answered (or served from cache, or rejected) until the
+    budget is exhausted. This is the operational form of the paper's
+    channel view: the engine *is* the channel [Ẑ → θ], and the report's
+    leakage reading meters it.
+
+    {2 Crash safety}
+
+    With a journal attached ({!open_journal}) every state change is
+    durable before its effect is visible: registrations, budget
+    charges (fsynced {e before} the noisy answer is released —
+    charge-before-answer), and cache inserts. A crash at any point can
+    only over-count spent ε, never under-count. Failures on the release
+    path surface as typed {!error}s ([Transient] is retryable, [Fatal]
+    is not); injected faults ({!Faults}) drive every one of those paths
+    in tests. When remaining ε falls below the policy's low-water mark,
+    or the journal is poisoned, the engine degrades to serving cache
+    hits only instead of hard-failing mid-analysis. *)
 
 open Dp_mechanism
 
 type t
 
-val create : ?seed:int -> ?audit:bool -> unit -> t
+val create : ?seed:int -> ?audit:bool -> ?faults:Faults.t -> unit -> t
 (** [seed] (default 20120330) drives all mechanism noise — the engine
     is deterministic given the seed and the request sequence. [audit]
     (default [true]) controls the unbounded audit log; benchmarks
-    serving millions of requests switch it off. *)
+    serving millions of requests switch it off. [faults] defaults to
+    {!Faults.of_env} ([$DPKIT_FAULTS]), so a CI leg can soak the whole
+    suite in transient failures. *)
 
 val register : t -> Registry.dataset -> (unit, string) result
+(** Rejected when a journal is attached: raw column data is not
+    journaled, and a dataset must never be servable without being
+    durable. Use {!register_synthetic}. *)
 
 val register_synthetic :
   t -> name:string -> rows:int -> policy:Registry.policy ->
   (Registry.dataset, string) result
 (** Register the deterministic demo dataset of {!Registry.synthetic},
-    drawn from the engine's generator. *)
+    drawn from a per-dataset seed derived from the engine seed and the
+    name — registration order and prior traffic do not change the data,
+    so recovery regenerates identical columns. With a journal attached
+    the registration is journaled (and rolled back if the append
+    fails). *)
 
 val datasets : t -> string list
 val find : t -> string -> Registry.dataset option
@@ -33,6 +56,20 @@ type error =
   | Unknown_dataset of string
   | Bad_query of string
   | Budget_exceeded of Ledger.rejection
+  | Degraded of {
+      dataset : string;
+      remaining : Privacy.budget;
+      low_water : float;
+    }  (** below the low-water mark: cache hits only, fresh releases
+           refused softly *)
+  | Transient of string
+      (** retryable: the journal append or fsync failed after bounded
+          retries, or the RNG was exhausted — state is consistent (any
+          committed charge is kept, so ε only over-counts) and the
+          client may retry *)
+  | Fatal of string
+      (** not retryable: the journal is poisoned; the engine serves
+          cache hits only from here on *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -51,7 +88,9 @@ val submit :
   (response, error) result
 (** Serve one query. [epsilon] defaults to the dataset policy's
     [default_epsilon]. Cache hits are answered even after the budget is
-    exhausted (post-processing costs nothing). *)
+    exhausted (post-processing costs nothing), and even in degraded
+    mode. With a journal attached the charge is journaled and fsynced
+    before any noise is drawn. *)
 
 val submit_text :
   t -> ?analyst:string -> ?epsilon:float -> dataset:string -> string ->
@@ -71,6 +110,8 @@ type report = {
   spent : Privacy.budget;
   remaining : Privacy.budget;
   leakage : Meter.reading;
+  degraded : bool;
+      (** serving cache hits only (low-water reached or journal down) *)
 }
 
 val report : t -> dataset:string -> (report, error) result
@@ -83,3 +124,30 @@ val replay : t -> dataset:string -> (Dp_audit.Replay.outcome, error) result
     budget via [Dp_audit.Replay]. *)
 
 val analyst_spent : t -> dataset:string -> analyst:string -> Privacy.budget
+
+(** {2 Durability} *)
+
+type recovery = {
+  journal_path : string;
+  records : int;  (** journal records replayed *)
+  torn_bytes : int;  (** torn-tail bytes truncated off the journal *)
+  datasets : int;  (** datasets rebuilt *)
+  charges : int;  (** budget charges re-applied *)
+  cache_entries : int;  (** cached answers restored (replay bit-identically) *)
+  verified : bool;  (** rebuilt state passed [Dp_audit.Replay] *)
+}
+
+val open_journal : t -> string -> (recovery, string) result
+(** Open (or create) the write-ahead journal at [path], replay any
+    existing records into this engine — rebuilding registry, ledgers,
+    caches and audit log — and keep the journal attached for appends.
+    Recovery truncates a torn tail record, then verifies the rebuilt
+    ledger against the replayed audit trace; an inconsistent journal is
+    refused outright. Fails if a journal is already attached. *)
+
+val journal_path : t -> string option
+val faults : t -> Faults.t
+
+val close : t -> unit
+(** Close the journal, if any. The engine keeps serving, but no longer
+    durably. *)

@@ -1,0 +1,138 @@
+type point =
+  | Journal_write
+  | Journal_fsync
+  | Rng
+  | Crash_after_charge
+  | Garbage_line
+
+let all_points = [ Journal_write; Journal_fsync; Rng; Crash_after_charge; Garbage_line ]
+
+let point_name = function
+  | Journal_write -> "journal-write"
+  | Journal_fsync -> "journal-fsync"
+  | Rng -> "rng"
+  | Crash_after_charge -> "crash-after-charge"
+  | Garbage_line -> "garbage-line"
+
+let is_transient = function
+  | Journal_write | Journal_fsync | Rng -> true
+  | Crash_after_charge | Garbage_line -> false
+
+exception Injected of point
+exception Crash of point
+
+(* Nth: a one-shot trigger armed for the Nth opportunity (a mutable
+   countdown). First_attempts: fire on every operation's first attempt,
+   forever — the all-transient soak mode. *)
+type mode = Off | Nth of int ref | First_attempts
+
+type t = (point * mode) list
+
+let none : t = List.map (fun p -> (p, Off)) all_points
+
+let armed t = List.exists (fun (_, m) -> m <> Off) t
+
+let mode t p = try List.assoc p t with Not_found -> Off
+
+let with_mode t p m = (p, m) :: List.remove_assoc p t
+
+let point_of_name name =
+  List.find_opt (fun p -> point_name p = name) all_points
+
+let parse spec =
+  let spec = String.trim spec in
+  if spec = "" || spec = "off" || spec = "none" then Ok none
+  else if spec = "all-transient" then
+    Ok
+      (List.map
+         (fun p -> (p, if is_transient p then First_attempts else Off))
+         all_points)
+  else
+    let items = String.split_on_char ',' spec in
+    List.fold_left
+      (fun acc item ->
+        match acc with
+        | Error _ as e -> e
+        | Ok t -> (
+            let item = String.trim item in
+            let name, count =
+              match String.index_opt item '=' with
+              | None -> (item, Ok 1)
+              | Some i ->
+                  let n = String.sub item (i + 1) (String.length item - i - 1) in
+                  ( String.sub item 0 i,
+                    match int_of_string_opt n with
+                    | Some k when k >= 1 -> Ok k
+                    | _ ->
+                        Error
+                          (Printf.sprintf "fault count %S must be a positive int"
+                             n) )
+            in
+            match (point_of_name name, count) with
+            | _, Error msg -> Error msg
+            | None, _ ->
+                Error
+                  (Printf.sprintf "unknown fault point %S (known: %s)" name
+                     (String.concat ", " (List.map point_name all_points)))
+            | Some p, Ok k -> Ok (with_mode t p (Nth (ref k)))))
+      (Ok none) items
+
+let of_env () =
+  match Sys.getenv_opt "DPKIT_FAULTS" with
+  | None -> none
+  | Some spec -> (
+      match parse spec with
+      | Ok t -> t
+      | Error msg ->
+          Printf.eprintf "dpkit: ignoring DPKIT_FAULTS=%s (%s)\n%!" spec msg;
+          none)
+
+let fire t ?(attempt = 1) p =
+  match mode t p with
+  | Off -> false
+  | First_attempts -> attempt = 1
+  | Nth k ->
+      decr k;
+      !k = 0
+
+let check t ?attempt p =
+  if fire t ?attempt p then
+    match p with
+    | Crash_after_charge -> raise (Crash p)
+    | Garbage_line -> ()
+    | _ -> raise (Injected p)
+
+let with_retries ?(attempts = 3) ?(backoff_s = 0.001) f =
+  let describe = function
+    | Injected p -> Printf.sprintf "injected %s failure" (point_name p)
+    | Sys_error msg -> msg
+    | Unix.Unix_error (e, fn, _) ->
+        Printf.sprintf "%s: %s" fn (Unix.error_message e)
+    | e -> Printexc.to_string e
+  in
+  let rec go attempt =
+    match f ~attempt with
+    | v -> Ok v
+    | exception ((Injected _ | Sys_error _ | Unix.Unix_error _) as e) ->
+        if attempt >= attempts then
+          Error
+            (Printf.sprintf "%s (after %d attempts)" (describe e) attempts)
+        else begin
+          Unix.sleepf (backoff_s *. (2. ** float_of_int (attempt - 1)));
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+let pp fmt t =
+  let on =
+    List.filter_map
+      (fun p ->
+        match mode t p with
+        | Off -> None
+        | First_attempts -> Some (point_name p)
+        | Nth k -> Some (Printf.sprintf "%s=%d" (point_name p) !k))
+      all_points
+  in
+  Format.pp_print_string fmt
+    (if on = [] then "off" else String.concat "," on)

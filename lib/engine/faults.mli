@@ -1,0 +1,80 @@
+(** Fault injection for the durability layer.
+
+    Production serving means surviving the failures the OS actually
+    delivers: failed writes, failed fsyncs, kills between a budget
+    charge and the answer it paid for, exhausted entropy, oversized
+    garbage on the wire. Each of those is a named {!point}; a fault
+    spec (from [--faults] or the [DPKIT_FAULTS] environment variable)
+    arms a subset of them, and the engine, journal and protocol call
+    {!check} at the matching points. Tests and CI run the whole suite
+    with [DPKIT_FAULTS=all-transient] so every transient injection
+    point fires on every operation's first attempt and the
+    retry-with-backoff path is exercised continuously.
+
+    Spec grammar (comma-separated):
+    {v
+    all-transient            every transient point fails each first attempt
+    POINT                    fire on the 1st opportunity, once
+    POINT=N                  fire on the Nth opportunity, once
+    off | (empty)            nothing armed
+    v}
+    Points: [journal-write], [journal-fsync], [rng],
+    [crash-after-charge], [garbage-line]. *)
+
+type point =
+  | Journal_write  (** transient: the journal append write fails *)
+  | Journal_fsync  (** transient: the post-append fsync fails *)
+  | Rng  (** transient: the entropy source is exhausted mid-release *)
+  | Crash_after_charge
+      (** fatal: the process dies after the charge is journaled but
+          before the noisy answer is released — the crash that
+          charge-before-answer ordering makes safe *)
+  | Garbage_line
+      (** protocol: the next input line is replaced by an oversized
+          garbage blob before parsing *)
+
+val point_name : point -> string
+val is_transient : point -> bool
+
+exception Injected of point
+(** A transient injected failure; {!with_retries} absorbs it. *)
+
+exception Crash of point
+(** An injected crash. Never caught by the retry loop; the CLI turns
+    it into a nonzero exit so a harness can kill-and-restart. *)
+
+type t
+
+val none : t
+val armed : t -> bool
+
+val parse : string -> (t, string) result
+(** Parse a fault spec. [""] and ["off"] yield {!none}. *)
+
+val of_env : unit -> t
+(** [parse] of [$DPKIT_FAULTS]; unset, empty or malformed specs arm
+    nothing (a typo in CI must not silently disable the suite — a
+    malformed spec prints one warning on stderr). *)
+
+val fire : t -> ?attempt:int -> point -> bool
+(** Should this opportunity fail? Stateful: one-shot points consume
+    their trigger. [attempt] (default 1) is the retry attempt number;
+    under [all-transient] only first attempts fire, so retried
+    operations succeed. *)
+
+val check : t -> ?attempt:int -> point -> unit
+(** {!fire}, raising {!Injected} (transient points) or {!Crash}
+    ([Crash_after_charge]). [Garbage_line] never raises — callers use
+    {!fire} to substitute the line. *)
+
+val with_retries :
+  ?attempts:int -> ?backoff_s:float -> (attempt:int -> 'a) -> ('a, string) result
+(** Run an operation with bounded retries and exponential backoff
+    (default 3 attempts, 1ms base). Retries on {!Injected},
+    [Sys_error] and [Unix.Unix_error]; anything else propagates.
+    [Error] carries the last failure after the attempts are spent —
+    the caller decides whether that is transient (state unchanged,
+    client may retry) or fatal. *)
+
+val pp : Format.formatter -> t -> unit
+(** The armed points, for [status] lines; ["off"] when nothing is. *)

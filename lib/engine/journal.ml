@@ -1,0 +1,389 @@
+open Dp_mechanism
+
+type charge_record = {
+  dataset : string;
+  analyst : string option;
+  query : string;
+  mechanism : string;
+  face : Privacy.budget;
+  marginal : Privacy.budget;
+  rho : float array option;
+}
+
+type cache_record = {
+  dataset : string;
+  key : string;
+  answer : Planner.answer;
+  mechanism : Planner.mechanism;
+  requested : Privacy.budget;
+}
+
+type record =
+  | Register of { name : string; rows : int; seed : int; policy : Registry.policy }
+  | Charge of charge_record
+  | Cache_insert of cache_record
+
+type stats = { records : int; torn_bytes : int }
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding: ints and hex floats ([%h] round-trips every finite
+   float exactly, which is what makes recovered cache answers
+   bit-identical) terminated by ';', strings length-prefixed. *)
+
+let put_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ';'
+
+let put_float b x =
+  Buffer.add_string b (Printf.sprintf "%h" x);
+  Buffer.add_char b ';'
+
+let put_bool b v = Buffer.add_char b (if v then '1' else '0')
+
+let put_str b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_opt put b = function
+  | None -> put_bool b false
+  | Some v ->
+      put_bool b true;
+      put b v
+
+let put_farr b a =
+  put_int b (Array.length a);
+  Array.iter (put_float b) a
+
+let put_budget b (x : Privacy.budget) =
+  put_float b x.Privacy.epsilon;
+  put_float b x.Privacy.delta
+
+let put_backend b = function
+  | Ledger.Basic -> Buffer.add_char b 'b'
+  | Ledger.Advanced { slack } ->
+      Buffer.add_char b 'a';
+      put_float b slack
+  | Ledger.Rdp { delta } ->
+      Buffer.add_char b 'r';
+      put_float b delta
+
+let put_policy b (p : Registry.policy) =
+  put_budget b p.Registry.total;
+  put_backend b p.Registry.backend;
+  put_float b p.Registry.default_epsilon;
+  put_opt put_float b p.Registry.analyst_epsilon;
+  put_int b p.Registry.universe;
+  put_bool b p.Registry.cache;
+  put_float b p.Registry.low_water
+
+let put_mechanism b (m : Planner.mechanism) =
+  Buffer.add_char b
+    (match m with
+    | Planner.Laplace -> 'l'
+    | Planner.Geometric -> 'g'
+    | Planner.Exponential -> 'e'
+    | Planner.Discrete_gaussian -> 'd')
+
+let put_answer b = function
+  | Planner.Scalar v ->
+      Buffer.add_char b 's';
+      put_float b v
+  | Planner.Vector vs ->
+      Buffer.add_char b 'v';
+      put_farr b vs
+
+let encode r =
+  let b = Buffer.create 128 in
+  (match r with
+  | Register { name; rows; seed; policy } ->
+      Buffer.add_char b 'R';
+      put_str b name;
+      put_int b rows;
+      put_int b seed;
+      put_policy b policy
+  | Charge c ->
+      Buffer.add_char b 'C';
+      put_str b c.dataset;
+      put_opt put_str b c.analyst;
+      put_str b c.query;
+      put_str b c.mechanism;
+      put_budget b c.face;
+      put_budget b c.marginal;
+      put_opt put_farr b c.rho
+  | Cache_insert k ->
+      Buffer.add_char b 'K';
+      put_str b k.dataset;
+      put_str b k.key;
+      put_mechanism b k.mechanism;
+      put_budget b k.requested;
+      put_answer b k.answer);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding. Any malformation raises [Corrupt]; the scanner treats the
+   corrupt record and everything after it as a torn tail. *)
+
+exception Corrupt
+
+type cursor = { s : string; mutable pos : int }
+
+let get_char c =
+  if c.pos >= String.length c.s then raise Corrupt;
+  let ch = c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  ch
+
+let take_until c sep =
+  match String.index_from_opt c.s c.pos sep with
+  | None -> raise Corrupt
+  | Some i ->
+      let tok = String.sub c.s c.pos (i - c.pos) in
+      c.pos <- i + 1;
+      tok
+
+let get_int c =
+  match int_of_string_opt (take_until c ';') with
+  | Some n -> n
+  | None -> raise Corrupt
+
+let get_float c =
+  match float_of_string_opt (take_until c ';') with
+  | Some x -> x
+  | None -> raise Corrupt
+
+let get_bool c =
+  match get_char c with '1' -> true | '0' -> false | _ -> raise Corrupt
+
+let get_str c =
+  let n = get_int c in
+  if n < 0 || c.pos + n > String.length c.s then raise Corrupt;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_opt get c = if get_bool c then Some (get c) else None
+
+let get_farr c =
+  let n = get_int c in
+  if n < 0 || n > 1_000_000 then raise Corrupt;
+  Array.init n (fun _ -> get_float c)
+
+let get_budget c =
+  let epsilon = get_float c in
+  let delta = get_float c in
+  { Privacy.epsilon; delta }
+
+let get_backend c =
+  match get_char c with
+  | 'b' -> Ledger.Basic
+  | 'a' -> Ledger.Advanced { slack = get_float c }
+  | 'r' -> Ledger.Rdp { delta = get_float c }
+  | _ -> raise Corrupt
+
+let get_policy c =
+  let total = get_budget c in
+  let backend = get_backend c in
+  let default_epsilon = get_float c in
+  let analyst_epsilon = get_opt get_float c in
+  let universe = get_int c in
+  let cache = get_bool c in
+  let low_water = get_float c in
+  {
+    Registry.total;
+    backend;
+    default_epsilon;
+    analyst_epsilon;
+    universe;
+    cache;
+    low_water;
+  }
+
+let get_mechanism c =
+  match get_char c with
+  | 'l' -> Planner.Laplace
+  | 'g' -> Planner.Geometric
+  | 'e' -> Planner.Exponential
+  | 'd' -> Planner.Discrete_gaussian
+  | _ -> raise Corrupt
+
+let get_answer c =
+  match get_char c with
+  | 's' -> Planner.Scalar (get_float c)
+  | 'v' -> Planner.Vector (get_farr c)
+  | _ -> raise Corrupt
+
+let decode payload =
+  let c = { s = payload; pos = 0 } in
+  let r =
+    match get_char c with
+    | 'R' ->
+        let name = get_str c in
+        let rows = get_int c in
+        let seed = get_int c in
+        let policy = get_policy c in
+        Register { name; rows; seed; policy }
+    | 'C' ->
+        let dataset = get_str c in
+        let analyst = get_opt get_str c in
+        let query = get_str c in
+        let mechanism = get_str c in
+        let face = get_budget c in
+        let marginal = get_budget c in
+        let rho = get_opt get_farr c in
+        Charge { dataset; analyst; query; mechanism; face; marginal; rho }
+    | 'K' ->
+        let dataset = get_str c in
+        let key = get_str c in
+        let mechanism = get_mechanism c in
+        let requested = get_budget c in
+        let answer = get_answer c in
+        Cache_insert { dataset; key; answer; mechanism; requested }
+    | _ -> raise Corrupt
+  in
+  if c.pos <> String.length payload then raise Corrupt;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Framing: length, Adler-32, payload. Both sides truncate the checksum
+   into an Int32, so comparison happens in the Int32 domain. *)
+
+let max_payload = 16 * 1024 * 1024
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun ch ->
+      a := (!a + Char.code ch) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  Int32.of_int ((!b lsl 16) lor !a)
+
+let frame payload =
+  let hdr = Bytes.create 8 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (String.length payload));
+  Bytes.set_int32_be hdr 4 (adler32 payload);
+  Bytes.to_string hdr ^ payload
+
+(* Longest valid frame prefix of [content]: the records it holds and
+   the offset where the first torn/corrupt frame (if any) starts. *)
+let scan content =
+  let size = String.length content in
+  let rec go off acc =
+    if off + 8 > size then (List.rev acc, off)
+    else
+      let len = Int32.to_int (String.get_int32_be content off) in
+      if len < 0 || len > max_payload || off + 8 + len > size then
+        (List.rev acc, off)
+      else
+        let payload = String.sub content (off + 8) len in
+        if String.get_int32_be content (off + 4) <> adler32 payload then
+          (List.rev acc, off)
+        else
+          match decode payload with
+          | r -> go (off + 8 + len) (r :: acc)
+          | exception Corrupt -> (List.rev acc, off)
+  in
+  go 0 []
+
+let read_file path =
+  if not (Sys.file_exists path) then Ok ""
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error msg -> Error msg
+
+let load path =
+  match read_file path with
+  | Error msg -> Error (Printf.sprintf "journal %s: %s" path msg)
+  | Ok content ->
+      let records, good = scan content in
+      Ok
+        ( records,
+          {
+            records = List.length records;
+            torn_bytes = String.length content - good;
+          } )
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  faults : Faults.t;
+  mutable clean_off : int;  (** end of the last fully-appended frame *)
+  mutable poisoned : bool;
+}
+
+let path t = t.path
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let open_ ?(faults = Faults.none) path =
+  match read_file path with
+  | Error msg -> Error (Printf.sprintf "journal %s: %s" path msg)
+  | Ok content -> (
+      let records, good = scan content in
+      let torn = String.length content - good in
+      try
+        let fd =
+          Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+        in
+        if torn > 0 then Unix.ftruncate fd good;
+        Ok
+          ( { path; fd; faults; clean_off = good; poisoned = false },
+            records,
+            { records = List.length records; torn_bytes = torn } )
+      with
+      | Unix.Unix_error (e, fn, _) ->
+          Error
+            (Printf.sprintf "journal %s: %s: %s" path fn (Unix.error_message e))
+      | Sys_error msg -> Error (Printf.sprintf "journal %s: %s" path msg))
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.single_write_substring fd s off (len - off))
+  in
+  go 0
+
+let append t record =
+  if t.poisoned then Error (`Fatal "journal poisoned by an earlier failure")
+  else
+    let framed = frame (encode record) in
+    let write =
+      Faults.with_retries (fun ~attempt ->
+          (* a failed earlier attempt may have left a partial frame:
+             O_APPEND writes land at the end, so cut back to the last
+             clean frame boundary before writing again *)
+          if attempt > 1 then Unix.ftruncate t.fd t.clean_off;
+          Faults.check t.faults ~attempt Faults.Journal_write;
+          write_all t.fd framed)
+    in
+    match write with
+    | Error msg -> (
+        (* leave the file at a clean frame boundary; if even that is
+           impossible the journal can no longer be trusted *)
+        match Unix.ftruncate t.fd t.clean_off with
+        | () -> Error (`Transient (Printf.sprintf "journal write failed: %s" msg))
+        | exception _ ->
+            t.poisoned <- true;
+            Error
+              (`Fatal
+                (Printf.sprintf
+                   "journal write failed and the file could not be repaired: %s"
+                   msg)))
+    | Ok () -> (
+        t.clean_off <- t.clean_off + String.length framed;
+        let sync =
+          Faults.with_retries (fun ~attempt ->
+              Faults.check t.faults ~attempt Faults.Journal_fsync;
+              Unix.fsync t.fd)
+        in
+        match sync with
+        | Ok () -> Ok ()
+        | Error msg ->
+            (* the frame is intact but not durably on disk: the caller
+               must withhold the answer, but may retry later *)
+            Error (`Transient (Printf.sprintf "journal fsync failed: %s" msg)))

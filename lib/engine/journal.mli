@@ -1,0 +1,93 @@
+(** The write-ahead budget journal.
+
+    The one invariant a DP server must never lose is the spent budget:
+    a crash that forgets charged ε hands an adversary fresh budget
+    (exactly the attack that makes the mutual-information reading of DP
+    vacuous). The journal makes the ledger durable with the classic WAL
+    discipline, specialised to the charge-before-answer ordering:
+
+    - every state change (dataset registration, budget charge, cache
+      insert) is appended as one length-prefixed, Adler-32-checksummed
+      record and fsynced {e before} the noisy answer is released;
+    - recovery replays the journal into a fresh engine, truncating a
+      torn tail record (a crash mid-write) at the last valid frame;
+    - because the charge is durable before the answer exists, a crash
+      at any point can only {e over}-count spent ε, never under-count:
+      replayed spend ≥ spend at the crash point, always.
+
+    Charge records carry both the face-value budget (with the RDP curve
+    evaluated on the ledger's α-grid, so Rényi accounting reconstructs
+    exactly) and the marginal composed charge (so the rebuilt trace can
+    be re-verified through [Dp_audit.Replay]). Cache records carry the
+    full noisy answer in hex-float encoding, so recovered cache hits
+    replay bit-identically.
+
+    Wire format, one record:
+    {v
+    4-byte big-endian payload length
+    4-byte big-endian Adler-32 of the payload
+    payload
+    v} *)
+
+open Dp_mechanism
+
+type charge_record = {
+  dataset : string;
+  analyst : string option;
+  query : string;  (** normal form, for the rebuilt audit log *)
+  mechanism : string;
+  face : Privacy.budget;  (** face value the ledger was asked for *)
+  marginal : Privacy.budget;  (** composed-spend increase it caused *)
+  rho : float array option;
+      (** the charge's RDP curve evaluated on {!Ledger.alpha_grid};
+          [None] for pure-DP charges (recomputed from [face] on
+          replay) *)
+}
+
+type cache_record = {
+  dataset : string;
+  key : string;
+  answer : Planner.answer;
+  mechanism : Planner.mechanism;
+  requested : Privacy.budget;
+}
+
+type record =
+  | Register of {
+      name : string;
+      rows : int;
+      seed : int;  (** dataset seed: regenerates identical columns *)
+      policy : Registry.policy;
+    }
+  | Charge of charge_record
+  | Cache_insert of cache_record
+
+type stats = {
+  records : int;  (** valid records replayed *)
+  torn_bytes : int;  (** trailing bytes dropped (torn tail) *)
+}
+
+type t
+
+val open_ :
+  ?faults:Faults.t -> string -> (t * record list * stats, string) result
+(** Open (or create) a journal for appending. Existing records are
+    returned for replay; a torn tail is truncated off the file so the
+    next append starts at a clean frame boundary. [Error] means the
+    file could not be opened or repaired at all. *)
+
+val append : t -> record -> (unit, [ `Transient of string | `Fatal of string ]) result
+(** Frame, write, flush and fsync one record, with bounded
+    retry-with-backoff ({!Faults.with_retries}) around both the write
+    and the fsync. [`Transient]: the record is not durable but the file
+    is clean — the caller may retry the whole operation later.
+    [`Fatal]: the file could not be restored to a clean state; the
+    journal is poisoned and every later append fails fatally (the
+    engine then degrades to serving cache hits only). *)
+
+val path : t -> string
+val close : t -> unit
+
+val load : string -> (record list * stats, string) result
+(** Read-only scan (no truncation, no side effects) — what recovery
+    would replay. A missing file is an empty journal. *)

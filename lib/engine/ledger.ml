@@ -165,6 +165,26 @@ let commit t (c : charge) =
   if Option.is_none c.rdp then t.sum_delta_no_curve <- t.sum_delta_no_curve +. dlt;
   Array.iteri (fun i alpha -> t.rho.(i) <- t.rho.(i) +. curve alpha) alpha_grid
 
+let rho_of_charge (c : charge) =
+  Option.map (fun curve -> Array.map curve alpha_grid) c.rdp
+
+let replay_charge t ?analyst ~face ~rho () =
+  (match (analyst, t.analyst_epsilon) with
+  | Some a, Some _ -> Privacy.Accountant.spend (analyst_accountant t a) face
+  | _ -> ());
+  match rho with
+  | None -> commit t { budget = face; rdp = None }
+  | Some arr ->
+      if Array.length arr <> Array.length alpha_grid then
+        invalid_arg "Ledger.replay_charge: rho does not match the alpha grid";
+      let eps = face.Privacy.epsilon and dlt = face.Privacy.delta in
+      t.n <- t.n + 1;
+      t.sum_eps <- t.sum_eps +. eps;
+      t.sum_delta <- t.sum_delta +. dlt;
+      t.sum_eps_sq <- t.sum_eps_sq +. (eps *. eps);
+      t.sum_eps_exp <- t.sum_eps_exp +. (eps *. (exp eps -. 1.));
+      Array.iteri (fun i d -> t.rho.(i) <- t.rho.(i) +. d) arr
+
 let spend t ?analyst c =
   if not (fits t.total (spent_with t c)) then
     Error { requested = c.budget; remaining = remaining t; analyst = None }

@@ -64,3 +64,26 @@ val analyst_spent : t -> string -> Privacy.budget
 (** Zero for an analyst never seen (or when no sub-budgets are set). *)
 
 val pp_backend : Format.formatter -> backend -> unit
+
+(** {2 Durable replay}
+
+    The journal cannot serialize an RDP curve (a closure), but the
+    ledger only ever evaluates curves on its fixed α-grid — so the
+    grid-evaluated array is a complete, serializable substitute. *)
+
+val alpha_grid : float array
+(** The fixed α-grid every RDP curve is accumulated on. *)
+
+val rho_of_charge : charge -> float array option
+(** The charge's curve evaluated on {!alpha_grid}; [None] for pure-DP
+    charges (their implied curve is recomputable from ε alone). *)
+
+val replay_charge :
+  t -> ?analyst:string -> face:Privacy.budget -> rho:float array option ->
+  unit -> unit
+(** Re-apply a journaled charge during recovery, bypassing the
+    affordability check (the journal only contains charges that were
+    committed live, so re-checking could only under-count). Applies the
+    same accumulator updates as the live [spend], so the recovered
+    {!spent} equals the live one exactly.
+    @raise Invalid_argument when [rho] does not match {!alpha_grid}. *)

@@ -2,16 +2,31 @@ open Dp_mechanism
 
 let fstr x = Printf.sprintf "%g" x
 
-(* key=value option parsing; bare words are flags *)
-let parse_opts tokens =
-  List.map
-    (fun tok ->
-      match String.index_opt tok '=' with
-      | Some i ->
-          ( String.sub tok 0 i,
-            Some (String.sub tok (i + 1) (String.length tok - i - 1)) )
-      | None -> (tok, None))
-    tokens
+let max_line_bytes = 4096
+
+(* key=value option parsing; bare words are flags. Strict: unknown and
+   duplicate keys are rejected outright, so a fuzz-found garbage line is
+   never half-parsed into a valid request. *)
+let parse_opts ~known tokens =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest ->
+        let key, value =
+          match String.index_opt tok '=' with
+          | Some i ->
+              ( String.sub tok 0 i,
+                Some (String.sub tok (i + 1) (String.length tok - i - 1)) )
+          | None -> (tok, None)
+        in
+        if not (List.mem key known) then
+          Error
+            (Printf.sprintf "err bad-argument unknown option %s (known: %s)"
+               key (String.concat " " known))
+        else if List.mem_assoc key acc then
+          Error (Printf.sprintf "err bad-argument duplicate option %s" key)
+        else go ((key, value) :: acc) rest
+  in
+  go [] tokens
 
 let find_opt key opts =
   List.find_map (fun (k, v) -> if k = key then v else None) opts
@@ -36,8 +51,15 @@ let int_opt key ~default opts =
 
 let ( let* ) = Result.bind
 
-let register_lines eng name opts =
+let register_keys =
+  [
+    "rows"; "eps"; "delta"; "default-eps"; "analyst-eps"; "universe"; "slack";
+    "backend"; "no-cache"; "low-water";
+  ]
+
+let register_lines eng name opts_tokens =
   let result =
+    let* opts = parse_opts ~known:register_keys opts_tokens in
     let* rows = int_opt "rows" ~default:1000 opts in
     let* eps = float_opt "eps" ~default:1.0 opts in
     let* delta = float_opt "delta" ~default:0. opts in
@@ -45,6 +67,7 @@ let register_lines eng name opts =
     let* analyst_eps = float_opt "analyst-eps" ~default:0. opts in
     let* universe = int_opt "universe" ~default:64 opts in
     let* slack = float_opt "slack" ~default:1e-6 opts in
+    let* low_water = float_opt "low-water" ~default:0. opts in
     let* backend =
       match find_opt "backend" opts with
       | None | Some "basic" -> Ok Ledger.Basic
@@ -56,6 +79,8 @@ let register_lines eng name opts =
     in
     if rows <= 0 then Error "err bad-argument rows must be positive"
     else if eps <= 0. then Error "err bad-argument eps must be positive"
+    else if low_water < 0. then
+      Error "err bad-argument low-water must be >= 0"
     else
       let policy =
         {
@@ -65,6 +90,7 @@ let register_lines eng name opts =
           analyst_epsilon = (if analyst_eps > 0. then Some analyst_eps else None);
           universe;
           cache = not (has_flag "no-cache" opts);
+          low_water;
         }
       in
       Result.map_error
@@ -94,27 +120,12 @@ let answer_string = function
         (String.concat ","
            (Array.to_list (Array.map (Printf.sprintf "%.6f") vs)))
 
-let query_lines eng dataset expr opts =
-  let analyst = find_opt "analyst" opts in
-  match find_opt "eps" opts with
-  | Some s when float_of_string_opt s = None ->
-      [ Printf.sprintf "err bad-argument eps=%s" s ]
-  | eps_opt -> (
-  let epsilon = Option.bind eps_opt float_of_string_opt in
-  match Engine.submit_text eng ?analyst ?epsilon ~dataset expr with
-  | Ok r ->
-      [
-        Printf.sprintf "ok seq=%d %s mechanism=%s eps-charged=%s cache=%s"
-          r.Engine.seq
-          (answer_string r.Engine.answer)
-          (Planner.mechanism_name r.Engine.mechanism)
-          (fstr r.Engine.charged.Privacy.epsilon)
-          (if r.Engine.cache_hit then "hit" else "miss");
-      ]
-  | Error (Engine.Unknown_dataset name) ->
+let error_lines (e : Engine.error) =
+  match e with
+  | Engine.Unknown_dataset name ->
       [ Printf.sprintf "err unknown-dataset %s" name ]
-  | Error (Engine.Bad_query msg) -> [ Printf.sprintf "err bad-query %s" msg ]
-  | Error (Engine.Budget_exceeded rej) ->
+  | Engine.Bad_query msg -> [ Printf.sprintf "err bad-query %s" msg ]
+  | Engine.Budget_exceeded rej ->
       [
         Printf.sprintf "err budget-exceeded requested=%s remaining=%s%s"
           (fstr rej.Ledger.requested.Privacy.epsilon)
@@ -122,17 +133,50 @@ let query_lines eng dataset expr opts =
           (match rej.Ledger.analyst with
           | Some a -> " analyst=" ^ a
           | None -> "");
-      ])
+      ]
+  | Engine.Degraded { dataset; remaining; low_water } ->
+      [
+        Printf.sprintf
+          "err degraded dataset=%s eps-remaining=%s low-water=%s cache-hits-only"
+          dataset
+          (fstr remaining.Privacy.epsilon)
+          (fstr low_water);
+      ]
+  | Engine.Transient msg -> [ "err transient " ^ msg ]
+  | Engine.Fatal msg -> [ "err fatal " ^ msg ]
+
+let query_lines eng dataset expr opts_tokens =
+  match parse_opts ~known:[ "eps"; "analyst" ] opts_tokens with
+  | Error line -> [ line ]
+  | Ok opts -> (
+      let analyst = find_opt "analyst" opts in
+      match find_opt "eps" opts with
+      | Some s when float_of_string_opt s = None ->
+          [ Printf.sprintf "err bad-argument eps=%s" s ]
+      | eps_opt -> (
+          let epsilon = Option.bind eps_opt float_of_string_opt in
+          match Engine.submit_text eng ?analyst ?epsilon ~dataset expr with
+          | Ok r ->
+              [
+                Printf.sprintf "ok seq=%d %s mechanism=%s eps-charged=%s cache=%s"
+                  r.Engine.seq
+                  (answer_string r.Engine.answer)
+                  (Planner.mechanism_name r.Engine.mechanism)
+                  (fstr r.Engine.charged.Privacy.epsilon)
+                  (if r.Engine.cache_hit then "hit" else "miss");
+              ]
+          | Error e -> error_lines e))
 
 let report_lines eng dataset =
   match Engine.report eng ~dataset with
-  | Error e -> [ Format.asprintf "err %a" Engine.pp_error e ]
+  | Error e -> error_lines e
   | Ok r ->
       let lk = r.Engine.leakage in
       [
-        Printf.sprintf "report dataset=%s rows=%d backend=%s" r.Engine.dataset
-          r.Engine.rows
-          (Format.asprintf "%a" Ledger.pp_backend r.Engine.backend);
+        Printf.sprintf "report dataset=%s rows=%d backend=%s mode=%s"
+          r.Engine.dataset r.Engine.rows
+          (Format.asprintf "%a" Ledger.pp_backend r.Engine.backend)
+          (if r.Engine.degraded then "degraded" else "ok");
         Printf.sprintf
           "  queries=%d answered=%d cache-hits=%d rejected=%d hit-rate=%.3f"
           r.Engine.queries r.Engine.answered r.Engine.cache_hits
@@ -153,6 +197,24 @@ let report_lines eng dataset =
           | None -> "");
       ]
 
+let status_lines eng =
+  let datasets = Engine.datasets eng in
+  Printf.sprintf "ok status datasets=%d journal=%s faults=%s"
+    (List.length datasets)
+    (match Engine.journal_path eng with Some p -> p | None -> "off")
+    (Format.asprintf "%a" Faults.pp (Engine.faults eng))
+  :: List.map
+       (fun name ->
+         match Engine.report eng ~dataset:name with
+         | Error _ -> Printf.sprintf "  dataset %s mode=unknown" name
+         | Ok r ->
+             Printf.sprintf
+               "  dataset %s eps-spent=%s eps-remaining=%s mode=%s" name
+               (fstr r.Engine.spent.Privacy.epsilon)
+               (fstr r.Engine.remaining.Privacy.epsilon)
+               (if r.Engine.degraded then "degraded" else "ok"))
+       datasets
+
 let log_lines eng dataset =
   match Engine.records eng ~dataset with
   | [] -> [ "ok log empty" ]
@@ -162,7 +224,7 @@ let log_lines eng dataset =
 
 let replay_lines eng dataset =
   match Engine.replay eng ~dataset with
-  | Error e -> [ Format.asprintf "err %a" Engine.pp_error e ]
+  | Error e -> error_lines e
   | Ok outcome -> (
       match outcome with
       | Dp_audit.Replay.Consistent spent ->
@@ -177,11 +239,15 @@ let help_lines =
   [
     "ok commands:";
     "  register NAME [rows=N] [eps=E] [delta=D] [backend=basic|advanced|rdp]";
-    "           [slack=S] [default-eps=E] [analyst-eps=E] [universe=U] [no-cache]";
+    "           [slack=S] [default-eps=E] [analyst-eps=E] [universe=U]";
+    "           [low-water=E] [no-cache]";
     "  query NAME EXPR [eps=E] [analyst=A]   e.g. query demo mean(income) eps=0.2";
-    "  report NAME | log NAME | replay NAME | help | quit";
+    "  report NAME | log NAME | replay NAME | status | help | quit";
     "  EXPR: count | count(col>x) | sum(col) | mean(col) | histogram(col,bins)";
     "        | quantile(col,q) | cdf(col,t1,...)";
+    "  errors: err bad-argument|bad-query|unknown-*|budget-exceeded (final)";
+    "          err transient (retryable) | err degraded (cache hits only)";
+    "          err fatal (give up)";
   ]
 
 let tokens line =
@@ -191,28 +257,50 @@ let tokens line =
 let is_quit line =
   match tokens line with [ "quit" ] | [ "exit" ] -> true | _ -> false
 
-let exec eng line =
+let exec_parsed eng line =
   match tokens line with
   | [] -> []
   | word :: _ when String.length word > 0 && word.[0] = '#' -> []
   | [ "help" ] -> help_lines
   | [ "quit" ] | [ "exit" ] -> [ "ok bye" ]
-  | "register" :: name :: opts -> register_lines eng name (parse_opts opts)
-  | "query" :: dataset :: expr :: opts ->
-      query_lines eng dataset expr (parse_opts opts)
+  | "register" :: name :: opts -> register_lines eng name opts
+  | "query" :: dataset :: expr :: opts -> query_lines eng dataset expr opts
   | [ "query" ] | [ "query"; _ ] ->
       [ "err bad-argument query needs NAME and EXPR (try 'help')" ]
   | [ "report"; dataset ] -> report_lines eng dataset
   | [ "log"; dataset ] -> log_lines eng dataset
   | [ "replay"; dataset ] -> replay_lines eng dataset
+  | [ "status" ] -> status_lines eng
   | cmd :: _ ->
       [ Printf.sprintf "err unknown-command %s (try 'help')" cmd ]
 
+let exec eng line =
+  (* an oversized line is rejected before tokenization: unbounded
+     garbage must cost O(1), not a parse *)
+  if String.length line > max_line_bytes then
+    [
+      Printf.sprintf "err bad-argument line exceeds %d bytes (got %d)"
+        max_line_bytes (String.length line);
+    ]
+  else
+    try exec_parsed eng line with
+    | Faults.Crash _ as e -> raise e
+    | e ->
+        (* the taxonomy's last resort: no exception ever escapes the
+           protocol as anything but a typed fatal error line *)
+        [ "err fatal internal " ^ Printexc.to_string e ]
+
 let serve eng ic oc =
+  let faults = Engine.faults eng in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | line ->
+        let line =
+          if Faults.fire faults Faults.Garbage_line then
+            String.make (max_line_bytes + 64) '\xfe'
+          else line
+        in
         List.iter (fun l -> output_string oc l; output_char oc '\n') (exec eng line);
         flush oc;
         if not (is_quit line) then loop ()

@@ -10,20 +10,49 @@
     {v
     register NAME [rows=N] [eps=E] [delta=D] [backend=basic|advanced|rdp]
                   [slack=S] [default-eps=E] [analyst-eps=E]
-                  [universe=U] [no-cache]
+                  [universe=U] [low-water=E] [no-cache]
     query NAME EXPR [eps=E] [analyst=A]
     report NAME
     log NAME
     replay NAME
+    status
     help
     quit
-    v} *)
+    v}
+
+    {2 Error taxonomy}
+
+    Every reply to a malformed or failed request is a typed [err] line:
+    [err bad-argument]/[err bad-query]/[err unknown-*] (the request is
+    wrong — fix and resend), [err budget-exceeded] (final for that
+    budget), [err degraded] (low-water reached: cache hits still
+    served), [err transient] (infrastructure hiccup — safe to retry,
+    any committed charge is kept), [err fatal] (journal poisoned or
+    internal error — give up). Option lists reject unknown and
+    duplicate keys, and lines over {!max_line_bytes} are refused before
+    parsing. No exception escapes {!exec} (injected {!Faults.Crash} is
+    the deliberate exception — it simulates the process dying). *)
+
+val max_line_bytes : int
+(** Longest accepted request line (4096); longer lines get
+    [err bad-argument] in O(1). *)
+
+val parse_opts :
+  known:string list ->
+  string list ->
+  ((string * string option) list, string) result
+(** Parse [key=value] / bare-flag tokens. Unknown keys and duplicate
+    keys are rejected with an [err bad-argument ...] line as the error. *)
 
 val exec : Engine.t -> string -> string list
 (** Execute one request line; returns the reply lines (empty for blank
-    or [#]-comment lines). Never raises on malformed input. *)
+    or [#]-comment lines). Never raises on malformed input; unexpected
+    internal exceptions come back as [err fatal internal ...]. *)
 
 val is_quit : string -> bool
 
 val serve : Engine.t -> in_channel -> out_channel -> unit
-(** Read-eval-print until EOF or [quit]; flushes after every reply. *)
+(** Read-eval-print until EOF or [quit]; flushes after every reply.
+    The engine's fault plan can substitute an injected garbage line for
+    a read request ({!Faults.Garbage_line}), which must bounce off the
+    oversized-line guard. *)

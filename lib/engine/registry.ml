@@ -9,6 +9,7 @@ type policy = {
   analyst_epsilon : float option;
   universe : int;
   cache : bool;
+  low_water : float;
 }
 
 let default_policy ~total =
@@ -19,6 +20,7 @@ let default_policy ~total =
     analyst_epsilon = None;
     universe = 64;
     cache = true;
+    low_water = 0.;
   }
 
 type dataset = {
@@ -36,6 +38,8 @@ let dataset ~name ~policy ~columns =
        policy.default_epsilon);
   if policy.universe < 2 then
     invalid_arg "Registry.dataset: universe must be >= 2";
+  if not (Float.is_finite policy.low_water) || policy.low_water < 0. then
+    invalid_arg "Registry.dataset: low_water must be finite and >= 0";
   let rows = Array.length (List.hd columns).values in
   if rows = 0 then invalid_arg "Registry.dataset: empty columns";
   let seen = Hashtbl.create 8 in
@@ -95,4 +99,5 @@ let register t ds =
     Ok ())
 
 let find t name = Hashtbl.find_opt t name
+let remove t name = Hashtbl.remove t name
 let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

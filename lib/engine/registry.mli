@@ -20,11 +20,15 @@ type policy = {
       (** distinguishable values per record, for the Alvim et al.
           min-entropy leakage bound reported by the meter *)
   cache : bool;  (** answer identical repeated queries from cache *)
+  low_water : float;
+      (** graceful-degradation threshold: when remaining global ε drops
+          below it, the engine serves cache hits only instead of
+          hard-failing mid-analysis; [0.] disables *)
 }
 
 val default_policy : total:Privacy.budget -> policy
 (** Basic composition, default ε = 0.1 per query, no analyst caps,
-    universe 64, cache on. *)
+    universe 64, cache on, no low-water mark. *)
 
 type dataset = {
   name : string;
@@ -53,4 +57,9 @@ type t
 val create : unit -> t
 val register : t -> dataset -> (unit, string) result
 val find : t -> string -> dataset option
+
+val remove : t -> string -> unit
+(** Used to roll back a registration whose journal append failed — a
+    dataset must never be servable without being durable. *)
+
 val names : t -> string list

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Kill-and-restart integration test for the write-ahead budget journal.
+#
+# Phase 1 serves three fresh queries with a crash injected between the
+# third charge and its answer (the process dies with the budget spent
+# and nothing released). Phase 2 restarts on the same journal and
+# checks the two crash-safety invariants end to end:
+#   - spent epsilon is monotone across the crash: all three charges
+#     survive, including the one whose answer never left the process;
+#   - pre-crash answers replay from the recovered cache bit-identically.
+set -eu
+
+DPKIT="$1"
+J="crash_test.wal"
+rm -f "$J"
+
+set +e
+OUT1=$(printf 'register demo rows=400 eps=1\nquery demo count\nquery demo mean(income)\nquery demo sum(income)\nquit\n' \
+  | "$DPKIT" serve --journal "$J" --faults crash-after-charge=3 2>/dev/null)
+CODE=$?
+set -e
+
+if [ "$CODE" -ne 70 ]; then
+  echo "expected exit 70 (injected crash), got $CODE"
+  echo "$OUT1"
+  exit 1
+fi
+
+# two answers released before the crash, the third never
+if [ "$(echo "$OUT1" | grep -c '^ok seq=')" -ne 2 ]; then
+  echo "expected exactly 2 released answers before the crash:"
+  echo "$OUT1"
+  exit 1
+fi
+
+VALUE1=$(echo "$OUT1" | sed -n 's/^ok seq=0 value=\([^ ]*\).*/\1/p')
+if [ -z "$VALUE1" ]; then
+  echo "no first answer in transcript:"
+  echo "$OUT1"
+  exit 1
+fi
+
+OUT2=$(printf 'report demo\nquery demo count\nquit\n' \
+  | "$DPKIT" serve --journal "$J" 2>/dev/null)
+
+# budget not reset: 3 charges of 0.1 each, crashed one included
+if ! echo "$OUT2" | grep -q 'eps-spent=0\.3 '; then
+  echo "spent budget lost or reset across the crash:"
+  echo "$OUT2"
+  exit 1
+fi
+
+# the pre-crash answer replays from the recovered cache, bit-identical
+if ! echo "$OUT2" | grep -q "^ok seq=[0-9]* value=$VALUE1 .*cache=hit"; then
+  echo "recovered cache answer missing or not bit-identical to $VALUE1:"
+  echo "$OUT2"
+  exit 1
+fi
+
+rm -f "$J"

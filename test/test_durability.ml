@@ -1,0 +1,508 @@
+(* Crash safety: the write-ahead budget journal, fault injection, and
+   graceful degradation. The load-bearing invariant everywhere below is
+   charge-before-answer: after any crash, replayed spent ε is >= the
+   spend at the crash point — the engine may over-count, never
+   under-count. *)
+
+open Dp_mechanism
+open Dp_engine
+
+let temp_journal () = Filename.temp_file "dpkit_test" ".wal"
+
+let with_journal f =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let policy ?(epsilon = 2.) ?(delta = 1e-6) ?(backend = Ledger.Basic)
+    ?(low_water = 0.) () =
+  {
+    (Registry.default_policy ~total:(Privacy.approx ~epsilon ~delta)) with
+    backend;
+    low_water;
+  }
+
+let fresh ?(seed = 42) ?(faults = Faults.none) () =
+  Engine.create ~seed ~faults ()
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let ok_r label = function
+  | Ok v -> v
+  | Error e ->
+      Alcotest.failf "%s: %s" label (Format.asprintf "%a" Engine.pp_error e)
+
+let spent eng ~dataset =
+  (ok_r "report" (Engine.report eng ~dataset)).Engine.spent
+
+(* --- journal encode/decode --- *)
+
+let sample_records =
+  [
+    Journal.Register { name = "demo"; rows = 321; seed = 7; policy = policy () };
+    Journal.Charge
+      {
+        dataset = "demo";
+        analyst = Some "alice";
+        query = "mean(income)";
+        mechanism = "laplace";
+        face = Privacy.approx ~epsilon:0.125 ~delta:1e-7;
+        marginal = Privacy.approx ~epsilon:0.125 ~delta:0.;
+        rho = Some (Array.map (fun a -> a /. 2.) Ledger.alpha_grid);
+      };
+    Journal.Charge
+      {
+        dataset = "demo";
+        analyst = None;
+        query = "count";
+        mechanism = "geometric";
+        face = Privacy.approx ~epsilon:0.1 ~delta:0.;
+        marginal = Privacy.approx ~epsilon:0.1 ~delta:0.;
+        rho = None;
+      };
+    Journal.Cache_insert
+      {
+        dataset = "demo";
+        key = "count|eps=0.1";
+        answer = Planner.Scalar 317.000000000000057;
+        mechanism = Planner.Geometric;
+        requested = Privacy.approx ~epsilon:0.1 ~delta:0.;
+      };
+    Journal.Cache_insert
+      {
+        dataset = "demo";
+        key = "histogram(age,4)";
+        answer = Planner.Vector [| 1.5; -0.25; 1e-17; 80.0000000000001 |];
+        mechanism = Planner.Laplace;
+        requested = Privacy.approx ~epsilon:0.2 ~delta:0.;
+      };
+  ]
+
+let roundtrip () =
+  with_journal (fun path ->
+      let j, existing, _ = ok (Journal.open_ path) in
+      Alcotest.(check int) "fresh journal empty" 0 (List.length existing);
+      List.iter
+        (fun r ->
+          match Journal.append j r with
+          | Ok () -> ()
+          | Error (`Transient m | `Fatal m) -> Alcotest.fail m)
+        sample_records;
+      Journal.close j;
+      let loaded, stats = ok (Journal.load path) in
+      Alcotest.(check int) "record count" (List.length sample_records)
+        stats.Journal.records;
+      Alcotest.(check int) "no torn bytes" 0 stats.Journal.torn_bytes;
+      (* hex-float encoding means decode . encode is the identity, bit
+         for bit — polymorphic equality on the decoded records holds *)
+      Alcotest.(check bool) "records identical" true (loaded = sample_records))
+
+let torn_tail () =
+  with_journal (fun path ->
+      let j, _, _ = ok (Journal.open_ path) in
+      List.iter (fun r -> ignore (Journal.append j r)) sample_records;
+      Journal.close j;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      (* chop mid-frame: every cut must recover a clean prefix *)
+      let cuts = [ String.length full - 1; String.length full - 9; 17; 9 ] in
+      List.iter
+        (fun cut ->
+          let cut = max 0 (min cut (String.length full)) in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (String.sub full 0 cut));
+          let loaded, stats = ok (Journal.load path) in
+          Alcotest.(check bool)
+            (Printf.sprintf "cut at %d yields a record prefix" cut)
+            true
+            (stats.Journal.records <= List.length sample_records
+            && loaded
+               = List.filteri
+                   (fun i _ -> i < stats.Journal.records)
+                   sample_records);
+          (* open_ repairs the file in place: reopening after the repair
+             sees a clean journal with no torn bytes *)
+          let j, _, _ = ok (Journal.open_ path) in
+          Journal.close j;
+          let _, stats' = ok (Journal.load path) in
+          Alcotest.(check int)
+            (Printf.sprintf "cut at %d repaired" cut)
+            0 stats'.Journal.torn_bytes)
+        cuts;
+      (* garbage appended after valid frames is torn tail, not data *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc full;
+          Out_channel.output_string oc "\x00\x01\xfe");
+      let loaded, stats = ok (Journal.load path) in
+      Alcotest.(check int) "garbage dropped" 3 stats.Journal.torn_bytes;
+      Alcotest.(check bool) "records survive garbage" true
+        (loaded = sample_records))
+
+(* --- engine recovery --- *)
+
+let run_traffic eng =
+  List.map
+    (fun (analyst, expr) ->
+      (expr, Engine.submit_text eng ?analyst ~dataset:"demo" expr))
+    [
+      (None, "count");
+      (Some "alice", "mean(income)");
+      (None, "count");  (* cache hit *)
+      (Some "bob", "sum(age)");
+      (None, "quantile(score,0.5)");
+      (None, "histogram(age,4)");
+    ]
+
+let recovery_backend name backend () =
+  with_journal (fun path ->
+      let live = fresh () in
+      let r = ok (Engine.open_journal live path) in
+      Alcotest.(check bool) (name ^ " empty journal verified") true
+        r.Engine.verified;
+      let _ =
+        ok (Engine.register_synthetic live ~name:"demo" ~rows:300
+              ~policy:(policy ~backend ()))
+      in
+      let answers = run_traffic live in
+      let live_spent = spent live ~dataset:"demo" in
+      Engine.close live;
+      let recovered = fresh () in
+      let r = ok (Engine.open_journal recovered path) in
+      Alcotest.(check bool) (name ^ " recovery verified") true
+        r.Engine.verified;
+      Alcotest.(check int) (name ^ " datasets rebuilt") 1 r.Engine.datasets;
+      let back = spent recovered ~dataset:"demo" in
+      Alcotest.(check (float 0.)) (name ^ " spent eps exact")
+        live_spent.Privacy.epsilon back.Privacy.epsilon;
+      Alcotest.(check (float 0.)) (name ^ " spent delta exact")
+        live_spent.Privacy.delta back.Privacy.delta;
+      (* every answered query replays from cache, bit-identical *)
+      List.iter
+        (fun (expr, first) ->
+          match first with
+          | Error _ -> ()
+          | Ok (first : Engine.response) ->
+              let again =
+                ok_r expr (Engine.submit_text recovered ~dataset:"demo" expr)
+              in
+              Alcotest.(check bool) (expr ^ " is a cache hit") true
+                again.Engine.cache_hit;
+              Alcotest.(check bool) (expr ^ " answer bit-identical") true
+                (first.Engine.answer = again.Engine.answer))
+        answers;
+      Engine.close recovered)
+
+let raw_register_refused () =
+  with_journal (fun path ->
+      let eng = fresh () in
+      let _ = ok (Engine.open_journal eng path) in
+      let ds =
+        Registry.synthetic ~name:"raw" ~rows:10
+          ~policy:(policy ()) (Dp_rng.Prng.create 1)
+      in
+      (match Engine.register eng ds with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "raw dataset accepted with journal attached");
+      Engine.close eng)
+
+let crash_after_charge () =
+  with_journal (fun path ->
+      let faults = ok (Faults.parse "crash-after-charge=2") in
+      let live = fresh ~faults () in
+      let _ = ok (Engine.open_journal live path) in
+      let _ =
+        ok (Engine.register_synthetic live ~name:"demo" ~rows:200
+              ~policy:(policy ()))
+      in
+      let first = ok_r "count" (Engine.submit_text live ~dataset:"demo" "count") in
+      let spent_before = spent live ~dataset:"demo" in
+      (* the second fresh release crashes between the journaled charge
+         and the answer *)
+      (match Engine.submit_text live ~dataset:"demo" "mean(income)" with
+      | exception Faults.Crash Faults.Crash_after_charge -> ()
+      | Ok _ -> Alcotest.fail "expected injected crash"
+      | Error e -> Alcotest.failf "expected crash, got %s" (Format.asprintf "%a" Engine.pp_error e));
+      Engine.close live;
+      let recovered = fresh () in
+      let r = ok (Engine.open_journal recovered path) in
+      Alcotest.(check bool) "recovery verified" true r.Engine.verified;
+      Alcotest.(check int) "both charges replayed" 2 r.Engine.charges;
+      let back = spent recovered ~dataset:"demo" in
+      (* over-count, never under-count: the crashed query's charge is
+         included even though its answer was never released *)
+      Alcotest.(check bool) "spent includes crashed charge" true
+        (back.Privacy.epsilon > spent_before.Privacy.epsilon +. 0.05);
+      let again =
+        ok_r "count" (Engine.submit_text recovered ~dataset:"demo" "count")
+      in
+      Alcotest.(check bool) "pre-crash answer cached" true
+        again.Engine.cache_hit;
+      Alcotest.(check bool) "pre-crash answer bit-identical" true
+        (first.Engine.answer = again.Engine.answer);
+      Engine.close recovered)
+
+(* --- fault injection and retries --- *)
+
+let transient_faults_absorbed () =
+  with_journal (fun path ->
+      let faults = ok (Faults.parse "all-transient") in
+      let eng = fresh ~faults () in
+      let _ = ok (Engine.open_journal eng path) in
+      let _ =
+        ok (Engine.register_synthetic eng ~name:"demo" ~rows:100
+              ~policy:(policy ()))
+      in
+      (* every first attempt of journal-write, journal-fsync and rng
+         fails; bounded retries must absorb all of it *)
+      List.iter
+        (fun expr ->
+          match Engine.submit_text eng ~dataset:"demo" expr with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "%s failed under all-transient: %s" expr
+                (Format.asprintf "%a" Engine.pp_error e))
+        [ "count"; "mean(income)"; "sum(age)" ];
+      Engine.close eng;
+      (* and the journal is still clean and replayable *)
+      let recovered = fresh () in
+      let r = ok (Engine.open_journal recovered path) in
+      Alcotest.(check bool) "verified after fault soak" true r.Engine.verified;
+      Alcotest.(check int) "all charges durable" 3 r.Engine.charges;
+      Engine.close recovered)
+
+let with_retries_unit () =
+  let calls = ref 0 in
+  (match
+     Faults.with_retries ~attempts:3 ~backoff_s:0. (fun ~attempt ->
+         incr calls;
+         if attempt < 3 then raise (Faults.Injected Faults.Rng) else "done")
+   with
+  | Ok v ->
+      Alcotest.(check string) "eventual success" "done" v;
+      Alcotest.(check int) "three attempts" 3 !calls
+  | Error e -> Alcotest.fail e);
+  match
+    Faults.with_retries ~attempts:2 ~backoff_s:0. (fun ~attempt:_ ->
+        raise (Faults.Injected Faults.Journal_fsync))
+  with
+  | Ok () -> Alcotest.fail "should have exhausted retries"
+  | Error _ -> ()
+
+let fault_spec_parsing () =
+  Alcotest.(check bool) "off unarmed" false
+    (Faults.armed (ok (Faults.parse "off")));
+  Alcotest.(check bool) "empty unarmed" false
+    (Faults.armed (ok (Faults.parse "")));
+  Alcotest.(check bool) "all-transient armed" true
+    (Faults.armed (ok (Faults.parse "all-transient")));
+  (match Faults.parse "no-such-point" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus point accepted");
+  (match Faults.parse "rng=0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rng=0 accepted");
+  let t = ok (Faults.parse "journal-write=2") in
+  Alcotest.(check bool) "1st opportunity quiet" false
+    (Faults.fire t Faults.Journal_write);
+  Alcotest.(check bool) "2nd opportunity fires" true
+    (Faults.fire t Faults.Journal_write);
+  Alcotest.(check bool) "one-shot consumed" false
+    (Faults.fire t Faults.Journal_write)
+
+(* --- graceful degradation --- *)
+
+let degraded_mode () =
+  let eng = fresh () in
+  let _ =
+    ok
+      (Engine.register_synthetic eng ~name:"demo" ~rows:100
+         ~policy:(policy ~epsilon:0.25 ~delta:0. ~low_water:0.1 ()))
+  in
+  let first = ok_r "count" (Engine.submit_text eng ~dataset:"demo" "count") in
+  let _ = ok_r "mean" (Engine.submit_text eng ~dataset:"demo" "mean(age)") in
+  (* remaining 0.05 < low-water 0.1: fresh queries refused softly... *)
+  (match Engine.submit_text eng ~dataset:"demo" "sum(income)" with
+  | Error (Engine.Degraded { low_water; remaining; _ }) ->
+      Alcotest.(check (float 0.)) "low water reported" 0.1 low_water;
+      Alcotest.(check bool) "remaining below mark" true
+        (remaining.Privacy.epsilon < 0.1)
+  | Ok _ -> Alcotest.fail "fresh query served below low-water mark"
+  | Error e ->
+      Alcotest.failf "expected degraded, got %s"
+        (Format.asprintf "%a" Engine.pp_error e));
+  (* ...but cache hits are free post-processing and still flow *)
+  let again = ok_r "count" (Engine.submit_text eng ~dataset:"demo" "count") in
+  Alcotest.(check bool) "cache hit in degraded mode" true again.Engine.cache_hit;
+  Alcotest.(check bool) "cached answer unchanged" true
+    (first.Engine.answer = again.Engine.answer);
+  let report = ok_r "report" (Engine.report eng ~dataset:"demo") in
+  Alcotest.(check bool) "report flags degraded" true report.Engine.degraded
+
+(* --- protocol hardening --- *)
+
+let proto_exec eng line = String.concat "\n" (Protocol.exec eng line)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let check_prefix name prefix line =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S starts with %S" name line prefix)
+    true (starts_with prefix line)
+
+let protocol_taxonomy () =
+  let eng = fresh () in
+  check_prefix "duplicate key" "err bad-argument duplicate option eps"
+    (proto_exec eng "register demo rows=10 eps=1 eps=2");
+  check_prefix "unknown key" "err bad-argument unknown option bogus"
+    (proto_exec eng "register demo bogus=1");
+  check_prefix "unknown query key" "err bad-argument unknown option rows"
+    (proto_exec eng "query demo count rows=10");
+  check_prefix "bad low-water" "err bad-argument low-water"
+    (proto_exec eng "register demo low-water=-1");
+  check_prefix "oversized line" "err bad-argument line exceeds"
+    (proto_exec eng ("query demo " ^ String.make Protocol.max_line_bytes 'x'));
+  check_prefix "register ok" "ok registered"
+    (proto_exec eng "register demo rows=50 eps=0.3 low-water=0.1");
+  check_prefix "query ok" "ok seq=" (proto_exec eng "query demo count");
+  check_prefix "second charge ok" "ok seq="
+    (proto_exec eng "query demo mean(age)");
+  check_prefix "degraded taxonomy" "err degraded dataset=demo"
+    (proto_exec eng "query demo sum(income)");
+  check_prefix "unknown dataset" "err unknown-dataset"
+    (proto_exec eng "query nope count");
+  (match Protocol.exec eng "status" with
+  | header :: ds ->
+      check_prefix "status header" "ok status datasets=1 journal=off" header;
+      Alcotest.(check int) "status lists datasets" 1 (List.length ds);
+      Alcotest.(check bool) "status shows degraded" true
+        (List.exists
+           (fun l -> starts_with "  dataset demo" l
+                     && String.length l > 0
+                     && Option.is_some
+                          (String.index_opt l 'd')
+                     && (let n = String.length "mode=degraded" in
+                         String.length l >= n
+                         && String.sub l (String.length l - n) n
+                            = "mode=degraded"))
+           ds)
+  | [] -> Alcotest.fail "status returned nothing");
+  (* exec never lets an exception escape as anything but err fatal *)
+  check_prefix "internal errors typed" "err"
+    (proto_exec eng "query demo count eps=nan")
+
+(* --- qcheck: replay reconstructs the ledger, even truncated --- *)
+
+let queries_pool =
+  [| "count"; "mean(income)"; "sum(age)"; "quantile(score,0.5)";
+     "histogram(age,4)"; "count(age>40)" |]
+
+let prop_replay_spent =
+  QCheck.Test.make ~count:25 ~name:"journal replay spent = live spent at every prefix"
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 12) (int_bound (Array.length queries_pool - 1)))
+        (int_bound 2) (int_bound 10_000))
+    (fun (picks, backend_ix, cut_salt) ->
+      let backend =
+        match backend_ix with
+        | 0 -> Ledger.Basic
+        | 1 -> Ledger.Advanced { slack = 1e-6 }
+        | _ -> Ledger.Rdp { delta = 1e-6 }
+      in
+      with_journal (fun path ->
+          let live = fresh () in
+          let _ = ok (Engine.open_journal live path) in
+          let _ =
+            ok
+              (Engine.register_synthetic live ~name:"demo" ~rows:64
+                 ~policy:(policy ~epsilon:1.5 ~backend ()))
+          in
+          (* spends.(k) = spent budget after k journaled charges *)
+          let spends = ref [ Privacy.approx ~epsilon:0. ~delta:0. ] in
+          List.iter
+            (fun i ->
+              match
+                Engine.submit_text live ~dataset:"demo" queries_pool.(i)
+              with
+              | Ok r when not r.Engine.cache_hit ->
+                  spends := spent live ~dataset:"demo" :: !spends
+              | Ok _ | Error _ -> ())
+            picks;
+          let spends = Array.of_list (List.rev !spends) in
+          let live_spent = spent live ~dataset:"demo" in
+          Engine.close live;
+          (* full replay: exact equality *)
+          let r1 = fresh () in
+          let rec1 = ok (Engine.open_journal r1 path) in
+          let full = spent r1 ~dataset:"demo" in
+          Engine.close r1;
+          if not rec1.Engine.verified then
+            QCheck.Test.fail_report "full recovery not verified";
+          if full <> live_spent then
+            QCheck.Test.fail_report "full replay spent <> live spent";
+          (* truncate a random suffix — a crash mid-write — and replay:
+             the rebuilt spend must equal the live spend after exactly
+             the charges that survived, and never exceed the full spend *)
+          let bytes = In_channel.with_open_bin path In_channel.input_all in
+          let cut = cut_salt mod (String.length bytes + 1) in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (String.sub bytes 0 cut));
+          let records, _ = ok (Journal.load path) in
+          let survived_register =
+            List.exists (function Journal.Register _ -> true | _ -> false) records
+          in
+          let k =
+            List.length
+              (List.filter (function Journal.Charge _ -> true | _ -> false) records)
+          in
+          let r2 = fresh () in
+          let rec2 = ok (Engine.open_journal r2 path) in
+          let outcome =
+            if not rec2.Engine.verified then
+              QCheck.Test.fail_report "truncated recovery not verified"
+            else if not survived_register then rec2.Engine.datasets = 0
+            else begin
+              let back = spent r2 ~dataset:"demo" in
+              back = spends.(k)
+              && back.Privacy.epsilon <= live_spent.Privacy.epsilon
+            end
+          in
+          Engine.close r2;
+          outcome))
+
+let () =
+  Alcotest.run "dp_durability"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "encode/decode roundtrip" `Quick roundtrip;
+          Alcotest.test_case "torn tail truncation" `Quick torn_tail;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "basic backend" `Quick
+            (recovery_backend "basic" Ledger.Basic);
+          Alcotest.test_case "advanced backend" `Quick
+            (recovery_backend "advanced" (Ledger.Advanced { slack = 1e-6 }));
+          Alcotest.test_case "rdp backend" `Quick
+            (recovery_backend "rdp" (Ledger.Rdp { delta = 1e-6 }));
+          Alcotest.test_case "raw datasets refused" `Quick raw_register_refused;
+          Alcotest.test_case "crash between charge and answer" `Quick
+            crash_after_charge;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "all-transient absorbed" `Quick
+            transient_faults_absorbed;
+          Alcotest.test_case "with_retries" `Quick with_retries_unit;
+          Alcotest.test_case "spec parsing" `Quick fault_spec_parsing;
+        ] );
+      ( "degradation",
+        [ Alcotest.test_case "low-water mark" `Quick degraded_mode ] );
+      ( "protocol",
+        [ Alcotest.test_case "error taxonomy" `Quick protocol_taxonomy ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_replay_spent ] );
+    ]

@@ -252,7 +252,7 @@ let test_libsvm_malformed () =
       try
         ignore (Dp_dataset.Csv.read_libsvm ~path ());
         Alcotest.fail "accepted malformed line"
-      with Failure _ -> ())
+      with Invalid_argument _ -> ())
 
 (* ------------------------------------------------------------------ *)
 

@@ -9,7 +9,6 @@ let rejects name f =
         Alcotest.failf "%s: accepted invalid input" name
       with
       | Invalid_argument _ -> ()
-      | Failure _ -> ()
       | Dp_mechanism.Privacy.Budget_exceeded _ -> ())
 
 let g () = Dp_rng.Prng.create 0
@@ -244,6 +243,22 @@ let other_cases =
         ignore (Dp_math.Special.log_gamma 0.));
     rejects "logspace empty normalize" (fun () ->
         ignore (Dp_math.Logspace.normalize_log_weights [||]));
+    rejects "csv bad float" (fun () ->
+        let path = Filename.temp_file "dpkit_bad" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc "a,b\n1.0,not-a-number\n");
+            ignore (Dp_dataset.Csv.read ~path)));
+    rejects "libsvm bad feature" (fun () ->
+        let path = Filename.temp_file "dpkit_bad" ".libsvm" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc "1 garbage\n");
+            ignore (Dp_dataset.Csv.read_libsvm ~path ())));
   ]
 
 let () =
