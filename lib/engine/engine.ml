@@ -12,12 +12,33 @@ type t = {
   registry : Registry.t;
   servings : (string, serving) Hashtbl.t;
   log : Audit_log.t option;
-  rng : Dp_rng.Prng.t;
+  mutable rng : Dp_rng.Prng.t;
   seed : int;
   faults : Faults.t;
   mutable journal : Journal.t option;
   mutable journal_failed : bool;
 }
+
+(* Fresh noise key for journaled serving. Recovery replays charges
+   without consuming any draws, so a restarted engine that kept the
+   seeded stream would hand its first fresh releases the very noise
+   values already released before the crash — an analyst who can induce
+   restarts could difference pre- and post-crash answers and cancel the
+   noise exactly. Noise, unlike cached answers, never needs to be
+   reproducible, so every journal attach re-keys the stream from OS
+   entropy. *)
+let entropy_seed () =
+  match
+    In_channel.with_open_bin "/dev/urandom" (fun ic ->
+        let b = Bytes.create 8 in
+        really_input ic b 0 8;
+        Int64.to_int (Bytes.get_int64_le b 0))
+  with
+  | n -> n land max_int
+  | exception _ ->
+      (* no urandom: time-and-pid is weaker but still unique per
+         process, which is all noise freshness needs *)
+      Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ())
 
 let create ?(seed = 20120330) ?(audit = true) ?faults () =
   let faults = match faults with Some f -> f | None -> Faults.of_env () in
@@ -260,6 +281,10 @@ let submit t ?analyst ?epsilon ~dataset query =
                       (log_decision t ?analyst ~mechanism:mech_name ~dataset
                          ~query:norm ~requested:face ~charged ~cache_hit:false
                          ~verdict:(Audit_log.Charged_unreleased reason) ());
+                    (* best-effort outcome marker: losing it only makes
+                       recovery over-count [answered], never the budget *)
+                    ignore
+                      (journal_append t (Journal.Withheld { dataset; reason }));
                     Error err
                   in
                   (* charge-before-answer: the charge must be durable
@@ -420,7 +445,23 @@ type recovery = {
 
 exception Recovery_failed of string
 
-let apply_record t counts = function
+(* A [Withheld] marker immediately follows the charge whose answer was
+   withheld live (nothing else is journaled in between), so recovered
+   stats and audit verdicts match the live run. An unpaired marker —
+   its charge's own append failed before it — carries no information
+   and is dropped. The one remaining divergence is a genuine crash
+   between charge and answer: no marker could be written, so recovery
+   conservatively counts that charge as answered (budget-wise the two
+   outcomes are identical). *)
+let rec pair_outcomes = function
+  | (Journal.Charge c as r) :: Journal.Withheld { dataset; reason } :: rest
+    when dataset = c.Journal.dataset ->
+      (r, Some reason) :: pair_outcomes rest
+  | r :: rest -> (r, None) :: pair_outcomes rest
+  | [] -> []
+
+let apply_record t counts (record, withheld) =
+  match record with
   | Journal.Register { name; rows; seed; policy } -> (
       if Registry.find t.registry name <> None then
         raise
@@ -452,13 +493,20 @@ let apply_record t counts = function
                    (Printf.sprintf
                       "journaled charge overdraws analyst budget on %S"
                       c.Journal.dataset)));
-          sv.answered <- sv.answered + 1;
+          let verdict =
+            match withheld with
+            | None ->
+                sv.answered <- sv.answered + 1;
+                Audit_log.Answered
+            | Some reason ->
+                sv.rejected <- sv.rejected + 1;
+                Audit_log.Charged_unreleased reason
+          in
           ignore
             (log_decision t ?analyst:c.Journal.analyst
                ~mechanism:c.Journal.mechanism ~dataset:c.Journal.dataset
                ~query:c.Journal.query ~requested:c.Journal.face
-               ~charged:c.Journal.marginal ~cache_hit:false
-               ~verdict:Audit_log.Answered ());
+               ~charged:c.Journal.marginal ~cache_hit:false ~verdict ());
           incr (fst counts))
   | Journal.Cache_insert k -> (
       match Hashtbl.find_opt t.servings k.Journal.dataset with
@@ -475,6 +523,7 @@ let apply_record t counts = function
               requested = k.Journal.requested;
             };
           incr (snd counts))
+  | Journal.Withheld _ -> ()
 
 (* The rebuilt audit trace must re-verify: replaying the journaled
    marginals through the plain basic accountant (Dp_audit.Replay) has
@@ -523,7 +572,7 @@ let open_journal t path =
     | Ok (j, records, stats) -> (
         let counts = (ref 0, ref 0) in
         let n_datasets_before = Hashtbl.length t.servings in
-        match List.iter (apply_record t counts) records with
+        match List.iter (apply_record t counts) (pair_outcomes records) with
         | exception Recovery_failed msg ->
             Journal.close j;
             Error (Printf.sprintf "journal %s: recovery failed: %s" path msg)
@@ -538,6 +587,9 @@ let open_journal t path =
                    path)
             end
             else begin
+              (* replay consumed no draws: re-key the noise stream so
+                 post-recovery releases can never repeat pre-crash ones *)
+              t.rng <- Dp_rng.Prng.create (entropy_seed ());
               t.journal <- Some j;
               Ok
                 {

@@ -28,9 +28,11 @@ type t
 
 val create : ?seed:int -> ?audit:bool -> ?faults:Faults.t -> unit -> t
 (** [seed] (default 20120330) drives all mechanism noise — the engine
-    is deterministic given the seed and the request sequence. [audit]
-    (default [true]) controls the unbounded audit log; benchmarks
-    serving millions of requests switch it off. [faults] defaults to
+    is deterministic given the seed and the request sequence, until a
+    journal is attached: {!open_journal} re-keys the noise stream from
+    OS entropy (synthetic data stays seed-derived). [audit] (default
+    [true]) controls the unbounded audit log; benchmarks serving
+    millions of requests switch it off. [faults] defaults to
     {!Faults.of_env} ([$DPKIT_FAULTS]), so a CI leg can soak the whole
     suite in transient failures. *)
 
@@ -143,7 +145,15 @@ val open_journal : t -> string -> (recovery, string) result
     caches and audit log — and keep the journal attached for appends.
     Recovery truncates a torn tail record, then verifies the rebuilt
     ledger against the replayed audit trace; an inconsistent journal is
-    refused outright. Fails if a journal is already attached. *)
+    refused outright. Fails if a journal is already attached.
+
+    Attaching also re-keys the engine's noise stream from OS entropy:
+    replay consumes no PRNG draws, so a recovered engine that kept its
+    seeded stream would reuse the exact noise values released before
+    the crash — a restart-inducing analyst could difference pre- and
+    post-crash answers to cancel the noise. Cached answers still replay
+    bit-identically (they travel in the journal); only {e fresh} noise
+    is deliberately unreproducible across runs. *)
 
 val journal_path : t -> string option
 val faults : t -> Faults.t

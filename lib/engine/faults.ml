@@ -23,8 +23,9 @@ exception Crash of point
 
 (* Nth: a one-shot trigger armed for the Nth opportunity (a mutable
    countdown). First_attempts: fire on every operation's first attempt,
-   forever — the all-transient soak mode. *)
-type mode = Off | Nth of int ref | First_attempts
+   forever — the all-transient soak mode. Always: fire on every
+   opportunity including retries, so bounded retry loops exhaust. *)
+type mode = Off | Nth of int ref | First_attempts | Always
 
 type t = (point * mode) list
 
@@ -55,26 +56,29 @@ let parse spec =
         | Error _ as e -> e
         | Ok t -> (
             let item = String.trim item in
-            let name, count =
+            let name, mode_r =
               match String.index_opt item '=' with
-              | None -> (item, Ok 1)
+              | None -> (item, Ok (Nth (ref 1)))
               | Some i ->
                   let n = String.sub item (i + 1) (String.length item - i - 1) in
                   ( String.sub item 0 i,
-                    match int_of_string_opt n with
-                    | Some k when k >= 1 -> Ok k
-                    | _ ->
-                        Error
-                          (Printf.sprintf "fault count %S must be a positive int"
-                             n) )
+                    if n = "always" then Ok Always
+                    else
+                      match int_of_string_opt n with
+                      | Some k when k >= 1 -> Ok (Nth (ref k))
+                      | _ ->
+                          Error
+                            (Printf.sprintf
+                               "fault count %S must be a positive int or 'always'"
+                               n) )
             in
-            match (point_of_name name, count) with
+            match (point_of_name name, mode_r) with
             | _, Error msg -> Error msg
             | None, _ ->
                 Error
                   (Printf.sprintf "unknown fault point %S (known: %s)" name
                      (String.concat ", " (List.map point_name all_points)))
-            | Some p, Ok k -> Ok (with_mode t p (Nth (ref k)))))
+            | Some p, Ok m -> Ok (with_mode t p m)))
       (Ok none) items
 
 let of_env () =
@@ -90,6 +94,7 @@ let of_env () =
 let fire t ?(attempt = 1) p =
   match mode t p with
   | Off -> false
+  | Always -> true
   | First_attempts -> attempt = 1
   | Nth k ->
       decr k;
@@ -130,6 +135,7 @@ let pp fmt t =
       (fun p ->
         match mode t p with
         | Off -> None
+        | Always -> Some (point_name p ^ "=always")
         | First_attempts -> Some (point_name p)
         | Nth k -> Some (Printf.sprintf "%s=%d" (point_name p) !k))
       all_points

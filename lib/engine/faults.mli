@@ -16,6 +16,8 @@
     all-transient            every transient point fails each first attempt
     POINT                    fire on the 1st opportunity, once
     POINT=N                  fire on the Nth opportunity, once
+    POINT=always             fire on every opportunity, retries included
+                             (bounded retry loops exhaust)
     off | (empty)            nothing armed
     v}
     Points: [journal-write], [journal-fsync], [rng],

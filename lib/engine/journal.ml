@@ -22,6 +22,7 @@ type record =
   | Register of { name : string; rows : int; seed : int; policy : Registry.policy }
   | Charge of charge_record
   | Cache_insert of cache_record
+  | Withheld of { dataset : string; reason : string }
 
 type stats = { records : int; torn_bytes : int }
 
@@ -116,7 +117,11 @@ let encode r =
       put_str b k.key;
       put_mechanism b k.mechanism;
       put_budget b k.requested;
-      put_answer b k.answer);
+      put_answer b k.answer
+  | Withheld { dataset; reason } ->
+      Buffer.add_char b 'W';
+      put_str b dataset;
+      put_str b reason);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -238,6 +243,10 @@ let decode payload =
         let requested = get_budget c in
         let answer = get_answer c in
         Cache_insert { dataset; key; answer; mechanism; requested }
+    | 'W' ->
+        let dataset = get_str c in
+        let reason = get_str c in
+        Withheld { dataset; reason }
     | _ -> raise Corrupt
   in
   if c.pos <> String.length payload then raise Corrupt;
@@ -320,16 +329,32 @@ type t = {
 let path t = t.path
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* A freshly-created journal is not durable until its directory entry
+   is: without an fsync of the parent directory, a crash shortly after
+   creation can lose the file itself, and recovery — which treats a
+   missing journal as empty — would silently hand back the full budget.
+   EINVAL means the filesystem does not support fsync on directories;
+   nothing more can be done there. *)
+let fsync_dir path =
+  let fd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try Unix.fsync fd
+      with Unix.Unix_error (Unix.EINVAL, _, _) -> ())
+
 let open_ ?(faults = Faults.none) path =
   match read_file path with
   | Error msg -> Error (Printf.sprintf "journal %s: %s" path msg)
   | Ok content -> (
       let records, good = scan content in
       let torn = String.length content - good in
+      let existed = Sys.file_exists path in
       try
         let fd =
           Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
         in
+        if not existed then fsync_dir path;
         if torn > 0 then Unix.ftruncate fd good;
         Ok
           ( { path; fd; faults; clean_off = good; poisoned = false },

@@ -61,6 +61,14 @@ type record =
     }
   | Charge of charge_record
   | Cache_insert of cache_record
+  | Withheld of { dataset : string; reason : string }
+      (** outcome marker, appended best-effort right after a [Charge]
+          whose answer was withheld live (journal or RNG failure after
+          the ledger committed): recovery pairs it with the preceding
+          charge so rebuilt answered/rejected stats and audit verdicts
+          match the live run. Losing the marker (it is not fsync-gated
+          the way charges are) only makes recovery over-count
+          [answered]; the budget itself is carried by the [Charge]. *)
 
 type stats = {
   records : int;  (** valid records replayed *)
@@ -73,8 +81,11 @@ val open_ :
   ?faults:Faults.t -> string -> (t * record list * stats, string) result
 (** Open (or create) a journal for appending. Existing records are
     returned for replay; a torn tail is truncated off the file so the
-    next append starts at a clean frame boundary. [Error] means the
-    file could not be opened or repaired at all. *)
+    next append starts at a clean frame boundary. Creating the file
+    also fsyncs the parent directory, so a crash right after creation
+    cannot lose the journal's directory entry (a missing journal reads
+    as an empty one — the one way recovery could under-count). [Error]
+    means the file could not be opened or repaired at all. *)
 
 val append : t -> record -> (unit, [ `Transient of string | `Fatal of string ]) result
 (** Frame, write, flush and fsync one record, with bounded

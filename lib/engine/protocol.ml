@@ -274,14 +274,15 @@ let exec_parsed eng line =
   | cmd :: _ ->
       [ Printf.sprintf "err unknown-command %s (try 'help')" cmd ]
 
+let oversized_reply n =
+  Printf.sprintf "err bad-argument line exceeds %d bytes (got %d)"
+    max_line_bytes n
+
 let exec eng line =
   (* an oversized line is rejected before tokenization: unbounded
-     garbage must cost O(1), not a parse *)
+     garbage must cost a bounded parse, never a full one *)
   if String.length line > max_line_bytes then
-    [
-      Printf.sprintf "err bad-argument line exceeds %d bytes (got %d)"
-        max_line_bytes (String.length line);
-    ]
+    [ oversized_reply (String.length line) ]
   else
     try exec_parsed eng line with
     | Faults.Crash _ as e -> raise e
@@ -290,18 +291,43 @@ let exec eng line =
            protocol as anything but a typed fatal error line *)
         [ "err fatal internal " ^ Printexc.to_string e ]
 
+(* Read one newline-terminated request, buffering at most
+   [max_line_bytes + 1] bytes; the rest of an oversized line is
+   consumed and discarded. [input_line] would allocate the whole line
+   before the cap could reject it, so an arbitrarily long newline-free
+   input would buffer fully in memory — here unbounded garbage costs
+   O(1) memory. Returns the (possibly truncated) line and the true
+   byte count. *)
+let bounded_line ic =
+  let b = Buffer.create 128 in
+  let rec go count =
+    match input_char ic with
+    | exception End_of_file ->
+        if count = 0 then None else Some (Buffer.contents b, count)
+    | '\n' -> Some (Buffer.contents b, count)
+    | ch ->
+        if Buffer.length b <= max_line_bytes then Buffer.add_char b ch;
+        go (count + 1)
+  in
+  go 0
+
 let serve eng ic oc =
   let faults = Engine.faults eng in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
-        let line =
+    match bounded_line ic with
+    | None -> ()
+    | Some (line, count) ->
+        let line, count =
           if Faults.fire faults Faults.Garbage_line then
-            String.make (max_line_bytes + 64) '\xfe'
-          else line
+            let g = String.make (max_line_bytes + 64) '\xfe' in
+            (g, String.length g)
+          else (line, count)
         in
-        List.iter (fun l -> output_string oc l; output_char oc '\n') (exec eng line);
+        let reply =
+          if count > max_line_bytes then [ oversized_reply count ]
+          else exec eng line
+        in
+        List.iter (fun l -> output_string oc l; output_char oc '\n') reply;
         flush oc;
         if not (is_quit line) then loop ()
   in

@@ -34,8 +34,10 @@
     the deliberate exception — it simulates the process dying). *)
 
 val max_line_bytes : int
-(** Longest accepted request line (4096); longer lines get
-    [err bad-argument] in O(1). *)
+(** Longest accepted request line (4096). {!serve} reads with a
+    bounded buffer, so a longer line — even gigabytes with no newline —
+    gets [err bad-argument] while only ever holding
+    [max_line_bytes + 1] bytes in memory. *)
 
 val parse_opts :
   known:string list ->

@@ -77,6 +77,7 @@ let sample_records =
         mechanism = Planner.Laplace;
         requested = Privacy.approx ~epsilon:0.2 ~delta:0.;
       };
+    Journal.Withheld { dataset = "demo"; reason = "rng" };
   ]
 
 let roundtrip () =
@@ -190,6 +191,81 @@ let recovery_backend name backend () =
               Alcotest.(check bool) (expr ^ " answer bit-identical") true
                 (first.Engine.answer = again.Engine.answer))
         answers;
+      Engine.close recovered)
+
+(* Recovery replays charges without consuming PRNG draws, so a
+   recovered engine that kept the seeded stream would hand its first
+   fresh release the exact noise already released before the crash —
+   differencing the two answers would cancel the noise. open_journal
+   re-keys the stream from OS entropy; with the cache off, the same
+   query after recovery is a genuinely fresh (and differently-noised)
+   release. *)
+let noise_fresh_after_recovery () =
+  with_journal (fun path ->
+      let no_cache = { (policy ()) with Registry.cache = false } in
+      let live = fresh () in
+      let _ = ok (Engine.open_journal live path) in
+      let _ =
+        ok (Engine.register_synthetic live ~name:"demo" ~rows:200
+              ~policy:no_cache)
+      in
+      let first =
+        ok_r "mean" (Engine.submit_text live ~dataset:"demo" "mean(income)")
+      in
+      Engine.close live;
+      let recovered = fresh () in
+      (* same seed as [live]! *)
+      let _ = ok (Engine.open_journal recovered path) in
+      let again =
+        ok_r "mean" (Engine.submit_text recovered ~dataset:"demo" "mean(income)")
+      in
+      Alcotest.(check bool) "fresh release, not a cache hit" false
+        again.Engine.cache_hit;
+      Alcotest.(check bool) "noise not reused across recovery" true
+        (first.Engine.answer <> again.Engine.answer);
+      Engine.close recovered)
+
+(* A live withheld charge (rng exhausted after the journaled charge)
+   journals a Withheld outcome marker; recovery pairs it with its
+   charge, so rebuilt answered/rejected stats and audit verdicts match
+   the live run while the budget still includes the charge. *)
+let withheld_outcome_recovered () =
+  with_journal (fun path ->
+      let faults = ok (Faults.parse "rng=always") in
+      let live = fresh ~faults () in
+      let _ = ok (Engine.open_journal live path) in
+      let _ =
+        ok (Engine.register_synthetic live ~name:"demo" ~rows:100
+              ~policy:(policy ()))
+      in
+      (match Engine.submit_text live ~dataset:"demo" "count" with
+      | Error (Engine.Transient _) -> ()
+      | Ok _ -> Alcotest.fail "rng=always released an answer"
+      | Error e ->
+          Alcotest.failf "expected transient, got %s"
+            (Format.asprintf "%a" Engine.pp_error e));
+      let live_r = ok_r "report" (Engine.report live ~dataset:"demo") in
+      Alcotest.(check int) "live answered" 0 live_r.Engine.answered;
+      Alcotest.(check int) "live rejected" 1 live_r.Engine.rejected;
+      Engine.close live;
+      let recovered = fresh () in
+      let r = ok (Engine.open_journal recovered path) in
+      Alcotest.(check bool) "recovery verified" true r.Engine.verified;
+      Alcotest.(check int) "charge replayed" 1 r.Engine.charges;
+      let rep = ok_r "report" (Engine.report recovered ~dataset:"demo") in
+      Alcotest.(check int) "recovered answered matches live" 0
+        rep.Engine.answered;
+      Alcotest.(check int) "recovered rejected matches live" 1
+        rep.Engine.rejected;
+      Alcotest.(check (float 0.)) "withheld charge still spent"
+        live_r.Engine.spent.Privacy.epsilon rep.Engine.spent.Privacy.epsilon;
+      Alcotest.(check bool) "charged-unreleased verdict rebuilt" true
+        (List.exists
+           (fun (rc : Audit_log.record) ->
+             match rc.Audit_log.verdict with
+             | Audit_log.Charged_unreleased _ -> true
+             | _ -> false)
+           (Engine.records recovered ~dataset:"demo"));
       Engine.close recovered)
 
 let raw_register_refused () =
@@ -307,7 +383,15 @@ let fault_spec_parsing () =
   Alcotest.(check bool) "2nd opportunity fires" true
     (Faults.fire t Faults.Journal_write);
   Alcotest.(check bool) "one-shot consumed" false
-    (Faults.fire t Faults.Journal_write)
+    (Faults.fire t Faults.Journal_write);
+  (* always: fires on every opportunity, retries included *)
+  let t = ok (Faults.parse "rng=always") in
+  Alcotest.(check bool) "always fires" true (Faults.fire t Faults.Rng);
+  Alcotest.(check bool) "always fires on retries" true
+    (Faults.fire t ~attempt:3 Faults.Rng);
+  match Faults.parse "rng=sometimes" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus count accepted"
 
 (* --- graceful degradation --- *)
 
@@ -391,6 +475,38 @@ let protocol_taxonomy () =
   (* exec never lets an exception escape as anything but err fatal *)
   check_prefix "internal errors typed" "err"
     (proto_exec eng "query demo count eps=nan")
+
+(* serve reads with a bounded buffer: a huge newline-free line is
+   drained in O(1) memory, rejected with its true byte count, and the
+   loop keeps serving the requests after it *)
+let serve_bounded_input () =
+  let eng = fresh () in
+  let in_path = Filename.temp_file "dpkit_in" ".txt" in
+  let out_path = Filename.temp_file "dpkit_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ in_path; out_path ])
+    (fun () ->
+      let huge = "query demo " ^ String.make (300 * 1024) 'x' in
+      Out_channel.with_open_bin in_path (fun oc ->
+          Out_channel.output_string oc (huge ^ "\nhelp\nquit\n"));
+      In_channel.with_open_bin in_path (fun ic ->
+          Out_channel.with_open_bin out_path (fun oc ->
+              Protocol.serve eng ic oc));
+      let out = In_channel.with_open_bin out_path In_channel.input_all in
+      match String.split_on_char '\n' out with
+      | first :: rest ->
+          check_prefix "oversized line over serve"
+            (Printf.sprintf "err bad-argument line exceeds %d bytes (got %d)"
+               Protocol.max_line_bytes (String.length huge))
+            first;
+          Alcotest.(check bool) "loop continues past the oversized line" true
+            (List.exists (fun l -> l = "ok commands:") rest);
+          Alcotest.(check bool) "quit acknowledged" true
+            (List.mem "ok bye" rest)
+      | [] -> Alcotest.fail "serve produced no output")
 
 (* --- qcheck: replay reconstructs the ledger, even truncated --- *)
 
@@ -491,6 +607,10 @@ let () =
           Alcotest.test_case "raw datasets refused" `Quick raw_register_refused;
           Alcotest.test_case "crash between charge and answer" `Quick
             crash_after_charge;
+          Alcotest.test_case "noise re-keyed across recovery" `Quick
+            noise_fresh_after_recovery;
+          Alcotest.test_case "withheld outcome recovered" `Quick
+            withheld_outcome_recovered;
         ] );
       ( "faults",
         [
@@ -502,7 +622,10 @@ let () =
       ( "degradation",
         [ Alcotest.test_case "low-water mark" `Quick degraded_mode ] );
       ( "protocol",
-        [ Alcotest.test_case "error taxonomy" `Quick protocol_taxonomy ] );
+        [
+          Alcotest.test_case "error taxonomy" `Quick protocol_taxonomy;
+          Alcotest.test_case "bounded line reader" `Quick serve_bounded_input;
+        ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_replay_spent ] );
     ]
