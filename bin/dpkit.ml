@@ -5,7 +5,9 @@
    dpkit experiment E5 [--quick]      run one experiment
    dpkit experiment all [--seed 7]    run everything
    dpkit serve                        line-protocol DP query server (stdin/stdout)
-   dpkit query "mean(income)" ...     one-shot queries against a synthetic dataset *)
+   dpkit query "mean(income)" ...     one-shot queries against a synthetic dataset
+   dpkit analyze --schema S WORKLOAD  static workload costing, no data access
+   dpkit lint [DIR]                   privacy-invariant source linter (R1..R6) *)
 
 open Cmdliner
 
@@ -253,6 +255,131 @@ let serve_cmd =
           stdin/stdout.")
     Term.(ret (const run $ seed_arg $ journal_arg $ faults_arg))
 
+let lint_cmd =
+  let dir_arg =
+    let doc = "Directory to lint (the repository root)." in
+    Arg.(value & pos 0 dir "." & info [] ~docv:"DIR" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) (FILE:LINE, editor-clickable) or \
+               $(b,json) (one object per line)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let exempt_arg =
+    let doc =
+      "Exemption file ('RULE PATH-FRAGMENT' per line). Defaults to \
+       DIR/lint.exempt when present."
+    in
+    Arg.(value & opt (some file) None & info [ "exempt" ] ~docv:"FILE" ~doc)
+  in
+  let rules_arg =
+    let doc = "List the rules and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let run dir format exempt_path rules =
+    if rules then begin
+      List.iter
+        (fun (id, summary) -> Format.printf "%-4s %s@." id summary)
+        Dp_lint.Rules.all;
+      `Ok ()
+    end
+    else
+      let exempt_r =
+        match exempt_path with
+        | Some p -> Dp_lint.Config.load p
+        | None ->
+            let p = Filename.concat dir "lint.exempt" in
+            if Sys.file_exists p then Dp_lint.Config.load p
+            else Ok Dp_lint.Config.empty
+      in
+      match exempt_r with
+      | Error msg -> `Error (false, "bad exemption file: " ^ msg)
+      | Ok exempt ->
+          let findings = Dp_lint.Driver.lint_dir ~exempt dir in
+          let pp =
+            match format with
+            | `Text -> Dp_lint.Report.pp_text
+            | `Json -> Dp_lint.Report.pp_json
+          in
+          List.iter (Format.printf "%a@." pp) findings;
+          if findings = [] then `Ok ()
+          else begin
+            Format.printf "%d finding%s@." (List.length findings)
+              (if List.length findings = 1 then "" else "s");
+            exit 1
+          end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check the source tree against the privacy-invariant rules \
+          (R1..R6); exit 1 on any finding.")
+    Term.(ret (const run $ dir_arg $ format_arg $ exempt_arg $ rules_arg))
+
+(* 4.14-compatible whole-file read (no In_channel.input_lines). *)
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Ok s
+  | exception Sys_error msg -> Error msg
+
+let analyze_cmd =
+  let schema_arg =
+    let doc =
+      "Dataset schema file: a 'dataset NAME rows=N eps=E ...' line \
+       (register-command options) followed by 'column NAME lo=L hi=H' lines."
+    in
+    Arg.(
+      required & opt (some file) None & info [ "schema" ] ~docv:"FILE" ~doc)
+  in
+  let workload_arg =
+    let doc =
+      "Workload file: one query per line ('mean(income) eps=0.2'), '#' \
+       comments allowed."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit with status 1 when the verdict is FAIL." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let run schema_path workload_path strict =
+    let result =
+      let ( let* ) = Result.bind in
+      let* schema_text = read_file schema_path in
+      let* workload_text = read_file workload_path in
+      let* schema =
+        Result.map_error
+          (Printf.sprintf "%s: %s" schema_path)
+          (Dp_engine.Analyzer.parse_schema schema_text)
+      in
+      let* items =
+        Result.map_error
+          (Printf.sprintf "%s: %s" workload_path)
+          (Dp_engine.Analyzer.parse_workload workload_text)
+      in
+      Dp_engine.Analyzer.analyze schema items
+    in
+    match result with
+    | Error msg -> `Error (false, msg)
+    | Ok report ->
+        Format.printf "%a" Dp_engine.Analyzer.pp_report report;
+        if strict && not report.Dp_engine.Analyzer.pass then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically cost a query workload against a dataset schema — \
+          per-query charges and composed totals, with no data access and \
+          no sampling.")
+    Term.(ret (const run $ schema_arg $ workload_arg $ strict_arg))
+
 let query_cmd =
   let exprs_arg =
     let doc =
@@ -319,4 +446,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd; query_cmd ]))
+          [
+            list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd;
+            query_cmd; analyze_cmd; lint_cmd;
+          ]))

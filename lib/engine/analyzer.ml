@@ -1,0 +1,343 @@
+open Dp_mechanism
+
+(* ------------------------------------------------------------------ *)
+(* Schema and workload file parsing *)
+
+let ( let* ) = Result.bind
+
+let at_line n = Result.map_error (Printf.sprintf "line %d: %s" n)
+
+(* Protocol.parse_opts errors are protocol reply lines; strip the
+   wire-format prefix so file diagnostics read naturally. *)
+let opts ~known tokens =
+  Result.map_error
+    (fun msg ->
+      let prefix = "err bad-argument " in
+      if String.length msg > String.length prefix
+         && String.sub msg 0 (String.length prefix) = prefix
+      then String.sub msg (String.length prefix)
+             (String.length msg - String.length prefix)
+      else msg)
+    (Protocol.parse_opts ~known tokens)
+
+let find_opt key kvs =
+  List.find_map (fun (k, v) -> if k = key then v else None) kvs
+
+let has_flag key kvs = List.exists (fun (k, v) -> k = key && v = None) kvs
+
+let float_opt key ~default kvs =
+  match find_opt key kvs with
+  | None -> Ok default
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some x when Float.is_finite x -> Ok x
+      | _ -> Error (Printf.sprintf "bad number %s=%s" key s))
+
+let int_opt key ~default kvs =
+  match find_opt key kvs with
+  | None -> Ok default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad integer %s=%s" key s))
+
+let dataset_keys =
+  [
+    "rows"; "eps"; "delta"; "default-eps"; "analyst-eps"; "universe"; "slack";
+    "backend"; "no-cache"; "low-water";
+  ]
+
+(* Mirrors Protocol.register_lines: a schema's [dataset] line accepts
+   exactly the options of a live `register` command, so a schema file
+   prices the same service the server would run. *)
+let policy_of_opts kvs =
+  let* eps = float_opt "eps" ~default:1.0 kvs in
+  let* delta = float_opt "delta" ~default:0. kvs in
+  let* default_eps = float_opt "default-eps" ~default:0.1 kvs in
+  let* analyst_eps = float_opt "analyst-eps" ~default:0. kvs in
+  let* universe = int_opt "universe" ~default:64 kvs in
+  let* slack = float_opt "slack" ~default:1e-6 kvs in
+  let* low_water = float_opt "low-water" ~default:0. kvs in
+  let* backend =
+    match find_opt "backend" kvs with
+    | None | Some "basic" -> Ok Ledger.Basic
+    | Some "advanced" -> Ok (Ledger.Advanced { slack })
+    | Some "rdp" ->
+        Ok (Ledger.Rdp { delta = (if delta > 0. then delta else 1e-6) })
+    | Some other -> Error (Printf.sprintf "bad backend=%s" other)
+  in
+  if eps <= 0. then Error "eps must be positive"
+  else if low_water < 0. then Error "low-water must be >= 0"
+  else
+    Ok
+      {
+        Registry.total = Privacy.approx ~epsilon:eps ~delta;
+        backend;
+        default_epsilon = default_eps;
+        analyst_epsilon = (if analyst_eps > 0. then Some analyst_eps else None);
+        universe;
+        cache = not (has_flag "no-cache" kvs);
+        low_water;
+      }
+
+let content_lines text =
+  (* (line number, tokens), comments and blanks dropped *)
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (n, line) ->
+         let toks =
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (fun s -> s <> "")
+         in
+         match toks with
+         | [] -> None
+         | w :: _ when String.length w > 0 && w.[0] = '#' -> None
+         | _ -> Some (n, toks))
+
+let parse_schema text =
+  let rec go header cols = function
+    | [] -> (
+        match header with
+        | None -> Error "schema: missing 'dataset NAME ...' line"
+        | Some (name, rows, policy) ->
+            Registry.schema ~name ~rows ~policy (List.rev cols))
+    | (n, toks) :: rest -> (
+        match toks with
+        | [] -> go header cols rest
+        | "dataset" :: name :: kv_toks ->
+            if header <> None then
+              Error (Printf.sprintf "line %d: duplicate dataset line" n)
+            else
+              let* rows, policy =
+                at_line n
+                  (let* kvs = opts ~known:dataset_keys kv_toks in
+                   let* rows = int_opt "rows" ~default:1000 kvs in
+                   if rows <= 0 then Error "rows must be positive"
+                   else
+                     let* policy = policy_of_opts kvs in
+                     Ok (rows, policy))
+              in
+              go (Some (name, rows, policy)) cols rest
+        | "column" :: name :: kv_toks ->
+            let* c =
+              at_line n
+                (let* kvs = opts ~known:[ "lo"; "hi" ] kv_toks in
+                 let* lo = float_opt "lo" ~default:nan kvs in
+                 let* hi = float_opt "hi" ~default:nan kvs in
+                 if Float.is_nan lo || Float.is_nan hi then
+                   Error
+                     (Printf.sprintf "column %s needs lo= and hi= bounds" name)
+                 else Ok { Registry.col = name; lo; hi })
+            in
+            go header (c :: cols) rest
+        | w :: _ ->
+            Error
+              (Printf.sprintf
+                 "line %d: expected 'dataset' or 'column', got %S" n w))
+  in
+  go None [] (content_lines text)
+
+type item = { text : string; query : Query.t; epsilon : float option }
+
+let parse_workload text =
+  let parse_one (n, toks) =
+    match toks with
+    | [] -> assert false
+    | expr :: opt_toks ->
+        at_line n
+          (let* kvs = opts ~known:[ "eps" ] opt_toks in
+           let* eps =
+             match find_opt "eps" kvs with
+             | None -> Ok None
+             | Some s -> (
+                 match float_of_string_opt s with
+                 | Some x when Float.is_finite x -> Ok (Some x)
+                 | _ -> Error (Printf.sprintf "bad number eps=%s" s))
+           in
+           let* query = Query.parse expr in
+           Ok { text = expr; query; epsilon = eps })
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let* q = parse_one line in
+        go (q :: acc) rest
+  in
+  go [] (content_lines text)
+
+(* ------------------------------------------------------------------ *)
+(* The static ε-odometer *)
+
+type row = {
+  index : int;
+  query : string;
+  mechanism : Planner.mechanism;
+  sensitivity : float;
+  epsilon : float;
+  face : Privacy.budget;
+  marginal : Privacy.budget;
+  accepted : bool;
+}
+
+type composed = {
+  backend : Ledger.backend;
+  spent : Privacy.budget;
+  rejected : int;
+}
+
+type report = {
+  schema : Registry.schema;
+  rows : row list;
+  accepted : int;
+  rejected : int;
+  spent : Privacy.budget;
+  remaining : Privacy.budget;
+  composed : composed list;
+  pass : bool;
+}
+
+(* Simulate a live serving run under [backend]: plan each query
+   statically and push its charge through a real ledger — the exact
+   spend/commit code the engine runs — so the totals (and the
+   accept/reject pattern) are bit-identical to an execution. *)
+let simulate (s : Registry.schema) ~backend items =
+  let s = { s with Registry.policy = { s.policy with backend } } in
+  let ledger = Ledger.create ~total:s.policy.total ~backend () in
+  let rows =
+    List.mapi
+      (fun i (it : item) ->
+        let eps =
+          match it.epsilon with
+          | Some e -> e
+          | None -> s.policy.default_epsilon
+        in
+        match Planner.spec s ~epsilon:eps it.query with
+        | Error msg ->
+            Error (Printf.sprintf "query %d (%s): %s" (i + 1) it.text msg)
+        | Ok sp ->
+            let before = Ledger.spent ledger in
+            let accepted =
+              match Ledger.spend ledger sp.Planner.charge with
+              | Ok () -> true
+              | Error _ -> false
+            in
+            let after = Ledger.spent ledger in
+            Ok
+              {
+                index = i + 1;
+                query = Query.normalize it.query;
+                mechanism = sp.Planner.mechanism;
+                sensitivity = sp.Planner.sensitivity;
+                epsilon = eps;
+                face = sp.Planner.charge.Ledger.budget;
+                marginal =
+                  {
+                    Privacy.epsilon =
+                      Float.max 0.
+                        (after.Privacy.epsilon -. before.Privacy.epsilon);
+                    delta =
+                      Float.max 0.
+                        (after.Privacy.delta -. before.Privacy.delta);
+                  };
+                accepted;
+              })
+      items
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | Error msg :: _ -> Error msg
+    | Ok r :: rest -> collect (r :: acc) rest
+  in
+  let* rows = collect [] rows in
+  Ok (rows, Ledger.spent ledger, Ledger.remaining ledger)
+
+let analyze (s : Registry.schema) items =
+  let slack =
+    match s.policy.backend with Ledger.Advanced { slack } -> slack | _ -> 1e-6
+  in
+  let rdp_delta =
+    match s.policy.backend with
+    | Ledger.Rdp { delta } -> delta
+    | _ -> if s.policy.total.Privacy.delta > 0. then s.policy.total.Privacy.delta else 1e-6
+  in
+  let* rows, spent, remaining = simulate s ~backend:s.policy.backend items in
+  let composed_under backend =
+    let* sim_rows, sim_spent, _ = simulate s ~backend items in
+    Ok
+      {
+        backend;
+        spent = sim_spent;
+        rejected = List.length (List.filter (fun (r : row) -> not r.accepted) sim_rows);
+      }
+  in
+  let* basic = composed_under Ledger.Basic in
+  let* advanced = composed_under (Ledger.Advanced { slack }) in
+  let* rdp = composed_under (Ledger.Rdp { delta = rdp_delta }) in
+  let rejected = List.length (List.filter (fun (r : row) -> not r.accepted) rows) in
+  Ok
+    {
+      schema = s;
+      rows;
+      accepted = List.length rows - rejected;
+      rejected;
+      spent;
+      remaining;
+      composed = [ basic; advanced; rdp ];
+      pass = rejected = 0;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering — deterministic (no data was read, no noise drawn),
+   so the output is diffable in tests. *)
+
+let fstr x = Printf.sprintf "%g" x
+
+let pp_report fmt r =
+  let s = r.schema in
+  Format.fprintf fmt "schema %s: rows=%d columns=%s@." s.Registry.name
+    s.Registry.rows
+    (String.concat ","
+       (Array.to_list
+          (Array.map (fun (c : Registry.col_schema) -> c.col) s.Registry.cols)));
+  Format.fprintf fmt
+    "policy: eps-total=%s delta-total=%s backend=%s default-eps=%s@."
+    (fstr s.Registry.policy.total.Privacy.epsilon)
+    (fstr s.Registry.policy.total.Privacy.delta)
+    (Format.asprintf "%a" Ledger.pp_backend s.Registry.policy.backend)
+    (fstr s.Registry.policy.default_epsilon);
+  Format.fprintf fmt "workload: %d queries@." (List.length r.rows);
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "  %2d  %-34s %-18s sens=%-10s eps=%-8s charged-eps=%-10s %s@."
+        row.index row.query
+        (Planner.mechanism_name row.mechanism)
+        (fstr row.sensitivity) (fstr row.epsilon)
+        (fstr row.marginal.Privacy.epsilon)
+        (if row.accepted then "ok" else "REJECTED"))
+    r.rows;
+  Format.fprintf fmt "composed totals (static, no data access, no sampling):@.";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %-24s eps=%-12s delta=%s%s@."
+        (Format.asprintf "%a" Ledger.pp_backend c.backend)
+        (fstr c.spent.Privacy.epsilon)
+        (fstr c.spent.Privacy.delta)
+        (if c.rejected > 0 then Printf.sprintf "  (%d rejected)" c.rejected
+         else ""))
+    r.composed;
+  if r.pass then
+    Format.fprintf fmt
+      "verdict: PASS — %d/%d queries affordable, spent eps=%s delta=%s, \
+       remaining eps=%s@."
+      r.accepted (List.length r.rows)
+      (fstr r.spent.Privacy.epsilon)
+      (fstr r.spent.Privacy.delta)
+      (fstr r.remaining.Privacy.epsilon)
+  else
+    Format.fprintf fmt
+      "verdict: FAIL — %d of %d queries rejected under %s composition \
+       (spent eps=%s of %s)@."
+      r.rejected (List.length r.rows)
+      (Format.asprintf "%a" Ledger.pp_backend s.Registry.policy.backend)
+      (fstr r.spent.Privacy.epsilon)
+      (fstr s.Registry.policy.total.Privacy.epsilon)

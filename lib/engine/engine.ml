@@ -35,7 +35,7 @@ let entropy_seed () =
         Int64.to_int (Bytes.get_int64_le b 0))
   with
   | n -> n land max_int
-  | exception _ ->
+  | exception (Sys_error _ | End_of_file) ->
       (* no urandom: time-and-pid is weaker but still unique per
          process, which is all noise freshness needs *)
       Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ())
@@ -244,24 +244,23 @@ let submit t ?analyst ?epsilon ~dataset query =
                    ~verdict:(Audit_log.Rejected msg) ());
               Error (Bad_query msg)
           | Ok plan -> (
+              let sp = plan.Planner.spec in
               let before = Ledger.spent sv.ledger in
-              match Ledger.spend sv.ledger ?analyst plan.Planner.charge with
+              match Ledger.spend sv.ledger ?analyst sp.Planner.charge with
               | Error rejection ->
                   sv.rejected <- sv.rejected + 1;
                   ignore
                     (log_decision t ?analyst
-                       ~mechanism:(Planner.mechanism_name plan.Planner.mechanism)
+                       ~mechanism:(Planner.mechanism_name sp.Planner.mechanism)
                        ~dataset ~query:norm
-                       ~requested:plan.Planner.charge.Ledger.budget ~charged:zero
+                       ~requested:sp.Planner.charge.Ledger.budget ~charged:zero
                        ~cache_hit:false
                        ~verdict:(Audit_log.Rejected "budget-exceeded") ());
                   Error (Budget_exceeded rejection)
               | Ok () -> (
                   let after = Ledger.spent sv.ledger in
-                  let face = plan.Planner.charge.Ledger.budget in
-                  let mech_name =
-                    Planner.mechanism_name plan.Planner.mechanism
-                  in
+                  let face = sp.Planner.charge.Ledger.budget in
+                  let mech_name = Planner.mechanism_name sp.Planner.mechanism in
                   let charged =
                     {
                       Privacy.epsilon =
@@ -300,7 +299,7 @@ let submit t ?analyst ?epsilon ~dataset query =
                            mechanism = mech_name;
                            face;
                            marginal = charged;
-                           rho = Ledger.rho_of_charge plan.Planner.charge;
+                           rho = Ledger.rho_of_charge sp.Planner.charge;
                          })
                   with
                   | Error e -> withhold "journal" e
@@ -318,7 +317,7 @@ let submit t ?analyst ?epsilon ~dataset query =
                             Cache.store sv.cache key
                               {
                                 Cache.answer;
-                                mechanism = plan.Planner.mechanism;
+                                mechanism = sp.Planner.mechanism;
                                 requested = face;
                               };
                             (* a lost cache record is safe (a future miss
@@ -331,7 +330,7 @@ let submit t ?analyst ?epsilon ~dataset query =
                                       Journal.dataset;
                                       key;
                                       answer;
-                                      mechanism = plan.Planner.mechanism;
+                                      mechanism = sp.Planner.mechanism;
                                       requested = face;
                                     }))
                           end;
@@ -344,7 +343,7 @@ let submit t ?analyst ?epsilon ~dataset query =
                           Ok
                             {
                               answer;
-                              mechanism = plan.Planner.mechanism;
+                              mechanism = sp.Planner.mechanism;
                               requested = face;
                               charged;
                               cache_hit = false;

@@ -392,7 +392,7 @@ let append t record =
            impossible the journal can no longer be trusted *)
         match Unix.ftruncate t.fd t.clean_off with
         | () -> Error (`Transient (Printf.sprintf "journal write failed: %s" msg))
-        | exception _ ->
+        | exception Unix.Unix_error _ ->
             t.poisoned <- true;
             Error
               (`Fatal

@@ -10,17 +10,18 @@ let mechanism_name = function
   | Exponential -> "exponential"
   | Discrete_gaussian -> "discrete-gaussian"
 
-type plan = {
+type spec = {
   query : Query.t;
   mechanism : mechanism;
   sensitivity : float;
   epsilon : float;
   charge : Ledger.charge;
-  run : Dp_rng.Prng.t -> answer;
 }
 
-let rdp_delta (ds : Registry.dataset) =
-  match ds.policy.backend with Ledger.Rdp { delta } -> Some delta | _ -> None
+type plan = { spec : spec; run : Dp_rng.Prng.t -> answer }
+
+let rdp_delta (s : Registry.schema) =
+  match s.policy.backend with Ledger.Rdp { delta } -> Some delta | _ -> None
 
 (* Classical Gaussian calibration: sigma achieving (eps, delta) for the
    given L2 sensitivity; the charge is then re-derived through the RDP
@@ -35,159 +36,119 @@ let satisfies op threshold v =
   | Query.Ge -> v >= threshold
   | Query.Gt -> v > threshold
 
-(* An integer release of [value] with sensitivity [isens]: geometric
-   under basic/advanced composition, discrete Gaussian under RDP. *)
-let integer_release ds ~epsilon ~isens ~value =
-  match rdp_delta ds with
-  | None ->
-      let m = Geometric_mech.create ~sensitivity:isens ~epsilon in
-      let charge = { Ledger.budget = Privacy.pure epsilon; rdp = None } in
-      ( Geometric,
-        charge,
-        fun g -> Scalar (float_of_int (Geometric_mech.release m ~value g)) )
+(* ------------------------------------------------------------------ *)
+(* Static half: mechanism selection and pricing. Everything below is a
+   function of the schema and the query alone — no column data, no
+   sampling — so the same code prices a live release and a purely
+   static `dpkit analyze` pass, bit-identically. *)
+
+(* An integer release with sensitivity [isens]: geometric under
+   basic/advanced composition, discrete Gaussian under RDP. *)
+let integer_spec s ~epsilon ~isens =
+  match rdp_delta s with
+  | None -> (Geometric, { Ledger.budget = Privacy.pure epsilon; rdp = None })
   | Some delta ->
       let sigma = gaussian_sigma ~l2:(float_of_int isens) ~epsilon ~delta in
       let m = Discrete_gaussian.create ~sensitivity:isens ~sigma in
-      let charge =
+      ( Discrete_gaussian,
         {
           Ledger.budget = Discrete_gaussian.budget m ~delta;
           rdp = Some (Discrete_gaussian.rdp m);
-        }
-      in
-      ( Discrete_gaussian,
-        charge,
-        fun g -> Scalar (float_of_int (Discrete_gaussian.release m ~value g)) )
+        } )
 
 (* A nonnegative-count vector release with L1 sensitivity 2 (one record
    moves between two cells; L2 sensitivity sqrt 2 for the Gaussian
-   path). Returns the mechanism, charge and a fresh-noise closure. *)
-let cell_release ds ~epsilon (counts : float array) =
-  match rdp_delta ds with
+   path). *)
+let cell_spec s ~epsilon =
+  match rdp_delta s with
   | None ->
-      let lap = Laplace.create ~sensitivity:(Sensitivity.histogram ()) ~epsilon in
-      let charge =
+      ( Laplace,
         {
           Ledger.budget = Privacy.pure epsilon;
           rdp = Some (Rdp.laplace ~sensitivity:1. ~epsilon);
-        }
-      in
-      ( Laplace,
-        charge,
-        fun g -> Laplace.release_vector lap ~value:counts g )
+        } )
   | Some delta ->
       let l2 = sqrt 2. in
       let sigma = gaussian_sigma ~l2 ~epsilon ~delta in
       let curve = Rdp.gaussian ~l2_sensitivity:l2 ~std:sigma in
-      let charge =
-        { Ledger.budget = Rdp.to_dp ~delta curve; rdp = Some curve }
-      in
       ( Discrete_gaussian,
-        charge,
-        fun g ->
-          Array.map
-            (fun c ->
-              c +. float_of_int (Discrete_gaussian.sample_noise ~sigma g))
-            counts )
+        { Ledger.budget = Rdp.to_dp ~delta curve; rdp = Some curve } )
 
-let plan (ds : Registry.dataset) ~epsilon query =
+let laplace_charge ~epsilon =
+  {
+    Ledger.budget = Privacy.pure epsilon;
+    rdp = Some (Rdp.laplace ~sensitivity:1. ~epsilon);
+  }
+
+let spec (s : Registry.schema) ~epsilon query =
   if (not (Float.is_finite epsilon)) || epsilon <= 0. then
     Error (Printf.sprintf "epsilon must be positive and finite, got %g" epsilon)
   else
     let with_column name k =
-      match Registry.column ds name with
+      match Registry.schema_column s name with
       | Some c -> k c
       | None ->
           Error
             (Printf.sprintf "unknown column %S in dataset %S (have: %s)" name
-               ds.name
+               s.name
                (String.concat ", "
                   (Array.to_list
                      (Array.map
-                        (fun (c : Registry.column) -> c.name)
-                        ds.columns))))
+                        (fun (c : Registry.col_schema) -> c.col)
+                        s.cols))))
     in
     match query with
-    | Query.Count pred -> (
-        let build value =
-          let mech, charge, run = integer_release ds ~epsilon ~isens:1 ~value in
+    | Query.Count pred ->
+        let build () =
+          let mechanism, charge = integer_spec s ~epsilon ~isens:1 in
           Ok
             {
               query;
-              mechanism = mech;
+              mechanism;
               sensitivity = Sensitivity.count ();
               epsilon;
               charge;
-              run;
             }
         in
-        match pred with
-        | None -> build ds.rows
-        | Some { column; op; threshold } ->
-            with_column column (fun c ->
-                build
-                  (Array.fold_left
-                     (fun acc v ->
-                       if satisfies op threshold v then acc + 1 else acc)
-                     0 c.values)))
+        (match pred with
+        | None -> build ()
+        | Some { column; _ } -> with_column column (fun _ -> build ()))
     | Query.Sum { column } ->
         with_column column (fun c ->
-            let sens = Sensitivity.bounded_sum ~lo:c.lo ~hi:c.hi in
-            let lap = Laplace.create ~sensitivity:sens ~epsilon in
-            let value = Dp_math.Summation.sum c.values in
             Ok
               {
                 query;
                 mechanism = Laplace;
-                sensitivity = sens;
+                sensitivity = Sensitivity.bounded_sum ~lo:c.lo ~hi:c.hi;
                 epsilon;
-                charge =
-                  {
-                    Ledger.budget = Privacy.pure epsilon;
-                    rdp = Some (Rdp.laplace ~sensitivity:1. ~epsilon);
-                  };
-                run = (fun g -> Scalar (Laplace.release lap ~value g));
+                charge = laplace_charge ~epsilon;
               })
     | Query.Mean { column } ->
         with_column column (fun c ->
-            let sens = Sensitivity.bounded_mean ~lo:c.lo ~hi:c.hi ~n:ds.rows in
-            let lap = Laplace.create ~sensitivity:sens ~epsilon in
-            let value = Dp_math.Summation.mean c.values in
             Ok
               {
                 query;
                 mechanism = Laplace;
-                sensitivity = sens;
+                sensitivity =
+                  Sensitivity.bounded_mean ~lo:c.lo ~hi:c.hi ~n:s.rows;
                 epsilon;
-                charge =
-                  {
-                    Ledger.budget = Privacy.pure epsilon;
-                    rdp = Some (Rdp.laplace ~sensitivity:1. ~epsilon);
-                  };
-                run = (fun g -> Scalar (Laplace.release lap ~value g));
+                charge = laplace_charge ~epsilon;
               })
     | Query.Histogram { column; bins } ->
         if bins <= 0 then Error "histogram needs a positive bin count"
         else
-          with_column column (fun c ->
-              let h =
-                Dp_stats.Histogram.of_samples ~lo:c.lo ~hi:c.hi ~bins c.values
-              in
-              let counts = Array.init bins (Dp_stats.Histogram.count h) in
-              let mech, charge, noisy = cell_release ds ~epsilon counts in
+          with_column column (fun _ ->
+              let mechanism, charge = cell_spec s ~epsilon in
               Ok
                 {
                   query;
-                  mechanism = mech;
+                  mechanism;
                   sensitivity = Sensitivity.histogram ();
                   epsilon;
                   charge;
-                  run =
-                    (fun g ->
-                      (* clamping at zero is post-processing *)
-                      Vector (Array.map (Float.max 0.) (noisy g)));
                 })
-    | Query.Quantile { column; q } ->
-        with_column column (fun c ->
+    | Query.Quantile { column; _ } ->
+        with_column column (fun _ ->
             Ok
               {
                 query;
@@ -195,58 +156,127 @@ let plan (ds : Registry.dataset) ~epsilon query =
                 sensitivity = 1.;
                 epsilon;
                 charge = { Ledger.budget = Privacy.pure epsilon; rdp = None };
-                run =
-                  (fun g ->
-                    Scalar
-                      (Dp_learn.Quantile.estimate ~epsilon ~q ~lo:c.lo
-                         ~hi:c.hi c.values g));
               })
     | Query.Cdf { column; points } ->
         if Array.length points = 0 then Error "cdf needs at least one point"
         else
-          with_column column (fun c ->
-              (* Cell counts between consecutive thresholds; noising the
-                 cells (L1 sensitivity 2) and post-processing a running
-                 sum beats noising the k cumulative counts directly. *)
-              let sorted = Array.copy c.values in
-              Array.sort compare sorted;
-              let n = Array.length sorted in
-              let rank t =
-                (* #values <= t via binary search on the sorted copy *)
-                let lo = ref 0 and hi = ref n in
-                while !lo < !hi do
-                  let mid = (!lo + !hi) / 2 in
-                  if sorted.(mid) <= t then lo := mid + 1 else hi := mid
-                done;
-                !lo
-              in
-              let k = Array.length points in
-              let cum = Array.map rank points in
-              let cells =
-                Array.init (k + 1) (fun i ->
-                    let prev = if i = 0 then 0 else cum.(i - 1) in
-                    let next = if i = k then n else cum.(i) in
-                    float_of_int (next - prev))
-              in
-              let mech, charge, noisy = cell_release ds ~epsilon cells in
+          with_column column (fun _ ->
+              let mechanism, charge = cell_spec s ~epsilon in
               Ok
                 {
                   query;
-                  mechanism = mech;
+                  mechanism;
                   sensitivity = Sensitivity.histogram ();
                   epsilon;
                   charge;
-                  run =
-                    (fun g ->
-                      let noisy_cells = noisy g in
-                      let fn = float_of_int n in
-                      let acc = ref 0. and best = ref 0. in
-                      Vector
-                        (Array.init k (fun i ->
-                             acc := !acc +. Float.max 0. noisy_cells.(i);
-                             let v =
-                               Dp_math.Numeric.clamp ~lo:0. ~hi:1. (!acc /. fn)
-                             in
-                             best := Float.max !best v;
-                             !best)));
                 })
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic half: attach a fresh-noise closure to a priced spec. This is
+   the only place that touches column values, and it re-derives each
+   mechanism from the same (epsilon, policy) facts the spec was priced
+   from, so the closure can never drift from the charge. *)
+
+let integer_run s ~epsilon ~isens ~value =
+  match rdp_delta s with
+  | None ->
+      let m = Geometric_mech.create ~sensitivity:isens ~epsilon in
+      fun g -> Scalar (float_of_int (Geometric_mech.release m ~value g))
+  | Some delta ->
+      let sigma = gaussian_sigma ~l2:(float_of_int isens) ~epsilon ~delta in
+      let m = Discrete_gaussian.create ~sensitivity:isens ~sigma in
+      fun g -> Scalar (float_of_int (Discrete_gaussian.release m ~value g))
+
+let cell_run s ~epsilon (counts : float array) =
+  match rdp_delta s with
+  | None ->
+      let lap = Laplace.create ~sensitivity:(Sensitivity.histogram ()) ~epsilon in
+      fun g -> Laplace.release_vector lap ~value:counts g
+  | Some delta ->
+      let sigma = gaussian_sigma ~l2:(sqrt 2.) ~epsilon ~delta in
+      fun g ->
+        Array.map
+          (fun c -> c +. float_of_int (Discrete_gaussian.sample_noise ~sigma g))
+          counts
+
+let runner (ds : Registry.dataset) (sp : spec) =
+  let s = Registry.schema_of ds in
+  let epsilon = sp.epsilon in
+  let col name =
+    (* spec already validated the column, so this cannot fail *)
+    match Registry.column ds name with
+    | Some c -> c
+    | None -> invalid_arg ("Planner.runner: missing column " ^ name)
+  in
+  match sp.query with
+  | Query.Count pred ->
+      let value =
+        match pred with
+        | None -> ds.rows
+        | Some { column; op; threshold } ->
+            Array.fold_left
+              (fun acc v -> if satisfies op threshold v then acc + 1 else acc)
+              0 (col column).values
+      in
+      integer_run s ~epsilon ~isens:1 ~value
+  | Query.Sum { column } ->
+      let lap = Laplace.create ~sensitivity:sp.sensitivity ~epsilon in
+      let value = Dp_math.Summation.sum (col column).values in
+      fun g -> Scalar (Laplace.release lap ~value g)
+  | Query.Mean { column } ->
+      let lap = Laplace.create ~sensitivity:sp.sensitivity ~epsilon in
+      let value = Dp_math.Summation.mean (col column).values in
+      fun g -> Scalar (Laplace.release lap ~value g)
+  | Query.Histogram { column; bins } ->
+      let c = col column in
+      let h = Dp_stats.Histogram.of_samples ~lo:c.lo ~hi:c.hi ~bins c.values in
+      let counts = Array.init bins (Dp_stats.Histogram.count h) in
+      let noisy = cell_run s ~epsilon counts in
+      fun g ->
+        (* clamping at zero is post-processing *)
+        Vector (Array.map (Float.max 0.) (noisy g))
+  | Query.Quantile { column; q } ->
+      let c = col column in
+      fun g ->
+        Scalar (Dp_learn.Quantile.estimate ~epsilon ~q ~lo:c.lo ~hi:c.hi c.values g)
+  | Query.Cdf { column; points } ->
+      let c = col column in
+      (* Cell counts between consecutive thresholds; noising the cells
+         (L1 sensitivity 2) and post-processing a running sum beats
+         noising the k cumulative counts directly. *)
+      let sorted = Array.copy c.values in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let rank t =
+        (* #values <= t via binary search on the sorted copy *)
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if sorted.(mid) <= t then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      let k = Array.length points in
+      let cum = Array.map rank points in
+      let cells =
+        Array.init (k + 1) (fun i ->
+            let prev = if i = 0 then 0 else cum.(i - 1) in
+            let next = if i = k then n else cum.(i) in
+            float_of_int (next - prev))
+      in
+      let noisy = cell_run s ~epsilon cells in
+      fun g ->
+        let noisy_cells = noisy g in
+        let fn = float_of_int n in
+        let acc = ref 0. and best = ref 0. in
+        Vector
+          (Array.init k (fun i ->
+               acc := !acc +. Float.max 0. noisy_cells.(i);
+               let v = Dp_math.Numeric.clamp ~lo:0. ~hi:1. (!acc /. fn) in
+               best := Float.max !best v;
+               !best))
+
+let plan (ds : Registry.dataset) ~epsilon query =
+  match spec (Registry.schema_of ds) ~epsilon query with
+  | Error _ as e -> e
+  | Ok sp -> Ok { spec = sp; run = runner ds sp }

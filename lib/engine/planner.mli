@@ -18,7 +18,17 @@
     geometric mechanism (universally optimal for counts) under basic or
     advanced composition, and the discrete Gaussian under an RDP
     backend, where its Rényi curve composes tightly; real-valued
-    queries use Laplace; quantiles use the exponential mechanism. *)
+    queries use Laplace; quantiles use the exponential mechanism.
+
+    Planning is split in two halves. {!spec} is purely static: it maps
+    (schema, ε, query) to a mechanism, a sensitivity and a ledger
+    charge without ever touching column data or drawing noise — this is
+    what makes the privacy cost of a workload a property of the plans
+    (paper Theorem 4.2: ε bounds the channel statically), and it is the
+    engine of [dpkit analyze]. {!plan} attaches the data-dependent
+    fresh-noise closure on top of an identically-priced spec, so a
+    static analysis and a live run of the same workload charge the
+    ledger bit-identically. *)
 
 type answer = Scalar of float | Vector of float array
 
@@ -26,7 +36,7 @@ type mechanism = Laplace | Geometric | Exponential | Discrete_gaussian
 
 val mechanism_name : mechanism -> string
 
-type plan = {
+type spec = {
   query : Query.t;
   mechanism : mechanism;
   sensitivity : float;
@@ -34,10 +44,19 @@ type plan = {
   charge : Ledger.charge;
       (** what the ledger is asked for; for the discrete Gaussian this
           is the RDP-converted (ε, δ) at the policy's δ *)
+}
+
+type plan = {
+  spec : spec;  (** the static half: pricing and mechanism choice *)
   run : Dp_rng.Prng.t -> answer;  (** one fresh noisy release *)
 }
 
-val plan :
-  Registry.dataset -> epsilon:float -> Query.t -> (plan, string) result
-(** [Error] explains an unknown column, non-positive ε, or a
-    query/dataset mismatch; it never raises. *)
+val spec : Registry.schema -> epsilon:float -> Query.t -> (spec, string) result
+(** Static planning: no data access, no sampling. [Error] explains an
+    unknown column, non-positive ε, or a query/schema mismatch; it
+    never raises. *)
+
+val plan : Registry.dataset -> epsilon:float -> Query.t -> (plan, string) result
+(** [plan ds ~epsilon q] = [spec (Registry.schema_of ds) ~epsilon q]
+    plus the release closure; the charge is computed by the same code
+    path in both, so they agree exactly. *)

@@ -67,6 +67,51 @@ let dataset ~name ~policy ~columns =
 let column ds name =
   Array.find_opt (fun (c : column) -> c.name = name) ds.columns
 
+type col_schema = { col : string; lo : float; hi : float }
+
+type schema = {
+  name : string;
+  cols : col_schema array;
+  rows : int;
+  policy : policy;
+}
+
+let schema ~name ~rows ~policy cols =
+  if name = "" then Error "schema: empty dataset name"
+  else if cols = [] then Error "schema: no columns"
+  else if rows <= 0 then Error "schema: rows must be positive"
+  else if policy.default_epsilon <= 0. then
+    Error "schema: default_epsilon must be positive"
+  else
+    let seen = Hashtbl.create 8 in
+    let rec check = function
+      | [] -> Ok { name; cols = Array.of_list cols; rows; policy }
+      | (c : col_schema) :: rest ->
+          if Hashtbl.mem seen c.col then
+            Error (Printf.sprintf "schema: duplicate column %S" c.col)
+          else if c.lo >= c.hi then
+            Error (Printf.sprintf "schema: column %S has lo >= hi" c.col)
+          else begin
+            Hashtbl.add seen c.col ();
+            check rest
+          end
+    in
+    check cols
+
+let schema_of (ds : dataset) =
+  {
+    name = ds.name;
+    cols =
+      Array.map
+        (fun (c : column) -> { col = c.name; lo = c.lo; hi = c.hi })
+        ds.columns;
+    rows = ds.rows;
+    policy = ds.policy;
+  }
+
+let schema_column s name =
+  Array.find_opt (fun (c : col_schema) -> c.col = name) s.cols
+
 let synthetic ~name ~rows ~policy g =
   if rows <= 0 then invalid_arg "Registry.synthetic: rows must be positive";
   let age =
@@ -91,7 +136,7 @@ type t = (string, dataset) Hashtbl.t
 
 let create () : t = Hashtbl.create 8
 
-let register t ds =
+let register t (ds : dataset) =
   if Hashtbl.mem t ds.name then
     Error (Printf.sprintf "dataset %S already registered" ds.name)
   else (

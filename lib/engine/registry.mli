@@ -45,6 +45,38 @@ val dataset :
 
 val column : dataset -> string -> column option
 
+(** {2 Schemas}
+
+    A schema is the data-independent skeleton of a dataset: column
+    names and bounds, the public row count, and the policy — but no
+    values. Everything the planner needs to select a mechanism and
+    price a query lives here, which is what makes the static workload
+    analyzer ({!Dp_engine.Analyzer}) possible: privacy cost is a
+    property of the plans, not of any execution. *)
+
+type col_schema = { col : string; lo : float; hi : float }
+
+type schema = {
+  name : string;
+  cols : col_schema array;
+  rows : int;
+  policy : policy;
+}
+
+val schema :
+  name:string -> rows:int -> policy:policy -> col_schema list ->
+  (schema, string) result
+(** Validates without clamping anything (there is no data): non-empty
+    name and column set, positive rows, unique column names, [lo < hi],
+    positive [default_epsilon]. *)
+
+val schema_of : dataset -> schema
+(** Project a registered dataset onto its schema, dropping the values.
+    Planning against [schema_of ds] charges exactly what planning
+    against [ds] charges. *)
+
+val schema_column : schema -> string -> col_schema option
+
 val synthetic :
   name:string -> rows:int -> policy:policy -> Dp_rng.Prng.t -> dataset
 (** A deterministic (given the generator) demo dataset with columns

@@ -1,0 +1,4 @@
+(** Single source of truth for the toolkit version: [bin/dpkit] reads
+    it for [--version], and [docs/ENGINE.md] references it. *)
+
+val current : string

@@ -1,0 +1,51 @@
+type entry = { rule : string; fragment : string }
+type t = entry list
+
+let empty = []
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc (n + 1) rest
+        else
+          match String.index_opt line ' ' with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "lint.exempt line %d: expected 'RULE PATH-FRAGMENT', got %S"
+                   n line)
+          | Some i ->
+              let rule = String.sub line 0 i in
+              let fragment =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              if fragment = "" then
+                Error (Printf.sprintf "lint.exempt line %d: empty path" n)
+              else go ({ rule; fragment } :: acc) (n + 1) rest)
+  in
+  go [] 1 lines
+
+let load path =
+  match open_in_bin path with
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      parse s
+  | exception Sys_error msg -> Error msg
+
+let contains ~fragment s =
+  let fn = String.length fragment and sn = String.length s in
+  let rec at i =
+    if i + fn > sn then false
+    else if String.sub s i fn = fragment then true
+    else at (i + 1)
+  in
+  fn > 0 && at 0
+
+let exempt t ~rule ~file =
+  List.exists
+    (fun e -> (e.rule = "*" || e.rule = rule) && contains ~fragment:e.fragment file)
+    t

@@ -1,0 +1,13 @@
+(** Checked-in lint exemptions.
+
+    A [lint.exempt] file holds one entry per line — [RULE FRAGMENT] —
+    suppressing findings of [RULE] ([*] for every rule) in any file
+    whose reported path contains [FRAGMENT] as a substring. Blank
+    lines and [#] comments are ignored. *)
+
+type t
+
+val empty : t
+val parse : string -> (t, string) result
+val load : string -> (t, string) result
+val exempt : t -> rule:string -> file:string -> bool

@@ -1,0 +1,14 @@
+(** Walking, lexing and rule dispatch — the engine of [dpkit lint]. *)
+
+val scan_dir : string -> string list
+(** All [.ml]/[.mli] files under a directory (skipping [_build],
+    [.git], …), as sorted '/'-separated paths relative to it. *)
+
+val lint :
+  ?exempt:Config.t -> root:string -> string list -> Report.finding list
+(** Lint the given root-relative files: token rules per file (with
+    [lint:allow] comment suppressions applied), R3 over the whole set,
+    then {!Config} exemptions, sorted by file/line/rule. *)
+
+val lint_dir : ?exempt:Config.t -> string -> Report.finding list
+(** [lint ~root (scan_dir root)]. *)

@@ -1,0 +1,145 @@
+type token = { text : string; line : int; col : int }
+type t = { tokens : token array; allows : (int * string) list }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Two-character operators the rules care about; anything else lexes as
+   a single symbol character. *)
+let two_char_ops = [ "->"; "-."; "/."; "*."; "+."; "<="; ">="; ":="; "::"; "<>" ]
+
+(* Find "lint:allow RULE" directives inside a comment body; [line] is
+   the line the directive starts on. *)
+let allows_of_comment ~line body =
+  let key = "lint:allow" in
+  let n = String.length body in
+  let rec find acc i cur_line =
+    if i >= n then acc
+    else if body.[i] = '\n' then find acc (i + 1) (cur_line + 1)
+    else if
+      i + String.length key <= n && String.sub body i (String.length key) = key
+    then begin
+      let j = ref (i + String.length key) in
+      while !j < n && body.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < n && (is_ident_char body.[!k] || is_digit body.[!k])
+      do
+        incr k
+      done;
+      let rule = String.sub body !j (!k - !j) in
+      let acc = if rule = "" then acc else (cur_line, rule) :: acc in
+      find acc !k cur_line
+    end
+    else find acc (i + 1) cur_line
+  in
+  find [] 0 line
+
+let scan src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let allows = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let emit text start = tokens := { text; line = !line; col = start - !bol } :: !tokens in
+  let i = ref 0 in
+  let newline at = incr line; bol := at + 1 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin newline !i; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment, possibly nested; harvest lint:allow directives *)
+      let start = !i and start_line = !line in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if src.[!i] = '\n' then begin newline !i; incr i end
+        else if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth; i := !i + 2
+        end
+        else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth; i := !i + 2
+        end
+        else incr i
+      done;
+      allows :=
+        allows_of_comment ~line:start_line (String.sub src start (!i - start))
+        @ !allows
+    end
+    else if c = '"' then begin
+      (* string literal: contents never produce tokens *)
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then newline !i;
+          if src.[!i] = '"' then fin := true;
+          incr i
+        end
+      done
+    end
+    else if c = '{' && !i + 1 < n && src.[!i + 1] = '|' then begin
+      (* basic quoted string {| ... |} *)
+      i := !i + 2;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if src.[!i] = '|' && !i + 1 < n && src.[!i + 1] = '}' then begin
+          fin := true; i := !i + 2
+        end
+        else begin
+          if src.[!i] = '\n' then newline !i;
+          incr i
+        end
+      done
+    end
+    else if c = '\'' then begin
+      (* char literal vs type-variable quote *)
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && !j <= !i + 5 && src.[!j] <> '\'' do incr j done;
+        if !j < n && src.[!j] = '\'' then i := !j + 1
+        else begin emit "'" !i; incr i end
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 3
+      else begin emit "'" !i; incr i end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      emit (String.sub src start (!i - start)) start
+    end
+    else if is_digit c then begin
+      (* numbers (incl. 1e-6, 0x1f, 1_000.) lex as one token so their
+         inner '-'/'.' never look like operators *)
+      let start = !i in
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let d = src.[!i] in
+        if
+          is_ident_char d || is_digit d || d = '.'
+          || ((d = '+' || d = '-')
+             && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E'))
+        then incr i
+        else continue := false
+      done;
+      emit (String.sub src start (!i - start)) start
+    end
+    else begin
+      let two =
+        if !i + 1 < n then
+          let s = String.sub src !i 2 in
+          if List.mem s two_char_ops then Some s else None
+        else None
+      in
+      match two with
+      | Some s -> emit s !i; i := !i + 2
+      | None -> emit (String.make 1 c) !i; incr i
+    end
+  done;
+  { tokens = Array.of_list (List.rev !tokens); allows = !allows }

@@ -1,0 +1,19 @@
+(** A comment/string-aware token scanner for OCaml-ish source.
+
+    Not a full OCaml lexer — just enough structure for the privacy
+    lint rules: comments (nested) and string/char literals are
+    stripped so their contents can never trigger a rule, identifiers
+    and numbers lex as single tokens, and the handful of two-character
+    operators the rules inspect ([->], [-.], [/.], …) are kept
+    intact. Every token carries its 1-based line and 0-based column. *)
+
+type token = { text : string; line : int; col : int }
+
+type t = {
+  tokens : token array;
+  allows : (int * string) list;
+      (** [lint:allow RULE] comment directives: (line, rule). A finding
+          of [rule] on exactly that line is suppressed. *)
+}
+
+val scan : string -> t

@@ -1,0 +1,31 @@
+type finding = { rule : string; file : string; line : int; message : string }
+
+let compare_findings a b =
+  match compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> compare a.rule b.rule | c -> c)
+  | c -> c
+
+let pp_text fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One object per line: greppable, and a stream stays valid JSON-lines
+   even if the process dies mid-report. *)
+let pp_json fmt f =
+  Format.fprintf fmt
+    {|{"rule":"%s","file":"%s","line":%d,"message":"%s"}|}
+    (json_escape f.rule) (json_escape f.file) f.line (json_escape f.message)

@@ -1,0 +1,12 @@
+(** Lint findings and their text/JSON renderings. *)
+
+type finding = { rule : string; file : string; line : int; message : string }
+
+val compare_findings : finding -> finding -> int
+(** Order by file, then line, then rule. *)
+
+val pp_text : Format.formatter -> finding -> unit
+(** [FILE:LINE: [RULE] message] — editor-clickable. *)
+
+val pp_json : Format.formatter -> finding -> unit
+(** One JSON object (single line, no trailing newline) per finding. *)

@@ -1,0 +1,241 @@
+(* The privacy invariants of this codebase, as lexical rules. Each rule
+   is deliberately scoped by path segment: an invariant like
+   "charge before release" is meaningless outside the serving engine,
+   and keeping scopes tight keeps false positives near zero. *)
+
+type ctx = {
+  file : string;  (** path as reported, '/'-separated *)
+  segs : string list;
+  tokens : Lexer.token array;
+}
+
+let all =
+  [
+    ( "R1",
+      "no Stdlib.Random outside lib/rng — all noise must flow through the \
+       seeded, splittable Dp_rng.Prng" );
+    ( "R2",
+      "charge before release: in lib/engine, a plan's run closure may only \
+       be invoked after a ledger spend / journal append in the same \
+       top-level definition" );
+    ( "R3",
+      "every lib/**/*.ml has a matching .mli — invariants live in \
+       interfaces, and an unconstrained module leaks internals" );
+    ( "R4",
+      "no difference-of-logs or ratio-of-exps on unbounded quantities in \
+       lib/mechanism or lib/pac_bayes — use closed forms or the Dp_math \
+       log-domain helpers (underflow turns likelihood ratios into NaN)" );
+    ( "R5",
+      "no catch-all exception handlers in lib/engine — a swallowed \
+       exception can release an answer whose charge failed" );
+    ( "R6",
+      "no printing of raw dataset values in lib/engine serving paths — \
+       only noised answers may reach an output channel" );
+  ]
+
+let has_seg ctx s = List.mem s ctx.segs
+let is_ml ctx = Filename.check_suffix ctx.file ".ml"
+
+let tok ctx i =
+  if i >= 0 && i < Array.length ctx.tokens then ctx.tokens.(i).Lexer.text else ""
+
+let finding ctx rule i message =
+  { Report.rule; file = ctx.file; line = ctx.tokens.(i).Lexer.line; message }
+
+(* R1 ------------------------------------------------------------- *)
+
+let r1 ctx =
+  if has_seg ctx "rng" then []
+  else
+    let out = ref [] in
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        if t.text = "Random" && tok ctx (i + 1) = "." then
+          let qualified = tok ctx (i - 1) = "." in
+          if (not qualified) || tok ctx (i - 2) = "Stdlib" then
+            out :=
+              finding ctx "R1" i
+                "Stdlib.Random is unseeded global state; draw noise via \
+                 Dp_rng (lib/rng)"
+              :: !out)
+      ctx.tokens;
+    List.rev !out
+
+(* R2 ------------------------------------------------------------- *)
+
+(* Top-level chunks: a new column-0 structure keyword starts a new
+   dominance scope, so a spend in one function cannot excuse a release
+   in the next. *)
+let chunk_starts =
+  [ "let"; "and"; "module"; "type"; "exception"; "open"; "include"; "val" ]
+
+let dominators = [ "spend"; "append"; "journal_append"; "replay_charge" ]
+
+let r2 ctx =
+  if not (has_seg ctx "engine" && is_ml ctx) then []
+  else begin
+    let out = ref [] in
+    let dominated = ref false in
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        if t.Lexer.col = 0 && List.mem t.text chunk_starts then
+          dominated := false;
+        if List.mem t.text dominators then dominated := true;
+        if
+          t.text = "run"
+          && tok ctx (i - 1) = "."
+          && (not (List.mem (tok ctx (i + 1)) [ "="; ":"; ";" ]))
+          && not !dominated
+        then
+          out :=
+            finding ctx "R2" i
+              "release before charge: .run invoked with no preceding ledger \
+               spend / journal append in this definition"
+            :: !out)
+      ctx.tokens;
+    List.rev !out
+  end
+
+(* R3 ------------------------------------------------------------- *)
+
+let r3 ~files scanned =
+  List.filter_map
+    (fun file ->
+      if
+        Filename.check_suffix file ".ml"
+        && List.mem "lib" (String.split_on_char '/' file)
+        && not (List.mem (file ^ "i") files)
+      then
+        Some
+          {
+            Report.rule = "R3";
+            file;
+            line = 1;
+            message = "library module without an interface: add " ^ file ^ "i";
+          }
+      else None)
+    scanned
+
+(* R4 ------------------------------------------------------------- *)
+
+(* Matches  log ( ... ) -. log   and   exp ( ... ) /. exp   with the
+   parens balanced — the shapes that underflow before the subtraction
+   (or division) can cancel. *)
+let close_paren ctx i =
+  (* [i] points at '('; index just after its matching ')', or None *)
+  let n = Array.length ctx.tokens in
+  let rec go depth j =
+    if j >= n then None
+    else
+      match tok ctx j with
+      | "(" -> go (depth + 1) (j + 1)
+      | ")" -> if depth = 1 then Some (j + 1) else go (depth - 1) (j + 1)
+      | _ -> go depth (j + 1)
+  in
+  go 0 i
+
+let r4 ctx =
+  if not (has_seg ctx "mechanism" || has_seg ctx "pac_bayes") then []
+  else begin
+    let out = ref [] in
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        let pair fn op =
+          t.text = fn
+          && tok ctx (i + 1) = "("
+          &&
+          match close_paren ctx (i + 1) with
+          | Some j -> tok ctx j = op && tok ctx (j + 1) = fn
+          | None -> false
+        in
+        if pair "log" "-." then
+          out :=
+            finding ctx "R4" i
+              "log a -. log b underflows to -inf - -inf = nan in the tails; \
+               use the closed form or Dp_math's log-domain helpers"
+            :: !out
+        else if pair "exp" "/." then
+          out :=
+            finding ctx "R4" i
+              "exp a /. exp b overflows/underflows in the tails; subtract in \
+               log domain instead"
+            :: !out)
+      ctx.tokens;
+    List.rev !out
+  end
+
+(* R5 ------------------------------------------------------------- *)
+
+let r5 ctx =
+  if not (has_seg ctx "engine" && is_ml ctx) then []
+  else begin
+    let out = ref [] in
+    let add i msg = out := finding ctx "R5" i msg :: !out in
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        if t.text = "_" && tok ctx (i + 1) = "->" && tok ctx (i - 1) = "with"
+        then begin
+          (* `with _ ->` is only a handler under a `try`; under `match`
+             it is an ordinary wildcard. *)
+          let rec back j =
+            if j < 0 then ()
+            else
+              match tok ctx j with
+              | "try" ->
+                  add i
+                    "catch-all `try ... with _ ->` can swallow a failed \
+                     charge; match the specific exceptions"
+              | "match" -> ()
+              | _ -> back (j - 1)
+          in
+          back (i - 2)
+        end;
+        if t.text = "_" && tok ctx (i - 1) = "exception" && tok ctx (i + 1) = "->"
+        then
+          add i
+            "catch-all `exception _ ->` case; match the specific exceptions";
+        if t.text = "Failure" && tok ctx (i + 1) = "_" then
+          add i
+            "matching `Failure _` hides which invariant failed; use a typed \
+             error or match the message")
+      ctx.tokens;
+    List.rev !out
+  end
+
+(* R6 ------------------------------------------------------------- *)
+
+let print_heads =
+  [
+    "Printf"; "Format"; "print_string"; "print_endline"; "print_float";
+    "print_int"; "prerr_string"; "prerr_endline"; "output_string";
+  ]
+
+(* A bounded token window approximates "the print's arguments": wide
+   enough for `Printf.sprintf fmt (f c.values)`, narrow enough not to
+   leak across statements — and a `;` ends the arguments for sure. *)
+let r6_window = 14
+
+let r6 ctx =
+  if not (has_seg ctx "engine" && is_ml ctx) then []
+  else begin
+    let out = ref [] in
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        if List.mem t.text print_heads then
+          let hit = ref false in
+          let j = ref (i + 1) in
+          while !j <= i + r6_window && tok ctx !j <> ";" do
+            if tok ctx !j = "values" then hit := true;
+            incr j
+          done;
+          if !hit then
+            out :=
+              finding ctx "R6" i
+                "raw dataset values reach an output channel; only noised \
+                 answers may be printed"
+              :: !out)
+      ctx.tokens;
+    List.rev !out
+  end
+
+let run ctx = List.concat [ r1 ctx; r2 ctx; r4 ctx; r5 ctx; r6 ctx ]

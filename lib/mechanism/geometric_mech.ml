@@ -31,7 +31,20 @@ let pmf t ~value k =
   else (1. -. a) /. (1. +. a) *. (a ** float_of_int (abs (k - value)))
 
 let log_likelihood_ratio t ~value1 ~value2 k =
-  log (pmf t ~value:value1 k) -. log (pmf t ~value:value2 k)
+  if t.sensitivity = 0 then
+    (* deterministic point masses: keep the 0 / ±inf / nan limits the
+       log-of-pmf form had *)
+    match (k = value1, k = value2) with
+    | true, true -> 0.
+    | true, false -> infinity
+    | false, true -> neg_infinity
+    | false, false -> nan
+  else
+    (* closed form: log pmf(k|v) = log((1-a)/(1+a)) + |k-v| log a, the
+       normalizers cancel, and log a = -eps/sensitivity exactly — no
+       underflow however far k is from the values *)
+    float_of_int (abs (k - value2) - abs (k - value1))
+    *. t.epsilon /. float_of_int t.sensitivity
 
 let truncated_distribution t ~value ~lo ~hi =
   if lo > hi then invalid_arg "Geometric_mech.truncated_distribution: lo > hi";

@@ -25,7 +25,10 @@ val pmf : t -> value:int -> int -> float
 
 val log_likelihood_ratio : t -> value1:int -> value2:int -> int -> float
 (** Exact privacy-loss at one output; bounded by
-    [ε/Δf · |value1 − value2|]. *)
+    [ε/Δf · |value1 − value2|]. Computed in closed form
+    [(|k − value2| − |k − value1|)·ε/Δf] — exact at any distance from
+    the true values. At sensitivity 0 the point-mass limits apply
+    (0, ±∞, or nan). *)
 
 val truncated_distribution : t -> value:int -> lo:int -> hi:int -> float array
 (** The pmf restricted to [\[lo, hi\]] with the outside tails folded

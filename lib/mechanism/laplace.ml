@@ -33,7 +33,15 @@ let cdf t ~value y =
   end
 
 let log_likelihood_ratio t ~value1 ~value2 y =
-  log (density t ~value:value1 y) -. log (density t ~value:value2 y)
+  let b = scale t in
+  if b = 0. then
+    invalid_arg
+      "Laplace.log_likelihood_ratio: zero-sensitivity mechanism is \
+       deterministic";
+  (* closed form: the log(2b) normalizers cancel, and unlike
+     log density - log density it cannot underflow to nan far in the
+     tails (where each density rounds to 0) *)
+  (Float.abs (y -. value2) -. Float.abs (y -. value1)) /. b
 
 let interval_probability t ~value ~lo ~hi =
   if lo > hi then invalid_arg "Laplace.interval_probability: lo > hi";

@@ -31,7 +31,11 @@ val cdf : t -> value:float -> float -> float
 val log_likelihood_ratio : t -> value1:float -> value2:float -> float -> float
 (** Log of the output-density ratio at one point for two adjacent true
     values — bounded by [ε/Δf · |value1 − value2|], with equality
-    structure used by the privacy auditor. *)
+    structure used by the privacy auditor. Computed in closed form
+    [(|y − value2| − |y − value1|)/b], so it stays exact arbitrarily
+    far in the tails (where the densities themselves underflow to 0).
+    @raise Invalid_argument on a zero-sensitivity (deterministic)
+    mechanism. *)
 
 val interval_probability : t -> value:float -> lo:float -> hi:float -> float
 (** Exact probability the release lands in [\[lo, hi\]]. *)

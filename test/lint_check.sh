@@ -1,0 +1,35 @@
+#!/bin/sh
+# dpkit lint must (1) flag every seeded violation in lint_corpus/ with
+# the expected rule id — exactly one finding per file, six total — and
+# (2) report zero findings on the repository's own sources.
+set -u
+
+DPKIT="$1"
+
+out=$("$DPKIT" lint --format json lint_corpus)
+if [ $? -eq 0 ]; then
+  echo "FAIL: corpus lint exited 0 (seeded violations not detected)"
+  exit 1
+fi
+
+for r in R1 R2 R3 R4 R5 R6; do
+  if ! printf '%s\n' "$out" | grep -q "\"rule\":\"$r\""; then
+    echo "FAIL: rule $r did not fire on its corpus file"
+    printf '%s\n' "$out"
+    exit 1
+  fi
+done
+
+n=$(printf '%s\n' "$out" | grep -c '"rule"')
+if [ "$n" -ne 6 ]; then
+  echo "FAIL: expected exactly 6 corpus findings, got $n"
+  printf '%s\n' "$out"
+  exit 1
+fi
+
+if ! "$DPKIT" lint --exempt ../lint.exempt ..; then
+  echo "FAIL: repository sources have lint findings (see above)"
+  exit 1
+fi
+
+echo "lint: 6/6 corpus violations flagged, repository clean"

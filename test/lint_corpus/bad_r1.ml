@@ -1,0 +1,4 @@
+(* Seeded violation for R1: unseeded global PRNG outside lib/rng.
+   Never compiled — input for the lint-corpus test only. *)
+
+let noisy_count n = n + Random.int 3

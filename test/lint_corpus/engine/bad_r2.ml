@@ -1,0 +1,6 @@
+(* Seeded violation for R2: the release closure runs before any ledger
+   spend / journal append in the same definition. Never compiled. *)
+
+let serve_uncharged (plan : Planner.plan) rng =
+  let answer = plan.Planner.run rng in
+  answer

@@ -1,0 +1,5 @@
+(* Seeded violation for R5: a catch-all handler in the engine can
+   swallow a failed charge. Never compiled. *)
+
+let charge_or_zero ledger charge =
+  try Ledger.spend ledger charge with _ -> ()

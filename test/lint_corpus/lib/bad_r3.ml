@@ -1,0 +1,4 @@
+(* Seeded violation for R3: a library module with no .mli interface.
+   Never compiled. *)
+
+let internal_secret = 42

@@ -1,0 +1,5 @@
+(* Seeded violation for R4: difference of logs of densities underflows
+   to nan in the tails. Never compiled. *)
+
+let log_likelihood_ratio density ~value1 ~value2 y =
+  log (density ~value:value1 y) -. log (density ~value:value2 y)

@@ -99,7 +99,7 @@ let plan_ok ds ~epsilon text =
   | Error msg -> Alcotest.failf "parse %S: %s" text msg
   | Ok q -> (
       match Planner.plan ds ~epsilon q with
-      | Ok p -> p
+      | Ok p -> p.Planner.spec
       | Error msg -> Alcotest.failf "plan %S: %s" text msg)
 
 let test_planner_choices () =

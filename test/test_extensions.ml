@@ -42,6 +42,16 @@ let test_geometric_privacy_exact () =
   in
   check_close ~tol:1e-12 "tight" eps (Float.abs r)
 
+let test_geometric_llr_far_tail () =
+  (* Regression: the log-of-pmf form hit 0. *. log a underflow far from
+     the true values; the closed form (|k−v2| − |k−v1|)·ε/Δ is exact. *)
+  let eps = 0.5 in
+  let m = Dp_mechanism.Geometric_mech.create ~sensitivity:1 ~epsilon:eps in
+  let k = 3 + int_of_float (800. /. eps) in
+  let r = Dp_mechanism.Geometric_mech.log_likelihood_ratio m ~value1:3 ~value2:4 k in
+  Alcotest.(check bool) "finite far in the tail" true (Float.is_finite r);
+  check_close ~tol:1e-12 "exactly -eps" (-.eps) r
+
 let test_geometric_truncated () =
   let m = Dp_mechanism.Geometric_mech.create ~sensitivity:1 ~epsilon:0.5 in
   (* truncation preserves total mass and DP (check ratio on the grid) *)
@@ -399,6 +409,8 @@ let () =
         [
           Alcotest.test_case "pmf" `Quick test_geometric_pmf;
           Alcotest.test_case "exact privacy" `Quick test_geometric_privacy_exact;
+          Alcotest.test_case "llr finite far in the tail" `Quick
+            test_geometric_llr_far_tail;
           Alcotest.test_case "truncation" `Quick test_geometric_truncated;
           Alcotest.test_case "sampling" `Slow test_geometric_sampling;
         ] );

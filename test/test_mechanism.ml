@@ -105,6 +105,26 @@ let test_laplace_dp_closed_form () =
   (* the bound is achieved (tight) away from the interval [v1, v2] *)
   check_close ~tol:1e-12 "tight" eps !worst
 
+let test_laplace_llr_far_tail () =
+  (* Regression: log (density v1) -. log (density v2) underflowed to
+     -inf -. -inf = nan once both densities rounded to 0. — about 745
+     scales out. The closed form (|y−v2| − |y−v1|)/b is exact at any
+     distance. *)
+  let eps = 0.5 in
+  let m = Laplace.create ~sensitivity:1. ~epsilon:eps in
+  let value = 3. in
+  let b = 1. /. eps in
+  let y = value +. (800. *. b) in
+  let r = Laplace.log_likelihood_ratio m ~value1:value ~value2:(value +. 1.) y in
+  Alcotest.(check bool) "finite far in the tail" true (Float.is_finite r);
+  (* above both centers the loss is exactly -eps per unit of shift *)
+  check_close ~tol:1e-12 "exactly -eps" (-.eps) r;
+  let r' =
+    Laplace.log_likelihood_ratio m ~value1:value ~value2:(value +. 1.)
+      (value -. (800. *. b))
+  in
+  check_close ~tol:1e-12 "exactly +eps below" eps r'
+
 let test_laplace_unbiased () =
   let m = Laplace.create ~sensitivity:1. ~epsilon:1. in
   let g = Dp_rng.Prng.create 3 in
@@ -536,6 +556,8 @@ let () =
           Alcotest.test_case "properties" `Quick test_laplace_properties;
           Alcotest.test_case "DP closed form (Thm 2.2)" `Quick
             test_laplace_dp_closed_form;
+          Alcotest.test_case "llr finite far in the tail" `Quick
+            test_laplace_llr_far_tail;
           Alcotest.test_case "unbiased" `Quick test_laplace_unbiased;
           Alcotest.test_case "empirical matches CDF" `Quick
             test_laplace_empirical_matches_cdf;

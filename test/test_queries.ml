@@ -187,6 +187,82 @@ let qcheck_tests =
         | Dp_mechanism.Propose_test_release.Refused -> true);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Engine query language: the canonical form is a true normal form. *)
+
+module Query = Dp_engine.Query
+
+(* Dyadic rationals survive the %.12g canonical printing exactly, so
+   structural equality is the right round-trip check. *)
+let dyadic = QCheck.Gen.map (fun k -> float_of_int k /. 16.) (QCheck.Gen.int_range (-16000) 16000)
+
+let column_gen = QCheck.Gen.oneofl [ "age"; "income"; "score"; "x1" ]
+
+let query_gen =
+  let open QCheck.Gen in
+  let cmp = oneofl [ Query.Le; Query.Lt; Query.Ge; Query.Gt ] in
+  frequency
+    [
+      (1, return (Query.Count None));
+      ( 2,
+        map3
+          (fun column op threshold ->
+            Query.Count (Some { Query.column; op; threshold }))
+          column_gen cmp dyadic );
+      (1, map (fun column -> Query.Sum { column }) column_gen);
+      (1, map (fun column -> Query.Mean { column }) column_gen);
+      ( 1,
+        map2
+          (fun column bins -> Query.Histogram { column; bins })
+          column_gen (int_range 1 1000) );
+      ( 1,
+        map2
+          (fun column k ->
+            Query.Quantile { column; q = float_of_int k /. 256. })
+          column_gen (int_range 0 256) );
+      ( 2,
+        map2
+          (fun column pts ->
+            Query.Cdf
+              {
+                column;
+                points = Array.of_list (List.sort_uniq compare pts);
+              })
+          column_gen
+          (list_size (int_range 1 6) dyadic) );
+    ]
+
+let query_roundtrip_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"parse (normalize q) = Ok q" ~count:500
+      (make ~print:Query.normalize query_gen)
+      (fun q -> Query.parse (Query.normalize q) = Ok q);
+    Test.make ~name:"unsorted duplicated cdf points canonicalize" ~count:200
+      (make
+         ~print:(fun (c, pts) ->
+           c ^ ": " ^ String.concat "," (List.map string_of_float pts))
+         QCheck.Gen.(pair column_gen (list_size (int_range 1 5) dyadic)))
+      (fun (c, pts) ->
+        (* feed duplicates in arbitrary order through the surface
+           syntax; the parsed query must already be canonical *)
+        let s =
+          Printf.sprintf "cdf(%s,%s)" c
+            (String.concat ","
+               (List.map (Printf.sprintf "%.12g") (pts @ List.rev pts)))
+        in
+        match Query.parse s with
+        | Error _ -> false
+        | Ok q -> (
+            Query.parse (Query.normalize q) = Ok q
+            &&
+            match q with
+            | Query.Cdf { points; _ } ->
+                let l = Array.to_list points in
+                l = List.sort_uniq compare l
+            | _ -> false));
+  ]
+
 let () =
   Alcotest.run "dp_queries"
     [
@@ -206,4 +282,6 @@ let () =
           Alcotest.test_case "validation" `Quick test_range_validation;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ( "query normal form",
+        List.map QCheck_alcotest.to_alcotest query_roundtrip_tests );
     ]
