@@ -10,11 +10,20 @@
    3. Serving-engine throughput: queries/sec through the full
       plan → ledger → mechanism → cache path, cached vs uncached.
 
-   Usage: main.exe [--quick] [--tables-only | --bench-only] [--json FILE]
+   4. Serving-phase latency breakdown: plan/noise/journal/total
+      histograms from the engine's own observability layer, printed and
+      written into the --json file as a "phases" section.
 
-   --json FILE writes the micro-benchmark estimates as JSON
-   ({"benchmarks":[{"name":..., "ns_per_run":...}]}), so successive
-   PRs can record a perf trajectory. *)
+   Usage: main.exe [--quick] [--tables-only | --bench-only]
+                   [--json FILE] [--overhead]
+
+   --json FILE writes the micro-benchmark estimates plus the phase
+   breakdown as JSON (schema in bench/README.md), so successive PRs can
+   record a perf trajectory.
+
+   --overhead runs only the instrumentation overhead gate: engine
+   submit throughput with observability enabled must stay within 5% of
+   the same engine with it disabled; exits 1 otherwise (CI leg). *)
 
 open Bechamel
 open Toolkit
@@ -247,7 +256,71 @@ let durability_tests () =
            Dp_engine.Engine.close eng));
   ]
 
-let write_json file rows =
+(* Per-phase latency breakdown, measured by the engine's own
+   observability layer: run a journaled, uncached workload and read the
+   plan/noise/journal-append/submit histograms back out of the metric
+   registry. One row per phase: count, mean, p50/p90/p99 (log2-bucket
+   quantile estimates, so within 2x). *)
+let phase_rows () =
+  let eng = Dp_engine.Engine.create ~seed:13 ~audit:false () in
+  let path = Filename.temp_file "dpkit_bench_phases" ".wal" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  (match Dp_engine.Engine.open_journal eng path with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let policy =
+    {
+      (Dp_engine.Registry.default_policy
+         ~total:(Dp_mechanism.Privacy.pure 1e12))
+      with
+      Dp_engine.Registry.default_epsilon = 1e-4;
+      cache = false;
+    }
+  in
+  (match
+     Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:4096 ~policy
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  for i = 0 to 499 do
+    match
+      Dp_engine.Engine.submit_text eng ~dataset:"bench"
+        (Printf.sprintf "count(age>%d)" (18 + (i mod 60)))
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e)
+  done;
+  let scope = Dp_obs.Metrics.dataset (Dp_engine.Engine.metrics eng) "bench" in
+  let global = Dp_obs.Metrics.global (Dp_engine.Engine.metrics eng) in
+  let row name sc latency =
+    let h = Dp_obs.Metrics.latency sc latency in
+    ( name,
+      Dp_obs.Histo.count h,
+      Dp_obs.Histo.mean h,
+      Dp_obs.Histo.quantile h 0.5,
+      Dp_obs.Histo.quantile h 0.9,
+      Dp_obs.Histo.quantile h 0.99 )
+  in
+  let rows =
+    [
+      row "plan" scope Dp_obs.Name.Plan_ns;
+      row "noise" scope Dp_obs.Name.Noise_ns;
+      row "journal" global Dp_obs.Name.Journal_append_ns;
+      row "total" scope Dp_obs.Name.Submit_ns;
+    ]
+  in
+  Dp_engine.Engine.close eng;
+  rows
+
+let print_phases phases =
+  Format.printf "@.== serving-phase latency (500 journaled count queries) ==@.";
+  List.iter
+    (fun (name, count, mean, p50, p90, p99) ->
+      Format.printf "%-10s count=%d mean=%.0fns p50=%.0fns p90=%.0fns p99=%.0fns@."
+        name count mean p50 p90 p99)
+    phases
+
+let write_json file rows phases =
   let oc = open_out file in
   output_string oc "{\"benchmarks\":[";
   List.iteri
@@ -255,9 +328,19 @@ let write_json file rows =
       if i > 0 then output_string oc ",";
       Printf.fprintf oc "\n  {\"name\": %S, \"ns_per_run\": %.3f}" name t)
     rows;
+  output_string oc "\n],\n\"phases\":[";
+  List.iteri
+    (fun i (name, count, mean, p50, p90, p99) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "\n  {\"name\": %S, \"count\": %d, \"mean_ns\": %.3f, \"p50_ns\": %.1f, \
+         \"p90_ns\": %.1f, \"p99_ns\": %.1f}"
+        name count mean p50 p90 p99)
+    phases;
   output_string oc "\n]}\n";
   close_out oc;
-  Format.printf "wrote %d benchmark estimates to %s@." (List.length rows) file
+  Format.printf "wrote %d benchmark estimates and %d phase rows to %s@."
+    (List.length rows) (List.length phases) file
 
 let run_benchmarks json =
   let tests =
@@ -283,7 +366,65 @@ let run_benchmarks json =
   let rows = List.sort compare rows in
   Format.printf "@.== micro-benchmarks (ns/run, OLS on monotonic clock) ==@.";
   List.iter (fun (name, t) -> Format.printf "%-45s %12.1f@." name t) rows;
-  Option.iter (fun file -> write_json file rows) json
+  let phases = phase_rows () in
+  print_phases phases;
+  Option.iter (fun file -> write_json file rows phases) json
+
+(* Instrumentation overhead gate (CI). The instrumented path adds a
+   handful of clock reads and two small span allocations per submit;
+   against an O(rows) plan scan that must stay inside 5%. Large rows
+   and min-of-batches medians keep the measurement out of scheduler
+   noise; the whole comparison retries so one noisy trial cannot fail
+   the gate. *)
+let overhead_gate () =
+  let batch = 400 and batches = 7 in
+  let run_one obs =
+    let eng = Dp_engine.Engine.create ~seed:11 ~audit:false ~obs () in
+    let policy =
+      {
+        (Dp_engine.Registry.default_policy
+           ~total:(Dp_mechanism.Privacy.pure 1e12))
+        with
+        Dp_engine.Registry.default_epsilon = 1e-4;
+        cache = false;
+      }
+    in
+    (match
+       Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:16384 ~policy
+     with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    let submit () =
+      match Dp_engine.Engine.submit_text eng ~dataset:"bench" "count(age>40)" with
+      | Ok _ -> ()
+      | Error e -> failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e)
+    in
+    for _ = 1 to batch do submit () done;
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to batches do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batch do submit () done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best /. float_of_int batch
+  in
+  let trial () =
+    let bare = run_one false in
+    let inst = run_one true in
+    inst /. bare
+  in
+  let ratio = List.fold_left min (trial ()) [ trial (); trial () ] in
+  Format.printf
+    "instrumentation overhead gate: best ratio %.4f (instrumented / bare, \
+     limit 1.05)@."
+    ratio;
+  if ratio > 1.05 then begin
+    Format.printf "FAIL: instrumentation overhead exceeds 5%%@.";
+    exit 1
+  end
+  else Format.printf "PASS@."
 
 let rec json_arg = function
   | "--json" :: file :: _ -> Some file
@@ -295,7 +436,10 @@ let () =
   let quick = List.mem "--quick" argv in
   let tables_only = List.mem "--tables-only" argv in
   let bench_only = List.mem "--bench-only" argv in
-  if not bench_only then
-    Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;
-  if not tables_only then run_benchmarks (json_arg argv);
-  Format.printf "@.done.@."
+  if List.mem "--overhead" argv then overhead_gate ()
+  else begin
+    if not bench_only then
+      Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;
+    if not tables_only then run_benchmarks (json_arg argv);
+    Format.printf "@.done.@."
+  end

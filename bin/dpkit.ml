@@ -204,7 +204,15 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
-  let run seed journal faults_spec =
+  let metrics_arg =
+    let doc =
+      "Write the final metrics snapshot (counters, gauges, latency \
+       histograms, spans — the same dump the protocol's 'metrics' command \
+       serves) to $(docv) at exit; render it with $(b,dpkit stats)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let run seed journal faults_spec metrics_path =
     let faults_r =
       match faults_spec with
       | None -> Ok (Dp_engine.Faults.of_env ())
@@ -214,6 +222,22 @@ let serve_cmd =
     | Error msg -> `Error (false, "bad --faults: " ^ msg)
     | Ok faults -> (
         let eng = Dp_engine.Engine.create ~seed ~faults () in
+        let write_metrics () =
+          match metrics_path with
+          | None -> `Ok ()
+          | Some path -> (
+              match open_out path with
+              | oc ->
+                  List.iter
+                    (fun l ->
+                      output_string oc l;
+                      output_char oc '\n')
+                    (Dp_engine.Engine.metrics_lines eng);
+                  close_out oc;
+                  `Ok ()
+              | exception Sys_error msg ->
+                  `Error (false, "cannot write metrics: " ^ msg))
+        in
         let recovered =
           match journal with
           | None -> Ok None
@@ -238,7 +262,7 @@ let serve_cmd =
                    else "UNVERIFIED"));
             let outcome =
               match Dp_engine.Protocol.serve eng stdin stdout with
-              | () -> `Ok ()
+              | () -> write_metrics ()
               | exception Dp_engine.Faults.Crash p ->
                   flush stdout;
                   Printf.eprintf "dpkit: injected crash at %s\n%!"
@@ -253,7 +277,7 @@ let serve_cmd =
        ~doc:
          "Serve differentially-private queries over a line protocol on \
           stdin/stdout.")
-    Term.(ret (const run $ seed_arg $ journal_arg $ faults_arg))
+    Term.(ret (const run $ seed_arg $ journal_arg $ faults_arg $ metrics_arg))
 
 let lint_cmd =
   let dir_arg =
@@ -327,6 +351,79 @@ let read_file path =
       close_in ic;
       Ok s
   | exception Sys_error msg -> Error msg
+
+let stats_cmd =
+  let file_arg =
+    let doc =
+      "Metrics dump written by $(b,dpkit serve --metrics FILE). The \
+       protocol's 'metrics' reply body also parses (indentation is \
+       ignored) once the 'ok metrics' header line is dropped."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,text) (per-scope summary with latency \
+       quantiles) or $(b,json) (one machine-readable document)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Verify the closed-label invariant: every metric, span and tag name \
+       in the dump must come from the Dp_obs.Name catalogue; exit 1 \
+       otherwise."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let bad_names entries =
+    let check_entry = function
+      | Dp_obs.Export.Counter { name; _ } ->
+          if Dp_obs.Name.is_counter_name name then [] else [ name ]
+      | Dp_obs.Export.Gauge { name; _ } ->
+          if Dp_obs.Name.is_gauge_name name then [] else [ name ]
+      | Dp_obs.Export.Latency { name; _ } ->
+          if Dp_obs.Name.is_latency_name name then [] else [ name ]
+      | Dp_obs.Export.Span { name; tags; _ } ->
+          (if Dp_obs.Name.is_span_name name then [] else [ name ])
+          @ List.filter_map
+              (fun (k, _) ->
+                if Dp_obs.Name.is_tag_name k then None else Some k)
+              tags
+    in
+    List.concat_map check_entry entries
+  in
+  let run file format check =
+    match read_file file with
+    | Error msg -> `Error (false, msg)
+    | Ok text -> (
+        match Dp_obs.Export.parse (String.split_on_char '\n' text) with
+        | Error msg -> `Error (false, file ^ ": " ^ msg)
+        | Ok entries -> (
+            match bad_names entries with
+            | bad :: _ when check ->
+                Format.printf "closed-label violation: %S is not in the \
+                               Dp_obs.Name catalogue@."
+                  bad;
+                exit 1
+            | _ ->
+                (match format with
+                | `Text ->
+                    List.iter
+                      (Format.printf "%s@.")
+                      (Dp_obs.Export.pretty entries)
+                | `Json -> Format.printf "%s@." (Dp_obs.Export.to_json entries));
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Render a dpkit metrics dump: counters, gauges, latency-histogram \
+          quantiles and spans, as text or JSON.")
+    Term.(ret (const run $ file_arg $ format_arg $ check_arg))
 
 let analyze_cmd =
   let schema_arg =
@@ -448,5 +545,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd;
-            query_cmd; analyze_cmd; lint_cmd;
+            query_cmd; analyze_cmd; lint_cmd; stats_cmd;
           ]))

@@ -4,14 +4,18 @@ type serving = {
   dataset : Registry.dataset;
   ledger : Ledger.t;
   cache : Cache.t;
+  scope : Dp_obs.Metrics.scope;
   mutable answered : int;
   mutable rejected : int;
+  mutable withheld : int;
 }
 
 type t = {
   registry : Registry.t;
   servings : (string, serving) Hashtbl.t;
   log : Audit_log.t option;
+  obs : Dp_obs.Metrics.t;
+  trace : Dp_obs.Span.t;
   mutable rng : Dp_rng.Prng.t;
   seed : int;
   faults : Faults.t;
@@ -40,18 +44,23 @@ let entropy_seed () =
          process, which is all noise freshness needs *)
       Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ())
 
-let create ?(seed = 20120330) ?(audit = true) ?faults () =
+let create ?(seed = 20120330) ?(audit = true) ?(obs = true) ?faults () =
   let faults = match faults with Some f -> f | None -> Faults.of_env () in
   {
     registry = Registry.create ();
     servings = Hashtbl.create 8;
     log = (if audit then Some (Audit_log.create ()) else None);
+    obs = Dp_obs.Metrics.create ~enabled:obs ();
+    trace = Dp_obs.Span.create ~enabled:obs ();
     rng = Dp_rng.Prng.create seed;
     seed;
     faults;
     journal = None;
     journal_failed = false;
   }
+
+let metrics t = t.obs
+let trace t = t.trace
 
 let faults t = t.faults
 let journal_path t = Option.map Journal.path t.journal
@@ -122,7 +131,15 @@ let register_serving t (ds : Registry.dataset) =
           ?analyst_epsilon:ds.policy.analyst_epsilon ()
       in
       Hashtbl.replace t.servings ds.name
-        { dataset = ds; ledger; cache = Cache.create (); answered = 0; rejected = 0 };
+        {
+          dataset = ds;
+          ledger;
+          cache = Cache.create ();
+          scope = Dp_obs.Metrics.dataset t.obs ds.name;
+          answered = 0;
+          rejected = 0;
+          withheld = 0;
+        };
       Ok ()
 
 let register t (ds : Registry.dataset) =
@@ -185,10 +202,8 @@ let degraded_for t (sv : serving) =
   let lw = sv.dataset.Registry.policy.low_water in
   lw > 0. && (Ledger.remaining sv.ledger).Privacy.epsilon < lw
 
-let submit t ?analyst ?epsilon ~dataset query =
-  match Hashtbl.find_opt t.servings dataset with
-  | None -> Error (Unknown_dataset dataset)
-  | Some sv -> (
+let submit_serving t sv ?analyst ?epsilon ~dataset query =
+  (
       let ds = sv.dataset in
       let eps =
         match epsilon with Some e -> e | None -> ds.policy.default_epsilon
@@ -199,7 +214,16 @@ let submit t ?analyst ?epsilon ~dataset query =
          consulting the ledger — post-processing is free even after the
          budget is exhausted, and still served in degraded mode. *)
       let key = Printf.sprintf "%s|eps=%.12g|%s" ds.name eps norm in
-      let cached = if ds.policy.cache then Cache.lookup sv.cache key else None in
+      let cached =
+        if ds.policy.cache then begin
+          let c0 = Dp_obs.Clock.now_ns () in
+          let hit = Cache.lookup sv.cache key in
+          Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Cache_lookup_ns
+            (Dp_obs.Clock.elapsed_ns c0);
+          hit
+        end
+        else None
+      in
       match cached with
       | Some entry ->
           let seq =
@@ -236,7 +260,14 @@ let submit t ?analyst ?epsilon ~dataset query =
                  low_water = ds.policy.low_water;
                })
       | None -> (
-          match Planner.plan ds ~epsilon:eps query with
+          let p0 = Dp_obs.Clock.now_ns () in
+          let planned =
+            Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_plan (fun () ->
+                Planner.plan ds ~epsilon:eps query)
+          in
+          Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Plan_ns
+            (Dp_obs.Clock.elapsed_ns p0);
+          match planned with
           | Error msg ->
               ignore
                 (log_decision t ?analyst ~dataset ~query:norm ~requested:zero
@@ -246,7 +277,14 @@ let submit t ?analyst ?epsilon ~dataset query =
           | Ok plan -> (
               let sp = plan.Planner.spec in
               let before = Ledger.spent sv.ledger in
-              match Ledger.spend sv.ledger ?analyst sp.Planner.charge with
+              let c0 = Dp_obs.Clock.now_ns () in
+              let charge_result =
+                Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_charge
+                  (fun () -> Ledger.spend sv.ledger ?analyst sp.Planner.charge)
+              in
+              Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Charge_ns
+                (Dp_obs.Clock.elapsed_ns c0);
+              match charge_result with
               | Error rejection ->
                   sv.rejected <- sv.rejected + 1;
                   ignore
@@ -276,6 +314,7 @@ let submit t ?analyst ?epsilon ~dataset query =
                        so nothing can under-count, but no answer leaves
                        the engine *)
                     sv.rejected <- sv.rejected + 1;
+                    sv.withheld <- sv.withheld + 1;
                     ignore
                       (log_decision t ?analyst ~mechanism:mech_name ~dataset
                          ~query:norm ~requested:face ~charged ~cache_hit:false
@@ -305,11 +344,17 @@ let submit t ?analyst ?epsilon ~dataset query =
                   | Error e -> withhold "journal" e
                   | Ok () -> (
                       Faults.check t.faults Faults.Crash_after_charge;
-                      match
-                        Faults.with_retries (fun ~attempt ->
-                            Faults.check t.faults ~attempt Faults.Rng;
-                            plan.Planner.run t.rng)
-                      with
+                      let n0 = Dp_obs.Clock.now_ns () in
+                      let drawn =
+                        Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_noise
+                          (fun () ->
+                            Faults.with_retries (fun ~attempt ->
+                                Faults.check t.faults ~attempt Faults.Rng;
+                                plan.Planner.run t.rng))
+                      in
+                      Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Noise_ns
+                        (Dp_obs.Clock.elapsed_ns n0);
+                      match drawn with
                       | Error msg ->
                           withhold "rng" (Transient ("rng exhausted: " ^ msg))
                       | Ok answer ->
@@ -349,6 +394,33 @@ let submit t ?analyst ?epsilon ~dataset query =
                               cache_hit = false;
                               seq;
                             })))))
+
+(* The span/latency wrapper lives outside [submit_serving] so that every
+   exit path — cache hit, rejection, withheld answer, even an injected
+   crash — ends the submit span and records end-to-end latency. *)
+let submit t ?analyst ?epsilon ~dataset query =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv ->
+      let t0 = Dp_obs.Clock.now_ns () in
+      let h = Dp_obs.Span.begin_ t.trace ~dataset Dp_obs.Name.Sp_submit in
+      Fun.protect
+        ~finally:(fun () ->
+          Dp_obs.Span.end_ t.trace h;
+          Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Submit_ns
+            (Dp_obs.Clock.elapsed_ns t0))
+        (fun () ->
+          let result = submit_serving t sv ?analyst ?epsilon ~dataset query in
+          (match result with
+           | Ok r ->
+               Dp_obs.Span.tag t.trace h Dp_obs.Name.T_eps_face
+                 r.requested.Privacy.epsilon;
+               Dp_obs.Span.tag t.trace h Dp_obs.Name.T_eps_charged
+                 r.charged.Privacy.epsilon;
+               Dp_obs.Span.tag t.trace h Dp_obs.Name.T_cache_hit
+                 (if r.cache_hit then 1. else 0.)
+           | Error _ -> ());
+          result)
 
 let submit_text t ?analyst ?epsilon ~dataset text =
   match Query.parse text with
@@ -499,6 +571,7 @@ let apply_record t counts (record, withheld) =
                 Audit_log.Answered
             | Some reason ->
                 sv.rejected <- sv.rejected + 1;
+                sv.withheld <- sv.withheld + 1;
                 Audit_log.Charged_unreleased reason
           in
           ignore
@@ -563,10 +636,11 @@ let verify_recovered t journal_records =
           <= 1e-9 *. Float.max 1. spent.Privacy.epsilon)
     t.servings true
 
-let open_journal t path =
-  if t.journal <> None then Error "a journal is already attached"
-  else
-    match Journal.open_ ~faults:t.faults path with
+let open_journal_inner t path =
+  (
+    match
+      Journal.open_ ~faults:t.faults ~obs:(Dp_obs.Metrics.global t.obs) path
+    with
     | Error msg -> Error msg
     | Ok (j, records, stats) -> (
         let counts = (ref 0, ref 0) in
@@ -600,4 +674,102 @@ let open_journal t path =
                   cache_entries = !(snd counts);
                   verified;
                 }
-            end)
+            end))
+
+let open_journal t path =
+  if t.journal <> None then Error "a journal is already attached"
+  else begin
+    let r0 = Dp_obs.Clock.now_ns () in
+    let h = Dp_obs.Span.begin_ t.trace Dp_obs.Name.Sp_recovery in
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          Dp_obs.Span.end_ t.trace h;
+          Dp_obs.Metrics.observe
+            (Dp_obs.Metrics.global t.obs)
+            Dp_obs.Name.Recovery_ns
+            (Dp_obs.Clock.elapsed_ns r0))
+        (fun () -> open_journal_inner t path)
+    in
+    (match result with
+    | Ok r -> Dp_obs.Span.tag t.trace h Dp_obs.Name.T_records (float_of_int r.records)
+    | Error _ -> ());
+    result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshot *)
+
+let draws_counter = function
+  | Draws.Laplace -> Dp_obs.Name.Draws_laplace
+  | Draws.Geometric -> Dp_obs.Name.Draws_geometric
+  | Draws.Gaussian -> Dp_obs.Name.Draws_gaussian
+  | Draws.Discrete_gaussian -> Dp_obs.Name.Draws_discrete_gaussian
+  | Draws.Exponential -> Dp_obs.Name.Draws_exponential
+  | Draws.Randomized_response -> Dp_obs.Name.Draws_randomized_response
+
+(* Counters that mirror privacy-critical engine state (answered counts,
+   spent/remaining ε, degradation) are written at snapshot time from the
+   authoritative sources — ledger, cache, serving stats — rather than
+   incremented on the hot path. That keeps submit cheap and, more
+   importantly, makes recovered and live snapshots agree by
+   construction: whatever the journal replay rebuilt is what gets
+   exported. Latency histograms and journal/draw counters accumulate
+   live. *)
+let refresh_metrics t =
+  if Dp_obs.Metrics.enabled t.obs then begin
+    let g = Dp_obs.Metrics.global t.obs in
+    Dp_obs.Metrics.set_gauge g Dp_obs.Name.Datasets_serving
+      (float_of_int (Hashtbl.length t.servings));
+    Dp_obs.Metrics.set_gauge g Dp_obs.Name.Journal_attached
+      (match t.journal with
+      | Some _ when not t.journal_failed -> 1.
+      | _ -> 0.);
+    Array.iter
+      (fun k -> Dp_obs.Metrics.set_counter g (draws_counter k) (Draws.count k))
+      Draws.all;
+    Hashtbl.iter
+      (fun _ sv ->
+        let s = sv.scope in
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Queries_answered sv.answered;
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Queries_rejected sv.rejected;
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Queries_withheld sv.withheld;
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Cache_hits (Cache.hits sv.cache);
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Cache_misses
+          (Cache.misses sv.cache);
+        let spent = Ledger.spent sv.ledger in
+        let remaining = Ledger.remaining sv.ledger in
+        let total = Ledger.total sv.ledger in
+        let m0 = Dp_obs.Clock.now_ns () in
+        let leak =
+          Meter.reading ~rows:sv.dataset.Registry.rows
+            ~universe:sv.dataset.Registry.policy.universe spent
+        in
+        Dp_obs.Metrics.observe s Dp_obs.Name.Meter_ns
+          (Dp_obs.Clock.elapsed_ns m0);
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Eps_total total.Privacy.epsilon;
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Eps_spent spent.Privacy.epsilon;
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Eps_remaining
+          remaining.Privacy.epsilon;
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Delta_spent spent.Privacy.delta;
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Cache_entries
+          (float_of_int (Cache.size sv.cache));
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Cache_hit_rate
+          (Cache.hit_rate sv.cache);
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Degraded_mode
+          (if degraded_for t sv then 1. else 0.);
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Mi_bound_nats
+          leak.Meter.mi_bound_nats;
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Capacity_bound_nats
+          leak.Meter.capacity_bound_nats;
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Min_entropy_leakage_bits
+          (match leak.Meter.min_entropy_leakage_bits with
+          | Some b -> b
+          | None -> 0.))
+      t.servings
+  end
+
+let metrics_lines ?(spans = true) t =
+  refresh_metrics t;
+  if spans then Dp_obs.Export.dump ~trace:t.trace t.obs
+  else Dp_obs.Export.dump t.obs

@@ -26,15 +26,19 @@ open Dp_mechanism
 
 type t
 
-val create : ?seed:int -> ?audit:bool -> ?faults:Faults.t -> unit -> t
+val create :
+  ?seed:int -> ?audit:bool -> ?obs:bool -> ?faults:Faults.t -> unit -> t
 (** [seed] (default 20120330) drives all mechanism noise — the engine
     is deterministic given the seed and the request sequence, until a
     journal is attached: {!open_journal} re-keys the noise stream from
     OS entropy (synthetic data stays seed-derived). [audit] (default
     [true]) controls the unbounded audit log; benchmarks serving
-    millions of requests switch it off. [faults] defaults to
-    {!Faults.of_env} ([$DPKIT_FAULTS]), so a CI leg can soak the whole
-    suite in transient failures. *)
+    millions of requests switch it off. [obs] (default [true]) controls
+    the observability layer ({!metrics}/{!trace}); with it off every
+    record operation is a no-op, which is the baseline the overhead
+    gate benchmarks against. [faults] defaults to {!Faults.of_env}
+    ([$DPKIT_FAULTS]), so a CI leg can soak the whole suite in
+    transient failures. *)
 
 val register : t -> Registry.dataset -> (unit, string) result
 (** Rejected when a journal is attached: raw column data is not
@@ -157,6 +161,36 @@ val open_journal : t -> string -> (recovery, string) result
 
 val journal_path : t -> string option
 val faults : t -> Faults.t
+
+(** {2 Observability}
+
+    The engine instruments itself end-to-end with the leakage-safe
+    {!Dp_obs} subsystem: latency histograms for plan/charge/noise/
+    journal/cache/meter/recovery, spans for submit/plan/charge/noise/
+    recovery, per-dataset counters (answered/rejected/withheld,
+    cache hits/misses) and privacy-native gauges (spent/remaining ε,
+    degradation mode, MI-bound readings), plus process-wide noise-draw
+    counters per mechanism family. Metric names come from the closed
+    {!Dp_obs.Name} catalogue and scope labels are dataset ids only, so
+    the exported snapshot can never carry query arguments or released
+    values (lint rule R7 enforces the call sites). *)
+
+val metrics : t -> Dp_obs.Metrics.t
+val trace : t -> Dp_obs.Span.t
+
+val refresh_metrics : t -> unit
+(** Mirror the authoritative engine state (serving stats, ledger spend,
+    cache counters, meter readings, draw counts) into the metric
+    registry. Snapshot-time mirroring — rather than hot-path counter
+    increments — is what makes a recovered engine's snapshot agree with
+    the live one by construction. *)
+
+val metrics_lines : ?spans:bool -> t -> string list
+(** [refresh_metrics] followed by {!Dp_obs.Export.dump}: the version
+    header plus one line per metric (and per ring-buffered span unless
+    [~spans:false]). This is the wire format served by the protocol's
+    [metrics] command, written by [dpkit serve --metrics], and parsed
+    by [dpkit stats]. *)
 
 val close : t -> unit
 (** Close the journal, if any. The engine keeps serving, but no longer

@@ -322,6 +322,7 @@ type t = {
   path : string;
   fd : Unix.file_descr;
   faults : Faults.t;
+  obs : Dp_obs.Metrics.scope;
   mutable clean_off : int;  (** end of the last fully-appended frame *)
   mutable poisoned : bool;
 }
@@ -343,7 +344,7 @@ let fsync_dir path =
       try Unix.fsync fd
       with Unix.Unix_error (Unix.EINVAL, _, _) -> ())
 
-let open_ ?(faults = Faults.none) path =
+let open_ ?(faults = Faults.none) ?(obs = Dp_obs.Metrics.null) path =
   match read_file path with
   | Error msg -> Error (Printf.sprintf "journal %s: %s" path msg)
   | Ok content -> (
@@ -357,7 +358,7 @@ let open_ ?(faults = Faults.none) path =
         if not existed then fsync_dir path;
         if torn > 0 then Unix.ftruncate fd good;
         Ok
-          ( { path; fd; faults; clean_off = good; poisoned = false },
+          ( { path; fd; faults; obs; clean_off = good; poisoned = false },
             records,
             { records = List.length records; torn_bytes = torn } )
       with
@@ -376,13 +377,17 @@ let write_all fd s =
 let append t record =
   if t.poisoned then Error (`Fatal "journal poisoned by an earlier failure")
   else
+    let t0 = Dp_obs.Clock.now_ns () in
     let framed = frame (encode record) in
     let write =
       Faults.with_retries (fun ~attempt ->
           (* a failed earlier attempt may have left a partial frame:
              O_APPEND writes land at the end, so cut back to the last
              clean frame boundary before writing again *)
-          if attempt > 1 then Unix.ftruncate t.fd t.clean_off;
+          if attempt > 1 then begin
+            Dp_obs.Metrics.incr t.obs Dp_obs.Name.Journal_retries;
+            Unix.ftruncate t.fd t.clean_off
+          end;
           Faults.check t.faults ~attempt Faults.Journal_write;
           write_all t.fd framed)
     in
@@ -401,13 +406,23 @@ let append t record =
                    msg)))
     | Ok () -> (
         t.clean_off <- t.clean_off + String.length framed;
+        let f0 = Dp_obs.Clock.now_ns () in
         let sync =
           Faults.with_retries (fun ~attempt ->
+              if attempt > 1 then
+                Dp_obs.Metrics.incr t.obs Dp_obs.Name.Journal_retries;
               Faults.check t.faults ~attempt Faults.Journal_fsync;
               Unix.fsync t.fd)
         in
+        Dp_obs.Metrics.observe t.obs Dp_obs.Name.Journal_fsync_ns
+          (Dp_obs.Clock.elapsed_ns f0);
         match sync with
-        | Ok () -> Ok ()
+        | Ok () ->
+            Dp_obs.Metrics.incr t.obs Dp_obs.Name.Journal_fsyncs;
+            Dp_obs.Metrics.incr t.obs Dp_obs.Name.Journal_appends;
+            Dp_obs.Metrics.observe t.obs Dp_obs.Name.Journal_append_ns
+              (Dp_obs.Clock.elapsed_ns t0);
+            Ok ()
         | Error msg ->
             (* the frame is intact but not durably on disk: the caller
                must withhold the answer, but may retry later *)

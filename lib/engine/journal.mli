@@ -78,8 +78,14 @@ type stats = {
 type t
 
 val open_ :
-  ?faults:Faults.t -> string -> (t * record list * stats, string) result
-(** Open (or create) a journal for appending. Existing records are
+  ?faults:Faults.t ->
+  ?obs:Dp_obs.Metrics.scope ->
+  string ->
+  (t * record list * stats, string) result
+(** Open (or create) a journal for appending. [obs] (default
+    {!Dp_obs.Metrics.null}, a drop-everything sink) receives append and
+    fsync latency observations plus append/fsync/retry counters — the
+    engine passes its global scope. Existing records are
     returned for replay; a torn tail is truncated off the file so the
     next append starts at a clean frame boundary. Creating the file
     also fsyncs the parent directory, so a crash right after creation

@@ -209,11 +209,19 @@ let status_lines eng =
          | Error _ -> Printf.sprintf "  dataset %s mode=unknown" name
          | Ok r ->
              Printf.sprintf
-               "  dataset %s eps-spent=%s eps-remaining=%s mode=%s" name
+               "  dataset %s eps-spent=%s eps-remaining=%s answered=%d \
+                cache-hits=%d hit-rate=%.3f mode=%s"
+               name
                (fstr r.Engine.spent.Privacy.epsilon)
                (fstr r.Engine.remaining.Privacy.epsilon)
+               r.Engine.answered r.Engine.cache_hits r.Engine.hit_rate
                (if r.Engine.degraded then "degraded" else "ok"))
        datasets
+
+let metrics_reply eng =
+  let lines = Engine.metrics_lines eng in
+  Printf.sprintf "ok metrics lines=%d" (List.length lines)
+  :: List.map (fun l -> "  " ^ l) lines
 
 let log_lines eng dataset =
   match Engine.records eng ~dataset with
@@ -242,7 +250,7 @@ let help_lines =
     "           [slack=S] [default-eps=E] [analyst-eps=E] [universe=U]";
     "           [low-water=E] [no-cache]";
     "  query NAME EXPR [eps=E] [analyst=A]   e.g. query demo mean(income) eps=0.2";
-    "  report NAME | log NAME | replay NAME | status | help | quit";
+    "  report NAME | log NAME | replay NAME | status | metrics | help | quit";
     "  EXPR: count | count(col>x) | sum(col) | mean(col) | histogram(col,bins)";
     "        | quantile(col,q) | cdf(col,t1,...)";
     "  errors: err bad-argument|bad-query|unknown-*|budget-exceeded (final)";
@@ -271,6 +279,7 @@ let exec_parsed eng line =
   | [ "log"; dataset ] -> log_lines eng dataset
   | [ "replay"; dataset ] -> replay_lines eng dataset
   | [ "status" ] -> status_lines eng
+  | [ "metrics" ] -> metrics_reply eng
   | cmd :: _ ->
       [ Printf.sprintf "err unknown-command %s (try 'help')" cmd ]
 

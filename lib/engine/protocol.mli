@@ -16,9 +16,18 @@
     log NAME
     replay NAME
     status
+    metrics
     help
     quit
     v}
+
+    [status] reports, per dataset, spent/remaining ε, answered and
+    cache-hit counts, the cache hit-rate, and the serving mode.
+    [metrics] replies with a header line followed by the full
+    {!Dp_obs.Export} dump (every counter, gauge, latency histogram and
+    ring-buffered span), indented two spaces — the same snapshot
+    [dpkit serve --metrics FILE] writes at exit and [dpkit stats]
+    renders.
 
     {2 Error taxonomy}
 

@@ -31,6 +31,11 @@ let all =
     ( "R6",
       "no printing of raw dataset values in lib/engine serving paths — \
        only noised answers may reach an output channel" );
+    ( "R7",
+      "metric and span labels come from the closed Dp_obs.Name catalogue — \
+       in lib/engine and lib/mechanism, never build a label string at a \
+       metrics/span call site (a query argument in a metric name is a \
+       side channel)" );
   ]
 
 let has_seg ctx s = List.mem s ctx.segs
@@ -238,4 +243,61 @@ let r6 ctx =
     List.rev !out
   end
 
-let run ctx = List.concat [ r1 ctx; r2 ctx; r4 ctx; r5 ctx; r6 ctx ]
+(* R7 ------------------------------------------------------------- *)
+
+(* A metrics/span record call is `Module.fn args...` where Module is an
+   observability module and fn an instrumented-record function. Labels
+   must be Dp_obs.Name constructors, so any string-building token among
+   the arguments means a label (or tag key) is being assembled from
+   runtime data — exactly the side channel the closed catalogue exists
+   to rule out. The window mirrors R6: bounded, and a `;` ends the
+   arguments for sure. String literals never trip the rule (the lexer
+   strips them); only the *building* of strings does. *)
+
+let obs_modules = [ "Metrics"; "Span"; "Obs"; "Dp_obs"; "Trace"; "Draws" ]
+
+let record_fns =
+  [
+    "incr"; "add"; "set_counter"; "set_gauge"; "observe"; "begin_"; "with_";
+    "tag"; "record"; "dataset";
+  ]
+
+let string_builders =
+  [
+    "^"; "sprintf"; "asprintf"; "Printf"; "Format"; "string_of_int";
+    "string_of_float"; "concat"; "String"; "Bytes"; "Buffer";
+  ]
+
+let r7_window = 12
+
+let r7 ctx =
+  if not ((has_seg ctx "engine" || has_seg ctx "mechanism") && is_ml ctx) then
+    []
+  else begin
+    let out = ref [] in
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        if
+          List.mem t.text record_fns
+          && tok ctx (i - 1) = "."
+          && List.mem (tok ctx (i - 2)) obs_modules
+        then begin
+          let hit = ref false in
+          let j = ref (i + 1) in
+          while !j <= i + r7_window && tok ctx !j <> ";" do
+            if List.mem (tok ctx !j) string_builders then hit := true;
+            incr j
+          done;
+          if !hit then
+            out :=
+              finding ctx "R7" i
+                "metric/span label built at the call site; use a closed \
+                 Dp_obs.Name constructor (runtime data in a label is a \
+                 side channel)"
+              :: !out
+        end)
+      ctx.tokens;
+    List.rev !out
+  end
+
+let run ctx = List.concat [ r1 ctx; r2 ctx; r4 ctx; r5 ctx; r6 ctx; r7 ctx ]

@@ -24,7 +24,11 @@ let sample_noise ~sigma g =
   draw ()
 
 let release t ~value g =
-  if t.sensitivity = 0 then value else value + sample_noise ~sigma:t.sigma g
+  if t.sensitivity = 0 then value
+  else begin
+    Draws.record Draws.Discrete_gaussian;
+    value + sample_noise ~sigma:t.sigma g
+  end
 
 let pmf t k =
   let s2 = 2. *. t.sigma *. t.sigma in

@@ -1,0 +1,48 @@
+(* Process-wide noise-draw counters, one per mechanism family. The
+   mechanisms are pure values with no shared context to thread a
+   registry through, so the counters live here as module state; the
+   engine's observability layer snapshots them into its global scope.
+   Counting draws (not queries) makes vector releases and rejection
+   samplers visible: a histogram release bumps Laplace once per cell. *)
+
+type kind =
+  | Laplace
+  | Geometric
+  | Gaussian
+  | Discrete_gaussian
+  | Exponential
+  | Randomized_response
+
+let n_kinds = 6
+
+let index = function
+  | Laplace -> 0
+  | Geometric -> 1
+  | Gaussian -> 2
+  | Discrete_gaussian -> 3
+  | Exponential -> 4
+  | Randomized_response -> 5
+
+let name = function
+  | Laplace -> "laplace"
+  | Geometric -> "geometric"
+  | Gaussian -> "gaussian"
+  | Discrete_gaussian -> "discrete_gaussian"
+  | Exponential -> "exponential"
+  | Randomized_response -> "randomized_response"
+
+let counts = Array.make n_kinds 0
+
+let record k =
+  let i = index k in
+  counts.(i) <- counts.(i) + 1
+
+let count k = counts.(index k)
+
+let all = [| Laplace; Geometric; Gaussian; Discrete_gaussian; Exponential; Randomized_response |]
+
+let snapshot () = Array.to_list (Array.map (fun k -> (name k, counts.(index k))) all)
+
+let total () = Array.fold_left ( + ) 0 counts
+
+let reset () = Array.fill counts 0 n_kinds 0

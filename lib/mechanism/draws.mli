@@ -1,0 +1,28 @@
+(** Process-wide noise-draw counters, one per mechanism family.
+
+    Every sampling site in [lib/mechanism] calls [record] when it
+    actually consumes randomness (deterministic zero-sensitivity paths
+    do not count). Draws, not queries: a vector release counts once per
+    component, a rejection sampler once per accepted sample. The engine
+    observability layer snapshots these into its exported metrics. *)
+
+type kind =
+  | Laplace
+  | Geometric
+  | Gaussian
+  | Discrete_gaussian
+  | Exponential
+  | Randomized_response
+
+val record : kind -> unit
+val count : kind -> int
+val name : kind -> string
+val all : kind array
+
+val snapshot : unit -> (string * int) list
+(** [(name, count)] pairs in a fixed order. *)
+
+val total : unit -> int
+
+val reset : unit -> unit
+(** Zero all counters (tests only — counters are process-global). *)

@@ -49,11 +49,14 @@ let log_probabilities t = Array.copy t.log_probs
 let probabilities t = Array.map exp t.log_probs
 
 let sample t g =
+  Draws.record Draws.Exponential;
   t.candidates.(Dp_rng.Sampler.categorical_log ~log_weights:t.log_weights g)
 
 let sampler t g =
   let table = Dp_rng.Alias.of_log_weights t.log_weights in
-  fun () -> t.candidates.(Dp_rng.Alias.sample table g)
+  fun () ->
+    Draws.record Draws.Exponential;
+    t.candidates.(Dp_rng.Alias.sample table g)
 
 let privacy_epsilon t = 2. *. t.epsilon *. t.sensitivity
 

@@ -20,6 +20,10 @@ let budget t = Privacy.approx ~epsilon:t.epsilon ~delta:t.delta
 
 let release t ~value g =
   let s = std t in
-  if s = 0. then value else value +. Dp_rng.Sampler.gaussian ~mean:0. ~std:s g
+  if s = 0. then value
+  else begin
+    Draws.record Draws.Gaussian;
+    value +. Dp_rng.Sampler.gaussian ~mean:0. ~std:s g
+  end
 
 let release_vector t ~value g = Array.map (fun v -> release t ~value:v g) value

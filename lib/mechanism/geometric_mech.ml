@@ -22,6 +22,7 @@ let release t ~value g =
     (* two-sided geometric with decay alpha: difference of two
        geometric(1 - alpha) draws *)
     let scale = float_of_int t.sensitivity /. t.epsilon in
+    Draws.record Draws.Geometric;
     value + Dp_rng.Sampler.discrete_laplace ~scale g
   end
 

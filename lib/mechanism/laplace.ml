@@ -15,7 +15,11 @@ let budget t = Privacy.pure t.epsilon
 
 let release t ~value g =
   let b = scale t in
-  if b = 0. then value else value +. Dp_rng.Sampler.laplace ~mean:0. ~scale:b g
+  if b = 0. then value
+  else begin
+    Draws.record Draws.Laplace;
+    value +. Dp_rng.Sampler.laplace ~mean:0. ~scale:b g
+  end
 
 let release_vector t ~value g = Array.map (fun v -> release t ~value:v g) value
 

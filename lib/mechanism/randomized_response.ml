@@ -9,6 +9,7 @@ let truth_probability t = t.p_truth
 let budget t = Privacy.pure t.epsilon
 
 let respond t bit g =
+  Draws.record Draws.Randomized_response;
   if Dp_rng.Sampler.bernoulli ~p:t.p_truth g then bit else not bit
 
 let respond_database t db g =

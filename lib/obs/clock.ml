@@ -1,0 +1,17 @@
+(* Monotone-clamped nanosecond clock. Stdlib 4.14 exposes no monotonic
+   clock and adding a dependency is off the table, so we take
+   gettimeofday and clamp it to be non-decreasing within the process;
+   good enough for latency histograms, and elapsed_ns can never go
+   negative. *)
+
+let last = ref 0
+
+let now_ns () =
+  let n = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let n = if n > !last then n else !last in
+  last := n;
+  n
+
+let elapsed_ns t0 =
+  let d = now_ns () - t0 in
+  if d > 0 then d else 0

@@ -1,0 +1,11 @@
+(** Monotone-clamped wall clock in integer nanoseconds.
+
+    Built on [Unix.gettimeofday] (the stdlib has no monotonic clock on
+    4.14) with a process-wide non-decreasing clamp, so span durations and
+    histogram observations are always >= 0 even across an NTP step. *)
+
+val now_ns : unit -> int
+(** Current time in nanoseconds, non-decreasing within the process. *)
+
+val elapsed_ns : int -> int
+(** [elapsed_ns t0] is [now_ns () - t0] clamped to [>= 0]. *)

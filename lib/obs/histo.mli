@@ -1,0 +1,49 @@
+(** Log2-bucketed histogram over non-negative int observations.
+
+    Bucket [b] covers values in [[2^b, 2^(b+1))] (bucket 0 also takes 0
+    and 1); 64 fixed buckets span the int range. The record path is
+    allocation-free — an int shift loop and int stores into a
+    preallocated array — so it is safe on the engine's hot path. *)
+
+type t
+
+val n_buckets : int
+
+val create : unit -> t
+val reset : t -> unit
+
+val record : t -> int -> unit
+(** [record t v] records observation [v] (negative values clamp to 0).
+    Allocation-free. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+val mean : t -> float
+
+val buckets : t -> int array
+(** Copy of the 64 bucket counts. *)
+
+val nonzero : t -> (int * int) list
+(** [(bucket, count)] pairs with [count > 0], ascending bucket order. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] estimates the q-quantile as the midpoint
+    representative of the bucket containing the [ceil (q * count)]-th
+    smallest observation; [q] clamps to [0,1]. Monotone in [q], and
+    within a factor of 2 of the true value. 0 when empty. *)
+
+val merge : t -> t -> t
+(** Pointwise sum: [merge a b] is observably equal to recording the
+    concatenation of the two streams into a fresh histogram. *)
+
+val equal : t -> t -> bool
+(** Equality of observable state (buckets, count, sum, min/max). *)
+
+val of_buckets :
+  count:int -> sum:int -> min_v:int -> max_v:int -> (int * int) list -> t
+(** Rebuild a histogram from exported state (see {!Export}); inverse of
+    [nonzero]/[count]/[sum]/[min_value]/[max_value]. *)

@@ -1,0 +1,185 @@
+(* The closed catalogue of everything the observability layer may ever
+   export. Metric names, span names, and tag keys are variants of these
+   types — there is deliberately no constructor that carries a string, so
+   a query argument or a released value cannot become a metric name. The
+   only free-form string in the whole subsystem is the scope label, which
+   is restricted by convention (and lint rule R7) to dataset ids from the
+   registry. *)
+
+type counter =
+  | Queries_answered
+  | Queries_rejected
+  | Queries_withheld
+  | Cache_hits
+  | Cache_misses
+  | Journal_appends
+  | Journal_fsyncs
+  | Journal_retries
+  | Draws_laplace
+  | Draws_geometric
+  | Draws_gaussian
+  | Draws_discrete_gaussian
+  | Draws_exponential
+  | Draws_randomized_response
+
+type gauge =
+  | Eps_total
+  | Eps_spent
+  | Eps_remaining
+  | Delta_spent
+  | Cache_entries
+  | Cache_hit_rate
+  | Degraded_mode
+  | Datasets_serving
+  | Journal_attached
+  | Mi_bound_nats
+  | Capacity_bound_nats
+  | Min_entropy_leakage_bits
+
+type latency =
+  | Submit_ns
+  | Plan_ns
+  | Charge_ns
+  | Noise_ns
+  | Journal_append_ns
+  | Journal_fsync_ns
+  | Cache_lookup_ns
+  | Meter_ns
+  | Recovery_ns
+
+type span = Sp_submit | Sp_plan | Sp_charge | Sp_noise | Sp_recovery
+
+type tag = T_eps_face | T_eps_charged | T_cache_hit | T_attempts | T_records
+
+let n_counters = 14
+let n_gauges = 12
+let n_latencies = 9
+
+let counter_index = function
+  | Queries_answered -> 0
+  | Queries_rejected -> 1
+  | Queries_withheld -> 2
+  | Cache_hits -> 3
+  | Cache_misses -> 4
+  | Journal_appends -> 5
+  | Journal_fsyncs -> 6
+  | Journal_retries -> 7
+  | Draws_laplace -> 8
+  | Draws_geometric -> 9
+  | Draws_gaussian -> 10
+  | Draws_discrete_gaussian -> 11
+  | Draws_exponential -> 12
+  | Draws_randomized_response -> 13
+
+let gauge_index = function
+  | Eps_total -> 0
+  | Eps_spent -> 1
+  | Eps_remaining -> 2
+  | Delta_spent -> 3
+  | Cache_entries -> 4
+  | Cache_hit_rate -> 5
+  | Degraded_mode -> 6
+  | Datasets_serving -> 7
+  | Journal_attached -> 8
+  | Mi_bound_nats -> 9
+  | Capacity_bound_nats -> 10
+  | Min_entropy_leakage_bits -> 11
+
+let latency_index = function
+  | Submit_ns -> 0
+  | Plan_ns -> 1
+  | Charge_ns -> 2
+  | Noise_ns -> 3
+  | Journal_append_ns -> 4
+  | Journal_fsync_ns -> 5
+  | Cache_lookup_ns -> 6
+  | Meter_ns -> 7
+  | Recovery_ns -> 8
+
+let all_counters =
+  [|
+    Queries_answered; Queries_rejected; Queries_withheld; Cache_hits;
+    Cache_misses; Journal_appends; Journal_fsyncs; Journal_retries;
+    Draws_laplace; Draws_geometric; Draws_gaussian; Draws_discrete_gaussian;
+    Draws_exponential; Draws_randomized_response;
+  |]
+
+let all_gauges =
+  [|
+    Eps_total; Eps_spent; Eps_remaining; Delta_spent; Cache_entries;
+    Cache_hit_rate; Degraded_mode; Datasets_serving; Journal_attached;
+    Mi_bound_nats; Capacity_bound_nats; Min_entropy_leakage_bits;
+  |]
+
+let all_latencies =
+  [|
+    Submit_ns; Plan_ns; Charge_ns; Noise_ns; Journal_append_ns;
+    Journal_fsync_ns; Cache_lookup_ns; Meter_ns; Recovery_ns;
+  |]
+
+let all_spans = [| Sp_submit; Sp_plan; Sp_charge; Sp_noise; Sp_recovery |]
+
+let all_tags = [| T_eps_face; T_eps_charged; T_cache_hit; T_attempts; T_records |]
+
+let counter_name = function
+  | Queries_answered -> "queries_answered"
+  | Queries_rejected -> "queries_rejected"
+  | Queries_withheld -> "queries_withheld"
+  | Cache_hits -> "cache_hits"
+  | Cache_misses -> "cache_misses"
+  | Journal_appends -> "journal_appends"
+  | Journal_fsyncs -> "journal_fsyncs"
+  | Journal_retries -> "journal_retries"
+  | Draws_laplace -> "draws_laplace"
+  | Draws_geometric -> "draws_geometric"
+  | Draws_gaussian -> "draws_gaussian"
+  | Draws_discrete_gaussian -> "draws_discrete_gaussian"
+  | Draws_exponential -> "draws_exponential"
+  | Draws_randomized_response -> "draws_randomized_response"
+
+let gauge_name = function
+  | Eps_total -> "eps_total"
+  | Eps_spent -> "eps_spent"
+  | Eps_remaining -> "eps_remaining"
+  | Delta_spent -> "delta_spent"
+  | Cache_entries -> "cache_entries"
+  | Cache_hit_rate -> "cache_hit_rate"
+  | Degraded_mode -> "degraded_mode"
+  | Datasets_serving -> "datasets_serving"
+  | Journal_attached -> "journal_attached"
+  | Mi_bound_nats -> "mi_bound_nats"
+  | Capacity_bound_nats -> "capacity_bound_nats"
+  | Min_entropy_leakage_bits -> "min_entropy_leakage_bits"
+
+let latency_name = function
+  | Submit_ns -> "submit_ns"
+  | Plan_ns -> "plan_ns"
+  | Charge_ns -> "charge_ns"
+  | Noise_ns -> "noise_ns"
+  | Journal_append_ns -> "journal_append_ns"
+  | Journal_fsync_ns -> "journal_fsync_ns"
+  | Cache_lookup_ns -> "cache_lookup_ns"
+  | Meter_ns -> "meter_ns"
+  | Recovery_ns -> "recovery_ns"
+
+let span_name = function
+  | Sp_submit -> "submit"
+  | Sp_plan -> "plan"
+  | Sp_charge -> "charge"
+  | Sp_noise -> "noise"
+  | Sp_recovery -> "recovery"
+
+let tag_name = function
+  | T_eps_face -> "eps_face"
+  | T_eps_charged -> "eps_charged"
+  | T_cache_hit -> "cache_hit"
+  | T_attempts -> "attempts"
+  | T_records -> "records"
+
+let mem arr to_name s = Array.exists (fun v -> to_name v = s) arr
+
+let is_counter_name s = mem all_counters counter_name s
+let is_gauge_name s = mem all_gauges gauge_name s
+let is_latency_name s = mem all_latencies latency_name s
+let is_span_name s = mem all_spans span_name s
+let is_tag_name s = mem all_tags tag_name s

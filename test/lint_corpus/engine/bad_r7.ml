@@ -1,0 +1,7 @@
+(* Seeded violation for R7: a metric label assembled from a query
+   string at the record call site. Labels must be closed Dp_obs.Name
+   constructors — runtime data in a label name is a side channel.
+   Never compiled. *)
+
+let record_latency scope query_text ns =
+  Metrics.observe scope (histo_of ("q-" ^ query_text)) ns

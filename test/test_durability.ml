@@ -268,6 +268,100 @@ let withheld_outcome_recovered () =
            (Engine.records recovered ~dataset:"demo"));
       Engine.close recovered)
 
+(* Observability across recovery: the snapshot-mirrored counters and
+   gauges are written from the same authoritative state the journal
+   restores, so a recovered engine's metrics agree with the live
+   engine's by construction — the monitoring view cannot drift from the
+   ledger across a crash. (Cache lookup counters are the deliberate
+   exception: they count lookups on *this* process, so a fresh process
+   restarts them at zero.) *)
+let metrics_snapshot_recovered () =
+  with_journal (fun path ->
+      let snapshot eng =
+        Engine.refresh_metrics eng;
+        let d = Dp_obs.Metrics.dataset (Engine.metrics eng) "demo" in
+        ( Dp_obs.Metrics.count d Dp_obs.Name.Queries_answered,
+          Dp_obs.Metrics.count d Dp_obs.Name.Queries_rejected,
+          Dp_obs.Metrics.count d Dp_obs.Name.Queries_withheld,
+          Dp_obs.Metrics.gauge d Dp_obs.Name.Eps_spent,
+          Dp_obs.Metrics.gauge d Dp_obs.Name.Eps_remaining,
+          Dp_obs.Metrics.gauge d Dp_obs.Name.Degraded_mode )
+      in
+      let status_field line key =
+        match
+          List.find_opt
+            (fun tok ->
+              String.length tok > String.length key
+              && String.sub tok 0 (String.length key + 1) = key ^ "=")
+            (String.split_on_char ' ' (String.trim line))
+        with
+        | Some tok -> tok
+        | None -> Alcotest.failf "status line %S lacks %s=" line key
+      in
+      let dataset_status eng =
+        match
+          List.find_opt
+            (fun l ->
+              match String.split_on_char ' ' (String.trim l) with
+              | "dataset" :: "demo" :: _ -> true
+              | _ -> false)
+            (Protocol.exec eng "status")
+        with
+        | Some l -> l
+        | None -> Alcotest.fail "status has no dataset line"
+      in
+      let live = fresh () in
+      let _ = ok (Engine.open_journal live path) in
+      let _ =
+        ok (Engine.register_synthetic live ~name:"demo" ~rows:300
+              ~policy:(policy ()))
+      in
+      let _ = run_traffic live in
+      let live_snap = snapshot live in
+      let live_status = dataset_status live in
+      Engine.close live;
+      let recovered = fresh () in
+      let r = ok (Engine.open_journal recovered path) in
+      Alcotest.(check bool) "recovery verified" true r.Engine.verified;
+      let rec_snap = snapshot recovered in
+      let a, rj, w, es, er, dm = live_snap in
+      let a', rj', w', es', er', dm' = rec_snap in
+      Alcotest.(check int) "answered counter survives recovery" a a';
+      Alcotest.(check int) "rejected counter survives recovery" rj rj';
+      Alcotest.(check int) "withheld counter survives recovery" w w';
+      Alcotest.(check (float 0.)) "eps_spent gauge exact across recovery" es es';
+      Alcotest.(check (float 0.)) "eps_remaining gauge exact across recovery" er
+        er';
+      Alcotest.(check (float 0.)) "degradation gauge agrees" dm dm';
+      Alcotest.(check bool) "live traffic answered something" true (a > 0);
+      let rec_status = dataset_status recovered in
+      List.iter
+        (fun key ->
+          Alcotest.(check string)
+            ("status " ^ key ^ " agrees across recovery")
+            (status_field live_status key)
+            (status_field rec_status key))
+        [ "eps-spent"; "eps-remaining"; "answered"; "mode" ];
+      (* hit-rate is reported on both sides even though lookup counters
+         restart with the process *)
+      ignore (status_field live_status "hit-rate");
+      ignore (status_field rec_status "hit-rate");
+      (* the full metrics dump of the recovered engine stays inside the
+         closed catalogue and parses back *)
+      (match Dp_obs.Export.parse (Engine.metrics_lines recovered) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "recovered dump must parse: %s" msg);
+      (* answered queries replay from the recovered cache as hits, which
+         the mirrored cache_hits counter then reflects *)
+      let _ =
+        ok_r "count" (Engine.submit_text recovered ~dataset:"demo" "count")
+      in
+      Engine.refresh_metrics recovered;
+      let d = Dp_obs.Metrics.dataset (Engine.metrics recovered) "demo" in
+      Alcotest.(check bool) "replayed answer counted as cache hit" true
+        (Dp_obs.Metrics.count d Dp_obs.Name.Cache_hits > 0);
+      Engine.close recovered)
+
 let raw_register_refused () =
   with_journal (fun path ->
       let eng = fresh () in
@@ -611,6 +705,8 @@ let () =
             noise_fresh_after_recovery;
           Alcotest.test_case "withheld outcome recovered" `Quick
             withheld_outcome_recovered;
+          Alcotest.test_case "metrics snapshot recovered" `Quick
+            metrics_snapshot_recovered;
         ] );
       ( "faults",
         [
