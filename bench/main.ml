@@ -15,7 +15,7 @@
       written into the --json file as a "phases" section.
 
    Usage: main.exe [--quick] [--tables-only | --bench-only]
-                   [--json FILE] [--overhead]
+                   [--json FILE] [--overhead] [--net]
 
    --json FILE writes the micro-benchmark estimates plus the phase
    breakdown as JSON (schema in bench/README.md), so successive PRs can
@@ -426,6 +426,66 @@ let overhead_gate () =
   end
   else Format.printf "PASS@."
 
+(* TCP round-trip throughput: the full client-socket -> select loop ->
+   Protocol.exec -> reply-frame path, cached vs uncached, against the
+   in-process engine numbers above. One persistent connection, requests
+   in lockstep, so this measures per-request frontend overhead rather
+   than concurrency. *)
+let net_bench () =
+  let eng = Dp_engine.Engine.create ~seed:11 ~audit:false () in
+  let policy =
+    {
+      (Dp_engine.Registry.default_policy
+         ~total:(Dp_mechanism.Privacy.pure 1e12))
+      with
+      Dp_engine.Registry.default_epsilon = 1e-4;
+    }
+  in
+  (match
+     Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:4096 ~policy
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let srv =
+    match Dp_net.Server.create eng with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let server_thread = Thread.create (fun () -> Dp_net.Server.run srv) () in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Dp_net.Server.port srv));
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  let roundtrip line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    let rec drain () = if input_line ic <> "" then drain () in
+    drain ()
+  in
+  let rate n f =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      f i
+    done;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  roundtrip "query bench count(age>40)";
+  (* warm-up; primes the cached case *)
+  let hit = rate 2000 (fun _ -> roundtrip "query bench count(age>40)") in
+  let miss =
+    rate 2000 (fun i ->
+        roundtrip (Printf.sprintf "query bench count(income>%d)" i))
+  in
+  Format.printf "@.== TCP round-trip throughput (1 conn, lockstep) ==@.";
+  Format.printf "net query (cache=hit)  %10.0f req/s@." hit;
+  Format.printf "net query (cache=miss) %10.0f req/s@." miss;
+  Dp_net.Server.request_stop srv;
+  Thread.join server_thread;
+  Unix.close fd;
+  Dp_engine.Engine.close eng
+
 let rec json_arg = function
   | "--json" :: file :: _ -> Some file
   | _ :: rest -> json_arg rest
@@ -437,6 +497,7 @@ let () =
   let tables_only = List.mem "--tables-only" argv in
   let bench_only = List.mem "--bench-only" argv in
   if List.mem "--overhead" argv then overhead_gate ()
+  else if List.mem "--net" argv then net_bench ()
   else begin
     if not bench_only then
       Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;

@@ -5,6 +5,8 @@
    dpkit experiment E5 [--quick]      run one experiment
    dpkit experiment all [--seed 7]    run everything
    dpkit serve                        line-protocol DP query server (stdin/stdout)
+   dpkit serve --tcp PORT             the same protocol over TCP (multi-client)
+   dpkit client --port P              retrying client for the TCP server
    dpkit query "mean(income)" ...     one-shot queries against a synthetic dataset
    dpkit analyze --schema S WORKLOAD  static workload costing, no data access
    dpkit lint [DIR]                   privacy-invariant source linter (R1..R6) *)
@@ -212,7 +214,38 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
-  let run seed journal faults_spec metrics_path =
+  let tcp_arg =
+    let doc =
+      "Serve the protocol over TCP on 127.0.0.1:$(docv) instead of \
+       stdin/stdout (0 picks an ephemeral port, printed as \
+       'listening port=N'). SIGTERM/SIGINT drain gracefully: stop \
+       accepting, finish in-flight requests, fsync the journal, write \
+       --metrics, exit 0."
+    in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "TCP admission bound: connections past $(docv) are shed with \
+               'err overloaded'." in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "TCP admission bound: queued requests plus unflushed replies \
+               past $(docv) are shed with 'err overloaded'." in
+    Arg.(value & opt int 128 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc = "Close TCP connections with no completed request for $(docv) \
+               seconds (slow-loris defense: partial lines do not count)." in
+    Arg.(value & opt float 30. & info [ "idle-timeout" ] ~docv:"S" ~doc)
+  in
+  let request_deadline_arg =
+    let doc = "Close a TCP connection whose reply is not fully flushed \
+               within $(docv) seconds of the request arriving." in
+    Arg.(value & opt float 10. & info [ "request-deadline" ] ~docv:"S" ~doc)
+  in
+  let run seed journal faults_spec metrics_path tcp max_conns max_inflight
+      idle_timeout request_deadline =
     let faults_r =
       match faults_spec with
       | None -> Ok (Dp_engine.Faults.of_env ())
@@ -260,7 +293,7 @@ let serve_cmd =
                   r.Dp_engine.Engine.cache_entries r.Dp_engine.Engine.torn_bytes
                   (if r.Dp_engine.Engine.verified then "audit-verified"
                    else "UNVERIFIED"));
-            let outcome =
+            let serve_stdio () =
               match Dp_engine.Protocol.serve eng stdin stdout with
               | () -> write_metrics ()
               | exception Dp_engine.Faults.Crash p ->
@@ -269,6 +302,42 @@ let serve_cmd =
                     (Dp_engine.Faults.point_name p);
                   exit 70
             in
+            let serve_tcp port =
+              let config =
+                {
+                  Dp_net.Server.default_config with
+                  port;
+                  max_conns;
+                  max_inflight;
+                  idle_timeout_s = idle_timeout;
+                  reply_deadline_s = request_deadline;
+                }
+              in
+              match Dp_net.Server.create ~config eng with
+              | Error msg -> `Error (false, "cannot listen: " ^ msg)
+              | Ok srv -> (
+                  (* a flag flip is all a handler may do; the select
+                     loop sees it on its next turn (EINTR included) *)
+                  let stop _ = Dp_net.Server.request_stop srv in
+                  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+                  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+                  (* a peer closing mid-write must be EPIPE, not death *)
+                  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+                  Format.printf "listening port=%d@." (Dp_net.Server.port srv);
+                  match Dp_net.Server.run srv with
+                  | () ->
+                      Format.printf "drained@.";
+                      write_metrics ()
+                  | exception Dp_engine.Faults.Crash p ->
+                      Printf.eprintf "dpkit: injected crash at %s\n%!"
+                        (Dp_engine.Faults.point_name p);
+                      exit 70)
+            in
+            let outcome =
+              match tcp with
+              | None -> serve_stdio ()
+              | Some port -> serve_tcp port
+            in
             Dp_engine.Engine.close eng;
             outcome)
   in
@@ -276,8 +345,76 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve differentially-private queries over a line protocol on \
-          stdin/stdout.")
-    Term.(ret (const run $ seed_arg $ journal_arg $ faults_arg $ metrics_arg))
+          stdin/stdout, or over TCP with --tcp.")
+    Term.(
+      ret
+        (const run $ seed_arg $ journal_arg $ faults_arg $ metrics_arg
+       $ tcp_arg $ max_conns_arg $ max_inflight_arg $ idle_timeout_arg
+       $ request_deadline_arg))
+
+let client_cmd =
+  let port_arg =
+    let doc = "Server port (required)." in
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Server host." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let attempts_arg =
+    let doc = "Attempts per request before giving up." in
+    Arg.(value & opt int 8 & info [ "attempts" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Backoff base in seconds (doubled per attempt, full jitter)." in
+    Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"S" ~doc)
+  in
+  let cap_arg =
+    let doc = "Backoff cap in seconds." in
+    Arg.(value & opt float 2.0 & info [ "backoff-cap" ] ~docv:"S" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Reply timeout in seconds (a timed-out reply is retried)." in
+    Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"S" ~doc)
+  in
+  let jitter_seed_arg =
+    let doc =
+      "Seed for the backoff jitter stream (default: derived from the PID; \
+       fix it for reproducible retry schedules in tests)."
+    in
+    Arg.(value & opt (some int) None & info [ "jitter-seed" ] ~docv:"SEED" ~doc)
+  in
+  let run host port attempts backoff cap timeout jitter_seed =
+    let jitter =
+      let seed =
+        match jitter_seed with
+        | Some s -> s
+        | None -> Unix.getpid () lxor int_of_float (Unix.gettimeofday () *. 1e6)
+      in
+      Some (Dp_rng.Prng.create seed)
+    in
+    let cfg =
+      {
+        Dp_net.Client.host;
+        port;
+        attempts;
+        backoff_s = backoff;
+        cap_s = cap;
+        reply_timeout_s = timeout;
+        jitter;
+      }
+    in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    exit (Dp_net.Client.run cfg stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send request lines from stdin to a dpkit TCP server, retrying \
+          transient and overloaded replies with capped jittered backoff.")
+    Term.(
+      const run $ host_arg $ port_arg $ attempts_arg $ backoff_arg $ cap_arg
+      $ timeout_arg $ jitter_seed_arg)
 
 let lint_cmd =
   let dir_arg =
@@ -545,5 +682,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd;
-            query_cmd; analyze_cmd; lint_cmd; stats_cmd;
+            client_cmd; query_cmd; analyze_cmd; lint_cmd; stats_cmd;
           ]))

@@ -17,6 +17,7 @@ type t = {
   obs : Dp_obs.Metrics.t;
   trace : Dp_obs.Span.t;
   mutable rng : Dp_rng.Prng.t;
+  retry_rng : Dp_rng.Prng.t;
   seed : int;
   faults : Faults.t;
   mutable journal : Journal.t option;
@@ -53,6 +54,14 @@ let create ?(seed = 20120330) ?(audit = true) ?(obs = true) ?faults () =
     obs = Dp_obs.Metrics.create ~enabled:obs ();
     trace = Dp_obs.Span.create ~enabled:obs ();
     rng = Dp_rng.Prng.create seed;
+    (* Backoff jitter draws from a dedicated stream, never the noise
+       stream: retry timing is externally observable, so sharing the
+       noise stream would leak its position (and shift noise values,
+       breaking seed-determinism). Seeded from [seed] so retry schedules
+       replay deterministically; the xor constant ("RETR") just keys a
+       distinct stream. Journal re-keying deliberately leaves this
+       stream alone — it carries no privacy. *)
+    retry_rng = Dp_rng.Prng.create (seed lxor 0x52455452);
     seed;
     faults;
     journal = None;
@@ -348,7 +357,8 @@ let submit_serving t sv ?analyst ?epsilon ~dataset query =
                       let drawn =
                         Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_noise
                           (fun () ->
-                            Faults.with_retries (fun ~attempt ->
+                            Faults.with_retries ~jitter:t.retry_rng
+                              (fun ~attempt ->
                                 Faults.check t.faults ~attempt Faults.Rng;
                                 plan.Planner.run t.rng))
                       in
@@ -639,7 +649,9 @@ let verify_recovered t journal_records =
 let open_journal_inner t path =
   (
     match
-      Journal.open_ ~faults:t.faults ~obs:(Dp_obs.Metrics.global t.obs) path
+      Journal.open_ ~faults:t.faults
+        ~obs:(Dp_obs.Metrics.global t.obs)
+        ~jitter:t.retry_rng path
     with
     | Error msg -> Error msg
     | Ok (j, records, stats) -> (

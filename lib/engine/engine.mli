@@ -31,7 +31,10 @@ val create :
 (** [seed] (default 20120330) drives all mechanism noise — the engine
     is deterministic given the seed and the request sequence, until a
     journal is attached: {!open_journal} re-keys the noise stream from
-    OS entropy (synthetic data stays seed-derived). [audit] (default
+    OS entropy (synthetic data stays seed-derived). The seed also keys
+    a separate non-privacy stream for retry-backoff jitter
+    ({!Faults.backoff_delay}), so retry schedules replay
+    deterministically without ever touching the noise stream. [audit] (default
     [true]) controls the unbounded audit log; benchmarks serving
     millions of requests switch it off. [obs] (default [true]) controls
     the observability layer ({!metrics}/{!trace}); with it off every

@@ -4,8 +4,16 @@ type point =
   | Rng
   | Crash_after_charge
   | Garbage_line
+  | Accept_fail
+  | Read_stall
+  | Write_drop
+  | Conn_reset
 
-let all_points = [ Journal_write; Journal_fsync; Rng; Crash_after_charge; Garbage_line ]
+let all_points =
+  [
+    Journal_write; Journal_fsync; Rng; Crash_after_charge; Garbage_line;
+    Accept_fail; Read_stall; Write_drop; Conn_reset;
+  ]
 
 let point_name = function
   | Journal_write -> "journal-write"
@@ -13,10 +21,21 @@ let point_name = function
   | Rng -> "rng"
   | Crash_after_charge -> "crash-after-charge"
   | Garbage_line -> "garbage-line"
+  | Accept_fail -> "accept-fail"
+  | Read_stall -> "read-stall"
+  | Write_drop -> "write-drop"
+  | Conn_reset -> "conn-reset"
 
+(* The network points are recoverable in the ordinary sense, but they
+   are deliberately NOT in the all-transient set: there is no bounded
+   in-process retry loop underneath them — the retrying party is the
+   remote client — so arming them on every first attempt would take the
+   listener down for good rather than exercise a retry path. *)
 let is_transient = function
   | Journal_write | Journal_fsync | Rng -> true
-  | Crash_after_charge | Garbage_line -> false
+  | Crash_after_charge | Garbage_line | Accept_fail | Read_stall | Write_drop
+  | Conn_reset ->
+      false
 
 exception Injected of point
 exception Crash of point
@@ -107,7 +126,19 @@ let check t ?attempt p =
     | Garbage_line -> ()
     | _ -> raise (Injected p)
 
-let with_retries ?(attempts = 3) ?(backoff_s = 0.001) f =
+(* Exponential backoff with optional full jitter: uniform in
+   [0, min(base * 2^(attempt-1), cap)). Full jitter (the AWS
+   architecture-blog variant) decorrelates concurrent retriers — a
+   thundering herd that failed together does not retry together. The
+   jitter stream must be a non-privacy RNG (the engine passes a
+   dedicated retry stream, never the noise stream): backoff timing is
+   observable to an attacker, so drawing it from the noise stream would
+   leak stream position. *)
+let backoff_delay ?(cap_s = 30.) ?jitter ~backoff_s ~attempt () =
+  let d = Float.min cap_s (backoff_s *. (2. ** float_of_int (attempt - 1))) in
+  match jitter with None -> d | Some g -> d *. Dp_rng.Prng.float g
+
+let with_retries ?(attempts = 3) ?(backoff_s = 0.001) ?jitter f =
   let describe = function
     | Injected p -> Printf.sprintf "injected %s failure" (point_name p)
     | Sys_error msg -> msg
@@ -123,7 +154,7 @@ let with_retries ?(attempts = 3) ?(backoff_s = 0.001) f =
           Error
             (Printf.sprintf "%s (after %d attempts)" (describe e) attempts)
         else begin
-          Unix.sleepf (backoff_s *. (2. ** float_of_int (attempt - 1)));
+          Unix.sleepf (backoff_delay ?jitter ~backoff_s ~attempt ());
           go (attempt + 1)
         end
   in

@@ -21,7 +21,11 @@
     off | (empty)            nothing armed
     v}
     Points: [journal-write], [journal-fsync], [rng],
-    [crash-after-charge], [garbage-line]. *)
+    [crash-after-charge], [garbage-line], and the network frontend's
+    [accept-fail], [read-stall], [write-drop], [conn-reset]. The
+    network points are not in the all-transient set: the retrying party
+    for them is the remote client, not an in-process retry loop, so
+    they are armed explicitly (see {!is_transient}). *)
 
 type point =
   | Journal_write  (** transient: the journal append write fails *)
@@ -34,6 +38,18 @@ type point =
   | Garbage_line
       (** protocol: the next input line is replaced by an oversized
           garbage blob before parsing *)
+  | Accept_fail
+      (** network: the frontend skips a ready accept — the connection
+          stays in the kernel backlog until a later loop turn *)
+  | Read_stall
+      (** network: a read-ready connection is not read this loop turn
+          (models a stalled peer or dropped readiness) *)
+  | Write_drop
+      (** network: a computed reply is dropped before any byte is
+          written and the connection closed — the client must retry *)
+  | Conn_reset
+      (** network: the connection is closed after the first reply line,
+          mid-reply — the client sees a torn frame and must retry *)
 
 val point_name : point -> string
 val is_transient : point -> bool
@@ -69,14 +85,35 @@ val check : t -> ?attempt:int -> point -> unit
     ([Crash_after_charge]). [Garbage_line] never raises — callers use
     {!fire} to substitute the line. *)
 
+val backoff_delay :
+  ?cap_s:float ->
+  ?jitter:Dp_rng.Prng.t ->
+  backoff_s:float ->
+  attempt:int ->
+  unit ->
+  float
+(** The sleep before retrying [attempt]: [base * 2^(attempt-1)] capped
+    at [cap_s] (default 30s), then — when [jitter] is given — scaled by
+    a uniform draw in [0, 1) (full jitter, so concurrent retriers
+    decorrelate). [jitter] must be a non-privacy stream: the engine
+    passes a dedicated retry stream seeded independently of the noise
+    stream, because retry timing is externally observable and must not
+    reveal noise-stream position. Deterministic given the stream's
+    seed. *)
+
 val with_retries :
-  ?attempts:int -> ?backoff_s:float -> (attempt:int -> 'a) -> ('a, string) result
+  ?attempts:int ->
+  ?backoff_s:float ->
+  ?jitter:Dp_rng.Prng.t ->
+  (attempt:int -> 'a) ->
+  ('a, string) result
 (** Run an operation with bounded retries and exponential backoff
-    (default 3 attempts, 1ms base). Retries on {!Injected},
-    [Sys_error] and [Unix.Unix_error]; anything else propagates.
-    [Error] carries the last failure after the attempts are spent —
-    the caller decides whether that is transient (state unchanged,
-    client may retry) or fatal. *)
+    (default 3 attempts, 1ms base), sleeping {!backoff_delay} between
+    attempts (full jitter when [jitter] is given). Retries on
+    {!Injected}, [Sys_error] and [Unix.Unix_error]; anything else
+    propagates. [Error] carries the last failure after the attempts are
+    spent — the caller decides whether that is transient (state
+    unchanged, client may retry) or fatal. *)
 
 val pp : Format.formatter -> t -> unit
 (** The armed points, for [status] lines; ["off"] when nothing is. *)

@@ -323,6 +323,8 @@ type t = {
   fd : Unix.file_descr;
   faults : Faults.t;
   obs : Dp_obs.Metrics.scope;
+  jitter : Dp_rng.Prng.t option;
+      (** non-privacy stream for retry-backoff full jitter *)
   mutable clean_off : int;  (** end of the last fully-appended frame *)
   mutable poisoned : bool;
 }
@@ -344,7 +346,7 @@ let fsync_dir path =
       try Unix.fsync fd
       with Unix.Unix_error (Unix.EINVAL, _, _) -> ())
 
-let open_ ?(faults = Faults.none) ?(obs = Dp_obs.Metrics.null) path =
+let open_ ?(faults = Faults.none) ?(obs = Dp_obs.Metrics.null) ?jitter path =
   match read_file path with
   | Error msg -> Error (Printf.sprintf "journal %s: %s" path msg)
   | Ok content -> (
@@ -358,7 +360,7 @@ let open_ ?(faults = Faults.none) ?(obs = Dp_obs.Metrics.null) path =
         if not existed then fsync_dir path;
         if torn > 0 then Unix.ftruncate fd good;
         Ok
-          ( { path; fd; faults; obs; clean_off = good; poisoned = false },
+          ( { path; fd; faults; obs; jitter; clean_off = good; poisoned = false },
             records,
             { records = List.length records; torn_bytes = torn } )
       with
@@ -380,7 +382,7 @@ let append t record =
     let t0 = Dp_obs.Clock.now_ns () in
     let framed = frame (encode record) in
     let write =
-      Faults.with_retries (fun ~attempt ->
+      Faults.with_retries ?jitter:t.jitter (fun ~attempt ->
           (* a failed earlier attempt may have left a partial frame:
              O_APPEND writes land at the end, so cut back to the last
              clean frame boundary before writing again *)
@@ -408,7 +410,7 @@ let append t record =
         t.clean_off <- t.clean_off + String.length framed;
         let f0 = Dp_obs.Clock.now_ns () in
         let sync =
-          Faults.with_retries (fun ~attempt ->
+          Faults.with_retries ?jitter:t.jitter (fun ~attempt ->
               if attempt > 1 then
                 Dp_obs.Metrics.incr t.obs Dp_obs.Name.Journal_retries;
               Faults.check t.faults ~attempt Faults.Journal_fsync;

@@ -80,12 +80,15 @@ type t
 val open_ :
   ?faults:Faults.t ->
   ?obs:Dp_obs.Metrics.scope ->
+  ?jitter:Dp_rng.Prng.t ->
   string ->
   (t * record list * stats, string) result
 (** Open (or create) a journal for appending. [obs] (default
     {!Dp_obs.Metrics.null}, a drop-everything sink) receives append and
     fsync latency observations plus append/fsync/retry counters — the
-    engine passes its global scope. Existing records are
+    engine passes its global scope. [jitter] (a non-privacy RNG stream,
+    see {!Faults.backoff_delay}) adds full jitter to the append/fsync
+    retry backoff. Existing records are
     returned for replay; a torn tail is truncated off the file so the
     next append starts at a clean frame boundary. Creating the file
     also fsyncs the parent directory, so a crash right after creation

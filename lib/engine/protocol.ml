@@ -3,6 +3,18 @@ open Dp_mechanism
 let fstr x = Printf.sprintf "%g" x
 
 let max_line_bytes = 4096
+let max_reply_lines = 256
+
+(* Multi-line replies (report, log, metrics) are capped so one request
+   cannot stream an unbounded reply at a slow client and wedge the
+   single-threaded network frontend behind it. The trailer is indented
+   like any continuation line, so tagged-reply parsers stay happy. *)
+let cap_reply lines =
+  let n = List.length lines in
+  if n <= max_reply_lines then lines
+  else
+    List.filteri (fun i _ -> i < max_reply_lines - 1) lines
+    @ [ Printf.sprintf "  truncated=%d" (n - (max_reply_lines - 1)) ]
 
 (* key=value option parsing; bare words are flags. Strict: unknown and
    duplicate keys are rejected outright, so a fuzz-found garbage line is
@@ -255,6 +267,7 @@ let help_lines =
     "        | quantile(col,q) | cdf(col,t1,...)";
     "  errors: err bad-argument|bad-query|unknown-*|budget-exceeded (final)";
     "          err transient (retryable) | err degraded (cache hits only)";
+    "          err overloaded retry-after=MS (shed: retry after the delay)";
     "          err fatal (give up)";
   ]
 
@@ -293,7 +306,7 @@ let exec eng line =
   if String.length line > max_line_bytes then
     [ oversized_reply (String.length line) ]
   else
-    try exec_parsed eng line with
+    try cap_reply (exec_parsed eng line) with
     | Faults.Crash _ as e -> raise e
     | e ->
         (* the taxonomy's last resort: no exception ever escapes the

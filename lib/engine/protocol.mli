@@ -36,17 +36,32 @@
     wrong — fix and resend), [err budget-exceeded] (final for that
     budget), [err degraded] (low-water reached: cache hits still
     served), [err transient] (infrastructure hiccup — safe to retry,
-    any committed charge is kept), [err fatal] (journal poisoned or
-    internal error — give up). Option lists reject unknown and
-    duplicate keys, and lines over {!max_line_bytes} are refused before
-    parsing. No exception escapes {!exec} (injected {!Faults.Crash} is
-    the deliberate exception — it simulates the process dying). *)
+    any committed charge is kept), [err overloaded retry-after=MS]
+    (the TCP frontend shed the request — retry after the delay; emitted
+    by {!Dp_net.Server}, computed from queue depth only, never budget
+    state), [err fatal] (journal poisoned or internal error — give up).
+    Option lists reject unknown and duplicate keys, and lines over
+    {!max_line_bytes} are refused before parsing. No exception escapes
+    {!exec} (injected {!Faults.Crash} is the deliberate exception — it
+    simulates the process dying). *)
 
 val max_line_bytes : int
 (** Longest accepted request line (4096). {!serve} reads with a
     bounded buffer, so a longer line — even gigabytes with no newline —
     gets [err bad-argument] while only ever holding
     [max_line_bytes + 1] bytes in memory. *)
+
+val max_reply_lines : int
+(** Longest reply {!exec} will return (256 lines). Multi-line replies
+    (report, log, metrics) past the cap are truncated to the first
+    [max_reply_lines - 1] lines plus an indented [  truncated=N]
+    trailer counting the dropped lines, so one request cannot stream an
+    unbounded reply through the single-threaded network frontend. *)
+
+val oversized_reply : int -> string
+(** The [err bad-argument] line for a request of [n] bytes exceeding
+    {!max_line_bytes} — shared with the network frontend's bounded
+    reader so both transports reject oversized lines identically. *)
 
 val parse_opts :
   known:string list ->

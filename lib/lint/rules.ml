@@ -33,8 +33,8 @@ let all =
        only noised answers may reach an output channel" );
     ( "R7",
       "metric and span labels come from the closed Dp_obs.Name catalogue — \
-       in lib/engine and lib/mechanism, never build a label string at a \
-       metrics/span call site (a query argument in a metric name is a \
+       in lib/engine, lib/mechanism and lib/net, never build a label string \
+       at a metrics/span call site (a query argument in a metric name is a \
        side channel)" );
   ]
 
@@ -271,8 +271,11 @@ let string_builders =
 let r7_window = 12
 
 let r7 ctx =
-  if not ((has_seg ctx "engine" || has_seg ctx "mechanism") && is_ml ctx) then
-    []
+  if
+    not
+      ((has_seg ctx "engine" || has_seg ctx "mechanism" || has_seg ctx "net")
+      && is_ml ctx)
+  then []
   else begin
     let out = ref [] in
     Array.iteri

@@ -1,0 +1,30 @@
+type line = { text : string; bytes : int }
+
+type t = { max : int; buf : Buffer.t; mutable count : int }
+
+let create ?(max = Dp_engine.Protocol.max_line_bytes) () =
+  { max; buf = Buffer.create 128; count = 0 }
+
+let pending_bytes t = t.count
+
+(* Scan [len] bytes of [chunk] starting at [off] for newlines. Bytes of
+   the current partial line are buffered only while the buffer holds at
+   most [max] bytes — so an oversized line occupies at most [max + 1]
+   bytes of memory no matter how it is split across TCP segments, while
+   [count] keeps the true length for the caller's over-limit reply.
+   The cap must apply across segments: reassembling a line from many
+   small reads and only then checking its length would let a peer buffer
+   unbounded garbage one segment at a time. *)
+let feed t chunk off len =
+  let lines = ref [] in
+  for i = off to off + len - 1 do
+    match Bytes.get chunk i with
+    | '\n' ->
+        lines := { text = Buffer.contents t.buf; bytes = t.count } :: !lines;
+        Buffer.clear t.buf;
+        t.count <- 0
+    | ch ->
+        if Buffer.length t.buf <= t.max then Buffer.add_char t.buf ch;
+        t.count <- t.count + 1
+  done;
+  List.rev !lines

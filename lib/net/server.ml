@@ -1,0 +1,384 @@
+open Dp_engine
+
+type config = {
+  port : int;
+  backlog : int;
+  max_conns : int;
+  max_inflight : int;
+  idle_timeout_s : float;
+  reply_deadline_s : float;
+  retry_after_base_ms : int;
+}
+
+let default_config =
+  {
+    port = 0;
+    backlog = 64;
+    max_conns = 64;
+    max_inflight = 128;
+    idle_timeout_s = 30.;
+    reply_deadline_s = 10.;
+    retry_after_base_ms = 50;
+  }
+
+(* One connection's whole state machine: bounded line reassembly in,
+   queued requests, one reply frame at a time out. [out]/[out_pos] is
+   the unflushed reply; a conn with a non-empty [out] counts toward the
+   admission depth (its reply occupies the pipeline until the client
+   drains it). *)
+type conn = {
+  fd : Unix.file_descr;
+  lb : Linebuf.t;
+  requests : Linebuf.line Queue.t;
+  mutable out : Bytes.t;
+  mutable out_pos : int;
+  mutable close_after_flush : bool;
+  mutable eof : bool;
+  mutable closed : bool;
+  mutable last_request : float;  (** completed-request time, not bytes *)
+  mutable deadline : float;  (** absolute; 0. = no reply in flight *)
+  mutable req_start_ns : int;  (** 0 = no request being served *)
+  accept_ns : int;
+  mutable replied : bool;  (** first reply fully flushed *)
+}
+
+type t = {
+  eng : Engine.t;
+  cfg : config;
+  listener : Unix.file_descr;
+  port : int;
+  scope : Dp_obs.Metrics.scope;
+  faults : Faults.t;
+  mutable conns : conn list;
+  mutable stopping : bool;
+  mutable listener_open : bool;
+  mutable drained : bool;
+}
+
+let now_s () = float_of_int (Dp_obs.Clock.now_ns ()) /. 1e9
+
+let create ?(config = default_config) eng =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+    Unix.listen fd config.backlog;
+    Unix.set_nonblock fd;
+    (match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port)
+  with
+  | port ->
+      Ok
+        {
+          eng;
+          cfg = config;
+          listener = fd;
+          port;
+          scope = Dp_obs.Metrics.global (Engine.metrics eng);
+          faults = Engine.faults eng;
+          conns = [];
+          stopping = false;
+          listener_open = true;
+          drained = false;
+        }
+  | exception Unix.Unix_error (e, fn, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let port t = t.port
+let conn_count t = List.length t.conns
+let request_stop t = t.stopping <- true
+let draining t = t.stopping
+
+let has_output c = c.out_pos < Bytes.length c.out
+
+(* Admission depth: requests waiting to execute plus replies waiting to
+   flush. This is the ONLY input to the shed decision and the
+   retry-after hint — never ledger or budget state, so being shed
+   reveals nothing about spent epsilon (rejection is otherwise a side
+   channel: "overloaded" must not be a euphemism for "budget low"). *)
+let depth t =
+  List.fold_left
+    (fun acc c ->
+      if c.closed then acc
+      else
+        acc + Queue.length c.requests
+        + (if has_output c || c.req_start_ns > 0 then 1 else 0))
+    0 t.conns
+
+let retry_after_ms t =
+  min 60_000 (t.cfg.retry_after_base_ms * (1 + depth t))
+
+let overloaded_line t =
+  Printf.sprintf "err overloaded retry-after=%d" (retry_after_ms t)
+
+(* Append one reply frame: the reply lines, then the blank-line
+   terminator that lets the client know the frame is complete. *)
+let queue_frame ?(terminated = true) c lines =
+  let b = Buffer.create 256 in
+  if has_output c then
+    Buffer.add_subbytes b c.out c.out_pos (Bytes.length c.out - c.out_pos);
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    lines;
+  if terminated then Buffer.add_char b '\n';
+  c.out <- Buffer.to_bytes b;
+  c.out_pos <- 0
+
+let close_conn t reason c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c' -> c' != c) t.conns;
+    (match reason with
+    | `Normal -> ()
+    | `Deadline -> Dp_obs.Metrics.incr t.scope Dp_obs.Name.Net_deadline_closed
+    | `Drain -> Dp_obs.Metrics.incr t.scope Dp_obs.Name.Net_drained)
+  end
+
+let mk_conn fd =
+  {
+    fd;
+    lb = Linebuf.create ();
+    requests = Queue.create ();
+    out = Bytes.empty;
+    out_pos = 0;
+    close_after_flush = false;
+    eof = false;
+    closed = false;
+    last_request = now_s ();
+    deadline = 0.;
+    req_start_ns = 0;
+    accept_ns = Dp_obs.Clock.now_ns ();
+    replied = false;
+  }
+
+let accept_phase t =
+  if Faults.fire t.faults Faults.Accept_fail then
+    (* the connection stays in the kernel backlog for a later turn *)
+    ()
+  else
+    match Unix.accept t.listener with
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR), _, _)
+      ->
+        ()
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        if List.length t.conns >= t.cfg.max_conns then begin
+          (* shed at the door, but with a typed reply: the client learns
+             it was load, not its request, and when to come back *)
+          Dp_obs.Metrics.incr t.scope Dp_obs.Name.Net_conns_shed;
+          let c = mk_conn fd in
+          c.eof <- true;
+          c.close_after_flush <- true;
+          c.deadline <- now_s () +. t.cfg.reply_deadline_s;
+          queue_frame c [ overloaded_line t ];
+          t.conns <- c :: t.conns
+        end
+        else begin
+          Dp_obs.Metrics.incr t.scope Dp_obs.Name.Net_conns_accepted;
+          t.conns <- mk_conn fd :: t.conns
+        end
+
+let handle_line t c (l : Linebuf.line) =
+  c.last_request <- now_s ();
+  if depth t >= t.cfg.max_inflight then begin
+    Dp_obs.Metrics.incr t.scope Dp_obs.Name.Net_requests_shed;
+    queue_frame c [ overloaded_line t ];
+    if c.deadline = 0. then c.deadline <- now_s () +. t.cfg.reply_deadline_s
+  end
+  else begin
+    Queue.push l c.requests;
+    if c.deadline = 0. then c.deadline <- now_s () +. t.cfg.reply_deadline_s
+  end
+
+let read_buf = Bytes.create 4096
+
+let read_phase t c =
+  if c.closed || c.eof then ()
+  else if Faults.fire t.faults Faults.Read_stall then
+    (* drop this readiness notification; the data waits in the socket *)
+    ()
+  else
+    match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
+    | 0 ->
+        c.eof <- true;
+        if Queue.is_empty c.requests && not (has_output c) then
+          close_conn t `Normal c
+    | n -> List.iter (handle_line t c) (Linebuf.feed c.lb read_buf 0 n)
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn t `Normal c
+
+(* Execute at most one queued request per conn per loop turn (round-
+   robin fairness), and only once the previous reply frame is fully
+   flushed — the reply order on a connection is the request order. *)
+let exec_phase t c =
+  if c.closed || has_output c || Queue.is_empty c.requests then ()
+  else begin
+    let l = Queue.pop c.requests in
+    c.req_start_ns <- Dp_obs.Clock.now_ns ();
+    Dp_obs.Metrics.incr t.scope Dp_obs.Name.Net_requests;
+    let text, bytes =
+      if Faults.fire t.faults Faults.Garbage_line then
+        let g = String.make (Protocol.max_line_bytes + 64) '\xfe' in
+        (g, String.length g)
+      else (l.Linebuf.text, l.Linebuf.bytes)
+    in
+    let reply =
+      if bytes > Protocol.max_line_bytes then
+        [ Protocol.oversized_reply bytes ]
+      else Protocol.exec t.eng text
+    in
+    if Protocol.is_quit text then c.close_after_flush <- true;
+    if Faults.fire t.faults Faults.Write_drop then
+      (* reply computed (and any charge journaled), zero bytes written:
+         the client must retry through a torn connection *)
+      close_conn t `Normal c
+    else if Faults.fire t.faults Faults.Conn_reset then begin
+      (* first line only, no terminator: a torn frame mid-reply *)
+      (match reply with
+      | first :: _ -> queue_frame ~terminated:false c [ first ]
+      | [] -> ());
+      c.close_after_flush <- true
+    end
+    else queue_frame c reply
+  end
+
+let write_phase t c =
+  if c.closed || not (has_output c) then ()
+  else
+    match Unix.write c.fd c.out c.out_pos (Bytes.length c.out - c.out_pos) with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        close_conn t `Normal c
+    | n ->
+        c.out_pos <- c.out_pos + n;
+        if not (has_output c) then begin
+          c.out <- Bytes.empty;
+          c.out_pos <- 0;
+          if not c.replied then begin
+            c.replied <- true;
+            Dp_obs.Metrics.observe t.scope Dp_obs.Name.Net_accept_to_reply_ns
+              (Dp_obs.Clock.elapsed_ns c.accept_ns)
+          end;
+          if c.req_start_ns > 0 then begin
+            Dp_obs.Metrics.observe t.scope Dp_obs.Name.Net_reply_ns
+              (Dp_obs.Clock.elapsed_ns c.req_start_ns);
+            c.req_start_ns <- 0
+          end;
+          if Queue.is_empty c.requests then c.deadline <- 0.;
+          if c.close_after_flush || (c.eof && Queue.is_empty c.requests) then
+            close_conn t `Normal c
+        end
+
+(* Deadlines and idle timeouts. [last_request] only advances on a
+   {e completed} request line (or at accept), never on raw bytes — a
+   slow-loris peer dribbling one byte of a never-terminated line per
+   second makes no progress by this clock and is closed at the idle
+   timeout like any silent connection. *)
+let timeout_phase t =
+  let now = now_s () in
+  List.iter
+    (fun c ->
+      if c.closed then ()
+      else if c.deadline > 0. && now > c.deadline then close_conn t `Deadline c
+      else if
+        c.deadline = 0.
+        && Queue.is_empty c.requests
+        && (not (has_output c))
+        && now -. c.last_request > t.cfg.idle_timeout_s
+      then close_conn t `Deadline c)
+    t.conns
+
+let next_wakeup t =
+  let now = now_s () in
+  List.fold_left
+    (fun acc c ->
+      let e =
+        if c.deadline > 0. then c.deadline
+        else c.last_request +. t.cfg.idle_timeout_s
+      in
+      Float.min acc (Float.max 0.01 (e -. now)))
+    1.0 t.conns
+
+let run t =
+  let rec loop () =
+    if t.stopping && t.listener_open then begin
+      (* graceful drain: stop accepting and stop reading; finish what
+         is already in the pipeline, flush it, then leave *)
+      Unix.close t.listener;
+      t.listener_open <- false
+    end;
+    (* published every turn, including the one that completes the
+       drain, so the final metrics snapshot reads 0 *)
+    Dp_obs.Metrics.set_gauge t.scope Dp_obs.Name.Net_conns_open
+      (float_of_int (List.length t.conns));
+    Dp_obs.Metrics.set_gauge t.scope Dp_obs.Name.Net_inflight
+      (float_of_int (depth t));
+    if t.stopping && t.conns = [] then t.drained <- true
+    else begin
+      timeout_phase t;
+      if t.stopping then
+        List.iter
+          (fun c ->
+            if
+              (not c.closed)
+              && Queue.is_empty c.requests
+              && (not (has_output c))
+              && c.req_start_ns = 0
+            then close_conn t `Drain c)
+          t.conns;
+      if t.stopping && t.conns = [] then t.drained <- true
+      else begin
+        let reads =
+          (if t.listener_open && not t.stopping then [ t.listener ] else [])
+          @ List.filter_map
+              (fun c ->
+                if c.closed || c.eof || t.stopping then None else Some c.fd)
+              t.conns
+        in
+        let writes =
+          List.filter_map
+            (fun c -> if (not c.closed) && has_output c then Some c.fd else None)
+            t.conns
+        in
+        let timeout = if t.stopping then 0.02 else next_wakeup t in
+        let r, _, _ =
+          try Unix.select reads writes [] timeout
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        if t.listener_open && List.mem t.listener r then accept_phase t;
+        List.iter
+          (fun c -> if List.mem c.fd r then read_phase t c)
+          t.conns;
+        List.iter (fun c -> exec_phase t c) t.conns;
+        (* opportunistic: try every pending reply, not just the fds
+           select confirmed — EAGAIN is handled, and replies queued this
+           turn would otherwise wait a full loop *)
+        List.iter (fun c -> write_phase t c) t.conns;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  (* the drain may have closed the last connections mid-turn, after
+     this turn's gauge publication — re-publish so the final metrics
+     snapshot reflects the drained state *)
+  Dp_obs.Metrics.set_gauge t.scope Dp_obs.Name.Net_conns_open
+    (float_of_int (List.length t.conns));
+  Dp_obs.Metrics.set_gauge t.scope Dp_obs.Name.Net_inflight
+    (float_of_int (depth t));
+  if t.listener_open then begin
+    Unix.close t.listener;
+    t.listener_open <- false
+  end

@@ -1,0 +1,71 @@
+(** Multi-client TCP frontend for the line protocol — [dpkit serve --tcp].
+
+    A single-threaded [Unix.select] loop serves many concurrent
+    connections, executing requests through {!Dp_engine.Protocol.exec}
+    verbatim — the wire dialect, error taxonomy, and privacy behaviour
+    are byte-identical to the stdio server; only the transport differs.
+    On the wire each request line is answered by one {e reply frame}:
+    the reply lines followed by a blank line, so a client can delimit
+    multi-line replies without knowing the command grammar.
+
+    {2 Robustness properties}
+
+    - {b Bounded memory per connection}: request lines are reassembled
+      by {!Linebuf}, which holds at most [max_line_bytes + 1] bytes per
+      connection however a peer fragments an oversized line.
+    - {b Slow-loris defense}: the idle clock advances only on
+      {e completed} request lines, never raw bytes, so dribbling a
+      never-terminated line is indistinguishable from silence and the
+      connection is closed at the idle timeout. Replies that the client
+      will not drain are bounded by the per-request reply deadline.
+    - {b Admission control}: past [max_conns] connections or
+      [max_inflight] queued work items, new arrivals are shed with
+      [err overloaded retry-after=MS]. The shed decision and the hint
+      are computed from queue depth {e only} — never ledger or budget
+      state — so being shed reveals nothing about spent ε.
+    - {b Graceful drain}: {!request_stop} (called from SIGTERM/SIGINT
+      handlers) makes {!run} stop accepting and reading, finish every
+      queued request, flush every reply, close all connections, and
+      return — after which the caller snapshots metrics and closes the
+      engine (fsyncing the journal).
+    - {b Fault points}: [accept-fail], [read-stall], [write-drop] and
+      [conn-reset] ({!Dp_engine.Faults}) are honoured at the matching
+      spots, so the chaos harness can tear connections mid-reply and
+      assert that clients retry to a consistent, never-double-released
+      outcome. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  backlog : int;
+  max_conns : int;  (** accept-time admission bound *)
+  max_inflight : int;  (** queued requests + unflushed replies bound *)
+  idle_timeout_s : float;
+  reply_deadline_s : float;  (** request queued to reply flushed *)
+  retry_after_base_ms : int;  (** scales the depth-based retry hint *)
+}
+
+val default_config : config
+(** Ephemeral port, 64 conns, 128 inflight, 30s idle, 10s deadline,
+    50ms retry-after base. *)
+
+type t
+
+val create : ?config:config -> Dp_engine.Engine.t -> (t, string) result
+(** Bind and listen on loopback. The engine's fault plan and metric
+    registry are picked up from the engine itself. *)
+
+val port : t -> int
+(** The bound port (resolved when [config.port = 0]). *)
+
+val run : t -> unit
+(** Serve until {!request_stop} and the subsequent drain complete.
+    Only an injected {!Dp_engine.Faults.Crash} escapes — everything
+    else is a typed reply line to the client. *)
+
+val request_stop : t -> unit
+(** Begin graceful drain; safe to call from a signal handler (it only
+    sets a flag — the select loop notices on its next turn, including
+    via [EINTR]). *)
+
+val draining : t -> bool
+val conn_count : t -> int

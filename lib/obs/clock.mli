@@ -1,11 +1,22 @@
-(** Monotone-clamped wall clock in integer nanoseconds.
+(** Monotonic clock in integer nanoseconds, survivable across
+    wall-clock steps.
 
-    Built on [Unix.gettimeofday] (the stdlib has no monotonic clock on
-    4.14) with a process-wide non-decreasing clamp, so span durations and
-    histogram observations are always >= 0 even across an NTP step. *)
+    The stdlib's Unix (4.14) has no [clock_gettime MONOTONIC], so the
+    clock integrates the forward deltas of [Unix.gettimeofday]: a
+    backwards step contributes zero and the next forward reading resumes
+    advancing immediately (the previous max-clamp froze until wall time
+    caught up, stalling deadlines for the full step width). Within the
+    process [now_ns] is non-decreasing, so span durations, histogram
+    observations and network deadlines are always [>= 0]. *)
 
 val now_ns : unit -> int
-(** Current time in nanoseconds, non-decreasing within the process. *)
+(** Current monotonic time in nanoseconds, non-decreasing within the
+    process. Anchored at the first call's wall-clock reading. *)
 
 val elapsed_ns : int -> int
 (** [elapsed_ns t0] is [now_ns () - t0] clamped to [>= 0]. *)
+
+val set_raw_ns_for_tests : (unit -> int) option -> unit
+(** Replace (or with [None] restore) the raw wall-clock source. Test
+    hook for the backwards-step regression; the install/remove
+    transition is absorbed like any other step. *)

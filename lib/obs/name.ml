@@ -21,6 +21,12 @@ type counter =
   | Draws_discrete_gaussian
   | Draws_exponential
   | Draws_randomized_response
+  | Net_conns_accepted
+  | Net_conns_shed
+  | Net_requests
+  | Net_requests_shed
+  | Net_deadline_closed
+  | Net_drained
 
 type gauge =
   | Eps_total
@@ -35,6 +41,8 @@ type gauge =
   | Mi_bound_nats
   | Capacity_bound_nats
   | Min_entropy_leakage_bits
+  | Net_conns_open
+  | Net_inflight
 
 type latency =
   | Submit_ns
@@ -46,14 +54,16 @@ type latency =
   | Cache_lookup_ns
   | Meter_ns
   | Recovery_ns
+  | Net_accept_to_reply_ns
+  | Net_reply_ns
 
 type span = Sp_submit | Sp_plan | Sp_charge | Sp_noise | Sp_recovery
 
 type tag = T_eps_face | T_eps_charged | T_cache_hit | T_attempts | T_records
 
-let n_counters = 14
-let n_gauges = 12
-let n_latencies = 9
+let n_counters = 20
+let n_gauges = 14
+let n_latencies = 11
 
 let counter_index = function
   | Queries_answered -> 0
@@ -70,6 +80,12 @@ let counter_index = function
   | Draws_discrete_gaussian -> 11
   | Draws_exponential -> 12
   | Draws_randomized_response -> 13
+  | Net_conns_accepted -> 14
+  | Net_conns_shed -> 15
+  | Net_requests -> 16
+  | Net_requests_shed -> 17
+  | Net_deadline_closed -> 18
+  | Net_drained -> 19
 
 let gauge_index = function
   | Eps_total -> 0
@@ -84,6 +100,8 @@ let gauge_index = function
   | Mi_bound_nats -> 9
   | Capacity_bound_nats -> 10
   | Min_entropy_leakage_bits -> 11
+  | Net_conns_open -> 12
+  | Net_inflight -> 13
 
 let latency_index = function
   | Submit_ns -> 0
@@ -95,13 +113,17 @@ let latency_index = function
   | Cache_lookup_ns -> 6
   | Meter_ns -> 7
   | Recovery_ns -> 8
+  | Net_accept_to_reply_ns -> 9
+  | Net_reply_ns -> 10
 
 let all_counters =
   [|
     Queries_answered; Queries_rejected; Queries_withheld; Cache_hits;
     Cache_misses; Journal_appends; Journal_fsyncs; Journal_retries;
     Draws_laplace; Draws_geometric; Draws_gaussian; Draws_discrete_gaussian;
-    Draws_exponential; Draws_randomized_response;
+    Draws_exponential; Draws_randomized_response; Net_conns_accepted;
+    Net_conns_shed; Net_requests; Net_requests_shed; Net_deadline_closed;
+    Net_drained;
   |]
 
 let all_gauges =
@@ -109,12 +131,14 @@ let all_gauges =
     Eps_total; Eps_spent; Eps_remaining; Delta_spent; Cache_entries;
     Cache_hit_rate; Degraded_mode; Datasets_serving; Journal_attached;
     Mi_bound_nats; Capacity_bound_nats; Min_entropy_leakage_bits;
+    Net_conns_open; Net_inflight;
   |]
 
 let all_latencies =
   [|
     Submit_ns; Plan_ns; Charge_ns; Noise_ns; Journal_append_ns;
     Journal_fsync_ns; Cache_lookup_ns; Meter_ns; Recovery_ns;
+    Net_accept_to_reply_ns; Net_reply_ns;
   |]
 
 let all_spans = [| Sp_submit; Sp_plan; Sp_charge; Sp_noise; Sp_recovery |]
@@ -136,6 +160,12 @@ let counter_name = function
   | Draws_discrete_gaussian -> "draws_discrete_gaussian"
   | Draws_exponential -> "draws_exponential"
   | Draws_randomized_response -> "draws_randomized_response"
+  | Net_conns_accepted -> "net_conns_accepted"
+  | Net_conns_shed -> "net_conns_shed"
+  | Net_requests -> "net_requests"
+  | Net_requests_shed -> "net_requests_shed"
+  | Net_deadline_closed -> "net_deadline_closed"
+  | Net_drained -> "net_drained"
 
 let gauge_name = function
   | Eps_total -> "eps_total"
@@ -150,6 +180,8 @@ let gauge_name = function
   | Mi_bound_nats -> "mi_bound_nats"
   | Capacity_bound_nats -> "capacity_bound_nats"
   | Min_entropy_leakage_bits -> "min_entropy_leakage_bits"
+  | Net_conns_open -> "net_conns_open"
+  | Net_inflight -> "net_inflight"
 
 let latency_name = function
   | Submit_ns -> "submit_ns"
@@ -161,6 +193,8 @@ let latency_name = function
   | Cache_lookup_ns -> "cache_lookup_ns"
   | Meter_ns -> "meter_ns"
   | Recovery_ns -> "recovery_ns"
+  | Net_accept_to_reply_ns -> "net_accept_to_reply_ns"
+  | Net_reply_ns -> "net_reply_ns"
 
 let span_name = function
   | Sp_submit -> "submit"

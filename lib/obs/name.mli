@@ -21,6 +21,12 @@ type counter =
   | Draws_discrete_gaussian
   | Draws_exponential
   | Draws_randomized_response
+  | Net_conns_accepted  (** TCP connections accepted by the frontend *)
+  | Net_conns_shed  (** connections refused at accept (over max-conns) *)
+  | Net_requests  (** requests executed by the TCP frontend *)
+  | Net_requests_shed  (** requests shed by the admission gate *)
+  | Net_deadline_closed  (** connections closed by deadline/idle timeout *)
+  | Net_drained  (** connections closed by graceful drain *)
 
 type gauge =
   | Eps_total
@@ -35,6 +41,8 @@ type gauge =
   | Mi_bound_nats
   | Capacity_bound_nats
   | Min_entropy_leakage_bits
+  | Net_conns_open
+  | Net_inflight  (** queued requests + unflushed replies (queue depth) *)
 
 type latency =
   | Submit_ns
@@ -46,6 +54,8 @@ type latency =
   | Cache_lookup_ns
   | Meter_ns
   | Recovery_ns
+  | Net_accept_to_reply_ns  (** accept to first fully-written reply *)
+  | Net_reply_ns  (** request completely read to reply fully written *)
 
 type span = Sp_submit | Sp_plan | Sp_charge | Sp_noise | Sp_recovery
 

@@ -1,0 +1,156 @@
+#!/bin/sh
+# Chaos soak for the TCP frontend: concurrent retrying clients against a
+# fault-armed server that is kill -9'd mid-wave and restarted on the
+# same journal. End-to-end invariants checked:
+#   - every client reaches a final reply for every request (exit 0),
+#     retrying through injected accept failures, read stalls, dropped
+#     and torn replies, and the hard restart;
+#   - no noise value is ever released twice: the set of fresh
+#     (cache=miss) released values across both server lives is
+#     duplicate-free, and a pre-kill answer re-asked after the restart
+#     replays from the recovered cache bit-identically;
+#   - the journal is the truth: spent epsilon and answered counts from
+#     the live (recovered, post-soak) report agree with a fault-free
+#     offline replay of the same journal, and the audit trace verifies;
+#   - SIGTERM drains gracefully: exit 0, all charges journaled, and the
+#     final metrics snapshot passes `dpkit stats --check`.
+set -eu
+
+DPKIT="$1"
+J="chaos_soak.wal"
+M="chaos_soak.metrics"
+SRVLOG1="chaos_srv1.log"
+SRVLOG2="chaos_srv2.log"
+rm -f "$J" "$M" "$SRVLOG1" "$SRVLOG2" chaos_cli_*.out
+
+client() { # client PORT JITTER_SEED
+  "$DPKIT" client --port "$1" --attempts 15 --backoff 0.02 --backoff-cap 0.3 \
+    --timeout 3 --jitter-seed "$2"
+}
+
+wait_listening() { # wait_listening LOGFILE
+  i=0
+  while [ $i -lt 100 ]; do
+    if grep -q "listening port=" "$1" 2>/dev/null; then return 0; fi
+    i=$((i + 1))
+    sleep 0.05
+  done
+  echo "server never came up:"; cat "$1"; exit 1
+}
+
+# --- server 1: fault-armed, will be kill -9'd mid-wave -----------------
+# The port must be explicit (not ephemeral) so the restarted server can
+# reclaim it; retry a few candidates in case one is taken.
+PORT=$((21000 + $$ % 3000))
+PID1=""
+for try in 0 1 2 3 4; do
+  CAND=$((PORT + try))
+  "$DPKIT" serve --tcp "$CAND" --journal "$J" \
+    --faults "accept-fail=2,read-stall=3,conn-reset=4,write-drop=6" \
+    >"$SRVLOG1" 2>&1 &
+  PID1=$!
+  sleep 0.3
+  if grep -q "listening port=" "$SRVLOG1" 2>/dev/null; then
+    PORT=$CAND
+    break
+  fi
+  wait "$PID1" 2>/dev/null || true
+  PID1=""
+done
+[ -n "$PID1" ] || { echo "could not bind any candidate port"; exit 1; }
+wait_listening "$SRVLOG1"
+
+printf 'register demo rows=400 eps=8 default-eps=0.01\n' \
+  | client "$PORT" 100 > chaos_cli_reg.out
+grep -q 'ok registered name=demo' chaos_cli_reg.out || {
+  echo "registration failed:"; cat chaos_cli_reg.out; exit 1; }
+
+# --- wave 1: concurrent clients, distinct eps per query ----------------
+# Every query is mean(income) at a unique eps, so every fresh answer is
+# a unique Laplace draw and its reply is identifiable by eps-charged.
+W1PIDS=""
+for i in 1 2 3; do
+  printf 'query demo mean(income) eps=0.0%d1\nquery demo mean(income) eps=0.0%d2\nquery demo mean(income) eps=0.0%d3\n' \
+    "$i" "$i" "$i" | client "$PORT" "$i" > "chaos_cli_w1_$i.out" &
+  W1PIDS="$W1PIDS $!"
+done
+for p in $W1PIDS; do wait "$p" || true; done
+for i in 1 2 3; do
+  [ "$(grep -c '^ok seq=' "chaos_cli_w1_$i.out")" -eq 3 ] || {
+    echo "wave-1 client $i missing answers:"; cat "chaos_cli_w1_$i.out"; exit 1; }
+done
+# Client 1 sends its queries sequentially, so its first answer is the
+# eps=0.011 one — even when a dropped reply forced a retry that came
+# back as a cache=hit instead of the original fresh charge.
+V1=$(sed -n 's/^ok seq=[0-9]* value=\([^ ]*\) .*/\1/p' chaos_cli_w1_1.out | head -1)
+[ -n "$V1" ] || { echo "no eps=0.011 answer in wave 1"; cat chaos_cli_w1_1.out; exit 1; }
+
+# --- wave 2: kill -9 mid-wave, restart on the same journal -------------
+W2PIDS=""
+for i in 1 2 3; do
+  printf 'query demo mean(income) eps=0.1%d1\nquery demo mean(income) eps=0.1%d2\nquery demo mean(income) eps=0.1%d3\n' \
+    "$i" "$i" "$i" | client "$PORT" "$((10 + i))" > "chaos_cli_w2_$i.out" &
+  W2PIDS="$W2PIDS $!"
+done
+sleep 0.25
+kill -9 "$PID1" 2>/dev/null || true
+wait "$PID1" 2>/dev/null || true
+sleep 0.2
+"$DPKIT" serve --tcp "$PORT" --journal "$J" --metrics "$M" --faults off \
+  >"$SRVLOG2" 2>&1 &
+PID2=$!
+wait_listening "$SRVLOG2"
+
+W2FAIL=0
+for p in $W2PIDS; do
+  wait "$p" || W2FAIL=1
+done
+[ "$W2FAIL" -eq 0 ] || {
+  echo "a wave-2 client gave up across the restart:"
+  cat chaos_cli_w2_*.out; exit 1; }
+for i in 1 2 3; do
+  [ "$(grep -c '^ok seq=' "chaos_cli_w2_$i.out")" -eq 3 ] || {
+    echo "wave-2 client $i missing answers:"; cat "chaos_cli_w2_$i.out"; exit 1; }
+done
+
+# --- recovered cache: a pre-kill answer replays bit-identically --------
+printf 'query demo mean(income) eps=0.011\nreport demo\nreplay demo\n' \
+  | client "$PORT" 200 > chaos_cli_verify.out
+grep -q "^ok seq=[0-9]* value=$V1 .*cache=hit" chaos_cli_verify.out || {
+  echo "pre-kill answer not replayed bit-identically (expected $V1):"
+  cat chaos_cli_verify.out; exit 1; }
+grep -q 'ok replay consistent' chaos_cli_verify.out || {
+  echo "live audit replay inconsistent:"; cat chaos_cli_verify.out; exit 1; }
+LIVE_SPENT=$(sed -n 's/.*eps-total=[^ ]* eps-spent=\([^ ]*\).*/\1/p' chaos_cli_verify.out)
+LIVE_ANSWERED=$(sed -n 's/.*queries=[0-9]* answered=\([0-9]*\).*/\1/p' chaos_cli_verify.out)
+
+# --- no noise value is ever released twice -----------------------------
+# Fresh (cache=miss) released values must be unique across both server
+# lives; cache=hit repeats are post-processing and exempt.
+DUPES=$(sed -n 's/^ok seq=[0-9]* value=\([^ ]*\).*cache=miss.*/\1/p' chaos_cli_*.out | sort | uniq -d)
+[ -z "$DUPES" ] || { echo "noise value released twice: $DUPES"; exit 1; }
+
+# --- graceful drain ----------------------------------------------------
+kill -TERM "$PID2"
+set +e
+wait "$PID2"
+CODE=$?
+set -e
+[ "$CODE" -eq 0 ] || { echo "drain exited $CODE, expected 0:"; cat "$SRVLOG2"; exit 1; }
+grep -q 'drained' "$SRVLOG2" || { echo "no drain marker:"; cat "$SRVLOG2"; exit 1; }
+[ -s "$M" ] || { echo "metrics snapshot missing"; exit 1; }
+"$DPKIT" stats --check "$M" >/dev/null || {
+  echo "metrics snapshot failed stats --check"; exit 1; }
+
+# --- fault-free offline replay agrees with the live report -------------
+OFFLINE=$(printf 'report demo\nreplay demo\nquit\n' | "$DPKIT" serve --journal "$J" 2>/dev/null)
+OFF_SPENT=$(echo "$OFFLINE" | sed -n 's/.*eps-total=[^ ]* eps-spent=\([^ ]*\).*/\1/p')
+OFF_ANSWERED=$(echo "$OFFLINE" | sed -n 's/.*queries=[0-9]* answered=\([0-9]*\).*/\1/p')
+echo "$OFFLINE" | grep -q 'ok replay consistent' || {
+  echo "offline audit replay inconsistent:"; echo "$OFFLINE"; exit 1; }
+[ -n "$LIVE_SPENT" ] && [ "$LIVE_SPENT" = "$OFF_SPENT" ] || {
+  echo "spent epsilon diverges: live=$LIVE_SPENT offline=$OFF_SPENT"; exit 1; }
+[ -n "$LIVE_ANSWERED" ] && [ "$LIVE_ANSWERED" = "$OFF_ANSWERED" ] || {
+  echo "answered counts diverge: live=$LIVE_ANSWERED offline=$OFF_ANSWERED"; exit 1; }
+
+rm -f "$J" "$M" "$SRVLOG1" "$SRVLOG2" chaos_cli_*.out

@@ -458,6 +458,47 @@ let with_retries_unit () =
   | Ok () -> Alcotest.fail "should have exhausted retries"
   | Error _ -> ()
 
+(* Full-jitter backoff: the schedule must differ across attempts (the
+   point of jitter is decorrelating a herd) yet replay deterministically
+   under a fixed seed (the point of threading an explicit stream). *)
+let backoff_jitter () =
+  let attempts = [ 1; 2; 3; 4; 5 ] in
+  let sched g =
+    List.map
+      (fun attempt ->
+        Faults.backoff_delay ~jitter:g ~backoff_s:0.001 ~attempt ())
+      attempts
+  in
+  let s1 = sched (Dp_rng.Prng.create 42) in
+  let s2 = sched (Dp_rng.Prng.create 42) in
+  Alcotest.(check (list (float 0.))) "fixed seed replays exactly" s1 s2;
+  let plain =
+    List.map
+      (fun attempt -> Faults.backoff_delay ~backoff_s:0.001 ~attempt ())
+      attempts
+  in
+  Alcotest.(check bool) "jittered schedule differs from unjittered" true
+    (s1 <> plain);
+  List.iter2
+    (fun j p ->
+      Alcotest.(check bool) "full jitter stays in [0, delay)" true
+        (j >= 0. && j < p))
+    s1 plain;
+  let s3 = sched (Dp_rng.Prng.create 43) in
+  Alcotest.(check bool) "different seeds decorrelate" true (s1 <> s3);
+  Alcotest.(check (float 0.))
+    "cap bounds the exponential" 0.5
+    (Faults.backoff_delay ~cap_s:0.5 ~backoff_s:0.2 ~attempt:10 ());
+  (* with_retries threads the stream through its sleeps *)
+  match
+    Faults.with_retries ~attempts:3 ~backoff_s:1e-6
+      ~jitter:(Dp_rng.Prng.create 7) (fun ~attempt ->
+        if attempt < 3 then raise (Faults.Injected Faults.Rng) else attempt)
+  with
+  | Ok 3 -> ()
+  | Ok n -> Alcotest.failf "expected success on attempt 3, got %d" n
+  | Error e -> Alcotest.fail e
+
 let fault_spec_parsing () =
   Alcotest.(check bool) "off unarmed" false
     (Faults.armed (ok (Faults.parse "off")));
@@ -713,6 +754,7 @@ let () =
           Alcotest.test_case "all-transient absorbed" `Quick
             transient_faults_absorbed;
           Alcotest.test_case "with_retries" `Quick with_retries_unit;
+          Alcotest.test_case "backoff jitter" `Quick backoff_jitter;
           Alcotest.test_case "spec parsing" `Quick fault_spec_parsing;
         ] );
       ( "degradation",

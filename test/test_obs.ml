@@ -214,6 +214,36 @@ let test_clock_monotone () =
   Alcotest.(check bool) "non-decreasing" true (a <= b && b <= c);
   Alcotest.(check bool) "elapsed non-negative" true (Clock.elapsed_ns a >= 0)
 
+(* The raw source (gettimeofday, absent clock_gettime in the 4.14
+   stdlib) can step backwards under NTP. The guarded integrator must
+   absorb the step — contribute zero, never rewind — and resume
+   advancing with the next forward delta. *)
+let test_clock_backwards_step () =
+  let raws = ref [ 1000; 900; 950; 975 ] in
+  Clock.set_raw_ns_for_tests
+    (Some
+       (fun () ->
+         match !raws with
+         | [] -> 975
+         | r :: rest ->
+             raws := rest;
+             r));
+  Fun.protect
+    ~finally:(fun () -> Clock.set_raw_ns_for_tests None)
+    (fun () ->
+      let t0 = Clock.now_ns () in
+      let t1 = Clock.now_ns () in
+      let t2 = Clock.now_ns () in
+      let t3 = Clock.now_ns () in
+      Alcotest.(check int) "backwards step contributes zero" t0 t1;
+      Alcotest.(check int) "resumes on the next forward delta" (t0 + 50) t2;
+      Alcotest.(check int) "keeps integrating" (t0 + 75) t3);
+  (* back on the real source: the transition is absorbed as one more
+     step, so the reading stays monotone *)
+  let t4 = Clock.now_ns () in
+  let t5 = Clock.now_ns () in
+  Alcotest.(check bool) "monotone across source swap" true (t4 <= t5)
+
 (* ------------------------------------------------------------------ *)
 (* Dump / parse wire format *)
 
@@ -444,7 +474,12 @@ let () =
             test_span_ring_and_budget;
           Alcotest.test_case "disabled tracer" `Quick test_span_disabled;
         ] );
-      ("clock", [ Alcotest.test_case "monotone" `Quick test_clock_monotone ]);
+      ( "clock",
+        [
+          Alcotest.test_case "monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "backwards raw step" `Quick
+            test_clock_backwards_step;
+        ] );
       ( "export",
         [
           Alcotest.test_case "dump/parse roundtrip" `Quick test_export_roundtrip;
