@@ -15,7 +15,7 @@
       written into the --json file as a "phases" section.
 
    Usage: main.exe [--quick] [--tables-only | --bench-only]
-                   [--json FILE] [--overhead] [--net]
+                   [--json FILE] [--overhead] [--net] [--train]
 
    --json FILE writes the micro-benchmark estimates plus the phase
    breakdown as JSON (schema in bench/README.md), so successive PRs can
@@ -23,7 +23,12 @@
 
    --overhead runs only the instrumentation overhead gate: engine
    submit throughput with observability enabled must stay within 5% of
-   the same engine with it disabled; exits 1 otherwise (CI leg). *)
+   the same engine with it disabled; exits 1 otherwise (CI leg).
+
+   --train runs only the served-learning bench: MCMC step throughput,
+   convergence-gate overhead and prediction throughput through the full
+   charge → journal → chains → gate → handle path, emitted as "phases"
+   rows into --json. *)
 
 open Bechamel
 open Toolkit
@@ -486,6 +491,96 @@ let net_bench () =
   Unix.close fd;
   Dp_engine.Engine.close eng
 
+(* Served-learning bench (--train): the full train pipeline — charge,
+   journal, chains, gate, handle — timed by phase from the engine's own
+   histograms, plus end-to-end MCMC step and prediction throughput.
+   Emits the same "phases" JSON rows as the serving bench so CI can
+   trend both from one schema. *)
+let train_bench json =
+  let eng = Dp_engine.Engine.create ~seed:17 ~audit:false () in
+  let path = Filename.temp_file "dpkit_bench_train" ".wal" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  (match Dp_engine.Engine.open_journal eng path with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let policy =
+    Dp_engine.Registry.default_policy ~total:(Dp_mechanism.Privacy.pure 1e12)
+  in
+  (match
+     Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:512 ~policy
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let params opts =
+    match Dp_train.Train.params_of_opts ~default_epsilon:0.1 opts with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let steps = 1000 and trains = 3 in
+  let gibbs =
+    params
+      [
+        ("eps", Some "0.2"); ("steps", Some (string_of_int steps));
+        ("burn", Some (string_of_int steps));
+      ]
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun _ ->
+      match Dp_engine.Engine.train eng ~dataset:"bench" gibbs with
+      | Ok _ | Error (Dp_engine.Engine.Unconverged _) -> ()
+      | Error e -> failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e))
+    (List.init trains Fun.id);
+  let train_dt = Unix.gettimeofday () -. t0 in
+  let iters = trains * gibbs.Dp_train.Train.chains * 2 * steps in
+  (* objective perturbation always releases, so its handle anchors the
+     prediction loop *)
+  (match
+     Dp_engine.Engine.train eng ~dataset:"bench"
+       (params [ ("backend", Some "objpert") ])
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e));
+  let handle = Printf.sprintf "bench/m%d" (trains + 1) in
+  let npred = 50_000 in
+  let point = [| 40.; 50_000. |] in
+  let p0 = Unix.gettimeofday () in
+  for _ = 1 to npred do
+    match Dp_engine.Engine.predict eng handle point with
+    | Ok _ -> ()
+    | Error e -> failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e)
+  done;
+  let pred_dt = Unix.gettimeofday () -. p0 in
+  let scope = Dp_obs.Metrics.dataset (Dp_engine.Engine.metrics eng) "bench" in
+  let row name latency =
+    let h = Dp_obs.Metrics.latency scope latency in
+    ( name,
+      Dp_obs.Histo.count h,
+      Dp_obs.Histo.mean h,
+      Dp_obs.Histo.quantile h 0.5,
+      Dp_obs.Histo.quantile h 0.9,
+      Dp_obs.Histo.quantile h 0.99 )
+  in
+  let phases =
+    [
+      row "train" Dp_obs.Name.Train_ns;
+      row "gate" Dp_obs.Name.Gate_ns;
+      row "predict" Dp_obs.Name.Predict_ns;
+    ]
+  in
+  Format.printf "== served learning (%d gibbs trains, %d rows) ==@." trains 512;
+  Format.printf "mcmc steps     %10.0f steps/s@."
+    (float_of_int iters /. train_dt);
+  Format.printf "predict        %10.0f req/s@." (float_of_int npred /. pred_dt);
+  List.iter
+    (fun (name, count, mean, p50, p90, p99) ->
+      Format.printf
+        "%-10s count=%d mean=%.0fns p50=%.0fns p90=%.0fns p99=%.0fns@." name
+        count mean p50 p90 p99)
+    phases;
+  Option.iter (fun file -> write_json file [] phases) json;
+  Dp_engine.Engine.close eng
+
 let rec json_arg = function
   | "--json" :: file :: _ -> Some file
   | _ :: rest -> json_arg rest
@@ -498,6 +593,7 @@ let () =
   let bench_only = List.mem "--bench-only" argv in
   if List.mem "--overhead" argv then overhead_gate ()
   else if List.mem "--net" argv then net_bench ()
+  else if List.mem "--train" argv then train_bench (json_arg argv)
   else begin
     if not bench_only then
       Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;

@@ -9,7 +9,7 @@
    dpkit client --port P              retrying client for the TCP server
    dpkit query "mean(income)" ...     one-shot queries against a synthetic dataset
    dpkit analyze --schema S WORKLOAD  static workload costing, no data access
-   dpkit lint [DIR]                   privacy-invariant source linter (R1..R6) *)
+   dpkit lint [DIR]                   privacy-invariant source linter (R1..R8) *)
 
 open Cmdliner
 
@@ -287,10 +287,12 @@ let serve_cmd =
             | Some r ->
                 Format.printf
                   "journal %s: replayed %d records (%d datasets, %d charges, \
-                   %d cached answers), truncated %d torn bytes, %s@."
+                   %d cached answers, %d models), truncated %d torn bytes, %s@."
                   r.Dp_engine.Engine.journal_path r.Dp_engine.Engine.records
                   r.Dp_engine.Engine.datasets r.Dp_engine.Engine.charges
-                  r.Dp_engine.Engine.cache_entries r.Dp_engine.Engine.torn_bytes
+                  r.Dp_engine.Engine.cache_entries
+                  r.Dp_engine.Engine.models_recovered
+                  r.Dp_engine.Engine.torn_bytes
                   (if r.Dp_engine.Engine.verified then "audit-verified"
                    else "UNVERIFIED"));
             let serve_stdio () =
@@ -477,7 +479,7 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Check the source tree against the privacy-invariant rules \
-          (R1..R6); exit 1 on any finding.")
+          (R1..R8); exit 1 on any finding.")
     Term.(ret (const run $ dir_arg $ format_arg $ exempt_arg $ rules_arg))
 
 (* 4.14-compatible whole-file read (no In_channel.input_lines). *)

@@ -137,12 +137,23 @@ let parse_schema text =
   in
   go None [] (content_lines text)
 
-type item = { text : string; query : Query.t; epsilon : float option }
+type item =
+  | Stat of { text : string; query : Query.t; epsilon : float option }
+  | Train of { text : string; train_opts : (string * string option) list }
 
 let parse_workload text =
   let parse_one (n, toks) =
     match toks with
     | [] -> assert false
+    | "train" :: opt_toks ->
+        (* option keys are validated here (line-numbered diagnostics);
+           values are validated in [simulate], where the schema's
+           default ε is known *)
+        at_line n
+          (let* kvs = opts ~known:Dp_train.Train.keys opt_toks in
+           Ok
+             (Train
+                { text = String.concat " " ("train" :: opt_toks); train_opts = kvs }))
     | expr :: opt_toks ->
         at_line n
           (let* kvs = opts ~known:[ "eps" ] opt_toks in
@@ -155,7 +166,7 @@ let parse_workload text =
                  | _ -> Error (Printf.sprintf "bad number eps=%s" s))
            in
            let* query = Query.parse expr in
-           Ok { text = expr; query; epsilon = eps })
+           Ok (Stat { text = expr; query; epsilon = eps }))
   in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
@@ -171,7 +182,7 @@ let parse_workload text =
 type row = {
   index : int;
   query : string;
-  mechanism : Planner.mechanism;
+  mechanism : string;
   sensitivity : float;
   epsilon : float;
   face : Privacy.budget;
@@ -203,44 +214,84 @@ type report = {
 let simulate (s : Registry.schema) ~backend items =
   let s = { s with Registry.policy = { s.policy with backend } } in
   let ledger = Ledger.create ~total:s.policy.total ~backend () in
+  (* one code path charges both query kinds: spend through the same
+     ledger the live engine uses, then difference the composed spend *)
+  let charge_row ~index ~query ~mechanism ~sensitivity ~epsilon
+      (charge : Ledger.charge) =
+    let before = Ledger.spent ledger in
+    let accepted =
+      match Ledger.spend ledger charge with Ok () -> true | Error _ -> false
+    in
+    let after = Ledger.spent ledger in
+    {
+      index;
+      query;
+      mechanism;
+      sensitivity;
+      epsilon;
+      face = charge.Ledger.budget;
+      marginal =
+        {
+          Privacy.epsilon =
+            Float.max 0. (after.Privacy.epsilon -. before.Privacy.epsilon);
+          delta = Float.max 0. (after.Privacy.delta -. before.Privacy.delta);
+        };
+      accepted;
+    }
+  in
   let rows =
     List.mapi
       (fun i (it : item) ->
-        let eps =
-          match it.epsilon with
-          | Some e -> e
-          | None -> s.policy.default_epsilon
-        in
-        match Planner.spec s ~epsilon:eps it.query with
-        | Error msg ->
-            Error (Printf.sprintf "query %d (%s): %s" (i + 1) it.text msg)
-        | Ok sp ->
-            let before = Ledger.spent ledger in
-            let accepted =
-              match Ledger.spend ledger sp.Planner.charge with
-              | Ok () -> true
-              | Error _ -> false
+        match it with
+        | Stat { text; query; epsilon } -> (
+            let eps =
+              match epsilon with
+              | Some e -> e
+              | None -> s.policy.default_epsilon
             in
-            let after = Ledger.spent ledger in
-            Ok
-              {
-                index = i + 1;
-                query = Query.normalize it.query;
-                mechanism = sp.Planner.mechanism;
-                sensitivity = sp.Planner.sensitivity;
-                epsilon = eps;
-                face = sp.Planner.charge.Ledger.budget;
-                marginal =
-                  {
-                    Privacy.epsilon =
-                      Float.max 0.
-                        (after.Privacy.epsilon -. before.Privacy.epsilon);
-                    delta =
-                      Float.max 0.
-                        (after.Privacy.delta -. before.Privacy.delta);
-                  };
-                accepted;
-              })
+            match Planner.spec s ~epsilon:eps query with
+            | Error msg ->
+                Error (Printf.sprintf "query %d (%s): %s" (i + 1) text msg)
+            | Ok sp ->
+                Ok
+                  (charge_row ~index:(i + 1) ~query:(Query.normalize query)
+                     ~mechanism:(Planner.mechanism_name sp.Planner.mechanism)
+                     ~sensitivity:sp.Planner.sensitivity ~epsilon:eps
+                     sp.Planner.charge))
+        | Train { text; train_opts } -> (
+            (* the exact static half the live engine trains on:
+               Dp_train.Train.spec prices from rows and column names
+               alone, and the charge below is the same
+               {budget = spec.face; rdp = None} the engine spends —
+               bit-identical by construction *)
+            match
+              Dp_train.Train.params_of_opts
+                ~default_epsilon:s.policy.default_epsilon train_opts
+            with
+            | Error msg ->
+                Error (Printf.sprintf "query %d (%s): %s" (i + 1) text msg)
+            | Ok params -> (
+                let cols =
+                  Array.to_list
+                    (Array.map
+                       (fun (c : Registry.col_schema) -> c.Registry.col)
+                       s.Registry.cols)
+                in
+                match
+                  Dp_train.Train.spec ~rows:s.Registry.rows ~cols params
+                with
+                | Error msg ->
+                    Error (Printf.sprintf "query %d (%s): %s" (i + 1) text msg)
+                | Ok spec ->
+                    Ok
+                      (charge_row ~index:(i + 1)
+                         ~query:(Dp_train.Train.normalize params)
+                         ~mechanism:
+                           (Dp_train.Train.backend_name
+                              params.Dp_train.Train.backend)
+                         ~sensitivity:spec.Dp_train.Train.sensitivity
+                         ~epsilon:params.Dp_train.Train.epsilon
+                         { Ledger.budget = spec.Dp_train.Train.face; rdp = None }))))
       items
   in
   let rec collect acc = function
@@ -309,8 +360,7 @@ let pp_report fmt r =
   List.iter
     (fun row ->
       Format.fprintf fmt "  %2d  %-34s %-18s sens=%-10s eps=%-8s charged-eps=%-10s %s@."
-        row.index row.query
-        (Planner.mechanism_name row.mechanism)
+        row.index row.query row.mechanism
         (fstr row.sensitivity) (fstr row.epsilon)
         (fstr row.marginal.Privacy.epsilon)
         (if row.accepted then "ok" else "REJECTED"))

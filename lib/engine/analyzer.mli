@@ -28,21 +28,32 @@ val parse_schema : string -> (Registry.schema, string) result
     The [dataset] options are exactly those of the serve protocol's
     [register] command. Errors carry a [line N:] prefix. *)
 
-type item = {
-  text : string;  (** the query expression as written *)
-  query : Query.t;
-  epsilon : float option;  (** [eps=] override; [None] = policy default *)
-}
+type item =
+  | Stat of {
+      text : string;  (** the query expression as written *)
+      query : Query.t;
+      epsilon : float option;  (** [eps=] override; [None] = policy default *)
+    }
+  | Train of {
+      text : string;  (** the request line as written *)
+      train_opts : (string * string option) list;
+          (** validated {!Dp_train.Train.keys} options; turned into
+              params against the schema's default ε at analysis time *)
+    }
 
 val parse_workload : string -> (item list, string) result
-(** Parse a workload file: one [QUERY \[eps=E\]] per line ([#]
-    comments and blank lines ignored), query syntax as in
-    {!Query.parse}. *)
+(** Parse a workload file: one [QUERY \[eps=E\]] or
+    [train \[key=value...\]] per line ([#] comments and blank lines
+    ignored), query syntax as in {!Query.parse}, train options as in
+    the serve protocol's [train] command (no analyst). *)
 
 type row = {
   index : int;  (** 1-based position in the workload *)
-  query : string;  (** canonical form ({!Query.normalize}) *)
-  mechanism : Planner.mechanism;
+  query : string;
+      (** canonical form ({!Query.normalize} /
+          {!Dp_train.Train.normalize}) *)
+  mechanism : string;
+      (** {!Planner.mechanism_name} or {!Dp_train.Train.backend_name} *)
   sensitivity : float;
   epsilon : float;  (** face-value ε requested *)
   face : Privacy.budget;  (** the ledger charge's face value *)

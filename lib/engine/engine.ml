@@ -1,9 +1,13 @@
 open Dp_mechanism
+module Train = Dp_train.Train
+module Gates = Dp_train.Gates
+module Model_store = Dp_train.Model_store
 
 type serving = {
   dataset : Registry.dataset;
   ledger : Ledger.t;
   cache : Cache.t;
+  models : Model_store.t;
   scope : Dp_obs.Metrics.scope;
   mutable answered : int;
   mutable rejected : int;
@@ -97,6 +101,14 @@ type error =
       remaining : Privacy.budget;
       low_water : float;
     }
+  | Unconverged of {
+      dataset : string;
+      handle : string;
+      worst_rhat : float;
+      min_ess : float;
+      charged : Privacy.budget;
+    }
+  | Unknown_model of string
   | Transient of string
   | Fatal of string
 
@@ -114,6 +126,12 @@ let pp_error fmt = function
       Format.fprintf fmt
         "dataset %S degraded: remaining %a below low-water %g (cache hits only)"
         dataset Privacy.pp_budget remaining low_water
+  | Unconverged { dataset; handle; worst_rhat; min_ess; charged } ->
+      Format.fprintf fmt
+        "training on %S did not converge (model %s withheld): worst split-R̂ \
+         %g, min ESS %g; %a remains charged"
+        dataset handle worst_rhat min_ess Privacy.pp_budget charged
+  | Unknown_model handle -> Format.fprintf fmt "unknown model %S" handle
   | Transient msg -> Format.fprintf fmt "transient failure: %s" msg
   | Fatal msg -> Format.fprintf fmt "fatal failure: %s" msg
 
@@ -144,6 +162,7 @@ let register_serving t (ds : Registry.dataset) =
           dataset = ds;
           ledger;
           cache = Cache.create ();
+          models = Model_store.create ();
           scope = Dp_obs.Metrics.dataset t.obs ds.name;
           answered = 0;
           rejected = 0;
@@ -512,6 +531,283 @@ let analyst_spent t ~dataset ~analyst =
   | Some sv -> Ledger.analyst_spent sv.ledger analyst
 
 (* ------------------------------------------------------------------ *)
+(* Served learning: train / predict / model *)
+
+type trained = {
+  model : Model_store.model;
+  charged : Privacy.budget;
+  seq : int;
+}
+
+let train_journal_record (m : Model_store.model) =
+  Journal.Train
+    {
+      Journal.dataset = m.Model_store.dataset;
+      handle = m.Model_store.handle;
+      backend = m.Model_store.backend;
+      epsilon = m.Model_store.epsilon;
+      chains = m.Model_store.chains;
+      steps = m.Model_store.steps;
+      beta = m.Model_store.beta;
+      face = m.Model_store.face;
+      target = m.Model_store.target;
+      features = m.Model_store.features;
+      theta = m.Model_store.theta;
+      rhat = m.Model_store.rhat;
+      ess = m.Model_store.ess;
+      acceptance = m.Model_store.acceptance;
+    }
+
+let train_serving t (sv : serving) ?analyst ~dataset (params : Train.params) =
+  let ds = sv.dataset in
+  let norm = Train.normalize params in
+  let reject verdict err =
+    sv.rejected <- sv.rejected + 1;
+    ignore
+      (log_decision t ?analyst ~dataset ~query:norm ~requested:zero
+         ~charged:zero ~cache_hit:false ~verdict ());
+    Error err
+  in
+  if t.journal_failed then
+    Error
+      (Fatal
+         "journal unavailable: refusing fresh releases, serving cache hits \
+          only")
+  else if degraded_for t sv then
+    reject (Audit_log.Rejected "degraded")
+      (Degraded
+         {
+           dataset;
+           remaining = Ledger.remaining sv.ledger;
+           low_water = ds.Registry.policy.low_water;
+         })
+  else
+    let cols =
+      Array.to_list
+        (Array.map (fun (c : Registry.column) -> c.Registry.name) ds.columns)
+    in
+    match Train.spec ~rows:ds.Registry.rows ~cols params with
+    | Error msg -> reject (Audit_log.Rejected msg) (Bad_query msg)
+    | Ok spec -> (
+        let columns =
+          Array.map
+            (fun (c : Registry.column) ->
+              (c.Registry.name, c.Registry.lo, c.Registry.hi, c.Registry.values))
+            ds.columns
+        in
+        match Train.design ~columns ~target:params.Train.target with
+        | Error msg -> reject (Audit_log.Rejected msg) (Bad_query msg)
+        | Ok design -> (
+            let mech_name = Train.backend_name params.Train.backend in
+            let face = spec.Train.face in
+            let charge = { Ledger.budget = face; rdp = None } in
+            let before = Ledger.spent sv.ledger in
+            let c0 = Dp_obs.Clock.now_ns () in
+            let charge_result =
+              Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_charge
+                (fun () -> Ledger.spend sv.ledger ?analyst charge)
+            in
+            Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Charge_ns
+              (Dp_obs.Clock.elapsed_ns c0);
+            match charge_result with
+            | Error rejection ->
+                sv.rejected <- sv.rejected + 1;
+                ignore
+                  (log_decision t ?analyst ~mechanism:mech_name ~dataset
+                     ~query:norm ~requested:face ~charged:zero ~cache_hit:false
+                     ~verdict:(Audit_log.Rejected "budget-exceeded") ());
+                Error (Budget_exceeded rejection)
+            | Ok () -> (
+                let after = Ledger.spent sv.ledger in
+                let charged =
+                  {
+                    Privacy.epsilon =
+                      Float.max 0.
+                        (after.Privacy.epsilon -. before.Privacy.epsilon);
+                    delta =
+                      Float.max 0.
+                        (after.Privacy.delta -. before.Privacy.delta);
+                  }
+                in
+                let withhold reason err =
+                  sv.rejected <- sv.rejected + 1;
+                  sv.withheld <- sv.withheld + 1;
+                  ignore
+                    (log_decision t ?analyst ~mechanism:mech_name ~dataset
+                       ~query:norm ~requested:face ~charged ~cache_hit:false
+                       ~verdict:(Audit_log.Charged_unreleased reason) ());
+                  ignore
+                    (journal_append t (Journal.Withheld { dataset; reason }));
+                  Error err
+                in
+                (* charge-before-train: the ledger spend must be durable
+                   before any chain touches the data, so a crash mid-chain
+                   can only over-count spent epsilon *)
+                match
+                  journal_append t
+                    (Journal.Charge
+                       {
+                         Journal.dataset;
+                         analyst;
+                         query = norm;
+                         mechanism = mech_name;
+                         face;
+                         marginal = charged;
+                         rho = Ledger.rho_of_charge charge;
+                       })
+                with
+                | Error e -> withhold "journal" e
+                | Ok () -> (
+                    Faults.check t.faults Faults.Crash_after_charge;
+                    let gate_hook check =
+                      let g0 = Dp_obs.Clock.now_ns () in
+                      let report =
+                        Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_gate
+                          check
+                      in
+                      Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Gate_ns
+                        (Dp_obs.Clock.elapsed_ns g0);
+                      report
+                    in
+                    let outcome =
+                      Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_train
+                        (fun () -> Train.run ~gate_hook spec design t.rng)
+                    in
+                    let handle =
+                      Printf.sprintf "%s/m%d" dataset
+                        (Model_store.size sv.models + 1)
+                    in
+                    let model_of ~theta ~acceptance (report : Gates.report) =
+                      {
+                        Model_store.handle;
+                        dataset;
+                        backend = mech_name;
+                        epsilon = params.Train.epsilon;
+                        chains = params.Train.chains;
+                        steps = params.Train.steps;
+                        beta = spec.Train.beta;
+                        face;
+                        target = params.Train.target;
+                        features = design.Train.features;
+                        theta;
+                        rhat =
+                          Array.map
+                            (fun (c : Gates.coord) -> c.Gates.rhat)
+                            report.Gates.coords;
+                        ess =
+                          Array.map
+                            (fun (c : Gates.coord) -> c.Gates.ess)
+                            report.Gates.coords;
+                        acceptance;
+                      }
+                    in
+                    match outcome with
+                    | Train.Released { theta; report; acceptance } -> (
+                        let m = model_of ~theta:(Some theta) ~acceptance report in
+                        (* the handle exists iff its frame is durable: a
+                           model that cannot be journaled is withheld,
+                           never released from memory alone *)
+                        match journal_append t (train_journal_record m) with
+                        | Error e -> withhold "journal" e
+                        | Ok () ->
+                            Model_store.add sv.models m;
+                            sv.answered <- sv.answered + 1;
+                            let seq =
+                              log_decision t ?analyst ~mechanism:mech_name
+                                ~dataset ~query:norm ~requested:face ~charged
+                                ~cache_hit:false ~verdict:Audit_log.Answered ()
+                            in
+                            Ok { model = m; charged; seq })
+                    | Train.Withheld { report; acceptance } -> (
+                        let m = model_of ~theta:None ~acceptance report in
+                        let unconverged =
+                          Unconverged
+                            {
+                              dataset;
+                              handle;
+                              worst_rhat = Gates.worst_rhat report;
+                              min_ess = Gates.min_ess report;
+                              charged;
+                            }
+                        in
+                        (* outcome marker first (pairs with the charge),
+                           then the durable withheld handle; the charge
+                           stands either way — never a refund, never a
+                           biased sample *)
+                        ignore
+                          (journal_append t
+                             (Journal.Withheld { dataset; reason = "unconverged" }));
+                        sv.rejected <- sv.rejected + 1;
+                        sv.withheld <- sv.withheld + 1;
+                        ignore
+                          (log_decision t ?analyst ~mechanism:mech_name
+                             ~dataset ~query:norm ~requested:face ~charged
+                             ~cache_hit:false
+                             ~verdict:(Audit_log.Charged_unreleased "unconverged")
+                             ());
+                        match journal_append t (train_journal_record m) with
+                        | Error e -> Error e
+                        | Ok () ->
+                            Model_store.add sv.models m;
+                            Error unconverged)))))
+
+let train t ?analyst ~dataset params =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv ->
+      let t0 = Dp_obs.Clock.now_ns () in
+      let h = Dp_obs.Span.begin_ t.trace ~dataset Dp_obs.Name.Sp_submit in
+      Fun.protect
+        ~finally:(fun () ->
+          Dp_obs.Span.end_ t.trace h;
+          Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Train_ns
+            (Dp_obs.Clock.elapsed_ns t0))
+        (fun () ->
+          let result = train_serving t sv ?analyst ~dataset params in
+          (match result with
+           | Ok r ->
+               Dp_obs.Span.tag t.trace h Dp_obs.Name.T_eps_face
+                 r.model.Model_store.face.Privacy.epsilon;
+               Dp_obs.Span.tag t.trace h Dp_obs.Name.T_eps_charged
+                 r.charged.Privacy.epsilon;
+               Dp_obs.Span.tag t.trace h Dp_obs.Name.T_chains
+                 (float_of_int r.model.Model_store.chains)
+           | Error _ -> ());
+          result)
+
+let serving_of_handle t handle =
+  match String.index_opt handle '/' with
+  | None -> None
+  | Some i -> Hashtbl.find_opt t.servings (String.sub handle 0 i)
+
+let find_model t handle =
+  match serving_of_handle t handle with
+  | None -> None
+  | Some sv -> Model_store.find sv.models handle
+
+(* Prediction is post-processing of the released θ: no data access, no
+   ledger charge, served even in degraded mode and after exhaustion. *)
+let predict t handle x =
+  match serving_of_handle t handle with
+  | None -> Error (Unknown_model handle)
+  | Some sv -> (
+      if Model_store.find sv.models handle = None then
+        Error (Unknown_model handle)
+      else
+        let p0 = Dp_obs.Clock.now_ns () in
+        match Model_store.predict sv.models handle x with
+        | Ok v ->
+            Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Predict_ns
+              (Dp_obs.Clock.elapsed_ns p0);
+            Ok v
+        | Error msg -> Error (Bad_query msg))
+
+let models t ~dataset =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv -> Ok sv.models
+
+(* ------------------------------------------------------------------ *)
 (* Recovery *)
 
 type recovery = {
@@ -521,10 +817,15 @@ type recovery = {
   datasets : int;
   charges : int;
   cache_entries : int;
+  models_recovered : int;
   verified : bool;
 }
 
 exception Recovery_failed of string
+
+let fst3 (a, _, _) = a
+let snd3 (_, b, _) = b
+let trd (_, _, c) = c
 
 (* A [Withheld] marker immediately follows the charge whose answer was
    withheld live (nothing else is journaled in between), so recovered
@@ -589,7 +890,7 @@ let apply_record t counts (record, withheld) =
                ~mechanism:c.Journal.mechanism ~dataset:c.Journal.dataset
                ~query:c.Journal.query ~requested:c.Journal.face
                ~charged:c.Journal.marginal ~cache_hit:false ~verdict ());
-          incr (fst counts))
+          incr (fst3 counts))
   | Journal.Cache_insert k -> (
       match Hashtbl.find_opt t.servings k.Journal.dataset with
       | None ->
@@ -604,8 +905,37 @@ let apply_record t counts (record, withheld) =
               mechanism = k.Journal.mechanism;
               requested = k.Journal.requested;
             };
-          incr (snd counts))
+          incr (snd3 counts))
   | Journal.Withheld _ -> ()
+  | Journal.Train m -> (
+      match Hashtbl.find_opt t.servings m.Journal.dataset with
+      | None ->
+          raise
+            (Recovery_failed
+               (Printf.sprintf "journal trains unknown dataset %S"
+                  m.Journal.dataset))
+      | Some sv -> (
+          match
+            Model_store.add sv.models
+              {
+                Model_store.handle = m.Journal.handle;
+                dataset = m.Journal.dataset;
+                backend = m.Journal.backend;
+                epsilon = m.Journal.epsilon;
+                chains = m.Journal.chains;
+                steps = m.Journal.steps;
+                beta = m.Journal.beta;
+                face = m.Journal.face;
+                target = m.Journal.target;
+                features = m.Journal.features;
+                theta = m.Journal.theta;
+                rhat = m.Journal.rhat;
+                ess = m.Journal.ess;
+                acceptance = m.Journal.acceptance;
+              }
+          with
+          | () -> incr (trd counts)
+          | exception Invalid_argument msg -> raise (Recovery_failed msg)))
 
 (* The rebuilt audit trace must re-verify: replaying the journaled
    marginals through the plain basic accountant (Dp_audit.Replay) has
@@ -655,7 +985,7 @@ let open_journal_inner t path =
     with
     | Error msg -> Error msg
     | Ok (j, records, stats) -> (
-        let counts = (ref 0, ref 0) in
+        let counts = (ref 0, ref 0, ref 0) in
         let n_datasets_before = Hashtbl.length t.servings in
         match List.iter (apply_record t counts) (pair_outcomes records) with
         | exception Recovery_failed msg ->
@@ -682,8 +1012,9 @@ let open_journal_inner t path =
                   records = stats.Journal.records;
                   torn_bytes = stats.Journal.torn_bytes;
                   datasets = Hashtbl.length t.servings - n_datasets_before;
-                  charges = !(fst counts);
-                  cache_entries = !(snd counts);
+                  charges = !(fst3 counts);
+                  cache_entries = !(snd3 counts);
+                  models_recovered = !(trd counts);
                   verified;
                 }
             end))
@@ -749,6 +1080,14 @@ let refresh_metrics t =
         Dp_obs.Metrics.set_counter s Dp_obs.Name.Cache_hits (Cache.hits sv.cache);
         Dp_obs.Metrics.set_counter s Dp_obs.Name.Cache_misses
           (Cache.misses sv.cache);
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Trains_released
+          (Model_store.released sv.models);
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Trains_withheld
+          (Model_store.withheld sv.models);
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Predicts_served
+          (Model_store.predicts sv.models);
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Models_stored
+          (float_of_int (Model_store.size sv.models));
         let spent = Ledger.spent sv.ledger in
         let remaining = Ledger.remaining sv.ledger in
         let total = Ledger.total sv.ledger in

@@ -71,6 +71,19 @@ type error =
       low_water : float;
     }  (** below the low-water mark: cache hits only, fresh releases
            refused softly *)
+  | Unconverged of {
+      dataset : string;
+      handle : string;  (** the withheld model's durable handle *)
+      worst_rhat : float;
+      min_ess : float;
+      charged : Privacy.budget;
+          (** the charge stands: the chains read the data, so the ε is
+              spent whether or not a sample leaves — a refund would let
+              an analyst retry until lucky, and releasing an
+              unconverged draw would release a biased sample nobody
+              priced *)
+    }
+  | Unknown_model of string
   | Transient of string
       (** retryable: the journal append or fsync failed after bounded
           retries, or the RNG was exhausted — state is consistent (any
@@ -134,6 +147,47 @@ val replay : t -> dataset:string -> (Dp_audit.Replay.outcome, error) result
 
 val analyst_spent : t -> dataset:string -> analyst:string -> Privacy.budget
 
+(** {2 Served learning}
+
+    A [train] request is a query like any other: planned statically
+    ({!Dp_train.Train.spec} — the analyzer prices it bit-identically),
+    charged through the ledger, journaled charge-before-train, and
+    released only if the convergence gate passes. The release is an
+    opaque {e model handle}; {!predict} is free post-processing of the
+    released θ. *)
+
+type trained = {
+  model : Dp_train.Model_store.model;
+  charged : Privacy.budget;  (** marginal composed-spend increase *)
+  seq : int;  (** audit-log sequence number (-1 when auditing is off) *)
+}
+
+val train :
+  t ->
+  ?analyst:string ->
+  dataset:string ->
+  Dp_train.Train.params ->
+  (trained, error) result
+(** Run one private training request. The charge ([chains·ε] for
+    Gibbs, [ε] for objective perturbation) is journaled and fsynced
+    before any chain runs; the model frame is journaled before the
+    handle becomes resolvable, so a recovered engine resolves exactly
+    the handles the live one did, bit-identically. An unconverged run
+    returns [Error (Unconverged _)]: the charge stands (journaled as
+    withheld) and the handle resolves to a θ-less model. *)
+
+val find_model : t -> string -> Dp_train.Model_store.model option
+(** Resolve a handle ([dataset/mN]); free, served even degraded. *)
+
+val predict : t -> string -> float array -> (float, error) result
+(** Score one raw point with a released model: the training-time
+    feature transform then [θ·x̃]. Post-processing — no ledger charge,
+    no data access, served even in degraded mode and after budget
+    exhaustion. [Unknown_model] for an unresolvable handle, [Bad_query]
+    for a withheld model or a dimension mismatch. *)
+
+val models : t -> dataset:string -> (Dp_train.Model_store.t, error) result
+
 (** {2 Durability} *)
 
 type recovery = {
@@ -143,6 +197,8 @@ type recovery = {
   datasets : int;  (** datasets rebuilt *)
   charges : int;  (** budget charges re-applied *)
   cache_entries : int;  (** cached answers restored (replay bit-identically) *)
+  models_recovered : int;
+      (** model handles rebuilt from Train frames (θ bit-identical) *)
   verified : bool;  (** rebuilt state passed [Dp_audit.Replay] *)
 }
 

@@ -18,11 +18,29 @@ type cache_record = {
   requested : Privacy.budget;
 }
 
+type train_record = {
+  dataset : string;
+  handle : string;
+  backend : string;
+  epsilon : float;
+  chains : int;
+  steps : int;
+  beta : float;
+  face : Privacy.budget;
+  target : string;
+  features : (string * float * float) array;
+  theta : float array option;
+  rhat : float array;
+  ess : float array;
+  acceptance : float;
+}
+
 type record =
   | Register of { name : string; rows : int; seed : int; policy : Registry.policy }
   | Charge of charge_record
   | Cache_insert of cache_record
   | Withheld of { dataset : string; reason : string }
+  | Train of train_record
 
 type stats = { records : int; torn_bytes : int }
 
@@ -121,7 +139,29 @@ let encode r =
   | Withheld { dataset; reason } ->
       Buffer.add_char b 'W';
       put_str b dataset;
-      put_str b reason);
+      put_str b reason
+  | Train m ->
+      Buffer.add_char b 'T';
+      put_str b m.dataset;
+      put_str b m.handle;
+      put_str b m.backend;
+      put_float b m.epsilon;
+      put_int b m.chains;
+      put_int b m.steps;
+      put_float b m.beta;
+      put_budget b m.face;
+      put_str b m.target;
+      put_int b (Array.length m.features);
+      Array.iter
+        (fun (name, lo, hi) ->
+          put_str b name;
+          put_float b lo;
+          put_float b hi)
+        m.features;
+      put_opt put_farr b m.theta;
+      put_farr b m.rhat;
+      put_farr b m.ess;
+      put_float b m.acceptance);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -247,6 +287,46 @@ let decode payload =
         let dataset = get_str c in
         let reason = get_str c in
         Withheld { dataset; reason }
+    | 'T' ->
+        let dataset = get_str c in
+        let handle = get_str c in
+        let backend = get_str c in
+        let epsilon = get_float c in
+        let chains = get_int c in
+        let steps = get_int c in
+        let beta = get_float c in
+        let face = get_budget c in
+        let target = get_str c in
+        let n_features = get_int c in
+        if n_features < 0 || n_features > 100_000 then raise Corrupt;
+        let features =
+          Array.init n_features (fun _ ->
+              let name = get_str c in
+              let lo = get_float c in
+              let hi = get_float c in
+              (name, lo, hi))
+        in
+        let theta = get_opt get_farr c in
+        let rhat = get_farr c in
+        let ess = get_farr c in
+        let acceptance = get_float c in
+        Train
+          {
+            dataset;
+            handle;
+            backend;
+            epsilon;
+            chains;
+            steps;
+            beta;
+            face;
+            target;
+            features;
+            theta;
+            rhat;
+            ess;
+            acceptance;
+          }
     | _ -> raise Corrupt
   in
   if c.pos <> String.length payload then raise Corrupt;

@@ -52,6 +52,27 @@ type cache_record = {
   requested : Privacy.budget;
 }
 
+type train_record = {
+  dataset : string;
+  handle : string;  (** durable model handle, e.g. [demo/m1] *)
+  backend : string;  (** {!Dp_train.Train.backend_name} *)
+  epsilon : float;  (** per-chain face ε as requested *)
+  chains : int;
+  steps : int;
+  beta : float;  (** Gibbs inverse temperature; [0.] for objpert *)
+  face : Privacy.budget;  (** total ledger charge (display metadata;
+      the authoritative charge is the paired [Charge] record) *)
+  target : string;
+  features : (string * float * float) array;
+      (** name, lo, hi — the public scaling facts prediction needs *)
+  theta : float array option;
+      (** hex-float encoded, so a recovered model predicts
+          bit-identically; [None] iff the gate withheld the release *)
+  rhat : float array;  (** per-coordinate split-R̂ (empty: deterministic) *)
+  ess : float array;
+  acceptance : float;
+}
+
 type record =
   | Register of {
       name : string;
@@ -69,6 +90,13 @@ type record =
           match the live run. Losing the marker (it is not fsync-gated
           the way charges are) only makes recovery over-count
           [answered]; the budget itself is carried by the [Charge]. *)
+  | Train of train_record
+      (** a completed training run — released or withheld — appended
+          after its [Charge] (and, when unconverged, after the
+          [Withheld] marker). Recovery rebuilds the model store from
+          these in journal order, so handle names are stable and a
+          restarted server resolves [predict]/[model] queries
+          bit-identically. *)
 
 type stats = {
   records : int;  (** valid records replayed *)

@@ -154,6 +154,16 @@ let error_lines (e : Engine.error) =
           (fstr remaining.Privacy.epsilon)
           (fstr low_water);
       ]
+  | Engine.Unconverged { dataset = _; handle; worst_rhat; min_ess; charged } ->
+      [
+        Printf.sprintf
+          "err degraded reason=unconverged model=%s rhat=%s ess=%s \
+           eps-charged=%s"
+          handle (fstr worst_rhat) (fstr min_ess)
+          (fstr charged.Privacy.epsilon);
+      ]
+  | Engine.Unknown_model handle ->
+      [ Printf.sprintf "err unknown-model %s" handle ]
   | Engine.Transient msg -> [ "err transient " ^ msg ]
   | Engine.Fatal msg -> [ "err fatal " ^ msg ]
 
@@ -255,6 +265,100 @@ let replay_lines eng dataset =
       | Dp_audit.Replay.Overdraft _ ->
           [ Format.asprintf "err replay %a" Dp_audit.Replay.pp_outcome outcome ])
 
+(* --------------------------------------------------------------- *)
+(* Served learning: train / predict / model *)
+
+let train_keys = "analyst" :: Dp_train.Train.keys
+
+let gate_summary ~rhat ~ess =
+  if Array.length rhat = 0 then "rhat=deterministic ess=deterministic"
+  else
+    Printf.sprintf "rhat=%s ess=%s"
+      (fstr (Array.fold_left Float.max neg_infinity rhat))
+      (fstr (Array.fold_left Float.min infinity ess))
+
+let train_lines eng name opts_tokens =
+  match Engine.find eng name with
+  | None -> [ Printf.sprintf "err unknown-dataset %s" name ]
+  | Some ds -> (
+      match parse_opts ~known:train_keys opts_tokens with
+      | Error line -> [ line ]
+      | Ok opts -> (
+          let analyst = find_opt "analyst" opts in
+          let params_opts = List.filter (fun (k, _) -> k <> "analyst") opts in
+          match
+            Dp_train.Train.params_of_opts
+              ~default_epsilon:ds.Registry.policy.default_epsilon params_opts
+          with
+          | Error msg -> [ "err bad-argument " ^ msg ]
+          | Ok params -> (
+              match Engine.train eng ?analyst ~dataset:name params with
+              | Error e -> error_lines e
+              | Ok r ->
+                  let m = r.Engine.model in
+                  [
+                    Printf.sprintf
+                      "ok trained model=%s backend=%s eps-charged=%s \
+                       eps-face=%s chains=%d steps=%d %s acceptance=%.3f \
+                       released=yes"
+                      m.Dp_train.Model_store.handle
+                      m.Dp_train.Model_store.backend
+                      (fstr r.Engine.charged.Privacy.epsilon)
+                      (fstr m.Dp_train.Model_store.face.Privacy.epsilon)
+                      m.Dp_train.Model_store.chains
+                      m.Dp_train.Model_store.steps
+                      (gate_summary ~rhat:m.Dp_train.Model_store.rhat
+                         ~ess:m.Dp_train.Model_store.ess)
+                      m.Dp_train.Model_store.acceptance;
+                  ])))
+
+let parse_point csv =
+  let parts = String.split_on_char ',' csv in
+  let floats = List.map float_of_string_opt parts in
+  if List.exists Option.is_none floats then None
+  else Some (Array.of_list (List.filter_map Fun.id floats))
+
+let predict_lines eng handle csv =
+  match parse_point csv with
+  | None ->
+      [ Printf.sprintf "err bad-argument predict point %s (want x1,x2,...)" csv ]
+  | Some x -> (
+      match Engine.predict eng handle x with
+      | Ok v ->
+          (* eps-charged=0 is the point: prediction is post-processing *)
+          [ Printf.sprintf "ok predict model=%s value=%.6f eps-charged=0" handle v ]
+      | Error e -> error_lines e)
+
+(* θ in hex floats: the chaos harness diffs this line across kill -9
+   recovery, so it must round-trip every bit. *)
+let theta_line theta =
+  Printf.sprintf "  theta=[%s]"
+    (String.concat ","
+       (Array.to_list (Array.map (Printf.sprintf "%h") theta)))
+
+let model_lines eng handle =
+  match Engine.find_model eng handle with
+  | None -> [ Printf.sprintf "err unknown-model %s" handle ]
+  | Some m ->
+      let open Dp_train.Model_store in
+      [
+        Printf.sprintf "ok model %s dataset=%s backend=%s released=%s" m.handle
+          m.dataset m.backend
+          (match m.theta with Some _ -> "yes" | None -> "no");
+        Printf.sprintf
+          "  eps=%s eps-face=%s chains=%d steps=%d beta=%s target=%s \
+           features=%s"
+          (fstr m.epsilon)
+          (fstr m.face.Privacy.epsilon)
+          m.chains m.steps (fstr m.beta) m.target
+          (String.concat ","
+             (Array.to_list (Array.map (fun (n, _, _) -> n) m.features)));
+        Printf.sprintf "  gate %s acceptance=%.3f"
+          (gate_summary ~rhat:m.rhat ~ess:m.ess)
+          m.acceptance;
+      ]
+      @ (match m.theta with Some theta -> [ theta_line theta ] | None -> [])
+
 let help_lines =
   [
     "ok commands:";
@@ -262,11 +366,17 @@ let help_lines =
     "           [slack=S] [default-eps=E] [analyst-eps=E] [universe=U]";
     "           [low-water=E] [no-cache]";
     "  query NAME EXPR [eps=E] [analyst=A]   e.g. query demo mean(income) eps=0.2";
+    "  train NAME [backend=gibbs|objpert] [target=COL] [eps=E] [chains=N]";
+    "        [steps=N] [burn=N] [step-std=S] [lambda=L] [rhat-max=R]";
+    "        [ess-min=E] [analyst=A]       releases a model handle NAME/mK";
+    "  predict HANDLE x1,x2,...              free post-processing of a release";
+    "  model HANDLE                          handle metadata, gate verdict, theta";
     "  report NAME | log NAME | replay NAME | status | metrics | help | quit";
     "  EXPR: count | count(col>x) | sum(col) | mean(col) | histogram(col,bins)";
     "        | quantile(col,q) | cdf(col,t1,...)";
     "  errors: err bad-argument|bad-query|unknown-*|budget-exceeded (final)";
     "          err transient (retryable) | err degraded (cache hits only)";
+    "          err degraded reason=unconverged (charge stands, model withheld)";
     "          err overloaded retry-after=MS (shed: retry after the delay)";
     "          err fatal (give up)";
   ]
@@ -288,6 +398,13 @@ let exec_parsed eng line =
   | "query" :: dataset :: expr :: opts -> query_lines eng dataset expr opts
   | [ "query" ] | [ "query"; _ ] ->
       [ "err bad-argument query needs NAME and EXPR (try 'help')" ]
+  | "train" :: name :: opts -> train_lines eng name opts
+  | [ "train" ] -> [ "err bad-argument train needs NAME (try 'help')" ]
+  | [ "predict"; handle; point ] -> predict_lines eng handle point
+  | "predict" :: _ ->
+      [ "err bad-argument predict needs HANDLE and x1,x2,... (try 'help')" ]
+  | [ "model"; handle ] -> model_lines eng handle
+  | "model" :: _ -> [ "err bad-argument model needs HANDLE (try 'help')" ]
   | [ "report"; dataset ] -> report_lines eng dataset
   | [ "log"; dataset ] -> log_lines eng dataset
   | [ "replay"; dataset ] -> replay_lines eng dataset

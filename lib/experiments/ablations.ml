@@ -82,8 +82,9 @@ let run_a3 ?(quick = false) ~seed fmt =
           ~log_density ~init:[| 0. |] ~n_samples g
       in
       let tv = Dp_pac_bayes.Mcmc.tv_distance_to_grid r ~grid ~grid_probs in
-      let `Ess ess, `Mean _ =
-        Dp_pac_bayes.Diagnostics.summarize r ~coordinate:0
+      let ess =
+        (Dp_pac_bayes.Diagnostics.summarize r ~coordinate:0)
+          .Dp_pac_bayes.Diagnostics.ess
       in
       Table.add_rowf table
         [ float_of_int n_samples; tv; r.Dp_pac_bayes.Mcmc.acceptance_rate; ess ])

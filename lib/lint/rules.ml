@@ -36,6 +36,10 @@ let all =
        in lib/engine, lib/mechanism and lib/net, never build a label string \
        at a metrics/span call site (a query argument in a metric name is a \
        side channel)" );
+    ( "R8",
+      "gate before release: in lib/train, a Released model may only be \
+       constructed after a Gates.check / Gates.deterministic verdict in the \
+       same top-level definition (an ungated sample is a biased release)" );
   ]
 
 let has_seg ctx s = List.mem s ctx.segs
@@ -303,4 +307,37 @@ let r7 ctx =
     List.rev !out
   end
 
-let run ctx = List.concat [ r1 ctx; r2 ctx; r4 ctx; r5 ctx; r6 ctx; r7 ctx ]
+(* R8 ------------------------------------------------------------- *)
+
+(* The training twin of R2: where R2 guards the charge, R8 guards the
+   gate. A `Released { ... }` construction is the moment a posterior
+   draw leaves the sampler, so it must be dominated — in the same
+   column-0 chunk — by a convergence verdict (`Gates.check` for MCMC,
+   `Gates.deterministic` for closed-form backends). The type
+   declaration `Released of { ... }` is not a construction: its next
+   token is `of`, never `{`. *)
+
+let r8_dominators = [ "check"; "deterministic" ]
+
+let r8 ctx =
+  if not (has_seg ctx "train" && is_ml ctx) then []
+  else begin
+    let out = ref [] in
+    let dominated = ref false in
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        if t.Lexer.col = 0 && List.mem t.text chunk_starts then
+          dominated := false;
+        if List.mem t.text r8_dominators then dominated := true;
+        if t.text = "Released" && tok ctx (i + 1) = "{" && not !dominated then
+          out :=
+            finding ctx "R8" i
+              "release before gate: Released constructed with no preceding \
+               Gates.check / Gates.deterministic verdict in this definition"
+            :: !out)
+      ctx.tokens;
+    List.rev !out
+  end
+
+let run ctx =
+  List.concat [ r1 ctx; r2 ctx; r4 ctx; r5 ctx; r6 ctx; r7 ctx; r8 ctx ]

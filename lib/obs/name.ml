@@ -27,6 +27,9 @@ type counter =
   | Net_requests_shed
   | Net_deadline_closed
   | Net_drained
+  | Trains_released
+  | Trains_withheld
+  | Predicts_served
 
 type gauge =
   | Eps_total
@@ -43,6 +46,7 @@ type gauge =
   | Min_entropy_leakage_bits
   | Net_conns_open
   | Net_inflight
+  | Models_stored
 
 type latency =
   | Submit_ns
@@ -56,14 +60,31 @@ type latency =
   | Recovery_ns
   | Net_accept_to_reply_ns
   | Net_reply_ns
+  | Train_ns
+  | Gate_ns
+  | Predict_ns
 
-type span = Sp_submit | Sp_plan | Sp_charge | Sp_noise | Sp_recovery
+type span =
+  | Sp_submit
+  | Sp_plan
+  | Sp_charge
+  | Sp_noise
+  | Sp_recovery
+  | Sp_train
+  | Sp_gate
 
-type tag = T_eps_face | T_eps_charged | T_cache_hit | T_attempts | T_records
+type tag =
+  | T_eps_face
+  | T_eps_charged
+  | T_cache_hit
+  | T_attempts
+  | T_records
+  | T_chains
+  | T_rhat
 
-let n_counters = 20
-let n_gauges = 14
-let n_latencies = 11
+let n_counters = 23
+let n_gauges = 15
+let n_latencies = 14
 
 let counter_index = function
   | Queries_answered -> 0
@@ -86,6 +107,9 @@ let counter_index = function
   | Net_requests_shed -> 17
   | Net_deadline_closed -> 18
   | Net_drained -> 19
+  | Trains_released -> 20
+  | Trains_withheld -> 21
+  | Predicts_served -> 22
 
 let gauge_index = function
   | Eps_total -> 0
@@ -102,6 +126,7 @@ let gauge_index = function
   | Min_entropy_leakage_bits -> 11
   | Net_conns_open -> 12
   | Net_inflight -> 13
+  | Models_stored -> 14
 
 let latency_index = function
   | Submit_ns -> 0
@@ -115,6 +140,9 @@ let latency_index = function
   | Recovery_ns -> 8
   | Net_accept_to_reply_ns -> 9
   | Net_reply_ns -> 10
+  | Train_ns -> 11
+  | Gate_ns -> 12
+  | Predict_ns -> 13
 
 let all_counters =
   [|
@@ -123,7 +151,7 @@ let all_counters =
     Draws_laplace; Draws_geometric; Draws_gaussian; Draws_discrete_gaussian;
     Draws_exponential; Draws_randomized_response; Net_conns_accepted;
     Net_conns_shed; Net_requests; Net_requests_shed; Net_deadline_closed;
-    Net_drained;
+    Net_drained; Trains_released; Trains_withheld; Predicts_served;
   |]
 
 let all_gauges =
@@ -131,19 +159,24 @@ let all_gauges =
     Eps_total; Eps_spent; Eps_remaining; Delta_spent; Cache_entries;
     Cache_hit_rate; Degraded_mode; Datasets_serving; Journal_attached;
     Mi_bound_nats; Capacity_bound_nats; Min_entropy_leakage_bits;
-    Net_conns_open; Net_inflight;
+    Net_conns_open; Net_inflight; Models_stored;
   |]
 
 let all_latencies =
   [|
     Submit_ns; Plan_ns; Charge_ns; Noise_ns; Journal_append_ns;
     Journal_fsync_ns; Cache_lookup_ns; Meter_ns; Recovery_ns;
-    Net_accept_to_reply_ns; Net_reply_ns;
+    Net_accept_to_reply_ns; Net_reply_ns; Train_ns; Gate_ns; Predict_ns;
   |]
 
-let all_spans = [| Sp_submit; Sp_plan; Sp_charge; Sp_noise; Sp_recovery |]
+let all_spans =
+  [| Sp_submit; Sp_plan; Sp_charge; Sp_noise; Sp_recovery; Sp_train; Sp_gate |]
 
-let all_tags = [| T_eps_face; T_eps_charged; T_cache_hit; T_attempts; T_records |]
+let all_tags =
+  [|
+    T_eps_face; T_eps_charged; T_cache_hit; T_attempts; T_records; T_chains;
+    T_rhat;
+  |]
 
 let counter_name = function
   | Queries_answered -> "queries_answered"
@@ -166,6 +199,9 @@ let counter_name = function
   | Net_requests_shed -> "net_requests_shed"
   | Net_deadline_closed -> "net_deadline_closed"
   | Net_drained -> "net_drained"
+  | Trains_released -> "trains_released"
+  | Trains_withheld -> "trains_withheld"
+  | Predicts_served -> "predicts_served"
 
 let gauge_name = function
   | Eps_total -> "eps_total"
@@ -182,6 +218,7 @@ let gauge_name = function
   | Min_entropy_leakage_bits -> "min_entropy_leakage_bits"
   | Net_conns_open -> "net_conns_open"
   | Net_inflight -> "net_inflight"
+  | Models_stored -> "models_stored"
 
 let latency_name = function
   | Submit_ns -> "submit_ns"
@@ -195,6 +232,9 @@ let latency_name = function
   | Recovery_ns -> "recovery_ns"
   | Net_accept_to_reply_ns -> "net_accept_to_reply_ns"
   | Net_reply_ns -> "net_reply_ns"
+  | Train_ns -> "train_ns"
+  | Gate_ns -> "gate_ns"
+  | Predict_ns -> "predict_ns"
 
 let span_name = function
   | Sp_submit -> "submit"
@@ -202,6 +242,8 @@ let span_name = function
   | Sp_charge -> "charge"
   | Sp_noise -> "noise"
   | Sp_recovery -> "recovery"
+  | Sp_train -> "train"
+  | Sp_gate -> "gate"
 
 let tag_name = function
   | T_eps_face -> "eps_face"
@@ -209,6 +251,8 @@ let tag_name = function
   | T_cache_hit -> "cache_hit"
   | T_attempts -> "attempts"
   | T_records -> "records"
+  | T_chains -> "chains"
+  | T_rhat -> "rhat"
 
 let mem arr to_name s = Array.exists (fun v -> to_name v = s) arr
 

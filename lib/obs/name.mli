@@ -27,6 +27,9 @@ type counter =
   | Net_requests_shed  (** requests shed by the admission gate *)
   | Net_deadline_closed  (** connections closed by deadline/idle timeout *)
   | Net_drained  (** connections closed by graceful drain *)
+  | Trains_released  (** train queries whose model passed the gate *)
+  | Trains_withheld  (** train queries charged but withheld (unconverged) *)
+  | Predicts_served  (** predictions served (free post-processing) *)
 
 type gauge =
   | Eps_total
@@ -43,6 +46,7 @@ type gauge =
   | Min_entropy_leakage_bits
   | Net_conns_open
   | Net_inflight  (** queued requests + unflushed replies (queue depth) *)
+  | Models_stored  (** model handles held (released + withheld) *)
 
 type latency =
   | Submit_ns
@@ -56,10 +60,27 @@ type latency =
   | Recovery_ns
   | Net_accept_to_reply_ns  (** accept to first fully-written reply *)
   | Net_reply_ns  (** request completely read to reply fully written *)
+  | Train_ns  (** whole train request: charge, chains, gate, journal *)
+  | Gate_ns  (** convergence diagnostics alone *)
+  | Predict_ns
 
-type span = Sp_submit | Sp_plan | Sp_charge | Sp_noise | Sp_recovery
+type span =
+  | Sp_submit
+  | Sp_plan
+  | Sp_charge
+  | Sp_noise
+  | Sp_recovery
+  | Sp_train
+  | Sp_gate
 
-type tag = T_eps_face | T_eps_charged | T_cache_hit | T_attempts | T_records
+type tag =
+  | T_eps_face
+  | T_eps_charged
+  | T_cache_hit
+  | T_attempts
+  | T_records
+  | T_chains
+  | T_rhat
 
 val n_counters : int
 val n_gauges : int

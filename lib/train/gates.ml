@@ -1,0 +1,59 @@
+type coord = { rhat : float; ess : float }
+
+type verdict =
+  | Converged
+  | Unconverged of { worst_rhat : float; min_ess : float }
+
+type report = {
+  verdict : verdict;
+  coords : coord array;
+  rhat_max : float;
+  ess_min : float;
+}
+
+let check ~rhat_max ~ess_min chains =
+  let m = Array.length chains in
+  if m < 1 then invalid_arg "Gates.check: need >= 1 chain";
+  let n = Array.length chains.(0) in
+  if n < 1 then invalid_arg "Gates.check: empty chain";
+  let d = Array.length chains.(0).(0) in
+  if d < 1 then invalid_arg "Gates.check: zero-dimensional draws";
+  let coords =
+    Array.init d (fun j ->
+        let per_chain =
+          Array.map (fun chain -> Array.map (fun draw -> draw.(j)) chain) chains
+        in
+        {
+          rhat = Dp_pac_bayes.Diagnostics.split_rhat per_chain;
+          ess = Dp_pac_bayes.Diagnostics.ess_rank_normalized per_chain;
+        })
+  in
+  let worst =
+    Array.fold_left (fun acc c -> Float.max acc c.rhat) neg_infinity coords
+  in
+  let least =
+    Array.fold_left (fun acc c -> Float.min acc c.ess) infinity coords
+  in
+  let verdict =
+    (* any NaN from a degenerate statistic must fail closed, so the
+       comparisons are phrased as "provably within threshold" *)
+    if worst <= rhat_max && least >= ess_min then Converged
+    else Unconverged { worst_rhat = worst; min_ess = least }
+  in
+  { verdict; coords; rhat_max; ess_min }
+
+let deterministic ~rhat_max ~ess_min =
+  { verdict = Converged; coords = [||]; rhat_max; ess_min }
+
+let converged r = match r.verdict with Converged -> true | Unconverged _ -> false
+
+let worst_rhat r =
+  match r.verdict with
+  | Unconverged { worst_rhat; _ } -> worst_rhat
+  | Converged ->
+      Array.fold_left (fun acc c -> Float.max acc c.rhat) 1. r.coords
+
+let min_ess r =
+  match r.verdict with
+  | Unconverged { min_ess; _ } -> min_ess
+  | Converged -> Array.fold_left (fun acc c -> Float.min acc c.ess) infinity r.coords

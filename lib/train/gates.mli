@@ -1,0 +1,41 @@
+(** Convergence gating for served training runs.
+
+    A Gibbs-posterior release is only as private as the chain is
+    converged: an unconverged chain is a sample from some *other*
+    distribution — whose privacy nobody proved — biased toward the
+    (data-dependent) initialisation basin. The gate therefore computes
+    rank-normalized split-R̂ and the multi-chain Geyer ESS
+    ({!Dp_pac_bayes.Diagnostics}) per coordinate across all chains and
+    withholds the release unless every coordinate passes both
+    thresholds. Deterministic backends (objective perturbation runs a
+    convex optimizer to tolerance, no chain) pass by construction. *)
+
+type coord = { rhat : float; ess : float }
+
+type verdict =
+  | Converged
+  | Unconverged of { worst_rhat : float; min_ess : float }
+
+type report = {
+  verdict : verdict;
+  coords : coord array;  (** per predictor coordinate; empty when deterministic *)
+  rhat_max : float;  (** threshold the verdict was computed against *)
+  ess_min : float;
+}
+
+val check :
+  rhat_max:float -> ess_min:float -> float array array array -> report
+(** [check ~rhat_max ~ess_min chains] over [chains.(c).(draw).(coord)]:
+    converged iff every coordinate has split-R̂ ≤ [rhat_max] and
+    rank-normalized ESS ≥ [ess_min]. @raise Invalid_argument on empty
+    or ragged input, or chains shorter than 8 draws. *)
+
+val deterministic : rhat_max:float -> ess_min:float -> report
+(** The vacuous passing report for non-MCMC backends. *)
+
+val converged : report -> bool
+val worst_rhat : report -> float
+(** 1.0 for a deterministic (empty-coordinate) report. *)
+
+val min_ess : report -> float
+(** [infinity] for a deterministic report. *)

@@ -1,0 +1,61 @@
+type model = {
+  handle : string;
+  dataset : string;
+  backend : string;
+  epsilon : float;
+  chains : int;
+  steps : int;
+  beta : float;
+  face : Dp_mechanism.Privacy.budget;
+  target : string;
+  features : (string * float * float) array;
+  theta : float array option;
+  rhat : float array;
+  ess : float array;
+  acceptance : float;
+}
+
+type t = {
+  tbl : (string, model) Hashtbl.t;
+  mutable order : string list;  (* newest first *)
+  mutable n_released : int;
+  mutable n_withheld : int;
+  mutable n_predicts : int;
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 16;
+    order = [];
+    n_released = 0;
+    n_withheld = 0;
+    n_predicts = 0;
+  }
+
+let size t = List.length t.order
+
+let add t m =
+  if Hashtbl.mem t.tbl m.handle then
+    invalid_arg (Printf.sprintf "Model_store.add: duplicate handle %s" m.handle);
+  Hashtbl.replace t.tbl m.handle m;
+  t.order <- m.handle :: t.order;
+  (match m.theta with
+  | Some _ -> t.n_released <- t.n_released + 1
+  | None -> t.n_withheld <- t.n_withheld + 1)
+
+let find t handle = Hashtbl.find_opt t.tbl handle
+let released t = t.n_released
+let withheld t = t.n_withheld
+let predicts t = t.n_predicts
+
+let predict t handle x =
+  match find t handle with
+  | None -> Error (Printf.sprintf "unknown model %s" handle)
+  | Some { theta = None; _ } ->
+      Error (Printf.sprintf "model %s was withheld (unconverged); nothing to predict with" handle)
+  | Some { theta = Some theta; features; _ } -> (
+      match Train.scale_point ~features x with
+      | Error e -> Error e
+      | Ok scaled ->
+          t.n_predicts <- t.n_predicts + 1;
+          Ok (Train.predict_margin ~theta scaled))

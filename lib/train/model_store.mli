@@ -1,0 +1,47 @@
+(** The engine-side registry of trained model handles.
+
+    A handle is durable metadata plus (for released models) the θ
+    vector; it is rebuilt bit-identically from the journal's Train
+    frames on recovery, in insertion order, so handle names
+    ([dataset/mN]) are stable across crashes. Withheld models occupy a
+    slot too — their charge is real and their handle answers [model]
+    queries — they just carry no θ and refuse predictions. *)
+
+type model = {
+  handle : string;
+  dataset : string;
+  backend : string;
+  epsilon : float;  (** per-chain face ε as requested *)
+  chains : int;
+  steps : int;
+  beta : float;
+  face : Dp_mechanism.Privacy.budget;  (** total ledger charge *)
+  target : string;
+  features : (string * float * float) array;
+  theta : float array option;  (** [None] iff the gate withheld the release *)
+  rhat : float array;  (** per-coordinate split-R̂; empty when deterministic *)
+  ess : float array;
+  acceptance : float;
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+(** Number of handles ever issued (released + withheld) — the next
+    handle is [dataset ^ "/m" ^ string_of_int (size t + 1)]. *)
+
+val add : t -> model -> unit
+(** @raise Invalid_argument on a duplicate handle. *)
+
+val find : t -> string -> model option
+val released : t -> int
+val withheld : t -> int
+
+val predicts : t -> int
+(** Served prediction count (free post-processing; observability only). *)
+
+val predict : t -> string -> float array -> (float, string) result
+(** Score a raw (unscaled) point with a released model; bumps
+    {!predicts} on success. [Error] on an unknown handle, a withheld
+    model, or a dimension mismatch. *)

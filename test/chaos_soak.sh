@@ -12,6 +12,11 @@
 #   - the journal is the truth: spent epsilon and answered counts from
 #     the live (recovered, post-soak) report agree with a fault-free
 #     offline replay of the same journal, and the audit trace verifies;
+#   - trained model handles are durable: a kill -9 mid-chain loses no
+#     released model (theta and predictions replay bit-identically from
+#     the journal's Train frames), a withheld-unconverged handle stays
+#     withheld across the restart, and no released theta is ever
+#     duplicated across server lives;
 #   - SIGTERM drains gracefully: exit 0, all charges journaled, and the
 #     final metrics snapshot passes `dpkit stats --check`.
 set -eu
@@ -21,7 +26,8 @@ J="chaos_soak.wal"
 M="chaos_soak.metrics"
 SRVLOG1="chaos_srv1.log"
 SRVLOG2="chaos_srv2.log"
-rm -f "$J" "$M" "$SRVLOG1" "$SRVLOG2" chaos_cli_*.out
+SRVLOG3="chaos_srv3.log"
+rm -f "$J" "$M" "$SRVLOG1" "$SRVLOG2" "$SRVLOG3" chaos_cli_*.out
 
 client() { # client PORT JITTER_SEED
   "$DPKIT" client --port "$1" --attempts 15 --backoff 0.02 --backoff-cap 0.3 \
@@ -113,6 +119,58 @@ for i in 1 2 3; do
     echo "wave-2 client $i missing answers:"; cat "chaos_cli_w2_$i.out"; exit 1; }
 done
 
+# --- train wave: model handles survive kill -9 mid-chain ---------------
+# One released model (objective perturbation: deterministic gate), one
+# deterministically-withheld model (frozen gibbs proposal), then a long
+# gibbs train left in flight when the server is kill -9'd. The journal's
+# Train frames must rebuild the first two handles bit-identically; the
+# interrupted train has a journaled charge but no model frame, so its
+# retry is priced as a fresh request.
+printf 'train demo backend=objpert eps=0.3\nmodel demo/m1\npredict demo/m1 40,50000\ntrain demo eps=0.05 steps=16 burn=0 step-std=1e-12\nmodel demo/m2\n' \
+  | client "$PORT" 300 > chaos_cli_train.out
+grep -q 'ok trained model=demo/m1 backend=objective-perturbation .*released=yes' \
+  chaos_cli_train.out || {
+  echo "objpert train failed:"; cat chaos_cli_train.out; exit 1; }
+grep -q 'err degraded reason=unconverged model=demo/m2' chaos_cli_train.out || {
+  echo "frozen gibbs train not withheld:"; cat chaos_cli_train.out; exit 1; }
+THETA1=$(grep '^  theta=' chaos_cli_train.out | head -1)
+[ -n "$THETA1" ] || { echo "no theta line for demo/m1"; cat chaos_cli_train.out; exit 1; }
+PRED1=$(sed -n 's/^ok predict model=demo\/m1 value=\([^ ]*\).*/\1/p' chaos_cli_train.out)
+[ -n "$PRED1" ] || { echo "no prediction for demo/m1"; cat chaos_cli_train.out; exit 1; }
+
+printf 'train demo eps=0.05 steps=8000 burn=8000\n' \
+  | client "$PORT" 301 > chaos_cli_train_w3.out &
+TPID=$!
+sleep 0.35
+kill -9 "$PID2" 2>/dev/null || true
+wait "$PID2" 2>/dev/null || true
+sleep 0.2
+"$DPKIT" serve --tcp "$PORT" --journal "$J" --metrics "$M" --faults off \
+  >"$SRVLOG3" 2>&1 &
+PID3=$!
+wait_listening "$SRVLOG3"
+wait "$TPID" || true
+
+printf 'model demo/m1\npredict demo/m1 40,50000\nmodel demo/m2\n' \
+  | client "$PORT" 302 > chaos_cli_train_verify.out
+THETA2=$(grep '^  theta=' chaos_cli_train_verify.out | head -1)
+[ "$THETA1" = "$THETA2" ] || {
+  echo "recovered theta not bit-identical:"
+  echo "  before: $THETA1"; echo "  after:  $THETA2"; exit 1; }
+PRED2=$(sed -n 's/^ok predict model=demo\/m1 value=\([^ ]*\).*/\1/p' chaos_cli_train_verify.out)
+[ "$PRED1" = "$PRED2" ] || {
+  echo "recovered prediction diverges: $PRED1 vs $PRED2"; exit 1; }
+grep -q 'ok model demo/m2 .*released=no' chaos_cli_train_verify.out || {
+  echo "withheld model released (or lost) across restart:"
+  cat chaos_cli_train_verify.out; exit 1; }
+
+# No released theta is ever duplicated: across both lives, distinct
+# handles carry distinct thetas (same-handle replays are exempt).
+TDUPES=$(grep -h '^ok model\|^  theta=' chaos_cli_train*.out \
+  | awk '/^ok model/ { h=$3 } /^  theta=/ { print h "\t" $0 }' \
+  | sort -u | cut -f2 | sort | uniq -d)
+[ -z "$TDUPES" ] || { echo "theta released twice: $TDUPES"; exit 1; }
+
 # --- recovered cache: a pre-kill answer replays bit-identically --------
 printf 'query demo mean(income) eps=0.011\nreport demo\nreplay demo\n' \
   | client "$PORT" 200 > chaos_cli_verify.out
@@ -131,13 +189,13 @@ DUPES=$(sed -n 's/^ok seq=[0-9]* value=\([^ ]*\).*cache=miss.*/\1/p' chaos_cli_*
 [ -z "$DUPES" ] || { echo "noise value released twice: $DUPES"; exit 1; }
 
 # --- graceful drain ----------------------------------------------------
-kill -TERM "$PID2"
+kill -TERM "$PID3"
 set +e
-wait "$PID2"
+wait "$PID3"
 CODE=$?
 set -e
-[ "$CODE" -eq 0 ] || { echo "drain exited $CODE, expected 0:"; cat "$SRVLOG2"; exit 1; }
-grep -q 'drained' "$SRVLOG2" || { echo "no drain marker:"; cat "$SRVLOG2"; exit 1; }
+[ "$CODE" -eq 0 ] || { echo "drain exited $CODE, expected 0:"; cat "$SRVLOG3"; exit 1; }
+grep -q 'drained' "$SRVLOG3" || { echo "no drain marker:"; cat "$SRVLOG3"; exit 1; }
 [ -s "$M" ] || { echo "metrics snapshot missing"; exit 1; }
 "$DPKIT" stats --check "$M" >/dev/null || {
   echo "metrics snapshot failed stats --check"; exit 1; }
@@ -153,4 +211,4 @@ echo "$OFFLINE" | grep -q 'ok replay consistent' || {
 [ -n "$LIVE_ANSWERED" ] && [ "$LIVE_ANSWERED" = "$OFF_ANSWERED" ] || {
   echo "answered counts diverge: live=$LIVE_ANSWERED offline=$OFF_ANSWERED"; exit 1; }
 
-rm -f "$J" "$M" "$SRVLOG1" "$SRVLOG2" chaos_cli_*.out
+rm -f "$J" "$M" "$SRVLOG1" "$SRVLOG2" "$SRVLOG3" chaos_cli_*.out

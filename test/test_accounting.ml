@@ -320,9 +320,81 @@ let test_diagnostics_on_mcmc () =
       ~log_density:(fun th -> -0.5 *. th.(0) *. th.(0))
       ~init:[| 0. |] ~n_samples:20_000 g
   in
-  let `Ess ess, `Mean mean = Dp_pac_bayes.Diagnostics.summarize r ~coordinate:0 in
-  Alcotest.(check bool) "ess positive and below n" true (ess > 100. && ess <= 20_000.);
-  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.1)
+  let s = Dp_pac_bayes.Diagnostics.summarize r ~coordinate:0 in
+  Alcotest.(check bool) "ess positive and below n" true
+    (s.Dp_pac_bayes.Diagnostics.ess > 100.
+    && s.Dp_pac_bayes.Diagnostics.ess <= 20_000.);
+  Alcotest.(check bool) "mean near 0" true
+    (Float.abs s.Dp_pac_bayes.Diagnostics.mean < 0.1);
+  Alcotest.(check bool) "split rhat near 1" true
+    (s.Dp_pac_bayes.Diagnostics.rhat < 1.05)
+
+(* Pinned fixtures for the rank-normalized split statistics: fully
+   deterministic chains, so the converged / stuck verdicts can never
+   drift with a sampler change. *)
+
+(* A deterministic LCG stream — white enough that two chains from
+   different seeds look like draws from the same distribution. *)
+let lcg_chain seed n =
+  let s = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      (float_of_int !s /. float_of_int 0x3FFFFFFF) -. 0.5)
+
+let test_split_rhat_converged_fixture () =
+  let chains = [| lcg_chain 1 512; lcg_chain 99 512 |] in
+  let r = Dp_pac_bayes.Diagnostics.split_rhat chains in
+  Alcotest.(check bool) (Printf.sprintf "converged fixture R %.4f" r) true
+    (r < 1.01);
+  let ess = Dp_pac_bayes.Diagnostics.ess_rank_normalized chains in
+  Alcotest.(check bool) (Printf.sprintf "near-iid ESS %.0f" ess) true
+    (ess > 500. && ess <= 1024.)
+
+let test_split_rhat_stuck_fixture () =
+  (* two frozen chains at different values: W = 0, B > 0 must read as
+     divergence, not convergence — the gate's load-bearing case *)
+  let r =
+    Dp_pac_bayes.Diagnostics.split_rhat
+      [| Array.make 64 0.; Array.make 64 1. |]
+  in
+  Alcotest.(check bool) "frozen disagreeing chains diverge" true
+    (r = infinity);
+  (* both frozen at the same value: no evidence of divergence *)
+  let r =
+    Dp_pac_bayes.Diagnostics.split_rhat
+      [| Array.make 64 2.; Array.make 64 2. |]
+  in
+  Alcotest.(check (float 0.)) "frozen agreeing chains" 1. r;
+  (* a within-chain drift is what split-R catches that pooled R misses:
+     one chain still trending vs one stationary *)
+  let drift = Array.init 256 (fun i -> float_of_int i /. 256.) in
+  let r = Dp_pac_bayes.Diagnostics.split_rhat [| drift; lcg_chain 3 256 |] in
+  Alcotest.(check bool) (Printf.sprintf "drifting chain flagged R %.3f" r) true
+    (r > 1.1)
+
+let test_rank_normalize_shape () =
+  (* rank normalization is monotone and distribution-free: the ranks of
+     a heavy-tailed chain map onto the same normal scores as any other
+     chain of the same length *)
+  let a = Dp_pac_bayes.Diagnostics.rank_normalize [| [| 1.; 10.; 1e6; -3. |] |] in
+  let b = Dp_pac_bayes.Diagnostics.rank_normalize [| [| 0.2; 0.3; 0.4; 0.1 |] |] in
+  Array.iteri
+    (fun i x -> check_close ~tol:1e-12 "same scores" x b.(0).(i))
+    a.(0);
+  Alcotest.(check bool) "order preserved" true
+    (a.(0).(3) < a.(0).(0) && a.(0).(0) < a.(0).(1) && a.(0).(1) < a.(0).(2))
+
+let test_ess_rejects_nan () =
+  let xs = Array.init 64 (fun i -> float_of_int i) in
+  xs.(17) <- Float.nan;
+  (try
+     ignore (Dp_pac_bayes.Diagnostics.effective_sample_size xs);
+     Alcotest.fail "NaN chain accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dp_pac_bayes.Diagnostics.split_rhat [| xs; xs |]);
+    Alcotest.fail "NaN chain accepted by split_rhat"
+  with Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Tradeoff region *)
@@ -443,6 +515,13 @@ let () =
           Alcotest.test_case "ESS on AR(1)" `Slow test_ess_correlated;
           Alcotest.test_case "gelman-rubin" `Quick test_gelman_rubin;
           Alcotest.test_case "summarize mcmc" `Slow test_diagnostics_on_mcmc;
+          Alcotest.test_case "split-rhat converged fixture" `Quick
+            test_split_rhat_converged_fixture;
+          Alcotest.test_case "split-rhat stuck fixture" `Quick
+            test_split_rhat_stuck_fixture;
+          Alcotest.test_case "rank normalization" `Quick
+            test_rank_normalize_shape;
+          Alcotest.test_case "ESS rejects NaN" `Quick test_ess_rejects_nan;
         ] );
       ( "tradeoff region",
         [

@@ -28,7 +28,7 @@ let items () =
   List.map
     (fun (text, eps) ->
       match Query.parse text with
-      | Ok q -> { A.text; query = q; epsilon = eps }
+      | Ok q -> A.Stat { text; query = q; epsilon = eps }
       | Error e -> Alcotest.failf "parse %s: %s" text e)
     workload
 
@@ -95,10 +95,15 @@ let test_preview backend () =
   let charges =
     List.map
       (fun (it : A.item) ->
-        let eps = Option.value it.epsilon ~default:s.Registry.policy.default_epsilon in
-        match Planner.spec s ~epsilon:eps it.query with
-        | Ok sp -> sp.Planner.charge
-        | Error e -> Alcotest.fail e)
+        match it with
+        | A.Train _ -> Alcotest.fail "stat workload only"
+        | A.Stat { query; epsilon; _ } -> (
+            let eps =
+              Option.value epsilon ~default:s.Registry.policy.default_epsilon
+            in
+            match Planner.spec s ~epsilon:eps query with
+            | Ok sp -> sp.Planner.charge
+            | Error e -> Alcotest.fail e))
       (items ())
   in
   let previewed =
@@ -150,13 +155,25 @@ let test_parse_schema () =
   | Error _ -> ()
 
 let test_parse_workload () =
-  match A.parse_workload "# w\ncount eps=0.5\nmean(income)\n" with
+  (match A.parse_workload "# w\ncount eps=0.5\nmean(income)\n" with
   | Error e -> Alcotest.fail e
-  | Ok [ a; b ] ->
-      Alcotest.(check string) "q1" "count" (Query.normalize a.A.query);
-      Alcotest.(check (option (float 0.))) "q1 eps" (Some 0.5) a.A.epsilon;
-      Alcotest.(check (option (float 0.))) "q2 default" None b.A.epsilon
-  | Ok l -> Alcotest.failf "expected 2 items, got %d" (List.length l)
+  | Ok [ A.Stat a; A.Stat b ] ->
+      Alcotest.(check string) "q1" "count" (Query.normalize a.query);
+      Alcotest.(check (option (float 0.))) "q1 eps" (Some 0.5) a.epsilon;
+      Alcotest.(check (option (float 0.))) "q2 default" None b.epsilon
+  | Ok l -> Alcotest.failf "expected 2 stat items, got %d" (List.length l));
+  (match A.parse_workload "train target=score eps=0.2 chains=2\n" with
+  | Ok [ A.Train { train_opts; _ } ] ->
+      Alcotest.(check (option (option string)))
+        "target parsed" (Some (Some "score"))
+        (List.assoc_opt "target" train_opts)
+  | Ok _ -> Alcotest.fail "expected one train item"
+  | Error e -> Alcotest.fail e);
+  match A.parse_workload "train bogus=1\n" with
+  | Ok _ -> Alcotest.fail "unknown train option accepted"
+  | Error e ->
+      Alcotest.(check bool) "error cites line 1" true
+        (String.length e >= 7 && String.sub e 0 7 = "line 1:")
 
 (* A workload that overdraws must FAIL with the tail rejected, and the
    rejected rows must charge nothing — exactly like the live gate. *)
@@ -174,7 +191,7 @@ let test_overdraft_fail () =
     List.map
       (fun text ->
         match Query.parse text with
-        | Ok q -> { A.text; query = q; epsilon = Some 0.1 }
+        | Ok q -> A.Stat { text; query = q; epsilon = Some 0.1 }
         | Error e -> Alcotest.fail e)
       [ "count"; "sum(age)"; "mean(age)"; "count(age>=50)" ]
   in
