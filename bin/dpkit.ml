@@ -9,7 +9,10 @@
    dpkit client --port P              retrying client for the TCP server
    dpkit query "mean(income)" ...     one-shot queries against a synthetic dataset
    dpkit analyze --schema S WORKLOAD  static workload costing, no data access
-   dpkit lint [DIR]                   privacy-invariant source linter (R1..R8) *)
+   dpkit certify "sum(income)"        hypothesis-test the claimed (eps, delta)
+   dpkit certify ... --via tcp        the same, against a live TCP server
+   dpkit certify compare PRE POST     crash-recovery distribution comparison
+   dpkit lint [DIR]                   privacy-invariant source linter (R1..R9) *)
 
 open Cmdliner
 
@@ -479,7 +482,7 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Check the source tree against the privacy-invariant rules \
-          (R1..R8); exit 1 on any finding.")
+          (R1..R9); exit 1 on any finding.")
     Term.(ret (const run $ dir_arg $ format_arg $ exempt_arg $ rules_arg))
 
 (* 4.14-compatible whole-file read (no In_channel.input_lines). *)
@@ -676,6 +679,209 @@ let query_cmd =
         (const run $ seed_arg $ rows_arg $ total_arg $ delta_arg $ backend_arg
        $ default_eps_arg $ exprs_arg))
 
+let certify_cmd =
+  let face_arg =
+    let doc =
+      "What to certify: a query ('count(age>40)', 'sum(income)', \
+       'histogram(age,8)', 'quantile(income,0.5)'), $(b,train) for the \
+       Gibbs-posterior train face, or $(b,compare) with PRE and POST \
+       sample files for the crash-recovery comparison."
+    in
+    Arg.(value & pos 0 string "sum(income)" & info [] ~docv:"FACE" ~doc)
+  in
+  let pre_arg =
+    let doc =
+      "Pre-restart sample file, one released value per line ('compare' \
+       only; written by --samples-out)."
+    in
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"PRE" ~doc)
+  in
+  let post_arg =
+    let doc = "Post-restart sample file ('compare' only)." in
+    Arg.(value & pos 2 (some file) None & info [] ~docv:"POST" ~doc)
+  in
+  let trials_arg =
+    let doc = "Mechanism runs per side of the neighbour pair." in
+    Arg.(value & opt int 2000 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let alpha_arg =
+    let doc =
+      "Test size: a truly (eps, delta)-DP face fails with probability \
+       at most $(docv)."
+    in
+    Arg.(value & opt float 0.05 & info [ "alpha" ] ~docv:"A" ~doc)
+  in
+  let rows_arg =
+    let doc = "Rows of the synthetic neighbour pair." in
+    Arg.(value & opt int 64 & info [ "rows" ] ~docv:"N" ~doc)
+  in
+  let rdp_arg =
+    let doc =
+      "Use the rdp backend: the count face runs the discrete Gaussian \
+       and the claim becomes its RDP-converted (eps, $(docv))."
+    in
+    Arg.(value & opt (some float) None & info [ "rdp" ] ~docv:"DELTA" ~doc)
+  in
+  let break_arg =
+    let doc =
+      "Deliberate-breakage hook (testing only): $(b,half-scale) runs \
+       the mechanism at half the claimed noise scale, which the testers \
+       must flag."
+    in
+    Arg.(value & opt (some string) None & info [ "break" ] ~docv:"HOOK" ~doc)
+  in
+  let via_arg =
+    let doc =
+      "$(b,tcp): certify a live 'dpkit serve --tcp' process through the \
+       retrying client instead of the in-process planner."
+    in
+    Arg.(value & opt (some string) None & info [ "via" ] ~docv:"HOW" ~doc)
+  in
+  let host_arg =
+    let doc = "Server host (--via tcp)." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc = "Server port (--via tcp)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let samples_out_arg =
+    let doc =
+      "Also write the first side's released values to $(docv), one per \
+       line — input for 'certify compare'."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "samples-out" ] ~docv:"FILE" ~doc)
+  in
+  let read_samples path =
+    match read_file path with
+    | Error msg -> Error msg
+    | Ok text -> (
+        match
+          List.filter_map
+            (fun l ->
+              let l = String.trim l in
+              if l = "" then None
+              else
+                match float_of_string_opt l with
+                | Some v -> Some v
+                | None -> raise Exit)
+            (String.split_on_char '\n' text)
+        with
+        | vs -> Ok (Array.of_list vs)
+        | exception Exit ->
+            Error (path ^ ": expected one released value per line"))
+  in
+  let run seed epsilon trials alpha rows rdp break_ via host port samples_out
+      face pre post =
+    let fail msg = `Error (false, msg) in
+    match String.lowercase_ascii face with
+    | "compare" -> (
+        match (pre, post) with
+        | Some pre_path, Some post_path -> (
+            match (read_samples pre_path, read_samples post_path) with
+            | Error msg, _ | _, Error msg -> fail msg
+            | Ok pre, Ok post ->
+                let r =
+                  Dp_certify.Certify.recovery_check ~alpha ~pre ~post ()
+                in
+                Format.printf "%s@." (Dp_certify.Certify.recovery_line r);
+                if r.Dp_certify.Certify.recovery_ok then `Ok () else exit 1)
+        | _ -> fail "certify compare needs PRE and POST sample files")
+    | _ -> (
+        let break_r =
+          match break_ with
+          | None -> Ok `None
+          | Some "half-scale" -> Ok `Half_scale
+          | Some other -> Error (Printf.sprintf "unknown --break %S" other)
+        in
+        match break_r with
+        | Error msg -> fail msg
+        | Ok break_ -> (
+            let source_r =
+              match via with
+              | Some "tcp" -> (
+                  match port with
+                  | None -> Error "--via tcp needs --port"
+                  | Some port ->
+                      if break_ <> `None then
+                        Error
+                          "--break applies to in-process faces only (break \
+                           a live server by arming --faults on it)"
+                      else
+                        Dp_certify.Via_tcp.source ~rows ~host ~port
+                          ~query:face ~eps:epsilon ())
+              | Some other -> Error (Printf.sprintf "unknown --via %S" other)
+              | None ->
+                  let plain =
+                    match String.lowercase_ascii face with
+                    | "train" ->
+                        Dp_certify.Certify.gibbs_source ~rows ~break_ ~seed
+                          ~eps:epsilon ()
+                    | _ -> (
+                        match Dp_engine.Query.parse face with
+                        | Error msg -> Error msg
+                        | Ok q ->
+                            let backend =
+                              match rdp with
+                              | None -> `Basic
+                              | Some d -> `Rdp d
+                            in
+                            Dp_certify.Certify.of_query ~rows ~backend
+                              ~break_ ~seed ~eps:epsilon q)
+                  in
+                  Result.map (fun s -> (s, fun () -> ())) plain
+            in
+            match source_r with
+            | Error msg -> fail msg
+            | Ok (source, close) -> (
+                match
+                  let g = Dp_rng.Prng.create seed in
+                  let s = Dp_certify.Certify.collect ~trials source g in
+                  (s, Dp_certify.Certify.analyze ~alpha source s)
+                with
+                | exception Dp_certify.Certify.Draw_failed msg ->
+                    close ();
+                    fail ("draw failed: " ^ msg)
+                | exception Invalid_argument msg ->
+                    close ();
+                    fail msg
+                | s, report -> (
+                    close ();
+                    let wrote =
+                      match samples_out with
+                      | None -> Ok ()
+                      | Some path -> (
+                          match open_out path with
+                          | oc ->
+                              Array.iter
+                                (fun v -> Printf.fprintf oc "%.17g\n" v)
+                                s.Dp_certify.Certify.a;
+                              close_out oc;
+                              Ok ()
+                          | exception Sys_error msg -> Error msg)
+                    in
+                    match wrote with
+                    | Error msg -> fail ("cannot write samples: " ^ msg)
+                    | Ok () ->
+                        Format.printf "%s@."
+                          (Dp_certify.Certify.verdict_line report);
+                        if report.Dp_certify.Certify.ok then `Ok ()
+                        else exit 1))))
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Statistically certify the claimed differential privacy of a query \
+          or train face — per-outcome likelihood-ratio, KS, model-fit and \
+          loss-tail tests on a canonical neighbour pair — in process or \
+          against a live TCP server; exits 1 on 'err certify-failed'.")
+    Term.(
+      ret
+        (const run $ seed_arg $ epsilon_arg $ trials_arg $ alpha_arg
+       $ rows_arg $ rdp_arg $ break_arg $ via_arg $ host_arg $ port_arg
+       $ samples_out_arg $ face_arg $ pre_arg $ post_arg))
+
 let () =
   let doc = "reproduction toolkit for 'Differentially-private Learning and Information Theory' (PAIS/EDBT 2012)" in
   let info = Cmd.info "dpkit" ~version:Dp_engine.Version.current ~doc in
@@ -684,5 +890,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd;
-            client_cmd; query_cmd; analyze_cmd; lint_cmd; stats_cmd;
+            client_cmd; query_cmd; analyze_cmd; certify_cmd; lint_cmd;
+            stats_cmd;
           ]))

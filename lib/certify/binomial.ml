@@ -1,0 +1,39 @@
+open Dp_math
+
+(* The regularized incomplete beta is strictly increasing in x on (0,1)
+   for positive shapes, so the quantile falls to plain bisection; 60
+   halvings pin the root far below any statistical resolution the
+   harness can distinguish. *)
+let beta_inv ~a ~b p =
+  if a <= 0. || b <= 0. then invalid_arg "Binomial.beta_inv: shapes must be positive";
+  if p <= 0. then 0.
+  else if p >= 1. then 1.
+  else begin
+    let lo = ref 0. and hi = ref 1. in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if Special.incomplete_beta_regularized ~a ~b ~x:mid < p then lo := mid
+      else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let clopper_pearson ~k ~n ~alpha =
+  if n <= 0 then invalid_arg "Binomial.clopper_pearson: n must be positive";
+  if k < 0 || k > n then invalid_arg "Binomial.clopper_pearson: k out of range";
+  if alpha <= 0. || alpha >= 1. then
+    invalid_arg "Binomial.clopper_pearson: alpha must be in (0,1)";
+  let a2 = alpha /. 2. in
+  let lo =
+    if k = 0 then 0.
+    else beta_inv ~a:(float_of_int k) ~b:(float_of_int (n - k + 1)) a2
+  in
+  let hi =
+    if k = n then 1.
+    else beta_inv ~a:(float_of_int (k + 1)) ~b:(float_of_int (n - k)) (1. -. a2)
+  in
+  (lo, hi)
+
+let smoothed ~k ~n =
+  if n <= 0 then invalid_arg "Binomial.smoothed: n must be positive";
+  (float_of_int k +. 0.5) /. (float_of_int n +. 1.)

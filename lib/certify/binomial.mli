@@ -1,0 +1,27 @@
+(** Exact binomial confidence machinery for the certification harness.
+
+    Clopper–Pearson intervals are the conservative (exact-coverage)
+    choice: the harness turns outcome frequencies into probability
+    intervals, and a privacy violation is only ever declared from the
+    interval endpoints, never from point estimates — so a [certify
+    failed] verdict holds at the stated confidence no matter how skewed
+    the outcome distribution is. *)
+
+val beta_inv : a:float -> b:float -> float -> float
+(** [beta_inv ~a ~b p]: the p-quantile of Beta(a, b), by bisection on
+    {!Dp_math.Special.incomplete_beta_regularized}. Clamped results at
+    [p <= 0] / [p >= 1] are 0 / 1.
+    @raise Invalid_argument for non-positive shapes. *)
+
+val clopper_pearson : k:int -> n:int -> alpha:float -> float * float
+(** Exact two-sided (1 − α) confidence interval for a binomial
+    proportion after [k] successes in [n] trials:
+    [(BetaInv(α/2; k, n−k+1), BetaInv(1−α/2; k+1, n−k))], with the
+    conventional 0 and 1 endpoints at [k = 0] and [k = n].
+    @raise Invalid_argument on [n <= 0], [k] out of range, or α outside
+    (0,1). *)
+
+val smoothed : k:int -> n:int -> float
+(** Haldane–Anscombe point estimate [(k + 1/2)/(n + 1)] — keeps the
+    log-ratio ε̂ finite for outcomes one side never produced.
+    @raise Invalid_argument on [n <= 0]. *)

@@ -1,0 +1,164 @@
+(** Statistical DP certification — the engine behind [dpkit certify].
+
+    A certification run executes one mechanism face (count / sum /
+    histogram / quantile query planning, or the Gibbs-posterior train
+    face) thousands of times on both sides of a canonical neighbour
+    pair and hypothesis-tests the claimed (ε, δ) against the observed
+    output distributions:
+
+    - {b lr}: the per-outcome likelihood-ratio test ({!Lr_test}) —
+      distribution-free, Clopper–Pearson-exact, Bonferroni-corrected; a
+      violation verdict holds at confidence 1 − α.
+    - {b ks}: the two-sample Kolmogorov–Smirnov statistic against the
+      ε-aware bound [TV ≤ (e^ε − 1 + 2δ)/(e^ε + 1)] plus two DKW
+      fluctuation terms.
+    - {b model}: χ² goodness of fit of the observed outcomes against
+      the claimed mechanism's closed-form distribution, when one exists
+      (geometric pmf, Laplace CDF, discrete-Gaussian pmf, Gibbs
+      posterior probabilities).
+    - {b tail}: the outcome mass the claimed closed-form loss
+      ({!Dp_mechanism.Laplace.log_likelihood_ratio} and friends) puts
+      beyond e^ε, bounded by Clopper–Pearson and compared against the
+      claimed δ.
+
+    Sources describe where samples come from; {!of_query} builds one on
+    the engine's own {!Dp_engine.Planner} release path against a
+    {!Dp_engine.Registry.synthetic} dataset and its [BASE~flip0]
+    neighbour, and [Via_tcp] builds one that drives a live
+    [dpkit serve --tcp] process. The harness never touches the engine's
+    privacy RNG stream: it owns its own generator and splits per-side
+    streams from it (lint rule R9 enforces the discipline). *)
+
+exception Draw_failed of string
+(** A source could not produce a sample (protocol error, unexpected
+    reply shape). Not a privacy verdict — the caller reports it as an
+    infrastructure failure. *)
+
+type source = {
+  name : string;  (** normalized query text, or ["train"] *)
+  eps : float;  (** claimed ε under test *)
+  delta : float;  (** claimed δ under test *)
+  bucket : float -> int;  (** outcome bucketing for the discrete tests *)
+  label : int -> string;
+  llr : (float -> float) option;
+      (** claimed model's closed-form privacy loss at an outcome *)
+  bin_prob : (int -> float) option;
+      (** claimed model's outcome-bucket probability on the first
+          dataset *)
+  draw1 : Dp_rng.Prng.t -> float;  (** one release on D *)
+  draw2 : Dp_rng.Prng.t -> float;  (** one release on the neighbour D' *)
+}
+
+type samples = { a : float array; b : float array }
+
+val collect : trials:int -> source -> Dp_rng.Prng.t -> samples
+(** Draw [trials] releases per side. Each side gets its own split of
+    the generator, so the two sample streams are independent and
+    deterministic given the seed.
+    @raise Invalid_argument on non-positive [trials]. *)
+
+type check = { check : string; ok : bool; detail : string }
+
+type report = {
+  source : string;
+  trials : int;
+  eps_claimed : float;
+  delta_claimed : float;
+  alpha : float;
+  eps_hat : float;  (** max smoothed per-outcome ε̂ *)
+  eps_lb : float;  (** max per-outcome lower confidence bound *)
+  checks : check list;
+  ok : bool;
+}
+
+val analyze : ?alpha:float -> source -> samples -> report
+(** Run every applicable check on already-collected samples (α defaults
+    to 0.05). *)
+
+val run : ?alpha:float -> trials:int -> source -> Dp_rng.Prng.t -> report
+(** [collect] then [analyze]. *)
+
+val verdict_line : report -> string
+(** The machine-readable verdict: [ok certified source=… trials=…
+    eps-claimed=… eps-hat=… eps-lb=… alpha=… checks=…] on success,
+    [err certify-failed … failed=…] listing the failing checks
+    otherwise. Deterministic given the samples. *)
+
+(** {2 Crash-recovery comparison}
+
+    Distribution tests cannot detect a replayed noise stream — re-served
+    pre-crash draws have exactly the claimed distribution. The recovery
+    check therefore pairs the two-sample tests (pre- and post-restart
+    outputs must stay within the same distribution) with a positional
+    equality detector: independent noise streams essentially never
+    agree coordinate-wise, so a high match fraction is the signature of
+    seeded-restart noise reuse. *)
+
+type recovery = {
+  n : int;  (** compared prefix length *)
+  match_fraction : float;
+  ks : Dp_stats.Gof.result;
+  chi2 : Dp_stats.Gof.result option;  (** present when a bucket is given *)
+  reuse : bool;  (** [match_fraction >= 0.9] over at least 10 draws *)
+  drifted : bool;  (** a same-distribution p-value fell below α *)
+  recovery_ok : bool;
+}
+
+val recovery_check :
+  ?alpha:float ->
+  ?bucket:(float -> int) ->
+  pre:float array ->
+  post:float array ->
+  unit ->
+  recovery
+(** @raise Invalid_argument on an empty side. *)
+
+val recovery_line : recovery -> string
+(** [ok certified recovery …] / [err certify-failed recovery …
+    failed=noise-reuse,distribution-drift]. *)
+
+val iround : float -> int
+(** Nearest-integer bucketing for integer-valued mechanisms. *)
+
+val grid_bucket : mid:float -> width:float -> float -> int
+(** Fixed-width grid bucketing anchored at [mid], for continuous
+    mechanisms. *)
+
+(** {2 In-process sources} *)
+
+type broken = [ `None | `Half_scale ]
+(** Deliberate-breakage hooks for the test suite: [`Half_scale] runs
+    the mechanism calibrated for 2ε while still claiming ε — the noise
+    has half the claimed scale, which the testers must detect. *)
+
+val of_query :
+  ?rows:int ->
+  ?backend:[ `Basic | `Rdp of float ] ->
+  ?break_:broken ->
+  seed:int ->
+  eps:float ->
+  Dp_engine.Query.t ->
+  (source, string) result
+(** Build a source on the engine's real release path: a
+    {!Dp_engine.Registry.synthetic} dataset (default 64 rows) and its
+    [certify~flip0] neighbour, each released through
+    {!Dp_engine.Planner.plan}. Scalar count/sum/mean sources carry the
+    matching closed forms; vector answers (histogram, cdf) are
+    projected onto the coordinate the neighbour pair moves most (a
+    fixed post-processing, so any violation found is genuine). Under
+    [`Rdp delta] the count face claims the discrete Gaussian's
+    RDP-converted (ε, δ). *)
+
+val gibbs_source :
+  ?predictors:int ->
+  ?rows:int ->
+  ?break_:broken ->
+  seed:int ->
+  eps:float ->
+  unit ->
+  (source, string) result
+(** The train face: a Gibbs posterior (paper Theorem 4.1) over a
+    threshold-classifier grid on the synthetic dataset and its
+    neighbour, with β calibrated so [2βΔR̂ = ε]. Outcomes are predictor
+    indices; the posterior's log-probabilities provide exact closed
+    forms for the model and tail checks. *)

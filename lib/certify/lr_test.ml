@@ -1,0 +1,107 @@
+type outcome = {
+  key : int;
+  label : string;
+  count1 : int;
+  count2 : int;
+  eps_hat : float;
+  eps_lb : float;
+  mass_lb : float;
+  violation : bool;
+}
+
+type t = {
+  trials1 : int;
+  trials2 : int;
+  distinct : int;
+  outcomes : outcome list;
+  eps_hat : float;
+  eps_lb : float;
+  violations : int;
+  ok : bool;
+}
+
+let default_label = string_of_int
+
+(* ε-DP says every outcome's probability ratio between neighbours lies
+   in [e^{-ε}, e^{ε}]. The test inverts this per bucketed outcome: from
+   Clopper–Pearson intervals [l1,u1] ∋ p and [l2,u2] ∋ q, every ratio
+   consistent with the data lies in [l1/u2, u1/l2], so
+
+     LB |log p/q| = max(log(l1/u2), log(l2/u1), 0)
+
+   is a conservative lower bound on the realized privacy loss. Intervals
+   are Bonferroni-corrected across the distinct outcomes, so the whole
+   test rejects a truly ε-DP mechanism with probability at most α. The
+   (ε, δ) relaxation allows outcomes beyond e^ε as long as their mass
+   is at most δ: an outcome only counts as a violation when even the
+   lower confidence bound of its mass exceeds δ. *)
+let run ~eps ?(delta = 0.) ?(alpha = 0.05) ?(label = default_label)
+    ~bucket samples1 samples2 =
+  let n1 = Array.length samples1 and n2 = Array.length samples2 in
+  if n1 = 0 || n2 = 0 then invalid_arg "Lr_test.run: empty sample";
+  if eps <= 0. then invalid_arg "Lr_test.run: eps must be positive";
+  if delta < 0. || delta >= 1. then
+    invalid_arg "Lr_test.run: delta must be in [0,1)";
+  if alpha <= 0. || alpha >= 1. then
+    invalid_arg "Lr_test.run: alpha must be in (0,1)";
+  let counts = Hashtbl.create 64 in
+  let bump side v =
+    let k = bucket v in
+    let c1, c2 = try Hashtbl.find counts k with Not_found -> (0, 0) in
+    Hashtbl.replace counts k
+      (if side then (c1 + 1, c2) else (c1, c2 + 1))
+  in
+  Array.iter (bump true) samples1;
+  Array.iter (bump false) samples2;
+  let distinct = Hashtbl.length counts in
+  let alpha_bonf = alpha /. float_of_int distinct in
+  let outcomes =
+    Hashtbl.fold
+      (fun key (count1, count2) acc ->
+        let l1, u1 = Binomial.clopper_pearson ~k:count1 ~n:n1 ~alpha:alpha_bonf in
+        let l2, u2 = Binomial.clopper_pearson ~k:count2 ~n:n2 ~alpha:alpha_bonf in
+        let lb a b = if a <= 0. then 0. else log (a /. b) in
+        let eps_lb = Float.max 0. (Float.max (lb l1 u2) (lb l2 u1)) in
+        let eps_hat =
+          Float.abs
+            (log
+               (Binomial.smoothed ~k:count1 ~n:n1
+               /. Binomial.smoothed ~k:count2 ~n:n2))
+        in
+        let mass_lb = Float.max l1 l2 in
+        let violation = eps_lb > eps && mass_lb > delta in
+        { key; label = label key; count1; count2; eps_hat; eps_lb; mass_lb;
+          violation }
+        :: acc)
+      counts []
+  in
+  let outcomes = List.sort (fun a b -> compare a.key b.key) outcomes in
+  let fold f init = List.fold_left f init outcomes in
+  let eps_hat = fold (fun m o -> Float.max m o.eps_hat) 0. in
+  let eps_lb = fold (fun m o -> Float.max m o.eps_lb) 0. in
+  let violations = fold (fun n o -> if o.violation then n + 1 else n) 0 in
+  {
+    trials1 = n1;
+    trials2 = n2;
+    distinct;
+    outcomes;
+    eps_hat;
+    eps_lb;
+    violations;
+    ok = violations = 0;
+  }
+
+(* The closed-form leg: mechanisms expose the claimed model's exact
+   per-outcome loss, so the mass observed beyond e^ε — which (ε, δ)-DP
+   caps at δ — can be bounded directly. *)
+let loss_tail ~llr ~eps ?(alpha = 0.05) samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Lr_test.loss_tail: empty sample";
+  let tol = 1e-9 *. Float.max 1. eps in
+  let k =
+    Array.fold_left
+      (fun acc y -> if Float.abs (llr y) > eps +. tol then acc + 1 else acc)
+      0 samples
+  in
+  let lo, hi = Binomial.clopper_pearson ~k ~n ~alpha in
+  (k, lo, hi)

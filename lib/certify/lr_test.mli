@@ -1,0 +1,66 @@
+(** The per-outcome likelihood-ratio test at the heart of [dpkit
+    certify].
+
+    ε-DP is exactly the statement that every outcome's probability
+    ratio between neighbouring datasets lies in [e^{−ε}, e^{ε}]
+    (paper §2.2). Given outcome samples from both sides of a neighbour
+    pair, this module buckets them, bounds each outcome's two
+    probabilities with Bonferroni-corrected Clopper–Pearson intervals,
+    and derives a conservative lower confidence bound on the realized
+    privacy loss [|log p/q|] per outcome. A violation is declared only
+    when that lower bound exceeds the claimed ε — and, for (ε, δ)
+    claims, only when the outcome's mass provably exceeds δ — so a
+    truly ε-DP mechanism fails the whole test with probability at most
+    α regardless of the outcome distribution. *)
+
+type outcome = {
+  key : int;  (** bucket key *)
+  label : string;
+  count1 : int;
+  count2 : int;
+  eps_hat : float;  (** Haldane–Anscombe-smoothed |log p̂/q̂| *)
+  eps_lb : float;  (** conservative lower confidence bound on |log p/q| *)
+  mass_lb : float;  (** lower confidence bound on max(p, q) *)
+  violation : bool;  (** [eps_lb > ε] and [mass_lb > δ] *)
+}
+
+type t = {
+  trials1 : int;
+  trials2 : int;
+  distinct : int;  (** distinct buckets observed (Bonferroni divisor) *)
+  outcomes : outcome list;  (** sorted by bucket key *)
+  eps_hat : float;  (** max smoothed point estimate over outcomes *)
+  eps_lb : float;  (** max lower confidence bound over outcomes *)
+  violations : int;
+  ok : bool;
+}
+
+val run :
+  eps:float ->
+  ?delta:float ->
+  ?alpha:float ->
+  ?label:(int -> string) ->
+  bucket:(float -> int) ->
+  float array ->
+  float array ->
+  t
+(** [run ~eps ~bucket s1 s2] tests the claimed ε (default δ = 0,
+    α = 0.05) on outcome samples from the two sides of a neighbour
+    pair. [bucket] maps a released value to its outcome bucket (the
+    identity rounding for integer mechanisms, a fixed-width grid for
+    continuous ones).
+    @raise Invalid_argument on empty samples or out-of-range ε, δ, α. *)
+
+val loss_tail :
+  llr:(float -> float) ->
+  eps:float ->
+  ?alpha:float ->
+  float array ->
+  int * float * float
+(** [loss_tail ~llr ~eps samples]: how much outcome mass the *claimed*
+    closed-form model puts beyond loss ε — the mass (ε, δ)-DP caps at
+    δ. Returns the exceedance count and its Clopper–Pearson interval.
+    For pure-ε mechanisms the closed form is bounded by ε, so the count
+    is 0 by construction; for the Gaussian mechanisms it measures the
+    realized δ.
+    @raise Invalid_argument on an empty sample. *)

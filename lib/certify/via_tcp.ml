@@ -1,0 +1,144 @@
+open Dp_net
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains_sub sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Extract the released value(s) from an [ok seq=… value=…] /
+   [values=[…]] reply line. *)
+let parse_answer line =
+  if not (starts_with "ok " line) then Error line
+  else
+    let tokens = String.split_on_char ' ' line in
+    let rec find = function
+      | [] -> Error ("no value in reply: " ^ line)
+      | t :: rest ->
+          if starts_with "value=" t then
+            match float_of_string_opt (String.sub t 6 (String.length t - 6)) with
+            | Some v -> Ok [| v |]
+            | None -> Error ("bad value in reply: " ^ line)
+          else if starts_with "values=[" t && String.length t > 9 then begin
+            let body = String.sub t 8 (String.length t - 9) in
+            let parts = String.split_on_char ',' body in
+            match
+              List.map
+                (fun p ->
+                  match float_of_string_opt p with
+                  | Some v -> v
+                  | None -> raise Exit)
+                parts
+            with
+            | vs -> Ok (Array.of_list vs)
+            | exception Exit -> Error ("bad values in reply: " ^ line)
+          end
+          else find rest
+    in
+    find tokens
+
+let request_answer session line =
+  match Client.request session line with
+  | Error msg -> raise (Certify.Draw_failed msg)
+  | Ok [] -> raise (Certify.Draw_failed "empty reply")
+  | Ok (first :: _) -> (
+      match parse_answer first with
+      | Ok vs -> vs
+      | Error msg -> raise (Certify.Draw_failed msg))
+
+let register session ~name ~rows ~eps =
+  let line =
+    Printf.sprintf "register %s rows=%d eps=1e12 delta=0.5 default-eps=%.12g \
+                    no-cache"
+      name rows eps
+  in
+  match Client.request session line with
+  | Error msg -> Error msg
+  | Ok (first :: _) when starts_with "ok registered" first -> Ok ()
+  | Ok (first :: _) when contains_sub "already registered" first ->
+      (* a restarted server recovered the pair from its journal *)
+      Ok ()
+  | Ok (first :: _) -> Error first
+  | Ok [] -> Error "empty reply to register"
+
+let mean xs =
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let source ?(rows = 64) ?(base = "certify") ~host ~port ~query ~eps () =
+  match Dp_engine.Query.parse query with
+  | Error msg -> Error ("certify: " ^ msg)
+  | Ok q -> (
+      let cfg = { (Client.default_config ~port) with Client.host } in
+      let session = Client.open_session cfg in
+      let neighbor = base ^ "~flip0" in
+      match
+        ( register session ~name:base ~rows ~eps,
+          register session ~name:neighbor ~rows ~eps )
+      with
+      | Error msg, _ | _, Error msg ->
+          Client.close_session session;
+          Error ("certify: register: " ^ msg)
+      | Ok (), Ok () ->
+          let norm = Dp_engine.Query.normalize q in
+          let ask name =
+            Printf.sprintf "query %s %s eps=%.12g" name norm eps
+          in
+          let raw1 () = request_answer session (ask base) in
+          let raw2 () = request_answer session (ask neighbor) in
+          (* Vector answers are projected onto the coordinate a small
+             pilot says the neighbour pair moves most; scalar answers
+             project trivially. The pilot also anchors the continuous
+             bucket grid — over the wire the auditor has no raw data,
+             so everything is estimated from released values only. *)
+          let pilot n f =
+            let acc = ref [||] in
+            for _ = 1 to n do
+              let v = f () in
+              if Array.length !acc = 0 then acc := Array.make (Array.length v) 0.;
+              Array.iteri (fun i x -> !acc.(i) <- !acc.(i) +. x) v
+            done;
+            Array.map (fun s -> s /. float_of_int n) !acc
+          in
+          let m1 = pilot 32 raw1 and m2 = pilot 32 raw2 in
+          let j = ref 0 in
+          Array.iteri
+            (fun i x ->
+              if Float.abs (x -. m2.(i)) > Float.abs (m1.(!j) -. m2.(!j)) then
+                j := i)
+            m1;
+          let j = !j in
+          let integer_outcomes =
+            match q with Dp_engine.Query.Count _ -> true | _ -> false
+          in
+          let bucket =
+            if integer_outcomes then Certify.iround
+            else begin
+              (* a grid of half the wire precision floor or the claimed
+                 scale, anchored between the two pilot means *)
+              let mid = 0.5 *. (m1.(j) +. m2.(j)) in
+              let spread =
+                Float.max (Float.abs (mean m1 -. mean m2)) (0.5 /. eps)
+              in
+              Certify.grid_bucket ~mid ~width:(Float.max (spread /. 4.) 1e-6)
+            end
+          in
+          let project vs =
+            if j < Array.length vs then vs.(j)
+            else raise (Certify.Draw_failed "projection out of range")
+          in
+          Ok
+            ( {
+                Certify.name = norm;
+                eps;
+                delta = 0.;
+                bucket;
+                label = string_of_int;
+                llr = None;
+                bin_prob = None;
+                draw1 = (fun _ -> project (raw1 ()));
+                draw2 = (fun _ -> project (raw2 ()));
+              },
+              fun () -> Client.close_session session ))

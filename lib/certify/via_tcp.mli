@@ -1,0 +1,31 @@
+(** TCP-backed certification sources — [dpkit certify --via tcp].
+
+    Certifies the *served binary*, not a library re-run: the source
+    registers a {!Dp_engine.Registry.synthetic} dataset and its
+    [BASE~flip0] neighbour on a live [dpkit serve --tcp] process (huge
+    budget, caching off, so every trial is a fresh release), then draws
+    every sample through {!Dp_net.Client} sessions — the same retrying
+    client path analysts use, which is what lets fault-armed soak legs
+    (conn-reset, journal faults) and kill −9 restarts happen mid-run
+    without tearing the measurement. Registration tolerates ["already
+    registered"], so a harness can reconnect to a restarted server that
+    recovered the pair from its journal.
+
+    Over the wire the auditor holds no raw data, so TCP sources carry
+    no closed forms ([llr = bin_prob = None]): the distribution-free
+    lr and ks legs do the testing, with bucket grids anchored on a
+    small pilot of released values. *)
+
+val source :
+  ?rows:int ->
+  ?base:string ->
+  host:string ->
+  port:int ->
+  query:string ->
+  eps:float ->
+  unit ->
+  (Certify.source * (unit -> unit), string) result
+(** [source ~host ~port ~query ~eps ()] registers the neighbour pair
+    (default name [certify], 64 rows) and returns the source plus a
+    closer for the underlying session. Draw failures surface as
+    {!Certify.Draw_failed}. *)

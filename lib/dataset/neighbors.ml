@@ -49,6 +49,53 @@ let neighbors_of_sample ~universe sample =
   done;
   Array.of_list !out
 
+let random_scalar_pair ~universe ~n g =
+  if universe < 2 then
+    invalid_arg "Neighbors.random_scalar_pair: universe must be at least 2";
+  if n <= 0 then invalid_arg "Neighbors.random_scalar_pair: n must be positive";
+  let base = Array.init n (fun _ -> Dp_rng.Prng.int g universe) in
+  let index = Dp_rng.Prng.int g n in
+  (* uniform over the universe-1 values distinct from the current one,
+     so the pair differs in exactly one record by construction *)
+  let shifted = Dp_rng.Prng.int g (universe - 1) in
+  let value = if shifted >= base.(index) then shifted + 1 else shifted in
+  (base, perturb_scalar_database base ~index ~value)
+
+let random_dataset_pair d g =
+  let n = Dataset.size d and dim = Dataset.dim d in
+  let index = Dp_rng.Prng.int g n in
+  let col_range j =
+    let lo = ref infinity and hi = ref neg_infinity in
+    Array.iter
+      (fun row ->
+        if row.(j) < !lo then lo := row.(j);
+        if row.(j) > !hi then hi := row.(j))
+      d.Dataset.features;
+    (!lo, !hi)
+  in
+  let lab_lo = Array.fold_left min infinity d.Dataset.labels in
+  let lab_hi = Array.fold_left max neg_infinity d.Dataset.labels in
+  let uniform lo hi = lo +. (Dp_rng.Prng.float g *. (hi -. lo)) in
+  let fresh_row () =
+    ( Array.init dim (fun j ->
+          let lo, hi = col_range j in
+          uniform lo hi),
+      uniform lab_lo lab_hi )
+  in
+  let x0, y0 = Dataset.row d index in
+  let differs (x, y) = y <> y0 || Array.exists2 (fun a b -> a <> b) x x0 in
+  let rec draw tries =
+    if tries = 0 then
+      (* degenerate ranges (e.g. a single-record dataset): perturb
+         deterministically so the pair still differs in one record *)
+      (Array.copy x0, y0 +. 1.)
+    else
+      let row = fresh_row () in
+      if differs row then row else draw (tries - 1)
+  in
+  let row = draw 64 in
+  (d, Dataset.replace_row d index row, index)
+
 let hamming_distance a b =
   if Array.length a <> Array.length b then
     invalid_arg "Neighbors.hamming_distance: length mismatch";

@@ -28,6 +28,25 @@ val neighbors_of_sample : universe:int -> int array -> int array array
 (** All samples differing from the given one in exactly one position
     ([n × (universe-1)] rows). *)
 
+val random_scalar_pair :
+  universe:int -> n:int -> Dp_rng.Prng.t -> int array * int array
+(** A uniformly random sample of size [n] over [{0..universe-1}]
+    together with a uniformly random neighbour: one position is chosen
+    uniformly and its value resampled among the [universe-1] other
+    values, so the pair differs in exactly one record by construction.
+    The statistical certification harness draws its trial pairs here.
+    @raise Invalid_argument when [universe < 2] or [n <= 0]. *)
+
+val random_dataset_pair :
+  Dataset.t -> Dp_rng.Prng.t -> Dataset.t * Dataset.t * int
+(** A random neighbour of a supervised dataset: one row index is chosen
+    uniformly and that row replaced by a fresh one drawn from the
+    dataset's own per-column empirical ranges (resampled until it
+    differs; on fully degenerate ranges — e.g. a single repeated row —
+    the label is bumped deterministically). Returns
+    [(d, d', index)] where [d'] differs from [d] in exactly row
+    [index] and shares its schema (size and feature dimension). *)
+
 val hamming_distance : int array -> int array -> int
 (** Number of positions at which the two samples differ.
     @raise Invalid_argument on length mismatch. *)

@@ -184,7 +184,15 @@ let register_synthetic t ~name ~rows ~policy =
   match Registry.find t.registry name with
   | Some _ -> Error (Printf.sprintf "dataset %S already registered" name)
   | None -> (
-      let seed = dataset_seed t name in
+      (* a [BASE~flipN] neighbour must share BASE's generator stream —
+         seeding from the full name would give unrelated data, not a
+         pair differing in one record *)
+      let seed =
+        dataset_seed t
+          (match Registry.neighbor_flip name with
+          | Some (base, _) -> base
+          | None -> name)
+      in
       match
         Registry.synthetic ~name ~rows ~policy (Dp_rng.Prng.create seed)
       with

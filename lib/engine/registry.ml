@@ -112,6 +112,20 @@ let schema_of (ds : dataset) =
 let schema_column s name =
   Array.find_opt (fun (c : col_schema) -> c.col = name) s.cols
 
+let neighbor_flip name =
+  match String.rindex_opt name '~' with
+  | None -> None
+  | Some i when i = 0 -> None
+  | Some i ->
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      if String.length suffix > 4 && String.sub suffix 0 4 = "flip" then
+        match
+          int_of_string_opt (String.sub suffix 4 (String.length suffix - 4))
+        with
+        | Some row when row >= 0 -> Some (String.sub name 0 i, row)
+        | _ -> None
+      else None
+
 let synthetic ~name ~rows ~policy g =
   if rows <= 0 then invalid_arg "Registry.synthetic: rows must be positive";
   let age =
@@ -124,6 +138,26 @@ let synthetic ~name ~rows ~policy g =
   let score =
     Array.init rows (fun _ -> Dp_rng.Sampler.gaussian ~mean:0. ~std:1. g)
   in
+  (* A [BASE~flipN] name asks for the canonical neighbour of BASE: the
+     same generator stream produces identical columns, then row N is
+     pushed to its opposite bound in every column. Comparing against the
+     post-clamp value guarantees the pair differs in exactly that record
+     even when the raw draw was already outside the bounds. *)
+  (match neighbor_flip name with
+  | None -> ()
+  | Some (_, row) ->
+      if row >= rows then
+        invalid_arg
+          (Printf.sprintf
+             "Registry.synthetic: neighbour flip row %d out of range (%d rows)"
+             row rows);
+      let flip values lo hi =
+        let v = Dp_math.Numeric.clamp ~lo ~hi values.(row) in
+        values.(row) <- (if v = lo then hi else lo)
+      in
+      flip age 18. 80.;
+      flip income 0. 200_000.;
+      flip score (-4.) 4.);
   dataset ~name ~policy
     ~columns:
       [

@@ -77,12 +77,27 @@ val schema_of : dataset -> schema
 
 val schema_column : schema -> string -> col_schema option
 
+val neighbor_flip : string -> (string * int) option
+(** Parse the neighbour-naming convention: ["BASE~flipN"] is [Some
+    ("BASE", N)], anything else [None]. A dataset registered under such
+    a name is the canonical neighbour of [BASE] — see {!synthetic}. *)
+
 val synthetic :
   name:string -> rows:int -> policy:policy -> Dp_rng.Prng.t -> dataset
 (** A deterministic (given the generator) demo dataset with columns
     [age] ∈ [18,80], [income] ∈ [0,200000] (bimodal), and [score]
     ∈ [−4,4] (standard normal, clamped).
-    @raise Invalid_argument when [rows <= 0]. *)
+
+    When [name] matches the ["BASE~flipN"] convention the generator
+    stream is used exactly as for [BASE] and row [N] is then pushed to
+    the opposite column bound in every column, producing a dataset that
+    differs from [BASE] (generated from the same stream) in exactly one
+    record. The certification harness registers such pairs on a live
+    server; because the flip is a pure function of the (name, seed)
+    pair, journal recovery regenerates the neighbour byte-for-byte with
+    no journal format change.
+    @raise Invalid_argument when [rows <= 0] or the flip row is out of
+    range. *)
 
 type t
 

@@ -1,10 +1,10 @@
 (** The named privacy-invariant rules.
 
-    Token-level rules (R1, R2, R4, R5, R6, R7, R8) run per file via
+    Token-level rules (R1, R2, R4, R5, R6, R7, R8, R9) run per file via
     {!run}; the interface-coverage rule (R3) runs once over the scanned
     file set via {!r3}. Scoping is by path segment — e.g. R2/R5/R6 only
     fire in [lib/engine], R7 in [lib/engine] and [lib/mechanism], R8 in
-    [lib/train] — see {!all} for the catalogue. *)
+    [lib/train], R9 in [lib/certify] — see {!all} for the catalogue. *)
 
 type ctx = {
   file : string;  (** path as reported, '/'-separated *)

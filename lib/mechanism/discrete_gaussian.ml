@@ -43,6 +43,24 @@ let pmf t k =
   done;
   exp (-.float_of_int (k * k) /. s2) /. !z
 
+let log_likelihood_ratio t ~value1 ~value2 k =
+  if t.sensitivity = 0 then
+    (* deterministic point masses: the same 0 / ±inf / nan limits the
+       geometric mechanism keeps at sensitivity 0 *)
+    match (k = value1, k = value2) with
+    | true, true -> 0.
+    | true, false -> infinity
+    | false, true -> neg_infinity
+    | false, false -> nan
+  else
+    (* closed form: log pmf(k | v) = -(k - v)^2 / (2 sigma^2) - log Z,
+       the series normalizer Z cancels, and the squares are expanded
+       before subtracting — exact at any distance from the true values,
+       where the pmfs themselves underflow to 0 *)
+    float_of_int
+      (((k - value2) * (k - value2)) - ((k - value1) * (k - value1)))
+    /. (2. *. t.sigma *. t.sigma)
+
 let rdp t =
   Rdp.gaussian ~l2_sensitivity:(float_of_int t.sensitivity) ~std:t.sigma
 

@@ -23,6 +23,15 @@ val release : t -> value:int -> Dp_rng.Prng.t -> int
 val pmf : t -> int -> float
 (** Exact noise pmf at an offset (series-normalized to ~1e-12). *)
 
+val log_likelihood_ratio : t -> value1:int -> value2:int -> int -> float
+(** Exact privacy loss at one output for two true values: the series
+    normalizer cancels, leaving [((k−v2)² − (k−v1)²)/(2σ²)] — computed
+    in expanded integer form so it stays exact arbitrarily far in the
+    tails (where the pmfs underflow to 0). Like the continuous
+    Gaussian the loss is unbounded in [k]; the harness compares the
+    outcome mass beyond [e^ε] against the δ of {!budget}. At
+    sensitivity 0 the point-mass limits apply (0, ±∞, or nan). *)
+
 val rdp : t -> Rdp.curve
 (** The mechanism's RDP curve [α ↦ α·Δ²/(2σ²)] (a valid upper bound
     per CKS). *)

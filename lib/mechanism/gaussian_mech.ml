@@ -27,3 +27,24 @@ let release t ~value g =
   end
 
 let release_vector t ~value g = Array.map (fun v -> release t ~value:v g) value
+
+let cdf t ~value y =
+  let s = std t in
+  if s = 0. then (if y >= value then 1. else 0.)
+  else Special.std_normal_cdf ((y -. value) /. s)
+
+let log_likelihood_ratio t ~value1 ~value2 y =
+  let s = std t in
+  if s = 0. then
+    invalid_arg
+      "Gaussian_mech.log_likelihood_ratio: zero-sensitivity mechanism is \
+       deterministic";
+  (* closed form: the sqrt(2 pi) s normalizers cancel and the squares
+     are expanded before subtracting, so the ratio is exact arbitrarily
+     far in the tails (where the densities themselves underflow to 0):
+     log N(y; v1, s) - log N(y; v2, s)
+       = ((y - v2)^2 - (y - v1)^2) / (2 s^2)
+       = (v1 - v2) (2 y - v1 - v2) / (2 s^2).
+     Unlike the pure-eps mechanisms this is unbounded in y — the
+    (eps, delta) relaxation shows up as outcome mass beyond e^eps. *)
+  (value1 -. value2) *. ((2. *. y) -. value1 -. value2) /. (2. *. s *. s)

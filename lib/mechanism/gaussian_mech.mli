@@ -15,3 +15,17 @@ val std : t -> float
 val budget : t -> Privacy.budget
 val release : t -> value:float -> Dp_rng.Prng.t -> float
 val release_vector : t -> value:float array -> Dp_rng.Prng.t -> float array
+
+val cdf : t -> value:float -> float -> float
+(** Output CDF at [y] when the true query value is [value]. *)
+
+val log_likelihood_ratio : t -> value1:float -> value2:float -> float -> float
+(** Log of the output-density ratio at one point for two true values —
+    the privacy loss the certification harness tests. Computed in
+    closed form [(v1 − v2)(2y − v1 − v2)/(2σ²)] (normalizers cancel,
+    squares expanded before subtraction), so it stays exact arbitrarily
+    far in the tails where the densities underflow to 0. Unlike the
+    pure-ε mechanisms the loss is unbounded in [y]: the (ε, δ)
+    relaxation is precisely the outcome mass whose loss exceeds ε.
+    @raise Invalid_argument on a zero-sensitivity (deterministic)
+    mechanism. *)

@@ -128,7 +128,7 @@ let backoff cfg ~attempt =
    retry-after hint; everything else sleeps capped exponential backoff
    with full jitter, so a herd of clients bounced by the same restart
    does not return as a herd. *)
-let request cfg wire line =
+let request_on cfg wire line =
   let rec attempt n =
     let retry err =
       disconnect !wire;
@@ -178,6 +178,19 @@ let request cfg wire line =
   in
   attempt 1
 
+(* Sessions: the same retrying request loop over a persistent
+   connection, exposed programmatically so the certification harness
+   can drive a live server through the exact client code path analysts
+   use (reconnect-on-reset included). *)
+type session = { cfg : config; wire : wire option ref }
+
+let open_session cfg = { cfg; wire = ref None }
+let request s line = request_on s.cfg s.wire line
+
+let close_session s =
+  disconnect !(s.wire);
+  s.wire := None
+
 let skip line =
   let line = String.trim line in
   line = "" || line.[0] = '#'
@@ -189,7 +202,7 @@ let run cfg ic oc =
      while true do
        let line = input_line ic in
        if not (skip line) then begin
-         (match request cfg wire line with
+         (match request_on cfg wire line with
          | Ok frame -> List.iter (fun l -> Printf.fprintf oc "%s\n" l) frame
          | Error msg ->
              incr failures;

@@ -35,6 +35,28 @@ type config = {
 val default_config : port:int -> config
 (** 127.0.0.1, 8 attempts, 50ms base, 2s cap, 10s reply timeout. *)
 
+(** {2 Sessions}
+
+    The same retrying request loop, exposed programmatically over a
+    persistent connection. The statistical certification harness
+    ([dpkit certify --via tcp]) uses sessions to drive a live server
+    through the exact code path analysts use — including transparent
+    reconnection after a connection reset, which is what lets the
+    fault-armed soak legs keep measuring across injected resets. *)
+
+type session
+
+val open_session : config -> session
+(** Lazy: no connection is made until the first {!request}. *)
+
+val request : session -> string -> (string list, string) result
+(** One request line, retried to a final reply frame (returned without
+    the blank terminator). [Error] only after [attempts] give-ups. *)
+
+val close_session : session -> unit
+(** Close the underlying connection, if any. The session may be reused
+    (the next {!request} reconnects). *)
+
 val run : config -> in_channel -> out_channel -> int
 (** Drive requests from the channel until EOF; returns the exit code —
     0 when every request reached a final reply, 1 when any gave up. *)

@@ -82,3 +82,40 @@ let chi_square_gof ~expected ~observed =
         Numeric.sq (observed.(i) -. expected.(i)) /. expected.(i))
   in
   { statistic = stat; p_value = chi_square_sf ~df:(k - 1) stat }
+
+let chi_square_two_sample counts1 counts2 =
+  let k = Array.length counts1 in
+  if k = 0 then invalid_arg "Gof.chi_square_two_sample: empty input";
+  if Array.length counts2 <> k then
+    invalid_arg "Gof.chi_square_two_sample: length mismatch";
+  Array.iter
+    (fun c ->
+      if c < 0. || not (Float.is_finite c) then
+        invalid_arg "Gof.chi_square_two_sample: negative count")
+    counts1;
+  Array.iter
+    (fun c ->
+      if c < 0. || not (Float.is_finite c) then
+        invalid_arg "Gof.chi_square_two_sample: negative count")
+    counts2;
+  let n1 = Numeric.float_sum_range k (fun i -> counts1.(i)) in
+  let n2 = Numeric.float_sum_range k (fun i -> counts2.(i)) in
+  if n1 = 0. || n2 = 0. then
+    invalid_arg "Gof.chi_square_two_sample: empty sample";
+  (* expected counts from the pooled proportions; all-empty bins carry
+     no information and contribute no degree of freedom *)
+  let stat = ref 0. and df = ref (-1) in
+  for i = 0 to k - 1 do
+    let pooled = counts1.(i) +. counts2.(i) in
+    if pooled > 0. then begin
+      incr df;
+      let e1 = n1 *. pooled /. (n1 +. n2) in
+      let e2 = n2 *. pooled /. (n1 +. n2) in
+      stat :=
+        !stat
+        +. (Numeric.sq (counts1.(i) -. e1) /. e1)
+        +. (Numeric.sq (counts2.(i) -. e2) /. e2)
+    end
+  done;
+  if !df < 1 then { statistic = 0.; p_value = 1. }
+  else { statistic = !stat; p_value = chi_square_sf ~df:!df !stat }

@@ -19,5 +19,15 @@ val chi_square_gof : expected:float array -> observed:float array -> result
     @raise Invalid_argument on length mismatch, empty input, or a
     non-positive expected count. *)
 
+val chi_square_two_sample : float array -> float array -> result
+(** Two-sample Pearson χ² on parallel bin counts: expected counts come
+    from the pooled proportions, degrees of freedom are the non-empty
+    pooled bins minus one (all-empty bins carry no information). The
+    certification harness uses this as its bucketed same-distribution
+    tester. With fewer than two non-empty bins the statistic is 0 and
+    the p-value 1.
+    @raise Invalid_argument on length mismatch, empty input, a negative
+    or non-finite count, or an all-zero sample. *)
+
 val chi_square_sf : df:int -> float -> float
 (** Survival function of the χ² distribution: [P(X > x)]. *)

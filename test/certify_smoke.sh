@@ -1,0 +1,35 @@
+#!/bin/sh
+# `dpkit certify` is deterministic given --seed: the in-process faces
+# draw from the harness's own seeded generator, so the verdict line for
+# the laplace sum face is pinned byte-for-byte. The deliberately broken
+# half-scale variant must be flagged as `err certify-failed` with
+# exit 1 — the gate CI trusts.
+set -u
+
+DPKIT="$1"
+
+out=$("$DPKIT" certify "sum(income)" --trials 500 --seed 20120330) || {
+  echo "FAIL: certify exited nonzero on the honest face"
+  exit 1
+}
+printf '%s\n' "$out" | diff certify_smoke.expected - || {
+  echo "FAIL: verdict drifted from the pinned fixture"
+  exit 1
+}
+
+broken=$("$DPKIT" certify "sum(income)" --trials 500 --seed 20120330 \
+  --break half-scale)
+rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: half-scale face exited $rc, want 1"
+  exit 1
+fi
+case "$broken" in
+  "err certify-failed "*) ;;
+  *)
+    echo "FAIL: half-scale face verdict: $broken"
+    exit 1
+    ;;
+esac
+
+echo "certify smoke: pinned verdict stable, half-scale break flagged"

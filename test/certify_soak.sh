@@ -1,0 +1,101 @@
+#!/bin/sh
+# Statistical DP-certification soak: `dpkit certify --via tcp` drives a
+# live `dpkit serve --tcp` process and hypothesis-tests the claimed
+# epsilon on the wire, under faults and across crash-recovery. Legs:
+#   1. fault-armed serving: journal and rng transients plus network
+#      tears (CERTIFY_FAULTS overrides the spec); the certification
+#      must still pass — injected faults shake the transport and the
+#      durability layer, never the output distribution.
+#   2. kill -9, then restart on the same journal with a fresh seed: the
+#      engine re-keys its noise stream from OS entropy on journal
+#      attach, so `certify compare` of pre/post-restart outputs must
+#      certify (same distribution, no positional noise reuse).
+#   3. journal-less restart with the *same* --seed: the noise stream
+#      replays from the top, and `certify compare` must refuse with
+#      err certify-failed recovery ... failed=noise-reuse.
+# CERTIFY_TRIALS scales the soak (CI runs the long leg; dune runtest
+# keeps it short). alpha is pinned low so the statistical legs flake
+# less than once per ~100 CI runs even though live noise is entropy-
+# keyed and genuinely fresh each run.
+set -eu
+
+DPKIT="$1"
+TRIALS="${CERTIFY_TRIALS:-250}"
+FAULTS="${CERTIFY_FAULTS:-journal-write=2,journal-fsync=3,rng=2,conn-reset=6,write-drop=9}"
+ALPHA=0.01
+
+J="certify_soak.wal"
+rm -f "$J" certify_srv*.log certify_pre.txt certify_post.txt \
+  certify_reuse_a.txt certify_reuse_b.txt certify_cmp.out
+
+fail() {
+  echo "FAIL: $1"
+  exit 1
+}
+
+wait_listening() { # wait_listening LOGFILE
+  i=0
+  while [ $i -lt 100 ]; do
+    if grep -q "listening port=" "$1" 2>/dev/null; then return 0; fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  fail "server did not start listening ($1)"
+}
+
+port_of() { sed -n 's/.*listening port=\([0-9]*\).*/\1/p' "$1"; }
+
+stop_hard() { # stop_hard PID
+  kill -9 "$1" 2>/dev/null || true
+  wait "$1" 2>/dev/null || true
+}
+
+# --- leg 1: certification under injected faults -----------------------
+"$DPKIT" serve --tcp 0 --seed 11 --journal "$J" --faults "$FAULTS" \
+  > certify_srv1.log 2>&1 &
+SRV=$!
+wait_listening certify_srv1.log
+PORT=$(port_of certify_srv1.log)
+"$DPKIT" certify "count(age>40)" --via tcp --port "$PORT" \
+  --trials "$TRIALS" --alpha "$ALPHA" --samples-out certify_pre.txt \
+  || fail "fault-armed certification failed (faults=$FAULTS)"
+stop_hard "$SRV"
+
+# --- leg 2: kill -9 + journal recovery, fresh seed --------------------
+"$DPKIT" serve --tcp 0 --seed 22 --journal "$J" > certify_srv2.log 2>&1 &
+SRV=$!
+wait_listening certify_srv2.log
+grep -q "replayed" certify_srv2.log || fail "restart did not recover the journal"
+PORT=$(port_of certify_srv2.log)
+"$DPKIT" certify "count(age>40)" --via tcp --port "$PORT" \
+  --trials "$TRIALS" --alpha "$ALPHA" --samples-out certify_post.txt \
+  || fail "post-recovery certification failed"
+stop_hard "$SRV"
+"$DPKIT" certify compare certify_pre.txt certify_post.txt --alpha "$ALPHA" \
+  || fail "recovery comparison refused a clean re-keyed restart"
+
+# --- leg 3: seeded journal-less restart = noise reuse, must be caught -
+run_reuse_leg() { # run_reuse_leg OUTFILE LOGFILE
+  "$DPKIT" serve --tcp 0 --seed 33 > "$2" 2>&1 &
+  SRV=$!
+  wait_listening "$2"
+  PORT=$(port_of "$2")
+  "$DPKIT" certify "count(age>40)" --via tcp --port "$PORT" \
+    --trials "$TRIALS" --alpha "$ALPHA" --samples-out "$1" > /dev/null \
+    || fail "reuse-leg certification run failed ($1)"
+  stop_hard "$SRV"
+}
+run_reuse_leg certify_reuse_a.txt certify_srv3.log
+run_reuse_leg certify_reuse_b.txt certify_srv4.log
+if "$DPKIT" certify compare certify_reuse_a.txt certify_reuse_b.txt \
+  > certify_cmp.out 2>&1; then
+  cat certify_cmp.out
+  fail "seeded-restart noise reuse was not detected"
+fi
+grep -q "err certify-failed recovery" certify_cmp.out \
+  || fail "reuse verdict malformed: $(cat certify_cmp.out)"
+grep -q "noise-reuse" certify_cmp.out \
+  || fail "reuse verdict does not name noise-reuse: $(cat certify_cmp.out)"
+
+echo "certify soak: fault-armed leg certified, kill -9 recovery within \
+claimed eps, seeded noise reuse refused (trials=$TRIALS)"

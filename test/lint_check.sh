@@ -1,6 +1,6 @@
 #!/bin/sh
 # dpkit lint must (1) flag every seeded violation in lint_corpus/ with
-# the expected rule id — exactly one finding per file, eight total —
+# the expected rule id — exactly one finding per file, nine total —
 # (2) honour per-rule exemptions, and (3) report zero findings on the
 # repository's own sources.
 set -u
@@ -13,7 +13,7 @@ if [ $? -eq 0 ]; then
   exit 1
 fi
 
-for r in R1 R2 R3 R4 R5 R6 R7 R8; do
+for r in R1 R2 R3 R4 R5 R6 R7 R8 R9; do
   if ! printf '%s\n' "$out" | grep -q "\"rule\":\"$r\""; then
     echo "FAIL: rule $r did not fire on its corpus file"
     printf '%s\n' "$out"
@@ -22,8 +22,8 @@ for r in R1 R2 R3 R4 R5 R6 R7 R8; do
 done
 
 n=$(printf '%s\n' "$out" | grep -c '"rule"')
-if [ "$n" -ne 8 ]; then
-  echo "FAIL: expected exactly 8 corpus findings, got $n"
+if [ "$n" -ne 9 ]; then
+  echo "FAIL: expected exactly 9 corpus findings, got $n"
   printf '%s\n' "$out"
   exit 1
 fi
@@ -34,7 +34,7 @@ printf 'R7 bad_r7.ml\n' > "$ex"
 out2=$("$DPKIT" lint --format json --exempt "$ex" lint_corpus)
 rm -f "$ex"
 n2=$(printf '%s\n' "$out2" | grep -c '"rule"')
-if [ "$n2" -ne 7 ] || printf '%s\n' "$out2" | grep -q '"rule":"R7"'; then
+if [ "$n2" -ne 8 ] || printf '%s\n' "$out2" | grep -q '"rule":"R7"'; then
   echo "FAIL: R7 exemption did not suppress exactly the R7 finding"
   printf '%s\n' "$out2"
   exit 1
@@ -45,4 +45,4 @@ if ! "$DPKIT" lint --exempt ../lint.exempt ..; then
   exit 1
 fi
 
-echo "lint: 8/8 corpus violations flagged, R7 exemptable, repository clean"
+echo "lint: 9/9 corpus violations flagged, R7 exemptable, repository clean"

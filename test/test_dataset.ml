@@ -188,6 +188,39 @@ let test_neighbors () =
     Alcotest.fail "accepted huge space"
   with Invalid_argument _ -> ()
 
+let dataset_row_diffs d d' =
+  let diffs = ref 0 in
+  for i = 0 to Dataset.size d - 1 do
+    let xi, yi = Dataset.row d i and xi', yi' = Dataset.row d' i in
+    if xi <> xi' || yi <> yi' then incr diffs
+  done;
+  !diffs
+
+let test_neighbor_pairs () =
+  (* scalar pairs: edge cases around the degenerate sizes *)
+  (try
+     ignore (Neighbors.worst_case_pair_for_count [||]);
+     Alcotest.fail "accepted empty database"
+   with Invalid_argument _ -> ());
+  let g = Dp_rng.Prng.create 11 in
+  (try
+     ignore (Neighbors.random_scalar_pair ~universe:1 ~n:5 g);
+     Alcotest.fail "accepted singleton universe"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Neighbors.random_scalar_pair ~universe:2 ~n:0 g);
+     Alcotest.fail "accepted empty sample"
+   with Invalid_argument _ -> ());
+  (* single-record sample: the one record must flip *)
+  let d, d' = Neighbors.random_scalar_pair ~universe:2 ~n:1 g in
+  Alcotest.(check int) "single record flips" 1 (Neighbors.hamming_distance d d');
+  (* single-record dataset with fully degenerate ranges still yields a
+     proper neighbour *)
+  let one = Dataset.create [| [| 2.; 2. |] |] [| 2. |] in
+  let a, b, idx = Neighbors.random_dataset_pair one g in
+  Alcotest.(check int) "index" 0 idx;
+  Alcotest.(check int) "degenerate still differs" 1 (dataset_row_diffs a b)
+
 let test_csv_roundtrip () =
   let path = Filename.temp_file "dp_test" ".csv" in
   Fun.protect
@@ -221,6 +254,32 @@ let qcheck_tests =
         let s = Array.make n 0 in
         Array.length (Neighbors.neighbors_of_sample ~universe s)
         = n * (universe - 1));
+    Test.make ~name:"random_scalar_pair differs in exactly one record"
+      ~count:200
+      (triple (int_range 0 1000) (int_range 2 10) (int_range 1 40))
+      (fun (seed, universe, n) ->
+        let g = Dp_rng.Prng.create seed in
+        let d, d' = Neighbors.random_scalar_pair ~universe ~n g in
+        Array.length d = n
+        && Array.length d' = n
+        && Neighbors.hamming_distance d d' = 1
+        && Array.for_all (fun x -> x >= 0 && x < universe) d');
+    Test.make ~name:"random_dataset_pair: one row, same schema" ~count:100
+      (pair (int_range 0 1000) (int_range 1 30))
+      (fun (seed, n) ->
+        let g = Dp_rng.Prng.create seed in
+        let d =
+          if n = 1 then Dataset.create [| [| 1.; 1. |] |] [| 1. |]
+          else Synthetic.linear_regression ~theta:[| 1.; -1. |] ~noise_std:1. ~n g
+        in
+        let a, b, idx = Neighbors.random_dataset_pair d g in
+        Dataset.size b = Dataset.size a
+        && Dataset.dim b = Dataset.dim a
+        && idx >= 0
+        && idx < Dataset.size a
+        && dataset_row_diffs a b = 1
+        && (fst (Dataset.row b idx) <> fst (Dataset.row a idx)
+           || snd (Dataset.row b idx) <> snd (Dataset.row a idx)));
     Test.make ~name:"clip never increases norm" ~count:100
       (pair (int_range 0 1000) (float_range 0.1 5.))
       (fun (seed, radius) ->
@@ -256,6 +315,8 @@ let () =
       ( "neighbors & csv",
         [
           Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "neighbor pairs (edge cases)" `Quick
+            test_neighbor_pairs;
           Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);

@@ -160,6 +160,56 @@ let test_gaussian_mech () =
   let v = Gaussian_mech.release_vector m ~value:[| 1.; 2. |] g in
   Alcotest.(check int) "vector length" 2 (Array.length v)
 
+let test_gaussian_llr_far_tail () =
+  (* Mirror of the Laplace far-tail regression: log density - log
+     density is nan once both densities round to 0 (about 39 sigma
+     out); the expanded closed form stays exact arbitrarily far. *)
+  let m = Gaussian_mech.create ~l2_sensitivity:1. ~epsilon:1. ~delta:1e-5 in
+  let s = Gaussian_mech.std m in
+  let y = 1000. *. s in
+  let r = Gaussian_mech.log_likelihood_ratio m ~value1:0. ~value2:1. y in
+  Alcotest.(check bool) "finite far in the tail" true (Float.is_finite r);
+  (* (v1 - v2)(2y - v1 - v2) / (2 s^2) with v1=0, v2=1 *)
+  check_close ~tol:1e-9 "closed form value"
+    (-.((2. *. y) -. 1.) /. (2. *. s *. s))
+    r;
+  (* agrees with the density ratio where the densities are healthy *)
+  let pdf v y = exp (-.((y -. v) ** 2.) /. (2. *. s *. s)) in
+  let y0 = 2.5 *. s in
+  check_close ~tol:1e-9 "matches density ratio near the mode"
+    (log (pdf 0. y0 /. pdf 1. y0))
+    (Gaussian_mech.log_likelihood_ratio m ~value1:0. ~value2:1. y0);
+  (* antisymmetry: swapping the hypotheses negates the loss *)
+  check_close ~tol:1e-12 "antisymmetric"
+    (-.Gaussian_mech.log_likelihood_ratio m ~value1:1. ~value2:0. y)
+    r;
+  (try
+     let d = Gaussian_mech.create ~l2_sensitivity:0. ~epsilon:1. ~delta:1e-5 in
+     ignore (Gaussian_mech.log_likelihood_ratio d ~value1:0. ~value2:1. 0.);
+     Alcotest.fail "accepted deterministic mechanism"
+   with Invalid_argument _ -> ())
+
+let test_discrete_gaussian_llr_far_tail () =
+  let m = Discrete_gaussian.create ~sensitivity:1 ~sigma:2. in
+  (* log pmf - log pmf underflows to nan out here; the integer-expanded
+     closed form is exact *)
+  let k = 100_000 in
+  let r = Discrete_gaussian.log_likelihood_ratio m ~value1:0 ~value2:1 k in
+  Alcotest.(check bool) "finite far in the tail" true (Float.is_finite r);
+  check_close ~tol:1e-12 "closed form value"
+    (float_of_int (((k - 1) * (k - 1)) - (k * k)) /. 8.)
+    r;
+  (* agrees with the pmf ratio where the pmfs are healthy *)
+  check_close ~tol:1e-9 "matches pmf ratio near the mode"
+    (log (Discrete_gaussian.pmf m 3 /. Discrete_gaussian.pmf m 2))
+    (Discrete_gaussian.log_likelihood_ratio m ~value1:0 ~value2:1 3);
+  (* sensitivity-0 point-mass limits, as for the geometric mechanism *)
+  let d = Discrete_gaussian.create ~sensitivity:0 ~sigma:2. in
+  check_close "same point" 0.
+    (Discrete_gaussian.log_likelihood_ratio d ~value1:5 ~value2:5 5);
+  Alcotest.(check bool) "disjoint points" true
+    (Float.is_nan (Discrete_gaussian.log_likelihood_ratio d ~value1:4 ~value2:5 6))
+
 (* ------------------------------------------------------------------ *)
 (* Exponential mechanism *)
 
@@ -562,7 +612,14 @@ let () =
           Alcotest.test_case "empirical matches CDF" `Quick
             test_laplace_empirical_matches_cdf;
         ] );
-      ("gaussian", [ Alcotest.test_case "calibration" `Quick test_gaussian_mech ]);
+      ( "gaussian",
+        [
+          Alcotest.test_case "calibration" `Quick test_gaussian_mech;
+          Alcotest.test_case "llr finite far in the tail" `Quick
+            test_gaussian_llr_far_tail;
+          Alcotest.test_case "discrete llr finite far in the tail" `Quick
+            test_discrete_gaussian_llr_far_tail;
+        ] );
       ( "exponential",
         [
           Alcotest.test_case "exact distribution" `Quick

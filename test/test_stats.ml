@@ -99,6 +99,41 @@ let test_ks_two_sample () =
   let r = Gof.ks_two_sample xs zs in
   Alcotest.(check bool) "shifted rejected" true (r.p_value < 1e-6)
 
+let test_two_sample_fixtures () =
+  (* Pinned fixtures: both two-sample statistics are pure functions of
+     the seeded draws, so statistic and p-value are byte-stable run to
+     run; drift in the samplers, the sort, or the p-value
+     approximations shows up here first. Explicit fill loops — the
+     evaluation order of [Array.init] is unspecified. *)
+  let g = Dp_rng.Prng.create 20120330 in
+  let draw n f =
+    let a = Array.make n 0. in
+    for i = 0 to n - 1 do
+      a.(i) <- f ()
+    done;
+    a
+  in
+  let xs = draw 400 (fun () -> Dp_rng.Sampler.laplace ~mean:0. ~scale:1. g) in
+  let ys = draw 300 (fun () -> Dp_rng.Sampler.laplace ~mean:0.5 ~scale:1. g) in
+  let r = Gof.ks_two_sample xs ys in
+  check_close ~tol:1e-12 "ks two-sample statistic" 0.21083333333333337
+    r.statistic;
+  check_close ~tol:1e-12 "ks two-sample p" 3.5630700335585996e-07 r.p_value;
+  let bin v = max 0 (min 5 (int_of_float (Float.floor (v +. 3.)))) in
+  let c1 = Array.make 6 0. and c2 = Array.make 6 0. in
+  Array.iter (fun v -> c1.(bin v) <- c1.(bin v) +. 1.) xs;
+  Array.iter (fun v -> c2.(bin v) <- c2.(bin v) +. 1.) ys;
+  let r2 = Gof.chi_square_two_sample c1 c2 in
+  check_close ~tol:1e-12 "chi2 two-sample statistic" 22.852020189367529
+    r2.statistic;
+  check_close ~tol:1e-12 "chi2 two-sample p" 0.00036027714142672362 r2.p_value;
+  let r3 = Gof.chi_square_two_sample c1 c1 in
+  check_close "chi2 of identical counts: statistic" 0. r3.statistic;
+  check_close "chi2 of identical counts: p" 1. r3.p_value;
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument "Gof.chi_square_two_sample: length mismatch")
+    (fun () -> ignore (Gof.chi_square_two_sample c1 [| 1.; 2. |]))
+
 let test_chi_square () =
   let expected = [| 25.; 25.; 25.; 25. |] in
   let r = Gof.chi_square_gof ~expected ~observed:[| 25.; 25.; 25.; 25. |] in
@@ -198,6 +233,8 @@ let () =
             test_ks_laplace_sampler;
           Alcotest.test_case "KS two-sample" `Quick test_ks_two_sample;
           Alcotest.test_case "chi-square" `Quick test_chi_square;
+          Alcotest.test_case "two-sample pinned fixtures" `Quick
+            test_two_sample_fixtures;
         ] );
       ( "kde & bootstrap",
         [
