@@ -421,6 +421,37 @@ let client_cmd =
       const run $ host_arg $ port_arg $ attempts_arg $ backoff_arg $ cap_arg
       $ timeout_arg $ jitter_seed_arg)
 
+(* lint and flow share the exemption-file convention: --exempt wins,
+   else DIR/lint.exempt when present. *)
+let load_exempt exempt_path dir =
+  match exempt_path with
+  | Some p -> Dp_lint.Config.load p
+  | None ->
+      let p = Filename.concat dir "lint.exempt" in
+      if Sys.file_exists p then Dp_lint.Config.load p
+      else Ok Dp_lint.Config.empty
+
+(* lint findings are reported relative to the linted root; flow
+   findings over the same root come back root-prefixed — rebase them
+   so the two merge cleanly. *)
+let rebase_flow_finding ~dir (f : Dp_lint.Report.finding) =
+  let strip path =
+    let prefix = if dir = "." then "" else dir ^ "/" in
+    let n = String.length prefix in
+    if n > 0 && String.length path > n && String.sub path 0 n = prefix then
+      String.sub path n (String.length path - n)
+    else path
+  in
+  {
+    f with
+    Dp_lint.Report.file = strip f.Dp_lint.Report.file;
+    witness =
+      List.map
+        (fun (s : Dp_lint.Report.step) ->
+          { s with Dp_lint.Report.s_file = strip s.Dp_lint.Report.s_file })
+        f.Dp_lint.Report.witness;
+  }
+
 let lint_cmd =
   let dir_arg =
     let doc = "Directory to lint (the repository root)." in
@@ -445,26 +476,61 @@ let lint_cmd =
     let doc = "List the rules and exit." in
     Arg.(value & flag & info [ "rules" ] ~doc)
   in
-  let run dir format exempt_path rules =
+  let flow_arg =
+    let doc =
+      "Delegate R2, R8 and R9 to the interprocedural flow analyzer: \
+       their token findings are replaced by F2/F3 findings over the \
+       same tree (see $(b,dpkit flow)), minus anything accepted in \
+       DIR/flow.baseline. The remaining rules still run as token \
+       checks."
+    in
+    Arg.(value & flag & info [ "flow" ] ~doc)
+  in
+  let run dir format exempt_path rules flow =
     if rules then begin
       List.iter
         (fun (id, summary) -> Format.printf "%-4s %s@." id summary)
         Dp_lint.Rules.all;
+      if flow then
+        List.iter
+          (fun (id, summary) -> Format.printf "%-4s %s@." id summary)
+          Dp_flow.Flow.checks;
       `Ok ()
     end
     else
-      let exempt_r =
-        match exempt_path with
-        | Some p -> Dp_lint.Config.load p
-        | None ->
-            let p = Filename.concat dir "lint.exempt" in
-            if Sys.file_exists p then Dp_lint.Config.load p
-            else Ok Dp_lint.Config.empty
-      in
-      match exempt_r with
+      match load_exempt exempt_path dir with
       | Error msg -> `Error (false, "bad exemption file: " ^ msg)
       | Ok exempt ->
-          let findings = Dp_lint.Driver.lint_dir ~exempt dir in
+          let lexical = Dp_lint.Driver.lint_dir ~exempt dir in
+          let findings =
+            if not flow then lexical
+            else
+              let delegated = [ "R2"; "R8"; "R9" ] in
+              let kept =
+                List.filter
+                  (fun (f : Dp_lint.Report.finding) ->
+                    not (List.mem f.Dp_lint.Report.rule delegated))
+                  lexical
+              in
+              (* the delegation inherits flow's whole suppression
+                 stack: inline allows and --exempt via analyze, plus
+                 the tree's accepted-findings baseline when present *)
+              let baseline =
+                Dp_flow.Baseline.load (Filename.concat dir "flow.baseline")
+              in
+              let flow_findings =
+                List.filter
+                  (fun (f : Dp_lint.Report.finding) ->
+                    List.mem f.Dp_lint.Report.rule [ "F2"; "F3" ])
+                  (Dp_flow.Baseline.filter baseline
+                     (Dp_flow.Flow.analyze ~exempt [ dir ])
+                       .Dp_flow.Flow.findings)
+                |> List.map (rebase_flow_finding ~dir)
+              in
+              Dp_lint.Report.dedup
+                (List.sort Dp_lint.Report.compare_findings
+                   (kept @ flow_findings))
+          in
           let pp =
             match format with
             | `Text -> Dp_lint.Report.pp_text
@@ -483,7 +549,123 @@ let lint_cmd =
        ~doc:
          "Check the source tree against the privacy-invariant rules \
           (R1..R9); exit 1 on any finding.")
-    Term.(ret (const run $ dir_arg $ format_arg $ exempt_arg $ rules_arg))
+    Term.(
+      ret
+        (const run $ dir_arg $ format_arg $ exempt_arg $ rules_arg $ flow_arg))
+
+let flow_cmd =
+  let paths_arg =
+    let doc = "Files or directories to analyze (every .ml underneath)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: $(b,text) (FILE:LINE:COL plus witness path), \
+       $(b,json) (one object per line) or $(b,sarif) (SARIF 2.1.0 \
+       document)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Baseline file of accepted findings; matching findings are \
+       reported as baselined and do not fail the run."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let write_baseline_arg =
+    let doc = "Write the current findings to FILE as the new baseline." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let exempt_arg =
+    let doc =
+      "Exemption file ('RULE PATH-FRAGMENT' per line). Defaults to \
+       ./lint.exempt when present."
+    in
+    Arg.(value & opt (some file) None & info [ "exempt" ] ~docv:"FILE" ~doc)
+  in
+  let rules_arg =
+    let doc = "List the flow checks and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let run paths format baseline_path write_baseline exempt_path rules =
+    if rules then begin
+      List.iter
+        (fun (id, summary) -> Format.printf "%-4s %s@." id summary)
+        Dp_flow.Flow.checks;
+      `Ok ()
+    end
+    else if paths = [] then `Error (true, "required argument PATH is missing")
+    else
+      match List.filter (fun p -> not (Sys.file_exists p)) paths with
+      | missing :: _ ->
+          `Error (true, Printf.sprintf "no such file or directory: %s" missing)
+      | [] -> (
+      match load_exempt exempt_path "." with
+      | Error msg -> `Error (false, "bad exemption file: " ^ msg)
+      | Ok exempt -> (
+          let result = Dp_flow.Flow.analyze ~exempt paths in
+          List.iter
+            (fun e -> Format.eprintf "flow: %s@." e)
+            result.Dp_flow.Flow.errors;
+          let baseline =
+            match baseline_path with
+            | Some p -> Dp_flow.Baseline.load p
+            | None -> []
+          in
+          let fresh =
+            Dp_flow.Baseline.filter baseline result.Dp_flow.Flow.findings
+          in
+          let baselined =
+            List.length result.Dp_flow.Flow.findings - List.length fresh
+          in
+          match write_baseline with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc
+                (Dp_flow.Baseline.to_string result.Dp_flow.Flow.findings);
+              close_out oc;
+              Format.printf "wrote %d finding%s to %s@."
+                (List.length result.Dp_flow.Flow.findings)
+                (if List.length result.Dp_flow.Flow.findings = 1 then ""
+                 else "s")
+                path;
+              `Ok ()
+          | None ->
+              (match format with
+              | `Sarif -> print_string (Dp_flow.Sarif.render fresh)
+              | `Text | `Json ->
+                  let pp =
+                    match format with
+                    | `Text -> Dp_lint.Report.pp_text
+                    | _ -> Dp_lint.Report.pp_json
+                  in
+                  List.iter (Format.printf "%a@." pp) fresh;
+                  if fresh <> [] || baselined > 0 then
+                    Format.printf "%d finding%s (%d baselined, %d files)@."
+                      (List.length fresh)
+                      (if List.length fresh = 1 then "" else "s")
+                      baselined result.Dp_flow.Flow.files);
+              if fresh = [] && result.Dp_flow.Flow.errors = [] then `Ok ()
+              else exit 1))
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Interprocedural privacy-dataflow analysis: F1 row taint, F2 \
+          charge-before-release, F3 RNG provenance. Exits 1 on any \
+          non-baselined finding or parse error.")
+    Term.(
+      ret
+        (const run $ paths_arg $ format_arg $ baseline_arg
+       $ write_baseline_arg $ exempt_arg $ rules_arg))
 
 (* 4.14-compatible whole-file read (no In_channel.input_lines). *)
 let read_file path =
@@ -891,5 +1073,5 @@ let () =
           [
             list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd;
             client_cmd; query_cmd; analyze_cmd; certify_cmd; lint_cmd;
-            stats_cmd;
+            flow_cmd; stats_cmd;
           ]))

@@ -352,9 +352,9 @@ let of_query ?(rows = 64) ?(backend = `Basic) ?(break_ = `None) ~seed ~eps
     let data_seed = seed lxor 0x43455254 (* "CERT" *) in
     let base = "certify" in
     match
-      ( Registry.synthetic ~name:base ~rows ~policy
+      ( Registry.synthetic ~name:base ~rows ~policy  (* flow:allow F3 — certify seeds the engine under test *)
           (Dp_rng.Prng.create data_seed),
-        Registry.synthetic ~name:(base ^ "~flip0") ~rows ~policy
+        Registry.synthetic ~name:(base ^ "~flip0") ~rows ~policy  (* flow:allow F3 — neighbour pair shares the data seed *)
           (Dp_rng.Prng.create data_seed) )
     with
     | exception Invalid_argument msg -> Error msg

@@ -696,7 +696,7 @@ let train_serving t (sv : serving) ?analyst ~dataset (params : Train.params) =
                         beta = spec.Train.beta;
                         face;
                         target = params.Train.target;
-                        features = design.Train.features;
+                        features = Train.public_facts design;
                         theta;
                         rhat =
                           Array.map

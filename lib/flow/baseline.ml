@@ -1,0 +1,70 @@
+(* Finding baselines.
+
+   A baseline file records accepted findings by a stable fingerprint —
+   rule, file, message, and the witness step descriptions, but no line
+   numbers — so unrelated edits that shift code do not invalidate it,
+   while any change to the actual flow (new path, new sink, new
+   message) produces a fresh, non-baselined fingerprint.
+
+   File format, one finding per line:
+
+     RULE FINGERPRINT FILE  # first words of the message
+
+   Everything after '#' is a comment for humans; blank lines and lines
+   starting with '#' are skipped. *)
+
+type entry = { rule : string; digest : string; file : string }
+
+let fingerprint (f : Dp_lint.Report.finding) =
+  let whats =
+    String.concat "\x00"
+      (List.map (fun (s : Dp_lint.Report.step) -> s.s_what) f.witness)
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x01" [ f.rule; f.file; f.message; whats ]))
+
+let to_line (f : Dp_lint.Report.finding) =
+  let prefix =
+    let words = String.split_on_char ' ' f.message in
+    let rec take n = function
+      | x :: tl when n > 0 -> x :: take (n - 1) tl
+      | _ -> []
+    in
+    String.concat " " (take 6 words)
+  in
+  Printf.sprintf "%s %s %s  # %s" f.rule (fingerprint f) f.file prefix
+
+let to_string findings =
+  String.concat ""
+    (List.map (fun f -> to_line f ^ "\n") findings)
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  with
+  | [ rule; digest; file ] -> Some { rule; digest; file }
+  | _ -> None
+
+let parse src =
+  List.filter_map parse_line (String.split_on_char '\n' src)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      parse s
+
+let mem baseline (f : Dp_lint.Report.finding) =
+  let d = fingerprint f in
+  List.exists (fun e -> e.rule = f.rule && e.digest = d) baseline
+
+let filter baseline findings =
+  List.filter (fun f -> not (mem baseline f)) findings

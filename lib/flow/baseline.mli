@@ -1,0 +1,30 @@
+(** Accepted-findings baselines for [dpkit flow].
+
+    A baseline file holds one line per accepted finding —
+    [RULE DIGEST FILE  # message-prefix] — where [DIGEST] fingerprints
+    the finding's rule, file, message and witness steps but {e not}
+    its line numbers, so ordinary drift (code moving within a file)
+    does not resurrect accepted findings. Two findings differing only
+    by position therefore share a fingerprint and are accepted
+    together — a baseline pins defects, not coordinates. *)
+
+type entry = { rule : string; digest : string; file : string }
+
+val fingerprint : Dp_lint.Report.finding -> string
+(** Hex digest of [rule|file|message|witness whats]; also exported as
+    the SARIF [partialFingerprints] value. *)
+
+val to_string : Dp_lint.Report.finding list -> string
+(** Render findings as baseline lines ([--write-baseline]). *)
+
+val parse : string -> entry list
+(** Malformed lines are skipped, not errors: a corrupted entry simply
+    stops suppressing, and the finding resurfaces. *)
+
+val load : string -> entry list
+(** [[]] when the file does not exist — same fail-open-toward-reporting
+    direction as {!parse}. *)
+
+val mem : entry list -> Dp_lint.Report.finding -> bool
+val filter : entry list -> Dp_lint.Report.finding list -> Dp_lint.Report.finding list
+(** [filter b fs] keeps the findings {e not} in the baseline. *)

@@ -1,0 +1,13 @@
+(** F2: charge-before-release, path-sensitively.
+
+    A two-point lattice (Charged / Uncharged) is pushed through every
+    entry point's body: a {!Spec.chargers} call moves the path to
+    Charged, branches join by agreement (a release is only safe if
+    {e every} non-diverging arm charged), and calls surface the callee
+    summary's release obligations at the caller's state. A release —
+    applying a [.run] closure or constructing [Released] — reached on
+    an Uncharged path is a finding, with the call chain from the entry
+    point as its witness. Supersedes the lexical R2 and R8, which can
+    only see a charge token earlier in the same chunk. *)
+
+val findings : Graph.t -> Dp_lint.Report.finding list

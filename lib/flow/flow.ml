@@ -1,0 +1,43 @@
+(* Top-level driver for [dpkit flow]: load, build the graph, run
+   F1/F2/F3, apply inline [flow:allow] suppressions and checked-in
+   exemptions, sort and dedup. *)
+
+type result = {
+  findings : Dp_lint.Report.finding list;
+  suppressed : int;  (** dropped by flow:allow comments or exemptions *)
+  errors : string list;  (** unparseable files *)
+  files : int;
+}
+
+let checks = Spec.checks
+
+let analyze ?(exempt = []) paths =
+  let loaded = Loader.load paths in
+  let graph = Graph.build loaded.files in
+  let allows =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (f : Loader.file) -> Hashtbl.replace tbl f.path f.allows)
+      loaded.files;
+    fun path -> Option.value ~default:[] (Hashtbl.find_opt tbl path)
+  in
+  let raw =
+    Row_taint.findings graph
+    @ Charge.findings graph
+    @ Rng_prov.findings graph
+  in
+  let kept, dropped =
+    List.partition
+      (fun (f : Dp_lint.Report.finding) ->
+        (not (List.mem (f.line, f.rule) (allows f.file)))
+        && not (Dp_lint.Config.exempt exempt ~rule:f.rule ~file:f.file))
+      raw
+  in
+  {
+    findings =
+      Dp_lint.Report.dedup
+        (List.sort Dp_lint.Report.compare_findings kept);
+    suppressed = List.length dropped;
+    errors = loaded.errors;
+    files = List.length loaded.files;
+  }

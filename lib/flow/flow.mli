@@ -1,0 +1,18 @@
+(** Interprocedural privacy-dataflow analysis over the repo's OCaml
+    sources: F1 row taint, F2 charge-before-release, F3 RNG
+    provenance. See docs/ENGINE.md, "Flow analysis". *)
+
+type result = {
+  findings : Dp_lint.Report.finding list;
+  suppressed : int;  (** dropped by flow:allow comments or exemptions *)
+  errors : string list;  (** unparseable files *)
+  files : int;
+}
+
+val checks : (string * string) list
+(** The check catalogue: (id, description) for F1..F3. *)
+
+val analyze : ?exempt:Dp_lint.Config.t -> string list -> result
+(** Analyze every .ml under the given paths. Findings are sorted,
+    deduped, and already filtered through inline [flow:allow RULE]
+    comments and the checked-in exemption file. *)

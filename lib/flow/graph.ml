@@ -1,0 +1,185 @@
+(* Module-qualified symbol table and call graph.
+
+   Defs are the top-level (and one-level-nested-module) value bindings
+   of every parsed file; calls are resolved by the last module
+   component of the applied path, which matches how this codebase
+   addresses symbols through its wrapped libraries
+   (Dp_engine.Ledger.spend resolves to lib/engine/ledger.ml's spend
+   whether the caller wrote the full path or opened Dp_engine). *)
+
+type def = {
+  id : string;  (** "Module.name", nested as "Outer.Inner.name" *)
+  modname : string;  (** innermost enclosing module name *)
+  name : string;
+  file : Loader.file;
+  loc : Location.t;
+  body : Parsetree.expression;
+  sanitizer_attr : bool;  (** carries a [@dp.sanitizer] attribute *)
+}
+
+type target = { path : string list; ident : string }
+
+type resolved = Def of def | Ext of target
+
+type t = {
+  defs : def list;
+  table : (string * string, def list) Hashtbl.t;
+      (** (modname, name) -> candidate defs *)
+  by_file : (string * string, def list) Hashtbl.t;
+      (** (file path, name) -> defs, for unqualified same-file calls *)
+  callers : (string, (def * Location.t) list) Hashtbl.t;
+      (** def.id -> in-repo reference sites *)
+}
+
+let has_sanitizer_attr attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = "dp.sanitizer")
+    attrs
+
+let pat_name (p : Parsetree.pattern) =
+  let rec go (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some (txt, p.ppat_loc)
+    | Ppat_constraint (p', _) -> go p'
+    | _ -> None
+  in
+  go p
+
+let defs_of_file (file : Loader.file) =
+  let out = ref [] in
+  let rec structure ~prefix ~modname (items : Parsetree.structure) =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                match pat_name vb.pvb_pat with
+                | None -> ()
+                | Some (name, loc) ->
+                    out :=
+                      {
+                        id = prefix ^ "." ^ name;
+                        modname;
+                        name;
+                        file;
+                        loc;
+                        body = vb.pvb_expr;
+                        sanitizer_attr = has_sanitizer_attr vb.pvb_attributes;
+                      }
+                      :: !out)
+              vbs
+        | Pstr_module { pmb_name = { txt = Some sub; _ }; pmb_expr; _ } -> (
+            match pmb_expr.pmod_desc with
+            | Pmod_structure items ->
+                structure ~prefix:(prefix ^ "." ^ sub) ~modname:sub items
+            | _ -> ())
+        | _ -> ())
+      items
+  in
+  structure ~prefix:file.modname ~modname:file.modname file.structure;
+  List.rev !out
+
+(* Disambiguate modname collisions (two files, one basename) by
+   closeness to the caller: same directory, then same lib/SUBSYSTEM,
+   then anything. *)
+let rank ~(current : Loader.file) (d : def) =
+  if Filename.dirname d.file.path = Filename.dirname current.path then 0
+  else
+    let top segs = match segs with a :: b :: _ -> Some (a, b) | _ -> None in
+    if top d.file.segs = top current.segs then 1 else 2
+
+let resolve t ~(current : Loader.file) (lid : Longident.t) =
+  let parts = Longident.flatten lid in
+  match List.rev parts with
+  | [] -> Ext { path = []; ident = "" }
+  | ident :: rev_mods -> (
+      let mods = List.rev rev_mods in
+      let pick candidates =
+        match
+          List.sort
+            (fun a b -> compare (rank ~current a) (rank ~current b))
+            candidates
+        with
+        | d :: _ -> Some d
+        | [] -> None
+      in
+      let lookup key = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
+      match mods with
+      | [] -> (
+          (* unqualified: same file first (nested modules included) *)
+          match Hashtbl.find_opt t.by_file (current.path, ident) with
+          | Some (d :: _) -> Def d
+          | _ -> (
+              match pick (lookup (current.modname, ident)) with
+              | Some d -> Def d
+              | None -> Ext { path = []; ident }))
+      | _ -> (
+          let last_mod = List.nth mods (List.length mods - 1) in
+          match pick (lookup (last_mod, ident)) with
+          | Some d -> Def d
+          | None -> Ext { path = mods; ident }))
+
+(* The (module, ident) key of a resolved reference — the uniform
+   shape the analysis specs match on, independent of whether the
+   target's source is in the analyzed set. *)
+let key = function
+  | Def d -> (d.modname, d.name)
+  | Ext { path; ident } -> (
+      match List.rev path with
+      | [] -> ("", ident)
+      | m :: _ -> (m, ident))
+
+let build (files : Loader.file list) =
+  let defs = List.concat_map defs_of_file files in
+  let table = Hashtbl.create 512 and by_file = Hashtbl.create 512 in
+  let push tbl key d =
+    Hashtbl.replace tbl key (Option.value ~default:[] (Hashtbl.find_opt tbl key) @ [ d ])
+  in
+  List.iter
+    (fun d ->
+      push table (d.modname, d.name) d;
+      push by_file (d.file.path, d.name) d)
+    defs;
+  let t = { defs; table; by_file; callers = Hashtbl.create 512 } in
+  (* reference pass: every ident that resolves to a def is a call
+     site (callbacks count — a referenced function can run) *)
+  List.iter
+    (fun (d : def) ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt; _ } -> (
+                  match resolve t ~current:d.file txt with
+                  | Def callee when callee.id <> d.id ->
+                      push t.callers callee.id (d, e.pexp_loc)
+                  | _ -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      it.expr it d.body)
+    defs;
+  t
+
+let defs t = t.defs
+
+let callers t (d : def) =
+  Option.value ~default:[] (Hashtbl.find_opt t.callers d.id)
+
+let file_defs t (file : Loader.file) =
+  List.filter (fun d -> d.file.path = file.path) t.defs
+
+let line_col (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let step ?(what = "") (d : def) (loc : Location.t) =
+  let line, col = line_col loc in
+  let file =
+    let fname = loc.loc_start.pos_fname in
+    if fname <> "" then fname else d.file.path
+  in
+  { Dp_lint.Report.s_file = file; s_line = line; s_col = col; s_what = what }

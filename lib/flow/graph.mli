@@ -1,0 +1,39 @@
+(** Module-qualified symbol table and call graph over parsed files. *)
+
+type def = {
+  id : string;  (** "Module.name", nested as "Outer.Inner.name" *)
+  modname : string;  (** innermost enclosing module name *)
+  name : string;
+  file : Loader.file;
+  loc : Location.t;
+  body : Parsetree.expression;
+  sanitizer_attr : bool;  (** carries a [@dp.sanitizer] attribute *)
+}
+
+type target = { path : string list; ident : string }
+
+type resolved = Def of def | Ext of target
+
+type t
+
+val build : Loader.file list -> t
+
+val resolve : t -> current:Loader.file -> Longident.t -> resolved
+(** Resolve a reference by its last module component ([A.B.f] looks up
+    module [B]); unqualified names resolve within the referencing file
+    first. Modname collisions prefer same-directory, then
+    same-subsystem candidates. *)
+
+val key : resolved -> string * string
+(** The (module, ident) of a reference — [("", x)] when unqualified
+    and unresolved — independent of whether the target is in-repo. *)
+
+val defs : t -> def list
+val callers : t -> def -> (def * Location.t) list
+val file_defs : t -> Loader.file -> def list
+
+val line_col : Location.t -> int * int
+(** 1-based line, 0-based column of the location's start. *)
+
+val step : ?what:string -> def -> Location.t -> Dp_lint.Report.step
+(** A witness step at [loc], attributed to [d]'s file. *)

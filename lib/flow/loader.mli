@@ -1,0 +1,22 @@
+(** File discovery and compiler-libs parsing for [dpkit flow]. *)
+
+type file = {
+  path : string;  (** as reported in findings ('/'-separated) *)
+  modname : string;  (** capitalized basename: foo_bar.ml -> Foo_bar *)
+  segs : string list;  (** path segments, for subsystem scoping *)
+  structure : Parsetree.structure;
+  allows : (int * string) list;
+      (** [flow:allow RULE] comment suppressions: (line, rule) *)
+}
+
+type t = {
+  files : file list;
+  errors : string list;  (** unparseable files, reported not analyzed *)
+}
+
+val load : string list -> t
+(** Parse every .ml file under the given paths (directories or single
+    files; [_build], [.git], … skipped), in sorted path order. *)
+
+val modname_of_path : string -> string
+val has_seg : file -> string -> bool

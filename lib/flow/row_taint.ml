@@ -1,0 +1,77 @@
+(* F1: row taint.
+
+   Values born from raw dataset rows (Registry.column payloads,
+   Dataset rows, feature/label arrays) may only reach an output —
+   protocol reply, journal frame, log line, metrics sink — through a
+   DP mechanism call or a function explicitly declared (and
+   allowlisted) as a sanitizer. Cardinalities are public metadata in
+   this design, so lengths declassify. *)
+
+let scope_ok (f : Dp_lint.Report.finding) =
+  let touches path =
+    let segs = String.split_on_char '/' path in
+    List.exists (fun s -> List.mem s segs) Spec.f1_scope_segs
+  in
+  touches f.file
+  || List.exists (fun (s : Dp_lint.Report.step) -> touches s.s_file) f.witness
+
+let allowlisted (d : Graph.def) =
+  List.mem (d.Graph.modname, d.Graph.name) Spec.sanitizer_allowlist
+
+let sanitizes ~caller:_ (r : Graph.resolved) =
+  let m, i = Graph.key r in
+  List.mem m Spec.sanitizer_modules
+  ||
+  match r with
+  | Graph.Def d -> d.sanitizer_attr && allowlisted d
+  | Graph.Ext _ -> List.mem (m, i) Spec.sanitizer_allowlist
+
+let findings graph =
+  let out = ref [] in
+  let cfg =
+    {
+      Taint.source_of_call =
+        (fun ~caller:_ key _loc ->
+          if List.mem key Spec.row_sources then Some Taint.Row else None);
+      source_of_field =
+        (fun ~caller:_ field ->
+          if List.mem field Spec.row_fields then Some Taint.Row else None);
+      public_field = (fun f -> List.mem f Spec.public_fields);
+      sanitizes;
+      sink_of_call =
+        (fun ~caller:_ r ->
+          Option.map Spec.sink_kind_name
+            (List.assoc_opt (Graph.key r) Spec.sinks));
+      declassifies = (fun key -> List.mem key Spec.declassifiers);
+      on_call = (fun ~caller:_ _ _ _ -> ());
+      emit =
+        (fun f -> if scope_ok f then out := f :: !out);
+      rule = "F1";
+    }
+  in
+  ignore (Taint.run cfg graph);
+  (* a [@dp.sanitizer] annotation outside the allowlist is itself a
+     finding: laundering must not be introducible by a stray
+     attribute *)
+  let stray =
+    List.filter_map
+      (fun (d : Graph.def) ->
+        if d.sanitizer_attr && not (allowlisted d) then (
+          let line, col = Graph.line_col d.loc in
+          Some
+            {
+              Dp_lint.Report.rule = "F1";
+              file = d.file.path;
+              line;
+              col;
+              message =
+                Printf.sprintf
+                  "[@dp.sanitizer] on %s is not in the sanitizer allowlist \
+                   (lib/flow/spec.ml)"
+                  d.id;
+              witness = [];
+            })
+        else None)
+      (Graph.defs graph)
+  in
+  List.rev !out @ stray

@@ -1,0 +1,12 @@
+(** F1: interprocedural row taint.
+
+    Raw dataset values — born at a {!Spec.row_sources} call or a
+    {!Spec.row_fields} read — may only reach a reply, journal frame,
+    log line, or metrics sink ({!Spec.sinks}) through a DP mechanism
+    module or a function on the {!Spec.sanitizer_allowlist} carrying
+    the [[@dp.sanitizer]] attribute. A [[@dp.sanitizer]] attribute on
+    any other function is itself a finding. *)
+
+val findings : Graph.t -> Dp_lint.Report.finding list
+(** All F1 findings over the graph, each with a witness path from the
+    taint's birth to the sink. *)

@@ -1,0 +1,64 @@
+(* SARIF 2.1.0 output for [dpkit flow --format sarif].
+
+   Minimal but schema-valid: one run, the F1..F3 rule catalogue, one
+   result per finding with a physical location, a stable
+   partialFingerprint (the baseline fingerprint, so CI dedup and the
+   local baseline agree), and the witness path as a code flow. *)
+
+let esc = Dp_lint.Report.json_escape
+
+let location ~file ~line ~col ~message =
+  Printf.sprintf
+    {|{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}%s}|}
+    (esc file) (max 1 line) (col + 1)
+    (match message with
+    | None -> ""
+    | Some m -> Printf.sprintf {|,"message":{"text":"%s"}|} (esc m))
+
+let thread_flow_location (s : Dp_lint.Report.step) =
+  Printf.sprintf {|{"location":%s}|}
+    (location ~file:s.s_file ~line:s.s_line ~col:s.s_col
+       ~message:(Some s.s_what))
+
+let result (f : Dp_lint.Report.finding) =
+  let code_flows =
+    match f.witness with
+    | [] -> ""
+    | steps ->
+        Printf.sprintf
+          {|,"codeFlows":[{"threadFlows":[{"locations":[%s]}]}]|}
+          (String.concat "," (List.map thread_flow_location steps))
+  in
+  Printf.sprintf
+    {|{"ruleId":"%s","level":"error","message":{"text":"%s"},"locations":[%s],"partialFingerprints":{"dpkitFlow/v1":"%s"}%s}|}
+    (esc f.rule) (esc f.message)
+    (location ~file:f.file ~line:f.line ~col:f.col ~message:None)
+    (Baseline.fingerprint f) code_flows
+
+let rule_descriptor (id, description) =
+  Printf.sprintf
+    {|{"id":"%s","shortDescription":{"text":"%s"}}|}
+    (esc id) (esc description)
+
+let render findings =
+  let rules = String.concat "," (List.map rule_descriptor Spec.checks) in
+  let results = String.concat ",\n      " (List.map result findings) in
+  Printf.sprintf
+    {|{
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "dpkit-flow",
+          "informationUri": "https://example.invalid/dpkit",
+          "rules": [%s]
+        }
+      },
+      "results": [%s]
+    }
+  ]
+}
+|}
+    rules results

@@ -1,0 +1,9 @@
+(** SARIF 2.1.0 rendering of flow findings.
+
+    One run with the F1–F3 rule catalogue; each result carries its
+    primary location, a [partialFingerprints] entry
+    ([dpkitFlow/v1] = {!Baseline.fingerprint}, so code-scanning
+    dedup matches the baseline's notion of identity), and the witness
+    path as a [codeFlows]/[threadFlows] chain. *)
+
+val render : Dp_lint.Report.finding list -> string

@@ -1,0 +1,401 @@
+(* Interprocedural value-flow engine.
+
+   Expression-level taint propagation inside each definition, function
+   summaries across definitions, iterated to a fixpoint over the call
+   graph. Both F1 (row taint) and F3 (RNG stream provenance)
+   instantiate this engine with their own source/sanitizer/sink
+   catalogues; the machinery — let/match/record/closure propagation,
+   summaries with argument-to-sink obligations, witness paths — is
+   shared.
+
+   The abstraction is value-shaped, not heap-shaped: mutation through
+   refs and mutable record fields is not tracked (a taint stored with
+   [<-] or [:=] and read back elsewhere is dropped). That loses buffer
+   plumbing but keeps the false-positive rate near zero on the real
+   tree, and the sink catalogue compensates by treating buffer/channel
+   writes themselves as sinks. *)
+
+module Env = Map.Make (String)
+
+type label = Row | Stream of string | Param
+
+type taint = { label : label; origin : Dp_lint.Report.step list }
+
+type value = taint list
+(* small sets: dedup by label, first origin wins *)
+
+let label_name = function
+  | Row -> "row-tainted"
+  | Stream d -> Printf.sprintf "%s-owned stream" d
+  | Param -> "argument"
+
+let add v t = if List.exists (fun x -> x.label = t.label) v then v else t :: v
+let union a b = List.fold_left add a b
+let unions vs = List.fold_left union [] vs
+let strip_param v = List.filter (fun t -> t.label <> Param) v
+let has_param v = List.exists (fun t -> t.label = Param) v
+
+(* witness paths stay readable: cap the chain, keep both ends *)
+let max_witness = 12
+
+let extend t step =
+  let origin =
+    if List.length t.origin >= max_witness then t.origin
+    else t.origin @ [ step ]
+  in
+  { t with origin }
+
+type summary = {
+  ret : taint list;  (** return-value taints independent of arguments *)
+  prop : bool;  (** a tainted argument may flow to the return value *)
+  arg_sinks : (string * Location.t * Dp_lint.Report.step list) list;
+      (** (sink, site, steps): a tainted argument reaches [sink] *)
+}
+
+let empty_summary = { ret = []; prop = false; arg_sinks = [] }
+
+(* Convergence is checked on the summary's shape — label sets,
+   propagation bit, (sink, site) set — not on witness steps, which
+   may differ between iterations without changing the verdict. *)
+let shape s =
+  ( List.sort compare (List.map (fun t -> t.label) s.ret),
+    s.prop,
+    List.sort compare (List.map (fun (k, l, _) -> (k, l)) s.arg_sinks) )
+
+type config = {
+  source_of_call :
+    caller:Graph.def -> string * string -> Location.t -> label option;
+      (** calls whose result is born tainted, keyed by (module, ident) *)
+  source_of_field : caller:Graph.def -> string -> label option;
+      (** record fields whose read is a source (e.g. [.values]) *)
+  public_field : string -> bool;
+      (** record fields whose projection declassifies (public
+          metadata: row counts, charged epsilons) *)
+  sanitizes : caller:Graph.def -> Graph.resolved -> bool;
+      (** calls that consume tainted arguments and launder the result *)
+  sink_of_call : caller:Graph.def -> Graph.resolved -> string option;
+      (** calls whose arguments must not be tainted *)
+  declassifies : string * string -> bool;
+      (** calls whose result is public whatever the arguments
+          (cardinalities: Array.length & co) *)
+  on_call :
+    caller:Graph.def -> Graph.resolved -> Location.t -> value list -> unit;
+      (** per-call-site hook for instantiation-specific checks (F3's
+          cross-domain ownership); only invoked in the reporting pass *)
+  emit : Dp_lint.Report.finding -> unit;
+      (** receives every finding; scope filtering and suppression
+          live in the instantiation *)
+  rule : string;
+}
+
+type state = {
+  cfg : config;
+  graph : Graph.t;
+  summaries : (string, summary) Hashtbl.t;
+  mutable reporting : bool;  (** false: summary pass; true: emit pass *)
+  mutable changed : bool;
+}
+
+let summary st (d : Graph.def) =
+  Option.value ~default:empty_summary (Hashtbl.find_opt st.summaries d.id)
+
+let pat_vars (p : Parsetree.pattern) =
+  let out = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              out := txt :: !out
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.pat it p;
+  !out
+
+let bind_pat env p v =
+  List.fold_left (fun env x -> Env.add x v env) env (pat_vars p)
+
+let last_of_lid lid =
+  match List.rev (Longident.flatten lid) with x :: _ -> x | [] -> ""
+
+(* Walking one definition: returns the value of the body and records
+   (via [acc]) the argument-to-sink obligations discovered. *)
+type walk_acc = {
+  mutable sinks : (string * Location.t * Dp_lint.Report.step list) list;
+}
+
+let rec walk st (d : Graph.def) acc env (e : Parsetree.expression) : value =
+  let loc = e.pexp_loc in
+  let recur = walk st d acc in
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident x; _ } when Env.mem x env -> Env.find x env
+  | Pexp_ident { txt; _ } -> (
+      match Graph.resolve st.graph ~current:d.file txt with
+      | Graph.Def callee when callee.id <> d.id ->
+          (* bare reference (callback): carries the callee's return
+             taints — a tainted thunk is a tainted value *)
+          List.map
+            (fun t ->
+              extend t
+                (Graph.step d loc
+                   ~what:(Printf.sprintf "via %s" callee.id)))
+            (summary st callee).ret
+      | _ -> [])
+  | Pexp_constant _ -> []
+  | Pexp_let (_, vbs, body) ->
+      let env =
+        List.fold_left
+          (fun env' (vb : Parsetree.value_binding) ->
+            bind_pat env' vb.pvb_pat (recur env vb.pvb_expr))
+          env vbs
+      in
+      walk st d acc env body
+  | Pexp_fun (_, default, pat, body) ->
+      Option.iter (fun e -> ignore (recur env e)) default;
+      (* parameters of an inner lambda are untracked (the engine's
+         argument tracking is per-definition); the closure's value is
+         its body's value — a closure over a tainted capture is
+         tainted *)
+      walk st d acc (bind_pat env pat []) body
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident "|>"; _ }; _ },
+        [ (_, arg); (_, f) ] ) ->
+      apply st d acc env ~loc f [ arg ]
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident "@@"; _ }; _ },
+        [ (_, f); (_, arg) ] ) ->
+      apply st d acc env ~loc f [ arg ]
+  | Pexp_apply (f, args) -> apply st d acc env ~loc f (List.map snd args)
+  | Pexp_field (r, { txt; _ }) when st.cfg.public_field (last_of_lid txt) ->
+      ignore (recur env r);
+      []
+  | Pexp_field (r, { txt; _ }) -> (
+      let base = recur env r in
+      let field = last_of_lid txt in
+      match st.cfg.source_of_field ~caller:d field with
+      | Some label ->
+          add base
+            {
+              label;
+              origin =
+                [
+                  Graph.step d loc
+                    ~what:
+                      (Printf.sprintf "%s: .%s read in %s" (label_name label)
+                         field d.id);
+                ];
+            }
+      | None -> base)
+  | Pexp_record (fields, base) ->
+      unions
+        (Option.to_list (Option.map (recur env) base)
+        @ List.map (fun (_, e) -> recur env e) fields)
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+      unions (List.map (recur env) (Option.to_list arg))
+  | Pexp_tuple es | Pexp_array es -> unions (List.map (recur env) es)
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      let sv = recur env scrut in
+      unions
+        (List.map
+           (fun (c : Parsetree.case) ->
+             let env = bind_pat env c.pc_lhs sv in
+             Option.iter (fun g -> ignore (walk st d acc env g)) c.pc_guard;
+             walk st d acc env c.pc_rhs)
+           cases)
+  | Pexp_ifthenelse (c, a, b) ->
+      ignore (recur env c);
+      unions (recur env a :: List.map (recur env) (Option.to_list b))
+  | Pexp_sequence (a, b) ->
+      ignore (recur env a);
+      recur env b
+  | Pexp_while (c, body) ->
+      ignore (recur env c);
+      ignore (recur env body);
+      []
+  | Pexp_for (pat, lo, hi, _, body) ->
+      ignore (recur env lo);
+      ignore (recur env hi);
+      ignore (walk st d acc (bind_pat env pat []) body);
+      []
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_lazy e
+  | Pexp_newtype (_, e) | Pexp_open (_, e) ->
+      recur env e
+  | Pexp_letmodule (_, _, body) | Pexp_letexception (_, body) ->
+      recur env body
+  | Pexp_setfield (r, _, v) ->
+      ignore (recur env r);
+      ignore (recur env v);
+      []
+  | Pexp_assert e ->
+      ignore (recur env e);
+      []
+  | Pexp_letop { let_; ands; body } ->
+      (* monadic binds (protocol's let-star): bind the pattern to the
+         bound expression's value; the operator itself is opaque *)
+      let env =
+        List.fold_left
+          (fun env' (b : Parsetree.binding_op) ->
+            bind_pat env' b.pbop_pat (recur env b.pbop_exp))
+          env (let_ :: ands)
+      in
+      walk st d acc env body
+  | Pexp_function cases ->
+      unions
+        (List.map
+           (fun (c : Parsetree.case) ->
+             let env = bind_pat env c.pc_lhs [] in
+             walk st d acc env c.pc_rhs)
+           cases)
+  | _ -> []
+
+and apply st (d : Graph.def) acc env ~loc f args =
+  let arg_vals = List.map (walk st d acc env) args in
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } when not (Env.mem (last_of_lid txt) env && Longident.flatten txt |> List.length = 1) -> (
+      let resolved = Graph.resolve st.graph ~current:d.file txt in
+      let key = Graph.key resolved in
+      if st.reporting then st.cfg.on_call ~caller:d resolved loc arg_vals;
+      if st.cfg.declassifies key then []
+      else
+        match st.cfg.source_of_call ~caller:d key loc with
+        | Some label ->
+            [
+              {
+                label;
+                origin =
+                  [
+                    Graph.step d loc
+                      ~what:
+                        (Printf.sprintf "%s born at %s.%s in %s"
+                           (label_name label) (fst key) (snd key) d.id);
+                  ];
+              };
+            ]
+        | None ->
+            if st.cfg.sanitizes ~caller:d resolved then []
+            else (
+              (match st.cfg.sink_of_call ~caller:d resolved with
+              | Some sink ->
+                  List.iteri
+                    (fun i v ->
+                      List.iter (fun t -> sink_hit st d acc ~sink ~loc ~arg:i t) v)
+                    arg_vals
+              | None -> ());
+              match resolved with
+              | Graph.Def callee when callee.id <> d.id ->
+                  let s = summary st callee in
+                  let call_step =
+                    Graph.step d loc
+                      ~what:(Printf.sprintf "call to %s in %s" callee.id d.id)
+                  in
+                  (* a tainted argument meeting the callee's recorded
+                     argument-to-sink obligation is a finding (or a new
+                     obligation, when the argument is our own) *)
+                  if s.arg_sinks <> [] then
+                    List.iter
+                      (fun v ->
+                        List.iter
+                          (fun t ->
+                            List.iter
+                              (fun (sink, site, steps) ->
+                                let chained =
+                                  { t with origin = t.origin @ (call_step :: steps) }
+                                in
+                                sink_hit st d acc ~sink ~loc:site ~arg:0 chained)
+                              s.arg_sinks)
+                          v)
+                      arg_vals;
+                  let ret = List.map (fun t -> extend t call_step) s.ret in
+                  if s.prop then
+                    union ret
+                      (List.map (fun t -> extend t call_step) (unions arg_vals))
+                  else ret
+              | _ ->
+                  (* unknown external: conservative propagation *)
+                  unions arg_vals))
+  | _ ->
+      (* computed callee (closure from the environment, field
+         application): result carries the callee's and arguments'
+         taints *)
+      let fv = walk st d acc env f in
+      unions (fv :: arg_vals)
+
+and sink_hit st (d : Graph.def) acc ~sink ~loc ~arg:_ (t : taint) =
+  match t.label with
+  | Param ->
+      (* obligation, discharged at call sites with tainted arguments *)
+      if
+        not
+          (List.exists (fun (s, l, _) -> s = sink && l = loc) acc.sinks)
+      then acc.sinks <- (sink, loc, t.origin) :: acc.sinks
+  | Row | Stream _ ->
+      if st.reporting then (
+        let line, col = Graph.line_col loc in
+        (* chained obligations carry the callee's sink location: trust
+           the location's own filename when it has one *)
+        let file =
+          let fname = loc.Location.loc_start.pos_fname in
+          if fname <> "" then fname else d.file.path
+        in
+        let witness =
+          t.origin
+          @ [ Graph.step d loc ~what:(Printf.sprintf "reaches %s" sink) ]
+        in
+        st.cfg.emit
+          {
+            Dp_lint.Report.rule = st.cfg.rule;
+            file;
+            line;
+            col;
+            message =
+              Printf.sprintf "%s value reaches %s in %s" (label_name t.label)
+                sink d.id;
+            witness;
+          })
+
+(* One definition's summary from one walk. *)
+let analyze_def st (d : Graph.def) =
+  let acc = { sinks = [] } in
+  (* unwrap the leading fun chain: those are the definition's tracked
+     parameters *)
+  let rec unwrap env (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, pat, body) ->
+        unwrap
+          (bind_pat env pat
+             [ { label = Param; origin = [ Graph.step d pat.ppat_loc ~what:(Printf.sprintf "argument of %s" d.id) ] } ])
+          body
+    | _ -> (env, e)
+  in
+  let env, core = unwrap Env.empty d.body in
+  let v = walk st d acc env core in
+  { ret = strip_param v; prop = has_param v; arg_sinks = acc.sinks }
+
+let run cfg graph =
+  let st =
+    { cfg; graph; summaries = Hashtbl.create 512; reporting = false; changed = true }
+  in
+  let defs = Graph.defs graph in
+  let iterations = ref 0 in
+  while st.changed && !iterations < 30 do
+    st.changed <- false;
+    incr iterations;
+    List.iter
+      (fun d ->
+        let s' = analyze_def st d in
+        let s = summary st d in
+        if shape s <> shape s' then begin
+          Hashtbl.replace st.summaries d.Graph.id s';
+          st.changed <- true
+        end
+        else Hashtbl.replace st.summaries d.Graph.id s')
+      defs
+  done;
+  (* reporting pass: same walk, sinks now emit *)
+  st.reporting <- true;
+  List.iter (fun d -> ignore (analyze_def st d)) defs;
+  st.summaries

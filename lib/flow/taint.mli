@@ -1,0 +1,36 @@
+(** Interprocedural value-flow (taint) engine shared by F1 and F3. *)
+
+type label =
+  | Row  (** derived from raw dataset rows *)
+  | Stream of string  (** a PRNG stream owned by the named subsystem *)
+  | Param  (** placeholder for "a tainted argument", used in summaries *)
+
+type taint = { label : label; origin : Dp_lint.Report.step list }
+
+type value = taint list
+
+type summary = {
+  ret : taint list;
+  prop : bool;  (** a tainted argument may flow to the return value *)
+  arg_sinks : (string * Location.t * Dp_lint.Report.step list) list;
+}
+
+type config = {
+  source_of_call :
+    caller:Graph.def -> string * string -> Location.t -> label option;
+  source_of_field : caller:Graph.def -> string -> label option;
+  public_field : string -> bool;
+  sanitizes : caller:Graph.def -> Graph.resolved -> bool;
+  sink_of_call : caller:Graph.def -> Graph.resolved -> string option;
+  declassifies : string * string -> bool;
+  on_call :
+    caller:Graph.def -> Graph.resolved -> Location.t -> value list -> unit;
+  emit : Dp_lint.Report.finding -> unit;
+  rule : string;
+}
+
+val label_name : label -> string
+
+val run : config -> Graph.t -> (string, summary) Hashtbl.t
+(** Fixpoint the summaries over all defs, then replay a reporting pass
+    that emits findings through [config.emit] and invokes [on_call]. *)

@@ -8,7 +8,9 @@ let rank_error ~q ~estimate xs =
   let rank = Array.fold_left (fun acc x -> if x <= estimate then acc + 1 else acc) 0 xs in
   abs (rank - int_of_float (Float.round (q *. float_of_int n)))
 
-let estimate ~epsilon ~q ~lo ~hi xs g =
+(* exponential mechanism over rank utility, implemented inline: a
+   declared dataflow sanitizer (see lib/flow/spec.ml allowlist) *)
+let[@dp.sanitizer] estimate ~epsilon ~q ~lo ~hi xs g =
   let epsilon = Numeric.check_pos "Quantile.estimate epsilon" epsilon in
   let q = Numeric.check_prob "Quantile.estimate q" q in
   if lo >= hi then invalid_arg "Quantile.estimate: lo >= hi";

@@ -1,7 +1,58 @@
-type entry = { rule : string; fragment : string }
+(* Exemption entries: `RULE-SPEC PATH-FRAGMENT` per line. A rule spec
+   is `*` (every rule), one rule id (`R7`, `F2`), or an inclusive
+   range over one rule family (`R2-R8`, `F1-F3`). The parser and
+   [to_string] round-trip exactly — pinned by a qcheck property — so a
+   programmatically-edited lint.exempt never drifts. *)
+
+type rule_spec =
+  | Any
+  | One of string
+  | Range of { prefix : string; lo : int; hi : int }
+
+type entry = { spec : rule_spec; fragment : string }
 type t = entry list
 
 let empty = []
+
+(* A rule id is an alphabetic family prefix plus a decimal index:
+   R1..R9, F1..F3. Returns (prefix, index). *)
+let split_rule s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && not (s.[!i] >= '0' && s.[!i] <= '9') do incr i done;
+  if !i = 0 || !i = n then None
+  else
+    match int_of_string_opt (String.sub s !i (n - !i)) with
+    | Some idx when idx >= 0 -> Some (String.sub s 0 !i, idx)
+    | _ -> None
+
+let parse_spec s =
+  if s = "*" then Ok Any
+  else
+    match String.index_opt s '-' with
+    | None -> Ok (One s)
+    | Some i -> (
+        let a = String.sub s 0 i
+        and b = String.sub s (i + 1) (String.length s - i - 1) in
+        match (split_rule a, split_rule b) with
+        | Some (pa, lo), Some (pb, hi) when pa = pb && lo <= hi ->
+            Ok (Range { prefix = pa; lo; hi })
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "bad rule range %S (want e.g. R2-R8, same family, lo <= hi)"
+                 s))
+
+let spec_to_string = function
+  | Any -> "*"
+  | One r -> r
+  | Range { prefix; lo; hi } -> Printf.sprintf "%s%d-%s%d" prefix lo prefix hi
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun e -> spec_to_string e.spec ^ " " ^ e.fragment ^ "\n")
+       t)
 
 let parse text =
   let lines = String.split_on_char '\n' text in
@@ -17,14 +68,18 @@ let parse text =
                 (Printf.sprintf
                    "lint.exempt line %d: expected 'RULE PATH-FRAGMENT', got %S"
                    n line)
-          | Some i ->
+          | Some i -> (
               let rule = String.sub line 0 i in
               let fragment =
                 String.trim (String.sub line (i + 1) (String.length line - i - 1))
               in
               if fragment = "" then
                 Error (Printf.sprintf "lint.exempt line %d: empty path" n)
-              else go ({ rule; fragment } :: acc) (n + 1) rest)
+              else
+                match parse_spec rule with
+                | Error msg ->
+                    Error (Printf.sprintf "lint.exempt line %d: %s" n msg)
+                | Ok spec -> go ({ spec; fragment } :: acc) (n + 1) rest))
   in
   go [] 1 lines
 
@@ -45,7 +100,16 @@ let contains ~fragment s =
   in
   fn > 0 && at 0
 
+let spec_matches spec ~rule =
+  match spec with
+  | Any -> true
+  | One r -> r = rule
+  | Range { prefix; lo; hi } -> (
+      match split_rule rule with
+      | Some (p, idx) -> p = prefix && lo <= idx && idx <= hi
+      | None -> false)
+
 let exempt t ~rule ~file =
   List.exists
-    (fun e -> (e.rule = "*" || e.rule = rule) && contains ~fragment:e.fragment file)
+    (fun e -> spec_matches e.spec ~rule && contains ~fragment:e.fragment file)
     t

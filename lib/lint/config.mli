@@ -1,13 +1,26 @@
-(** Checked-in lint exemptions.
+(** Checked-in lint/flow exemptions.
 
     A [lint.exempt] file holds one entry per line — [RULE FRAGMENT] —
-    suppressing findings of [RULE] ([*] for every rule) in any file
-    whose reported path contains [FRAGMENT] as a substring. Blank
-    lines and [#] comments are ignored. *)
+    suppressing findings of [RULE] in any file whose reported path
+    contains [FRAGMENT] as a substring. [RULE] is [*] (every rule),
+    one rule id ([R7], [F2]), or an inclusive range over one family
+    ([R2-R8], [F1-F3]). Blank lines and [#] comments are ignored.
+    [parse] and [to_string] round-trip exactly. *)
 
-type t
+type rule_spec =
+  | Any
+  | One of string
+  | Range of { prefix : string; lo : int; hi : int }
+
+type entry = { spec : rule_spec; fragment : string }
+type t = entry list
 
 val empty : t
 val parse : string -> (t, string) result
 val load : string -> (t, string) result
+
+val to_string : t -> string
+(** One [RULE FRAGMENT] line per entry; [parse (to_string t) = Ok t]. *)
+
+val spec_matches : rule_spec -> rule:string -> bool
 val exempt : t -> rule:string -> file:string -> bool

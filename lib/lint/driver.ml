@@ -44,5 +44,6 @@ let lint ?(exempt = Config.empty) ~root files =
   |> List.filter (fun (f : Report.finding) ->
          not (Config.exempt exempt ~rule:f.rule ~file:f.file))
   |> List.sort Report.compare_findings
+  |> Report.dedup
 
 let lint_dir ?exempt root = lint ?exempt ~root (scan_dir root)

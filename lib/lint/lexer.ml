@@ -12,30 +12,41 @@ let is_digit c = c >= '0' && c <= '9'
    a single symbol character. *)
 let two_char_ops = [ "->"; "-."; "/."; "*."; "+."; "<="; ">="; ":="; "::"; "<>" ]
 
-(* Find "lint:allow RULE" directives inside a comment body; [line] is
-   the line the directive starts on. *)
+(* Find "lint:allow RULE" / "flow:allow RULE" directives inside a
+   comment body; [line] is the line the directive starts on. The two
+   rule namespaces are disjoint — R-rules vs F-rules — so one allow
+   list serves both the token linter and the flow analyzer. *)
+let allow_keys = [ "lint:allow"; "flow:allow" ]
+
+let key_at body i =
+  List.find_opt
+    (fun key ->
+      let kn = String.length key in
+      i + kn <= String.length body && String.sub body i kn = key)
+    allow_keys
+
 let allows_of_comment ~line body =
-  let key = "lint:allow" in
   let n = String.length body in
   let rec find acc i cur_line =
     if i >= n then acc
     else if body.[i] = '\n' then find acc (i + 1) (cur_line + 1)
-    else if
-      i + String.length key <= n && String.sub body i (String.length key) = key
-    then begin
-      let j = ref (i + String.length key) in
-      while !j < n && body.[!j] = ' ' do incr j done;
-      let k = ref !j in
-      while
-        !k < n && (is_ident_char body.[!k] || is_digit body.[!k])
-      do
-        incr k
-      done;
-      let rule = String.sub body !j (!k - !j) in
-      let acc = if rule = "" then acc else (cur_line, rule) :: acc in
-      find acc !k cur_line
-    end
-    else find acc (i + 1) cur_line
+    else
+      match key_at body i with
+      | Some key ->
+          begin
+            let j = ref (i + String.length key) in
+            while !j < n && body.[!j] = ' ' do incr j done;
+            let k = ref !j in
+            while
+              !k < n && (is_ident_char body.[!k] || is_digit body.[!k])
+            do
+              incr k
+            done;
+            let rule = String.sub body !j (!k - !j) in
+            let acc = if rule = "" then acc else (cur_line, rule) :: acc in
+            find acc !k cur_line
+          end
+      | None -> find acc (i + 1) cur_line
   in
   find [] 0 line
 
@@ -75,7 +86,12 @@ let scan src =
       incr i;
       let fin = ref false in
       while (not !fin) && !i < n do
-        if src.[!i] = '\\' && !i + 1 < n then i := !i + 2
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          (* escape sequence; a backslash-newline continuation still
+             ends a source line *)
+          if src.[!i + 1] = '\n' then newline (!i + 1);
+          i := !i + 2
+        end
         else begin
           if src.[!i] = '\n' then newline !i;
           if src.[!i] = '"' then fin := true;

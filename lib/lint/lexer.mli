@@ -12,8 +12,10 @@ type token = { text : string; line : int; col : int }
 type t = {
   tokens : token array;
   allows : (int * string) list;
-      (** [lint:allow RULE] comment directives: (line, rule). A finding
-          of [rule] on exactly that line is suppressed. *)
+      (** [lint:allow RULE] and [flow:allow RULE] comment directives:
+          (line, rule). A finding of [rule] on exactly that line is
+          suppressed. The R*/F* namespaces are disjoint, so both kinds
+          share one list. *)
 }
 
 val scan : string -> t

@@ -1,12 +1,37 @@
-(** Lint findings and their text/JSON renderings. *)
+(** Findings and their text/JSON renderings, shared by the token
+    linter ([dpkit lint], rules R1..R9) and the interprocedural flow
+    analyzer ([dpkit flow], checks F1..F3). *)
 
-type finding = { rule : string; file : string; line : int; message : string }
+type step = { s_file : string; s_line : int; s_col : int; s_what : string }
+(** One frame of a witness path: where, plus a human description of
+    the hop ("tainted by Registry.column", "calls Helper.fire", …). *)
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;  (** 0-based column of the offending token *)
+  message : string;
+  witness : step list;
+      (** source-to-sink chain, outermost call first; [] for token rules *)
+}
 
 val compare_findings : finding -> finding -> int
-(** Order by file, then line, then rule. *)
+(** Order by file, then line, then column, then rule. *)
+
+val dedup : finding list -> finding list
+(** Drop all but the first finding per (rule, file, line, col) — the
+    overlapping-rules case where two clauses fire on one token. Keeps
+    the input order. *)
 
 val pp_text : Format.formatter -> finding -> unit
-(** [FILE:LINE: [RULE] message] — editor-clickable. *)
+(** [FILE:LINE:COL: [RULE] message] — editor-clickable — followed by
+    one indented [via FILE:LINE:COL what] line per witness step. *)
 
 val pp_json : Format.formatter -> finding -> unit
-(** One JSON object (single line, no trailing newline) per finding. *)
+(** One JSON object (single line, no trailing newline) per finding,
+    witness included. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (used by
+    the flow analyzer's SARIF writer too). *)

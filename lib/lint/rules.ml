@@ -54,7 +54,14 @@ let tok ctx i =
   if i >= 0 && i < Array.length ctx.tokens then ctx.tokens.(i).Lexer.text else ""
 
 let finding ctx rule i message =
-  { Report.rule; file = ctx.file; line = ctx.tokens.(i).Lexer.line; message }
+  {
+    Report.rule;
+    file = ctx.file;
+    line = ctx.tokens.(i).Lexer.line;
+    col = ctx.tokens.(i).Lexer.col;
+    message;
+    witness = [];
+  }
 
 (* R1 ------------------------------------------------------------- *)
 
@@ -125,7 +132,9 @@ let r3 ~files scanned =
             Report.rule = "R3";
             file;
             line = 1;
+            col = 0;
             message = "library module without an interface: add " ^ file ^ "i";
+            witness = [];
           }
       else None)
     scanned

@@ -166,6 +166,10 @@ let scale_point ~features x =
          (Array.length features) (Array.length x))
   else Ok (scale_raw ~features x)
 
+(* the design's public half: names and policy bounds only, so readers
+   of journal records never touch the scaled rows *)
+let[@dp.sanitizer] public_facts (d : design) = d.features
+
 let design ~columns ~target =
   match
     Array.find_opt (fun (name, _, _, _) -> name = target) columns
@@ -219,7 +223,10 @@ let clipped_risk data theta =
       Dp_learn.Loss_fn.clip loss ~theta ~x ~y)
   /. float_of_int n
 
-let run ?(gate_hook = fun check -> check ()) sp design g =
+(* the Gibbs-posterior / objective-perturbation samplers below ARE the
+   mechanism: the released theta depends on the design only through the
+   calibrated sampling, so this is a declared dataflow sanitizer *)
+let[@dp.sanitizer] run ?(gate_hook = fun check -> check ()) sp design g =
   let p = sp.params in
   match p.backend with
   | Objpert ->

@@ -94,6 +94,11 @@ val design :
 (** Build the training set from raw registered columns
     [(name, lo, hi, values)]. *)
 
+val public_facts : design -> (string * float * float) array
+(** The design's public projection — column names and policy bounds,
+    nothing derived from values. Declared as a dataflow sanitizer so
+    the flow analyzer knows this read leaves the rows behind. *)
+
 val scale_point :
   features:(string * float * float) array ->
   float array ->

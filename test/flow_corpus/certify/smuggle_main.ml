@@ -1,0 +1,14 @@
+(* F3 case: a certify-owned PRNG stream smuggled inside a record whose
+   field is not called [rng], then handed to the engine. Lexical R9
+   only knows the [.rng] and [Prng.copy] spellings; the provenance
+   analysis tracks the stream through the record construction and the
+   [.stream] projection and reports the cross-subsystem hand-off.
+   Never compiled. *)
+
+type probe = { stream : Prng.t; tag : string }
+
+let make seed = { stream = Prng.create seed; tag = "probe" }
+
+let run reg =
+  let p = make 0xCAFE in
+  Engine.train_serving reg p.stream

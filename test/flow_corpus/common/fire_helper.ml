@@ -1,0 +1,7 @@
+(* F2 case (helper half): a shared helper that actually invokes the
+   plan's release closure. It lives outside lib/engine, so lexical R2
+   never even scans it; the flow analysis records the release in
+   [fire]'s summary and surfaces it at uncharged call sites. Never
+   compiled. *)
+
+let fire (plan : Planner.plan) rng = plan.Planner.run rng

@@ -1,0 +1,9 @@
+(* F2 case: the ledger spend happens on only one branch, but the
+   release runs unconditionally. Lexical R2 sees a [spend] token
+   before the [.run] token in this chunk and stays quiet; the path-
+   sensitive charge analysis joins the uncharged else-arm into the
+   release and reports. Never compiled. *)
+
+let serve (plan : Planner.plan) rng audited =
+  if audited then Ledger.spend plan.eps;
+  plan.Planner.run rng

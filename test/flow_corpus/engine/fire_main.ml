@@ -1,0 +1,7 @@
+(* F2 case (entry half): an engine entry point that releases through
+   the shared helper without ever charging the ledger. This file has
+   no [.run] token at all, so lexical R2 is blind; the charge analysis
+   walks into Fire_helper.fire and reports the helper's release site
+   with a witness path starting here. Never compiled. *)
+
+let answer plan rng = Fire_helper.fire plan rng

@@ -1,0 +1,8 @@
+(* F1 case (helper half): returns a raw cell out of a registered
+   column. Lexically innocent — no print in sight — but the returned
+   value is row data, and the flow summary for [first_cell] says so.
+   Never compiled; input for the flow-corpus test only. *)
+
+let first_cell reg name =
+  let col = Registry.column reg name in
+  col.values.(0)

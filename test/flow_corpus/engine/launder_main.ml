@@ -1,0 +1,7 @@
+(* F1 case (sink half): prints the helper's return value. The token
+   linter's R6 scans a bounded window around the print for a [values]
+   token and finds none — the field read lives in launder_helper.ml.
+   Only the interprocedural taint pass connects the two. *)
+
+let handle reg name oc =
+  Printf.fprintf oc "row value %f" (Launder_helper.first_cell reg name)

@@ -1,0 +1,6 @@
+(* F3 case (engine half): a constant seed that also appears in the net
+   subsystem (seed_net.ml). Each file is locally unremarkable — no
+   copy, no cross-module call — so no lexical rule can see the
+   coupling; only the whole-program seed sweep does. Never compiled. *)
+
+let stream () = Prng.create 0x5EED

@@ -1,0 +1,6 @@
+(* F3 case (net half): the same constant seed as the engine's
+   seed_engine.ml. Streams seeded identically are not independent, so
+   the pair couples the transport's jitter with the engine's privacy
+   noise. Never compiled. *)
+
+let stream () = Prng.create 0x5EED

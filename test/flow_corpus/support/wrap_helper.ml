@@ -1,0 +1,8 @@
+(* F2 case (constructor half): wraps a posterior draw in [Released]
+   with no convergence verdict anywhere. Lexical R8 only scans
+   lib/train files, so a helper outside that tree can construct the
+   outcome unseen. Never compiled. *)
+
+type outcome = Released of { theta : float array } | Withheld
+
+let wrap theta = Released { theta }

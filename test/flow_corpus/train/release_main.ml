@@ -1,0 +1,11 @@
+(* F2 case (entry half): a train-side entry that ships an ungated
+   sample by delegating the [Released] construction to a helper
+   module. No [Released] token appears here, so lexical R8 stays
+   quiet; the flow summary for Wrap_helper.wrap carries the release
+   obligation back to this uncharged entry. Never compiled. *)
+
+let pick chains = chains.(0)
+
+let ship chains =
+  let theta = pick chains in
+  Wrap_helper.wrap theta
