@@ -15,7 +15,7 @@
       written into the --json file as a "phases" section.
 
    Usage: main.exe [--quick] [--tables-only | --bench-only]
-                   [--json FILE] [--overhead] [--net] [--train]
+                   [--json FILE] [--overhead] [--net] [--train] [--stream]
 
    --json FILE writes the micro-benchmark estimates plus the phase
    breakdown as JSON (schema in bench/README.md), so successive PRs can
@@ -28,7 +28,12 @@
    --train runs only the served-learning bench: MCMC step throughput,
    convergence-gate overhead and prediction throughput through the full
    charge → journal → chains → gate → handle path, emitted as "phases"
-   rows into --json. *)
+   rows into --json.
+
+   --stream runs only the continual-observation bench: append
+   throughput through the full journaled tree-counter path
+   (prepare → journal frame → commit) and prefix/window release
+   throughput, emitted as "phases" rows into --json. *)
 
 open Bechamel
 open Toolkit
@@ -581,6 +586,88 @@ let train_bench json =
   Option.iter (fun file -> write_json file [] phases) json;
   Dp_engine.Engine.close eng
 
+(* Continual-observation bench (--stream): append throughput through
+   the full journaled tree-counter path — noise draw on closing nodes,
+   Stream_append frame fsync'd, then commit — plus prefix and
+   sliding-window release throughput (pure post-processing, no
+   journal), with the engine's own append/read latency histograms
+   emitted as "phases" JSON rows. *)
+let stream_bench json =
+  let eng = Dp_engine.Engine.create ~seed:19 ~audit:false () in
+  let path = Filename.temp_file "dpkit_bench_stream" ".wal" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  (match Dp_engine.Engine.open_journal eng path with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let policy =
+    Dp_engine.Registry.default_policy ~total:(Dp_mechanism.Privacy.pure 1e12)
+  in
+  (match
+     Dp_engine.Engine.register_synthetic eng ~name:"bench" ~rows:512 ~policy
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let die e = failwith (Format.asprintf "%a" Dp_engine.Engine.pp_error e) in
+  let handle =
+    match
+      Dp_engine.Engine.stream_open eng ~dataset:"bench"
+        { Dp_stream.Stream.epsilon = 0.1; horizon = 32_768; window = 256 }
+    with
+    | Ok o -> o.Dp_engine.Engine.stream.Dp_stream.Stream_store.handle
+    | Error e -> die e
+  in
+  let rate n f =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      f i
+    done;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  let nappend = 20_000 and nread = 50_000 in
+  let appends =
+    rate nappend (fun i ->
+        match Dp_engine.Engine.append eng handle (i land 1) with
+        | Ok _ -> ()
+        | Error e -> die e)
+  in
+  let reads =
+    rate nread (fun _ ->
+        match Dp_engine.Engine.stream_read eng handle with
+        | Ok _ -> ()
+        | Error e -> die e)
+  in
+  let windows =
+    rate nread (fun _ ->
+        match Dp_engine.Engine.stream_window eng handle () with
+        | Ok _ -> ()
+        | Error e -> die e)
+  in
+  let scope = Dp_obs.Metrics.dataset (Dp_engine.Engine.metrics eng) "bench" in
+  let row name latency =
+    let h = Dp_obs.Metrics.latency scope latency in
+    ( name,
+      Dp_obs.Histo.count h,
+      Dp_obs.Histo.mean h,
+      Dp_obs.Histo.quantile h 0.5,
+      Dp_obs.Histo.quantile h 0.9,
+      Dp_obs.Histo.quantile h 0.99 )
+  in
+  let phases =
+    [ row "append" Dp_obs.Name.Append_ns; row "stream-read" Dp_obs.Name.Stream_read_ns ]
+  in
+  Format.printf "== continual observation (journaled, %d appends) ==@." nappend;
+  Format.printf "append         %10.0f appends/s@." appends;
+  Format.printf "prefix read    %10.0f reads/s@." reads;
+  Format.printf "window read    %10.0f reads/s@." windows;
+  List.iter
+    (fun (name, count, mean, p50, p90, p99) ->
+      Format.printf
+        "%-10s count=%d mean=%.0fns p50=%.0fns p90=%.0fns p99=%.0fns@." name
+        count mean p50 p90 p99)
+    phases;
+  Option.iter (fun file -> write_json file [] phases) json;
+  Dp_engine.Engine.close eng
+
 let rec json_arg = function
   | "--json" :: file :: _ -> Some file
   | _ :: rest -> json_arg rest
@@ -594,6 +681,7 @@ let () =
   if List.mem "--overhead" argv then overhead_gate ()
   else if List.mem "--net" argv then net_bench ()
   else if List.mem "--train" argv then train_bench (json_arg argv)
+  else if List.mem "--stream" argv then stream_bench (json_arg argv)
   else begin
     if not bench_only then
       Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;

@@ -290,11 +290,13 @@ let serve_cmd =
             | Some r ->
                 Format.printf
                   "journal %s: replayed %d records (%d datasets, %d charges, \
-                   %d cached answers, %d models), truncated %d torn bytes, %s@."
+                   %d cached answers, %d models, %d streams), truncated %d \
+                   torn bytes, %s@."
                   r.Dp_engine.Engine.journal_path r.Dp_engine.Engine.records
                   r.Dp_engine.Engine.datasets r.Dp_engine.Engine.charges
                   r.Dp_engine.Engine.cache_entries
                   r.Dp_engine.Engine.models_recovered
+                  r.Dp_engine.Engine.streams_recovered
                   r.Dp_engine.Engine.torn_bytes
                   (if r.Dp_engine.Engine.verified then "audit-verified"
                    else "UNVERIFIED"));

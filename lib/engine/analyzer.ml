@@ -140,6 +140,7 @@ let parse_schema text =
 type item =
   | Stat of { text : string; query : Query.t; epsilon : float option }
   | Train of { text : string; train_opts : (string * string option) list }
+  | Stream of { text : string; stream_opts : (string * string option) list }
 
 let parse_workload text =
   let parse_one (n, toks) =
@@ -154,6 +155,15 @@ let parse_workload text =
            Ok
              (Train
                 { text = String.concat " " ("train" :: opt_toks); train_opts = kvs }))
+    | "stream" :: opt_toks ->
+        at_line n
+          (let* kvs = opts ~known:Dp_stream.Stream.keys opt_toks in
+           Ok
+             (Stream
+                {
+                  text = String.concat " " ("stream" :: opt_toks);
+                  stream_opts = kvs;
+                }))
     | expr :: opt_toks ->
         at_line n
           (let* kvs = opts ~known:[ "eps" ] opt_toks in
@@ -291,7 +301,36 @@ let simulate (s : Registry.schema) ~backend items =
                               params.Dp_train.Train.backend)
                          ~sensitivity:spec.Dp_train.Train.sensitivity
                          ~epsilon:params.Dp_train.Train.epsilon
-                         { Ledger.budget = spec.Dp_train.Train.face; rdp = None }))))
+                         { Ledger.budget = spec.Dp_train.Train.face; rdp = None })))
+        | Stream { text; stream_opts } -> (
+            (* a whole continual-observation stream priced as one line:
+               Dp_stream.Stream.spec is the same function the live
+               engine charges at [stream new], and the charge below is
+               the same {budget = spec.face; rdp = None} — so the
+               analyzer's total is float-bit-identical to serving the
+               stream end to end, appends and all (appends are
+               pre-paid) *)
+            match
+              Dp_stream.Stream.params_of_opts
+                ~default_epsilon:s.policy.default_epsilon stream_opts
+            with
+            | Error msg ->
+                Error (Printf.sprintf "query %d (%s): %s" (i + 1) text msg)
+            | Ok params -> (
+                match Dp_stream.Stream.spec params with
+                | Error msg ->
+                    Error (Printf.sprintf "query %d (%s): %s" (i + 1) text msg)
+                | Ok spec ->
+                    Ok
+                      (charge_row ~index:(i + 1)
+                         ~query:(Dp_stream.Stream.normalize params)
+                         ~mechanism:Dp_stream.Stream.mechanism_name
+                         ~sensitivity:spec.Dp_stream.Stream.sensitivity
+                         ~epsilon:params.Dp_stream.Stream.epsilon
+                         {
+                           Ledger.budget = spec.Dp_stream.Stream.face;
+                           rdp = None;
+                         }))))
       items
   in
   let rec collect acc = function

@@ -40,12 +40,20 @@ type item =
           (** validated {!Dp_train.Train.keys} options; turned into
               params against the schema's default ε at analysis time *)
     }
+  | Stream of {
+      text : string;  (** the request line as written *)
+      stream_opts : (string * string option) list;
+          (** validated {!Dp_stream.Stream.keys} options; one line
+              prices a whole continual-observation stream — the open's
+              face charge covers every append and read *)
+    }
 
 val parse_workload : string -> (item list, string) result
-(** Parse a workload file: one [QUERY \[eps=E\]] or
-    [train \[key=value...\]] per line ([#] comments and blank lines
-    ignored), query syntax as in {!Query.parse}, train options as in
-    the serve protocol's [train] command (no analyst). *)
+(** Parse a workload file: one [QUERY \[eps=E\]],
+    [train \[key=value...\]], or [stream \[key=value...\]] per line
+    ([#] comments and blank lines ignored), query syntax as in
+    {!Query.parse}, train/stream options as in the serve protocol's
+    [train] / [stream new] commands (no analyst). *)
 
 type row = {
   index : int;  (** 1-based position in the workload *)

@@ -2,12 +2,16 @@ open Dp_mechanism
 module Train = Dp_train.Train
 module Gates = Dp_train.Gates
 module Model_store = Dp_train.Model_store
+module Stream = Dp_stream.Stream
+module Counter = Dp_stream.Counter
+module Stream_store = Dp_stream.Stream_store
 
 type serving = {
   dataset : Registry.dataset;
   ledger : Ledger.t;
   cache : Cache.t;
   models : Model_store.t;
+  streams : Stream_store.t;
   scope : Dp_obs.Metrics.scope;
   mutable answered : int;
   mutable rejected : int;
@@ -21,6 +25,7 @@ type t = {
   obs : Dp_obs.Metrics.t;
   trace : Dp_obs.Span.t;
   mutable rng : Dp_rng.Prng.t;
+  mutable stream_rng : Dp_rng.Prng.t;
   retry_rng : Dp_rng.Prng.t;
   seed : int;
   faults : Faults.t;
@@ -58,6 +63,12 @@ let create ?(seed = 20120330) ?(audit = true) ?(obs = true) ?faults () =
     obs = Dp_obs.Metrics.create ~enabled:obs ();
     trace = Dp_obs.Span.create ~enabled:obs ();
     rng = Dp_rng.Prng.create seed;
+    (* Tree-node noise for continual streams draws from its own
+       dedicated stream: append traffic must not shift the noise
+       positions of one-shot queries (and vice versa), and recovery
+       re-keys both independently. The xor constant ("STRM") just keys
+       a distinct stream off the same seed. *)
+    stream_rng = Dp_rng.Prng.create (seed lxor 0x5354524d);
     (* Backoff jitter draws from a dedicated stream, never the noise
        stream: retry timing is externally observable, so sharing the
        noise stream would leak its position (and shift noise values,
@@ -109,6 +120,7 @@ type error =
       charged : Privacy.budget;
     }
   | Unknown_model of string
+  | Unknown_stream of string
   | Transient of string
   | Fatal of string
 
@@ -132,6 +144,7 @@ let pp_error fmt = function
          %g, min ESS %g; %a remains charged"
         dataset handle worst_rhat min_ess Privacy.pp_budget charged
   | Unknown_model handle -> Format.fprintf fmt "unknown model %S" handle
+  | Unknown_stream handle -> Format.fprintf fmt "unknown stream %S" handle
   | Transient msg -> Format.fprintf fmt "transient failure: %s" msg
   | Fatal msg -> Format.fprintf fmt "fatal failure: %s" msg
 
@@ -163,6 +176,7 @@ let register_serving t (ds : Registry.dataset) =
           ledger;
           cache = Cache.create ();
           models = Model_store.create ();
+          streams = Stream_store.create ();
           scope = Dp_obs.Metrics.dataset t.obs ds.name;
           answered = 0;
           rejected = 0;
@@ -816,6 +830,289 @@ let models t ~dataset =
   | Some sv -> Ok sv.models
 
 (* ------------------------------------------------------------------ *)
+(* Continual observation: stream open / append / read / window.
+
+   The lifecycle inverts the one-shot query shape: the whole privacy
+   cost (ε per level × ⌈log₂ N⌉ levels, Stream.spec) is charged once
+   when the stream opens; from then on appends mutate long-lived tree
+   state and reads are free post-processing of already-noised nodes.
+   Durability ordering per append: journal the closing nodes' noisy
+   values first, then commit them to the in-memory tree — no read can
+   ever release noise that a kill -9 would lose. *)
+
+type stream_opened = {
+  stream : Stream_store.stream;
+  charged : Privacy.budget;
+  seq : int;
+}
+
+type appended = { handle : string; t_now : int; nodes_closed : int }
+
+type stream_count = {
+  handle : string;
+  t_now : int;
+  count : float;
+  window : int option;  (* None: whole-prefix read *)
+  face : Privacy.budget;
+  leak : Meter.stream_reading;
+}
+
+let stream_open t ?analyst ~dataset (params : Stream.params) =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv -> (
+      let ds = sv.dataset in
+      let norm = Stream.normalize params in
+      let reject verdict err =
+        sv.rejected <- sv.rejected + 1;
+        ignore
+          (log_decision t ?analyst ~dataset ~query:norm ~requested:zero
+             ~charged:zero ~cache_hit:false ~verdict ());
+        Error err
+      in
+      if t.journal_failed then
+        Error
+          (Fatal
+             "journal unavailable: refusing fresh releases, serving cache \
+              hits only")
+      else if degraded_for t sv then
+        reject (Audit_log.Rejected "degraded")
+          (Degraded
+             {
+               dataset;
+               remaining = Ledger.remaining sv.ledger;
+               low_water = ds.Registry.policy.low_water;
+             })
+      else
+        match Stream.spec params with
+        | Error msg -> reject (Audit_log.Rejected msg) (Bad_query msg)
+        | Ok spec -> (
+            let face = spec.Stream.face in
+            let charge = { Ledger.budget = face; rdp = None } in
+            let before = Ledger.spent sv.ledger in
+            let c0 = Dp_obs.Clock.now_ns () in
+            let charge_result =
+              Dp_obs.Span.with_ t.trace ~dataset Dp_obs.Name.Sp_charge
+                (fun () -> Ledger.spend sv.ledger ?analyst charge)
+            in
+            Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Charge_ns
+              (Dp_obs.Clock.elapsed_ns c0);
+            match charge_result with
+            | Error rejection ->
+                sv.rejected <- sv.rejected + 1;
+                ignore
+                  (log_decision t ?analyst ~mechanism:Stream.mechanism_name
+                     ~dataset ~query:norm ~requested:face ~charged:zero
+                     ~cache_hit:false
+                     ~verdict:(Audit_log.Rejected "budget-exceeded") ());
+                Error (Budget_exceeded rejection)
+            | Ok () -> (
+                let after = Ledger.spent sv.ledger in
+                let charged =
+                  {
+                    Privacy.epsilon =
+                      Float.max 0.
+                        (after.Privacy.epsilon -. before.Privacy.epsilon);
+                    delta =
+                      Float.max 0.
+                        (after.Privacy.delta -. before.Privacy.delta);
+                  }
+                in
+                let withhold reason err =
+                  sv.rejected <- sv.rejected + 1;
+                  sv.withheld <- sv.withheld + 1;
+                  ignore
+                    (log_decision t ?analyst ~mechanism:Stream.mechanism_name
+                       ~dataset ~query:norm ~requested:face ~charged
+                       ~cache_hit:false
+                       ~verdict:(Audit_log.Charged_unreleased reason) ());
+                  ignore
+                    (journal_append t (Journal.Withheld { dataset; reason }));
+                  Error err
+                in
+                (* charge-before-open: the whole-lifetime face must be
+                   durable before the handle exists, so a crash here can
+                   only over-count spent epsilon *)
+                match
+                  journal_append t
+                    (Journal.Charge
+                       {
+                         Journal.dataset;
+                         analyst;
+                         query = norm;
+                         mechanism = Stream.mechanism_name;
+                         face;
+                         marginal = charged;
+                         rho = Ledger.rho_of_charge charge;
+                       })
+                with
+                | Error e -> withhold "journal" e
+                | Ok () -> (
+                    Faults.check t.faults Faults.Crash_after_charge;
+                    let handle =
+                      Printf.sprintf "%s/s%d" dataset
+                        (Stream_store.size sv.streams + 1)
+                    in
+                    (* the handle exists iff its frame is durable, like
+                       model handles *)
+                    match
+                      journal_append t
+                        (Journal.Stream_open
+                           {
+                             Journal.dataset;
+                             handle;
+                             epsilon = params.Stream.epsilon;
+                             horizon = params.Stream.horizon;
+                             window = params.Stream.window;
+                           })
+                    with
+                    | Error e -> withhold "journal" e
+                    | Ok () ->
+                        let stream =
+                          {
+                            Stream_store.handle;
+                            dataset;
+                            spec;
+                            counter =
+                              Counter.create ~epsilon:params.Stream.epsilon
+                                ~horizon:params.Stream.horizon;
+                            reads = 0;
+                          }
+                        in
+                        Stream_store.add sv.streams stream;
+                        sv.answered <- sv.answered + 1;
+                        let seq =
+                          log_decision t ?analyst
+                            ~mechanism:Stream.mechanism_name ~dataset
+                            ~query:norm ~requested:face ~charged
+                            ~cache_hit:false ~verdict:Audit_log.Answered ()
+                        in
+                        Ok { stream; charged; seq }))))
+
+let find_stream t handle =
+  match serving_of_handle t handle with
+  | None -> None
+  | Some sv -> Stream_store.find sv.streams handle
+
+let streams t ~dataset =
+  match Hashtbl.find_opt t.servings dataset with
+  | None -> Error (Unknown_dataset dataset)
+  | Some sv -> Ok sv.streams
+
+(* Appends are pre-paid (the open charged the whole lifetime), so they
+   are served even in low-water degraded mode — like cache hits, they
+   consume no fresh budget. They do need durability: without a working
+   journal the closing nodes' noise could be lost after a later read
+   released it, so a failed journal refuses appends outright. *)
+let append t handle bit =
+  match serving_of_handle t handle with
+  | None -> Error (Unknown_stream handle)
+  | Some sv -> (
+      match Stream_store.find sv.streams handle with
+      | None -> Error (Unknown_stream handle)
+      | Some s ->
+          let a0 = Dp_obs.Clock.now_ns () in
+          if t.journal_failed then
+            Error
+              (Fatal
+                 "journal unavailable: refusing fresh releases, serving \
+                  cache hits only")
+          else if bit <> 0 && bit <> 1 then
+            Error (Bad_query "append expects 0 or 1")
+          else if Counter.t_now s.Stream_store.counter
+                  >= s.Stream_store.spec.Stream.params.Stream.horizon
+          then
+            Error
+              (Bad_query
+                 (Printf.sprintf "stream %s is past its horizon N=%d" handle
+                    s.Stream_store.spec.Stream.params.Stream.horizon))
+          else
+            let c = s.Stream_store.counter in
+            let scale = Counter.noise_scale c in
+            let nodes =
+              Dp_obs.Span.with_ t.trace ~dataset:s.Stream_store.dataset
+                Dp_obs.Name.Sp_noise (fun () ->
+                  Counter.prepare c ~bit ~noise:(fun () ->
+                      Dp_rng.Sampler.laplace ~mean:0. ~scale t.stream_rng))
+            in
+            (* noise-before-release, durably: the frame carrying the
+               noisy node values is fsynced before the tree mutates *)
+            match
+              journal_append t
+                (Journal.Stream_append
+                   { Journal.dataset = s.Stream_store.dataset; handle; bit; nodes })
+            with
+            | Error e -> Error e
+            | Ok () ->
+                Faults.check t.faults Faults.Crash_after_charge;
+                Counter.commit c ~bit nodes;
+                Stream_store.record_append sv.streams;
+                Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Append_ns
+                  (Dp_obs.Clock.elapsed_ns a0);
+                Ok
+                  {
+                    handle;
+                    t_now = Counter.t_now c;
+                    nodes_closed = Array.length nodes;
+                  })
+
+(* Reads are deterministic post-processing of durable node values: no
+   data access, no ledger charge, no fresh noise — served even in
+   degraded mode, after budget exhaustion, and with the journal down. *)
+let stream_count_of (sv : serving) (s : Stream_store.stream) ~window count =
+  s.Stream_store.reads <- s.Stream_store.reads + 1;
+  let face = s.Stream_store.spec.Stream.face in
+  let t_now = Counter.t_now s.Stream_store.counter in
+  {
+    handle = s.Stream_store.handle;
+    t_now;
+    count;
+    window;
+    face;
+    leak =
+      Meter.stream_reading ~rows:sv.dataset.Registry.rows
+        ~universe:sv.dataset.Registry.policy.universe ~steps:t_now face;
+  }
+
+let stream_read t handle =
+  match serving_of_handle t handle with
+  | None -> Error (Unknown_stream handle)
+  | Some sv -> (
+      match Stream_store.find sv.streams handle with
+      | None -> Error (Unknown_stream handle)
+      | Some s ->
+          let r0 = Dp_obs.Clock.now_ns () in
+          let count = Counter.read s.Stream_store.counter in
+          let r = stream_count_of sv s ~window:None count in
+          Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Stream_read_ns
+            (Dp_obs.Clock.elapsed_ns r0);
+          Ok r)
+
+let stream_window t handle ?w () =
+  match serving_of_handle t handle with
+  | None -> Error (Unknown_stream handle)
+  | Some sv -> (
+      match Stream_store.find sv.streams handle with
+      | None -> Error (Unknown_stream handle)
+      | Some s -> (
+          let declared = s.Stream_store.spec.Stream.params.Stream.window in
+          match (w, declared) with
+          | None, 0 ->
+              Error
+                (Bad_query
+                   "stream declared no default window; pass an explicit one")
+          | _ -> (
+              let w = match w with Some w -> w | None -> declared in
+              let r0 = Dp_obs.Clock.now_ns () in
+              match Counter.window s.Stream_store.counter ~w with
+              | Error msg -> Error (Bad_query msg)
+              | Ok count ->
+                  let r = stream_count_of sv s ~window:(Some w) count in
+                  Dp_obs.Metrics.observe sv.scope Dp_obs.Name.Stream_read_ns
+                    (Dp_obs.Clock.elapsed_ns r0);
+                  Ok r)))
+
+(* ------------------------------------------------------------------ *)
 (* Recovery *)
 
 type recovery = {
@@ -826,14 +1123,18 @@ type recovery = {
   charges : int;
   cache_entries : int;
   models_recovered : int;
+  streams_recovered : int;
   verified : bool;
 }
 
 exception Recovery_failed of string
 
-let fst3 (a, _, _) = a
-let snd3 (_, b, _) = b
-let trd (_, _, c) = c
+type replay_counts = {
+  mutable rc_charges : int;
+  mutable rc_cache : int;
+  mutable rc_models : int;
+  mutable rc_streams : int;
+}
 
 (* A [Withheld] marker immediately follows the charge whose answer was
    withheld live (nothing else is journaled in between), so recovered
@@ -898,7 +1199,7 @@ let apply_record t counts (record, withheld) =
                ~mechanism:c.Journal.mechanism ~dataset:c.Journal.dataset
                ~query:c.Journal.query ~requested:c.Journal.face
                ~charged:c.Journal.marginal ~cache_hit:false ~verdict ());
-          incr (fst3 counts))
+          counts.rc_charges <- counts.rc_charges + 1)
   | Journal.Cache_insert k -> (
       match Hashtbl.find_opt t.servings k.Journal.dataset with
       | None ->
@@ -913,7 +1214,7 @@ let apply_record t counts (record, withheld) =
               mechanism = k.Journal.mechanism;
               requested = k.Journal.requested;
             };
-          incr (snd3 counts))
+          counts.rc_cache <- counts.rc_cache + 1)
   | Journal.Withheld _ -> ()
   | Journal.Train m -> (
       match Hashtbl.find_opt t.servings m.Journal.dataset with
@@ -942,8 +1243,67 @@ let apply_record t counts (record, withheld) =
                 acceptance = m.Journal.acceptance;
               }
           with
-          | () -> incr (trd counts)
+          | () -> counts.rc_models <- counts.rc_models + 1
           | exception Invalid_argument msg -> raise (Recovery_failed msg)))
+  | Journal.Stream_open o -> (
+      match Hashtbl.find_opt t.servings o.Journal.dataset with
+      | None ->
+          raise
+            (Recovery_failed
+               (Printf.sprintf "journal opens stream on unknown dataset %S"
+                  o.Journal.dataset))
+      | Some sv -> (
+          let params =
+            {
+              Stream.epsilon = o.Journal.epsilon;
+              horizon = o.Journal.horizon;
+              window = o.Journal.window;
+            }
+          in
+          match Stream.spec params with
+          | exception Invalid_argument msg -> raise (Recovery_failed msg)
+          | Error msg -> raise (Recovery_failed msg)
+          | Ok spec -> (
+              match
+                Stream_store.add sv.streams
+                  {
+                    Stream_store.handle = o.Journal.handle;
+                    dataset = o.Journal.dataset;
+                    spec;
+                    counter =
+                      Counter.create ~epsilon:o.Journal.epsilon
+                        ~horizon:o.Journal.horizon;
+                    reads = 0;
+                  }
+              with
+              | () -> counts.rc_streams <- counts.rc_streams + 1
+              | exception Invalid_argument msg ->
+                  raise (Recovery_failed msg))))
+  | Journal.Stream_append a -> (
+      (* replay goes through [commit] alone — the journaled noisy node
+         values are applied verbatim, consuming zero PRNG draws, so the
+         rebuilt tree releases bit-identical counts *)
+      match Hashtbl.find_opt t.servings a.Journal.dataset with
+      | None ->
+          raise
+            (Recovery_failed
+               (Printf.sprintf "journal appends to unknown dataset %S"
+                  a.Journal.dataset))
+      | Some sv -> (
+          match Stream_store.find sv.streams a.Journal.handle with
+          | None ->
+              raise
+                (Recovery_failed
+                   (Printf.sprintf "journal appends to unknown stream %S"
+                      a.Journal.handle))
+          | Some s -> (
+              match
+                Counter.commit s.Stream_store.counter ~bit:a.Journal.bit
+                  a.Journal.nodes
+              with
+              | () -> Stream_store.record_append sv.streams
+              | exception Invalid_argument msg ->
+                  raise (Recovery_failed msg))))
 
 (* The rebuilt audit trace must re-verify: replaying the journaled
    marginals through the plain basic accountant (Dp_audit.Replay) has
@@ -993,7 +1353,9 @@ let open_journal_inner t path =
     with
     | Error msg -> Error msg
     | Ok (j, records, stats) -> (
-        let counts = (ref 0, ref 0, ref 0) in
+        let counts =
+          { rc_charges = 0; rc_cache = 0; rc_models = 0; rc_streams = 0 }
+        in
         let n_datasets_before = Hashtbl.length t.servings in
         match List.iter (apply_record t counts) (pair_outcomes records) with
         | exception Recovery_failed msg ->
@@ -1010,9 +1372,11 @@ let open_journal_inner t path =
                    path)
             end
             else begin
-              (* replay consumed no draws: re-key the noise stream so
-                 post-recovery releases can never repeat pre-crash ones *)
+              (* replay consumed no draws: re-key both noise streams so
+                 post-recovery releases (answers and tree nodes alike)
+                 can never repeat pre-crash ones *)
               t.rng <- Dp_rng.Prng.create (entropy_seed ());
+              t.stream_rng <- Dp_rng.Prng.create (entropy_seed ());
               t.journal <- Some j;
               Ok
                 {
@@ -1020,9 +1384,10 @@ let open_journal_inner t path =
                   records = stats.Journal.records;
                   torn_bytes = stats.Journal.torn_bytes;
                   datasets = Hashtbl.length t.servings - n_datasets_before;
-                  charges = !(fst3 counts);
-                  cache_entries = !(snd3 counts);
-                  models_recovered = !(trd counts);
+                  charges = counts.rc_charges;
+                  cache_entries = counts.rc_cache;
+                  models_recovered = counts.rc_models;
+                  streams_recovered = counts.rc_streams;
                   verified;
                 }
             end))
@@ -1096,6 +1461,14 @@ let refresh_metrics t =
           (Model_store.predicts sv.models);
         Dp_obs.Metrics.set_gauge s Dp_obs.Name.Models_stored
           (float_of_int (Model_store.size sv.models));
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Stream_appends
+          (Stream_store.appends sv.streams);
+        Dp_obs.Metrics.set_counter s Dp_obs.Name.Stream_reads
+          (Stream_store.reads sv.streams);
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Streams_open
+          (float_of_int (Stream_store.size sv.streams));
+        Dp_obs.Metrics.set_gauge s Dp_obs.Name.Stream_depth
+          (float_of_int (Stream_store.max_depth sv.streams));
         let spent = Ledger.spent sv.ledger in
         let remaining = Ledger.remaining sv.ledger in
         let total = Ledger.total sv.ledger in

@@ -84,6 +84,7 @@ type error =
               priced *)
     }
   | Unknown_model of string
+  | Unknown_stream of string
   | Transient of string
       (** retryable: the journal append or fsync failed after bounded
           retries, or the RNG was exhausted — state is consistent (any
@@ -188,6 +189,83 @@ val predict : t -> string -> float array -> (float, error) result
 
 val models : t -> dataset:string -> (Dp_train.Model_store.t, error) result
 
+(** {2 Continual observation}
+
+    A [stream] is the engine's continual-release object: the analyst
+    pays the whole-lifetime face charge once at [stream_open] —
+    ε per level × ⌈log₂ N⌉ levels ({!Dp_stream.Stream.spec}, priced
+    bit-identically by the analyzer) — then feeds [append] events and
+    reads continually-updated private prefix counts and sliding-window
+    counts for free. Counts come from the tree (binary) mechanism
+    ({!Dp_stream.Counter}): per-release error stays polylogarithmic in
+    the stream length instead of linear.
+
+    Durability inverts none of the engine's rules: the open's charge is
+    journaled before the handle exists, and every append journals the
+    closing tree nodes' {e noisy} values before the in-memory tree
+    mutates — so a kill -9 at any point recovers a stream releasing
+    bit-identical counts, without consuming a single PRNG draw on
+    replay. Tree noise comes from a dedicated stream keyed off the
+    engine seed (re-keyed from OS entropy when a journal attaches), so
+    recovery can never redraw or reuse pre-crash noise. *)
+
+type stream_opened = {
+  stream : Dp_stream.Stream_store.stream;
+  charged : Privacy.budget;  (** marginal composed-spend increase *)
+  seq : int;  (** audit-log sequence number (-1 when auditing is off) *)
+}
+
+val stream_open :
+  t ->
+  ?analyst:string ->
+  dataset:string ->
+  Dp_stream.Stream.params ->
+  (stream_opened, error) result
+(** Open a continual-observation counter over [dataset] events. Charges
+    [Stream.spec params] (the whole stream's budget) up front; refused
+    in degraded mode or with the journal down, like any fresh release.
+    The returned handle ([dataset/sN]) is durable: it resolves after
+    recovery iff it resolved live. *)
+
+type appended = {
+  handle : string;
+  t_now : int;  (** stream length after this append *)
+  nodes_closed : int;  (** tree nodes finalized (and journaled) *)
+}
+
+val append : t -> string -> int -> (appended, error) result
+(** [append t handle bit] feeds one event (0 or 1) to the stream.
+    Pre-paid — served even in low-water degraded mode — but requires a
+    working journal when one is attached: the closing nodes' noise is
+    fsynced before the tree mutates. [Bad_query] past the declared
+    horizon or for a non-bit event. *)
+
+type stream_count = {
+  handle : string;
+  t_now : int;  (** releases are as of this stream length *)
+  count : float;  (** noisy count over the released range *)
+  window : int option;  (** [None]: whole-prefix count *)
+  face : Privacy.budget;  (** the stream's whole-lifetime charge *)
+  leak : Meter.stream_reading;  (** per-timestep MI accounting *)
+}
+
+val stream_read : t -> string -> (stream_count, error) result
+(** The private count of 1-events over the whole prefix [(0, t_now]].
+    Deterministic post-processing of already-journaled node noise — no
+    charge, no data access, served even degraded, exhausted, or with
+    the journal down. *)
+
+val stream_window : t -> string -> ?w:int -> unit -> (stream_count, error) result
+(** The private count over the sliding window [(t_now - w, t_now]]
+    ([w] clamped to the prefix). [w] defaults to the window declared at
+    open; [Bad_query] if neither is given. Same free post-processing
+    contract as {!stream_read}. *)
+
+val find_stream : t -> string -> Dp_stream.Stream_store.stream option
+(** Resolve a handle ([dataset/sN]); free, served even degraded. *)
+
+val streams : t -> dataset:string -> (Dp_stream.Stream_store.t, error) result
+
 (** {2 Durability} *)
 
 type recovery = {
@@ -199,6 +277,9 @@ type recovery = {
   cache_entries : int;  (** cached answers restored (replay bit-identically) *)
   models_recovered : int;
       (** model handles rebuilt from Train frames (θ bit-identical) *)
+  streams_recovered : int;
+      (** stream handles rebuilt from Stream_open frames, their trees
+          re-committed from journaled node noise (counts bit-identical) *)
   verified : bool;  (** rebuilt state passed [Dp_audit.Replay] *)
 }
 

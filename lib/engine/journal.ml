@@ -35,12 +35,32 @@ type train_record = {
   acceptance : float;
 }
 
+type stream_open_record = {
+  dataset : string;
+  handle : string;
+  epsilon : float;
+  horizon : int;
+  window : int;
+}
+
+type stream_append_record = {
+  dataset : string;
+  handle : string;
+  bit : int;
+  nodes : float array;
+      (* the noisy values taken by the tree nodes closing at this step,
+         lowest level first — hex-float round-tripped, so a recovered
+         tree holds bit-identical state and replay consumes no draws *)
+}
+
 type record =
   | Register of { name : string; rows : int; seed : int; policy : Registry.policy }
   | Charge of charge_record
   | Cache_insert of cache_record
   | Withheld of { dataset : string; reason : string }
   | Train of train_record
+  | Stream_open of stream_open_record
+  | Stream_append of stream_append_record
 
 type stats = { records : int; torn_bytes : int }
 
@@ -161,7 +181,20 @@ let encode r =
       put_opt put_farr b m.theta;
       put_farr b m.rhat;
       put_farr b m.ess;
-      put_float b m.acceptance);
+      put_float b m.acceptance
+  | Stream_open s ->
+      Buffer.add_char b 'S';
+      put_str b s.dataset;
+      put_str b s.handle;
+      put_float b s.epsilon;
+      put_int b s.horizon;
+      put_int b s.window
+  | Stream_append a ->
+      Buffer.add_char b 'A';
+      put_str b a.dataset;
+      put_str b a.handle;
+      put_int b a.bit;
+      put_farr b a.nodes);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -327,6 +360,19 @@ let decode payload =
             ess;
             acceptance;
           }
+    | 'S' ->
+        let dataset = get_str c in
+        let handle = get_str c in
+        let epsilon = get_float c in
+        let horizon = get_int c in
+        let window = get_int c in
+        Stream_open { dataset; handle; epsilon; horizon; window }
+    | 'A' ->
+        let dataset = get_str c in
+        let handle = get_str c in
+        let bit = get_int c in
+        let nodes = get_farr c in
+        Stream_append { dataset; handle; bit; nodes }
     | _ -> raise Corrupt
   in
   if c.pos <> String.length payload then raise Corrupt;

@@ -73,6 +73,24 @@ type train_record = {
   acceptance : float;
 }
 
+type stream_open_record = {
+  dataset : string;
+  handle : string;  (** durable stream handle, e.g. [demo/s1] *)
+  epsilon : float;  (** per-level budget *)
+  horizon : int;
+  window : int;  (** declared default sliding window; 0 = none *)
+}
+
+type stream_append_record = {
+  dataset : string;
+  handle : string;
+  bit : int;
+  nodes : float array;
+      (** noisy values of the tree nodes closing at this step, lowest
+          level first, hex-float encoded: replay rebuilds the tree
+          bit-identically without consuming any PRNG draws *)
+}
+
 type record =
   | Register of {
       name : string;
@@ -97,6 +115,15 @@ type record =
           these in journal order, so handle names are stable and a
           restarted server resolves [predict]/[model] queries
           bit-identically. *)
+  | Stream_open of stream_open_record
+      (** a stream handle becoming resolvable, appended after the
+          [Charge] that paid its whole-lifetime face — the handle
+          exists iff this frame is durable, like model handles. *)
+  | Stream_append of stream_append_record
+      (** one accepted append, fsynced {e before} the tree mutates:
+          the closing nodes' noise is durable before any read can
+          release it, so a kill -9 at any point leaves the recovered
+          stream releasing exactly the counts the live one did. *)
 
 type stats = {
   records : int;  (** valid records replayed *)

@@ -32,6 +32,25 @@ let reading ~rows ~universe (b : Dp_mechanism.Privacy.budget) =
     min_entropy_leakage_bits = min_entropy;
   }
 
+(* Per-timestep accounting for continual observation: a stream is the
+   paper's channel run once per append, so the whole-stream MI cap
+   spreads over the observed steps. The division is exact bookkeeping,
+   not a new bound — the channel uses of different timesteps share one
+   composed ε, which is the point of the tree mechanism. *)
+type stream_reading = {
+  total : reading;  (** whole-stream bounds from the face charge *)
+  steps : int;  (** appends observed so far *)
+  per_step_mi_nats : float;  (** MI cap amortized per observed timestep *)
+}
+
+let stream_reading ~rows ~universe ~steps budget =
+  let total = reading ~rows ~universe budget in
+  {
+    total;
+    steps;
+    per_step_mi_nats = total.mi_bound_nats /. float_of_int (max 1 steps);
+  }
+
 let pp fmt r =
   Format.fprintf fmt
     "I(record;answers) <= %.4g nats (%.4g bits); capacity <= %.4g nats%s"

@@ -29,4 +29,21 @@ type reading = {
 val reading :
   rows:int -> universe:int -> Dp_mechanism.Privacy.budget -> reading
 
+type stream_reading = {
+  total : reading;  (** whole-stream bounds from the face charge *)
+  steps : int;  (** appends observed so far *)
+  per_step_mi_nats : float;  (** MI cap amortized per observed timestep *)
+}
+
+val stream_reading :
+  rows:int ->
+  universe:int ->
+  steps:int ->
+  Dp_mechanism.Privacy.budget ->
+  stream_reading
+(** Continual-observation reading: the stream's whole-lifetime face
+    charge is one composed ε shared by every timestep's release, so the
+    per-record MI cap is amortized over the [steps] observed so far.
+    Exact bookkeeping on top of {!reading}, not a separate bound. *)
+
 val pp : Format.formatter -> reading -> unit

@@ -164,6 +164,8 @@ let error_lines (e : Engine.error) =
       ]
   | Engine.Unknown_model handle ->
       [ Printf.sprintf "err unknown-model %s" handle ]
+  | Engine.Unknown_stream handle ->
+      [ Printf.sprintf "err unknown-stream %s" handle ]
   | Engine.Transient msg -> [ "err transient " ^ msg ]
   | Engine.Fatal msg -> [ "err fatal " ^ msg ]
 
@@ -359,6 +361,91 @@ let model_lines eng handle =
       ]
       @ (match m.theta with Some theta -> [ theta_line theta ] | None -> [])
 
+(* --------------------------------------------------------------- *)
+(* Continual observation: stream new / append / stream read / stream
+   window. Released counts are printed in hex floats alongside the
+   human-readable value: the chaos harness diffs these lines across
+   kill -9 recovery, so they must round-trip every bit. *)
+
+let stream_keys = "analyst" :: Dp_stream.Stream.keys
+
+let stream_new_lines eng name opts_tokens =
+  match Engine.find eng name with
+  | None -> [ Printf.sprintf "err unknown-dataset %s" name ]
+  | Some ds -> (
+      match parse_opts ~known:stream_keys opts_tokens with
+      | Error line -> [ line ]
+      | Ok opts -> (
+          let analyst = find_opt "analyst" opts in
+          let params_opts = List.filter (fun (k, _) -> k <> "analyst") opts in
+          match
+            Dp_stream.Stream.params_of_opts
+              ~default_epsilon:ds.Registry.policy.default_epsilon params_opts
+          with
+          | Error msg -> [ "err bad-argument " ^ msg ]
+          | Ok params -> (
+              match Engine.stream_open eng ?analyst ~dataset:name params with
+              | Error e -> error_lines e
+              | Ok r ->
+                  let s = r.Engine.stream in
+                  let spec = s.Dp_stream.Stream_store.spec in
+                  [
+                    Printf.sprintf
+                      "ok stream handle=%s N=%d window=%d levels=%d \
+                       eps-level=%s eps-face=%s eps-charged=%s mechanism=tree"
+                      s.Dp_stream.Stream_store.handle
+                      spec.Dp_stream.Stream.params.Dp_stream.Stream.horizon
+                      spec.Dp_stream.Stream.params.Dp_stream.Stream.window
+                      spec.Dp_stream.Stream.levels
+                      (fstr spec.Dp_stream.Stream.params.Dp_stream.Stream.epsilon)
+                      (fstr spec.Dp_stream.Stream.face.Privacy.epsilon)
+                      (fstr r.Engine.charged.Privacy.epsilon);
+                  ])))
+
+let append_lines eng handle bit_str =
+  match int_of_string_opt bit_str with
+  | None -> [ Printf.sprintf "err bad-argument append bit %s (want 0|1)" bit_str ]
+  | Some bit -> (
+      match Engine.append eng handle bit with
+      | Error e -> error_lines e
+      | Ok a ->
+          [
+            Printf.sprintf "ok append stream=%s t=%d nodes-closed=%d"
+              a.Engine.handle a.Engine.t_now a.Engine.nodes_closed;
+          ])
+
+let stream_count_lines tag (c : Engine.stream_count) =
+  [
+    Printf.sprintf
+      "ok %s stream=%s t=%d%s count=%.6f count-hex=%h eps-charged=0" tag
+      c.Engine.handle c.Engine.t_now
+      (match c.Engine.window with
+      | Some w -> Printf.sprintf " w=%d" w
+      | None -> "")
+      c.Engine.count c.Engine.count;
+    Printf.sprintf "  leakage: mi-bound=%s nats mi-per-step=%s nats steps=%d"
+      (fstr c.Engine.leak.Meter.total.Meter.mi_bound_nats)
+      (fstr c.Engine.leak.Meter.per_step_mi_nats)
+      c.Engine.leak.Meter.steps;
+  ]
+
+let stream_read_lines eng handle =
+  match Engine.stream_read eng handle with
+  | Error e -> error_lines e
+  | Ok c -> stream_count_lines "stream-read" c
+
+let stream_window_lines eng handle opts_tokens =
+  match parse_opts ~known:[ "w" ] opts_tokens with
+  | Error line -> [ line ]
+  | Ok opts -> (
+      match int_opt "w" ~default:(-1) opts with
+      | Error line -> [ line ]
+      | Ok w -> (
+          let w = if w < 0 then None else Some w in
+          match Engine.stream_window eng handle ?w () with
+          | Error e -> error_lines e
+          | Ok c -> stream_count_lines "stream-window" c))
+
 let help_lines =
   [
     "ok commands:";
@@ -371,6 +458,11 @@ let help_lines =
     "        [ess-min=E] [analyst=A]       releases a model handle NAME/mK";
     "  predict HANDLE x1,x2,...              free post-processing of a release";
     "  model HANDLE                          handle metadata, gate verdict, theta";
+    "  stream new NAME [eps=E] [N=L] [window=W] [analyst=A]";
+    "        opens a continual counter NAME/sK, charging eps*ceil(log2 N) once";
+    "  append HANDLE 0|1                     feed one event (pre-paid, journaled)";
+    "  stream read HANDLE                    private prefix count, free";
+    "  stream window HANDLE [w=W]            private sliding-window count, free";
     "  report NAME | log NAME | replay NAME | status | metrics | help | quit";
     "  EXPR: count | count(col>x) | sum(col) | mean(col) | histogram(col,bins)";
     "        | quantile(col,q) | cdf(col,t1,...)";
@@ -405,6 +497,15 @@ let exec_parsed eng line =
       [ "err bad-argument predict needs HANDLE and x1,x2,... (try 'help')" ]
   | [ "model"; handle ] -> model_lines eng handle
   | "model" :: _ -> [ "err bad-argument model needs HANDLE (try 'help')" ]
+  | "stream" :: "new" :: name :: opts -> stream_new_lines eng name opts
+  | [ "stream"; "read"; handle ] -> stream_read_lines eng handle
+  | "stream" :: "window" :: handle :: opts ->
+      stream_window_lines eng handle opts
+  | "stream" :: _ ->
+      [ "err bad-argument stream needs new|read|window (try 'help')" ]
+  | [ "append"; handle; bit ] -> append_lines eng handle bit
+  | "append" :: _ ->
+      [ "err bad-argument append needs HANDLE and 0|1 (try 'help')" ]
   | [ "report"; dataset ] -> report_lines eng dataset
   | [ "log"; dataset ] -> log_lines eng dataset
   | [ "replay"; dataset ] -> replay_lines eng dataset

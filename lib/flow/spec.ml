@@ -52,6 +52,7 @@ let sanitizer_modules =
     "Propose_test_release";
     "Smooth_sensitivity";
     "Binary_mechanism";
+    "Counter";
     "Range_queries";
     "Subsample";
     "Mechanism";
@@ -132,7 +133,7 @@ let declassifiers =
 (* F1 reports only where leakage matters: the serving, training,
    certification, and observability layers. Mechanism internals and
    pure math are out of scope. *)
-let f1_scope_segs = [ "engine"; "net"; "train"; "certify"; "obs" ]
+let f1_scope_segs = [ "engine"; "net"; "train"; "certify"; "obs"; "stream" ]
 
 (* ---------- F2: charge-before-release ---------- *)
 
@@ -153,7 +154,7 @@ let chargers =
    constructing a [Released] outcome *)
 let release_field = "run"
 let release_construct = "Released"
-let f2_scope_segs = [ "engine"; "train" ]
+let f2_scope_segs = [ "engine"; "train"; "stream" ]
 
 (* tail calls that terminate a path without releasing *)
 let diverging =
@@ -174,11 +175,15 @@ let stream_consumers =
     ("Faults", "with_retries");
   ]
 
-(* subsystem domains: engine and train share one domain (the engine
-   hands its stream to training deliberately — engine.ml threads
-   t.rng into Train.run); net and certify own theirs *)
+(* subsystem domains: engine, train and stream share one domain (the
+   engine hands its streams to training and to tree-counter noise
+   deliberately — engine.ml threads t.rng into Train.run and
+   t.stream_rng into Counter.prepare closures); net and certify own
+   theirs *)
 let domain_of_segs segs =
-  if List.mem "engine" segs || List.mem "train" segs then Some "engine"
+  if List.mem "engine" segs || List.mem "train" segs
+     || List.mem "stream" segs
+  then Some "engine"
   else if List.mem "net" segs then Some "net"
   else if List.mem "certify" segs then Some "certify"
   else None
@@ -187,7 +192,9 @@ let domain_of_segs segs =
    whose source is outside the analyzed set *)
 let domain_of_module m =
   match m with
-  | "Engine" | "Protocol" | "Planner" | "Ledger" | "Train" -> Some "engine"
+  | "Engine" | "Protocol" | "Planner" | "Ledger" | "Train" | "Stream"
+  | "Counter" | "Stream_store" ->
+      Some "engine"
   | "Client" | "Server" | "Wire" -> Some "net"
   | "Certify" | "Stat" -> Some "certify"
   | _ -> None

@@ -5,6 +5,7 @@ type config = {
   backlog : int;
   max_conns : int;
   max_inflight : int;
+  max_append_inflight : int;
   idle_timeout_s : float;
   reply_deadline_s : float;
   retry_after_base_ms : int;
@@ -16,6 +17,7 @@ let default_config =
     backlog = 64;
     max_conns = 64;
     max_inflight = 128;
+    max_append_inflight = 32;
     idle_timeout_s = 30.;
     reply_deadline_s = 10.;
     retry_after_base_ms = 50;
@@ -185,9 +187,25 @@ let accept_phase t =
           t.conns <- mk_conn fd :: t.conns
         end
 
+(* Append floods shed at a lower watermark than everything else: each
+   append costs a journal fsync, so a firehose of them would occupy the
+   whole pipeline and starve interactive queries long before the global
+   bound trips. The test is purely syntactic (first token) plus queue
+   depth — still never ledger or budget state. *)
+let is_append_line text =
+  let t = String.trim text in
+  t = "append"
+  || String.length t > 6
+     && String.sub t 0 7 = "append "
+
 let handle_line t c (l : Linebuf.line) =
   c.last_request <- now_s ();
-  if depth t >= t.cfg.max_inflight then begin
+  let bound =
+    if is_append_line l.Linebuf.text then
+      min t.cfg.max_append_inflight t.cfg.max_inflight
+    else t.cfg.max_inflight
+  in
+  if depth t >= bound then begin
     Dp_obs.Metrics.incr t.scope Dp_obs.Name.Net_requests_shed;
     queue_frame c [ overloaded_line t ];
     if c.deadline = 0. then c.deadline <- now_s () +. t.cfg.reply_deadline_s

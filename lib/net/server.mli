@@ -39,14 +39,18 @@ type config = {
   backlog : int;
   max_conns : int;  (** accept-time admission bound *)
   max_inflight : int;  (** queued requests + unflushed replies bound *)
+  max_append_inflight : int;
+      (** lower shed watermark for [append] lines: a journal-fsync-heavy
+          append flood is shed before it can starve interactive queries
+          (decision is first-token syntax + queue depth, never budget) *)
   idle_timeout_s : float;
   reply_deadline_s : float;  (** request queued to reply flushed *)
   retry_after_base_ms : int;  (** scales the depth-based retry hint *)
 }
 
 val default_config : config
-(** Ephemeral port, 64 conns, 128 inflight, 30s idle, 10s deadline,
-    50ms retry-after base. *)
+(** Ephemeral port, 64 conns, 128 inflight (32 for appends), 30s idle,
+    10s deadline, 50ms retry-after base. *)
 
 type t
 

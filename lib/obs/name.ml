@@ -30,6 +30,8 @@ type counter =
   | Trains_released
   | Trains_withheld
   | Predicts_served
+  | Stream_appends
+  | Stream_reads
 
 type gauge =
   | Eps_total
@@ -47,6 +49,8 @@ type gauge =
   | Net_conns_open
   | Net_inflight
   | Models_stored
+  | Streams_open
+  | Stream_depth
 
 type latency =
   | Submit_ns
@@ -63,6 +67,8 @@ type latency =
   | Train_ns
   | Gate_ns
   | Predict_ns
+  | Append_ns
+  | Stream_read_ns
 
 type span =
   | Sp_submit
@@ -82,9 +88,9 @@ type tag =
   | T_chains
   | T_rhat
 
-let n_counters = 23
-let n_gauges = 15
-let n_latencies = 14
+let n_counters = 25
+let n_gauges = 17
+let n_latencies = 16
 
 let counter_index = function
   | Queries_answered -> 0
@@ -110,6 +116,8 @@ let counter_index = function
   | Trains_released -> 20
   | Trains_withheld -> 21
   | Predicts_served -> 22
+  | Stream_appends -> 23
+  | Stream_reads -> 24
 
 let gauge_index = function
   | Eps_total -> 0
@@ -127,6 +135,8 @@ let gauge_index = function
   | Net_conns_open -> 12
   | Net_inflight -> 13
   | Models_stored -> 14
+  | Streams_open -> 15
+  | Stream_depth -> 16
 
 let latency_index = function
   | Submit_ns -> 0
@@ -143,6 +153,8 @@ let latency_index = function
   | Train_ns -> 11
   | Gate_ns -> 12
   | Predict_ns -> 13
+  | Append_ns -> 14
+  | Stream_read_ns -> 15
 
 let all_counters =
   [|
@@ -152,6 +164,7 @@ let all_counters =
     Draws_exponential; Draws_randomized_response; Net_conns_accepted;
     Net_conns_shed; Net_requests; Net_requests_shed; Net_deadline_closed;
     Net_drained; Trains_released; Trains_withheld; Predicts_served;
+    Stream_appends; Stream_reads;
   |]
 
 let all_gauges =
@@ -159,7 +172,7 @@ let all_gauges =
     Eps_total; Eps_spent; Eps_remaining; Delta_spent; Cache_entries;
     Cache_hit_rate; Degraded_mode; Datasets_serving; Journal_attached;
     Mi_bound_nats; Capacity_bound_nats; Min_entropy_leakage_bits;
-    Net_conns_open; Net_inflight; Models_stored;
+    Net_conns_open; Net_inflight; Models_stored; Streams_open; Stream_depth;
   |]
 
 let all_latencies =
@@ -167,6 +180,7 @@ let all_latencies =
     Submit_ns; Plan_ns; Charge_ns; Noise_ns; Journal_append_ns;
     Journal_fsync_ns; Cache_lookup_ns; Meter_ns; Recovery_ns;
     Net_accept_to_reply_ns; Net_reply_ns; Train_ns; Gate_ns; Predict_ns;
+    Append_ns; Stream_read_ns;
   |]
 
 let all_spans =
@@ -202,6 +216,8 @@ let counter_name = function
   | Trains_released -> "trains_released"
   | Trains_withheld -> "trains_withheld"
   | Predicts_served -> "predicts_served"
+  | Stream_appends -> "stream_appends"
+  | Stream_reads -> "stream_reads"
 
 let gauge_name = function
   | Eps_total -> "eps_total"
@@ -219,6 +235,8 @@ let gauge_name = function
   | Net_conns_open -> "net_conns_open"
   | Net_inflight -> "net_inflight"
   | Models_stored -> "models_stored"
+  | Streams_open -> "streams_open"
+  | Stream_depth -> "stream_depth"
 
 let latency_name = function
   | Submit_ns -> "submit_ns"
@@ -235,6 +253,8 @@ let latency_name = function
   | Train_ns -> "train_ns"
   | Gate_ns -> "gate_ns"
   | Predict_ns -> "predict_ns"
+  | Append_ns -> "append_ns"
+  | Stream_read_ns -> "stream_read_ns"
 
 let span_name = function
   | Sp_submit -> "submit"

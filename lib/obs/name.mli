@@ -30,6 +30,8 @@ type counter =
   | Trains_released  (** train queries whose model passed the gate *)
   | Trains_withheld  (** train queries charged but withheld (unconverged) *)
   | Predicts_served  (** predictions served (free post-processing) *)
+  | Stream_appends  (** stream events accepted (journaled tree updates) *)
+  | Stream_reads  (** prefix/window counts released (free post-processing) *)
 
 type gauge =
   | Eps_total
@@ -47,6 +49,8 @@ type gauge =
   | Net_conns_open
   | Net_inflight  (** queued requests + unflushed replies (queue depth) *)
   | Models_stored  (** model handles held (released + withheld) *)
+  | Streams_open  (** stream handles held *)
+  | Stream_depth  (** deepest tree (levels) over open streams *)
 
 type latency =
   | Submit_ns
@@ -63,6 +67,8 @@ type latency =
   | Train_ns  (** whole train request: charge, chains, gate, journal *)
   | Gate_ns  (** convergence diagnostics alone *)
   | Predict_ns
+  | Append_ns  (** whole append: tree update, noise, journal frame *)
+  | Stream_read_ns  (** prefix/window release (post-processing only) *)
 
 type span =
   | Sp_submit

@@ -1,0 +1,34 @@
+type stream = {
+  handle : string;
+  dataset : string;
+  spec : Stream.spec;
+  counter : Counter.t;
+  mutable reads : int;  (* prefix + window releases served *)
+}
+
+type t = {
+  tbl : (string, stream) Hashtbl.t;
+  mutable order : string list;  (* newest first *)
+  mutable n_appends : int;
+}
+
+let create () = { tbl = Hashtbl.create 16; order = []; n_appends = 0 }
+
+let size t = List.length t.order
+
+let add t s =
+  if Hashtbl.mem t.tbl s.handle then
+    invalid_arg
+      (Printf.sprintf "Stream_store.add: duplicate handle %s" s.handle);
+  Hashtbl.replace t.tbl s.handle s;
+  t.order <- s.handle :: t.order
+
+let find t handle = Hashtbl.find_opt t.tbl handle
+let appends t = t.n_appends
+let record_append t = t.n_appends <- t.n_appends + 1
+
+let reads t =
+  Hashtbl.fold (fun _ s acc -> acc + s.reads) t.tbl 0
+
+let max_depth t =
+  Hashtbl.fold (fun _ s acc -> max acc (Counter.depth s.counter)) t.tbl 0

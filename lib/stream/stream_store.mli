@@ -1,0 +1,26 @@
+(** Per-dataset store of open streams, addressed by durable handles
+    ([dataset/sN]). A handle exists iff its open frame is journaled,
+    exactly like model handles. *)
+
+type stream = {
+  handle : string;
+  dataset : string;
+  spec : Stream.spec;
+  counter : Counter.t;
+  mutable reads : int;
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val add : t -> stream -> unit
+(** Raises [Invalid_argument] on a duplicate handle — recovery treats
+    that as journal corruption, exactly like model handles. *)
+
+val find : t -> string -> stream option
+val appends : t -> int
+val record_append : t -> unit
+val reads : t -> int
+val max_depth : t -> int

@@ -17,6 +17,12 @@
 #     the journal's Train frames), a withheld-unconverged handle stays
 #     withheld across the restart, and no released theta is ever
 #     duplicated across server lives;
+#   - continual streams are durable: a kill -9 mid-append-burst loses
+#     no accepted append — after recovery the live stream's prefix and
+#     window counts agree bit-identically (hex floats) with a pure
+#     offline replay of the journal's Stream frames, two independent
+#     recoveries release identical counts, and no tree-node noise is
+#     redrawn on recovery (append frames carry the noisy values);
 #   - SIGTERM drains gracefully: exit 0, all charges journaled, and the
 #     final metrics snapshot passes `dpkit stats --check`.
 set -eu
@@ -138,6 +144,29 @@ THETA1=$(grep '^  theta=' chaos_cli_train.out | head -1)
 PRED1=$(sed -n 's/^ok predict model=demo\/m1 value=\([^ ]*\).*/\1/p' chaos_cli_train.out)
 [ -n "$PRED1" ] || { echo "no prediction for demo/m1"; cat chaos_cli_train.out; exit 1; }
 
+# --- stream wave: a continual counter killed mid-append-burst ----------
+# Open a tree-mechanism stream, land 60 appends and read the released
+# prefix, then fire a 300-append burst that the kill -9 below lands in
+# the middle of. The burst client retries through the restart; accepted
+# appends are journaled (noisy node values included) before the tree
+# mutates, so whatever subset landed is exactly what every recovery
+# replays.
+{
+  printf 'stream new demo N=512 window=32 eps=0.005\n'
+  awk 'BEGIN { for (i = 0; i < 60; i++) print "append demo/s1 " i % 2 }'
+  printf 'stream read demo/s1\n'
+} | client "$PORT" 310 > chaos_cli_stream_pre.out
+grep -q 'ok stream handle=demo/s1 N=512 window=32' chaos_cli_stream_pre.out || {
+  echo "stream open failed:"; cat chaos_cli_stream_pre.out; exit 1; }
+[ "$(grep -c '^ok append stream=demo/s1' chaos_cli_stream_pre.out)" -eq 60 ] || {
+  echo "pre-kill appends missing:"; cat chaos_cli_stream_pre.out; exit 1; }
+grep -q 'ok stream-read stream=demo/s1 t=60 ' chaos_cli_stream_pre.out || {
+  echo "pre-kill stream read failed:"; cat chaos_cli_stream_pre.out; exit 1; }
+
+awk 'BEGIN { for (i = 0; i < 300; i++) print "append demo/s1 " (i + 1) % 2 }' \
+  | client "$PORT" 311 > chaos_cli_stream_burst.out &
+SPID=$!
+
 printf 'train demo eps=0.05 steps=8000 burn=8000\n' \
   | client "$PORT" 301 > chaos_cli_train_w3.out &
 TPID=$!
@@ -150,6 +179,25 @@ sleep 0.2
 PID3=$!
 wait_listening "$SRVLOG3"
 wait "$TPID" || true
+wait "$SPID" || {
+  echo "append-burst client gave up across the restart:"
+  cat chaos_cli_stream_burst.out; exit 1; }
+
+# Every burst append reached a final reply (ok, or a typed final error —
+# a retried append that already landed pre-kill may overshoot nothing
+# here since N=512 > 360, so they must all be ok).
+[ "$(grep -c '^ok append stream=demo/s1' chaos_cli_stream_burst.out)" -ge 300 ] || {
+  echo "burst appends missing finals:"; cat chaos_cli_stream_burst.out; exit 1; }
+
+# The recovered-and-continued live stream vs a pure journal replay:
+# prefix and window counts must agree to the last bit (hex floats).
+printf 'stream read demo/s1\nstream window demo/s1\n' \
+  | client "$PORT" 312 > chaos_cli_stream_verify.out
+LIVE_SREAD=$(sed -n 's/^ok stream-read .* count-hex=\([^ ]*\).*/\1/p' chaos_cli_stream_verify.out)
+LIVE_SWIN=$(sed -n 's/^ok stream-window .* count-hex=\([^ ]*\).*/\1/p' chaos_cli_stream_verify.out)
+LIVE_ST=$(sed -n 's/^ok stream-read stream=demo\/s1 t=\([0-9]*\).*/\1/p' chaos_cli_stream_verify.out)
+[ -n "$LIVE_SREAD" ] && [ -n "$LIVE_SWIN" ] || {
+  echo "post-restart stream reads failed:"; cat chaos_cli_stream_verify.out; exit 1; }
 
 printf 'model demo/m1\npredict demo/m1 40,50000\nmodel demo/m2\n' \
   | client "$PORT" 302 > chaos_cli_train_verify.out
@@ -201,7 +249,8 @@ grep -q 'drained' "$SRVLOG3" || { echo "no drain marker:"; cat "$SRVLOG3"; exit 
   echo "metrics snapshot failed stats --check"; exit 1; }
 
 # --- fault-free offline replay agrees with the live report -------------
-OFFLINE=$(printf 'report demo\nreplay demo\nquit\n' | "$DPKIT" serve --journal "$J" 2>/dev/null)
+OFFLINE=$(printf 'report demo\nreplay demo\nstream read demo/s1\nstream window demo/s1\nquit\n' \
+  | "$DPKIT" serve --journal "$J" 2>/dev/null)
 OFF_SPENT=$(echo "$OFFLINE" | sed -n 's/.*eps-total=[^ ]* eps-spent=\([^ ]*\).*/\1/p')
 OFF_ANSWERED=$(echo "$OFFLINE" | sed -n 's/.*queries=[0-9]* answered=\([0-9]*\).*/\1/p')
 echo "$OFFLINE" | grep -q 'ok replay consistent' || {
@@ -210,5 +259,26 @@ echo "$OFFLINE" | grep -q 'ok replay consistent' || {
   echo "spent epsilon diverges: live=$LIVE_SPENT offline=$OFF_SPENT"; exit 1; }
 [ -n "$LIVE_ANSWERED" ] && [ "$LIVE_ANSWERED" = "$OFF_ANSWERED" ] || {
   echo "answered counts diverge: live=$LIVE_ANSWERED offline=$OFF_ANSWERED"; exit 1; }
+
+# The stream frames are part of the same truth: the offline replay's
+# prefix/window counts must match the post-restart live ones bit-for-bit
+# (recovery applied the journaled node noise, never redrew it), and a
+# second independent replay must agree with the first — recovering twice
+# releases the same counts and the same noise.
+OFF_SREAD=$(echo "$OFFLINE" | sed -n 's/^ok stream-read .* count-hex=\([^ ]*\).*/\1/p')
+OFF_SWIN=$(echo "$OFFLINE" | sed -n 's/^ok stream-window .* count-hex=\([^ ]*\).*/\1/p')
+OFF_ST=$(echo "$OFFLINE" | sed -n 's/^ok stream-read stream=demo\/s1 t=\([0-9]*\).*/\1/p')
+[ "$LIVE_SREAD" = "$OFF_SREAD" ] || {
+  echo "recovered prefix count diverges: live=$LIVE_SREAD offline=$OFF_SREAD"; exit 1; }
+[ "$LIVE_SWIN" = "$OFF_SWIN" ] || {
+  echo "recovered window count diverges: live=$LIVE_SWIN offline=$OFF_SWIN"; exit 1; }
+[ "$LIVE_ST" = "$OFF_ST" ] || {
+  echo "recovered stream length diverges: live=$LIVE_ST offline=$OFF_ST"; exit 1; }
+OFFLINE2=$(printf 'stream read demo/s1\nstream window demo/s1\nquit\n' \
+  | "$DPKIT" serve --journal "$J" 2>/dev/null)
+OFF2_SREAD=$(echo "$OFFLINE2" | sed -n 's/^ok stream-read .* count-hex=\([^ ]*\).*/\1/p')
+OFF2_SWIN=$(echo "$OFFLINE2" | sed -n 's/^ok stream-window .* count-hex=\([^ ]*\).*/\1/p')
+[ "$OFF_SREAD" = "$OFF2_SREAD" ] && [ "$OFF_SWIN" = "$OFF2_SWIN" ] || {
+  echo "two recoveries disagree: $OFF_SREAD/$OFF_SWIN vs $OFF2_SREAD/$OFF2_SWIN"; exit 1; }
 
 rm -f "$J" "$M" "$SRVLOG1" "$SRVLOG2" "$SRVLOG3" chaos_cli_*.out

@@ -96,7 +96,7 @@ let test_preview backend () =
     List.map
       (fun (it : A.item) ->
         match it with
-        | A.Train _ -> Alcotest.fail "stat workload only"
+        | A.Train _ | A.Stream _ -> Alcotest.fail "stat workload only"
         | A.Stat { query; epsilon; _ } -> (
             let eps =
               Option.value epsilon ~default:s.Registry.policy.default_epsilon
