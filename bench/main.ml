@@ -668,6 +668,141 @@ let stream_bench json =
   Option.iter (fun file -> write_json file [] phases) json;
   Dp_engine.Engine.close eng
 
+(* Worker-pool throughput (--pool): req/s through the coordinator →
+   fd-pass → worker → lease-gate → reply path at N=1, 2 and 4 workers,
+   over 4 concurrent lockstep connections so N>1 can actually overlap
+   noise draws and journal fsyncs. N=1 is the single-process fast path
+   `dpkit serve` dispatches to, so the N=1 row is the pool's baseline,
+   not a pool with one worker. Each serving process is forked (its own
+   journal in a temp dir) and TERM-drained after the measurement. *)
+let pool_bench json =
+  let nconc = 4 and nreq = 2000 in
+  let bench_n workers =
+    let dir = Filename.temp_file "dpkit_bench_pool" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let cleanup () =
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    in
+    at_exit cleanup;
+    let journal = Filename.concat dir "bench.wal" in
+    let spawn port =
+      let rd, wr = Unix.pipe () in
+      let pid = Unix.fork () in
+      if pid = 0 then begin
+        Unix.close rd;
+        Unix.dup2 wr Unix.stdout;
+        Unix.close wr;
+        if workers = 1 then begin
+          let eng = Dp_engine.Engine.create ~seed:29 ~audit:false () in
+          (match Dp_engine.Engine.open_journal eng journal with
+          | Ok _ -> ()
+          | Error msg ->
+              prerr_endline msg;
+              exit 1);
+          let config = { Dp_net.Server.default_config with port } in
+          match Dp_net.Server.create ~config eng with
+          | Error _ -> exit 1
+          | Ok srv ->
+              Printf.printf "listening port=%d workers=1\n%!"
+                (Dp_net.Server.port srv);
+              Sys.set_signal Sys.sigterm
+                (Sys.Signal_handle (fun _ -> Dp_net.Server.request_stop srv));
+              Dp_net.Server.run srv;
+              Dp_engine.Engine.close eng;
+              exit 0
+        end
+        else
+          exit
+            (Dp_pool.Pool.run
+               {
+                 (Dp_pool.Pool.default_config ~workers ~port ~journal) with
+                 Dp_pool.Pool.seed = 29;
+               })
+      end;
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      match
+        let rec banner () =
+          let line = input_line ic in
+          if String.length line < 9 || String.sub line 0 9 <> "listening" then
+            banner ()
+        in
+        banner ()
+      with
+      | () -> Some (pid, rd)
+      | exception End_of_file ->
+          (* bind lost the port race; reap and let the caller retry *)
+          Unix.close rd;
+          ignore (Unix.waitpid [] pid);
+          None
+    in
+    let base = 25800 + (Unix.getpid () mod 1500) in
+    let rec start try_ =
+      if try_ >= 5 then failwith "pool bench: no bindable port"
+      else
+        match spawn (base + (workers * 7) + try_) with
+        | Some (pid, rd) -> (pid, rd, base + (workers * 7) + try_)
+        | None -> start (try_ + 1)
+    in
+    let pid, rd, port = start 0 in
+    let connect () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    in
+    let roundtrip ic oc line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      let rec drain () = if input_line ic <> "" then drain () in
+      drain ()
+    in
+    (* register once; the coordinator broadcasts it to every shard *)
+    let fd0, ic0, oc0 = connect () in
+    roundtrip ic0 oc0 "register bench rows=4096 eps=1000000 default-eps=0.0001";
+    Unix.close fd0;
+    let conns = Array.init nconc (fun _ -> connect ()) in
+    let per = nreq / nconc in
+    let work k () =
+      let _, ic, oc = conns.(k) in
+      for i = 0 to per - 1 do
+        (* distinct thresholds: every answer is a fresh lease-gated draw *)
+        roundtrip ic oc
+          (Printf.sprintf "query bench count(income>%d)" ((k * per) + i))
+      done
+    in
+    (* warm-up outside the clock: leases granted, caches keyed *)
+    Array.iteri
+      (fun k (_, ic, oc) ->
+        roundtrip ic oc (Printf.sprintf "query bench count(age>%d)" k))
+      conns;
+    let t0 = Unix.gettimeofday () in
+    let threads = Array.init nconc (fun k -> Thread.create (work k) ()) in
+    Array.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    Array.iter (fun (fd, _, _) -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+    Unix.kill pid Sys.sigterm;
+    ignore (Unix.waitpid [] pid);
+    Unix.close rd;
+    cleanup ();
+    float_of_int nreq /. dt
+  in
+  Format.printf "== worker-pool throughput (%d conns, %d fresh queries) ==@."
+    nconc nreq;
+  let rows =
+    List.map
+      (fun workers ->
+        let rate = bench_n workers in
+        Format.printf "pool serve N=%d  %10.0f req/s@." workers rate;
+        (Printf.sprintf "pool serve N=%d" workers, 1e9 /. rate))
+      [ 1; 2; 4 ]
+  in
+  Option.iter (fun file -> write_json file rows []) json
+
 let rec json_arg = function
   | "--json" :: file :: _ -> Some file
   | _ :: rest -> json_arg rest
@@ -682,6 +817,7 @@ let () =
   else if List.mem "--net" argv then net_bench ()
   else if List.mem "--train" argv then train_bench (json_arg argv)
   else if List.mem "--stream" argv then stream_bench (json_arg argv)
+  else if List.mem "--pool" argv then pool_bench (json_arg argv)
   else begin
     if not bench_only then
       Dp_experiments.Registry.run_all ~quick ~seed:20120330 Format.std_formatter;

@@ -247,8 +247,18 @@ let serve_cmd =
                within $(docv) seconds of the request arriving." in
     Arg.(value & opt float 10. & info [ "request-deadline" ] ~docv:"S" ~doc)
   in
+  let workers_arg =
+    let doc =
+      "Serve with $(docv) supervised worker processes behind one \
+       coordinator that owns the listener and arbitrates the global \
+       budget with fenced ε-leases (requires --tcp and --journal; \
+       shard k journals to FILE.shard<k>, lease grants to \
+       FILE.grants). $(docv)=1 is the plain single-process server."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
   let run seed journal faults_spec metrics_path tcp max_conns max_inflight
-      idle_timeout request_deadline =
+      idle_timeout request_deadline workers =
     let faults_r =
       match faults_spec with
       | None -> Ok (Dp_engine.Faults.of_env ())
@@ -256,6 +266,30 @@ let serve_cmd =
     in
     match faults_r with
     | Error msg -> `Error (false, "bad --faults: " ^ msg)
+    | Ok _ when workers < 1 ->
+        `Error (false, "--workers must be at least 1")
+    | Ok faults when workers > 1 -> (
+        match (tcp, journal) with
+        | None, _ ->
+            `Error
+              (false,
+               "--workers needs --tcp: the pool coordinator owns the \
+                listener")
+        | _, None ->
+            `Error
+              (false,
+               "--workers needs --journal: shard journals back lease \
+                reclamation")
+        | Some port, Some journal -> (
+            let cfg =
+              {
+                (Dp_pool.Pool.default_config ~workers ~port ~journal) with
+                Dp_pool.Pool.seed;
+                metrics = metrics_path;
+                faults;
+              }
+            in
+            match Dp_pool.Pool.run cfg with 0 -> `Ok () | n -> exit n))
     | Ok faults -> (
         let eng = Dp_engine.Engine.create ~seed ~faults () in
         let write_metrics () =
@@ -357,7 +391,44 @@ let serve_cmd =
       ret
         (const run $ seed_arg $ journal_arg $ faults_arg $ metrics_arg
        $ tcp_arg $ max_conns_arg $ max_inflight_arg $ idle_timeout_arg
-       $ request_deadline_arg))
+       $ request_deadline_arg $ workers_arg))
+
+let pool_cmd =
+  let action_arg =
+    let doc = "$(b,replay): merge the shard journals and grant WAL \
+               offline and print the recovered global ledger." in
+    Arg.(value & pos 0 string "replay" & info [] ~docv:"ACTION" ~doc)
+  in
+  let journal_arg =
+    let doc = "Journal base path the pool served with (shards at \
+               $(docv).shard<k>, grants at $(docv).grants)." in
+    Arg.(
+      required & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker count the pool served with." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let run seed action journal workers =
+    match action with
+    | "replay" -> (
+        if workers < 1 then `Error (false, "--workers must be at least 1")
+        else
+          match Dp_pool.Pool.merge_lines ~seed ~journal ~workers () with
+          | Error msg -> `Error (false, msg)
+          | Ok (lines, ok) ->
+              List.iter print_endline lines;
+              if ok then `Ok () else exit 1)
+    | other -> `Error (false, Printf.sprintf "unknown pool action %S" other)
+  in
+  Cmd.v
+    (Cmd.info "pool"
+       ~doc:
+         "Inspect a worker pool's on-disk state: 'replay' merges the \
+          shard journals with the grant WAL into the recovered global \
+          ledger — bit-identical to the report a restarting coordinator \
+          prints — and exits 1 if the lease invariant is violated.")
+    Term.(ret (const run $ seed_arg $ action_arg $ journal_arg $ workers_arg))
 
 let client_cmd =
   let port_arg =
@@ -868,7 +939,8 @@ let certify_cmd =
     let doc =
       "What to certify: a query ('count(age>40)', 'sum(income)', \
        'histogram(age,8)', 'quantile(income,0.5)'), $(b,train) for the \
-       Gibbs-posterior train face, or $(b,compare) with PRE and POST \
+       Gibbs-posterior train face, $(b,stream) for the tree-mechanism \
+       continual-counter append face, or $(b,compare) with PRE and POST \
        sample files for the crash-recovery comparison."
     in
     Arg.(value & pos 0 string "sum(income)" & info [] ~docv:"FACE" ~doc)
@@ -887,6 +959,18 @@ let certify_cmd =
   let trials_arg =
     let doc = "Mechanism runs per side of the neighbour pair." in
     Arg.(value & opt int 2000 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let time_budget_arg =
+    let doc =
+      "Size the run by wall-clock instead of --trials: a short pilot \
+       measures the per-trial cost, then the trial count is set to \
+       fill $(docv) seconds (clamped to [500, 200000]). Lets a CI \
+       soak slot run as many trials as it can afford."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECS" ~doc)
   in
   let alpha_arg =
     let doc =
@@ -956,8 +1040,8 @@ let certify_cmd =
         | exception Exit ->
             Error (path ^ ": expected one released value per line"))
   in
-  let run seed epsilon trials alpha rows rdp break_ via host port samples_out
-      face pre post =
+  let run seed epsilon trials time_budget alpha rows rdp break_ via host port
+      samples_out face pre post =
     let fail msg = `Error (false, msg) in
     match String.lowercase_ascii face with
     | "compare" -> (
@@ -1002,6 +1086,9 @@ let certify_cmd =
                     | "train" ->
                         Dp_certify.Certify.gibbs_source ~rows ~break_ ~seed
                           ~eps:epsilon ()
+                    | "stream" ->
+                        Dp_certify.Certify.stream_source ~break_ ~eps:epsilon
+                          ()
                     | _ -> (
                         match Dp_engine.Query.parse face with
                         | Error msg -> Error msg
@@ -1021,6 +1108,34 @@ let certify_cmd =
             | Ok (source, close) -> (
                 match
                   let g = Dp_rng.Prng.create seed in
+                  let trials =
+                    match time_budget with
+                    | None -> trials
+                    | Some secs ->
+                        (* adaptive sizing: a pilot on its own generator
+                           measures the per-trial cost, then the run is
+                           scaled to fill the slot *)
+                        let pilot = 200 in
+                        let gp = Dp_rng.Prng.create (seed lxor 0x54494d45) in
+                        let t0 = Unix.gettimeofday () in
+                        ignore
+                          (Dp_certify.Certify.collect ~trials:pilot source gp);
+                        let per =
+                          (Unix.gettimeofday () -. t0)
+                          /. float_of_int pilot
+                        in
+                        let n =
+                          if per > 0. then int_of_float (secs /. per)
+                          else 200_000
+                        in
+                        let n = max 500 (min 200_000 n) in
+                        Printf.printf
+                          "certify: time budget %gs -> %d trials \
+                           (%.4gms/trial)\n\
+                           %!"
+                          secs n (1e3 *. per);
+                        n
+                  in
                   let s = Dp_certify.Certify.collect ~trials source g in
                   (s, Dp_certify.Certify.analyze ~alpha source s)
                 with
@@ -1062,9 +1177,9 @@ let certify_cmd =
           against a live TCP server; exits 1 on 'err certify-failed'.")
     Term.(
       ret
-        (const run $ seed_arg $ epsilon_arg $ trials_arg $ alpha_arg
-       $ rows_arg $ rdp_arg $ break_arg $ via_arg $ host_arg $ port_arg
-       $ samples_out_arg $ face_arg $ pre_arg $ post_arg))
+        (const run $ seed_arg $ epsilon_arg $ trials_arg $ time_budget_arg
+       $ alpha_arg $ rows_arg $ rdp_arg $ break_arg $ via_arg $ host_arg
+       $ port_arg $ samples_out_arg $ face_arg $ pre_arg $ post_arg))
 
 let () =
   let doc = "reproduction toolkit for 'Differentially-private Learning and Information Theory' (PAIS/EDBT 2012)" in
@@ -1075,5 +1190,5 @@ let () =
           [
             list_cmd; experiment_cmd; audit_cmd; channel_cmd; serve_cmd;
             client_cmd; query_cmd; analyze_cmd; certify_cmd; lint_cmd;
-            flow_cmd; stats_cmd;
+            flow_cmd; stats_cmd; pool_cmd;
           ]))

@@ -558,3 +558,57 @@ let gibbs_source ?(predictors = 17) ?(rows = 64) ?(break_ = `None) ~seed ~eps
             draw2 =
               (fun g -> float_of_int (index_of (Dp_pac_bayes.Gibbs.sample g2 g)));
           }
+
+(* ------------------------------------------------------------------ *)
+(* The stream append face: the tree-mechanism continual counter at the
+   one prefix that decomposes into a single dyadic node. With horizon 8
+   the first four appends close exactly the level-2 block [1..4], so
+   read(4) is the true prefix count plus one Laplace(1/ε) node draw — a
+   clean scalar face for the per-node closed forms. The neighbour pair
+   flips the first bit (event-level adjacency), moving that node's true
+   sum by 1. Every release runs the real Counter prepare/commit path;
+   the extra lower-level node draws are burned deterministically. *)
+
+let stream_source ?(break_ = `None) ~eps () =
+  if eps <= 0. || not (Float.is_finite eps) then
+    Error "certify: eps must be positive and finite"
+  else
+    let bits1 = [ 1; 0; 1; 1 ] and bits2 = [ 0; 0; 1; 1 ] in
+    (* half-scale breakage: the counter calibrated for 2ε (scale 1/2ε)
+       served under a claim of ε *)
+    let run_eps = match break_ with `None -> eps | `Half_scale -> 2. *. eps in
+    let release bits g =
+      let c = Dp_stream.Counter.create ~epsilon:run_eps ~horizon:8 in
+      let scale = Dp_stream.Counter.noise_scale c in
+      List.iter
+        (fun bit ->
+          let nodes =
+            Dp_stream.Counter.prepare c ~bit ~noise:(fun () ->
+                Dp_rng.Sampler.laplace ~mean:0. ~scale g)
+          in
+          Dp_stream.Counter.commit c ~bit nodes)
+        bits;
+      Dp_stream.Counter.read c
+    in
+    let f1 = float_of_int (List.fold_left ( + ) 0 bits1) in
+    let f2 = float_of_int (List.fold_left ( + ) 0 bits2) in
+    let m = Laplace.create ~sensitivity:1. ~epsilon:eps in
+    let mid = 0.5 *. (f1 +. f2) in
+    let width = 0.5 *. Laplace.scale m in
+    Ok
+      {
+        name = "stream";
+        eps;
+        delta = 0.;
+        bucket = grid_bucket ~mid ~width;
+        label = string_of_int;
+        llr =
+          Some (fun y -> Laplace.log_likelihood_ratio m ~value1:f1 ~value2:f2 y);
+        bin_prob =
+          Some
+            (fun k ->
+              let lo = mid +. (float_of_int k *. width) in
+              Laplace.cdf m ~value:f1 (lo +. width) -. Laplace.cdf m ~value:f1 lo);
+        draw1 = release bits1;
+        draw2 = release bits2;
+      }

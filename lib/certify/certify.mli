@@ -162,3 +162,13 @@ val gibbs_source :
     neighbour, with β calibrated so [2βΔR̂ = ε]. Outcomes are predictor
     indices; the posterior's log-probabilities provide exact closed
     forms for the model and tail checks. *)
+
+val stream_source :
+  ?break_:broken -> eps:float -> unit -> (source, string) result
+(** The continual-observation append face: the tree-mechanism counter
+    ({!Dp_stream.Counter}) over horizon 8, released at t = 4 — the one
+    prefix whose dyadic decomposition is a single node, so the release
+    is the true count plus one Laplace(1/ε) draw and the per-node
+    closed forms (Laplace llr and CDF bin probabilities) apply exactly.
+    Neighbours differ in the first stream bit. Every draw runs the real
+    [prepare]/[commit] append path. *)

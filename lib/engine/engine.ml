@@ -6,6 +6,24 @@ module Stream = Dp_stream.Stream
 module Counter = Dp_stream.Counter
 module Stream_store = Dp_stream.Stream_store
 
+(* What the pool's ε-lease arbitration says about a prospective charge.
+   The gate is consulted immediately before every ledger spend; a
+   worker whose lease is expired, superseded, or too small must not
+   spend even though its local ledger (which mirrors the full global
+   budget) would admit the charge. *)
+type lease_verdict =
+  | Lease_granted
+  | Lease_superseded of { token : int }
+      (** this worker's fencing token is stale: a newer incarnation
+          holds the shard — refuse and let the supervisor recycle us *)
+  | Lease_denied of {
+      requested : Dp_mechanism.Privacy.budget;
+      remaining : Dp_mechanism.Privacy.budget;
+    }  (** the coordinator has no unleased ε left: global exhaustion *)
+  | Lease_unavailable of string
+      (** the coordinator could not be reached (dropped grant, timeout):
+          transient, the client may retry *)
+
 type serving = {
   dataset : Registry.dataset;
   ledger : Ledger.t;
@@ -31,6 +49,8 @@ type t = {
   faults : Faults.t;
   mutable journal : Journal.t option;
   mutable journal_failed : bool;
+  mutable lease_gate :
+    (dataset:string -> face:Privacy.budget -> lease_verdict) option;
 }
 
 (* Fresh noise key for journaled serving. Recovery replays charges
@@ -81,7 +101,10 @@ let create ?(seed = 20120330) ?(audit = true) ?(obs = true) ?faults () =
     faults;
     journal = None;
     journal_failed = false;
+    lease_gate = None;
   }
+
+let set_lease_gate t gate = t.lease_gate <- gate
 
 let metrics t = t.obs
 let trace t = t.trace
@@ -121,6 +144,7 @@ type error =
     }
   | Unknown_model of string
   | Unknown_stream of string
+  | Lease_lost of { dataset : string; token : int }
   | Transient of string
   | Fatal of string
 
@@ -145,6 +169,11 @@ let pp_error fmt = function
         dataset handle worst_rhat min_ess Privacy.pp_budget charged
   | Unknown_model handle -> Format.fprintf fmt "unknown model %S" handle
   | Unknown_stream handle -> Format.fprintf fmt "unknown stream %S" handle
+  | Lease_lost { dataset; token } ->
+      Format.fprintf fmt
+        "lease on %S lost (fencing token %d superseded or expired): this \
+         worker refuses fresh charges until restarted"
+        dataset token
   | Transient msg -> Format.fprintf fmt "transient failure: %s" msg
   | Fatal msg -> Format.fprintf fmt "fatal failure: %s" msg
 
@@ -252,6 +281,31 @@ let degraded_for t (sv : serving) =
   let lw = sv.dataset.Registry.policy.low_water in
   lw > 0. && (Ledger.remaining sv.ledger).Privacy.epsilon < lw
 
+(* The pool's ε-lease gate, consulted immediately before every ledger
+   spend (one-shot queries, training, stream opens — appends are
+   pre-paid). [None] is the single-process fast path: no gate, no
+   behavior change. A pool worker's local ledger mirrors the full
+   global budget (so composed accounting replays identically on
+   merge), which means budget safety across workers rests entirely on
+   this gate: the coordinator never leases, in aggregate, more than
+   the global ε. *)
+let lease_check t ~dataset (face : Privacy.budget) =
+  match t.lease_gate with
+  | None -> Ok ()
+  | Some gate -> (
+      match gate ~dataset ~face with
+      | Lease_granted -> Ok ()
+      | Lease_superseded { token } -> Error (Lease_lost { dataset; token })
+      | Lease_denied { requested; remaining } ->
+          Error
+            (Budget_exceeded { Ledger.requested; remaining; analyst = None })
+      | Lease_unavailable msg -> Error (Transient msg))
+
+let lease_reject_reason = function
+  | Lease_lost _ -> "lease-lost"
+  | Budget_exceeded _ -> "budget-exceeded"
+  | _ -> "lease-unavailable"
+
 let submit_serving t sv ?analyst ?epsilon ~dataset query =
   (
       let ds = sv.dataset in
@@ -326,6 +380,18 @@ let submit_serving t sv ?analyst ?epsilon ~dataset query =
               Error (Bad_query msg)
           | Ok plan -> (
               let sp = plan.Planner.spec in
+              match lease_check t ~dataset sp.Planner.charge.Ledger.budget with
+              | Error e ->
+                  sv.rejected <- sv.rejected + 1;
+                  ignore
+                    (log_decision t ?analyst
+                       ~mechanism:(Planner.mechanism_name sp.Planner.mechanism)
+                       ~dataset ~query:norm
+                       ~requested:sp.Planner.charge.Ledger.budget ~charged:zero
+                       ~cache_hit:false
+                       ~verdict:(Audit_log.Rejected (lease_reject_reason e)) ());
+                  Error e
+              | Ok () -> (
               let before = Ledger.spent sv.ledger in
               let c0 = Dp_obs.Clock.now_ns () in
               let charge_result =
@@ -444,7 +510,7 @@ let submit_serving t sv ?analyst ?epsilon ~dataset query =
                               charged;
                               cache_hit = false;
                               seq;
-                            })))))
+                            }))))))
 
 (* The span/latency wrapper lives outside [submit_serving] so that every
    exit path — cache hit, rejection, withheld answer, even an injected
@@ -623,6 +689,10 @@ let train_serving t (sv : serving) ?analyst ~dataset (params : Train.params) =
             let mech_name = Train.backend_name params.Train.backend in
             let face = spec.Train.face in
             let charge = { Ledger.budget = face; rdp = None } in
+            match lease_check t ~dataset face with
+            | Error e ->
+                reject (Audit_log.Rejected (lease_reject_reason e)) e
+            | Ok () -> (
             let before = Ledger.spent sv.ledger in
             let c0 = Dp_obs.Clock.now_ns () in
             let charge_result =
@@ -771,7 +841,7 @@ let train_serving t (sv : serving) ?analyst ~dataset (params : Train.params) =
                         | Error e -> Error e
                         | Ok () ->
                             Model_store.add sv.models m;
-                            Error unconverged)))))
+                            Error unconverged))))))
 
 let train t ?analyst ~dataset params =
   match Hashtbl.find_opt t.servings dataset with
@@ -889,6 +959,10 @@ let stream_open t ?analyst ~dataset (params : Stream.params) =
         | Ok spec -> (
             let face = spec.Stream.face in
             let charge = { Ledger.budget = face; rdp = None } in
+            match lease_check t ~dataset face with
+            | Error e ->
+                reject (Audit_log.Rejected (lease_reject_reason e)) e
+            | Ok () -> (
             let before = Ledger.spent sv.ledger in
             let c0 = Dp_obs.Clock.now_ns () in
             let charge_result =
@@ -987,7 +1061,7 @@ let stream_open t ?analyst ~dataset (params : Stream.params) =
                             ~query:norm ~requested:face ~charged
                             ~cache_hit:false ~verdict:Audit_log.Answered ()
                         in
-                        Ok { stream; charged; seq }))))
+                        Ok { stream; charged; seq })))))
 
 let find_stream t handle =
   match serving_of_handle t handle with
@@ -1392,7 +1466,7 @@ let open_journal_inner t path =
                 }
             end))
 
-let open_journal t path =
+let[@dp.sanitizer] open_journal t path =
   if t.journal <> None then Error "a journal is already attached"
   else begin
     let r0 = Dp_obs.Clock.now_ns () in

@@ -85,6 +85,11 @@ type error =
     }
   | Unknown_model of string
   | Unknown_stream of string
+  | Lease_lost of { dataset : string; token : int }
+      (** pool worker only: this worker's ε-lease is expired or its
+          fencing token superseded — it refuses fresh charges until the
+          supervisor restarts it with a fresh token. Rendered as
+          [err degraded reason=lease-lost]. *)
   | Transient of string
       (** retryable: the journal append or fsync failed after bounded
           retries, or the RNG was exhausted — state is consistent (any
@@ -301,6 +306,33 @@ val open_journal : t -> string -> (recovery, string) result
 
 val journal_path : t -> string option
 val faults : t -> Faults.t
+
+(** {2 ε-lease gating (worker pool)}
+
+    A pool worker serves against a {e leased} slice of the global
+    budget: its local ledger mirrors the full global ε (so merged
+    recovery replays composed accounting identically), and the lease
+    gate — consulted immediately before {e every} ledger spend — is
+    what keeps the sum of concurrent workers' spends under the global
+    budget. Appends and all post-processing (cache hits, predict,
+    stream reads) bypass the gate: they charge nothing. *)
+
+type lease_verdict =
+  | Lease_granted
+  | Lease_superseded of { token : int }
+      (** stale fencing token: a newer incarnation owns the shard *)
+  | Lease_denied of {
+      requested : Privacy.budget;
+      remaining : Privacy.budget;
+    }  (** no unleased ε left globally; maps to [Budget_exceeded] *)
+  | Lease_unavailable of string
+      (** coordinator unreachable; maps to [Transient] *)
+
+val set_lease_gate :
+  t -> (dataset:string -> face:Privacy.budget -> lease_verdict) option -> unit
+(** Install (or clear) the lease gate. [None] — the default — is the
+    single-process fast path: no gate consultation, byte-identical
+    N=1 behavior. *)
 
 (** {2 Observability}
 

@@ -8,11 +8,15 @@ type point =
   | Read_stall
   | Write_drop
   | Conn_reset
+  | Lease_expiry
+  | Grant_drop
+  | Worker_crash
 
 let all_points =
   [
     Journal_write; Journal_fsync; Rng; Crash_after_charge; Garbage_line;
-    Accept_fail; Read_stall; Write_drop; Conn_reset;
+    Accept_fail; Read_stall; Write_drop; Conn_reset; Lease_expiry; Grant_drop;
+    Worker_crash;
   ]
 
 let point_name = function
@@ -25,16 +29,22 @@ let point_name = function
   | Read_stall -> "read-stall"
   | Write_drop -> "write-drop"
   | Conn_reset -> "conn-reset"
+  | Lease_expiry -> "lease-expiry"
+  | Grant_drop -> "grant-drop"
+  | Worker_crash -> "worker-crash"
 
 (* The network points are recoverable in the ordinary sense, but they
    are deliberately NOT in the all-transient set: there is no bounded
    in-process retry loop underneath them — the retrying party is the
    remote client — so arming them on every first attempt would take the
-   listener down for good rather than exercise a retry path. *)
+   listener down for good rather than exercise a retry path. The pool
+   points follow the same rule: the recovery path for a superseded
+   lease or a crashed worker is the supervisor's reclaim-and-restart
+   loop (plus the remote client's retry), not an in-process retry. *)
 let is_transient = function
   | Journal_write | Journal_fsync | Rng -> true
   | Crash_after_charge | Garbage_line | Accept_fail | Read_stall | Write_drop
-  | Conn_reset ->
+  | Conn_reset | Lease_expiry | Grant_drop | Worker_crash ->
       false
 
 exception Injected of point
@@ -122,7 +132,7 @@ let fire t ?(attempt = 1) p =
 let check t ?attempt p =
   if fire t ?attempt p then
     match p with
-    | Crash_after_charge -> raise (Crash p)
+    | Crash_after_charge | Worker_crash -> raise (Crash p)
     | Garbage_line -> ()
     | _ -> raise (Injected p)
 

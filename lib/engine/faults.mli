@@ -21,11 +21,13 @@
     off | (empty)            nothing armed
     v}
     Points: [journal-write], [journal-fsync], [rng],
-    [crash-after-charge], [garbage-line], and the network frontend's
-    [accept-fail], [read-stall], [write-drop], [conn-reset]. The
-    network points are not in the all-transient set: the retrying party
-    for them is the remote client, not an in-process retry loop, so
-    they are armed explicitly (see {!is_transient}). *)
+    [crash-after-charge], [garbage-line], the network frontend's
+    [accept-fail], [read-stall], [write-drop], [conn-reset], and the
+    worker pool's [lease-expiry], [grant-drop], [worker-crash]. The
+    network and pool points are not in the all-transient set: the
+    recovering party for them is the remote client or the pool
+    supervisor, not an in-process retry loop, so they are armed
+    explicitly (see {!is_transient}). *)
 
 type point =
   | Journal_write  (** transient: the journal append write fails *)
@@ -50,6 +52,20 @@ type point =
   | Conn_reset
       (** network: the connection is closed after the first reply line,
           mid-reply — the client sees a torn frame and must retry *)
+  | Lease_expiry
+      (** pool: the coordinator treats the next lease request as coming
+          from a superseded incarnation — the worker is told its lease
+          is lost, answers [err degraded reason=lease-lost], and exits
+          for the supervisor to restart with a fresh fencing token *)
+  | Grant_drop
+      (** pool: the coordinator journals a lease grant but the ack to
+          the worker is dropped — the worker times out, the client
+          retries, and the re-requested grant resyncs from the WAL'd
+          absolute lease state *)
+  | Worker_crash
+      (** fatal: a pool worker dies (as by kill -9) right before
+          executing a request — the supervisor must replay its shard
+          journal, reclaim the unspent lease, and restart it *)
 
 val point_name : point -> string
 val is_transient : point -> bool
@@ -82,8 +98,8 @@ val fire : t -> ?attempt:int -> point -> bool
 
 val check : t -> ?attempt:int -> point -> unit
 (** {!fire}, raising {!Injected} (transient points) or {!Crash}
-    ([Crash_after_charge]). [Garbage_line] never raises — callers use
-    {!fire} to substitute the line. *)
+    ([Crash_after_charge], [Worker_crash]). [Garbage_line] never raises
+    — callers use {!fire} to substitute the line. *)
 
 val backoff_delay :
   ?cap_s:float ->

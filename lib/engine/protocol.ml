@@ -166,6 +166,14 @@ let error_lines (e : Engine.error) =
       [ Printf.sprintf "err unknown-model %s" handle ]
   | Engine.Unknown_stream handle ->
       [ Printf.sprintf "err unknown-stream %s" handle ]
+  | Engine.Lease_lost { dataset; token } ->
+      (* degraded, not transient: retrying against THIS worker cannot
+         succeed — the supervisor must recycle it first. A retrying
+         client reconnects and lands on a live-leased worker. *)
+      [
+        Printf.sprintf "err degraded reason=lease-lost dataset=%s token=%d"
+          dataset token;
+      ]
   | Engine.Transient msg -> [ "err transient " ^ msg ]
   | Engine.Fatal msg -> [ "err fatal " ^ msg ]
 
@@ -518,7 +526,7 @@ let oversized_reply n =
   Printf.sprintf "err bad-argument line exceeds %d bytes (got %d)"
     max_line_bytes n
 
-let exec eng line =
+let[@dp.sanitizer] exec eng line =
   (* an oversized line is rejected before tokenization: unbounded
      garbage must cost a bounded parse, never a full one *)
   if String.length line > max_line_bytes then

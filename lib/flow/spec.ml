@@ -67,6 +67,8 @@ let sanitizer_allowlist =
     ("Train", "run");  (* Gibbs-posterior / objective-perturbation samplers *)
     ("Train", "public_facts");  (* design's public projection: names+bounds *)
     ("Planner", "cell_run");  (* per-cell histogram noising *)
+    ("Protocol", "exec");  (* returns formed replies: the DP surface *)
+    ("Engine", "open_journal");  (* replay stats / IO diagnostics only *)
   ]
 
 type sink_kind = Reply | Journal | Log | Metrics
@@ -133,7 +135,8 @@ let declassifiers =
 (* F1 reports only where leakage matters: the serving, training,
    certification, and observability layers. Mechanism internals and
    pure math are out of scope. *)
-let f1_scope_segs = [ "engine"; "net"; "train"; "certify"; "obs"; "stream" ]
+let f1_scope_segs =
+  [ "engine"; "net"; "train"; "certify"; "obs"; "stream"; "pool" ]
 
 (* ---------- F2: charge-before-release ---------- *)
 
@@ -148,13 +151,16 @@ let chargers =
     ("", "journal_append");
     ("Gates", "check");
     ("Gates", "deterministic");
+    (* the pool's charge-before-grant: a lease is journaled in the
+       coordinator's grant WAL before any worker may answer under it *)
+    ("Grant_wal", "append");
   ]
 
 (* release sites: applying a planner's [.run] closure, or
    constructing a [Released] outcome *)
 let release_field = "run"
 let release_construct = "Released"
-let f2_scope_segs = [ "engine"; "train"; "stream" ]
+let f2_scope_segs = [ "engine"; "train"; "stream"; "pool" ]
 
 (* tail calls that terminate a path without releasing *)
 let diverging =
@@ -182,7 +188,7 @@ let stream_consumers =
    theirs *)
 let domain_of_segs segs =
   if List.mem "engine" segs || List.mem "train" segs
-     || List.mem "stream" segs
+     || List.mem "stream" segs || List.mem "pool" segs
   then Some "engine"
   else if List.mem "net" segs then Some "net"
   else if List.mem "certify" segs then Some "certify"
@@ -193,7 +199,7 @@ let domain_of_segs segs =
 let domain_of_module m =
   match m with
   | "Engine" | "Protocol" | "Planner" | "Ledger" | "Train" | "Stream"
-  | "Counter" | "Stream_store" ->
+  | "Counter" | "Stream_store" | "Pool" | "Lease" | "Grant_wal" ->
       Some "engine"
   | "Client" | "Server" | "Wire" -> Some "net"
   | "Certify" | "Stat" -> Some "certify"

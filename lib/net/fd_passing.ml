@@ -1,0 +1,24 @@
+external fd_send :
+  Unix.file_descr -> Unix.file_descr option -> Bytes.t -> int -> unit
+  = "dp_fd_send"
+
+external fd_recv : Unix.file_descr -> Bytes.t -> int * Unix.file_descr option
+  = "dp_fd_recv"
+
+let max_msg = 65536
+
+let channel () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_DGRAM 0
+
+let send sock ?fd msg =
+  let len = String.length msg in
+  if len = 0 || len > max_msg then
+    invalid_arg "Fd_passing.send: message must be 1..65536 bytes";
+  fd_send sock fd (Bytes.of_string msg) len
+
+type received = { msg : string; fd : Unix.file_descr option }
+
+let recv sock =
+  let buf = Bytes.create max_msg in
+  let n, fd = fd_recv sock buf in
+  if n = 0 && fd = None then None
+  else Some { msg = Bytes.sub_string buf 0 n; fd }

@@ -1,0 +1,124 @@
+/* SCM_RIGHTS fd passing over a Unix-domain datagram socketpair.
+ *
+ * The OCaml stdlib's Unix module has no sendmsg/recvmsg, so the pool's
+ * coordinator<->worker control channel needs these two primitives to
+ * hand accepted TCP connections to workers. Datagram sockets keep
+ * message boundaries, so each recvmsg returns exactly one control
+ * message plus (at most) one attached descriptor.
+ */
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+/* dp_fd_send(sock, fd_opt, bytes, len): send one datagram carrying
+   [len] bytes of [bytes] and, when [fd_opt] is [Some fd], that fd as
+   SCM_RIGHTS ancillary data. */
+CAMLprim value dp_fd_send(value vsock, value vfd_opt, value vbuf, value vlen)
+{
+  CAMLparam4(vsock, vfd_opt, vbuf, vlen);
+  int sock = Int_val(vsock);
+  size_t len = (size_t)Long_val(vlen);
+  char copy[65536];
+  struct msghdr msg;
+  struct iovec iov;
+  char cbuf[CMSG_SPACE(sizeof(int))];
+  ssize_t n;
+
+  if (len > sizeof(copy)) caml_invalid_argument("fd_send: message too long");
+  memcpy(copy, Bytes_val(vbuf), len);
+
+  memset(&msg, 0, sizeof(msg));
+  iov.iov_base = copy;
+  iov.iov_len = len;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+
+  if (Is_some(vfd_opt)) {
+    int fd = Int_val(Some_val(vfd_opt));
+    struct cmsghdr *cmsg;
+    memset(cbuf, 0, sizeof(cbuf));
+    msg.msg_control = cbuf;
+    msg.msg_controllen = CMSG_SPACE(sizeof(int));
+    cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
+  }
+
+  caml_release_runtime_system();
+  do {
+    n = sendmsg(sock, &msg, 0);
+  } while (n == -1 && errno == EINTR);
+  caml_acquire_runtime_system();
+
+  if (n == -1) uerror("fd_send", Nothing);
+  CAMLreturn(Val_unit);
+}
+
+/* dp_fd_recv(sock, bytes): receive one datagram into [bytes]; returns
+   (payload_length, fd option). Length 0 with no fd means the peer
+   closed the channel (we never send empty datagrams). */
+CAMLprim value dp_fd_recv(value vsock, value vbuf)
+{
+  CAMLparam2(vsock, vbuf);
+  CAMLlocal2(vres, vfd_opt);
+  int sock = Int_val(vsock);
+  size_t cap = caml_string_length(vbuf);
+  char copy[65536];
+  struct msghdr msg;
+  struct iovec iov;
+  char cbuf[CMSG_SPACE(sizeof(int))];
+  struct cmsghdr *cmsg;
+  ssize_t n;
+  int fd = -1;
+
+  if (cap > sizeof(copy)) cap = sizeof(copy);
+
+  memset(&msg, 0, sizeof(msg));
+  iov.iov_base = copy;
+  iov.iov_len = cap;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+
+  caml_release_runtime_system();
+  do {
+    n = recvmsg(sock, &msg, 0);
+  } while (n == -1 && errno == EINTR);
+  caml_acquire_runtime_system();
+
+  if (n == -1) uerror("fd_recv", Nothing);
+
+  for (cmsg = CMSG_FIRSTHDR(&msg); cmsg != NULL;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS &&
+        cmsg->cmsg_len >= CMSG_LEN(sizeof(int))) {
+      memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+      break;
+    }
+  }
+
+  memcpy(Bytes_val(vbuf), copy, (size_t)n);
+
+  if (fd >= 0) {
+    vfd_opt = caml_alloc_some(Val_int(fd));
+  } else {
+    vfd_opt = Val_none;
+  }
+  vres = caml_alloc_tuple(2);
+  Store_field(vres, 0, Val_long(n));
+  Store_field(vres, 1, vfd_opt);
+  CAMLreturn(vres);
+}

@@ -32,6 +32,11 @@ type counter =
   | Predicts_served
   | Stream_appends
   | Stream_reads
+  | Pool_leases_granted
+  | Pool_leases_denied
+  | Pool_leases_reclaimed
+  | Pool_workers_restarted
+  | Pool_grants_journaled
 
 type gauge =
   | Eps_total
@@ -51,6 +56,8 @@ type gauge =
   | Models_stored
   | Streams_open
   | Stream_depth
+  | Pool_workers
+  | Pool_eps_outstanding
 
 type latency =
   | Submit_ns
@@ -88,8 +95,8 @@ type tag =
   | T_chains
   | T_rhat
 
-let n_counters = 25
-let n_gauges = 17
+let n_counters = 30
+let n_gauges = 19
 let n_latencies = 16
 
 let counter_index = function
@@ -118,6 +125,11 @@ let counter_index = function
   | Predicts_served -> 22
   | Stream_appends -> 23
   | Stream_reads -> 24
+  | Pool_leases_granted -> 25
+  | Pool_leases_denied -> 26
+  | Pool_leases_reclaimed -> 27
+  | Pool_workers_restarted -> 28
+  | Pool_grants_journaled -> 29
 
 let gauge_index = function
   | Eps_total -> 0
@@ -137,6 +149,8 @@ let gauge_index = function
   | Models_stored -> 14
   | Streams_open -> 15
   | Stream_depth -> 16
+  | Pool_workers -> 17
+  | Pool_eps_outstanding -> 18
 
 let latency_index = function
   | Submit_ns -> 0
@@ -164,7 +178,8 @@ let all_counters =
     Draws_exponential; Draws_randomized_response; Net_conns_accepted;
     Net_conns_shed; Net_requests; Net_requests_shed; Net_deadline_closed;
     Net_drained; Trains_released; Trains_withheld; Predicts_served;
-    Stream_appends; Stream_reads;
+    Stream_appends; Stream_reads; Pool_leases_granted; Pool_leases_denied;
+    Pool_leases_reclaimed; Pool_workers_restarted; Pool_grants_journaled;
   |]
 
 let all_gauges =
@@ -173,6 +188,7 @@ let all_gauges =
     Cache_hit_rate; Degraded_mode; Datasets_serving; Journal_attached;
     Mi_bound_nats; Capacity_bound_nats; Min_entropy_leakage_bits;
     Net_conns_open; Net_inflight; Models_stored; Streams_open; Stream_depth;
+    Pool_workers; Pool_eps_outstanding;
   |]
 
 let all_latencies =
@@ -218,6 +234,11 @@ let counter_name = function
   | Predicts_served -> "predicts_served"
   | Stream_appends -> "stream_appends"
   | Stream_reads -> "stream_reads"
+  | Pool_leases_granted -> "pool_leases_granted"
+  | Pool_leases_denied -> "pool_leases_denied"
+  | Pool_leases_reclaimed -> "pool_leases_reclaimed"
+  | Pool_workers_restarted -> "pool_workers_restarted"
+  | Pool_grants_journaled -> "pool_grants_journaled"
 
 let gauge_name = function
   | Eps_total -> "eps_total"
@@ -237,6 +258,8 @@ let gauge_name = function
   | Models_stored -> "models_stored"
   | Streams_open -> "streams_open"
   | Stream_depth -> "stream_depth"
+  | Pool_workers -> "pool_workers"
+  | Pool_eps_outstanding -> "pool_eps_outstanding"
 
 let latency_name = function
   | Submit_ns -> "submit_ns"

@@ -32,6 +32,11 @@ type counter =
   | Predicts_served  (** predictions served (free post-processing) *)
   | Stream_appends  (** stream events accepted (journaled tree updates) *)
   | Stream_reads  (** prefix/window counts released (free post-processing) *)
+  | Pool_leases_granted  (** ε-lease grants journaled and acked *)
+  | Pool_leases_denied  (** lease requests denied (budget exhausted) *)
+  | Pool_leases_reclaimed  (** dead-incarnation leases folded back *)
+  | Pool_workers_restarted  (** worker respawns after a crash/lease loss *)
+  | Pool_grants_journaled  (** grant-WAL appends (grants + reclaims) *)
 
 type gauge =
   | Eps_total
@@ -51,6 +56,8 @@ type gauge =
   | Models_stored  (** model handles held (released + withheld) *)
   | Streams_open  (** stream handles held *)
   | Stream_depth  (** deepest tree (levels) over open streams *)
+  | Pool_workers  (** configured worker shard count *)
+  | Pool_eps_outstanding  (** Σ leased-but-unreclaimed ε across shards *)
 
 type latency =
   | Submit_ns

@@ -1,0 +1,75 @@
+(** The supervised worker pool: a coordinator process that owns the TCP
+    listener, forks N engine workers, and arbitrates the global ε
+    budget between them with fenced leases.
+
+    Topology: the coordinator accepts connections and passes each
+    descriptor ({!Dp_net.Fd_passing}) to a live worker round-robin.
+    Every worker runs the full {!Dp_engine.Protocol} against its own
+    shard journal [<journal>.shard<k>] and may charge budget only
+    through its lease: before any ledger spend the engine's lease gate
+    sends [lease ds=… token=… need=…] to the coordinator, where [need]
+    is the worker's {e cumulative} face-ε — absolute values make every
+    reply idempotent across dropped acks. The coordinator journals the
+    grant in its own WAL ([<journal>.grants], {!Grant_wal}) and fsyncs
+    {e before} acking — charge-before-grant, one level up.
+
+    Fencing: each worker incarnation carries a monotonically increasing
+    token, durable in the WAL before the fork. A lease request under a
+    superseded token is answered [lost]; the worker then refuses the
+    query with [err degraded reason=lease-lost …] and exits (code 75)
+    for a fenced restart. A dead worker's unspent lease is reclaimed
+    {e only after} its shard journal is replayed, so the arbiter's
+    invariant — [Σ reclaimed spend + Σ outstanding leases ≤ global ε]
+    per dataset — holds at every crash point.
+
+    Recovery: a restarted coordinator merges the grant WAL with every
+    shard journal ({!merge_lines}), prints the merge, and refuses to
+    serve if the invariant is violated. The same function backs the
+    offline [dpkit pool replay], so the chaos harness can assert the
+    live recovery report is bit-identical to a fault-free offline
+    replay. *)
+
+type config = {
+  seed : int;  (** engine seed for every worker (default 20120330) *)
+  workers : int;  (** shard count, ≥ 2 (N=1 is plain [dpkit serve]) *)
+  port : int;  (** TCP port for the coordinator's listener *)
+  journal : string;
+      (** base path; shard [k] journals to [.shard<k>], the grant WAL
+          to [.grants], merged metrics shards to [<metrics>.shard<k>] *)
+  metrics : string option;
+  faults : Dp_engine.Faults.t;
+      (** injected at lease handling and worker serve *)
+  quantum : float;  (** ε granted beyond immediate need per round-trip *)
+  ttl : float;  (** seconds a grant may be drawn down without renewal *)
+  max_restarts : int;  (** per-shard crash-loop bound *)
+}
+
+val default_config : workers:int -> port:int -> journal:string -> config
+(** seed 20120330, no metrics, no faults, quantum 0.5, ttl 5 s,
+    max_restarts 100. *)
+
+val shard_journal : string -> int -> string
+val wal_path : string -> string
+
+val merge_lines :
+  ?seed:int -> journal:string -> workers:int -> unit ->
+  (string list * bool, string) result
+(** Replay every shard journal into its own engine, cross-check face-ε
+    sums against the grant WAL's per-incarnation leases, and render the
+    merged global ledger as stable report lines (hex floats; shard-
+    index-order float folds). Returns [(lines, invariant_ok)].
+    Deterministic: the coordinator's startup recovery and the offline
+    [dpkit pool replay] print byte-identical lines for the same
+    on-disk state. *)
+
+val run : config -> int
+(** Run the pool until SIGTERM/SIGINT, then drain: close the listener,
+    ask workers to finish in-flight requests, merge their metrics
+    shards, print [drained]. Returns the process exit code (1 when
+    recovery finds a violated invariant or the WAL cannot be opened). *)
+
+(**/**)
+
+val worker_main :
+  config -> shard:int -> token:int -> ctrl:Unix.file_descr -> 'a
+(** Exposed for the forked child only. *)

@@ -32,4 +32,56 @@ case "$broken" in
     ;;
 esac
 
-echo "certify smoke: pinned verdict stable, half-scale break flagged"
+# The stream (tree-mechanism) face: a single dyadic block read is the
+# true count plus one Laplace(1/eps) draw, certified against the
+# per-node closed form. Seed-deterministic, so the verdict is pinned
+# byte-for-byte; the seeded half-scale break (counter built at 2*eps
+# while claiming eps) must be flagged with exit 1.
+sout=$("$DPKIT" certify stream --trials 500 --seed 20120330) || {
+  echo "FAIL: certify stream exited nonzero on the honest face"
+  exit 1
+}
+swant="ok certified source=stream trials=500 eps-claimed=1.000000 \
+eps-hat=2.564949 eps-lb=0.191053 alpha=0.050000 \
+checks=lr:ok,ks:ok,model:ok,tail:ok"
+[ "$sout" = "$swant" ] || {
+  echo "FAIL: stream verdict drifted from the pinned fixture: $sout"
+  exit 1
+}
+
+sbroken=$("$DPKIT" certify stream --trials 500 --seed 20120330 \
+  --break half-scale)
+rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: half-scale stream face exited $rc, want 1"
+  exit 1
+fi
+case "$sbroken" in
+  "err certify-failed source=stream "*failed=*lr*) ;;
+  *)
+    echo "FAIL: half-scale stream verdict: $sbroken"
+    exit 1
+    ;;
+esac
+
+# Adaptive sizing: --time-budget replaces --trials with a count derived
+# from a timed pilot, clamped to [500, 200000], and says so.
+tout=$("$DPKIT" certify "sum(income)" --time-budget 0.05 --seed 20120330) || {
+  echo "FAIL: certify --time-budget exited nonzero"
+  exit 1
+}
+case "$tout" in
+  "certify: time budget 0.05s -> "*" trials"*) ;;
+  *)
+    echo "FAIL: --time-budget did not report its sizing: $tout"
+    exit 1
+    ;;
+esac
+n=$(printf '%s\n' "$tout" | sed -n 's/^certify: time budget [^ ]*s -> \([0-9]*\) trials.*/\1/p')
+if [ -z "$n" ] || [ "$n" -lt 500 ] || [ "$n" -gt 200000 ]; then
+  echo "FAIL: --time-budget trial count out of bounds: $n"
+  exit 1
+fi
+
+echo "certify smoke: pinned verdicts stable (laplace + stream), breaks \
+flagged, time budget sized $n trials"

@@ -14,7 +14,10 @@
 #      replays from the top, and `certify compare` must refuse with
 #      err certify-failed recovery ... failed=noise-reuse.
 # CERTIFY_TRIALS scales the soak (CI runs the long leg; dune runtest
-# keeps it short). alpha is pinned low so the statistical legs flake
+# keeps it short), or CERTIFY_TIME_BUDGET hands each certification leg
+# a wall-clock slot in seconds and lets --time-budget size the trial
+# count adaptively — CI uses this to fill its slot regardless of
+# machine speed. alpha is pinned low so the statistical legs flake
 # less than once per ~100 CI runs even though live noise is entropy-
 # keyed and genuinely fresh each run.
 set -eu
@@ -23,6 +26,11 @@ DPKIT="$1"
 TRIALS="${CERTIFY_TRIALS:-250}"
 FAULTS="${CERTIFY_FAULTS:-journal-write=2,journal-fsync=3,rng=2,conn-reset=6,write-drop=9}"
 ALPHA=0.01
+if [ -n "${CERTIFY_TIME_BUDGET:-}" ]; then
+  SIZING="--time-budget $CERTIFY_TIME_BUDGET"
+else
+  SIZING="--trials $TRIALS"
+fi
 
 J="certify_soak.wal"
 rm -f "$J" certify_srv*.log certify_pre.txt certify_post.txt \
@@ -57,7 +65,7 @@ SRV=$!
 wait_listening certify_srv1.log
 PORT=$(port_of certify_srv1.log)
 "$DPKIT" certify "count(age>40)" --via tcp --port "$PORT" \
-  --trials "$TRIALS" --alpha "$ALPHA" --samples-out certify_pre.txt \
+  $SIZING --alpha "$ALPHA" --samples-out certify_pre.txt \
   || fail "fault-armed certification failed (faults=$FAULTS)"
 stop_hard "$SRV"
 
@@ -68,7 +76,7 @@ wait_listening certify_srv2.log
 grep -q "replayed" certify_srv2.log || fail "restart did not recover the journal"
 PORT=$(port_of certify_srv2.log)
 "$DPKIT" certify "count(age>40)" --via tcp --port "$PORT" \
-  --trials "$TRIALS" --alpha "$ALPHA" --samples-out certify_post.txt \
+  $SIZING --alpha "$ALPHA" --samples-out certify_post.txt \
   || fail "post-recovery certification failed"
 stop_hard "$SRV"
 "$DPKIT" certify compare certify_pre.txt certify_post.txt --alpha "$ALPHA" \
@@ -81,7 +89,7 @@ run_reuse_leg() { # run_reuse_leg OUTFILE LOGFILE
   wait_listening "$2"
   PORT=$(port_of "$2")
   "$DPKIT" certify "count(age>40)" --via tcp --port "$PORT" \
-    --trials "$TRIALS" --alpha "$ALPHA" --samples-out "$1" > /dev/null \
+    $SIZING --alpha "$ALPHA" --samples-out "$1" > /dev/null \
     || fail "reuse-leg certification run failed ($1)"
   stop_hard "$SRV"
 }
@@ -98,4 +106,4 @@ grep -q "noise-reuse" certify_cmp.out \
   || fail "reuse verdict does not name noise-reuse: $(cat certify_cmp.out)"
 
 echo "certify soak: fault-armed leg certified, kill -9 recovery within \
-claimed eps, seeded noise reuse refused (trials=$TRIALS)"
+claimed eps, seeded noise reuse refused (sizing: $SIZING)"

@@ -25,6 +25,11 @@
 #     redrawn on recovery (append frames carry the noisy values);
 #   - SIGTERM drains gracefully: exit 0, all charges journaled, and the
 #     final metrics snapshot passes `dpkit stats --check`.
+#
+# The multi-process pool wave (kill -9 of random workers AND the
+# coordinator under `serve --workers N`, crash-merge recovery checked
+# bit-identical against `dpkit pool replay`) lives in pool_soak.sh,
+# which runs alongside this script under the same runtest alias.
 set -eu
 
 DPKIT="$1"
