@@ -16,6 +16,10 @@ type shard = {
   mutable reclaimed : float;
       (* absolute ε spent by all dead incarnations, from shard-journal
          replay at reclaim time *)
+  mutable deadline : float;
+      (* expiry of the last grant/re-ack; neg_infinity when nothing is
+         leased — lets the coordinator spot idle incarnations sitting
+         on unspent budget *)
 }
 
 type t = { total : float; shards : shard array }
@@ -30,7 +34,8 @@ let create ~total ~shards =
   {
     total;
     shards =
-      Array.init shards (fun _ -> { token = -1; leased = 0.; reclaimed = 0. });
+      Array.init shards (fun _ ->
+          { token = -1; leased = 0.; reclaimed = 0.; deadline = neg_infinity });
   }
 
 let budget t = t.total
@@ -42,13 +47,20 @@ let invariant_ok t = reclaimed_spent t +. outstanding t <= t.total +. slack
 let current_token t ~shard = t.shards.(shard).token
 let leased t ~shard = t.shards.(shard).leased
 
+let expired t ~now =
+  Array.to_list t.shards
+  |> List.mapi (fun k s -> (k, s))
+  |> List.filter_map (fun (k, s) ->
+         if s.leased > 0. && s.deadline < now then Some k else None)
+
 let new_incarnation t ~shard ~token =
   let s = t.shards.(shard) in
   if token <= s.token then
     invalid_arg "Lease.new_incarnation: fencing token must strictly increase";
   if s.leased > 0. then
     invalid_arg "Lease.new_incarnation: reclaim the dead incarnation first";
-  s.token <- token
+  s.token <- token;
+  s.deadline <- neg_infinity
 
 type decision =
   | Granted of { leased : float; deadline : float }
@@ -58,20 +70,27 @@ type decision =
 let grant t ~shard ~token ~need ~quantum ~now ~ttl =
   let s = t.shards.(shard) in
   if token <> s.token || token < 0 then Stale { token = s.token }
-  else if need <= s.leased +. slack then
+  else if need <= s.leased +. slack then begin
     (* already covered: pure re-ack of the absolute state, so a grant
        whose ack was dropped is replayed without touching the ledger *)
-    Granted { leased = s.leased; deadline = now +. ttl }
+    s.deadline <- now +. ttl;
+    Granted { leased = s.leased; deadline = s.deadline }
+  end
   else begin
     let head = unleased t in
     let want = Float.max need (s.leased +. quantum) in
     let give = Float.min want (s.leased +. head) in
     if give +. slack >= need then begin
       s.leased <- give;
-      Granted { leased = s.leased; deadline = now +. ttl }
+      s.deadline <- now +. ttl;
+      Granted { leased = s.leased; deadline = s.deadline }
     end
     else Denied { unleased = head }
   end
+
+let rollback t ~shard ~token ~leased =
+  let s = t.shards.(shard) in
+  if token = s.token && leased < s.leased then s.leased <- leased
 
 type reclaimed = { unspent : float; overspend : bool }
 
@@ -83,4 +102,5 @@ let reclaim t ~shard ~spent_total =
   let overspend = incarnation_spent > s.leased +. slack in
   s.reclaimed <- spent_total;
   s.leased <- 0.;
+  s.deadline <- neg_infinity;
   { unspent; overspend }

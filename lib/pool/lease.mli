@@ -48,6 +48,14 @@ val current_token : t -> shard:int -> int
 
 val leased : t -> shard:int -> float
 
+val expired : t -> now:float -> int list
+(** Shards holding a non-zero lease whose last grant deadline lies
+    before [now] — incarnations idling on unspent budget. The
+    coordinator may fence them (the worker exits for a supervised
+    restart and its journal replay returns the unspent remainder); the
+    arbiter itself never revokes, so soundness never depends on the
+    clock. *)
+
 val new_incarnation : t -> shard:int -> token:int -> unit
 (** Install a freshly-started incarnation. @raise Invalid_argument if
     [token] does not strictly increase, or if the previous incarnation
@@ -82,6 +90,16 @@ val grant :
     re-acked without state change. [now + ttl] is the returned
     deadline; expiry is enforced by the worker refusing to charge past
     it (and renewing), not by a coordinator-side clock. *)
+
+val rollback : t -> shard:int -> token:int -> leased:float -> unit
+(** Undo a {!grant} that could not be made durable: restore the shard's
+    cumulative allowance to [leased] (the value {!leased} returned
+    before the grant). A no-op unless [token] is still the live
+    incarnation and [leased] is strictly below the current allowance —
+    so a stale or re-ordered rollback can never widen a lease. Without
+    this, a failed WAL append would leave the raised allowance in
+    memory and the worker's retry would be re-acked against a lease
+    that was never journaled. *)
 
 type reclaimed = { unspent : float; overspend : bool }
 

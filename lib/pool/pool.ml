@@ -50,6 +50,47 @@ let default_config ~workers ~port ~journal =
 let shard_journal base k = Printf.sprintf "%s.shard%d" base k
 let wal_path base = base ^ ".grants"
 let shard_metrics base k = Printf.sprintf "%s.shard%d" base k
+let gen_lock_path base = wal_path base ^ ".lock"
+let shard_lock_path base k = shard_journal base k ^ ".lock"
+
+(* Generation fencing on disk: fcntl record locks die with their
+   process (kill -9 included), so holding one for the process lifetime
+   is exactly "this generation is still running". The coordinator holds
+   the WAL lock; each worker holds its shard lock; a restarted
+   coordinator cannot read journals or serve until every lock of the
+   previous generation has been released — closing the window where an
+   orphaned worker could still spend its old lease or interleave frames
+   into a journal the new generation is already using. *)
+let try_lock path =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | fd -> (
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "%s held by a live process (%s)" path
+               (Unix.error_message e)))
+
+(* Orphans of a killed coordinator notice the reparenting within one
+   select round (~0.25 s) and exit; waiting a bounded moment for their
+   locks makes restart-after-kill work without external sequencing. *)
+let acquire_lock ?(wait_s = 0.) path =
+  let deadline = Unix.gettimeofday () +. wait_s in
+  let rec go () =
+    match try_lock path with
+    | Ok fd -> Ok fd
+    | Error msg ->
+        if Unix.gettimeofday () >= deadline then Error msg
+        else begin
+          (try ignore (Unix.select [] [] [] 0.05)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ()
+        end
+  in
+  go ()
 
 (* ------------------------------------------------------------------ *)
 (* Small shared helpers. *)
@@ -291,9 +332,12 @@ let close_conn c =
    waiter to also interpret. *)
 let absorb_ctrl w ({ msg; fd } : Fd_passing.received) =
   (match fd with
-  | Some cfd when List.hd (split_ws msg) = "conn" ->
-      w.conns <- { fd = cfd; buf = Linebuf.create (); closed = false } :: w.conns
-  | Some cfd -> ( try Unix.close cfd with Unix.Unix_error _ -> ())
+  | Some cfd -> (
+      match split_ws msg with
+      | "conn" :: _ ->
+          w.conns <-
+            { fd = cfd; buf = Linebuf.create (); closed = false } :: w.conns
+      | _ -> ( try Unix.close cfd with Unix.Unix_error _ -> ()))
   | None -> ());
   (match split_ws msg with
   | "doreg" :: rest -> w.doregs <- String.concat " " rest :: w.doregs
@@ -508,6 +552,13 @@ let worker_main cfg ~shard ~token ~ctrl =
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> term := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> term := true));
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* held (never closed) until this process dies: the next incarnation
+     and any restarted coordinator block on it, not on luck *)
+  (match acquire_lock ~wait_s:5.0 (shard_lock_path cfg.journal shard) with
+  | Error msg ->
+      Printf.eprintf "pool: worker shard=%d lock: %s\n%!" shard msg;
+      exit 1
+  | Ok _fd -> ());
   let eng = Engine.create ~seed:cfg.seed ~faults:cfg.faults () in
   (match Engine.open_journal eng (shard_journal cfg.journal shard) with
   | Error msg ->
@@ -544,6 +595,10 @@ type wstate = {
   shard : int;
   mutable pid : int;
   mutable cctrl : Unix.file_descr;
+  mutable cctrl_open : bool;
+      (** the coordinator-side control fd is open — distinct from
+          [live], which also drops when a conn pass fails so the
+          scheduler skips the worker before the reaper confirms death *)
   mutable token : int;
   mutable live : bool;
   mutable restarts : int;
@@ -551,6 +606,7 @@ type wstate = {
 
 type coord = {
   cfg : config;
+  gen_lock : Unix.file_descr;  (** held for life; fences generations *)
   mutable listener : Unix.file_descr option;
   wal : Grant_wal.t;
   leases : (string, Lease.t) Hashtbl.t;
@@ -589,8 +645,13 @@ let rec assign_conn coord fd =
       if send_ctrl w.cctrl ~pass:fd "conn" then
         Unix.close fd
       else begin
-        (* worker died under us: mark and retry on the next one *)
+        (* worker (almost certainly) died under us: stop scheduling it,
+           nudge it in case it is actually alive, and let the reaper —
+           which matches on pid, not [live] — run the full journal
+           replay / reclaim / restart path *)
         w.live <- false;
+        if w.pid > 0 then
+          (try Unix.kill w.pid Sys.sigterm with Unix.Unix_error _ -> ());
         assign_conn coord fd
       end
   | None ->
@@ -621,9 +682,12 @@ let spawn_worker coord shard =
           | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
           | None -> ());
           Grant_wal.close coord.wal;
+          (* closing the inherited fd does not release the parent's
+             fcntl lock (locks are per-process) *)
+          (try Unix.close coord.gen_lock with Unix.Unix_error _ -> ());
           Array.iter
             (fun w ->
-              if w.live then
+              if w.cctrl_open then
                 try Unix.close w.cctrl with Unix.Unix_error _ -> ())
             coord.cworkers;
           List.iter
@@ -635,6 +699,7 @@ let spawn_worker coord shard =
           let w = coord.cworkers.(shard) in
           w.pid <- pid;
           w.cctrl <- parent_end;
+          w.cctrl_open <- true;
           w.token <- token;
           w.live <- true;
           (* replay the registration history so a restarted worker
@@ -690,12 +755,11 @@ let handle_lease coord w ~ds ~token ~need =
         ignore
           (send_ctrl w.cctrl (Printf.sprintf "deny ds=%s remaining=%h" ds 0.))
     | Some lease -> (
+        let now = Unix.gettimeofday () in
         let prev = Lease.leased lease ~shard:w.shard in
         match
           Lease.grant lease ~shard:w.shard ~token ~need
-            ~quantum:coord.cfg.quantum
-            ~now:(Unix.gettimeofday ())
-            ~ttl:coord.cfg.ttl
+            ~quantum:coord.cfg.quantum ~now ~ttl:coord.cfg.ttl
         with
         | Lease.Stale { token = cur } ->
             ignore
@@ -703,6 +767,26 @@ let handle_lease coord w ~ds ~token ~need =
                  (Printf.sprintf "lost ds=%s token=%d" ds cur))
         | Lease.Denied { unleased } ->
             coord.denied_n <- coord.denied_n + 1;
+            (* availability under pressure: budget idling behind an
+               expired lease is freed through the fenced-restart path —
+               the fenced worker exits, its journal replay returns the
+               unspent remainder, and the denied client's retry finds
+               headroom. Soundness never depends on this (or any)
+               clock. *)
+            List.iter
+              (fun k ->
+                if k <> w.shard then begin
+                  let ws = coord.cworkers.(k) in
+                  if ws.live then begin
+                    Printf.eprintf
+                      "pool: fencing expired lease shard=%d dataset=%s\n%!" k
+                      ds;
+                    ignore
+                      (send_ctrl ws.cctrl
+                         (Printf.sprintf "lost ds=%s token=%d" ds ws.token))
+                  end
+                end)
+              (Lease.expired lease ~now);
             ignore
               (send_ctrl w.cctrl
                  (Printf.sprintf "deny ds=%s remaining=%h" ds unleased))
@@ -723,9 +807,13 @@ let handle_lease coord w ~ds ~token ~need =
                      { shard = w.shard; token; dataset = ds; leased; deadline })
               with
               | Error msg ->
+                  (* the raised allowance was never journaled: roll the
+                     in-memory state back too, or the worker's retry
+                     would be re-acked against a lease no recovery can
+                     see. No ack: the worker times out and retries. *)
+                  Lease.rollback lease ~shard:w.shard ~token ~leased:prev;
                   Printf.eprintf "pool: grant wal: %s — grant withheld\n%!"
                     msg
-                  (* no ack: the worker times out, the client retries *)
               | Ok () ->
                   coord.granted_n <- coord.granted_n + 1;
                   coord.wal_appends <- coord.wal_appends + 1;
@@ -787,7 +875,10 @@ let reclaim_shard coord w =
 
 let handle_death coord w status =
   w.live <- false;
-  (try Unix.close w.cctrl with Unix.Unix_error _ -> ());
+  if w.cctrl_open then begin
+    w.cctrl_open <- false;
+    try Unix.close w.cctrl with Unix.Unix_error _ -> ()
+  end;
   let describe = function
     | Unix.WEXITED n -> Printf.sprintf "exit=%d" n
     | Unix.WSIGNALED n -> Printf.sprintf "signal=%d" n
@@ -816,9 +907,12 @@ let reap coord =
     match Unix.waitpid [ Unix.WNOHANG ] (-1) with
     | 0, _ -> ()
     | pid, status ->
+        (* match on pid alone: a worker whose conn pass failed was
+           already marked not-live, but it still owes a journal replay,
+           lease reclaim and restart *)
         (match
            Array.to_list coord.cworkers
-           |> List.find_opt (fun w -> w.live && w.pid = pid)
+           |> List.find_opt (fun w -> w.pid = pid)
          with
         | Some w -> handle_death coord w status
         | None -> ());
@@ -965,14 +1059,7 @@ let begin_drain coord =
       coord.cworkers
   end
 
-let run cfg =
-  if cfg.workers < 2 then invalid_arg "Pool.run: need at least 2 workers";
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let stop = ref false in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
-  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
-  (* wake the select loop promptly when a child dies *)
-  Sys.set_signal Sys.sigchld (Sys.Signal_handle (fun _ -> ()));
+let run_locked cfg ~gen_lock ~stop =
   let had_state =
     Sys.file_exists (wal_path cfg.journal)
     || Array.exists
@@ -1001,6 +1088,7 @@ let run cfg =
             let coord =
               {
                 cfg;
+                gen_lock;
                 listener = None;
                 wal;
                 leases = Hashtbl.create 8;
@@ -1012,6 +1100,7 @@ let run cfg =
                         shard;
                         pid = -1;
                         cctrl = Unix.stdin;
+                        cctrl_open = false;
                         token = -1;
                         live = false;
                         restarts = 0;
@@ -1152,8 +1241,43 @@ let run cfg =
                 loop ();
                 write_merged_metrics coord;
                 Grant_wal.close coord.wal;
+                (try Unix.close coord.gen_lock with Unix.Unix_error _ -> ());
                 Printf.printf "drained\n%!";
                 0
               with Unix.Unix_error (e, fn, _) ->
                 Printf.eprintf "pool: %s: %s\n%!" fn (Unix.error_message e);
                 1))
+
+let run cfg =
+  if cfg.workers < 2 then invalid_arg "Pool.run: need at least 2 workers";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = ref false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  (* wake the select loop promptly when a child dies *)
+  Sys.set_signal Sys.sigchld (Sys.Signal_handle (fun _ -> ()));
+  (* generation fencing: no reading, re-leasing or serving while any
+     process of the previous generation can still write. The WAL lock
+     (another live coordinator) fails fast; the shard probes wait out
+     the window in which orphaned workers notice the reparenting. *)
+  match acquire_lock (gen_lock_path cfg.journal) with
+  | Error msg ->
+      Printf.eprintf "pool: coordinator lock: %s — refusing to serve\n%!" msg;
+      1
+  | Ok gen_lock -> (
+      let rec probe k =
+        if k >= cfg.workers then None
+        else
+          match acquire_lock ~wait_s:5.0 (shard_lock_path cfg.journal k) with
+          | Ok fd ->
+              (* probe only: the shard's own worker takes it after fork *)
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              probe (k + 1)
+          | Error msg -> Some msg
+      in
+      match probe 0 with
+      | Some msg ->
+          (try Unix.close gen_lock with Unix.Unix_error _ -> ());
+          Printf.eprintf "pool: worker lock: %s — refusing to serve\n%!" msg;
+          1
+      | None -> run_locked cfg ~gen_lock ~stop)

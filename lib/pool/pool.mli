@@ -27,7 +27,15 @@
     serve if the invariant is violated. The same function backs the
     offline [dpkit pool replay], so the chaos harness can assert the
     live recovery report is bit-identical to a fault-free offline
-    replay. *)
+    replay.
+
+    Generation fencing on disk: the coordinator holds an fcntl lock on
+    [<journal>.grants.lock] and each worker on
+    [<journal>.shard<k>.lock] for its process lifetime (released by the
+    kernel on any death, [kill -9] included). A restarted coordinator
+    acquires the WAL lock and probes every shard lock before reading a
+    byte, so it can never re-lease budget or reopen journals while a
+    previous generation's orphan can still spend or append. *)
 
 type config = {
   seed : int;  (** engine seed for every worker (default 20120330) *)
@@ -40,7 +48,10 @@ type config = {
   faults : Dp_engine.Faults.t;
       (** injected at lease handling and worker serve *)
   quantum : float;  (** ε granted beyond immediate need per round-trip *)
-  ttl : float;  (** seconds a grant may be drawn down without renewal *)
+  ttl : float;
+      (** seconds a grant may be drawn down without renewal; when a
+          request is denied, shards idling past their deadline are
+          fenced so their unspent lease returns to the pool *)
   max_restarts : int;  (** per-shard crash-loop bound *)
 }
 

@@ -28,7 +28,8 @@ J="pool_soak.wal"
 M="pool_soak.metrics"
 LOG1="pool_srv1.log"
 LOG2="pool_srv2.log"
-rm -f "$J" "$J".shard* "$J".grants "$M" "$M".shard* "$LOG1" "$LOG2" pool_cli_*.out pool_replay_*.txt
+rm -f "$J" "$J".shard* "$J".grants* "$M" "$M".shard* "$LOG1" "$LOG2" \
+  pool_srv_dup.log pool_cli_*.out pool_replay_*.txt
 
 client() { # client PORT JITTER_SEED
   "$DPKIT" client --port "$1" --attempts 20 --backoff 0.02 --backoff-cap 0.4 \
@@ -82,6 +83,20 @@ done
 wait_listening "$LOG1"
 grep -q "listening port=$PORT workers=3" "$LOG1" || {
   echo "pool banner wrong:"; cat "$LOG1"; exit 1; }
+
+# --- generation fencing: a second coordinator on the same journal must
+# refuse to serve while this generation holds the WAL lock ---------------
+set +e
+"$DPKIT" serve --tcp $((PORT + 7)) --workers 3 --journal "$J" \
+  >pool_srv_dup.log 2>&1
+DUPCODE=$?
+set -e
+[ "$DUPCODE" -ne 0 ] || {
+  echo "duplicate coordinator was allowed to serve:"; cat pool_srv_dup.log
+  exit 1; }
+grep -q "refusing to serve" pool_srv_dup.log || {
+  echo "duplicate coordinator died without the lock refusal:"
+  cat pool_srv_dup.log; exit 1; }
 
 printf 'register demo rows=400 eps=8 default-eps=0.01\n' \
   | client "$PORT" 100 > pool_cli_reg.out
@@ -218,4 +233,5 @@ cmp -s pool_replay_final1.txt pool_replay_final2.txt || {
 grep -q 'invariant=ok' pool_replay_final1.txt || {
   echo "merged ledger invariant violated:"; cat pool_replay_final1.txt; exit 1; }
 
-rm -f "$J" "$J".shard* "$J".grants "$M" "$M".shard* "$LOG1" "$LOG2" pool_cli_*.out pool_replay_*.txt
+rm -f "$J" "$J".shard* "$J".grants* "$M" "$M".shard* "$LOG1" "$LOG2" \
+  pool_srv_dup.log pool_cli_*.out pool_replay_*.txt

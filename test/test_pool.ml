@@ -1,7 +1,7 @@
 (* The worker pool's budget arbitration. The qcheck property drives
-   Lease through arbitrary grant / spend / expire-and-restart / stale
-   interleavings with an honest worker model and asserts the two
-   soundness properties the pool leans on: the invariant
+   Lease through arbitrary grant / spend / expire-and-restart / stale /
+   WAL-failure-rollback interleavings with an honest worker model and
+   asserts the two soundness properties the pool leans on: the invariant
    Σ reclaimed + Σ outstanding ≤ E never breaks, and no fencing token
    is ever issued twice. The unit tests pin the grant WAL's round-trip
    and torn-tail behavior, and the corner decisions of the arbiter. *)
@@ -63,7 +63,7 @@ let run_ops ~total ~shards ops =
     (fun (shard, op, amount) ->
       let shard = shard mod shards in
       let m = ms.(shard) in
-      (match op mod 4 with
+      (match op mod 5 with
       | 0 -> (
           (* ask for more *)
           let need = m.inc_need +. amount in
@@ -87,7 +87,7 @@ let run_ops ~total ~shards ops =
           let r = Lease.reclaim t ~shard ~spent_total:m.journal in
           if r.Lease.overspend then failwith "honest worker flagged overspend";
           issue shard
-      | _ -> (
+      | 3 -> (
           (* a superseded incarnation retries its old token *)
           let stale = m.token - 1 in
           if stale >= 0 then
@@ -100,7 +100,23 @@ let run_ops ~total ~shards ops =
                 if Lease.leased t ~shard <> before then
                   failwith "stale grant mutated state"
             | Lease.Granted _ -> failwith "stale token granted"
-            | Lease.Denied _ -> failwith "stale token denied, not fenced"));
+            | Lease.Denied _ -> failwith "stale token denied, not fenced")
+      | _ -> (
+          (* a grant whose WAL append failed: raised in memory, rolled
+             back before any ack, so the worker model learns nothing *)
+          let prev = Lease.leased t ~shard in
+          match
+            Lease.grant t ~shard ~token:m.token ~need:(m.inc_need +. amount)
+              ~quantum:0.5 ~now:0. ~ttl:5.
+          with
+          | Lease.Granted { leased; _ } ->
+              if leased > prev +. slack then begin
+                Lease.rollback t ~shard ~token:m.token ~leased:prev;
+                if Lease.leased t ~shard <> prev then
+                  failwith "rollback did not restore the lease"
+              end
+          | Lease.Denied _ -> ()
+          | Lease.Stale _ -> failwith "live token judged stale"));
       check ())
     ops;
   (* final teardown: every shard crashes and is reclaimed; afterwards
@@ -115,7 +131,7 @@ let run_ops ~total ~shards ops =
 let qcheck_tests =
   let open QCheck in
   let op_gen =
-    Gen.(triple (int_range 0 3) (int_range 0 3) (float_range 0. 0.7))
+    Gen.(triple (int_range 0 3) (int_range 0 4) (float_range 0. 0.7))
   in
   let ops_gen = Gen.list_size (Gen.int_range 1 120) op_gen in
   [
@@ -168,6 +184,44 @@ let lease_unit_tests =
         (* journal says 1.5 absolute: 1.1 this incarnation > 0.5 lease *)
         let r = Lease.reclaim t ~shard:0 ~spent_total:1.5 in
         check "overspend flagged" true r.Lease.overspend);
+    Alcotest.test_case "rollback undoes an unjournaled grant" `Quick (fun () ->
+        let t = Lease.create ~total:1.0 ~shards:1 in
+        Lease.new_incarnation t ~shard:0 ~token:1;
+        (match Lease.grant t ~shard:0 ~token:1 ~need:0.4 ~quantum:0. ~now:0. ~ttl:5. with
+        | Lease.Granted { leased; _ } -> checkf "granted" 0.4 leased
+        | _ -> Alcotest.fail "expected grant");
+        (* the WAL append failed: restore, so a retry re-arbitrates
+           instead of being re-acked against a phantom lease *)
+        Lease.rollback t ~shard:0 ~token:1 ~leased:0.;
+        checkf "restored" 0. (Lease.leased t ~shard:0);
+        checkf "headroom back" 1.0 (Lease.unleased t);
+        ignore (Lease.grant t ~shard:0 ~token:1 ~need:0.2 ~quantum:0. ~now:0. ~ttl:5.);
+        (* neither a stale-token nor a widening rollback may move it *)
+        Lease.rollback t ~shard:0 ~token:0 ~leased:0.;
+        checkf "stale rollback ignored" 0.2 (Lease.leased t ~shard:0);
+        Lease.rollback t ~shard:0 ~token:1 ~leased:0.5;
+        checkf "widening rollback ignored" 0.2 (Lease.leased t ~shard:0);
+        check "invariant" true (Lease.invariant_ok t));
+    Alcotest.test_case "expired lists only idle leased shards" `Quick
+      (fun () ->
+        let t = Lease.create ~total:2.0 ~shards:3 in
+        Lease.new_incarnation t ~shard:0 ~token:1;
+        Lease.new_incarnation t ~shard:1 ~token:2;
+        Lease.new_incarnation t ~shard:2 ~token:3;
+        ignore (Lease.grant t ~shard:0 ~token:1 ~need:0.5 ~quantum:0. ~now:0. ~ttl:5.);
+        ignore (Lease.grant t ~shard:1 ~token:2 ~need:0.5 ~quantum:0. ~now:8. ~ttl:5.);
+        (* shard 0 lapsed at 5, shard 1 lives to 13, shard 2 holds nothing *)
+        check "expired at t=10" true (Lease.expired t ~now:10. = [ 0 ]);
+        (* a re-ack refreshes the deadline *)
+        (match Lease.grant t ~shard:0 ~token:1 ~need:0.5 ~quantum:0. ~now:10. ~ttl:5. with
+        | Lease.Granted { leased; deadline } ->
+            checkf "re-ack" 0.5 leased;
+            checkf "deadline refreshed" 15. deadline
+        | _ -> Alcotest.fail "expected re-ack");
+        check "refreshed" true (Lease.expired t ~now:10. = []);
+        (* reclaim clears the lease and with it the expiry *)
+        ignore (Lease.reclaim t ~shard:1 ~spent_total:0.2);
+        check "reclaimed never expired" true (Lease.expired t ~now:100. = [ 0 ]));
     Alcotest.test_case "restart without reclaim is refused" `Quick (fun () ->
         let t = Lease.create ~total:1.0 ~shards:1 in
         Lease.new_incarnation t ~shard:0 ~token:1;
